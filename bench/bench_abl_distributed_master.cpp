@@ -1,0 +1,103 @@
+// Ablation: distributing the KVS master (the paper's stated future work,
+// §VII: "We plan to address [KVS scalability] by distributing the KVS
+// master itself").
+//
+// Emulation (documented in DESIGN.md): k masters are modelled as k
+// independent comms sessions sharing one simulated clock, each owning 1/k of
+// the producers and its own keyspace shard. The reported latency is the max
+// across shards — what a client of a sharded KVS would observe for a
+// whole-job fence. This isolates exactly the effect §VII targets: the single
+// master's inbound link / apply serialization.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "api/handle.hpp"
+#include "base/rng.hpp"
+#include "bench_util.hpp"
+#include "broker/session.hpp"
+#include "kvs/kvs_client.hpp"
+
+using namespace flux;
+using namespace flux::bench;
+
+namespace {
+
+/// Fence latency for `producers` clients spread over one session.
+Duration sharded_fence(std::uint32_t nnodes, std::uint32_t producers,
+                       std::uint32_t shards, std::size_t vsize) {
+  SimExecutor ex;
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<std::unique_ptr<Handle>> handles;
+  std::vector<TimePoint> done_at(shards, TimePoint{0});
+
+  const std::uint32_t nodes_per_shard = nnodes / shards;
+  const std::uint32_t procs_per_shard = producers / shards;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    SessionConfig cfg;
+    cfg.size = nodes_per_shard;
+    cfg.modules = {"hb", "barrier", "kvs"};
+    cfg.module_config =
+        Json::object({{"hb", Json::object({{"period_us", 100000}})}});
+    sessions.push_back(Session::create_sim(ex, cfg));
+  }
+  while (true) {
+    bool all = true;
+    for (auto& s : sessions) all &= s->all_online();
+    if (all) break;
+    if (!ex.run_one()) std::abort();
+  }
+
+  std::vector<std::uint32_t> remaining(shards, procs_per_shard);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (std::uint32_t p = 0; p < procs_per_shard; ++p) {
+      handles.push_back(sessions[s]->attach(p % nodes_per_shard));
+      co_spawn(
+          ex,
+          [](Handle* h, std::uint32_t shard, std::uint32_t proc,
+             std::uint32_t nprocs, std::size_t vs,
+             std::vector<std::uint32_t>* rem,
+             std::vector<TimePoint>* done) -> Task<void> {
+            KvsClient kvs(*h);
+            Rng rng((shard << 20) ^ proc);
+            co_await kvs.put("shard.k" + std::to_string(proc), rng.bytes(vs));
+            co_await kvs.fence("abl", nprocs);
+            if (--(*rem)[shard] == 0)
+              (*done)[shard] = h->executor().now();
+          }(handles.back().get(), s, p, procs_per_shard, vsize, &remaining,
+            &done_at),
+          "producer");
+    }
+  }
+  const TimePoint t0 = ex.now();
+  ex.run();
+  TimePoint worst{0};
+  for (TimePoint t : done_at) worst = std::max(worst, t);
+  return worst - t0;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Ablation — distributed KVS master (paper §VII future work)",
+      "Ahn et al., ICPP'14, §VII (\"distributing the KVS master itself\")",
+      "fence latency drops toward 1/k with k masters: the single master's "
+      "serialization is the bottleneck the paper identified");
+
+  const std::uint32_t nnodes = quick_mode() ? 64 : 256;
+  const std::uint32_t producers = nnodes * procs_per_node();
+  const std::size_t vsize = 4096;
+  std::printf("workload: %u producers, %zu-byte unique values, one fence\n\n",
+              producers, vsize);
+  std::printf("%8s %16s %10s\n", "masters", "fence max (ms)", "speedup");
+  double base = 0;
+  for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const Duration d = sharded_fence(nnodes, producers, shards, vsize);
+    if (shards == 1) base = ms(d);
+    std::printf("%8u %16.3f %9.2fx\n", shards, ms(d), base / ms(d));
+  }
+  std::printf("\n(emulated: k masters = k independent shard sessions on one "
+              "simulated clock; see DESIGN.md substitutions)\n");
+  return 0;
+}

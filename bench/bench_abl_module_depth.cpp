@@ -1,0 +1,88 @@
+// Ablation: module placement depth. Paper §IV-A: "A comms module may thus
+// be loaded at a configurable tree depth to tune its level of distribution
+// or to conserve node resources for application workloads toward the
+// leaves." Loads the kvs module only down to depth D and measures the cost
+// of pushing KVS service away from the leaves.
+#include <cstdio>
+
+#include "api/handle.hpp"
+#include "bench_util.hpp"
+#include "broker/session.hpp"
+#include "kvs/kvs_client.hpp"
+
+using namespace flux;
+using namespace flux::bench;
+
+namespace {
+
+struct Result {
+  Duration put_commit{0};
+  Duration get_cold{0};
+  std::uint32_t kvs_instances = 0;
+};
+
+Result measure(std::uint32_t nnodes, unsigned max_depth) {
+  SimExecutor ex;
+  SessionConfig cfg;
+  cfg.size = nnodes;
+  cfg.modules = {"hb", "barrier", "kvs"};
+  cfg.module_max_depth["kvs"] = max_depth;
+  auto session = Session::create_sim(ex, cfg);
+  session->run_until_online();
+
+  Result out;
+  for (NodeId r = 0; r < nnodes; ++r)
+    if (session->broker(r).find_module("kvs") != nullptr) ++out.kvs_instances;
+
+  auto h = session->attach(nnodes - 1);  // deepest leaf
+  {
+    const TimePoint t0 = ex.now();
+    bool done = false;
+    co_spawn(ex, [](Handle* hd, bool* d) -> Task<void> {
+      KvsClient kvs(*hd);
+      co_await kvs.put("abl.depth", std::string(512, 'x'));
+      co_await kvs.commit();
+      *d = true;
+    }(h.get(), &done));
+    ex.run();
+    if (!done) std::abort();
+    out.put_commit = ex.now() - t0;
+  }
+  {
+    auto reader = session->attach(nnodes - 2);
+    const TimePoint t0 = ex.now();
+    bool done = false;
+    co_spawn(ex, [](Handle* hd, bool* d) -> Task<void> {
+      KvsClient kvs(*hd);
+      (void)co_await kvs.get("abl.depth");
+      *d = true;
+    }(reader.get(), &done));
+    ex.run();
+    if (!done) std::abort();
+    out.get_cold = ex.now() - t0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation — kvs module placement depth",
+               "Ahn et al., ICPP'14, §IV-A (module loaded at configurable "
+               "tree depth)",
+               "shallower placement saves leaf memory/instances at the cost "
+               "of extra routing hops per operation");
+
+  const std::uint32_t nodes = quick_mode() ? 32 : 128;
+  const auto full_depth = Topology::tree(nodes, 2).height();
+  std::printf("%10s %14s %16s %14s\n", "max-depth", "kvs-instances",
+              "put+commit(us)", "cold-get(us)");
+  for (unsigned d = 0; d <= full_depth; ++d) {
+    const Result r = measure(nodes, d);
+    std::printf("%10u %14u %16.1f %14.1f\n", d, r.kvs_instances,
+                us(r.put_commit), us(r.get_cold));
+  }
+  std::printf("\n(depth %u = every broker, the paper's default; depth 0 = "
+              "fully centralized at the session root)\n", full_depth);
+  return 0;
+}

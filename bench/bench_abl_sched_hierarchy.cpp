@@ -1,0 +1,111 @@
+// Ablation: centralized vs hierarchical scheduling. Paper §II/§III: "the
+// hierarchical, multilevel job scheduling will then facilitate scheduler
+// parallelism, and this will allow the RJMS to scale to massive numbers of
+// jobs scheduled across the center."
+//
+// The same workload — K x J small jobs over N nodes — is run (a) through one
+// center-wide scheduler and (b) through K sibling child instances of N/K
+// nodes each. Scheduling passes cost virtual time and serialize per
+// scheduler, so the centralized run pays the full decision load on one
+// critical path while siblings decide concurrently.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/instance.hpp"
+#include "exec/sim_executor.hpp"
+
+using namespace flux;
+using namespace flux::bench;
+
+namespace {
+
+struct Outcome {
+  double makespan_ms = 0;
+  double sched_busy_ms = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t instances = 0;
+};
+
+JobSpec small_job(int i) {
+  return JobSpec::app("j" + std::to_string(i), 1,
+                      std::chrono::microseconds(200 + (i % 7) * 50));
+}
+
+/// Center-wide scheduling passes are expensive: each decision evaluates
+/// rich multi-resource constraints over the full queue and resource view
+/// (the regime the paper argues centralized RJMS cannot sustain).
+Scheduler::CostModel center_costs() {
+  Scheduler::CostModel cost;
+  cost.pass_base = std::chrono::microseconds(50);
+  cost.per_queued_job = std::chrono::microseconds(2);
+  cost.per_free_node = std::chrono::nanoseconds(500);
+  return cost;
+}
+
+Outcome centralized(unsigned nodes, int jobs) {
+  SimExecutor ex;
+  ResourceGraph graph =
+      ResourceGraph::build_center("c", 1, 1, nodes, 16, 32, 350, 100);
+  FluxInstance root(ex, "central", graph, "fcfs", center_costs());
+  for (int i = 0; i < jobs; ++i) (void)root.submit(small_job(i));
+  const TimePoint t0 = ex.now();
+  ex.run();
+  const auto st = root.tree_stats();
+  return Outcome{static_cast<double>((ex.now() - t0).count()) / 1e6,
+                 static_cast<double>(st.sched_busy.count()) / 1e6,
+                 st.jobs_completed, st.instances};
+}
+
+Outcome hierarchical(unsigned nodes, int jobs, int children) {
+  SimExecutor ex;
+  ResourceGraph graph =
+      ResourceGraph::build_center("c", 1, 1, nodes, 16, 32, 350, 100);
+  FluxInstance root(ex, "site", graph, "fcfs", center_costs());
+  const int per_child = jobs / children;
+  for (int c = 0; c < children; ++c) {
+    std::vector<JobSpec> work;
+    for (int i = 0; i < per_child; ++i)
+      work.push_back(small_job(c * per_child + i));
+    (void)root.submit(JobSpec::instance(
+        "child" + std::to_string(c),
+        static_cast<std::int64_t>(nodes) / children, "fcfs", std::move(work)));
+  }
+  const TimePoint t0 = ex.now();
+  ex.run();
+  const auto st = root.tree_stats();
+  return Outcome{static_cast<double>((ex.now() - t0).count()) / 1e6,
+                 static_cast<double>(st.sched_busy.count()) / 1e6,
+                 st.jobs_completed, st.instances};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation — centralized vs hierarchical scheduling",
+               "Ahn et al., ICPP'14, §II-§III (scheduler parallelism)",
+               "hierarchy cuts makespan for massive job counts; scheduling "
+               "work spreads across concurrent per-instance schedulers");
+
+  const unsigned nodes = quick_mode() ? 32 : 128;
+  const int jobs = quick_mode() ? 512 : 4096;
+  std::printf("workload: %d one-node jobs over %u nodes\n\n", jobs, nodes);
+  std::printf("%-16s %10s %14s %14s %10s\n", "configuration", "instances",
+              "makespan(ms)", "sched-busy(ms)", "jobs");
+
+  const Outcome c = centralized(nodes, jobs);
+  std::printf("%-16s %10llu %14.2f %14.2f %10llu\n", "centralized",
+              static_cast<unsigned long long>(c.instances), c.makespan_ms,
+              c.sched_busy_ms, static_cast<unsigned long long>(c.jobs));
+  double best = 0;
+  for (int children : {2, 4, 8, 16}) {
+    const Outcome o = hierarchical(nodes, jobs, children);
+    std::printf("%-16s %10llu %14.2f %14.2f %10llu\n",
+                ("hier-" + std::to_string(children) + "way").c_str(),
+                static_cast<unsigned long long>(o.instances), o.makespan_ms,
+                o.sched_busy_ms, static_cast<unsigned long long>(o.jobs));
+    best = std::max(best, c.makespan_ms / o.makespan_ms);
+  }
+  std::printf("\nbest hierarchical speedup over centralized: %.2fx "
+              "(paper's motivation for multilevel scheduling)\n", best);
+  return 0;
+}

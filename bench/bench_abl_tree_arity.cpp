@@ -1,0 +1,37 @@
+// Ablation: tree arity. Paper §IV-A: "Although a binary RPC/reduction tree
+// is pictured, the tree shape is configurable." Sweeps the fan-out of the
+// request/reduction tree and reports its effect on every KAP phase: higher
+// arity shortens the tree (fewer fault hops) but concentrates reduction
+// traffic on fewer interior brokers.
+#include "bench_util.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace flux;
+  using namespace flux::bench;
+
+  print_header("Ablation — RPC/reduction tree arity",
+               "Ahn et al., ICPP'14, §IV-A (configurable tree shape)",
+               "shallower trees cut consumer fault chains; fence stays "
+               "root-bound regardless of arity");
+
+  const std::uint32_t nodes = quick_mode() ? 32 : 256;
+  std::printf("%8s %8s %8s %14s %14s %14s\n", "nodes", "arity", "depth",
+              "fence(ms)", "consume(ms)", "wireup(us)");
+  for (std::uint32_t arity : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    kap::KapConfig cfg;
+    cfg.nnodes = nodes;
+    cfg.tree_arity = arity;
+    cfg.value_size = 2048;
+    cfg.gets_per_consumer = 16;
+    cfg.single_directory = false;
+    const kap::KapResult r = run(cfg);
+    const auto topo = Topology::tree(nodes, arity);
+    std::printf("%8u %8u %8u %14.3f %14.3f %14.1f\n", nodes, arity,
+                topo.height(), ms(r.sync.max), ms(r.consumer.max),
+                us(r.wireup));
+  }
+  std::printf("\n(arity 1 is a chain — the degenerate worst case; the "
+              "paper's default is the binary tree)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 2: "maximum latency of the producer phase ... how well kvs_put
+// scales as we increase the number of producers", one series per value size.
+//
+// Paper finding: "the kvs_put simply performs and scales well. This matches
+// our expectations because objects are cached in write-back mode at kvs_put
+// time and flushed to the master at the next consistency event."
+#include "bench_util.hpp"
+
+int main() {
+  using namespace flux;
+  using namespace flux::bench;
+
+  print_header(
+      "Figure 2 — producer-phase (kvs_put) max latency vs #producers",
+      "Ahn et al., ICPP'14, Figure 2",
+      "low & near-flat across producer counts; ordered by value size");
+
+  std::printf("%8s %8s", "nodes", "nprocs");
+  for (std::size_t v : vsize_grid()) std::printf("  vsize-%-6zu", v);
+  std::printf("   (max producer-phase latency, ms)\n");
+
+  // Shape checks accumulated across the grid.
+  double first_col_small = 0, last_col_small = 0;
+  for (std::uint32_t nodes : node_grid()) {
+    std::printf("%8u %8u", nodes, nodes * procs_per_node());
+    for (std::size_t vsize : vsize_grid()) {
+      kap::KapConfig cfg;
+      cfg.nnodes = nodes;
+      cfg.value_size = vsize;
+      cfg.gets_per_consumer = 0;  // producer phase only
+      const kap::KapResult r = run(cfg);
+      std::printf("  %-12.4f", ms(r.producer.max));
+      if (vsize == vsize_grid().front()) {
+        if (nodes == node_grid().front()) first_col_small = ms(r.producer.max);
+        if (nodes == node_grid().back()) last_col_small = ms(r.producer.max);
+      }
+    }
+    std::printf("\n");
+  }
+
+  const double growth = last_col_small / first_col_small;
+  const double scale_factor = static_cast<double>(node_grid().back()) /
+                              static_cast<double>(node_grid().front());
+  std::printf("\nshape: producer latency grew %.2fx while producers grew "
+              "%.0fx -> %s (paper: put \"performs and scales well\")\n",
+              growth, scale_factor,
+              growth < scale_factor / 2 ? "SUB-LINEAR, as in the paper"
+                                        : "UNEXPECTED growth");
+  return 0;
+}

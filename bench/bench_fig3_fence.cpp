@@ -1,0 +1,75 @@
+// Figure 3: "how kvs_fence scales as the number of producers increase",
+// unique values (vsize-k) vs redundant values (red-vsize-k).
+//
+// Paper findings: the unique-value fence "perform[s] linearly with respect
+// to the number of producers because these values are simply being
+// concatenated while being sent up the tree"; the redundant-value fence is
+// far cheaper because "redundant values are reduced", but "fails short of
+// logarithmic scaling ... because while values are reduced, the (key, SHA1)
+// tuples referring to them are still concatenated."
+#include <cmath>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace flux;
+  using namespace flux::bench;
+
+  print_header(
+      "Figure 3 — synchronization-phase (kvs_fence) max latency vs #producers",
+      "Ahn et al., ICPP'14, Figure 3 (vsize-k and red-vsize-k series)",
+      "unique ~linear in producers; redundant much cheaper yet "
+      "super-logarithmic (tuple concatenation)");
+
+  std::printf("%8s %8s", "nodes", "nprocs");
+  for (std::size_t v : vsize_grid()) std::printf("  vsize-%-6zu", v);
+  for (std::size_t v : vsize_grid()) std::printf("  red-vsize-%-3zu", v);
+  std::printf("   (max fence latency, ms)\n");
+
+  struct Point {
+    double procs, unique_ms, red_ms;
+  };
+  std::vector<Point> big;  // largest value size across node counts
+
+  for (std::uint32_t nodes : node_grid()) {
+    std::printf("%8u %8u", nodes, nodes * procs_per_node());
+    Point pt{static_cast<double>(nodes) * procs_per_node(), 0, 0};
+    for (int redundant = 0; redundant <= 1; ++redundant) {
+      for (std::size_t vsize : vsize_grid()) {
+        kap::KapConfig cfg;
+        cfg.nnodes = nodes;
+        cfg.value_size = vsize;
+        cfg.redundant_values = (redundant == 1);
+        cfg.gets_per_consumer = 0;  // stop after the sync phase
+        const kap::KapResult r = run(cfg);
+        std::printf(redundant ? "  %-14.3f" : "  %-12.3f", ms(r.sync.max));
+        if (vsize == vsize_grid().back()) {
+          (redundant ? pt.red_ms : pt.unique_ms) = ms(r.sync.max);
+        }
+      }
+    }
+    big.push_back(pt);
+    std::printf("\n");
+  }
+
+  // Shape verdicts on the largest-vsize series.
+  const Point& lo = big.front();
+  const Point& hi = big.back();
+  const double pgrow = hi.procs / lo.procs;
+  const double ugrow = hi.unique_ms / lo.unique_ms;
+  const double rgrow = hi.red_ms / lo.red_ms;
+  const double log_grow =
+      std::log2(hi.procs) / std::log2(lo.procs);
+  std::printf("\nshape (vsize-%zu): producers x%.0f -> unique fence x%.2f "
+              "(linear would be x%.0f), redundant x%.2f (log would be x%.2f)\n",
+              vsize_grid().back(), pgrow, ugrow, pgrow, rgrow, log_grow);
+  std::printf("verdicts: unique %s; redundant %s; redundant/unique speedup at "
+              "largest scale = %.1fx\n",
+              ugrow > pgrow * 0.4 ? "~LINEAR (as in the paper)"
+                                  : "unexpectedly flat",
+              (rgrow > log_grow && rgrow < ugrow)
+                  ? "between log and linear (as in the paper)"
+                  : "outside the paper's band",
+              hi.unique_ms / hi.red_ms);
+  return 0;
+}

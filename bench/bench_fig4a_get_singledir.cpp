@@ -1,0 +1,54 @@
+// Figure 4(a): "maximum latency of kvs_get when the target keys are all
+// stored in a single KVS directory object", one series per per-consumer
+// access count.
+//
+// Paper finding: "The latency is quite high and also increases linearly as
+// we increase the number of consumers ... the small objects being consumed
+// in the test cannot be retrieved without faulting in the entire directory
+// object containing them, through the tree of CMB slave cache instances."
+#include "bench_util.hpp"
+
+int main() {
+  using namespace flux;
+  using namespace flux::bench;
+
+  print_header(
+      "Figure 4(a) — consumer-phase (kvs_get) max latency, SINGLE directory",
+      "Ahn et al., ICPP'14, Figure 4(a) (8-byte values)",
+      "high latency, ~linear growth with consumer count (the directory "
+      "object grows with scale and is faulted whole)");
+
+  const std::vector<std::uint32_t> accesses =
+      quick_mode() ? std::vector<std::uint32_t>{1, 4}
+                   : std::vector<std::uint32_t>{1, 4, 16, 64};
+
+  std::printf("%8s %8s", "nodes", "ncons");
+  for (std::uint32_t a : accesses) std::printf("  access-%-5u", a);
+  std::printf("   (max consumer-phase latency, ms)\n");
+
+  std::vector<double> access1;
+  for (std::uint32_t nodes : node_grid()) {
+    std::printf("%8u %8u", nodes, nodes * procs_per_node());
+    for (std::uint32_t a : accesses) {
+      kap::KapConfig cfg;
+      cfg.nnodes = nodes;
+      cfg.value_size = 8;
+      cfg.gets_per_consumer = a;
+      cfg.single_directory = true;
+      const kap::KapResult r = run(cfg);
+      std::printf("  %-12.3f", ms(r.consumer.max));
+      if (a == accesses.front()) access1.push_back(ms(r.consumer.max));
+    }
+    std::printf("\n");
+  }
+
+  const double cgrow = access1.back() / access1.front();
+  const double pgrow = static_cast<double>(node_grid().back()) /
+                       static_cast<double>(node_grid().front());
+  std::printf("\nshape (access-%u): consumers x%.0f -> latency x%.2f; %s\n",
+              accesses.front(), pgrow, cgrow,
+              cgrow > pgrow * 0.4
+                  ? "~LINEAR growth, as in the paper"
+                  : "flatter than the paper's linear finding");
+  return 0;
+}

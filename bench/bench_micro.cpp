@@ -1,0 +1,95 @@
+// Wall-clock micro-benchmarks of the run-time building blocks (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "hash/sha1.hpp"
+#include "json/json.hpp"
+#include "kvs/content_store.hpp"
+#include "msg/codec.hpp"
+
+namespace {
+
+using namespace flux;
+
+void BM_Sha1(benchmark::State& state) {
+  Rng rng(1);
+  const std::string data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::of(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(32768);
+
+void BM_JsonParse(benchmark::State& state) {
+  Json obj = Json::object();
+  Rng rng(2);
+  for (int i = 0; i < state.range(0); ++i)
+    obj["key" + std::to_string(i)] = rng.bytes(24);
+  const std::string text = obj.dump();
+  for (auto _ : state) {
+    auto v = Json::parse(text);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParse)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_JsonDump(benchmark::State& state) {
+  Json obj = Json::object();
+  Rng rng(3);
+  for (int i = 0; i < state.range(0); ++i)
+    obj["key" + std::to_string(i)] = rng.bytes(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.dump());
+  }
+}
+BENCHMARK(BM_JsonDump)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_MessageCodecRoundTrip(benchmark::State& state) {
+  Rng rng(4);
+  Message m = Message::request("kvs.put", Json::object({{"key", "a.b.c"}}));
+  m.route = {RouteHop{RouteHop::Kind::Client, 3, 12},
+             RouteHop{RouteHop::Kind::Broker, 1, 0}};
+  m.data = std::make_shared<const std::string>(
+      rng.bytes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto wire = encode(m);
+    auto back = decode(wire);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.wire_size()));
+}
+BENCHMARK(BM_MessageCodecRoundTrip)->Arg(8)->Arg(512)->Arg(32768);
+
+void BM_KvsApplyTransaction(benchmark::State& state) {
+  const auto ntuples = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ContentStore store;
+    ObjPtr root = empty_dir_object();
+    store.put(root);
+    std::vector<Tuple> tuples;
+    tuples.reserve(ntuples);
+    for (std::size_t i = 0; i < ntuples; ++i) {
+      ObjPtr obj = make_val_object(rng.bytes(16));
+      store.put(obj);
+      tuples.push_back(Tuple{"d" + std::to_string(i / 128) + ".k" +
+                                 std::to_string(i),
+                             obj->id});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(apply_transaction(store, root->id, tuples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_KvsApplyTransaction)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

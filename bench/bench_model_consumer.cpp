@@ -1,0 +1,103 @@
+// §V-B analytic model: "With our access pattern where G objects are read
+// collectively by C consumers, and the time to replicate G objects in a
+// single slave cache from its CMB-tree parent is given by T(G), the maximum
+// consumer latency is given by log2(C) x T(G)."
+//
+// This harness measures T(G) directly (one leaf, cold caches, G objects
+// faulted from its parent chain collapsed to one hop) and compares the
+// model's prediction against the full simulated consumer latency.
+#include <cmath>
+#include <cstdio>
+
+#include "api/handle.hpp"
+#include "base/rng.hpp"
+#include "bench_util.hpp"
+#include "broker/session.hpp"
+#include "kvs/kvs_client.hpp"
+
+using namespace flux;
+using namespace flux::bench;
+
+namespace {
+
+/// T(G): replicate G objects into one slave cache from its parent (a
+/// two-broker session: master + one slave).
+Duration measure_t_of_g(std::uint64_t g, std::size_t vsize) {
+  SimExecutor ex;
+  SessionConfig cfg;
+  cfg.size = 2;
+  cfg.modules = {"hb", "barrier", "kvs"};
+  auto session = Session::create_sim(ex, cfg);
+  session->run_until_online();
+
+  auto writer = session->attach(0);
+  bool done = false;
+  co_spawn(ex, [](Handle* h, std::uint64_t n, std::size_t vs, bool* d) -> Task<void> {
+    KvsClient kvs(*h);
+    Rng rng(7);
+    for (std::uint64_t i = 0; i < n; ++i)
+      co_await kvs.put("m.d" + std::to_string(i / 128) + ".k" + std::to_string(i),
+                       rng.bytes(vs));
+    co_await kvs.commit();
+    *d = true;
+  }(writer.get(), g, vsize, &done));
+  ex.run();
+  if (!done) std::abort();
+
+  auto reader = session->attach(1);
+  const TimePoint t0 = ex.now();
+  done = false;
+  co_spawn(ex, [](Handle* h, std::uint64_t n, bool* d) -> Task<void> {
+    KvsClient kvs(*h);
+    for (std::uint64_t i = 0; i < n; ++i)
+      (void)co_await kvs.get("m.d" + std::to_string(i / 128) + ".k" +
+                             std::to_string(i));
+    *d = true;
+  }(reader.get(), g, &done));
+  ex.run();
+  if (!done) std::abort();
+  return ex.now() - t0;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "§V-B model — max consumer latency ≈ log2(C) x T(G)",
+      "Ahn et al., ICPP'14, Section V-B scaling model",
+      "model prediction within a small factor of the simulated latency; "
+      "ratio stable across scales");
+
+  const std::uint32_t g = 16;  // objects per consumer
+  const Duration t_of_g = measure_t_of_g(g, 8);
+  std::printf("measured T(G=%u, 8B values) = %.1f us\n\n", g, us(t_of_g));
+
+  std::printf("%8s %8s %14s %14s %8s\n", "nodes", "C", "model(ms)",
+              "simulated(ms)", "ratio");
+  double ratio_min = 1e9, ratio_max = 0;
+  for (std::uint32_t nodes : node_grid()) {
+    kap::KapConfig cfg;
+    cfg.nnodes = nodes;
+    cfg.value_size = 8;
+    cfg.gets_per_consumer = g;
+    cfg.single_directory = false;  // bounded G, the model's regime
+    const kap::KapResult r = run(cfg);
+    const double consumers = static_cast<double>(nodes) * procs_per_node();
+    const double model_ms = std::log2(consumers) * ms(t_of_g);
+    const double sim_ms = ms(r.consumer.max);
+    const double ratio = sim_ms / model_ms;
+    ratio_min = std::min(ratio_min, ratio);
+    ratio_max = std::max(ratio_max, ratio);
+    std::printf("%8u %8.0f %14.3f %14.3f %8.2f\n", nodes, consumers, model_ms,
+                sim_ms, ratio);
+  }
+  std::printf("\nratio spread across scales: %.2f .. %.2f -> %s\n", ratio_min,
+              ratio_max,
+              (ratio_max / ratio_min < 4.0)
+                  ? "model tracks the simulation (stable ratio)"
+                  : "model diverges from the simulation");
+  std::printf("(the paper's own caveat applies: with a single directory, G "
+              "grows with scale and the model predicts linear growth — see "
+              "bench_fig4a)\n");
+  return 0;
+}

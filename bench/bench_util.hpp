@@ -1,0 +1,51 @@
+// Shared helpers for the paper-figure benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "kap/kap.hpp"
+
+namespace flux::bench {
+
+/// FLUX_BENCH_QUICK=1 trims the grids for smoke runs; the default grid is
+/// the paper's (§V-A: 64..512 nodes fully populated with 16 processes).
+inline bool quick_mode() {
+  const char* env = std::getenv("FLUX_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::vector<std::uint32_t> node_grid() {
+  if (quick_mode()) return {16, 32, 64};
+  return {64, 128, 256, 512};
+}
+
+inline std::vector<std::size_t> vsize_grid() {
+  if (quick_mode()) return {8, 512, 32768};
+  return {8, 32, 128, 512, 2048, 8192, 32768};
+}
+
+inline std::uint32_t procs_per_node() { return quick_mode() ? 4 : 16; }
+
+inline double ms(Duration d) { return static_cast<double>(d.count()) / 1e6; }
+inline double us(Duration d) { return static_cast<double>(d.count()) / 1e3; }
+
+inline void print_header(const char* title, const char* paper_ref,
+                         const char* expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Expected shape: %s\n", expectation);
+  if (quick_mode()) std::printf("(FLUX_BENCH_QUICK=1: reduced grid)\n");
+  std::printf("================================================================\n");
+}
+
+/// One KAP run with the benchmark defaults applied.
+inline kap::KapResult run(kap::KapConfig cfg) {
+  cfg.procs_per_node = procs_per_node();
+  return kap::run_kap(cfg);
+}
+
+}  // namespace flux::bench

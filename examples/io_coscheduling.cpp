@@ -1,0 +1,114 @@
+// Co-scheduling compute AND shared-filesystem bandwidth (paper §I):
+//
+//   "this paradigm cannot effectively schedule applications that utilize
+//    site-wide shared resources such as file systems. Without scheduling
+//    file I/O-intensive jobs to both compute resources and file systems,
+//    overlapping I/O bursts coming from only a handful of unrelated jobs
+//    can disrupt the entire center."
+//
+// The same checkpoint-heavy workload is scheduled twice over one cluster
+// whose parallel filesystem sustains 100 GB/s:
+//   (a) traditionally — the scheduler sees only nodes; I/O demands overlap
+//       unchecked, and we record the oversubscription of the filesystem;
+//   (b) with Flux's generalized resource model — jobs declare io_bw_gbs and
+//       the pool admits them only while aggregate demand fits.
+//
+//   $ ./io_coscheduling
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "exec/sim_executor.hpp"
+
+using namespace flux;
+
+namespace {
+
+struct IoJob {
+  std::int64_t nnodes;
+  double io_gbs;      // sustained checkpoint bandwidth demand
+  Duration walltime;
+};
+
+std::vector<IoJob> workload() {
+  std::vector<IoJob> jobs;
+  // A handful of checkpoint-heavy jobs plus many compute-bound ones.
+  for (int i = 0; i < 6; ++i)
+    jobs.push_back({8, 45.0, std::chrono::milliseconds(20)});
+  for (int i = 0; i < 20; ++i)
+    jobs.push_back({2, 2.0, std::chrono::milliseconds(8)});
+  return jobs;
+}
+
+struct Outcome {
+  double peak_io = 0;       // max aggregate demand seen (GB/s)
+  double makespan_ms = 0;
+  std::uint64_t completed = 0;
+};
+
+Outcome run(bool declare_io) {
+  SimExecutor ex;
+  // One cluster: 64 nodes, fs capacity 100 GB/s.
+  ResourceGraph graph =
+      ResourceGraph::build_center("center", 1, 4, 16, 16, 32, 350, 100);
+  FluxInstance cluster(ex, "cluster", graph, "firstfit");
+
+  // Track the *actual* aggregate I/O demand of running jobs, whether or not
+  // the scheduler knows about it.
+  double current_io = 0, peak_io = 0;
+  std::map<std::uint64_t, double> running_io;
+  std::map<std::uint64_t, double> declared_io;
+  cluster.scheduler().on_start([&](std::uint64_t id, const Allocation&) {
+    current_io += declared_io[id];
+    peak_io = std::max(peak_io, current_io);
+    running_io[id] = declared_io[id];
+  });
+  cluster.scheduler().on_end([&](std::uint64_t id) {
+    current_io -= running_io[id];
+    running_io.erase(id);
+  });
+
+  for (const IoJob& job : workload()) {
+    JobSpec spec = JobSpec::app("io", job.nnodes, job.walltime);
+    if (declare_io) spec.request.io_bw_gbs = job.io_gbs;  // Flux's model
+    auto id = cluster.submit(spec);
+    if (id) declared_io[*id] = job.io_gbs;
+  }
+  const TimePoint t0 = ex.now();
+  ex.run();
+  return Outcome{peak_io,
+                 static_cast<double>((ex.now() - t0).count()) / 1e6,
+                 cluster.tree_stats().jobs_completed};
+}
+
+}  // namespace
+
+int main() {
+  const double fs_capacity = 100.0;
+  const Outcome naive = run(/*declare_io=*/false);
+  const Outcome flux = run(/*declare_io=*/true);
+
+  std::printf("shared parallel filesystem capacity: %.0f GB/s\n\n",
+              fs_capacity);
+  std::printf("%-28s %14s %16s %10s\n", "scheduler", "peak I/O (GB/s)",
+              "oversubscribed", "makespan");
+  std::printf("%-28s %14.0f %15.1fx %8.1fms\n",
+              "traditional (nodes only)", naive.peak_io,
+              naive.peak_io / fs_capacity, naive.makespan_ms);
+  std::printf("%-28s %14.0f %15.1fx %8.1fms\n",
+              "flux (nodes + io bandwidth)", flux.peak_io,
+              flux.peak_io / fs_capacity, flux.makespan_ms);
+
+  const bool reproduced =
+      naive.peak_io > fs_capacity && flux.peak_io <= fs_capacity + 1e-9 &&
+      naive.completed == flux.completed;
+  std::printf(
+      "\n%s: the traditional scheduler lets I/O bursts overlap to %.1fx the "
+      "file system ('disrupt the entire center', §I); co-scheduling bounds "
+      "demand at %.0f%% of capacity, trading %.0f%% extra makespan.\n",
+      reproduced ? "REPRODUCED" : "UNEXPECTED",
+      naive.peak_io / fs_capacity, 100 * flux.peak_io / fs_capacity,
+      100 * (flux.makespan_ms / naive.makespan_ms - 1));
+  return reproduced ? 0 : 1;
+}

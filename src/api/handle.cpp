@@ -1,0 +1,85 @@
+#include "api/handle.hpp"
+
+#include <algorithm>
+
+namespace flux {
+
+Handle::Handle(Broker& broker) : broker_(broker) {
+  endpoint_ = broker_.add_endpoint([this](Message msg) { deliver(std::move(msg)); });
+}
+
+Handle::~Handle() { broker_.remove_endpoint(endpoint_); }
+
+Future<Message> Handle::rpc(std::string topic, Json payload, RpcOptions opts) {
+  Message req = Message::request(std::move(topic), std::move(payload));
+  req.nodeid = opts.nodeid;
+  req.data = std::move(opts.data);
+  if (opts.timeout.count() > 0)
+    return broker_.rpc(endpoint_, std::move(req), opts.timeout);
+  return broker_.rpc(endpoint_, std::move(req));
+}
+
+Task<Message> Handle::rpc_check(std::string topic, Json payload,
+                                RpcOptions opts) {
+  Message resp = co_await rpc(std::move(topic), std::move(payload), opts);
+  check(resp);
+  co_return resp;
+}
+
+void Handle::check(const Message& response) {
+  if (response.errnum == 0) return;
+  throw FluxException(Error(static_cast<Errc>(response.errnum),
+                            response.topic + ": " +
+                                response.payload.get_string("errmsg", "error")));
+}
+
+void Handle::publish(std::string topic, Json payload) {
+  Message ev = Message::event(std::move(topic), std::move(payload));
+  broker_.publish(std::move(ev));
+}
+
+std::uint64_t Handle::subscribe(std::string topic_prefix,
+                                std::function<void(const Message&)> fn) {
+  const std::uint64_t id = next_sub_++;
+  broker_.subscribe(endpoint_, topic_prefix);
+  subs_.push_back(Subscription{id, std::move(topic_prefix), std::move(fn)});
+  return id;
+}
+
+void Handle::unsubscribe(std::uint64_t subscription_id) {
+  auto it = std::find_if(subs_.begin(), subs_.end(), [&](const Subscription& s) {
+    return s.id == subscription_id;
+  });
+  if (it == subs_.end()) return;
+  broker_.unsubscribe(endpoint_, it->prefix);
+  subs_.erase(it);
+}
+
+void Handle::deliver(Message msg) {
+  if (!msg.is_event()) return;
+  // A handle may hold several subscriptions; dispatch to each matching one.
+  // Copy the list head-first so callbacks may (un)subscribe reentrantly.
+  const auto snapshot = subs_;
+  for (const auto& sub : snapshot)
+    if (Message::topic_matches(sub.prefix, msg.topic)) sub.fn(msg);
+}
+
+Task<void> Handle::barrier(std::string name, std::int64_t nprocs) {
+  // Payloads are built in separate statements throughout this codebase:
+  // gcc 12 miscompiles non-empty initializer-list temporaries appearing in
+  // the same statement as a co_await ("array used as initializer").
+  Json payload = Json::object({{"name", std::move(name)}, {"nprocs", nprocs}});
+  Message resp = co_await rpc("barrier.enter", std::move(payload));
+  check(resp);
+}
+
+Task<Json> Handle::ping(NodeId target) {
+  RpcOptions opts;
+  opts.nodeid = target;
+  Json payload = Json::object({{"from", rank()}});
+  Message resp = co_await rpc("cmb.ping", std::move(payload), opts);
+  check(resp);
+  co_return resp.payload;
+}
+
+}  // namespace flux

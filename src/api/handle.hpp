@@ -1,0 +1,96 @@
+// Client handle: a process's connection to its local CMB broker.
+//
+// In the paper's prototype, "external programs communicate with the CMB over
+// a UNIX domain socket"; here a Handle is an endpoint on its broker and every
+// submitted request crosses the node-local transport hop (so local operations
+// have realistic, size-dependent cost in simulation).
+//
+// The async API returns awaitable Futures/Tasks; client code is written as
+// coroutines spawned on the broker's executor. SyncHandle (sync_handle.hpp)
+// wraps this for blocking use from ordinary threads in threaded sessions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "exec/future.hpp"
+#include "exec/task.hpp"
+#include "msg/message.hpp"
+
+namespace flux {
+
+struct RpcOptions {
+  /// Destination: kNodeAny routes upstream on the tree; kNodeUpstream skips
+  /// the local broker's modules; a concrete rank rides the ring plane.
+  NodeId nodeid = kNodeAny;
+  /// Optional bulk data frame.
+  std::shared_ptr<const std::string> data;
+  /// Zero means no timeout.
+  Duration timeout{0};
+};
+
+class Handle {
+ public:
+  explicit Handle(Broker& broker);
+  ~Handle();
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+
+  [[nodiscard]] Broker& broker() noexcept { return broker_; }
+  [[nodiscard]] Executor& executor() noexcept { return broker_.executor(); }
+  [[nodiscard]] NodeId rank() const noexcept { return broker_.rank(); }
+  [[nodiscard]] std::uint32_t size() const noexcept { return broker_.size(); }
+  [[nodiscard]] std::uint64_t endpoint() const noexcept { return endpoint_; }
+
+  /// Issue a request; the future resolves with the raw response (which may
+  /// carry errnum != 0 — see check()).
+  Future<Message> rpc(std::string topic, Json payload = Json::object(),
+                      RpcOptions opts = {});
+
+  /// Await the response and throw FluxException if errnum != 0.
+  Task<Message> rpc_check(std::string topic, Json payload = Json::object(),
+                          RpcOptions opts = {});
+
+  /// Throw FluxException if the response carries an error.
+  static void check(const Message& response);
+
+  /// Publish an event into the session.
+  void publish(std::string topic, Json payload = Json::object());
+
+  /// Subscribe to an event topic prefix; returns a subscription id.
+  std::uint64_t subscribe(std::string topic_prefix,
+                          std::function<void(const Message&)> fn);
+  void unsubscribe(std::uint64_t subscription_id);
+
+  /// Collective barrier across `nprocs` participants session-wide
+  /// (paper Table I: the `barrier` comms module).
+  Task<void> barrier(std::string name, std::int64_t nprocs);
+
+  /// Ring-addressed ping of a specific broker rank (cmb.ping).
+  Task<Json> ping(NodeId rank);
+
+  /// Sleep on this handle's executor (virtual time under simulation).
+  [[nodiscard]] SleepAwaiter sleep(Duration d) {
+    return sleep_for(executor(), d);
+  }
+
+ private:
+  void deliver(Message msg);
+
+  struct Subscription {
+    std::uint64_t id;
+    std::string prefix;
+    std::function<void(const Message&)> fn;
+  };
+
+  Broker& broker_;
+  std::uint64_t endpoint_ = 0;
+  std::uint64_t next_sub_ = 1;
+  std::vector<Subscription> subs_;
+};
+
+}  // namespace flux

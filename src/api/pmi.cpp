@@ -1,0 +1,36 @@
+#include "api/pmi.hpp"
+
+namespace flux {
+
+Pmi::Pmi(Handle& h, std::string kvsname, int rank, int size)
+    : h_(h), kvs_(h), kvsname_(std::move(kvsname)), rank_(rank), size_(size) {}
+
+std::string Pmi::fence_name() {
+  return kvsname_ + "#pmi." + std::to_string(generation_++);
+}
+
+Task<void> Pmi::init() {
+  Json card = Json::object({{"broker_rank", h_.rank()}});
+  co_await kvs_.put(kvsname_ + ".proc." + std::to_string(rank_),
+                    std::move(card));
+  co_await kvs_.fence(fence_name(), size_);
+  initialized_ = true;
+}
+
+Task<void> Pmi::put(std::string key, std::string value) {
+  co_await kvs_.put(kvsname_ + ".kvs." + std::move(key), std::move(value));
+}
+
+Task<std::string> Pmi::get(std::string key) {
+  Json v = co_await kvs_.get(kvsname_ + ".kvs." + std::move(key));
+  co_return v.as_string();
+}
+
+Task<void> Pmi::barrier() { co_await kvs_.fence(fence_name(), size_); }
+
+Task<void> Pmi::finalize() {
+  co_await kvs_.fence(fence_name(), size_);
+  initialized_ = false;
+}
+
+}  // namespace flux

@@ -1,0 +1,53 @@
+// PMI-1-style process management interface over the Flux KVS + barrier.
+//
+// Paper §IV-A: "a custom PMI library allows MPI run-times to access the Flux
+// KVS and collective barrier modules over this transport." This is that
+// library: the put / barrier(=fence) / get exchange MPI implementations use
+// to trade business cards during bootstrap — also exactly the access pattern
+// KAP models (§V).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/handle.hpp"
+#include "kvs/kvs_client.hpp"
+
+namespace flux {
+
+class Pmi {
+ public:
+  /// One Pmi per process; `rank`/`size` are the *job's* process ranks (not
+  /// broker ranks). All processes of one job share `kvsname`.
+  Pmi(Handle& h, std::string kvsname, int rank, int size);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& kvsname() const noexcept { return kvsname_; }
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+  /// PMI_Init: announce ourselves and synchronize job start.
+  Task<void> init();
+  /// PMI_KVS_Put: stage a key under the job's KVS namespace.
+  Task<void> put(std::string key, std::string value);
+  /// PMI_KVS_Get: read a (committed) key from the job's namespace.
+  Task<std::string> get(std::string key);
+  /// PMI_Barrier: collective fence — after it returns, every put made by any
+  /// process before its barrier call is visible everywhere.
+  Task<void> barrier();
+  /// PMI_Finalize.
+  Task<void> finalize();
+
+ private:
+  [[nodiscard]] std::string fence_name();
+
+  Handle& h_;
+  KvsClient kvs_;
+  std::string kvsname_;
+  int rank_;
+  int size_;
+  int generation_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace flux

@@ -1,0 +1,60 @@
+// Blocking facade over the async Handle API for threaded sessions.
+//
+// Ordinary (non-reactor) threads — example main()s, the flux CLI — call
+// these methods; each call posts a coroutine onto the broker's reactor and
+// blocks on its future. Never call from a reactor thread (it would deadlock
+// waiting on itself); an assertion guards this in debug builds.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/handle.hpp"
+#include "broker/session.hpp"
+#include "kvs/kvs_client.hpp"
+
+namespace flux {
+
+class SyncHandle {
+ public:
+  /// Attach to the broker at `rank` (handle creation itself runs on the
+  /// broker's reactor).
+  SyncHandle(Session& session, NodeId rank);
+  ~SyncHandle();
+  SyncHandle(const SyncHandle&) = delete;
+  SyncHandle& operator=(const SyncHandle&) = delete;
+
+  [[nodiscard]] NodeId rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return session_.size(); }
+  /// The underlying async handle (only touch it from the reactor).
+  [[nodiscard]] Handle& async() noexcept { return *handle_; }
+
+  Message rpc(std::string topic, Json payload = Json::object(),
+              RpcOptions opts = {});
+  Json ping(NodeId target);
+  void barrier(std::string name, std::int64_t nprocs);
+  void publish(std::string topic, Json payload = Json::object());
+
+  // KVS convenience (mirrors KvsClient).
+  void kvs_put(std::string key, Json value);
+  void kvs_unlink(std::string key);
+  Json kvs_get(std::string key);
+  std::vector<std::string> kvs_list_dir(std::string key);
+  CommitResult kvs_commit();
+  CommitResult kvs_fence(std::string name, std::int64_t nprocs);
+  std::uint64_t kvs_get_version();
+  void kvs_wait_version(std::uint64_t version);
+
+ private:
+  /// Run a coroutine factory on the reactor; block for its result.
+  template <class T>
+  T run(std::function<Task<T>()> make);
+
+  Session& session_;
+  NodeId rank_;
+  std::unique_ptr<Handle> handle_;
+  std::unique_ptr<KvsClient> kvs_;
+};
+
+}  // namespace flux

@@ -1,0 +1,35 @@
+#include "base/error.hpp"
+
+namespace flux {
+
+std::string_view errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::Ok: return "OK";
+    case Errc::NoSys: return "ENOSYS";
+    case Errc::NoEnt: return "ENOENT";
+    case Errc::Exist: return "EEXIST";
+    case Errc::Inval: return "EINVAL";
+    case Errc::Proto: return "EPROTO";
+    case Errc::HostDown: return "EHOSTDOWN";
+    case Errc::TimedOut: return "ETIMEDOUT";
+    case Errc::NotDir: return "ENOTDIR";
+    case Errc::IsDir: return "EISDIR";
+    case Errc::Perm: return "EPERM";
+    case Errc::Again: return "EAGAIN";
+    case Errc::NoSpc: return "ENOSPC";
+    case Errc::Canceled: return "ECANCELED";
+    case Errc::Overflow: return "EOVERFLOW";
+  }
+  return "EUNKNOWN";
+}
+
+std::string Error::to_string() const {
+  std::string out{errc_name(code)};
+  if (!message.empty() && message != errc_name(code)) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace flux

@@ -1,0 +1,126 @@
+// Error model shared across all Flux subsystems.
+//
+// Flux distinguishes *expected* failures (routing misses, missing keys, dead
+// peers) from programming errors. Expected failures travel as `Errc` codes in
+// response messages and as the error arm of `Expected<T>`; programming errors
+// throw (and terminate tests loudly).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace flux {
+
+/// POSIX-flavoured error codes used in CMB response messages (the paper's
+/// prototype reuses errno values; so do we, with stable numeric values).
+enum class Errc : int {
+  Ok = 0,
+  NoSys = 38,        ///< ENOSYS: no module matched the request topic
+  NoEnt = 2,         ///< ENOENT: key/object/rank not found
+  Exist = 17,        ///< EEXIST: object already exists
+  Inval = 22,        ///< EINVAL: malformed request payload
+  Proto = 71,        ///< EPROTO: malformed wire message
+  HostDown = 112,    ///< EHOSTDOWN: peer declared dead by the live module
+  TimedOut = 110,    ///< ETIMEDOUT: rpc timeout expired
+  NotDir = 20,       ///< ENOTDIR: path component is not a directory
+  IsDir = 21,        ///< EISDIR: terminal path component is a directory
+  Perm = 1,          ///< EPERM: operation not permitted at this level
+  Again = 11,        ///< EAGAIN: resource temporarily unavailable
+  NoSpc = 28,        ///< ENOSPC: resource request cannot fit allocation bounds
+  Canceled = 125,    ///< ECANCELED: operation canceled (shutdown, job kill)
+  Overflow = 75,     ///< EOVERFLOW: version/sequence regression detected
+};
+
+/// Human-readable name for an error code ("ENOSYS", ...).
+std::string_view errc_name(Errc e) noexcept;
+
+/// An error: code plus free-form context message.
+struct Error {
+  Errc code = Errc::Ok;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+  explicit Error(Errc c) : code(c), message(std::string(errc_name(c))) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code == Errc::Ok; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Exception wrapper for the rare places where an Error must propagate as a
+/// C++ exception (coroutine results, SyncHandle).
+class FluxException : public std::runtime_error {
+ public:
+  explicit FluxException(Error e)
+      : std::runtime_error(e.to_string()), error_(std::move(e)) {}
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+};
+
+/// Minimal expected<T, Error> (std::expected is C++23; we target C++20).
+template <class T>
+class Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error err) : state_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    if (!has_value()) throw FluxException(error());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    if (!has_value()) throw FluxException(error());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!has_value()) throw FluxException(error());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(state_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// value_or for cheap defaults.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Expected<void> specialization stand-in.
+class Status {
+ public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool has_value() const noexcept { return error_.ok(); }
+  explicit operator bool() const noexcept { return has_value(); }
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+  void value() const {
+    if (!has_value()) throw FluxException(error_);
+  }
+
+ private:
+  Error error_;
+};
+
+}  // namespace flux

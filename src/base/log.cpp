@@ -1,0 +1,56 @@
+#include "base/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace flux::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+std::mutex g_sink_mu;
+Sink g_sink;  // empty => default stderr sink
+
+void default_sink(Level lvl, std::string_view component, std::string_view msg) {
+  std::fprintf(stderr, "[flux:%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(lvl).size()), level_name(lvl).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace
+
+std::string_view level_name(Level lvl) noexcept {
+  switch (lvl) {
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+
+void set_level(Level lvl) noexcept { g_level.store(static_cast<int>(lvl)); }
+Level level() noexcept { return static_cast<Level>(g_level.load()); }
+
+void set_sink(Sink sink) {
+  std::lock_guard lk(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
+void reset_sink() {
+  std::lock_guard lk(g_sink_mu);
+  g_sink = nullptr;
+}
+
+void emit(Level lvl, std::string_view component, std::string_view msg) {
+  if (lvl < level()) return;
+  std::lock_guard lk(g_sink_mu);
+  if (g_sink)
+    g_sink(lvl, component, msg);
+  else
+    default_sink(lvl, component, msg);
+}
+
+}  // namespace flux::log

@@ -1,0 +1,62 @@
+// Lightweight leveled logger for host-side diagnostics.
+//
+// This is the *library's* logger (stderr / test capture). The distributed,
+// tree-reduced log facility the paper describes is the `log` comms module in
+// src/modules/logmod.hpp; that module can use this sink at the session root.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace flux::log {
+
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+std::string_view level_name(Level lvl) noexcept;
+
+/// Global minimum level (default Warn so tests/benches stay quiet).
+void set_level(Level lvl) noexcept;
+Level level() noexcept;
+
+/// Replace the sink (default writes to stderr). Thread-safe.
+using Sink = std::function<void(Level, std::string_view component, std::string_view msg)>;
+void set_sink(Sink sink);
+void reset_sink();
+
+/// Emit one record if `lvl` passes the global threshold.
+void emit(Level lvl, std::string_view component, std::string_view msg);
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void debug(std::string_view component, Args&&... args) {
+  if (level() <= Level::Debug)
+    emit(Level::Debug, component, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void info(std::string_view component, Args&&... args) {
+  if (level() <= Level::Info)
+    emit(Level::Info, component, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void warn(std::string_view component, Args&&... args) {
+  if (level() <= Level::Warn)
+    emit(Level::Warn, component, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void error(std::string_view component, Args&&... args) {
+  if (level() <= Level::Error)
+    emit(Level::Error, component, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace flux::log

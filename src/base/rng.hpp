@@ -1,0 +1,41 @@
+// Deterministic random number generation for workloads and simulations.
+//
+// Every stochastic component takes an explicit seed so simulation runs are
+// reproducible bit-for-bit; we use splitmix64 for seeding and xoshiro256**
+// for the stream (fast, high-quality, no global state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flux {
+
+/// splitmix64 step — used to expand one seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Fill a string with `n` printable pseudo-random bytes (payload synthesis).
+  std::string bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace flux

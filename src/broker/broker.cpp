@@ -1,0 +1,414 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/log.hpp"
+#include "broker/session.hpp"
+#include "net/topology.hpp"
+
+namespace flux {
+
+Broker::Broker(Session& session, NodeId rank, Executor& ex)
+    : session_(session), rank_(rank), ex_(ex), topo_(session.topology()) {}
+
+Broker::~Broker() = default;
+
+std::uint32_t Broker::size() const noexcept { return session_.size(); }
+
+bool Broker::is_root() const noexcept { return rank_ == 0; }
+
+unsigned Broker::depth() const { return topology().depth(rank_); }
+
+std::optional<NodeId> Broker::parent() const {
+  return topology().parent(rank_);
+}
+
+std::vector<NodeId> Broker::children() const {
+  return topology().children(rank_);
+}
+
+const Topology& Broker::topology() const { return topo_; }
+
+Json Broker::module_config(std::string_view module_name) const {
+  return session_.config().module_config.at(module_name);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void Broker::add_module(std::unique_ptr<Module> m) {
+  Module* raw = m.get();
+  raw->set_endpoint_id(add_endpoint([](Message) {
+    // Module RPC responses resolve through pending_; nothing reaches here.
+  }));
+  modules_by_name_.insert_or_assign(std::string(raw->name()), raw);
+  modules_.push_back(std::move(m));
+}
+
+void Broker::start() {
+  for (auto& m : modules_) m->start();
+  // Leaf brokers kick off the hello wire-up reduction; interior brokers wait
+  // for all children (maybe_complete_hello fires as counts arrive).
+  maybe_complete_hello();
+}
+
+void Broker::shutdown() {
+  for (auto& m : modules_) m->shutdown();
+}
+
+Module* Broker::find_module(std::string_view service) noexcept {
+  auto it = modules_by_name_.find(service);
+  return it == modules_by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string_view> Broker::module_names() const {
+  std::vector<std::string_view> out;
+  out.reserve(modules_.size());
+  for (const auto& m : modules_) out.push_back(m->name());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+// ---------------------------------------------------------------------------
+
+std::uint64_t Broker::add_endpoint(EndpointFn deliver) {
+  const std::uint64_t id = next_endpoint_++;
+  endpoints_.emplace(id, Endpoint{std::move(deliver), {}});
+  return id;
+}
+
+void Broker::remove_endpoint(std::uint64_t id) { endpoints_.erase(id); }
+
+void Broker::subscribe(std::uint64_t endpoint, std::string topic_prefix) {
+  auto it = endpoints_.find(endpoint);
+  if (it != endpoints_.end())
+    it->second.subscriptions.push_back(std::move(topic_prefix));
+}
+
+void Broker::unsubscribe(std::uint64_t endpoint, std::string_view topic_prefix) {
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) return;
+  auto& subs = it->second.subscriptions;
+  subs.erase(std::remove(subs.begin(), subs.end(), topic_prefix), subs.end());
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+void Broker::receive(Message msg) {
+  if (failed_) return;
+  switch (msg.type) {
+    case MsgType::Request:
+      route_request(std::move(msg));
+      return;
+    case MsgType::Response:
+      route_response(std::move(msg));
+      return;
+    case MsgType::Event:
+      if (msg.seq == 0)
+        on_event_from_below(std::move(msg));
+      else
+        deliver_event(msg);
+      return;
+    case MsgType::Keepalive:
+      return;
+  }
+}
+
+Future<Message> Broker::rpc(std::uint64_t endpoint, Message req) {
+  Promise<Message> promise(ex_);
+  req.matchtag = next_matchtag_++;
+  req.route.push_back(RouteHop{RouteHop::Kind::Client, rank_, endpoint});
+  pending_.emplace(req.matchtag, promise);
+  // The node-local hop: client -> broker (the paper's UNIX-domain socket).
+  session_.send(rank_, rank_, std::move(req));
+  return promise.future();
+}
+
+Future<Message> Broker::rpc(std::uint64_t endpoint, Message req,
+                            Duration timeout) {
+  const std::string topic = req.topic;
+  auto fut = rpc(endpoint, std::move(req));
+  const std::uint32_t tag = next_matchtag_ - 1;
+  ex_.post_after(timeout, [this, tag, topic] {
+    auto it = pending_.find(tag);
+    if (it == pending_.end()) return;
+    it->second.set_error(Error(Errc::TimedOut, "rpc timeout: " + topic));
+    pending_.erase(it);
+  });
+  return fut;
+}
+
+void Broker::submit(std::uint64_t endpoint, Message req) {
+  req.route.push_back(RouteHop{RouteHop::Kind::Client, rank_, endpoint});
+  session_.send(rank_, rank_, std::move(req));
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+void Broker::route_request(Message msg) {
+  // Rank-addressed requests ride the ring plane (paper: debugging tools,
+  // "high latency of a ring is manageable").
+  if (msg.nodeid != kNodeAny && msg.nodeid != kNodeUpstream) {
+    if (msg.nodeid >= size()) {
+      respond(msg.respond_error(Errc::NoEnt, "no such rank"));
+      return;
+    }
+    if (msg.nodeid == rank_) {
+      if (msg.service() == "cmb") {
+        handle_cmb_request(std::move(msg));
+        return;
+      }
+      if (Module* m = find_module(msg.service())) {
+        dispatch_local(std::move(msg), *m);
+      } else {
+        respond(msg.respond_error(
+            Errc::NoSys, "rank has no module '" + std::string(msg.service()) + "'"));
+      }
+      return;
+    }
+    ++stats_.ring_forwarded;
+    send(topology().ring_next(rank_), std::move(msg));
+    return;
+  }
+
+  // Tree plane: first matching module wins; otherwise upstream.
+  const bool skip_local = (msg.nodeid == kNodeUpstream);
+  msg.nodeid = kNodeAny;
+  if (!skip_local) {
+    if (msg.service() == "cmb") {
+      handle_cmb_request(std::move(msg));
+      return;
+    }
+    if (Module* m = find_module(msg.service())) {
+      dispatch_local(std::move(msg), *m);
+      return;
+    }
+  }
+  const auto up = parent();
+  if (!up) {
+    respond(msg.respond_error(
+        Errc::NoSys, "no service matched '" + msg.topic + "'"));
+    return;
+  }
+  ++stats_.requests_forwarded;
+  msg.route.push_back(RouteHop{RouteHop::Kind::Broker, rank_, 0});
+  send(*up, std::move(msg));
+}
+
+void Broker::dispatch_local(Message msg, Module& m) {
+  ++stats_.requests_dispatched;
+  m.handle_request(std::move(msg));
+}
+
+void Broker::route_response(Message msg) {
+  ++stats_.responses_routed;
+  while (!msg.route.empty()) {
+    const RouteHop hop = msg.route.back();
+    if (hop.kind == RouteHop::Kind::Broker) {
+      msg.route.pop_back();
+      if (hop.rank == rank_) continue;  // self hop (shouldn't occur)
+      send(hop.rank, std::move(msg));
+      return;
+    }
+    // Client/Module endpoint hop.
+    if (hop.rank != rank_) {
+      // Ring-addressed request origin: ride the ring home.
+      send(topology().ring_next(rank_), std::move(msg));
+      return;
+    }
+    msg.route.pop_back();
+    auto pending = pending_.find(msg.matchtag);
+    if (pending != pending_.end()) {
+      auto promise = pending->second;
+      pending_.erase(pending);
+      promise.set_value(std::move(msg));
+    } else {
+      log::debug("broker", "rank ", rank_, ": dropped response tag ",
+                 msg.matchtag, " topic ", msg.topic);
+    }
+    return;
+  }
+  log::warn("broker", "rank ", rank_, ": response with empty route for topic ",
+            msg.topic);
+}
+
+void Broker::respond(Message resp) {
+  assert(resp.is_response());
+  route_response(std::move(resp));
+}
+
+void Broker::forward_upstream(Message req) {
+  const auto up = parent();
+  if (!up) {
+    // Either a module bug (forwarding from the root) or an orphaned broker
+    // whose parent link was healed away. Dropping is the resilient choice —
+    // a throw here would take the whole reactor down.
+    log::error("broker", "rank ", rank_,
+               ": forward_upstream with no parent, dropping ", req.topic);
+    return;
+  }
+  ++stats_.requests_forwarded;
+  req.nodeid = kNodeAny;
+  req.route.push_back(RouteHop{RouteHop::Kind::Broker, rank_, 0});
+  send(*up, std::move(req));
+}
+
+Future<Message> Broker::module_rpc(Module& m, Message req) {
+  Promise<Message> promise(ex_);
+  req.matchtag = next_matchtag_++;
+  req.route.push_back(
+      RouteHop{RouteHop::Kind::Module, rank_, m.endpoint_id()});
+  pending_.emplace(req.matchtag, promise);
+  // Module requests originate inside the broker: route directly, no local
+  // transport hop (comms modules share the CMB address space).
+  route_request(std::move(req));
+  return promise.future();
+}
+
+void Broker::module_subscribe(Module& m, std::string topic_prefix) {
+  module_subs_.emplace_back(std::move(topic_prefix), &m);
+}
+
+// ---------------------------------------------------------------------------
+// Event plane
+// ---------------------------------------------------------------------------
+
+void Broker::publish(Message ev) {
+  assert(ev.is_event());
+  ++stats_.events_published;
+  if (!is_root()) {
+    ev.seq = 0;  // unsequenced until the root stamps it
+    const auto up = parent();
+    send(*up, std::move(ev));
+    return;
+  }
+  ev.seq = next_event_seq_++;
+  deliver_event(ev);
+}
+
+void Broker::publish(std::string topic, Json payload) {
+  publish(Message::event(std::move(topic), std::move(payload)));
+}
+
+void Broker::on_event_from_below(Message msg) {
+  // An unsequenced event bubbling toward the root.
+  if (!is_root()) {
+    send(*parent(), std::move(msg));
+    return;
+  }
+  msg.seq = next_event_seq_++;
+  deliver_event(msg);
+}
+
+void Broker::deliver_event(const Message& msg) {
+  if (msg.seq <= last_event_seq_) return;  // duplicate suppression
+  last_event_seq_ = msg.seq;
+  ++stats_.events_delivered;
+  if (msg.topic == "cmb.online") online_ = true;
+  if (msg.topic == "live.down") {
+    // Self-heal BEFORE forwarding: re-parent the dead rank's children to
+    // its grandparent in this broker's topology replica, so the adopting
+    // parent forwards this very event (and everything after it) to the
+    // re-attached subtree. The computation is deterministic, so all
+    // replicas converge. A broker never heals around itself: a falsely-
+    // declared broker keeps its links and simply rejoins when hellos
+    // resume (full split-brain recovery is future work, matching the
+    // paper: "a design for comprehensive fault tolerance ... is a
+    // near-term project activity").
+    const auto dead = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    if (dead < size() && dead != 0 && dead != rank_ && topo_.parent(dead)) {
+      const auto moved = topo_.heal_around(dead);
+      if (!moved.empty())
+        log::info("broker", "rank ", rank_, ": healed around dead rank ", dead);
+    }
+  }
+  // Forward down the (possibly just-healed) tree first.
+  for (NodeId c : children()) send(c, msg);
+  // Local module subscribers.
+  for (auto& [prefix, mod] : module_subs_)
+    if (Message::topic_matches(prefix, msg.topic)) mod->handle_event(msg);
+  // Local client subscribers.
+  for (auto& [id, ep] : endpoints_) {
+    for (const auto& prefix : ep.subscriptions) {
+      if (Message::topic_matches(prefix, msg.topic)) {
+        ep.deliver(msg);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Broker-internal "cmb" service
+// ---------------------------------------------------------------------------
+
+void Broker::handle_cmb_request(Message msg) {
+  const auto method = msg.method();
+  if (method == "ping") {
+    Json payload = msg.payload;
+    payload["rank"] = rank_;
+    respond(msg.respond(std::move(payload)));
+    return;
+  }
+  if (method == "info") {
+    respond(msg.respond(Json::object({{"rank", rank_},
+                                      {"size", size()},
+                                      {"depth", depth()},
+                                      {"arity", topology().arity()},
+                                      {"online", online_}})));
+    return;
+  }
+  if (method == "hello") {
+    // Wire-up reduction: count descendants reporting in.
+    hello_count_ += static_cast<std::uint32_t>(msg.payload.get_int("count", 1));
+    maybe_complete_hello();
+    return;
+  }
+  if (method == "lsmod") {
+    Json mods = Json::array();
+    for (auto name : module_names()) mods.push_back(std::string(name));
+    respond(msg.respond(Json::object({{"rank", rank_}, {"modules", mods}})));
+    return;
+  }
+  respond(msg.respond_error(Errc::NoSys,
+                            "cmb has no method '" + std::string(method) + "'"));
+}
+
+void Broker::maybe_complete_hello() {
+  const std::uint32_t descendants =
+      static_cast<std::uint32_t>(topology().subtree(rank_).size()) - 1;
+  if (hello_sent_ || hello_count_ < descendants) return;
+  hello_sent_ = true;
+  if (is_root()) {
+    publish("cmb.online", Json::object({{"size", size()}}));
+    return;
+  }
+  Message hello = Message::request("cmb.hello");
+  hello.nodeid = *parent();
+  hello.payload["count"] = hello_count_ + 1;
+  // Direct tree hop: hello is consumed by the parent broker.
+  send(*parent(), std::move(hello));
+}
+
+// ---------------------------------------------------------------------------
+
+void Broker::send(NodeId to, Message msg) {
+  session_.send(rank_, to, std::move(msg));
+}
+
+void Broker::fail() {
+  failed_ = true;
+  // Settle outstanding local RPCs so client coroutines do not leak.
+  for (auto& [tag, promise] : pending_)
+    promise.set_error(Error(Errc::HostDown, "broker failed"));
+  pending_.clear();
+}
+
+}  // namespace flux

@@ -1,0 +1,166 @@
+// The Comms Message Broker (CMB).
+//
+// One Broker runs per (simulated or threaded) node of a comms session. It is
+// a pure reactor: all activity enters through receive()/submit() callbacks on
+// its executor. The broker implements the three overlay planes of Figure 1:
+//
+//  - request/response + reduction TREE: requests addressed to kNodeAny are
+//    dispatched to the first loaded module whose name matches the topic's
+//    leading component, else forwarded to the tree parent ("routed upstream
+//    ... to the first comms module that matches"). Each forwarding hop is
+//    pushed on the route stack; responses unwind it "through the same set of
+//    hops, in reverse".
+//  - EVENT plane: publish() forwards to the session root, which assigns a
+//    global sequence number and broadcasts down the tree; brokers deliver to
+//    local subscribers in sequence order.
+//  - RING plane: requests addressed to a concrete rank hop around the ring
+//    ("allows ranks to be trivially reached without routing tables");
+//    responses ride the ring back to the originating rank.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/module.hpp"
+#include "exec/executor.hpp"
+#include "exec/future.hpp"
+#include "msg/message.hpp"
+#include "net/topology.hpp"
+
+namespace flux {
+
+class Session;
+
+class Broker {
+ public:
+  Broker(Session& session, NodeId rank, Executor& ex);
+  ~Broker();
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // -- identity -------------------------------------------------------------
+  [[nodiscard]] NodeId rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint32_t size() const noexcept;
+  [[nodiscard]] bool is_root() const noexcept;
+  [[nodiscard]] unsigned depth() const;
+  [[nodiscard]] std::optional<NodeId> parent() const;
+  [[nodiscard]] std::vector<NodeId> children() const;
+  [[nodiscard]] Executor& executor() noexcept { return ex_; }
+  [[nodiscard]] Session& session() noexcept { return session_; }
+  [[nodiscard]] const Topology& topology() const;
+
+  /// Per-module configuration subtree from SessionConfig::module_config.
+  [[nodiscard]] Json module_config(std::string_view module_name) const;
+
+  // -- lifecycle --------------------------------------------------------------
+  void add_module(std::unique_ptr<Module> m);
+  void start();     ///< start modules, then begin hello wire-up reduction
+  void shutdown();  ///< stop modules
+  [[nodiscard]] Module* find_module(std::string_view service) noexcept;
+  [[nodiscard]] std::vector<std::string_view> module_names() const;
+
+  // -- endpoints (clients attach here; each module also gets one) -----------
+  using EndpointFn = std::function<void(Message)>;
+  std::uint64_t add_endpoint(EndpointFn deliver);
+  void remove_endpoint(std::uint64_t id);
+  void subscribe(std::uint64_t endpoint, std::string topic_prefix);
+  void unsubscribe(std::uint64_t endpoint, std::string_view topic_prefix);
+
+  // -- message entry points --------------------------------------------------
+  /// Transport delivery (posted on this broker's executor).
+  void receive(Message msg);
+  /// A local endpoint submits a request; the response resolves the future.
+  /// Travels through the node-local transport hop (models the UNIX-domain
+  /// socket clients use in the paper's prototype).
+  Future<Message> rpc(std::uint64_t endpoint, Message req);
+  /// rpc() with a deadline; resolves ETIMEDOUT if no response in time.
+  Future<Message> rpc(std::uint64_t endpoint, Message req, Duration timeout);
+  /// Submit a request expecting no response.
+  void submit(std::uint64_t endpoint, Message req);
+
+  // -- services for modules ---------------------------------------------------
+  /// Send a fully-built response on its way (unwinds the route stack).
+  void respond(Message resp);
+  /// Forward (an possibly rewritten/aggregated) request to the tree parent.
+  /// Must not be called on the root.
+  void forward_upstream(Message req);
+  /// Publish an event (sequenced by the session root, broadcast to all).
+  void publish(Message ev);
+  void publish(std::string topic, Json payload = Json::object());
+  /// Module-initiated RPC (routed like any request).
+  Future<Message> module_rpc(Module& m, Message req);
+  /// Subscribe a module to an event topic prefix.
+  void module_subscribe(Module& m, std::string topic_prefix);
+
+  // -- fault injection ---------------------------------------------------------
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  /// Stop participating: all subsequent receives are dropped.
+  void fail();
+
+  /// True once the session-wide hello reduction reached the root and the
+  /// "cmb.online" event came back down.
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
+  struct Stats {
+    std::uint64_t requests_dispatched = 0;
+    std::uint64_t requests_forwarded = 0;
+    std::uint64_t responses_routed = 0;
+    std::uint64_t events_published = 0;
+    std::uint64_t events_delivered = 0;
+    std::uint64_t ring_forwarded = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Endpoint {
+    EndpointFn deliver;
+    std::vector<std::string> subscriptions;
+  };
+
+  void route_request(Message msg);
+  void route_response(Message msg);
+  void dispatch_local(Message msg, Module& m);
+  void handle_cmb_request(Message msg);  ///< broker-internal "cmb.*" service
+  void on_event_from_below(Message msg);
+  void deliver_event(const Message& msg);
+  void send(NodeId to, Message msg);
+  void maybe_complete_hello();
+
+  Session& session_;
+  NodeId rank_;
+  Executor& ex_;
+  /// Broker-local replica of the overlay topology. Healing ("live.down"
+  /// events) mutates each replica on its own reactor, so threaded sessions
+  /// never share mutable topology state across threads.
+  Topology topo_;
+  bool failed_ = false;
+  bool online_ = false;
+
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::map<std::string, Module*, std::less<>> modules_by_name_;
+
+  std::uint64_t next_endpoint_ = 1;
+  std::map<std::uint64_t, Endpoint> endpoints_;
+  // Module event subscriptions: (prefix, module).
+  std::vector<std::pair<std::string, Module*>> module_subs_;
+
+  // Pending RPCs issued from this broker's endpoints/modules.
+  std::uint32_t next_matchtag_ = 1;
+  std::map<std::uint32_t, Promise<Message>> pending_;
+
+  // Event sequencing (root) and delivery ordering (all).
+  std::uint64_t next_event_seq_ = 1;
+  std::uint64_t last_event_seq_ = 0;
+
+  // Wire-up hello reduction state.
+  std::uint32_t hello_count_ = 0;  // descendants reported (excluding self)
+  bool hello_sent_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace flux

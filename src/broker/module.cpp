@@ -1,0 +1,28 @@
+#include "broker/module.hpp"
+
+#include "broker/broker.hpp"
+
+namespace flux {
+
+void ModuleBase::handle_request(Message msg) {
+  const auto method = msg.method();
+  auto it = handlers_.find(method);
+  if (it == handlers_.end()) {
+    respond_error(msg, Errc::NoSys,
+                  "module '" + std::string(name()) + "' has no method '" +
+                      std::string(method) + "'");
+    return;
+  }
+  it->second(msg);
+}
+
+void ModuleBase::respond_error(const Message& req, Errc code,
+                               std::string_view what) {
+  broker().respond(req.respond_error(code, what));
+}
+
+void ModuleBase::respond_ok(const Message& req, Json payload) {
+  broker().respond(req.respond(std::move(payload)));
+}
+
+}  // namespace flux

@@ -1,0 +1,81 @@
+// Comms module interface (paper §IV-A, Table I).
+//
+// Comms modules are "plugins which are loaded into the CMB address space and
+// pass messages over shared memory". A module owns a service name (the
+// leading topic component); requests whose topic matches are dispatched to it
+// on the broker where routing first finds the module loaded. Modules may be
+// loaded only up to a configurable tree depth "to tune [their] level of
+// distribution"; requests from deeper brokers route upstream transparently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "json/json.hpp"
+#include "msg/message.hpp"
+
+namespace flux {
+
+class Broker;
+
+class Module {
+ public:
+  explicit Module(Broker& broker) : broker_(broker) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Service name == leading topic component this module owns ("kvs").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once after every module of the broker is registered.
+  virtual void start() {}
+  /// Called at session teardown (before executors stop).
+  virtual void shutdown() {}
+
+  /// Dispatch a request addressed to this module.
+  virtual void handle_request(Message msg) = 0;
+  /// Deliver an event matching one of this module's subscriptions.
+  virtual void handle_event(const Message& msg) { (void)msg; }
+
+  /// Broker-assigned endpoint id for module-initiated RPCs.
+  [[nodiscard]] std::uint64_t endpoint_id() const noexcept { return endpoint_id_; }
+  void set_endpoint_id(std::uint64_t id) noexcept { endpoint_id_ = id; }
+
+ protected:
+  [[nodiscard]] Broker& broker() noexcept { return broker_; }
+  [[nodiscard]] const Broker& broker() const noexcept { return broker_; }
+
+ private:
+  Broker& broker_;
+  std::uint64_t endpoint_id_ = 0;
+};
+
+/// Convenience base: method-name handler table plus small helpers, the idiom
+/// every in-tree module uses.
+class ModuleBase : public Module {
+ public:
+  using Module::Module;
+
+  void handle_request(Message msg) override;
+
+ protected:
+  using Handler = std::function<void(Message&)>;
+
+  /// Register a handler for topic "<name>.<method>".
+  void on(std::string method, Handler h) {
+    handlers_.insert_or_assign(std::move(method), std::move(h));
+  }
+
+  /// Respond with {errmsg} + code.
+  void respond_error(const Message& req, Errc code, std::string_view what = {});
+  /// Respond with payload.
+  void respond_ok(const Message& req, Json payload = Json::object());
+
+ private:
+  std::map<std::string, Handler, std::less<>> handlers_;
+};
+
+}  // namespace flux

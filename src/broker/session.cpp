@@ -1,0 +1,151 @@
+#include "broker/session.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "api/handle.hpp"
+#include "base/log.hpp"
+#include "modules/barrier.hpp"
+#include "modules/group.hpp"
+#include "modules/hb.hpp"
+#include "modules/live.hpp"
+#include "modules/logmod.hpp"
+#include "modules/mon.hpp"
+#include "modules/resvc.hpp"
+#include "modules/wexec.hpp"
+#include "kvs/kvs_module.hpp"
+#include "msg/codec.hpp"
+
+namespace flux {
+
+std::unique_ptr<Module> make_module(std::string_view name, Broker& broker) {
+  if (name == "hb") return std::make_unique<modules::Heartbeat>(broker);
+  if (name == "live") return std::make_unique<modules::Live>(broker);
+  if (name == "log") return std::make_unique<modules::Log>(broker);
+  if (name == "mon") return std::make_unique<modules::Mon>(broker);
+  if (name == "group") return std::make_unique<modules::Group>(broker);
+  if (name == "barrier") return std::make_unique<modules::Barrier>(broker);
+  if (name == "kvs") return std::make_unique<KvsModule>(broker);
+  if (name == "wexec") return std::make_unique<modules::Wexec>(broker);
+  if (name == "resvc") return std::make_unique<modules::Resvc>(broker);
+  throw std::invalid_argument("unknown module: " + std::string(name));
+}
+
+Session::Session(SessionConfig cfg)
+    : cfg_(std::move(cfg)),
+      topo_(Topology::tree(cfg_.size, cfg_.tree_arity)) {}
+
+Session::~Session() {
+  for (auto& b : brokers_)
+    if (b && !b->failed()) b->shutdown();
+  for (auto& ex : thread_ex_) ex->stop();
+}
+
+bool Session::module_enabled_at(const std::string& name, NodeId rank) const {
+  auto it = cfg_.module_max_depth.find(name);
+  if (it == cfg_.module_max_depth.end()) return true;
+  return topo_.depth(rank) <= it->second;
+}
+
+void Session::build_brokers() {
+  brokers_.reserve(cfg_.size);
+  for (NodeId r = 0; r < cfg_.size; ++r) {
+    auto& ex = executor(r);
+    auto b = std::make_unique<Broker>(*this, r, ex);
+    for (const auto& name : cfg_.modules)
+      if (module_enabled_at(name, r)) b->add_module(make_module(name, *b));
+    brokers_.push_back(std::move(b));
+  }
+  for (NodeId r = 0; r < cfg_.size; ++r) {
+    Broker* b = brokers_[r].get();
+    executor(r).post([b] { b->start(); });
+  }
+}
+
+std::unique_ptr<Session> Session::create_sim(SimExecutor& ex, SessionConfig cfg) {
+  auto s = std::unique_ptr<Session>(new Session(std::move(cfg)));
+  s->sim_ex_ = &ex;
+  s->simnet_ = std::make_unique<SimNet>(ex, s->cfg_.net, s->cfg_.size);
+  s->simnet_->set_delivery([self = s.get()](NodeId to, Message msg) {
+    self->broker(to).receive(std::move(msg));
+  });
+  s->build_brokers();
+  return s;
+}
+
+std::unique_ptr<Session> Session::create_threaded(SessionConfig cfg) {
+  auto s = std::unique_ptr<Session>(new Session(std::move(cfg)));
+  s->thread_ex_.reserve(s->cfg_.size);
+  for (std::uint32_t r = 0; r < s->cfg_.size; ++r)
+    s->thread_ex_.push_back(std::make_unique<ThreadExecutor>());
+  s->build_brokers();
+  for (auto& ex : s->thread_ex_) ex->start();
+  return s;
+}
+
+Executor& Session::executor(NodeId rank) {
+  if (sim_ex_) return *sim_ex_;
+  return *thread_ex_.at(rank);
+}
+
+std::unique_ptr<Handle> Session::attach(NodeId rank) {
+  return std::make_unique<Handle>(broker(rank));
+}
+
+void Session::send(NodeId from, NodeId to, Message msg) {
+  if (simnet_) {
+    simnet_->send(from, to, std::move(msg));
+    return;
+  }
+  // Threaded transport: round-trip through the wire codec (serialization is
+  // exercised for real), then hand to the destination reactor.
+  Broker& src = broker(from);
+  Broker& dst = broker(to);
+  if (src.failed() || dst.failed()) return;
+  auto wire = encode(msg);
+  thread_ex_.at(to)->post([&dst, wire = std::move(wire)] {
+    auto decoded = decode(wire);
+    if (!decoded) {
+      log::error("session", "undecodable message dropped: ",
+                 decoded.error().to_string());
+      return;
+    }
+    dst.receive(std::move(decoded).value());
+  });
+}
+
+void Session::fail(NodeId rank) {
+  Broker* b = brokers_.at(rank).get();
+  executor(rank).post([b] { b->fail(); });
+  if (simnet_) simnet_->fail(rank);
+}
+
+void Session::heal_around(NodeId dead) { topo_.heal_around(dead); }
+
+bool Session::all_online() const {
+  for (const auto& b : brokers_)
+    if (!b->failed() && !b->online()) return false;
+  return true;
+}
+
+Duration Session::run_until_online() {
+  if (!sim_ex_) throw std::logic_error("run_until_online: sim sessions only");
+  const TimePoint start = sim_ex_->now();
+  while (!all_online()) {
+    if (!sim_ex_->run_one())
+      throw std::runtime_error("session wire-up stalled (simulator idle)");
+  }
+  return sim_ex_->now() - start;
+}
+
+bool Session::wait_online(Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(timeout);
+  while (!all_online()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace flux

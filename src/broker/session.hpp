@@ -1,0 +1,116 @@
+// A comms session: the set of CMB brokers wired into the three overlay
+// planes, plus the transport that connects them.
+//
+// Two factory modes share every line of broker/module/KVS logic:
+//  - create_sim: all brokers share one SimExecutor; messages travel through
+//    the SimNet latency/bandwidth model. Deterministic, scales to the
+//    paper's 512 nodes × 16 processes in one address space.
+//  - create_threaded: one reactor thread per broker; messages are encoded
+//    with the wire codec, handed to the destination thread, and decoded —
+//    real concurrency, real serialization.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "exec/sim_executor.hpp"
+#include "exec/thread_executor.hpp"
+#include "net/simnet.hpp"
+#include "net/topology.hpp"
+
+namespace flux {
+
+class Handle;
+
+struct SessionConfig {
+  std::uint32_t size = 1;
+  std::uint32_t tree_arity = 2;
+  NetParams net{};
+
+  /// Modules to load, by name. The default set is Table I of the paper.
+  std::vector<std::string> modules{"hb",  "live",    "log",   "mon", "group",
+                                   "barrier", "kvs", "wexec", "resvc"};
+
+  /// Per-module configuration: {"hb": {"period_us": 1000}, ...}.
+  Json module_config = Json::object();
+
+  /// Optional per-module maximum tree depth: a module is loaded only on
+  /// brokers with depth(rank) <= depth; deeper brokers route its requests
+  /// upstream ("loaded at a configurable tree depth to tune its level of
+  /// distribution or to conserve node resources", §IV-A).
+  std::map<std::string, unsigned, std::less<>> module_max_depth;
+
+  std::uint64_t seed = 1;
+};
+
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Build a simulated session. Brokers exist immediately; run the executor
+  /// (e.g. run_until_online()) to complete the wire-up reduction.
+  static std::unique_ptr<Session> create_sim(SimExecutor& ex, SessionConfig cfg);
+
+  /// Build a threaded session; brokers start immediately on their threads.
+  static std::unique_ptr<Session> create_threaded(SessionConfig cfg);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return cfg_.size; }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] bool threaded() const noexcept { return !thread_ex_.empty(); }
+
+  [[nodiscard]] Topology& topology() noexcept { return topo_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  [[nodiscard]] Broker& broker(NodeId rank) { return *brokers_.at(rank); }
+  [[nodiscard]] Executor& executor(NodeId rank);
+
+  /// SimNet when simulated, nullptr when threaded.
+  [[nodiscard]] SimNet* simnet() noexcept { return simnet_.get(); }
+
+  /// Attach a client handle to the broker at `rank` (the paper's UNIX-domain
+  /// socket connection).
+  std::unique_ptr<Handle> attach(NodeId rank);
+
+  /// Transport send (used by brokers). from==to is the node-local hop.
+  void send(NodeId from, NodeId to, Message msg);
+
+  /// Fault injection: broker stops processing; its traffic is dropped.
+  void fail(NodeId rank);
+  /// Heal the tree around a (failed) rank: its children re-parent to their
+  /// grandparent. Normally triggered by the live module's "live.down" event.
+  void heal_around(NodeId dead);
+
+  /// Sim only: run the executor until every live broker reports online.
+  /// Returns simulated wire-up duration. Throws if the sim goes idle first.
+  Duration run_until_online();
+
+  /// True when all live brokers are online.
+  [[nodiscard]] bool all_online() const;
+
+  /// Threaded only: block until all brokers are online (with timeout).
+  bool wait_online(Duration timeout = std::chrono::seconds(5));
+
+ private:
+  Session(SessionConfig cfg);
+  void build_brokers();
+  [[nodiscard]] bool module_enabled_at(const std::string& name, NodeId rank) const;
+
+  SessionConfig cfg_;
+  Topology topo_;
+  SimExecutor* sim_ex_ = nullptr;                  // sim mode
+  std::unique_ptr<SimNet> simnet_;                 // sim mode
+  std::vector<std::unique_ptr<ThreadExecutor>> thread_ex_;  // threaded mode
+  std::vector<std::unique_ptr<Broker>> brokers_;
+};
+
+/// Instantiate a module by Table-I name ("hb", "live", "log", "mon", "group",
+/// "barrier", "kvs", "wexec", "resvc"). Throws std::invalid_argument for
+/// unknown names.
+std::unique_ptr<Module> make_module(std::string_view name, Broker& broker);
+
+}  // namespace flux

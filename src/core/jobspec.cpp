@@ -1,0 +1,71 @@
+#include "core/jobspec.hpp"
+
+namespace flux {
+
+std::string_view job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Complete: return "complete";
+    case JobState::Canceled: return "canceled";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+Json JobSpec::to_json() const {
+  Json subs = Json::array();
+  for (const JobSpec& s : subjobs) subs.push_back(s.to_json());
+  return Json::object({{"name", name},
+                       {"type", type == JobType::App ? "app" : "instance"},
+                       {"request", request.to_json()},
+                       {"walltime_us", walltime.count() / 1000},
+                       {"priority", priority},
+                       {"malleable", malleable},
+                       {"child_policy", child_policy},
+                       {"child_power_budget_w", child_power_budget_w},
+                       {"subjobs", std::move(subs)}});
+}
+
+JobSpec JobSpec::from_json(const Json& j) {
+  JobSpec spec;
+  spec.name = j.get_string("name");
+  spec.type = j.get_string("type") == "instance" ? JobType::Instance
+                                                 : JobType::App;
+  spec.request = ResourceRequest::from_json(j.at("request"));
+  spec.walltime = std::chrono::microseconds(j.get_int("walltime_us", 1000));
+  spec.priority = static_cast<int>(j.get_int("priority", 0));
+  spec.malleable = j.get_bool("malleable", false);
+  spec.child_policy = j.get_string("child_policy", "fcfs");
+  spec.child_power_budget_w = j.get_double("child_power_budget_w", 0);
+  if (j.at("subjobs").is_array())
+    for (const Json& s : j.at("subjobs").as_array())
+      spec.subjobs.push_back(from_json(s));
+  return spec;
+}
+
+JobSpec JobSpec::app(std::string name, std::int64_t nnodes, Duration walltime,
+                     double power_w) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  spec.type = JobType::App;
+  spec.request.nnodes = nnodes;
+  spec.request.power_w = power_w;
+  spec.walltime = walltime;
+  return spec;
+}
+
+JobSpec JobSpec::instance(std::string name, std::int64_t nnodes,
+                          std::string policy, std::vector<JobSpec> subjobs) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  spec.type = JobType::Instance;
+  spec.request.nnodes = nnodes;
+  spec.child_policy = std::move(policy);
+  spec.subjobs = std::move(subjobs);
+  // Instance walltime is advisory (completion is child-quiescence driven).
+  spec.walltime = std::chrono::seconds(1);
+  return spec;
+}
+
+}  // namespace flux

@@ -1,0 +1,51 @@
+// Unified job model (paper §III).
+//
+// "Flux ... abstracts [a job] to an independent RJMS instance that can
+// either be used to run a single application or that can run its own job
+// management services, which then can recursively accept and schedule
+// (sub-)jobs." A JobSpec therefore describes either an App (leaf work) or an
+// Instance (a child Flux instance with its own policy and workload).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "resource/pool.hpp"
+
+namespace flux {
+
+enum class JobType { App, Instance };
+enum class JobState { Pending, Running, Complete, Canceled, Failed };
+
+std::string_view job_state_name(JobState s) noexcept;
+
+struct JobSpec {
+  std::string name;
+  JobType type = JobType::App;
+  ResourceRequest request;
+  Duration walltime{std::chrono::milliseconds(1)};
+  int priority = 0;
+  /// Malleable jobs accept grow/shrink of their allocation while running
+  /// (the paper's rigid vs moldable vs malleable distinction).
+  bool malleable = false;
+
+  // Instance jobs only:
+  std::string child_policy = "fcfs";  ///< scheduling specialization (§III)
+  std::vector<JobSpec> subjobs;       ///< the child instance's workload
+  /// Fraction of the parent allocation's power passed to the child
+  /// (parent bounding rule); <=0 means inherit request.power_w.
+  double child_power_budget_w = 0;
+
+  [[nodiscard]] Json to_json() const;
+  static JobSpec from_json(const Json& j);
+
+  /// Leaf application job.
+  static JobSpec app(std::string name, std::int64_t nnodes, Duration walltime,
+                     double power_w = 0);
+  /// Nested instance job running `subjobs` under `policy`.
+  static JobSpec instance(std::string name, std::int64_t nnodes,
+                          std::string policy, std::vector<JobSpec> subjobs);
+};
+
+}  // namespace flux

@@ -1,0 +1,6 @@
+#include "exec/executor.hpp"
+
+// Executor is header-only today; this TU anchors the vtable.
+namespace flux {
+static_assert(sizeof(Executor*) > 0);
+}  // namespace flux

@@ -1,0 +1,50 @@
+// Executor abstraction.
+//
+// Every Flux broker is a reactor: it only ever runs as callbacks posted to an
+// Executor. The same broker/module/KVS code therefore runs either under the
+// deterministic discrete-event simulator (SimExecutor — virtual time,
+// single-threaded, 8192-rank scale) or on real reactor threads
+// (ThreadExecutor — wall-clock time, one thread per broker).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace flux {
+
+/// Nanosecond durations everywhere; TimePoint is ns since session epoch.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;
+
+using namespace std::chrono_literals;  // NOLINT: pervasive in this codebase
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Run `fn` as soon as possible, in FIFO order w.r.t. other posts.
+  virtual void post(std::function<void()> fn) = 0;
+
+  /// Run `fn` at absolute time `when` (>= now(); earlier clamps to now).
+  virtual void post_at(TimePoint when, std::function<void()> fn) = 0;
+
+  /// Schedule background periodic work (e.g. heartbeat ticks). The simulator
+  /// overrides this so daemon work does not keep a run-until-idle loop alive;
+  /// wall-clock executors treat it like post_at.
+  virtual void post_daemon_at(TimePoint when, std::function<void()> fn) {
+    post_at(when, std::move(fn));
+  }
+
+  /// Current time on this executor's clock.
+  [[nodiscard]] virtual TimePoint now() const noexcept = 0;
+
+  void post_after(Duration delay, std::function<void()> fn) {
+    post_at(now() + delay, std::move(fn));
+  }
+  void post_daemon_after(Duration delay, std::function<void()> fn) {
+    post_daemon_at(now() + delay, std::move(fn));
+  }
+};
+
+}  // namespace flux

@@ -1,0 +1,129 @@
+// One-shot Promise/Future pair bridging callbacks and coroutines.
+//
+// RPC plumbing resolves a Promise when the response message arrives; the
+// awaiting coroutine is resumed via the executor captured at creation (so
+// resumption is always a posted reactor event — never a re-entrant call in
+// the middle of broker dispatch). Future<T> is also blocking-waitable from a
+// foreign thread, which is how SyncHandle exposes a synchronous API in
+// threaded sessions.
+#pragma once
+
+#include <condition_variable>
+#include <coroutine>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "base/error.hpp"
+#include "exec/executor.hpp"
+
+namespace flux {
+
+/// Empty result type for futures that only signal completion.
+struct Unit {};
+
+namespace detail {
+
+template <class T>
+struct FutureState {
+  explicit FutureState(Executor& ex) : executor(&ex) {}
+
+  Executor* executor;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::variant<std::monostate, T, Error> result;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  bool settled_locked() const noexcept { return result.index() != 0; }
+
+  void settle(std::variant<std::monostate, T, Error> value) {
+    std::vector<std::coroutine_handle<>> to_resume;
+    {
+      std::lock_guard lk(mu);
+      if (settled_locked()) return;  // first settle wins
+      result = std::move(value);
+      to_resume.swap(waiters);
+    }
+    cv.notify_all();
+    for (auto h : to_resume)
+      executor->post([h] { h.resume(); });
+  }
+};
+
+}  // namespace detail
+
+template <class T>
+class Future;
+
+/// Producer side. Copyable (multiple potential resolvers; first settle wins).
+template <class T>
+class Promise {
+ public:
+  explicit Promise(Executor& ex)
+      : state_(std::make_shared<detail::FutureState<T>>(ex)) {}
+
+  void set_value(T value) const { state_->settle(std::move(value)); }
+  void set_error(Error err) const { state_->settle(std::move(err)); }
+
+  [[nodiscard]] bool settled() const {
+    std::lock_guard lk(state_->mu);
+    return state_->settled_locked();
+  }
+
+  [[nodiscard]] Future<T> future() const { return Future<T>(state_); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Consumer side: awaitable (throws FluxException on error) and
+/// blocking-waitable from non-reactor threads.
+template <class T>
+class Future {
+ public:
+  bool await_ready() const noexcept {
+    std::lock_guard lk(state_->mu);
+    return state_->settled_locked();
+  }
+  bool await_suspend(std::coroutine_handle<> h) {
+    std::lock_guard lk(state_->mu);
+    if (state_->settled_locked()) return false;  // resume immediately
+    state_->waiters.push_back(h);                // many awaiters allowed
+    return true;
+  }
+  T await_resume() { return take(); }
+
+  /// Block the calling thread until settled (threaded sessions only; must
+  /// not be called from the reactor that resolves this future).
+  T wait() {
+    std::unique_lock lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->settled_locked(); });
+    lk.unlock();
+    return take();
+  }
+
+  [[nodiscard]] bool ready() const noexcept {
+    std::lock_guard lk(state_->mu);
+    return state_->settled_locked();
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+
+  // Copies (rather than moves) the result: a Future may have several
+  // awaiters (e.g. coalesced KVS object faults), each of which consumes it.
+  T take() {
+    std::lock_guard lk(state_->mu);
+    if (auto* err = std::get_if<Error>(&state_->result))
+      throw FluxException(*err);
+    return std::get<T>(state_->result);
+  }
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+}  // namespace flux

@@ -1,0 +1,53 @@
+#include "exec/sim_executor.hpp"
+
+#include <utility>
+
+namespace flux {
+
+void SimExecutor::post(std::function<void()> fn) {
+  queue_.push(Event{now_, next_seq_++, false, std::move(fn)});
+  ++normal_pending_;
+}
+
+void SimExecutor::post_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, false, std::move(fn)});
+  ++normal_pending_;
+}
+
+void SimExecutor::post_daemon_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, true, std::move(fn)});
+}
+
+bool SimExecutor::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via const_cast,
+  // which is safe because we pop immediately and never re-inspect the slot.
+  auto& slot = const_cast<Event&>(queue_.top());
+  auto fn = std::move(slot.fn);
+  now_ = slot.when;
+  if (!slot.daemon) --normal_pending_;
+  queue_.pop();
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::size_t SimExecutor::run() {
+  std::size_t n = 0;
+  while (!idle() && run_one()) ++n;
+  return n;
+}
+
+std::size_t SimExecutor::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    run_one();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace flux

@@ -1,0 +1,203 @@
+// C++20 coroutine task type used for all client-side Flux operations.
+//
+// `Task<T>` is lazy: it starts when awaited, and completion resumes the
+// awaiter by symmetric transfer. Detached work (KAP producers, simulated
+// wexec processes) is launched with `co_spawn(executor, task)`, which owns
+// the chain's lifetime and logs uncaught exceptions.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/log.hpp"
+#include "exec/executor.hpp"
+
+namespace flux {
+
+template <class T>
+class Task;
+
+namespace detail {
+
+template <class T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <class Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+  std::exception_ptr exception;
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning T. Move-only; owns its frame.
+template <class T>
+class Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <class U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    return std::move(*p.value);
+  }
+
+ private:
+  friend struct promise_type;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  friend struct promise_type;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+/// Self-destroying root coroutine used by co_spawn.
+struct Detached {
+  struct promise_type {
+    std::string name{"task"};
+    Detached get_return_object() {
+      return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& e) {
+        log::error("task", "uncaught exception in '", name, "': ", e.what());
+      } catch (...) {
+        log::error("task", "uncaught non-std exception in '", name, "'");
+      }
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+inline Detached detached_runner(Task<void> t) { co_await std::move(t); }
+
+}  // namespace detail
+
+/// Launch a detached task on `ex`. The coroutine chain owns itself; uncaught
+/// exceptions are logged, never propagated.
+inline void co_spawn(Executor& ex, Task<void> task, std::string name = "task") {
+  auto d = detail::detached_runner(std::move(task));
+  d.handle.promise().name = std::move(name);
+  ex.post([h = d.handle] { h.resume(); });
+}
+
+/// Awaitable that reschedules the coroutine onto `ex` after `delay`.
+class SleepAwaiter {
+ public:
+  SleepAwaiter(Executor& ex, Duration delay) : ex_(ex), delay_(delay) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    if (delay_.count() <= 0)
+      ex_.post([h] { h.resume(); });
+    else
+      ex_.post_after(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Executor& ex_;
+  Duration delay_;
+};
+
+/// co_await sleep_for(ex, 5ms): suspend for simulated/wall time.
+inline SleepAwaiter sleep_for(Executor& ex, Duration d) { return {ex, d}; }
+/// co_await yield_to(ex): reschedule to the back of the run queue.
+inline SleepAwaiter yield_to(Executor& ex) { return {ex, Duration{0}}; }
+
+}  // namespace flux

@@ -1,0 +1,95 @@
+#include "exec/thread_executor.hpp"
+
+#include "base/log.hpp"
+
+namespace flux {
+
+namespace {
+/// One process-wide epoch so every ThreadExecutor reports comparable times.
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace
+
+ThreadExecutor::ThreadExecutor() { (void)process_epoch(); }
+
+ThreadExecutor::~ThreadExecutor() { stop(); }
+
+TimePoint ThreadExecutor::now() const noexcept {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() -
+                                              process_epoch());
+}
+
+void ThreadExecutor::post(std::function<void()> fn) {
+  {
+    std::lock_guard lk(mu_);
+    ready_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadExecutor::post_at(TimePoint when, std::function<void()> fn) {
+  {
+    std::lock_guard lk(mu_);
+    timers_.push(Timed{when, next_seq_++, std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadExecutor::start() {
+  std::lock_guard lk(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ThreadExecutor::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lk(mu_);
+  started_ = false;
+}
+
+bool ThreadExecutor::in_loop_thread() const noexcept {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+void ThreadExecutor::loop() {
+  std::unique_lock lk(mu_);
+  while (true) {
+    // Promote due timers.
+    const TimePoint t = now();
+    while (!timers_.empty() && timers_.top().when <= t) {
+      ready_.push(std::move(const_cast<Timed&>(timers_.top()).fn));
+      timers_.pop();
+    }
+    if (!ready_.empty()) {
+      auto fn = std::move(ready_.front());
+      ready_.pop();
+      lk.unlock();
+      try {
+        fn();
+      } catch (const std::exception& e) {
+        log::error("exec", "uncaught exception in reactor: ", e.what());
+      }
+      lk.lock();
+      continue;
+    }
+    if (stopping_) return;
+    if (timers_.empty()) {
+      cv_.wait(lk);
+    } else {
+      const auto wake = process_epoch() + timers_.top().when;
+      cv_.wait_until(lk, wake);
+    }
+  }
+}
+
+}  // namespace flux

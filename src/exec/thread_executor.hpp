@@ -1,0 +1,60 @@
+// Wall-clock reactor executor: one event-loop thread.
+//
+// Threaded Flux sessions give each broker a ThreadExecutor, so brokers run
+// truly concurrently the way CMB daemons do on separate cluster nodes. All
+// ThreadExecutors share one epoch so cross-broker timestamps are comparable.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace flux {
+
+class ThreadExecutor final : public Executor {
+ public:
+  ThreadExecutor();
+  ~ThreadExecutor() override;
+  ThreadExecutor(const ThreadExecutor&) = delete;
+  ThreadExecutor& operator=(const ThreadExecutor&) = delete;
+
+  void post(std::function<void()> fn) override;
+  void post_at(TimePoint when, std::function<void()> fn) override;
+  [[nodiscard]] TimePoint now() const noexcept override;
+
+  /// Launch the loop thread. Idempotent.
+  void start();
+  /// Request stop, wake the loop, join. Pending timers are discarded;
+  /// already-due posts drain first.
+  void stop();
+
+  /// True when the calling thread is this executor's loop thread.
+  [[nodiscard]] bool in_loop_thread() const noexcept;
+
+ private:
+  struct Timed {
+    TimePoint when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timed& o) const noexcept {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  void loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> ready_;
+  std::priority_queue<Timed, std::vector<Timed>, std::greater<>> timers_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace flux

@@ -1,0 +1,139 @@
+#include "hash/sha1.hpp"
+
+#include <cstring>
+
+#include "base/hex.hpp"
+
+namespace flux {
+
+namespace {
+inline std::uint32_t rotl32(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+Sha1Stream::Sha1Stream() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+}
+
+void Sha1Stream::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i)
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1Stream::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Sha1Stream::update(std::string_view data) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Sha1 Sha1Stream::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t one = 0x80;
+  update(std::span<const std::uint8_t>(&one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i)
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - i * 8));
+  std::memcpy(buffer_.data() + 56, len_be, 8);
+  process_block(buffer_.data());
+  buffered_ = 0;
+
+  std::array<std::uint8_t, Sha1::kSize> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(i * 4)] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return Sha1(out);
+}
+
+Sha1 Sha1::of(std::span<const std::uint8_t> data) {
+  Sha1Stream s;
+  s.update(data);
+  return s.digest();
+}
+
+Sha1 Sha1::of(std::string_view data) {
+  Sha1Stream s;
+  s.update(data);
+  return s.digest();
+}
+
+std::optional<Sha1> Sha1::parse(std::string_view hex) {
+  auto bytes = hex_decode(hex);
+  if (!bytes || bytes->size() != kSize) return std::nullopt;
+  std::array<std::uint8_t, kSize> raw{};
+  std::memcpy(raw.data(), bytes->data(), kSize);
+  return Sha1(raw);
+}
+
+std::string Sha1::hex() const { return hex_encode(raw_); }
+
+std::string Sha1::short_hex() const { return hex().substr(0, 8); }
+
+}  // namespace flux

@@ -1,0 +1,131 @@
+// Minimal JSON value model, parser and serializer.
+//
+// Every CMB message carries a JSON payload frame (paper §IV-A) and every KVS
+// object is a JSON value (§IV-B), so this sits on the hot path. Design notes:
+//  - Objects keep keys sorted (std::map) so serialization is *canonical*:
+//    equal values serialize to equal bytes, which the content-addressed KVS
+//    relies on for SHA1 dedup.
+//  - Integers are kept distinct from doubles (resource counts, versions and
+//    sequence numbers must round-trip exactly).
+//  - Parser is a straightforward recursive-descent over UTF-8 bytes with a
+//    depth limit; errors carry byte offsets.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace flux {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json, std::less<>>;
+
+/// A JSON value. Cheap to move; copying deep-copies.
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}                 // NOLINT
+  Json(bool b) : value_(b) {}                               // NOLINT
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}     // NOLINT
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}    // NOLINT
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(unsigned long v);                                    // NOLINT
+  Json(unsigned long long v);                               // NOLINT
+  Json(double v) : value_(v) {}                             // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}           // NOLINT
+  Json(std::string_view s) : value_(std::string(s)) {}      // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}             // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}               // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}              // NOLINT
+
+  /// Build an array: Json::array({1, "two", 3.0}).
+  static Json array(std::initializer_list<Json> items = {});
+  /// Build an object: Json::object({{"k", 1}, {"v", "x"}}).
+  static Json object(
+      std::initializer_list<std::pair<const std::string, Json>> items = {});
+
+  [[nodiscard]] Type type() const noexcept;
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::Bool; }
+  [[nodiscard]] bool is_int() const noexcept { return type() == Type::Int; }
+  [[nodiscard]] bool is_double() const noexcept { return type() == Type::Double; }
+  [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const noexcept { return type() == Type::String; }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return type() == Type::Object; }
+
+  // Checked accessors; throw FluxException(EINVAL) on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  ///< accepts Int too
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] JsonArray& as_array();
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonObject& as_object();
+
+  // Convenience object access.
+  /// True if this is an object containing `key`.
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  /// Object lookup; returns a shared Null for missing keys (no insertion).
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Mutable object lookup with insertion (value must be an object or null;
+  /// null is promoted to an empty object).
+  Json& operator[](std::string_view key);
+
+  // Typed object getters with defaults — the idiom modules use to parse
+  // request payloads without boilerplate.
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t dflt = 0) const;
+  [[nodiscard]] std::string get_string(std::string_view key, std::string dflt = {}) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool dflt = false) const;
+  [[nodiscard]] double get_double(std::string_view key, double dflt = 0.0) const;
+
+  /// Array/string size, object member count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Append to an array (value must be array or null; null promotes).
+  void push_back(Json v);
+
+  /// Canonical serialization (sorted keys, no whitespace, shortest doubles).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty-printed serialization for diagnostics.
+  [[nodiscard]] std::string dump_pretty(int indent = 2) const;
+
+  /// Parse; returns Error{Proto} with a byte offset on malformed input.
+  static Expected<Json> parse(std::string_view text);
+
+  /// Deep structural equality (Int 1 != Double 1.0 by design).
+  friend bool operator==(const Json& a, const Json& b) noexcept;
+  friend bool operator!=(const Json& a, const Json& b) noexcept {
+    return !(a == b);
+  }
+
+  /// Serialized size without building the string (sim wire-size accounting).
+  [[nodiscard]] std::size_t dump_size() const;
+
+ private:
+  using Value = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                             std::string, JsonArray, JsonObject>;
+
+  void dump_to(std::string& out) const;
+  void dump_pretty_to(std::string& out, int indent, int depth) const;
+
+  Value value_;
+};
+
+/// Escape a string into a JSON string literal (with surrounding quotes).
+void json_escape_to(std::string& out, std::string_view s);
+
+}  // namespace flux

@@ -1,0 +1,94 @@
+// KAP — KVS Access Patterns tester (paper §V).
+//
+// "KAP allows a configurable number of producers to write key-value objects
+// into our KVS and a configurable number of consumers to read these objects
+// after ensuring the consistent KVS state."
+//
+// Four phases, exactly as §V describes:
+//   setup     — tester processes are launched onto the session's nodes
+//               (consecutive process ranks on consecutive nodes) and issue a
+//               collective barrier;
+//   producer  — each producer kvs_puts `puts_per_producer` objects of
+//               `value_size` bytes under unique keys (values unique or
+//               redundant across producers);
+//   sync      — every process participates in kvs_fence (or
+//               get_version/wait_version) to establish consistency;
+//   consumer  — each consumer kvs_gets `gets_per_consumer` distinct objects
+//               (strided access pattern).
+//
+// The driver runs on the discrete-event simulator and reports the paper's
+// metric: the MAXIMUM latency of each phase across processes ("this metric
+// represents the critical path of ... HPC process-management services").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "net/simnet.hpp"
+
+namespace flux::kap {
+
+struct KapConfig {
+  // Platform shape (paper: 64..512 nodes, 16 procs/node, binary tree).
+  std::uint32_t nnodes = 64;
+  std::uint32_t procs_per_node = 16;
+  std::uint32_t tree_arity = 2;
+  NetParams net{};
+
+  // Producer / consumer population. 0 means "all processes".
+  std::uint32_t nproducers = 0;
+  std::uint32_t nconsumers = 0;
+
+  // Workload parameters (§V-A).
+  std::size_t value_size = 8;            ///< bytes per value
+  std::uint32_t puts_per_producer = 1;   ///< objects each producer writes
+  std::uint32_t gets_per_consumer = 1;   ///< the paper's "access-N" (G)
+  bool redundant_values = false;         ///< identical values across producers
+  bool single_directory = true;          ///< Fig 4a vs 4b layout
+  std::uint32_t dir_fanout = 128;        ///< max objects per directory (4b)
+  /// Consumers collectively read the same G objects (§V-B model); object j
+  /// of the set has index (j * access_stride) % total. 0 means stride 1
+  /// (a contiguous block); larger strides spread the set across
+  /// directories — KAP's "different striding" access patterns.
+  std::uint32_t access_stride = 0;
+
+  enum class Sync { Fence, WaitVersion } sync = Sync::Fence;
+
+  std::uint64_t seed = 42;
+  std::uint64_t kvs_expiry_epochs = 0;   ///< 0 = no cache expiry during run
+};
+
+struct PhaseStats {
+  Duration max{0};
+  Duration mean{0};
+  Duration p50{0};
+  Duration p99{0};
+};
+
+struct KapResult {
+  Duration wireup{0};         ///< comms session establishment (Fig 1 metric)
+  PhaseStats producer;
+  PhaseStats sync;
+  PhaseStats consumer;
+  std::uint64_t total_objects = 0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t faults_issued = 0;   // summed over brokers
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t sim_events = 0;
+  double host_seconds = 0;           ///< wall-clock cost of the simulation
+};
+
+/// Total process count for a config.
+std::uint32_t total_procs(const KapConfig& cfg);
+
+/// The KVS key for object index `idx` under the configured layout.
+std::string object_key(const KapConfig& cfg, std::uint64_t idx);
+
+/// Run one KAP configuration to completion on a fresh simulated session.
+KapResult run_kap(const KapConfig& cfg);
+
+}  // namespace flux::kap

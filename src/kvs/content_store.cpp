@@ -1,0 +1,191 @@
+#include "kvs/content_store.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace flux {
+
+// ---------------------------------------------------------------------------
+// ContentStore
+// ---------------------------------------------------------------------------
+
+bool ContentStore::put(ObjPtr obj) {
+  assert(obj);
+  auto [it, inserted] = objects_.try_emplace(obj->id, std::move(obj));
+  if (inserted) bytes_ += it->second->size();
+  return inserted;
+}
+
+ObjPtr ContentStore::get(const Sha1& id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second;
+}
+
+bool ContentStore::contains(const Sha1& id) const {
+  return objects_.contains(id);
+}
+
+// ---------------------------------------------------------------------------
+// ObjectCache
+// ---------------------------------------------------------------------------
+
+void ObjectCache::put(ObjPtr obj, std::uint64_t epoch) {
+  assert(obj);
+  auto [it, inserted] = entries_.try_emplace(obj->id);
+  if (inserted) {
+    it->second.obj = std::move(obj);
+    bytes_ += it->second.obj->size();
+  }
+  it->second.last_used = epoch;
+}
+
+ObjPtr ObjectCache::get(const Sha1& id, std::uint64_t epoch) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.last_used = epoch;
+  return it->second.obj;
+}
+
+void ObjectCache::pin(const Sha1& id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) ++it->second.pins;
+}
+
+void ObjectCache::unpin(const Sha1& id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+std::size_t ObjectCache::expire(std::uint64_t epoch, std::uint64_t max_age) {
+  std::size_t evicted = 0;
+  const std::uint64_t cutoff = (epoch > max_age) ? epoch - max_age : 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.pins == 0 && it->second.last_used < cutoff) {
+      bytes_ -= it->second.obj->size();
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.evictions += evicted;
+  return evicted;
+}
+
+std::size_t ObjectCache::drop_all() {
+  std::size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.pins == 0) {
+      bytes_ -= it->second.obj->size();
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.evictions += evicted;
+  return evicted;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction apply (hash-tree update)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Mutable in-memory directory node materialized during an apply.
+struct MutNode {
+  // name -> either an untouched ref or a materialized child directory.
+  struct Slot {
+    Sha1 ref;                      // valid when child == nullptr
+    std::unique_ptr<MutNode> child;
+  };
+  std::map<std::string, Slot, std::less<>> entries;
+};
+
+/// Materialize the directory object at `ref` (empty node if ref is the
+/// empty-dir or missing semantics allow creation).
+std::unique_ptr<MutNode> load_dir(ContentStore& store, const Sha1& ref) {
+  auto node = std::make_unique<MutNode>();
+  ObjPtr obj = store.get(ref);
+  if (!obj)
+    throw std::runtime_error("kvs apply: dangling directory ref " + ref.hex());
+  if (!obj->is_dir())
+    throw std::runtime_error("kvs apply: ref is not a directory");
+  for (const auto& [name, refhex] : obj->entries()) {
+    auto parsed = Sha1::parse(refhex.as_string());
+    if (!parsed) throw std::runtime_error("kvs apply: bad ref in directory");
+    node->entries.emplace(name, MutNode::Slot{*parsed, nullptr});
+  }
+  return node;
+}
+
+/// Descend to the parent directory of the tuple's leaf. With `create`,
+/// missing intermediates (and values in the way) become directories; without
+/// it (unlink), the walk stops — returning nullptr — rather than disturb
+/// existing state (unlinking below a value/missing path is a no-op).
+MutNode* descend(ContentStore& store, MutNode* node,
+                 const std::vector<std::string>& path, bool create) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = node->entries.find(path[i]);
+    if (it == node->entries.end()) {
+      if (!create) return nullptr;
+      it = node->entries.emplace(path[i], MutNode::Slot{Sha1{}, nullptr}).first;
+    }
+    auto& slot = it->second;
+    if (!slot.child) {
+      ObjPtr existing =
+          (slot.ref == Sha1{}) ? nullptr : store.get(slot.ref);
+      if (existing && existing->is_dir()) {
+        slot.child = load_dir(store, slot.ref);
+      } else {
+        if (!create) return nullptr;  // a value (or nothing) blocks the path
+        slot.child = std::make_unique<MutNode>();
+      }
+    }
+    node = slot.child.get();
+  }
+  return node;
+}
+
+/// Serialize a mutated subtree bottom-up; returns the new ref.
+Sha1 freeze(ContentStore& store, MutNode& node) {
+  std::map<std::string, Sha1, std::less<>> entries;
+  for (auto& [name, slot] : node.entries) {
+    if (slot.child) slot.ref = freeze(store, *slot.child);
+    entries.emplace(name, slot.ref);
+  }
+  ObjPtr dir = make_dir_object(entries);
+  const Sha1 id = dir->id;
+  store.put(std::move(dir));
+  return id;
+}
+
+}  // namespace
+
+Sha1 apply_transaction(ContentStore& store, const Sha1& root_ref,
+                       const std::vector<Tuple>& tuples) {
+  auto root = load_dir(store, root_ref);
+  for (const Tuple& t : tuples) {
+    const auto path = split_key(t.key);
+    if (path.empty())
+      throw std::runtime_error("kvs apply: empty key in transaction");
+    MutNode* parent =
+        descend(store, root.get(), path, /*create=*/!t.is_unlink());
+    if (parent == nullptr) continue;  // unlink under a value/missing path
+    const std::string& leaf = path.back();
+    if (t.is_unlink()) {
+      parent->entries.erase(leaf);
+    } else {
+      parent->entries.insert_or_assign(leaf, MutNode::Slot{t.ref, nullptr});
+    }
+  }
+  return freeze(store, *root);
+}
+
+}  // namespace flux

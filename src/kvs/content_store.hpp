@@ -1,0 +1,83 @@
+// Content-addressed object storage: the master store and the slave caches.
+//
+// Paper §IV-B: the master (at the CMB tree root) is authoritative; slaves
+// keep caches of full objects, fault misses in from their tree parent, and
+// expire entries "after a period of disuse to save memory". Expiry is driven
+// by heartbeat epochs (the hb comms module), like everything periodic in a
+// comms session.
+//
+// Also includes the transaction-apply algorithm: the hash-tree update of the
+// paper's worked example (store new objects; rebuild directory objects
+// bottom-up; produce a new root reference).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kvs/treeobj.hpp"
+
+namespace flux {
+
+/// Authoritative object store (KVS master). Never evicts.
+class ContentStore {
+ public:
+  /// Insert (no-op if present). Returns true if newly stored.
+  bool put(ObjPtr obj);
+  [[nodiscard]] ObjPtr get(const Sha1& id) const;
+  [[nodiscard]] bool contains(const Sha1& id) const;
+  [[nodiscard]] std::size_t count() const noexcept { return objects_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::unordered_map<Sha1, ObjPtr> objects_;
+  std::size_t bytes_ = 0;
+};
+
+/// Slave object cache with epoch-based disuse expiry.
+class ObjectCache {
+ public:
+  /// Insert/update; records `epoch` as last use.
+  void put(ObjPtr obj, std::uint64_t epoch);
+  /// Lookup; a hit refreshes last use to `epoch`.
+  [[nodiscard]] ObjPtr get(const Sha1& id, std::uint64_t epoch);
+  /// Pin/unpin: pinned entries (dirty, un-flushed) are never expired.
+  void pin(const Sha1& id);
+  void unpin(const Sha1& id);
+  /// Drop entries unused since `epoch - max_age`. Returns evicted count.
+  std::size_t expire(std::uint64_t epoch, std::uint64_t max_age);
+  /// Drop every unpinned entry (benchmarks force cold caches with this).
+  std::size_t drop_all();
+  [[nodiscard]] std::size_t count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    ObjPtr obj;
+    std::uint64_t last_used = 0;
+    int pins = 0;
+  };
+  std::unordered_map<Sha1, Entry> entries_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+/// Apply commit tuples to the hash tree rooted at `root_ref`, reading from
+/// and writing new (directory) objects into `store`. Returns the new root
+/// reference — the paper's §IV-B update walk, batched so a fence of N tuples
+/// rebuilds each touched directory once.
+///
+/// Semantics: missing intermediate directories are created; an intermediate
+/// component holding a value is replaced by a directory; unlink tombstones
+/// remove entries (unlink of a missing key is a no-op).
+Sha1 apply_transaction(ContentStore& store, const Sha1& root_ref,
+                       const std::vector<Tuple>& tuples);
+
+}  // namespace flux

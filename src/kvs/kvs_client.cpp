@@ -1,0 +1,163 @@
+#include "kvs/kvs_client.hpp"
+
+#include <algorithm>
+
+#include "base/log.hpp"
+
+namespace flux {
+
+KvsClient::~KvsClient() {
+  if (setroot_sub_ != 0) h_.unsubscribe(setroot_sub_);
+}
+
+Task<void> KvsClient::put(std::string key, Json value) {
+  ObjPtr obj = make_val_object(std::move(value));
+  RpcOptions opts;
+  opts.data = std::shared_ptr<const std::string>(obj, &obj->bytes);
+  Json payload = Json::object({{"key", std::move(key)}});
+  Message resp = co_await h_.rpc("kvs.put", std::move(payload), std::move(opts));
+  Handle::check(resp);
+}
+
+Task<void> KvsClient::unlink(std::string key) {
+  Json payload = Json::object({{"key", std::move(key)}});
+  Message resp = co_await h_.rpc("kvs.unlink", std::move(payload));
+  Handle::check(resp);
+}
+
+Task<void> KvsClient::mkdir(std::string key) {
+  Json payload = Json::object({{"key", std::move(key)}});
+  Message resp = co_await h_.rpc("kvs.mkdir", std::move(payload));
+  Handle::check(resp);
+}
+
+Task<CommitResult> KvsClient::commit() {
+  Message resp = co_await h_.rpc("kvs.commit");
+  Handle::check(resp);
+  co_return CommitResult{
+      static_cast<std::uint64_t>(resp.payload.get_int("version")),
+      resp.payload.get_string("rootref")};
+}
+
+Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs) {
+  Json payload = Json::object({{"name", std::move(name)}, {"nprocs", nprocs}});
+  Message resp = co_await h_.rpc("kvs.fence", std::move(payload));
+  Handle::check(resp);
+  co_return CommitResult{
+      static_cast<std::uint64_t>(resp.payload.get_int("version")),
+      resp.payload.get_string("rootref")};
+}
+
+Task<Json> KvsClient::get(std::string key) {
+  Json payload = Json::object({{"key", std::move(key)}});
+  Message resp = co_await h_.rpc("kvs.get", std::move(payload));
+  Handle::check(resp);
+  if (!resp.data)
+    throw FluxException(Error(Errc::Proto, "kvs.get: response without data"));
+  ObjPtr obj = parse_object(*resp.data);
+  if (!obj || !obj->is_val())
+    throw FluxException(Error(Errc::Proto, "kvs.get: malformed value object"));
+  co_return obj->value();
+}
+
+Task<std::vector<std::string>> KvsClient::list_dir(std::string key) {
+  Json payload = Json::object({{"key", std::move(key)}, {"dir", true}});
+  Message resp = co_await h_.rpc("kvs.get", std::move(payload));
+  Handle::check(resp);
+  std::vector<std::string> names;
+  for (const Json& n : resp.payload.at("entries").as_array())
+    names.push_back(n.as_string());
+  std::sort(names.begin(), names.end());
+  co_return names;
+}
+
+Task<std::string> KvsClient::lookup_ref(std::string key) {
+  Json payload = Json::object({{"key", std::move(key)}});
+  Message resp = co_await h_.rpc("kvs.lookup_ref", std::move(payload));
+  Handle::check(resp);
+  co_return resp.payload.get_string("ref");
+}
+
+Task<std::uint64_t> KvsClient::get_version() {
+  Message resp = co_await h_.rpc("kvs.get_version");
+  Handle::check(resp);
+  co_return static_cast<std::uint64_t>(resp.payload.get_int("version"));
+}
+
+Task<void> KvsClient::wait_version(std::uint64_t version) {
+  Json payload = Json::object({{"version", version}});
+  Message resp = co_await h_.rpc("kvs.wait_version", std::move(payload));
+  Handle::check(resp);
+}
+
+// ---------------------------------------------------------------------------
+// Watch
+// ---------------------------------------------------------------------------
+
+std::uint64_t KvsClient::watch(std::string key, WatchFn cb) {
+  if (setroot_sub_ == 0) {
+    setroot_sub_ = h_.subscribe("kvs.setroot",
+                                [this](const Message&) { on_setroot(); });
+  }
+  auto w = std::make_unique<Watch>();
+  w->id = next_watch_++;
+  w->key = std::move(key);
+  w->fn = std::move(cb);
+  Watch* raw = w.get();
+  watches_.push_back(std::move(w));
+  co_spawn(h_.executor(), refresh_watch(raw), "kvs.watch");
+  return raw->id;
+}
+
+void KvsClient::unwatch(std::uint64_t id) {
+  std::erase_if(watches_,
+                [id](const std::unique_ptr<Watch>& w) { return w->id == id; });
+}
+
+void KvsClient::on_setroot() {
+  for (auto& w : watches_)
+    if (!w->in_flight) co_spawn(h_.executor(), refresh_watch(w.get()), "kvs.watch");
+}
+
+Task<void> KvsClient::refresh_watch(Watch* w) {
+  const std::uint64_t id = w->id;
+  w->in_flight = true;
+  std::optional<std::string> ref;
+  try {
+    ref = co_await lookup_ref(w->key);
+  } catch (const FluxException& e) {
+    if (e.error().code != Errc::NoEnt) throw;
+    ref = std::nullopt;  // key (currently) absent
+  }
+  // The watch may have been cancelled while the lookup was in flight.
+  auto it = std::find_if(watches_.begin(), watches_.end(),
+                         [id](const auto& p) { return p->id == id; });
+  if (it == watches_.end()) co_return;
+  w = it->get();
+  w->in_flight = false;
+
+  const bool changed = !w->first_fired || ref != w->last_ref;
+  w->first_fired = true;
+  w->last_ref = ref;
+  if (!changed) co_return;
+
+  if (!ref) {
+    w->fn(std::nullopt);
+    co_return;
+  }
+  std::optional<Json> value;
+  try {
+    value = co_await get(w->key);
+  } catch (const FluxException&) {
+    // Directory or raced-away key: report existence without a value.
+    value = Json();
+  }
+  // Re-validate after the second await.
+  if (std::find_if(watches_.begin(), watches_.end(),
+                   [id](const auto& p) { return p->id == id; }) ==
+      watches_.end())
+    co_return;
+  w->fn(value);
+}
+
+}  // namespace flux

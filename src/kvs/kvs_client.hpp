@@ -1,0 +1,91 @@
+// Client-side KVS API (the kvs_* functions of paper §IV-B).
+//
+//   kvs_put(key,val)      -> KvsClient::put        (async, write-back)
+//   kvs_commit()          -> KvsClient::commit     (synchronous flush)
+//   kvs_fence(name,n)     -> KvsClient::fence      (collective commit)
+//   kvs_get(key)          -> KvsClient::get
+//   kvs_get_version()     -> KvsClient::get_version
+//   kvs_wait_version(v)   -> KvsClient::wait_version
+//   kvs_watch(key,cb)     -> KvsClient::watch      (per-root-update compare)
+//
+// A KvsClient holds no transaction state itself: puts accumulate in the
+// local kvs module keyed by this client's endpoint ("cached locally pending
+// commit"), so fence semantics are per-process exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/handle.hpp"
+#include "kvs/treeobj.hpp"
+
+namespace flux {
+
+struct CommitResult {
+  std::uint64_t version = 0;
+  std::string rootref;
+};
+
+class KvsClient {
+ public:
+  explicit KvsClient(Handle& h) : h_(h) {}
+  ~KvsClient();
+  KvsClient(const KvsClient&) = delete;
+  KvsClient& operator=(const KvsClient&) = delete;
+
+  /// Write-back put: the value object lands in the local cache; visibility
+  /// requires commit()/fence().
+  Task<void> put(std::string key, Json value);
+  /// Remove a key (takes effect at commit).
+  Task<void> unlink(std::string key);
+  /// Create an (empty) directory (takes effect at commit).
+  Task<void> mkdir(std::string key);
+
+  /// Flush this process's puts and wait for the new root to be applied
+  /// locally (read-your-writes).
+  Task<CommitResult> commit();
+  /// Collective commit across `nprocs` processes using fence `name`.
+  Task<CommitResult> fence(std::string name, std::int64_t nprocs);
+
+  /// Committed-state read; throws FluxException(ENOENT/EISDIR/...) on error.
+  Task<Json> get(std::string key);
+  /// Read a directory: returns sorted entry names.
+  Task<std::vector<std::string>> list_dir(std::string key);
+  /// Resolve a key to its content address without fetching the object.
+  Task<std::string> lookup_ref(std::string key);
+
+  Task<std::uint64_t> get_version();
+  Task<void> wait_version(std::uint64_t version);
+
+  /// Watch a key: `cb` fires once with the current value (nullopt if the key
+  /// does not exist), then again on every root update that changes it
+  /// (paper: "internally performing a get ... in response to each root
+  /// update, comparing the new and old values"). Directory keys change when
+  /// anything beneath them changes — the hash-tree property.
+  using WatchFn = std::function<void(const std::optional<Json>&)>;
+  std::uint64_t watch(std::string key, WatchFn cb);
+  void unwatch(std::uint64_t id);
+
+ private:
+  struct Watch {
+    std::uint64_t id;
+    std::string key;
+    WatchFn fn;
+    std::optional<std::string> last_ref;  // nullopt until first lookup
+    bool first_fired = false;
+    bool in_flight = false;
+  };
+
+  Task<void> refresh_watch(Watch* w);
+  void on_setroot();
+
+  Handle& h_;
+  std::uint64_t next_watch_ = 1;
+  std::vector<std::unique_ptr<Watch>> watches_;
+  std::uint64_t setroot_sub_ = 0;
+};
+
+}  // namespace flux

@@ -1,0 +1,541 @@
+#include "kvs/kvs_module.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/log.hpp"
+#include "broker/broker.hpp"
+
+namespace flux {
+
+namespace {
+/// Data frame aliasing an object's serialized bytes (zero-copy).
+std::shared_ptr<const std::string> object_frame(const ObjPtr& obj) {
+  return {obj, &obj->bytes};
+}
+}  // namespace
+
+KvsModule::KvsModule(Broker& b) : ModuleBase(b) {
+  ObjectBundle::register_codec();
+
+  on("put", [this](Message& m) { op_put(m); });
+  on("unlink", [this](Message& m) { op_unlink(m); });
+  on("mkdir", [this](Message& m) { op_mkdir(m); });
+  on("get", [this](Message& m) { op_get(m); });
+  on("lookup_ref", [this](Message& m) { op_lookup_ref(m); });
+  on("get_version", [this](Message& m) { op_get_version(m); });
+  on("wait_version", [this](Message& m) { op_wait_version(m); });
+  on("commit", [this](Message& m) { op_commit(m); });
+  on("fence", [this](Message& m) { op_fence(m); });
+  on("flush", [this](Message& m) { op_flush(m); });
+  on("fault", [this](Message& m) { op_fault(m); });
+  on("stats", [this](Message& m) { op_stats(m); });
+  on("drop_cache", [this](Message& m) { op_drop_cache(m); });
+
+  broker().module_subscribe(*this, "kvs.setroot");
+  broker().module_subscribe(*this, "hb");
+}
+
+bool KvsModule::is_master() const noexcept { return broker().is_root(); }
+
+void KvsModule::start() {
+  const Json cfg = broker().module_config("kvs");
+  expiry_epochs_ =
+      static_cast<std::uint64_t>(cfg.get_int("expiry_epochs", 0));
+  if (is_master()) {
+    // Bootstrap: version 1 is the empty root directory.
+    ObjPtr empty = empty_dir_object();
+    root_ref_ = empty->id;
+    store_.put(std::move(empty));
+    root_version_ = 1;
+    broker().publish("kvs.setroot",
+                     Json::object({{"version", root_version_},
+                                   {"rootref", root_ref_.hex()},
+                                   {"fences", Json::array()}}));
+  }
+}
+
+void KvsModule::handle_event(const Message& msg) {
+  if (msg.topic == "hb") {
+    epoch_ = static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0));
+    if (expiry_epochs_ > 0 && !is_master())
+      cache_.expire(epoch_, expiry_epochs_);
+    return;
+  }
+  if (msg.topic == "kvs.setroot") {
+    const auto version =
+        static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
+    const auto ref = Sha1::parse(msg.payload.get_string("rootref"));
+    if (!ref) {
+      log::error("kvs", "setroot event with bad rootref");
+      return;
+    }
+    std::vector<std::string> fences;
+    if (msg.payload.at("fences").is_array())
+      for (const Json& f : msg.payload.at("fences").as_array())
+        if (f.is_string()) fences.push_back(f.as_string());
+    apply_root(*ref, version, fences);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions (put / unlink / mkdir)
+// ---------------------------------------------------------------------------
+
+KvsModule::TxnKey KvsModule::txn_key(const Message& msg) {
+  if (msg.route.empty()) return {kNodeAny, 0};
+  const RouteHop& origin = msg.route.front();
+  return {origin.rank, origin.id};
+}
+
+void KvsModule::record(Message& msg, std::string key, ObjPtr obj) {
+  Txn& txn = txns_[txn_key(msg)];
+  txn.tuples.push_back(Tuple{std::move(key), obj->id});
+  if (is_master()) {
+    store_.put(obj);
+  } else {
+    cache_.put(obj, epoch_);
+    cache_.pin(obj->id);
+  }
+  txn.objects.push_back(std::move(obj));
+}
+
+void KvsModule::op_put(Message& msg) {
+  ++ops_.puts;
+  const std::string key = msg.payload.get_string("key");
+  if (key.empty() || split_key(key).empty()) {
+    respond_error(msg, Errc::Inval, "put: empty key");
+    return;
+  }
+  ObjPtr obj;
+  if (msg.data) {
+    obj = parse_object(*msg.data);
+    if (!obj || !obj->is_val()) {
+      respond_error(msg, Errc::Inval, "put: malformed value object");
+      return;
+    }
+  } else {
+    obj = make_val_object(msg.payload.at("value"));
+  }
+  const std::string ref = obj->id.hex();
+  record(msg, key, std::move(obj));
+  respond_ok(msg, Json::object({{"ref", ref}}));
+}
+
+void KvsModule::op_unlink(Message& msg) {
+  const std::string key = msg.payload.get_string("key");
+  if (key.empty() || split_key(key).empty()) {
+    respond_error(msg, Errc::Inval, "unlink: empty key");
+    return;
+  }
+  txns_[txn_key(msg)].tuples.push_back(Tuple{key, Sha1{}});
+  respond_ok(msg);
+}
+
+void KvsModule::op_mkdir(Message& msg) {
+  const std::string key = msg.payload.get_string("key");
+  if (key.empty() || split_key(key).empty()) {
+    respond_error(msg, Errc::Inval, "mkdir: empty key");
+    return;
+  }
+  record(msg, key, empty_dir_object());
+  respond_ok(msg);
+}
+
+// ---------------------------------------------------------------------------
+// Commit / fence / flush
+// ---------------------------------------------------------------------------
+
+void KvsModule::op_commit(Message& msg) {
+  ++ops_.commits;
+  // A commit is a single-party fence with a unique name (the same
+  // unification flux-core later adopted). Completion — and therefore the
+  // response — happens only after the local root has been updated, which is
+  // what gives read-your-writes consistency.
+  const TxnKey key = txn_key(msg);
+  const std::string name = "#commit." + std::to_string(key.first) + "." +
+                           std::to_string(key.second) + "." +
+                           std::to_string(++commit_seq_);
+  Json payload = msg.payload;
+  payload["name"] = name;
+  payload["nprocs"] = 1;
+  msg.payload = std::move(payload);
+  op_fence(msg);
+}
+
+void KvsModule::op_fence(Message& msg) {
+  ++ops_.fences;
+  const std::string name = msg.payload.get_string("name");
+  const std::int64_t nprocs = msg.payload.get_int("nprocs", 0);
+  if (name.empty() || nprocs <= 0) {
+    respond_error(msg, Errc::Inval, "fence: need name and nprocs > 0");
+    return;
+  }
+  // Claim the caller's transaction (may be empty: pure synchronization).
+  Txn txn;
+  if (auto it = txns_.find(txn_key(msg)); it != txns_.end()) {
+    txn = std::move(it->second);
+    txns_.erase(it);
+  }
+  FenceState& fence = fences_[name];
+  for (const ObjPtr& obj : txn.objects) fence.pins.push_back(obj->id);
+  fence.waiters.push_back(msg);
+  fence_add(name, nprocs, 1, std::move(txn.tuples), txn.objects);
+}
+
+void KvsModule::fence_add(const std::string& name, std::int64_t nprocs,
+                          std::int64_t count, std::vector<Tuple> tuples,
+                          const std::vector<ObjPtr>& objects) {
+  FenceState& fence = fences_[name];
+  if (fence.nprocs == 0) fence.nprocs = nprocs;
+  if (fence.nprocs != nprocs)
+    log::warn("kvs", "fence '", name, "': inconsistent nprocs ", nprocs,
+              " vs ", fence.nprocs);
+  fence.pending_count += count;
+  std::move(tuples.begin(), tuples.end(),
+            std::back_inserter(fence.pending_tuples));
+  for (const ObjPtr& obj : objects) {
+    // SHA1 dedup: redundant values are *reduced* here while the (key, SHA1)
+    // tuples above are concatenated — the asymmetry behind Figure 3.
+    if (is_master()) continue;  // master already stored them
+    if (fence.forwarded_ids.insert(obj->id).second)
+      fence.pending_objects.push_back(obj);
+  }
+  schedule_fence_flush(name);
+}
+
+void KvsModule::schedule_fence_flush(const std::string& name) {
+  FenceState& fence = fences_[name];
+  if (fence.flush_scheduled) return;
+  fence.flush_scheduled = true;
+  // Posted (not inline) so contributions arriving in the same reactor turn
+  // coalesce into one upstream message — the module-level data reduction of
+  // the paper's tree overlay.
+  broker().executor().post([this, name] { flush_fence(name); });
+}
+
+void KvsModule::flush_fence(const std::string& name) {
+  auto it = fences_.find(name);
+  if (it == fences_.end()) return;
+  FenceState& fence = it->second;
+  fence.flush_scheduled = false;
+  if (fence.pending_count == 0) return;
+
+  if (is_master()) {
+    fence.total_count += fence.pending_count;
+    std::move(fence.pending_tuples.begin(), fence.pending_tuples.end(),
+              std::back_inserter(fence.total_tuples));
+    fence.pending_count = 0;
+    fence.pending_tuples.clear();
+    master_check_fence(name);
+    return;
+  }
+
+  ++ops_.flushes_forwarded;
+  Message flush = Message::request(
+      "kvs.flush", Json::object({{"name", name},
+                                 {"nprocs", fence.nprocs},
+                                 {"count", fence.pending_count},
+                                 {"tuples", tuples_to_json(fence.pending_tuples)}}));
+  if (!fence.pending_objects.empty())
+    flush.attachment =
+        std::make_shared<ObjectBundle>(std::move(fence.pending_objects));
+  fence.pending_count = 0;
+  fence.pending_tuples.clear();
+  fence.pending_objects.clear();
+  // forwarded_ids intentionally NOT cleared: dedup spans flush waves.
+  broker().forward_upstream(std::move(flush));
+}
+
+void KvsModule::op_flush(Message& msg) {
+  const std::string name = msg.payload.get_string("name");
+  const std::int64_t nprocs = msg.payload.get_int("nprocs", 0);
+  const std::int64_t count = msg.payload.get_int("count", 0);
+  auto tuples = tuples_from_json(msg.payload.at("tuples"));
+  if (name.empty() || nprocs <= 0 || count <= 0 || !tuples) {
+    log::error("kvs", "malformed flush for fence '", name, "'");
+    return;
+  }
+  std::vector<ObjPtr> objects;
+  if (msg.attachment) {
+    auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
+    if (!bundle) {
+      log::error("kvs", "flush with non-bundle attachment");
+      return;
+    }
+    objects = bundle->objects();
+  }
+  if (is_master())
+    for (const ObjPtr& obj : objects) store_.put(obj);
+  fence_add(name, nprocs, count, std::move(tuples).value(), objects);
+}
+
+void KvsModule::master_check_fence(const std::string& name) {
+  assert(is_master());
+  auto it = fences_.find(name);
+  if (it == fences_.end()) return;
+  FenceState& fence = it->second;
+  if (fence.total_count < fence.nprocs) return;
+  if (fence.total_count > fence.nprocs)
+    log::warn("kvs", "fence '", name, "': ", fence.total_count,
+              " entries for nprocs=", fence.nprocs);
+  master_apply(fence.total_tuples, {name});
+}
+
+void KvsModule::master_apply(const std::vector<Tuple>& tuples,
+                             std::vector<std::string> fences) {
+  assert(is_master());
+  root_ref_ = apply_transaction(store_, root_ref_, tuples);
+  ++root_version_;
+  // The master bumps its version here, so the event-path guard in
+  // apply_root (version > root_version_) won't fire for it: complete local
+  // version waiters directly.
+  complete_version_waiters();
+  Json fence_names = Json::array();
+  for (auto& f : fences) fence_names.push_back(f);
+  broker().publish("kvs.setroot",
+                   Json::object({{"version", root_version_},
+                                 {"rootref", root_ref_.hex()},
+                                 {"fences", std::move(fence_names)}}));
+  // The publish delivered the setroot event to this module synchronously
+  // (the root broker delivers locally), so fences are already completed.
+}
+
+void KvsModule::apply_root(const Sha1& ref, std::uint64_t version,
+                           const std::vector<std::string>& fences) {
+  // Never apply roots out of order (monotonic reads; paper §IV-B).
+  if (version > root_version_) {
+    root_ref_ = ref;
+    root_version_ = version;
+    complete_version_waiters();
+  }
+  for (const std::string& name : fences) {
+    auto it = fences_.find(name);
+    if (it == fences_.end()) continue;
+    FenceState fence = std::move(it->second);
+    fences_.erase(it);
+    for (const Sha1& id : fence.pins) cache_.unpin(id);
+    for (const Message& waiter : fence.waiters)
+      broker().respond(waiter.respond(Json::object(
+          {{"version", root_version_}, {"rootref", root_ref_.hex()}})));
+  }
+}
+
+void KvsModule::complete_version_waiters() {
+  auto it = version_waiters_.begin();
+  while (it != version_waiters_.end()) {
+    if (it->first <= root_version_) {
+      it->second.set_value(root_version_);
+      it = version_waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Future<std::uint64_t> KvsModule::version_reached(std::uint64_t version) {
+  Promise<std::uint64_t> p(broker().executor());
+  if (root_version_ >= version)
+    p.set_value(root_version_);
+  else
+    version_waiters_.emplace_back(version, p);
+  return p.future();
+}
+
+// ---------------------------------------------------------------------------
+// Lookups (get / lookup_ref / fault)
+// ---------------------------------------------------------------------------
+
+Task<ObjPtr> KvsModule::lookup_object(Sha1 ref) {
+  if (is_master()) co_return store_.get(ref);
+  if (ObjPtr hit = cache_.get(ref, epoch_)) co_return hit;
+
+  // Coalesce concurrent faults for the same object.
+  if (auto it = faults_.find(ref); it != faults_.end()) {
+    ObjPtr obj = co_await it->second.future();
+    co_return obj;
+  }
+  Promise<ObjPtr> promise(broker().executor());
+  faults_.emplace(ref, promise);
+  ++ops_.faults_issued;
+
+  Message req =
+      Message::request("kvs.fault", Json::object({{"ref", ref.hex()}}));
+  req.nodeid = kNodeUpstream;  // the local module is the requester
+  Message resp = co_await broker().module_rpc(*this, std::move(req));
+
+  ObjPtr obj;
+  if (resp.errnum == 0 && resp.data) {
+    obj = parse_object(*resp.data);
+    if (obj && obj->id != ref) {
+      log::error("kvs", "fault integrity failure for ", ref.short_hex());
+      obj = nullptr;
+    }
+  }
+  if (obj) cache_.put(obj, epoch_);
+  faults_.erase(ref);
+  promise.set_value(obj);
+  co_return obj;
+}
+
+void KvsModule::op_fault(Message& msg) {
+  ++ops_.faults_served;
+  const auto ref = Sha1::parse(msg.payload.get_string("ref"));
+  if (!ref) {
+    respond_error(msg, Errc::Inval, "fault: bad ref");
+    return;
+  }
+  // Fast path: local hit.
+  ObjPtr obj = is_master() ? store_.get(*ref) : cache_.get(*ref, epoch_);
+  if (obj) {
+    Message resp = msg.respond();
+    resp.data = object_frame(obj);
+    broker().respond(std::move(resp));
+    return;
+  }
+  if (is_master()) {
+    respond_error(msg, Errc::NoEnt, "fault: unknown object " + ref->short_hex());
+    return;
+  }
+  // Slow path: fault it in from our own parent, then serve.
+  co_spawn(
+      broker().executor(),
+      [](KvsModule* self, Message req, Sha1 id) -> Task<void> {
+        ObjPtr found = co_await self->lookup_object(id);
+        if (!found) {
+          self->respond_error(req, Errc::NoEnt,
+                              "fault: unknown object " + id.short_hex());
+          co_return;
+        }
+        Message resp = req.respond();
+        resp.data = object_frame(found);
+        self->broker().respond(std::move(resp));
+      }(this, std::move(msg), *ref),
+      "kvs.fault");
+}
+
+void KvsModule::op_get(Message& msg) {
+  ++ops_.gets;
+  co_spawn(broker().executor(), do_get(std::move(msg), /*ref_only=*/false),
+           "kvs.get");
+}
+
+void KvsModule::op_lookup_ref(Message& msg) {
+  co_spawn(broker().executor(), do_get(std::move(msg), /*ref_only=*/true),
+           "kvs.lookup_ref");
+}
+
+Task<void> KvsModule::do_get(Message req, bool ref_only) {
+  if (root_version_ == 0) co_await version_reached(1);
+
+  const std::string key = req.payload.get_string("key");
+  const bool want_dir = req.payload.get_bool("dir", false);
+  const auto path = split_key(key);
+
+  Sha1 cur = root_ref_;
+  for (const std::string& component : path) {
+    ObjPtr dir = co_await lookup_object(cur);
+    if (!dir) {
+      respond_error(req, Errc::NoEnt, "get: dangling ref on path of " + key);
+      co_return;
+    }
+    if (!dir->is_dir()) {
+      respond_error(req, Errc::NotDir, "get: '" + key + "' crosses a value");
+      co_return;
+    }
+    const auto& entries = dir->entries();
+    auto it = entries.find(component);
+    if (it == entries.end()) {
+      respond_error(req, Errc::NoEnt, "get: no such key '" + key + "'");
+      co_return;
+    }
+    const auto ref = Sha1::parse(it->second.as_string());
+    if (!ref) {
+      respond_error(req, Errc::Proto, "get: corrupt directory entry");
+      co_return;
+    }
+    cur = *ref;
+  }
+
+  if (ref_only) {
+    respond_ok(req, Json::object({{"ref", cur.hex()}}));
+    co_return;
+  }
+
+  ObjPtr obj = co_await lookup_object(cur);
+  if (!obj) {
+    respond_error(req, Errc::NoEnt, "get: dangling terminal ref for " + key);
+    co_return;
+  }
+  if (obj->is_dir()) {
+    if (!want_dir) {
+      respond_error(req, Errc::IsDir, "get: '" + key + "' is a directory");
+      co_return;
+    }
+    Json names = Json::array();
+    for (const auto& [name, ref] : obj->entries()) names.push_back(name);
+    respond_ok(req, Json::object({{"dir", true}, {"entries", std::move(names)}}));
+    co_return;
+  }
+  if (want_dir) {
+    respond_error(req, Errc::NotDir, "get: '" + key + "' is not a directory");
+    co_return;
+  }
+  Message resp = req.respond();
+  resp.data = object_frame(obj);
+  broker().respond(std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Versions / stats / cache control
+// ---------------------------------------------------------------------------
+
+void KvsModule::op_get_version(Message& msg) {
+  respond_ok(msg, Json::object({{"version", root_version_},
+                                {"rootref", root_ref_.hex()}}));
+}
+
+void KvsModule::op_wait_version(Message& msg) {
+  const auto version =
+      static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
+  if (root_version_ >= version) {
+    op_get_version(msg);
+    return;
+  }
+  co_spawn(
+      broker().executor(),
+      [](KvsModule* self, Message req, std::uint64_t v) -> Task<void> {
+        co_await self->version_reached(v);
+        self->op_get_version(req);
+      }(this, std::move(msg), version),
+      "kvs.wait_version");
+}
+
+void KvsModule::op_stats(Message& msg) {
+  respond_ok(
+      msg,
+      Json::object({{"rank", broker().rank()},
+                    {"master", is_master()},
+                    {"version", root_version_},
+                    {"store_objects", store_.count()},
+                    {"store_bytes", store_.bytes()},
+                    {"cache_objects", cache_.count()},
+                    {"cache_bytes", cache_.bytes()},
+                    {"cache_hits", cache_.stats().hits},
+                    {"cache_misses", cache_.stats().misses},
+                    {"cache_evictions", cache_.stats().evictions},
+                    {"puts", ops_.puts},
+                    {"gets", ops_.gets},
+                    {"commits", ops_.commits},
+                    {"fences", ops_.fences},
+                    {"faults_issued", ops_.faults_issued},
+                    {"faults_served", ops_.faults_served},
+                    {"flushes_forwarded", ops_.flushes_forwarded}}));
+}
+
+void KvsModule::op_drop_cache(Message& msg) {
+  const std::size_t evicted = cache_.drop_all();
+  respond_ok(msg, Json::object({{"evicted", evicted}}));
+}
+
+}  // namespace flux

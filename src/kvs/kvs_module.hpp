@@ -1,0 +1,160 @@
+// The kvs comms module (paper §IV-B).
+//
+// One instance runs inside each broker where the module is loaded. The
+// instance on the session root is the *master*: it holds the authoritative
+// content store, applies transactions, and publishes new root references as
+// "kvs.setroot" events. Every other instance is a *slave cache*: it resolves
+// gets against its local object cache, faulting missing objects from its
+// CMB-tree parent "recursively up the tree until the request can be
+// fulfilled", and switches roots in version order when setroot events arrive.
+//
+// Consistency (Vogels' taxonomy, as claimed by the paper):
+//  - monotonic reads: setroot events are globally sequenced and applied in
+//    version order, and gets walk an immutable snapshot;
+//  - read-your-writes: commit/fence responses carry the new root, which the
+//    local instance applies *before* responding to the caller;
+//  - causal: get_version/wait_version let one process pass a version to
+//    another, which waits for it before reading.
+//
+// Client-visible operations (via kvs_client.hpp):
+//   put, unlink, mkdir, get, lookup_ref, commit, fence, get_version,
+//   wait_version, stats, drop_cache
+// Internal (module-to-module on the tree plane):
+//   flush (aggregated dirty state heading to the master), fault (object
+//   fetch from the parent cache).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "broker/module.hpp"
+#include "exec/future.hpp"
+#include "exec/task.hpp"
+#include "kvs/content_store.hpp"
+#include "kvs/object_bundle.hpp"
+
+namespace flux {
+
+class KvsModule final : public ModuleBase {
+ public:
+  explicit KvsModule(Broker& broker);
+
+  [[nodiscard]] std::string_view name() const override { return "kvs"; }
+  void start() override;
+  void handle_event(const Message& msg) override;
+
+  /// True on the session root (authoritative store lives here).
+  [[nodiscard]] bool is_master() const noexcept;
+
+  struct OpStats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t faults_issued = 0;
+    std::uint64_t faults_served = 0;
+    std::uint64_t flushes_forwarded = 0;
+  };
+
+  // Introspection for tests/benches.
+  [[nodiscard]] std::uint64_t root_version() const noexcept { return root_version_; }
+  [[nodiscard]] const Sha1& root_ref() const noexcept { return root_ref_; }
+  [[nodiscard]] const ObjectCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const ContentStore& store() const noexcept { return store_; }
+  [[nodiscard]] const OpStats& op_stats() const noexcept { return ops_; }
+
+ private:
+  // -- request handlers -------------------------------------------------------
+  void op_put(Message& msg);
+  void op_unlink(Message& msg);
+  void op_mkdir(Message& msg);
+  void op_get(Message& msg);
+  void op_lookup_ref(Message& msg);
+  void op_get_version(Message& msg);
+  void op_wait_version(Message& msg);
+  void op_commit(Message& msg);
+  void op_fence(Message& msg);
+  void op_flush(Message& msg);
+  void op_fault(Message& msg);
+  void op_stats(Message& msg);
+  void op_drop_cache(Message& msg);
+
+  // -- machinery ---------------------------------------------------------------
+  /// Key identifying the client transaction a put belongs to.
+  using TxnKey = std::pair<NodeId, std::uint64_t>;
+  struct Txn {
+    std::vector<Tuple> tuples;
+    std::vector<ObjPtr> objects;
+  };
+  static TxnKey txn_key(const Message& msg);
+  /// Record one dirty object + tuple under the caller's transaction.
+  void record(Message& msg, std::string key, ObjPtr obj);
+
+  struct FenceState {
+    std::int64_t nprocs = 0;
+    // Contributions not yet flushed upstream (or into the master total).
+    std::int64_t pending_count = 0;
+    std::vector<Tuple> pending_tuples;
+    std::vector<ObjPtr> pending_objects;
+    /// Objects already forwarded upstream for this fence: cumulative, so an
+    /// object crosses each broker at most once no matter how contributions
+    /// stagger ("values are reduced while being sent up the tree").
+    std::unordered_set<Sha1> forwarded_ids;
+    bool flush_scheduled = false;
+    // Master only: global accumulation.
+    std::int64_t total_count = 0;
+    std::vector<Tuple> total_tuples;
+    // Requests from clients of *this* broker awaiting completion.
+    std::vector<Message> waiters;
+    // Local cache pins to release at completion.
+    std::vector<Sha1> pins;
+  };
+
+  void fence_add(const std::string& name, std::int64_t nprocs,
+                 std::int64_t count, std::vector<Tuple> tuples,
+                 const std::vector<ObjPtr>& objects);
+  void schedule_fence_flush(const std::string& name);
+  void flush_fence(const std::string& name);
+  void master_check_fence(const std::string& name);
+
+  /// Master: apply tuples, bump version, publish setroot.
+  void master_apply(const std::vector<Tuple>& tuples,
+                    std::vector<std::string> fences);
+
+  /// Adopt a (newer) root reference; completes version waiters and fences.
+  void apply_root(const Sha1& ref, std::uint64_t version,
+                  const std::vector<std::string>& fences);
+
+  /// Local-or-fault object lookup (coalesces concurrent faults).
+  Task<ObjPtr> lookup_object(Sha1 ref);
+
+  /// Async get walk; responds to `req` when done.
+  Task<void> do_get(Message req, bool ref_only);
+
+  /// Wait until the local root version reaches `version`.
+  Future<std::uint64_t> version_reached(std::uint64_t version);
+
+  void complete_version_waiters();
+
+  // -- state -------------------------------------------------------------------
+  Sha1 root_ref_{};
+  std::uint64_t root_version_ = 0;  // 0 == no root yet
+  ContentStore store_;              // master only
+  ObjectCache cache_;               // slaves (and master's put staging)
+  std::uint64_t epoch_ = 0;
+  std::uint64_t expiry_epochs_ = 0;  // 0 == expiry disabled
+
+  std::uint64_t commit_seq_ = 0;
+  std::map<TxnKey, Txn> txns_;
+  std::map<std::string, FenceState> fences_;
+  std::unordered_map<Sha1, Promise<ObjPtr>> faults_;
+  std::vector<std::pair<std::uint64_t, Promise<std::uint64_t>>> version_waiters_;
+
+  OpStats ops_;
+};
+
+}  // namespace flux

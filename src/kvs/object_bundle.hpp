@@ -1,0 +1,43 @@
+// Bundle of content-addressed KVS objects as a message attachment.
+//
+// Fence/commit flushes carry their dirty objects in an ObjectBundle. The
+// bundle is shared and immutable, so interior brokers can merge bundles by
+// SHA1 ("values are reduced while being sent up the tree" — the redundant-
+// value effect of Figure 3) without re-serializing payload bytes per hop.
+#pragma once
+
+#include <vector>
+
+#include "kvs/treeobj.hpp"
+#include "msg/message.hpp"
+
+namespace flux {
+
+class ObjectBundle final : public Attachment {
+ public:
+  ObjectBundle() = default;
+  explicit ObjectBundle(std::vector<ObjPtr> objects)
+      : objects_(std::move(objects)) {}
+
+  [[nodiscard]] std::string_view tag() const noexcept override {
+    return "kvsobj";
+  }
+  [[nodiscard]] std::size_t wire_size() const override;
+  [[nodiscard]] std::string serialize() const override;
+
+  [[nodiscard]] const std::vector<ObjPtr>& objects() const noexcept {
+    return objects_;
+  }
+
+  /// Parse a serialized bundle ([u32 len][bytes])*.
+  static Expected<std::shared_ptr<const Attachment>> deserialize(
+      std::string_view body);
+
+  /// Register the "kvsobj" decoder with the wire codec (idempotent).
+  static void register_codec();
+
+ private:
+  std::vector<ObjPtr> objects_;
+};
+
+}  // namespace flux

@@ -1,0 +1,134 @@
+#include "kvs/treeobj.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace flux {
+
+namespace {
+
+// Content-addressed parse memo. Objects are immutable and identified by
+// SHA1, so when the same serialized object reaches many brokers (a hot
+// directory replicating through 512 slave caches), parsing it once is
+// enough — the digest check still runs per call. Keyed weakly so retired
+// objects do not accumulate.
+class ParseMemo {
+ public:
+  ObjPtr find(const Sha1& id) {
+    std::lock_guard lk(mu_);
+    auto it = memo_.find(id);
+    if (it == memo_.end()) return nullptr;
+    ObjPtr obj = it->second.lock();
+    if (!obj) memo_.erase(it);
+    return obj;
+  }
+
+  void insert(const ObjPtr& obj) {
+    std::lock_guard lk(mu_);
+    if (memo_.size() >= kSweepThreshold) sweep();
+    memo_.insert_or_assign(obj->id, obj);
+  }
+
+ private:
+  void sweep() {
+    for (auto it = memo_.begin(); it != memo_.end();)
+      it = it->second.expired() ? memo_.erase(it) : std::next(it);
+  }
+
+  static constexpr std::size_t kSweepThreshold = 1 << 16;
+  std::mutex mu_;
+  std::unordered_map<Sha1, std::weak_ptr<const StoredObject>> memo_;
+};
+
+ParseMemo& parse_memo() {
+  static ParseMemo memo;
+  return memo;
+}
+
+}  // namespace
+
+ObjPtr make_object(Json doc) {
+  auto obj = std::make_shared<StoredObject>();
+  obj->doc = std::move(doc);
+  obj->bytes = obj->doc.dump();
+  obj->id = Sha1::of(obj->bytes);
+  parse_memo().insert(obj);
+  return obj;
+}
+
+ObjPtr make_val_object(Json value) {
+  return make_object(Json::object({{"t", "val"}, {"d", std::move(value)}}));
+}
+
+ObjPtr make_dir_object(const std::map<std::string, Sha1, std::less<>>& entries) {
+  Json e = Json::object();
+  for (const auto& [name, ref] : entries) e[name] = ref.hex();
+  return make_object(Json::object({{"t", "dir"}, {"e", std::move(e)}}));
+}
+
+ObjPtr empty_dir_object() {
+  static const ObjPtr empty = make_dir_object({});
+  return empty;
+}
+
+ObjPtr parse_object(std::string bytes) {
+  const Sha1 id = Sha1::of(bytes);
+  if (ObjPtr hit = parse_memo().find(id)) return hit;
+  auto parsed = Json::parse(bytes);
+  if (!parsed) return nullptr;
+  Json doc = std::move(parsed).value();
+  const std::string t = doc.get_string("t");
+  if (t == "val") {
+    if (!doc.contains("d")) return nullptr;
+  } else if (t == "dir") {
+    if (!doc.at("e").is_object()) return nullptr;
+    for (const auto& [name, ref] : doc.at("e").as_object())
+      if (!ref.is_string() || !Sha1::parse(ref.as_string())) return nullptr;
+  } else {
+    return nullptr;
+  }
+  auto obj = std::make_shared<StoredObject>();
+  obj->doc = std::move(doc);
+  obj->bytes = std::move(bytes);
+  obj->id = id;
+  parse_memo().insert(obj);
+  return obj;
+}
+
+std::vector<std::string> split_key(std::string_view key) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= key.size()) {
+    const auto dot = key.find('.', start);
+    const auto end = (dot == std::string_view::npos) ? key.size() : dot;
+    if (end > start) out.emplace_back(key.substr(start, end - start));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return out;
+}
+
+Json tuples_to_json(const std::vector<Tuple>& tuples) {
+  Json arr = Json::array();
+  for (const Tuple& t : tuples)
+    arr.push_back(Json::array({t.key, t.ref.hex()}));
+  return arr;
+}
+
+Expected<std::vector<Tuple>> tuples_from_json(const Json& array) {
+  if (!array.is_array())
+    return Error(Errc::Proto, "tuples: expected array");
+  std::vector<Tuple> out;
+  out.reserve(array.size());
+  for (const Json& item : array.as_array()) {
+    if (!item.is_array() || item.size() != 2 || !item.as_array()[0].is_string() ||
+        !item.as_array()[1].is_string())
+      return Error(Errc::Proto, "tuples: expected [key, refhex] pairs");
+    auto ref = Sha1::parse(item.as_array()[1].as_string());
+    if (!ref) return Error(Errc::Proto, "tuples: bad sha1 ref");
+    out.push_back(Tuple{item.as_array()[0].as_string(), *ref});
+  }
+  return out;
+}
+
+}  // namespace flux

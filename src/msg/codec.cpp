@@ -1,0 +1,198 @@
+#include "msg/codec.hpp"
+
+#include <cstring>
+#include <map>
+
+namespace flux {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x584c4c46u;  // "FLLX"
+
+std::map<std::string, AttachmentDecoder, std::less<>>& attachment_registry() {
+  static std::map<std::string, AttachmentDecoder, std::less<>> registry;
+  return registry;
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  bool u8(std::uint8_t& v) { return fixed(&v, 1); }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t b[2];
+    if (!fixed(b, 2)) return false;
+    v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint8_t b[4];
+    if (!fixed(b, 4)) return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    std::uint8_t b[8];
+    if (!fixed(b, 8)) return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return true;
+  }
+  bool str(std::string& out, std::size_t n) {
+    if (pos_ + n > wire_.size()) return false;
+    out.assign(reinterpret_cast<const char*>(wire_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] bool done() const { return pos_ == wire_.size(); }
+
+ private:
+  bool fixed(std::uint8_t* out, std::size_t n) {
+    if (pos_ + n > wire_.size()) return false;
+    std::memcpy(out, wire_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+};
+
+Error proto_error(const char* what) {
+  return Error(Errc::Proto, std::string("codec: ") + what);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.wire_size());
+  put_u32(out, kMagic);
+  put_u8(out, static_cast<std::uint8_t>(msg.type));
+  put_u32(out, msg.matchtag);
+  put_u32(out, msg.nodeid);
+  put_u64(out, msg.seq);
+  put_u32(out, static_cast<std::uint32_t>(msg.errnum));
+  put_u16(out, static_cast<std::uint16_t>(msg.topic.size()));
+  put_bytes(out, msg.topic);
+  put_u16(out, static_cast<std::uint16_t>(msg.route.size()));
+  for (const RouteHop& hop : msg.route) {
+    put_u8(out, static_cast<std::uint8_t>(hop.kind));
+    put_u32(out, hop.rank);
+    put_u64(out, hop.id);
+  }
+  const std::string json = msg.payload.dump();
+  put_u32(out, static_cast<std::uint32_t>(json.size()));
+  put_bytes(out, json);
+  put_u32(out, static_cast<std::uint32_t>(msg.data_size()));
+  if (msg.data) put_bytes(out, *msg.data);
+  if (msg.attachment) {
+    const auto tag = msg.attachment->tag();
+    put_u8(out, static_cast<std::uint8_t>(tag.size()));
+    put_bytes(out, tag);
+    const std::string body = msg.attachment->serialize();
+    put_u32(out, static_cast<std::uint32_t>(body.size()));
+    put_bytes(out, body);
+  } else {
+    put_u8(out, 0);
+    put_u32(out, 0);
+  }
+  return out;
+}
+
+Expected<Message> decode(std::span<const std::uint8_t> wire) {
+  Reader rd(wire);
+  std::uint32_t magic = 0;
+  if (!rd.u32(magic) || magic != kMagic) return proto_error("bad magic");
+
+  Message msg;
+  std::uint8_t type = 0;
+  if (!rd.u8(type)) return proto_error("truncated type");
+  if (type < 1 || type > 4) return proto_error("bad message type");
+  msg.type = static_cast<MsgType>(type);
+
+  if (!rd.u32(msg.matchtag)) return proto_error("truncated matchtag");
+  if (!rd.u32(msg.nodeid)) return proto_error("truncated nodeid");
+  if (!rd.u64(msg.seq)) return proto_error("truncated seq");
+  std::uint32_t errnum = 0;
+  if (!rd.u32(errnum)) return proto_error("truncated errnum");
+  msg.errnum = static_cast<int>(errnum);
+
+  std::uint16_t topic_len = 0;
+  if (!rd.u16(topic_len) || !rd.str(msg.topic, topic_len))
+    return proto_error("truncated topic");
+
+  std::uint16_t route_len = 0;
+  if (!rd.u16(route_len)) return proto_error("truncated route length");
+  msg.route.reserve(route_len);
+  for (std::uint16_t i = 0; i < route_len; ++i) {
+    RouteHop hop;
+    std::uint8_t kind = 0;
+    if (!rd.u8(kind) || kind > 2) return proto_error("bad route hop");
+    hop.kind = static_cast<RouteHop::Kind>(kind);
+    if (!rd.u32(hop.rank) || !rd.u64(hop.id))
+      return proto_error("truncated route hop");
+    msg.route.push_back(hop);
+  }
+
+  std::uint32_t json_len = 0;
+  std::string json;
+  if (!rd.u32(json_len) || !rd.str(json, json_len))
+    return proto_error("truncated json frame");
+  auto parsed = Json::parse(json);
+  if (!parsed) return parsed.error();
+  msg.payload = std::move(parsed).value();
+
+  std::uint32_t data_len = 0;
+  if (!rd.u32(data_len)) return proto_error("truncated data length");
+  if (data_len > 0) {
+    std::string data;
+    if (!rd.str(data, data_len)) return proto_error("truncated data frame");
+    msg.data = std::make_shared<const std::string>(std::move(data));
+  }
+
+  std::uint8_t tag_len = 0;
+  if (!rd.u8(tag_len)) return proto_error("truncated attachment tag length");
+  std::string tag;
+  if (!rd.str(tag, tag_len)) return proto_error("truncated attachment tag");
+  std::uint32_t att_len = 0;
+  if (!rd.u32(att_len)) return proto_error("truncated attachment length");
+  std::string att_body;
+  if (!rd.str(att_body, att_len)) return proto_error("truncated attachment");
+  if (!tag.empty()) {
+    auto& registry = attachment_registry();
+    auto it = registry.find(tag);
+    if (it == registry.end())
+      return proto_error("unknown attachment tag");
+    auto decoded = it->second(att_body);
+    if (!decoded) return decoded.error();
+    msg.attachment = std::move(decoded).value();
+  }
+  if (!rd.done()) return proto_error("trailing bytes");
+  return msg;
+}
+
+void register_attachment_codec(std::string tag, AttachmentDecoder decoder) {
+  attachment_registry().insert_or_assign(std::move(tag), std::move(decoder));
+}
+
+}  // namespace flux

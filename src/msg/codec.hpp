@@ -1,0 +1,41 @@
+// Binary wire codec for CMB messages.
+//
+// The simulated transport passes Message objects directly (wire_size() feeds
+// the bandwidth model); the threaded transport round-trips every message
+// through this codec so the serialization path is exercised for real, the way
+// the ØMQ-based prototype marshals frames onto TCP.
+//
+// Layout (little-endian):
+//   u32 magic 'FLUX'   u8 type       u32 matchtag   u32 nodeid
+//   u64 seq            i32 errnum    u16 topic_len  topic bytes
+//   u16 route_len      route_len × { u8 kind, u32 rank, u64 id }
+//   u32 json_len       canonical JSON bytes
+//   u32 data_len       raw data bytes
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "msg/message.hpp"
+
+namespace flux {
+
+/// Serialize a message to wire bytes.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Parse wire bytes; Error{Proto} on malformed input.
+Expected<Message> decode(std::span<const std::uint8_t> wire);
+
+/// Decoder for a concrete Attachment type, keyed by its tag().
+using AttachmentDecoder =
+    std::function<Expected<std::shared_ptr<const Attachment>>(std::string_view)>;
+
+/// Register the decoder for an attachment tag (idempotent overwrite).
+/// Called from the owning module's translation unit at startup.
+void register_attachment_codec(std::string tag, AttachmentDecoder decoder);
+
+}  // namespace flux

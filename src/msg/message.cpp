@@ -1,0 +1,83 @@
+#include "msg/message.hpp"
+
+namespace flux {
+
+std::string_view msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::Request: return "request";
+    case MsgType::Response: return "response";
+    case MsgType::Event: return "event";
+    case MsgType::Keepalive: return "keepalive";
+  }
+  return "?";
+}
+
+Message Message::request(std::string topic, Json payload) {
+  Message m;
+  m.type = MsgType::Request;
+  m.topic = std::move(topic);
+  m.payload = std::move(payload);
+  return m;
+}
+
+Message Message::event(std::string topic, Json payload) {
+  Message m;
+  m.type = MsgType::Event;
+  m.topic = std::move(topic);
+  m.payload = std::move(payload);
+  return m;
+}
+
+Message Message::respond(Json response_payload) const {
+  Message m;
+  m.type = MsgType::Response;
+  m.topic = topic;
+  m.matchtag = matchtag;
+  m.nodeid = nodeid;
+  m.errnum = 0;
+  m.route = route;  // unwound hop-by-hop by the broker
+  m.payload = std::move(response_payload);
+  return m;
+}
+
+Message Message::respond_error(Errc code, std::string_view what) const {
+  Message m = respond();
+  m.errnum = static_cast<int>(code);
+  if (!what.empty()) m.payload = Json::object({{"errmsg", std::string(what)}});
+  return m;
+}
+
+std::string_view Message::service() const noexcept {
+  const auto dot = topic.find('.');
+  return dot == std::string::npos ? std::string_view(topic)
+                                  : std::string_view(topic).substr(0, dot);
+}
+
+std::string_view Message::method() const noexcept {
+  const auto dot = topic.find('.');
+  return dot == std::string::npos ? std::string_view{}
+                                  : std::string_view(topic).substr(dot + 1);
+}
+
+bool Message::topic_matches(std::string_view sub, std::string_view topic) noexcept {
+  if (sub.empty()) return true;  // empty subscription matches everything
+  if (topic.size() < sub.size()) return false;
+  if (topic.compare(0, sub.size(), sub) != 0) return false;
+  return topic.size() == sub.size() || topic[sub.size()] == '.';
+}
+
+std::size_t Message::wire_size() const {
+  // Mirrors codec.cpp layout: fixed header + topic + route stack + frame
+  // length prefixes + JSON frame + data frame.
+  constexpr std::size_t kFixed = 4 /*magic*/ + 1 /*type*/ + 4 /*matchtag*/ +
+                                 4 /*nodeid*/ + 8 /*seq*/ + 4 /*errnum*/ +
+                                 2 /*topic len*/ + 2 /*route len*/ +
+                                 4 /*json len*/ + 4 /*data len*/ +
+                                 1 /*attachment tag len*/ + 4 /*attachment len*/;
+  std::size_t att = 0;
+  if (attachment) att = attachment->tag().size() + attachment->wire_size();
+  return kFixed + topic.size() + route.size() * 13 + payload.dump_size() +
+         data_size() + att;
+}
+
+}  // namespace flux

@@ -1,0 +1,143 @@
+// CMB message model.
+//
+// Paper §IV-A: "All CMB messages have a uniform, multi-part message format
+// consisting of at least a header frame and a JSON frame. The header frame
+// identifies the message recipient using a hierarchical name space."
+//
+// We add an optional raw-data frame (bulk KVS object payloads travel there so
+// they are not JSON-escaped) and a route stack: each broker that forwards a
+// request upstream pushes its rank, and the response unwinds the stack so it
+// retraces "the same set of hops, in reverse".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.hpp"
+#include "json/json.hpp"
+
+namespace flux {
+
+/// Broker rank within a comms session. Dense [0, size).
+using NodeId = std::uint32_t;
+
+/// Sentinel ranks used in message addressing.
+inline constexpr NodeId kNodeAny = 0xffffffffu;      ///< route upstream until matched
+inline constexpr NodeId kNodeUpstream = 0xfffffffeu; ///< skip local, then as kNodeAny
+
+/// Message kinds carried on the overlay planes (paper: request-reply on the
+/// tree/ring planes, events on the pub-sub plane).
+enum class MsgType : std::uint8_t {
+  Request = 1,
+  Response = 2,
+  Event = 3,
+  Keepalive = 4,
+};
+
+std::string_view msg_type_name(MsgType t) noexcept;
+
+/// Opaque shared bulk attachment with an explicit wire footprint.
+///
+/// Aggregating modules (KVS fence/commit reductions) carry structured bulk
+/// payloads — e.g. bundles of content-addressed objects — that interior
+/// brokers merge and re-forward. Keeping these as shared immutable structures
+/// avoids re-serializing megabytes on every simulated hop; crossing a real
+/// (threaded) transport flattens them through serialize() and the tag-keyed
+/// decoder registry (see codec.hpp).
+class Attachment {
+ public:
+  virtual ~Attachment() = default;
+  /// Registry key identifying the concrete type on the wire.
+  [[nodiscard]] virtual std::string_view tag() const noexcept = 0;
+  /// Bytes serialize() would produce (bandwidth accounting).
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+  [[nodiscard]] virtual std::string serialize() const = 0;
+};
+
+/// One hop of a request's return path. Client endpoints and comules (module
+/// endpoints) are disambiguated from broker ranks by the kind tag.
+struct RouteHop {
+  enum class Kind : std::uint8_t { Broker = 0, Client = 1, Module = 2 };
+  Kind kind = Kind::Broker;
+  NodeId rank = 0;        ///< broker rank the endpoint lives on
+  std::uint64_t id = 0;   ///< client handle id / module endpoint id (0 for Broker)
+
+  friend bool operator==(const RouteHop&, const RouteHop&) = default;
+};
+
+/// A CMB message. Cheap to copy: the bulk data frame is shared & immutable.
+struct Message {
+  MsgType type = MsgType::Request;
+
+  /// Hierarchical topic, e.g. "kvs.put"; the leading component selects the
+  /// comms module ("kvs"), the rest is the module-internal method ("put").
+  std::string topic;
+
+  /// Request/response matching tag, scoped to the originating endpoint.
+  std::uint32_t matchtag = 0;
+
+  /// Addressing: kNodeAny routes upstream until a module matches (tree
+  /// plane); a concrete rank routes point-to-point on the ring plane.
+  NodeId nodeid = kNodeAny;
+
+  /// Global sequence number (events only; assigned by the session root).
+  std::uint64_t seq = 0;
+
+  /// Response error code (0 == success).
+  int errnum = 0;
+
+  /// Return path. route.front() is the originating endpoint.
+  std::vector<RouteHop> route;
+
+  /// JSON payload frame.
+  Json payload;
+
+  /// Optional bulk data frame (shared, immutable).
+  std::shared_ptr<const std::string> data;
+
+  /// Optional structured bulk attachment (shared, immutable).
+  std::shared_ptr<const Attachment> attachment;
+
+  // -- constructors ---------------------------------------------------------
+  static Message request(std::string topic, Json payload = Json::object());
+  static Message event(std::string topic, Json payload = Json::object());
+
+  /// Build the success response to `req` (copies tag & reversed route).
+  [[nodiscard]] Message respond(Json payload = Json::object()) const;
+  /// Build an error response to `req`.
+  [[nodiscard]] Message respond_error(Errc code, std::string_view what = {}) const;
+
+  // -- helpers --------------------------------------------------------------
+  [[nodiscard]] bool is_request() const noexcept { return type == MsgType::Request; }
+  [[nodiscard]] bool is_response() const noexcept { return type == MsgType::Response; }
+  [[nodiscard]] bool is_event() const noexcept { return type == MsgType::Event; }
+
+  /// Leading topic component ("kvs" for "kvs.put").
+  [[nodiscard]] std::string_view service() const noexcept;
+  /// Remainder after the service prefix ("put" for "kvs.put").
+  [[nodiscard]] std::string_view method() const noexcept;
+  /// True if `topic` matches subscription prefix `sub` at a component
+  /// boundary ("hb" matches "hb" and "hb.pulse" but not "hbx").
+  static bool topic_matches(std::string_view sub, std::string_view topic) noexcept;
+
+  /// Size of the bulk data frame (0 if absent).
+  [[nodiscard]] std::size_t data_size() const noexcept {
+    return data ? data->size() : 0;
+  }
+
+  /// Size of the attachment frame (0 if absent).
+  [[nodiscard]] std::size_t attachment_size() const {
+    return attachment ? attachment->wire_size() : 0;
+  }
+
+  /// Wire footprint in bytes: what encode() would produce. Used by the
+  /// network simulator for bandwidth/serialization accounting without
+  /// actually encoding on every simulated hop.
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+}  // namespace flux

@@ -1,0 +1,60 @@
+#include "net/simnet.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flux {
+
+SimNet::SimNet(SimExecutor& ex, NetParams params, std::uint32_t nnodes)
+    : ex_(ex),
+      params_(params),
+      failed_(nnodes, false),
+      recv_busy_(nnodes, TimePoint{0}) {}
+
+void SimNet::send(NodeId from, NodeId to, Message msg) {
+  assert(from < failed_.size() && to < failed_.size());
+  if (failed_[from] || failed_[to]) {
+    ++stats_.dropped;
+    return;
+  }
+  const std::size_t size = msg.wire_size();
+  ++stats_.messages;
+  stats_.bytes += size;
+
+  const LinkParams& lp = (from == to) ? params_.loopback : params_.link;
+  const auto xfer = Duration{static_cast<Duration::rep>(
+      std::llround(static_cast<double>(size) / lp.bytes_per_ns))};
+
+  const std::uint64_t link_key =
+      (static_cast<std::uint64_t>(from) << 32) | to;
+  const TimePoint now = ex_.now();
+  TimePoint& busy = link_busy_[link_key];
+  const TimePoint start = std::max(now, busy);
+  const TimePoint sent = start + lp.per_msg_overhead + xfer;
+  busy = sent;
+  const TimePoint arrival = sent + lp.latency;
+
+  // Receive-side processing: the destination broker handles one message at a
+  // time (fixed dispatch cost plus payload-proportional processing).
+  const auto proc = params_.recv_fixed + params_.recv_per_byte * static_cast<Duration::rep>(size) +
+                    Duration{static_cast<Duration::rep>(std::llround(
+                        static_cast<double>(size) / params_.recv_bytes_per_ns))};
+  TimePoint& rbusy = recv_busy_[to];
+  const TimePoint deliver_at = std::max(arrival, rbusy) + proc;
+  rbusy = deliver_at;
+
+  ex_.post_at(deliver_at, [this, to, m = std::move(msg)]() mutable {
+    if (failed_[to]) {
+      ++stats_.dropped;
+      return;
+    }
+    deliver_(to, std::move(m));
+  });
+}
+
+void SimNet::fail(NodeId rank) { failed_.at(rank) = true; }
+void SimNet::restore(NodeId rank) { failed_.at(rank) = false; }
+bool SimNet::failed(NodeId rank) const { return failed_.at(rank); }
+
+}  // namespace flux

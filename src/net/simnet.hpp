@@ -1,0 +1,79 @@
+// Discrete-event network model standing in for the paper's test cluster.
+//
+// The paper's experiments ran on Zin/Cab (QLogic IB QDR, 16-core nodes). We
+// model the properties that produce their scaling shapes:
+//   - per-hop propagation latency,
+//   - per-link serialization (bytes / bandwidth, FIFO per directed link), and
+//   - per-broker receive processing (fixed + per-byte), which makes the tree
+//     root a serialization point for concatenated fence payloads — the cause
+//     of the linear unique-value curve in Figure 3.
+// Defaults are loosely calibrated to QDR-era hardware; absolute latencies are
+// not the paper's, the shapes are (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/sim_executor.hpp"
+#include "msg/message.hpp"
+
+namespace flux {
+
+struct LinkParams {
+  Duration latency = Duration{1500};        ///< per-hop propagation (1.5 us)
+  double bytes_per_ns = 3.2;                ///< ~QDR IB effective bandwidth
+  Duration per_msg_overhead = Duration{600};///< NIC/stack fixed cost per msg
+};
+
+struct NetParams {
+  LinkParams link;                          ///< inter-node links
+  LinkParams loopback{Duration{150}, 12.8, Duration{150}};  ///< same-rank
+  Duration recv_fixed = Duration{1200};     ///< broker dispatch cost per msg
+  Duration recv_per_byte = Duration{0};     ///< plus this per payload byte
+  double recv_bytes_per_ns = 5.0;           ///< payload processing bandwidth
+};
+
+/// Simulated interconnect: computes delivery times and posts deliveries onto
+/// the SimExecutor. Destination handling is a callback installed by Session.
+class SimNet {
+ public:
+  using Deliver = std::function<void(NodeId to, Message msg)>;
+
+  SimNet(SimExecutor& ex, NetParams params, std::uint32_t nnodes);
+
+  void set_delivery(Deliver fn) { deliver_ = std::move(fn); }
+
+  /// Queue `msg` from `from` to `to`; delivery is posted at the computed
+  /// arrival+processing time. Messages to failed nodes are dropped.
+  void send(NodeId from, NodeId to, Message msg);
+
+  /// Fault injection: the node stops receiving (in-flight deliveries to it
+  /// are suppressed at delivery time).
+  void fail(NodeId rank);
+  void restore(NodeId rank);
+  [[nodiscard]] bool failed(NodeId rank) const;
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t dropped = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] const NetParams& params() const noexcept { return params_; }
+
+ private:
+  SimExecutor& ex_;
+  NetParams params_;
+  Deliver deliver_;
+  std::vector<bool> failed_;
+  // FIFO serialization state per directed link / per receiving broker.
+  std::unordered_map<std::uint64_t, TimePoint> link_busy_;
+  std::vector<TimePoint> recv_busy_;
+  Stats stats_;
+};
+
+}  // namespace flux

@@ -1,0 +1,86 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace flux {
+
+Topology Topology::tree(std::uint32_t size, std::uint32_t arity) {
+  if (size == 0) throw std::invalid_argument("topology: size must be > 0");
+  if (arity == 0) throw std::invalid_argument("topology: arity must be > 0");
+  Topology t;
+  t.arity_ = arity;
+  t.parent_.resize(size);
+  for (std::uint32_t r = 1; r < size; ++r)
+    t.parent_[r] = (r - 1) / arity;
+  t.rebuild_children();
+  return t;
+}
+
+void Topology::rebuild_children() {
+  children_.assign(parent_.size(), {});
+  for (std::uint32_t r = 0; r < parent_.size(); ++r)
+    if (parent_[r]) children_[*parent_[r]].push_back(r);
+}
+
+std::optional<NodeId> Topology::parent(NodeId rank) const {
+  return parent_.at(rank);
+}
+
+const std::vector<NodeId>& Topology::children(NodeId rank) const {
+  return children_.at(rank);
+}
+
+unsigned Topology::depth(NodeId rank) const {
+  unsigned d = 0;
+  NodeId r = rank;
+  while (auto p = parent_.at(r)) {
+    r = *p;
+    ++d;
+    assert(d <= parent_.size());
+  }
+  return d;
+}
+
+unsigned Topology::height() const {
+  unsigned h = 0;
+  for (std::uint32_t r = 0; r < size(); ++r) h = std::max(h, depth(r));
+  return h;
+}
+
+std::vector<NodeId> Topology::subtree(NodeId rank) const {
+  std::vector<NodeId> out{rank};
+  for (std::size_t i = 0; i < out.size(); ++i)
+    for (NodeId c : children(out[i])) out.push_back(c);
+  return out;
+}
+
+void Topology::reparent(NodeId child, NodeId new_parent) {
+  if (child == new_parent || child >= size() || new_parent >= size())
+    throw std::invalid_argument("topology: bad reparent");
+  const auto sub = subtree(child);
+  if (std::find(sub.begin(), sub.end(), new_parent) != sub.end())
+    throw std::invalid_argument("topology: reparent would create a cycle");
+  if (auto old = parent_[child]) {
+    auto& sibs = children_[*old];
+    sibs.erase(std::remove(sibs.begin(), sibs.end(), child), sibs.end());
+  }
+  parent_[child] = new_parent;
+  children_[new_parent].push_back(child);
+}
+
+std::vector<NodeId> Topology::heal_around(NodeId dead) {
+  const auto gp = parent_.at(dead);
+  if (!gp)
+    throw std::invalid_argument("topology: cannot heal around the root");
+  std::vector<NodeId> moved = children_.at(dead);
+  for (NodeId c : moved) reparent(c, *gp);
+  // Detach the dead rank itself.
+  auto& sibs = children_[*gp];
+  sibs.erase(std::remove(sibs.begin(), sibs.end(), dead), sibs.end());
+  parent_[dead] = std::nullopt;
+  return moved;
+}
+
+}  // namespace flux

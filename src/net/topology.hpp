@@ -1,0 +1,66 @@
+// Overlay topologies for a comms session (paper Figure 1).
+//
+// A session wires three persistent planes: a k-ary request/reduction tree
+// ("although a binary RPC/reduction tree is pictured, the tree shape is
+// configurable"), a ring for rank-addressed RPCs, and the event plane which
+// reuses the tree for root-sequenced broadcast. The tree's parent relation is
+// mutable so the session can self-heal when interior nodes fail (children of
+// a dead node re-parent to their grandparent).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "msg/message.hpp"
+
+namespace flux {
+
+class Topology {
+ public:
+  /// k-ary heap-shaped tree over ranks [0, size); rank 0 is the root.
+  static Topology tree(std::uint32_t size, std::uint32_t arity = 2);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(parent_.size());
+  }
+  [[nodiscard]] std::uint32_t arity() const noexcept { return arity_; }
+
+  /// Tree parent; nullopt for the root.
+  [[nodiscard]] std::optional<NodeId> parent(NodeId rank) const;
+  /// Tree children (live parent relation, reflects healing).
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId rank) const;
+  /// Distance to the root along live parent links.
+  [[nodiscard]] unsigned depth(NodeId rank) const;
+  /// max over ranks of depth().
+  [[nodiscard]] unsigned height() const;
+  /// Ranks in the subtree rooted at `rank` (including it).
+  [[nodiscard]] std::vector<NodeId> subtree(NodeId rank) const;
+
+  /// Next hop on the ring plane.
+  [[nodiscard]] NodeId ring_next(NodeId rank) const noexcept {
+    return (rank + 1) % size();
+  }
+  /// Ring hop count from `from` to `to`.
+  [[nodiscard]] std::uint32_t ring_hops(NodeId from, NodeId to) const noexcept {
+    return (to + size() - from) % size();
+  }
+
+  /// Re-attach `child`'s subtree under `new_parent` (self-healing).
+  /// new_parent must not be inside child's subtree.
+  void reparent(NodeId child, NodeId new_parent);
+
+  /// Detach a dead rank: each of its children re-parents to the dead rank's
+  /// parent (grandparent healing). Returns the re-parented children.
+  std::vector<NodeId> heal_around(NodeId dead);
+
+ private:
+  Topology() = default;
+  void rebuild_children();
+
+  std::uint32_t arity_ = 2;
+  std::vector<std::optional<NodeId>> parent_;
+  std::vector<std::vector<NodeId>> children_;
+};
+
+}  // namespace flux

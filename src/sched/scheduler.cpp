@@ -1,0 +1,144 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "base/log.hpp"
+
+namespace flux {
+
+Scheduler::Scheduler(Executor& ex, ResourcePool& pool,
+                     std::unique_ptr<Policy> policy, CostModel cost)
+    : ex_(ex), pool_(pool), policy_(std::move(policy)), cost_(cost) {}
+
+Expected<std::uint64_t> Scheduler::submit(ResourceRequest request,
+                                          Duration walltime, int priority,
+                                          bool manual_completion) {
+  if (!pool_.feasible(request))
+    return Error(Errc::NoSpc, "submit: request can never fit this pool");
+  PendingJob job;
+  job.jobid = next_jobid_++;
+  job.request = request;
+  job.walltime = walltime;
+  job.submit_time = ex_.now();
+  job.priority = priority;
+  queue_.push_back(std::move(job));
+  manual_[queue_.back().jobid] = manual_completion;
+  ++stats_.submitted;
+  kick();
+  return queue_.back().jobid;
+}
+
+Status Scheduler::cancel(std::uint64_t jobid) {
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [jobid](const PendingJob& j) { return j.jobid == jobid; });
+  if (it == queue_.end())
+    return Error(Errc::NoEnt, "cancel: job not pending");
+  queue_.erase(it);
+  manual_.erase(jobid);
+  ++stats_.canceled;
+  check_idle();
+  return {};
+}
+
+void Scheduler::finish(std::uint64_t jobid) { complete(jobid); }
+
+void Scheduler::kick() {
+  if (pass_scheduled_) return;
+  pass_scheduled_ = true;
+  // A pass costs virtual time and passes serialize per scheduler — the
+  // centralized-scheduler bottleneck the paper's hierarchy removes.
+  const Duration cost =
+      cost_.pass_base +
+      cost_.per_queued_job * static_cast<Duration::rep>(queue_.size()) +
+      cost_.per_free_node * static_cast<Duration::rep>(pool_.free_nodes());
+  const TimePoint start = std::max(ex_.now(), busy_until_);
+  busy_until_ = start + cost;
+  stats_.sched_busy += cost;
+  ex_.post_at(busy_until_, [this] { pass(); });
+}
+
+void Scheduler::pass() {
+  pass_scheduled_ = false;
+  ++stats_.passes;
+  if (queue_.empty()) {
+    check_idle();
+    return;
+  }
+
+  std::vector<RunningJob> running;
+  running.reserve(running_.size());
+  for (const auto& [jobid, r] : running_)
+    running.push_back(RunningJob{jobid, r.nnodes, r.expected_end});
+  const SchedContext ctx{pool_, ex_.now(), running};
+  const std::vector<std::size_t> picks = policy_->select(queue_, ctx);
+
+  // Collect picked jobs first (indices shift as we erase).
+  std::vector<PendingJob> to_start;
+  to_start.reserve(picks.size());
+  std::vector<bool> picked(queue_.size(), false);
+  for (std::size_t i : picks)
+    if (i < queue_.size()) picked[i] = true;
+  std::vector<PendingJob> remaining;
+  remaining.reserve(queue_.size());
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (picked[i])
+      to_start.push_back(std::move(queue_[i]));
+    else
+      remaining.push_back(std::move(queue_[i]));
+  }
+  queue_ = std::move(remaining);
+
+  for (PendingJob& job : to_start) {
+    auto alloc = pool_.allocate(job.request);
+    if (!alloc) {
+      // Policy raced pool state; requeue at the front to preserve order.
+      log::debug("sched", "allocation failed after select for job ", job.jobid);
+      queue_.insert(queue_.begin(), std::move(job));
+      continue;
+    }
+    Running r;
+    r.alloc_id = alloc->id;
+    r.nnodes = job.request.nnodes;
+    r.expected_end = ex_.now() + job.walltime;
+    r.manual = manual_[job.jobid];
+    manual_.erase(job.jobid);
+    running_.emplace(job.jobid, r);
+    ++stats_.started;
+    stats_.wait_time_total += ex_.now() - job.submit_time;
+    if (on_start_) on_start_(job.jobid, *alloc);
+    if (!r.manual) {
+      const std::uint64_t jobid = job.jobid;
+      ex_.post_after(job.walltime, [this, jobid] { complete(jobid); });
+    }
+  }
+  check_idle();
+}
+
+void Scheduler::complete(std::uint64_t jobid) {
+  auto it = running_.find(jobid);
+  if (it == running_.end()) return;
+  pool_.release(it->second.alloc_id).value();
+  running_.erase(it);
+  ++stats_.completed;
+  if (on_end_) on_end_(jobid);
+  if (!queue_.empty()) kick();
+  check_idle();
+}
+
+void Scheduler::check_idle() {
+  if (idle() && on_idle_) on_idle_();
+}
+
+const Allocation* Scheduler::allocation_of(std::uint64_t jobid) const {
+  auto it = running_.find(jobid);
+  return it == running_.end() ? nullptr : pool_.lookup(it->second.alloc_id);
+}
+
+std::vector<std::uint64_t> Scheduler::running_jobs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(running_.size());
+  for (const auto& [jobid, r] : running_) out.push_back(jobid);
+  return out;
+}
+
+}  // namespace flux

@@ -1,0 +1,93 @@
+// Shared test scaffolding: a simulated session plus helpers to run client
+// coroutines to completion deterministically.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <exception>
+#include <memory>
+#include <optional>
+
+#include "api/handle.hpp"
+#include "broker/session.hpp"
+#include "exec/sim_executor.hpp"
+#include "kvs/kvs_client.hpp"
+
+namespace flux::testing {
+
+/// A wired-up simulated session.
+class SimSession {
+ public:
+  static SessionConfig default_config(std::uint32_t size = 8,
+                                      std::uint32_t arity = 2) {
+    SessionConfig cfg;
+    cfg.size = size;
+    cfg.tree_arity = arity;
+    return cfg;
+  }
+
+  explicit SimSession(SessionConfig cfg = default_config()) {
+    session_ = Session::create_sim(ex_, std::move(cfg));
+    wireup_ = session_->run_until_online();
+  }
+
+  [[nodiscard]] SimExecutor& ex() noexcept { return ex_; }
+  [[nodiscard]] Session& session() noexcept { return *session_; }
+  [[nodiscard]] Duration wireup() const noexcept { return wireup_; }
+
+  std::unique_ptr<Handle> attach(NodeId rank) { return session_->attach(rank); }
+
+  /// Run a client coroutine until it completes; rethrows its exception.
+  /// Fails the test (throws) if the simulator goes idle first.
+  template <class T>
+  T run(Task<T> task) {
+    std::optional<T> out;
+    std::exception_ptr error;
+    bool done = false;
+    co_spawn(ex_, wrap(std::move(task), &out, &error, &done), "test-task");
+    ex_.run();
+    if (error) std::rethrow_exception(error);
+    if (!done) throw std::runtime_error("test task stalled (simulator idle)");
+    return std::move(*out);
+  }
+
+  void run(Task<void> task) {
+    std::exception_ptr error;
+    bool done = false;
+    co_spawn(ex_, wrap_void(std::move(task), &error, &done), "test-task");
+    ex_.run();
+    if (error) std::rethrow_exception(error);
+    if (!done) throw std::runtime_error("test task stalled (simulator idle)");
+  }
+
+  /// Let background (daemon-driven) activity proceed for simulated time d.
+  void settle(Duration d) { ex_.run_for(d); }
+
+ private:
+  template <class T>
+  static Task<void> wrap(Task<T> task, std::optional<T>* out,
+                         std::exception_ptr* error, bool* done) {
+    try {
+      out->emplace(co_await std::move(task));
+    } catch (...) {
+      *error = std::current_exception();
+    }
+    *done = true;
+  }
+
+  static Task<void> wrap_void(Task<void> task, std::exception_ptr* error,
+                              bool* done) {
+    try {
+      co_await std::move(task);
+    } catch (...) {
+      *error = std::current_exception();
+    }
+    *done = true;
+  }
+
+  SimExecutor ex_;
+  std::unique_ptr<Session> session_;
+  Duration wireup_{0};
+};
+
+}  // namespace flux::testing

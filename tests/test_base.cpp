@@ -1,0 +1,124 @@
+// Base utilities: errors, hex, rng, logging.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/error.hpp"
+#include "base/hex.hpp"
+#include "base/log.hpp"
+#include "base/rng.hpp"
+
+namespace flux {
+namespace {
+
+TEST(Error, NamesAndMessages) {
+  EXPECT_EQ(errc_name(Errc::NoEnt), "ENOENT");
+  EXPECT_EQ(errc_name(Errc::NoSys), "ENOSYS");
+  EXPECT_EQ(Error(Errc::TimedOut).to_string(), "ETIMEDOUT");
+  EXPECT_EQ(Error(Errc::Inval, "bad key").to_string(), "EINVAL: bad key");
+  EXPECT_TRUE(Error().ok());
+  EXPECT_FALSE(Error(Errc::Perm).ok());
+}
+
+TEST(Expected, ValueAndErrorPaths) {
+  Expected<int> good(5);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(*good, 5);
+  EXPECT_EQ(good.value_or(9), 5);
+
+  Expected<int> bad(Error(Errc::NoEnt, "missing"));
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, Errc::NoEnt);
+  EXPECT_EQ(bad.value_or(9), 9);
+  EXPECT_THROW((void)bad.value(), FluxException);
+}
+
+TEST(Expected, StatusSemantics) {
+  Status ok;
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_NO_THROW(ok.value());
+  Status fail(Error(Errc::Again));
+  EXPECT_FALSE(fail.has_value());
+  EXPECT_THROW(fail.value(), FluxException);
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint8_t> bytes{0x00, 0x01, 0xab, 0xff, 0x10};
+  const std::string hex = hex_encode(bytes);
+  EXPECT_EQ(hex, "0001abff10");
+  auto back = hex_decode(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+  // Upper case accepted.
+  EXPECT_EQ(*hex_decode("AB"), (std::vector<std::uint8_t>{0xab}));
+}
+
+TEST(Hex, DecodeRejectsBadInput) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // non-hex
+  EXPECT_TRUE(hex_decode("").has_value());       // empty is valid (empty)
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BytesLengthAndPrintable) {
+  Rng rng(11);
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    const std::string s = rng.bytes(n);
+    ASSERT_EQ(s.size(), n);
+    for (char ch : s) ASSERT_TRUE(std::isprint(static_cast<unsigned char>(ch)));
+  }
+}
+
+TEST(Log, SinkCapturesAboveThreshold) {
+  std::vector<std::string> captured;
+  log::set_sink([&](log::Level, std::string_view comp, std::string_view msg) {
+    captured.push_back(std::string(comp) + ": " + std::string(msg));
+  });
+  const auto old = log::level();
+  log::set_level(log::Level::Warn);
+  log::debug("t", "invisible");
+  log::warn("t", "visible ", 42);
+  log::error("t", "also visible");
+  log::set_level(old);
+  log::reset_sink();
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "t: visible 42");
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,239 @@
+// CMB broker: wire-up, routing on all three planes, events, module depth.
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+TEST(Session, WiresUpAndReportsOnline) {
+  SimSession s(SimSession::default_config(16));
+  EXPECT_TRUE(s.session().all_online());
+  EXPECT_GT(s.wireup().count(), 0);
+  for (NodeId r = 0; r < 16; ++r)
+    EXPECT_TRUE(s.session().broker(r).online()) << "rank " << r;
+}
+
+TEST(Session, WireupScalesSubLinearly) {
+  auto wireup_of = [](std::uint32_t n) {
+    SimSession s(SimSession::default_config(n));
+    return s.wireup();
+  };
+  const auto w16 = wireup_of(16);
+  const auto w256 = wireup_of(256);
+  // 16x the brokers should cost far less than 16x the wire-up time
+  // (tree-parallel hello reduction).
+  EXPECT_LT(w256.count(), w16.count() * 16);
+}
+
+TEST(Broker, RingAddressedPing) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(2);
+  Json pong = s.run(h->ping(5));
+  EXPECT_EQ(pong.get_int("rank"), 5);
+  EXPECT_EQ(pong.get_int("from"), 2);
+  EXPECT_GT(s.session().broker(3).stats().ring_forwarded, 0u);
+}
+
+TEST(Broker, PingUnknownRankFails) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(0);
+  EXPECT_THROW(s.run(h->ping(99)), FluxException);
+}
+
+TEST(Broker, CmbInfo) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(6);
+  Message resp = s.run(h->rpc_check("cmb.info"));
+  EXPECT_EQ(resp.payload.get_int("rank"), 6);
+  EXPECT_EQ(resp.payload.get_int("size"), 8);
+  EXPECT_EQ(resp.payload.get_int("depth"), 2);
+  EXPECT_TRUE(resp.payload.get_bool("online"));
+}
+
+TEST(Broker, CmbLsmodListsTableOneModules) {
+  SimSession s;
+  auto h = s.attach(0);
+  Message resp = s.run(h->rpc_check("cmb.lsmod"));
+  std::set<std::string> mods;
+  for (const Json& m : resp.payload.at("modules").as_array())
+    mods.insert(m.as_string());
+  for (const char* want :
+       {"hb", "live", "log", "mon", "group", "barrier", "kvs", "wexec", "resvc"})
+    EXPECT_TRUE(mods.contains(want)) << want;
+}
+
+TEST(Broker, UnmatchedServiceGetsEnosysFromRoot) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(7);
+  Message resp = s.run([](Handle* hd) -> Task<Message> {
+    Message r = co_await hd->rpc("nosuch.service");
+    co_return r;
+  }(h.get()));
+  EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));
+}
+
+TEST(Broker, UnknownMethodGetsEnosysFromModule) {
+  SimSession s;
+  auto h = s.attach(0);
+  Message resp = s.run([](Handle* hd) -> Task<Message> {
+    Message r = co_await hd->rpc("kvs.frobnicate");
+    co_return r;
+  }(h.get()));
+  EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));
+}
+
+TEST(Broker, RpcTimeoutFires) {
+  // barrier.enter with an impossible nprocs never completes -> timeout.
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(1);
+  RpcOptions opts;
+  opts.timeout = std::chrono::milliseconds(10);
+  bool timed_out = false;
+  s.run([](Handle* hd, RpcOptions o, bool* out) -> Task<void> {
+    Json payload = Json::object({{"name", "never"}, {"nprocs", 9999}});
+    try {
+      (void)co_await hd->rpc("barrier.enter", std::move(payload), o);
+    } catch (const FluxException& e) {
+      *out = (e.error().code == Errc::TimedOut);
+    }
+  }(h.get(), opts, &timed_out));
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Broker, EventsAreGloballySequencedAndOrdered) {
+  SimSession s(SimSession::default_config(8));
+  auto pub = s.attach(5);
+  auto sub = s.attach(3);
+  std::vector<std::uint64_t> seqs;
+  std::vector<std::string> topics;
+  sub->subscribe("test", [&](const Message& ev) {
+    seqs.push_back(ev.seq);
+    topics.push_back(ev.topic);
+  });
+  for (int i = 0; i < 5; ++i)
+    pub->publish("test.ev" + std::to_string(i));
+  s.ex().run();
+  ASSERT_EQ(topics.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(topics[static_cast<std::size_t>(i)], "test.ev" + std::to_string(i));
+  for (std::size_t i = 1; i < seqs.size(); ++i)
+    EXPECT_GT(seqs[i], seqs[i - 1]);
+}
+
+TEST(Broker, EventsReachEveryRankAndPrefixFilter) {
+  SimSession s(SimSession::default_config(8));
+  std::vector<std::unique_ptr<Handle>> handles;
+  int hits = 0, misses = 0;
+  for (NodeId r = 0; r < 8; ++r) {
+    handles.push_back(s.attach(r));
+    handles.back()->subscribe("aaa", [&](const Message&) { ++hits; });
+    handles.back()->subscribe("zzz", [&](const Message&) { ++misses; });
+  }
+  handles[4]->publish("aaa.hello");
+  s.ex().run();
+  EXPECT_EQ(hits, 8);
+  EXPECT_EQ(misses, 0);
+}
+
+TEST(Broker, UnsubscribeStopsDelivery) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(2);
+  int count = 0;
+  auto id = h->subscribe("t", [&](const Message&) { ++count; });
+  h->publish("t.one");
+  s.ex().run();
+  h->unsubscribe(id);
+  h->publish("t.two");
+  s.ex().run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Broker, ModuleDepthLimitedStillServes) {
+  // kvs loaded only at depth <= 1 of a 16-broker binary tree; leaves route
+  // kvs requests upstream transparently (paper: "loaded at a configurable
+  // tree depth").
+  SessionConfig cfg = SimSession::default_config(16);
+  cfg.module_max_depth["kvs"] = 1;
+  SimSession s(cfg);
+  EXPECT_EQ(s.session().broker(15).find_module("kvs"), nullptr);
+  EXPECT_NE(s.session().broker(1).find_module("kvs"), nullptr);
+
+  auto h = s.attach(15);  // a leaf without local kvs
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("depth.test", 99);
+    co_await kvs.commit();
+    Json v = co_await kvs.get("depth.test");
+    if (v != Json(99))
+      throw FluxException(Error(Errc::Proto, "unexpected value"));
+  }(h.get()));
+}
+
+TEST(Broker, BarrierAcrossAllRanks) {
+  SimSession s(SimSession::default_config(8));
+  std::vector<std::unique_ptr<Handle>> handles;
+  int done = 0;
+  for (NodeId r = 0; r < 8; ++r) {
+    handles.push_back(s.attach(r));
+    co_spawn(s.ex(), [](Handle* hd, int* d) -> Task<void> {
+      co_await hd->barrier("b1", 8);
+      ++*d;
+    }(handles.back().get(), &done));
+  }
+  s.ex().run();
+  EXPECT_EQ(done, 8);
+}
+
+TEST(Broker, BarrierDoesNotReleaseEarly) {
+  SimSession s(SimSession::default_config(4));
+  auto h0 = s.attach(0);
+  auto h1 = s.attach(1);
+  int done = 0;
+  co_spawn(s.ex(), [](Handle* hd, int* d) -> Task<void> {
+    co_await hd->barrier("b2", 2);
+    ++*d;
+  }(h0.get(), &done));
+  s.ex().run();
+  EXPECT_EQ(done, 0);  // only 1 of 2 entered
+  co_spawn(s.ex(), [](Handle* hd, int* d) -> Task<void> {
+    co_await hd->barrier("b2", 2);
+    ++*d;
+  }(h1.get(), &done));
+  s.ex().run();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(Broker, BarrierNameReusableAfterCompletion) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    co_await hd->barrier("again", 1);
+    co_await hd->barrier("again", 1);
+    co_await hd->barrier("again", 1);
+  }(h.get()));
+}
+
+class BrokerArity : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BrokerArity, KvsAndBarrierWorkAtEveryArity) {
+  SessionConfig cfg = SimSession::default_config(27, GetParam());
+  SimSession s(cfg);
+  auto h = s.attach(26);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("arity.x", "v");
+    co_await kvs.commit();
+    Json v = co_await kvs.get("arity.x");
+    if (v != Json("v")) throw FluxException(Error(Errc::Proto, "bad value"));
+    co_await hd->barrier("arity", 1);
+  }(h.get()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, BrokerArity,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+}  // namespace
+}  // namespace flux

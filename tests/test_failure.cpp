@@ -1,0 +1,152 @@
+// Fault injection: dead-broker detection, tree self-healing, and service
+// continuity (paper §IV-A: planes "can self-heal when interior nodes fail").
+#include <gtest/gtest.h>
+
+#include "kvs/kvs_module.hpp"
+#include "modules/live.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+SessionConfig failure_config(std::uint32_t size) {
+  SessionConfig cfg = SimSession::default_config(size);
+  cfg.module_config = Json::object(
+      {{"hb", Json::object({{"period_us", 100}})},
+       {"live", Json::object({{"missed_max", 3}})}});
+  return cfg;
+}
+
+TEST(Failure, InteriorDeathHealsTopologyEverywhere) {
+  SimSession s(failure_config(15));  // rank 1 is interior: children 3,4
+  s.settle(std::chrono::milliseconds(1));
+  s.session().fail(1);
+  s.settle(std::chrono::milliseconds(2));
+  // Every live broker's topology replica healed: 3 and 4 under root now.
+  for (NodeId r : {0u, 2u, 3u, 4u, 7u, 14u}) {
+    const Topology& topo = s.session().broker(r).topology();
+    EXPECT_EQ(*topo.parent(3), 0u) << "rank " << r;
+    EXPECT_EQ(*topo.parent(4), 0u) << "rank " << r;
+  }
+}
+
+TEST(Failure, KvsServesAfterInteriorDeath) {
+  SimSession s(failure_config(15));
+  auto writer = s.attach(0);
+  s.run([](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    co_await kvs.put("pre.fail", "survives");
+    co_await kvs.commit();
+  }(writer.get()));
+
+  s.session().fail(1);
+  s.settle(std::chrono::milliseconds(2));  // detection + healing
+
+  // A client below the dead broker (rank 3's subtree hangs off rank 1
+  // originally) can still read AND write through the healed tree.
+  auto survivor = s.attach(7);  // old path: 7 -> 3 -> 1(dead) -> 0
+  s.run([](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    Json v = co_await kvs.get("pre.fail");
+    if (v != Json("survives"))
+      throw FluxException(Error(Errc::Proto, "lost committed data"));
+    co_await kvs.put("post.fail", "written after heal");
+    co_await kvs.commit();
+    Json w = co_await kvs.get("post.fail");
+    if (w != Json("written after heal"))
+      throw FluxException(Error(Errc::Proto, "post-heal write failed"));
+  }(survivor.get()));
+}
+
+TEST(Failure, EventsReachOrphansAfterHeal) {
+  SimSession s(failure_config(15));
+  s.settle(std::chrono::milliseconds(1));
+  s.session().fail(2);  // children 5, 6
+  s.settle(std::chrono::milliseconds(2));
+  auto sub = s.attach(6);
+  auto pub = s.attach(0);
+  int got = 0;
+  sub->subscribe("heal.test", [&](const Message&) { ++got; });
+  pub->publish("heal.test");
+  s.ex().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Failure, ResvcTakesDeadNodeOutOfThePool) {
+  SimSession s(failure_config(8));
+  s.settle(std::chrono::milliseconds(1));
+  s.session().fail(5);
+  s.settle(std::chrono::milliseconds(3));
+  auto h = s.attach(0);
+  Message st = s.run(h->rpc_check("resvc.status"));
+  EXPECT_EQ(st.payload.get_int("down"), 1);
+  EXPECT_EQ(st.payload.get_int("free"), 7);
+  // The KVS enumeration reflects the death.
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    Json n5 = co_await kvs.get("resource.nodes.n5");
+    if (n5.get_string("state") != "down")
+      throw FluxException(Error(Errc::Proto, "node not marked down"));
+  }(h.get()));
+}
+
+TEST(Failure, LeafDeathIsDetectedButHarmless) {
+  SimSession s(failure_config(8));
+  s.settle(std::chrono::milliseconds(1));
+  s.session().fail(7);  // leaf
+  s.settle(std::chrono::milliseconds(2));
+  auto* live =
+      dynamic_cast<modules::Live*>(s.session().broker(3).find_module("live"));
+  ASSERT_NE(live, nullptr);
+  EXPECT_TRUE(live->dead().contains(7));
+  // The rest of the session is fully functional.
+  auto h = s.attach(6);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("after.leaf.death", 1);
+    co_await kvs.commit();
+    co_await hd->barrier("leafdeath", 1);
+  }(h.get()));
+}
+
+TEST(Failure, MultipleDeaths) {
+  SimSession s(failure_config(31));
+  s.settle(std::chrono::milliseconds(1));
+  s.session().fail(5);
+  s.settle(std::chrono::milliseconds(2));
+  s.session().fail(2);
+  s.settle(std::chrono::milliseconds(2));
+  // 5's children (11, 12) first moved under 2; when 2 died they... were
+  // re-homed under 2's parent along with 2's other children.
+  auto h = s.attach(11);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("multi.death", "ok");
+    co_await kvs.commit();
+    Json v = co_await kvs.get("multi.death");
+    if (v != Json("ok")) throw FluxException(Error(Errc::Proto, "broken"));
+  }(h.get()));
+}
+
+TEST(Failure, PendingRpcOnFailedBrokerSettles) {
+  SimSession s(failure_config(8));
+  auto h = s.attach(3);
+  Errc seen = Errc::Ok;
+  co_spawn(s.ex(), [](Handle* hd, Errc* out) -> Task<void> {
+    try {
+      // A barrier that will never complete while the broker dies.
+      co_await hd->barrier("doomed", 999);
+    } catch (const FluxException& e) {
+      *out = e.error().code;
+    }
+  }(h.get(), &seen), "doomed");
+  s.settle(std::chrono::microseconds(500));
+  s.session().fail(3);
+  s.ex().run();
+  EXPECT_EQ(seen, Errc::HostDown);
+}
+
+}  // namespace
+}  // namespace flux

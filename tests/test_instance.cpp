@@ -1,0 +1,243 @@
+// FluxInstance: the hierarchical job model of §III — nested instances,
+// the three hierarchy rules, elasticity, and dynamic power capping.
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "exec/sim_executor.hpp"
+
+namespace flux {
+namespace {
+
+ResourceGraph center(unsigned clusters = 2, unsigned racks = 2,
+                     unsigned nodes = 8) {
+  return ResourceGraph::build_center("center", clusters, racks, nodes, 16, 32,
+                                     350, 100);
+}
+
+TEST(Instance, RunsAppJobsToCompletion) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  std::vector<std::string> completed;
+  root.on_job_complete([&](std::uint64_t, const JobSpec& spec) {
+    completed.push_back(spec.name);
+  });
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(root.submit(JobSpec::app("app" + std::to_string(i), 8,
+                                         std::chrono::milliseconds(2)))
+                    .has_value());
+  ex.run();
+  EXPECT_EQ(completed.size(), 4u);
+  EXPECT_TRUE(root.quiescent());
+  EXPECT_EQ(root.pool().free_nodes(), 32u);
+}
+
+TEST(Instance, NestedInstanceRunsSubjobs) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  std::vector<JobSpec> subjobs;
+  for (int i = 0; i < 6; ++i)
+    subjobs.push_back(
+        JobSpec::app("sub" + std::to_string(i), 4, std::chrono::milliseconds(1)));
+  auto id = root.submit(JobSpec::instance("ensemble", 16, "fcfs", subjobs));
+  ASSERT_TRUE(id.has_value());
+  ex.run();
+  EXPECT_EQ(root.state(*id), JobState::Complete);
+  const auto stats = root.tree_stats();
+  // 6 sub-jobs + the instance job itself; 2 instances existed in total.
+  EXPECT_EQ(stats.jobs_completed, 7u);
+  EXPECT_EQ(stats.instances, 2u);
+  EXPECT_EQ(root.pool().free_nodes(), 32u);
+}
+
+TEST(Instance, ThreeLevelHierarchy) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "center", graph);
+  // center -> cluster instance -> uq-ensemble instance -> apps
+  std::vector<JobSpec> leaf_jobs;
+  for (int i = 0; i < 4; ++i)
+    leaf_jobs.push_back(
+        JobSpec::app("leaf" + std::to_string(i), 2, std::chrono::milliseconds(1)));
+  JobSpec mid = JobSpec::instance("uq", 8, "easy", leaf_jobs);
+  JobSpec top = JobSpec::instance("campaign", 16, "fcfs", {mid});
+  auto id = root.submit(top);
+  ASSERT_TRUE(id.has_value());
+  ex.run();
+  EXPECT_EQ(root.state(*id), JobState::Complete);
+  EXPECT_EQ(root.tree_stats().instances, 3u);
+  EXPECT_EQ(root.tree_stats().jobs_completed, 6u);  // 4 leaves + 2 instances
+}
+
+TEST(Instance, ParentBoundingRuleCapsChild) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  // Child gets 4 nodes; a sub-job needing 8 can never run there.
+  std::vector<JobSpec> subjobs{
+      JobSpec::app("too-wide", 8, std::chrono::milliseconds(1))};
+  auto id = root.submit(JobSpec::instance("narrow", 4, "fcfs", subjobs));
+  ASSERT_TRUE(id.has_value());
+  ex.run();
+  // The instance completes (the infeasible sub-job was rejected, not hung).
+  EXPECT_EQ(root.state(*id), JobState::Complete);
+  EXPECT_EQ(root.tree_stats().jobs_completed, 1u);  // only the instance job
+}
+
+TEST(Instance, SiblingInstancesScheduleConcurrently) {
+  // Two sibling child instances each run a serial chain of jobs; because
+  // their schedulers are independent, total makespan is one chain, not two.
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  std::vector<JobSpec> chain;
+  for (int i = 0; i < 5; ++i)
+    chain.push_back(
+        JobSpec::app("j" + std::to_string(i), 8, std::chrono::milliseconds(10)));
+  auto a = root.submit(JobSpec::instance("childA", 8, "fcfs", chain));
+  auto b = root.submit(JobSpec::instance("childB", 8, "fcfs", chain));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  const TimePoint t0 = ex.now();
+  ex.run();
+  const Duration makespan = ex.now() - t0;
+  EXPECT_EQ(root.state(*a), JobState::Complete);
+  EXPECT_EQ(root.state(*b), JobState::Complete);
+  // Serial would be >= 100ms; concurrent ~50ms.
+  EXPECT_LT(makespan, std::chrono::milliseconds(80));
+  EXPECT_GE(makespan, std::chrono::milliseconds(50));
+}
+
+TEST(Instance, GrowWithParentalConsent) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  // A long-lived child instance (kept alive by a long job).
+  std::vector<JobSpec> subjobs{
+      JobSpec::app("long", 2, std::chrono::milliseconds(50))};
+  auto id = root.submit(JobSpec::instance("elastic", 4, "fcfs", subjobs));
+  ASSERT_TRUE(id.has_value());
+  ex.run_for(std::chrono::milliseconds(5));
+  auto children = root.children();
+  ASSERT_EQ(children.size(), 1u);
+  FluxInstance* child = children[0];
+  EXPECT_EQ(child->pool().total_nodes(), 4u);
+
+  ResourceRequest delta;
+  delta.nnodes = 3;
+  ASSERT_TRUE(child->request_grow(delta).has_value());
+  EXPECT_EQ(child->pool().total_nodes(), 7u);
+  // Parent's books reflect the grant.
+  EXPECT_EQ(root.pool().free_nodes(), 32u - 7u);
+
+  // And shrink back.
+  ResourceRequest back;
+  back.nnodes = 3;
+  ASSERT_TRUE(child->release_shrink(back).has_value());
+  EXPECT_EQ(child->pool().total_nodes(), 4u);
+  EXPECT_EQ(root.pool().free_nodes(), 32u - 4u);
+  ex.run();
+}
+
+TEST(Instance, GrowDeniedWhenParentExhausted) {
+  SimExecutor ex;
+  ResourceGraph graph = center(1, 1, 8);  // 8 nodes total
+  FluxInstance root(ex, "root", graph);
+  std::vector<JobSpec> subjobs{
+      JobSpec::app("long", 1, std::chrono::milliseconds(50))};
+  auto id = root.submit(JobSpec::instance("greedy", 8, "fcfs", subjobs));
+  ASSERT_TRUE(id.has_value());
+  ex.run_for(std::chrono::milliseconds(5));
+  auto children = root.children();
+  ASSERT_EQ(children.size(), 1u);
+  ResourceRequest delta;
+  delta.nnodes = 1;
+  auto st = children[0]->request_grow(delta);
+  EXPECT_FALSE(st.has_value());  // nothing left anywhere up the hierarchy
+  ex.run();
+}
+
+TEST(Instance, RootGrowHasNoParent) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  ResourceRequest delta;
+  delta.nnodes = 1;
+  EXPECT_FALSE(root.request_grow(delta).has_value());
+}
+
+TEST(Instance, PowerCapShedsMalleableJobs) {
+  SimExecutor ex;
+  ResourceGraph graph = center();  // 32 nodes x 350 W
+  FluxInstance root(ex, "root", graph);
+  JobSpec hungry = JobSpec::app("hungry", 4, std::chrono::milliseconds(50), 4000);
+  hungry.malleable = true;
+  JobSpec rigid = JobSpec::app("rigid", 4, std::chrono::milliseconds(50), 2000);
+  ASSERT_TRUE(root.submit(hungry).has_value());
+  ASSERT_TRUE(root.submit(rigid).has_value());
+  ex.run_for(std::chrono::milliseconds(5));
+  EXPECT_DOUBLE_EQ(root.pool().power_in_use(), 6000);
+
+  // Site-wide cap drops to 4000 W: the malleable job must shed ~2000 W.
+  root.set_power_cap(4000);
+  EXPECT_FALSE(root.pool().over_power_budget());
+  EXPECT_LE(root.pool().power_in_use(), 4000.001);
+  ex.run();
+}
+
+TEST(Instance, PowerCapCascadesToChildren) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  JobSpec child_spec =
+      JobSpec::instance("powered", 8, "fcfs",
+                        {JobSpec::app("long", 1, std::chrono::milliseconds(50))});
+  child_spec.child_power_budget_w = 2000;
+  child_spec.request.power_w = 2000;
+  auto id = root.submit(child_spec);
+  ASSERT_TRUE(id.has_value());
+  ex.run_for(std::chrono::milliseconds(5));
+  auto children = root.children();
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_DOUBLE_EQ(children[0]->pool().power_budget(), 2000);
+
+  root.set_power_cap(1000);  // below the child's budget
+  EXPECT_LT(children[0]->pool().power_budget(), 2000);
+  ex.run();
+}
+
+TEST(Instance, SchedulingSpecializationPerChild) {
+  // §III: "specialize the scheduling behaviors on subsets of resources".
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph, "fcfs");
+  auto a = root.submit(JobSpec::instance(
+      "strict", 8, "fcfs",
+      {JobSpec::app("x", 8, std::chrono::milliseconds(1))}));
+  auto b = root.submit(JobSpec::instance(
+      "backfilling", 8, "easy",
+      {JobSpec::app("y", 8, std::chrono::milliseconds(1))}));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  ex.run_for(std::chrono::microseconds(500));
+  auto children = root.children();
+  ASSERT_EQ(children.size(), 2u);
+  std::set<std::string_view> policies;
+  for (auto* c : children) policies.insert(c->scheduler().policy().name());
+  EXPECT_TRUE(policies.contains("fcfs"));
+  EXPECT_TRUE(policies.contains("easy"));
+  ex.run();
+}
+
+TEST(Instance, EmptyInstanceCompletesImmediately) {
+  SimExecutor ex;
+  ResourceGraph graph = center();
+  FluxInstance root(ex, "root", graph);
+  auto id = root.submit(JobSpec::instance("empty", 4, "fcfs", {}));
+  ASSERT_TRUE(id.has_value());
+  ex.run();
+  EXPECT_EQ(root.state(*id), JobState::Complete);
+  EXPECT_EQ(root.pool().free_nodes(), 32u);
+}
+
+}  // namespace
+}  // namespace flux

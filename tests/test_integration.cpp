@@ -1,0 +1,189 @@
+// Cross-module integration scenarios on larger sessions: the full stack
+// (PMI + wexec + mon + log + KVS) exercised concurrently, event ordering
+// under concurrent publishers, and a center-scale KVS sweep.
+#include <gtest/gtest.h>
+
+#include "api/pmi.hpp"
+#include "modules/logmod.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+TEST(Integration, FullStackConcurrentWorkloads) {
+  SessionConfig cfg = SimSession::default_config(32);
+  cfg.module_config =
+      Json::object({{"hb", Json::object({{"period_us", 200}})},
+                    {"mon", Json::object({{"interval_epochs", 2}})}});
+  SimSession s(cfg);
+
+  int pmi_done = 0, wexec_done = 0, log_done = 0;
+
+  // Workload 1: a 32-rank PMI bootstrap.
+  std::vector<std::unique_ptr<Handle>> pmi_handles;
+  for (int p = 0; p < 32; ++p) {
+    pmi_handles.push_back(s.attach(static_cast<NodeId>(p)));
+    co_spawn(s.ex(), [](Handle* h, int rank, int* d) -> Task<void> {
+      Pmi pmi(*h, "intjob", rank, 32);
+      co_await pmi.init();
+      co_await pmi.put("c" + std::to_string(rank), std::to_string(rank));
+      co_await pmi.barrier();
+      std::string peer =
+          co_await pmi.get("c" + std::to_string((rank + 7) % 32));
+      if (peer != std::to_string((rank + 7) % 32))
+        throw FluxException(Error(Errc::Proto, "bad peer card"));
+      ++*d;
+    }(pmi_handles.back().get(), p, &pmi_done), "pmi");
+  }
+
+  // Workload 2: bulk wexec job with KVS-captured output.
+  auto wh = s.attach(17);
+  co_spawn(s.ex(), [](Handle* h, int* d) -> Task<void> {
+    Json payload = Json::object({{"jobid", "intwx"},
+                                 {"cmd", "hostname"},
+                                 {"args", Json::object()},
+                                 {"ranks", Json()}});
+    Message r = co_await h->rpc_check("wexec.run", std::move(payload));
+    if (!r.payload.get_bool("success"))
+      throw FluxException(Error(Errc::Proto, "wexec failed"));
+    ++*d;
+  }(wh.get(), &wexec_done), "wexec");
+
+  // Workload 3: mon sampling activated through the KVS + log traffic.
+  auto mh = s.attach(9);
+  co_spawn(s.ex(), [](Handle* h, int* d) -> Task<void> {
+    KvsClient kvs(*h);
+    Json samplers = Json::array({"load", "mem"});
+    co_await kvs.put("mon.samplers", std::move(samplers));
+    co_await kvs.commit();
+    for (int i = 0; i < 5; ++i) {
+      Json rec = Json::object({{"level", 4},
+                               {"component", "integration"},
+                               {"text", "tick " + std::to_string(i)}});
+      co_await h->rpc_check("log.append", std::move(rec));
+      co_await h->sleep(std::chrono::microseconds(300));
+    }
+    ++*d;
+  }(mh.get(), &log_done), "monlog");
+
+  s.ex().run();
+  s.settle(std::chrono::milliseconds(3));  // let mon epochs land
+
+  EXPECT_EQ(pmi_done, 32);
+  EXPECT_EQ(wexec_done, 1);
+  EXPECT_EQ(log_done, 1);
+
+  // Everything observable landed where it should.
+  auto check = s.attach(0);
+  s.run([](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    (void)co_await kvs.get("lwj.intwx.31.stdout");     // wexec capture
+    auto mon = co_await kvs.list_dir("mon.data.load");  // mon aggregates
+    if (mon.empty()) throw FluxException(Error(Errc::Proto, "no samples"));
+  }(check.get()));
+  auto* root_log =
+      dynamic_cast<modules::Log*>(s.session().broker(0).find_module("log"));
+  int integration_records = 0;
+  for (const auto& rec : root_log->session_log())
+    if (rec.component == "integration") ++integration_records;
+  EXPECT_EQ(integration_records, 5);
+}
+
+TEST(Integration, EventOrderIsIdenticalEverywhere) {
+  SimSession s(SimSession::default_config(16));
+  // Three concurrent publishers on different ranks; every subscriber must
+  // observe the exact same global order (root sequencing).
+  std::vector<std::unique_ptr<Handle>> pubs;
+  std::vector<std::unique_ptr<Handle>> subs;
+  std::vector<std::vector<std::string>> seen(4);
+  for (int i = 0; i < 4; ++i) {
+    subs.push_back(s.attach(static_cast<NodeId>(15 - i * 4)));
+    auto* sink = &seen[static_cast<std::size_t>(i)];
+    subs.back()->subscribe("race", [sink](const Message& ev) {
+      sink->push_back(ev.topic);
+    });
+  }
+  for (int p = 0; p < 3; ++p) {
+    pubs.push_back(s.attach(static_cast<NodeId>(p * 5 + 1)));
+    co_spawn(s.ex(), [](Handle* h, int publisher) -> Task<void> {
+      for (int i = 0; i < 10; ++i) {
+        h->publish("race.p" + std::to_string(publisher) + "." +
+                   std::to_string(i));
+        co_await yield_to(h->executor());
+      }
+    }(pubs.back().get(), p), "publisher");
+  }
+  s.ex().run();
+  ASSERT_EQ(seen[0].size(), 30u);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], seen[0]);
+  // Per-publisher order preserved within the global order.
+  for (int p = 0; p < 3; ++p) {
+    int last = -1;
+    for (const auto& topic : seen[0]) {
+      if (topic.find("race.p" + std::to_string(p) + ".") != 0) continue;
+      const int idx = std::stoi(topic.substr(topic.rfind('.') + 1));
+      EXPECT_GT(idx, last);
+      last = idx;
+    }
+  }
+}
+
+TEST(Integration, CenterScaleKvsSweep) {
+  // 128 brokers, binary tree: writers on every 8th rank, one fence, then a
+  // full cross-read from the deepest leaves — a miniature KAP inline.
+  SimSession s(SimSession::default_config(128));
+  std::vector<std::unique_ptr<Handle>> handles;
+  int done = 0;
+  constexpr int kWriters = 16;
+  for (int w = 0; w < kWriters; ++w) {
+    handles.push_back(s.attach(static_cast<NodeId>(w * 8)));
+    co_spawn(s.ex(), [](Handle* h, int id, int* d) -> Task<void> {
+      KvsClient kvs(*h);
+      co_await kvs.put("sweep.w" + std::to_string(id),
+                       std::string(static_cast<std::size_t>(64 + id), '#'));
+      co_await kvs.fence("sweep", kWriters);
+      ++*d;
+    }(handles.back().get(), w, &done), "writer");
+  }
+  s.ex().run();
+  ASSERT_EQ(done, kWriters);
+  for (NodeId leaf : {127u, 96u, 64u}) {
+    auto reader = s.attach(leaf);
+    s.run([](Handle* h) -> Task<void> {
+      KvsClient kvs(*h);
+      for (int w = 0; w < kWriters; ++w) {
+        Json v = co_await kvs.get("sweep.w" + std::to_string(w));
+        if (v.as_string().size() != static_cast<std::size_t>(64 + w))
+          throw FluxException(Error(Errc::Proto, "bad sweep value"));
+      }
+    }(reader.get()));
+  }
+}
+
+TEST(Integration, WatchDrivenToolReactsToJobCompletion) {
+  // A "tool" watches the lwj directory; launching a job must wake it
+  // (hash-tree property: a directory changes when anything below changes).
+  SimSession s(SimSession::default_config(8));
+  auto tool = s.attach(5);
+  KvsClient tool_kvs(*tool);
+  int wakes = 0;
+  tool_kvs.watch("lwj", [&](const std::optional<Json>&) { ++wakes; });
+  s.ex().run();
+  EXPECT_EQ(wakes, 1);  // initial (absent)
+
+  auto launcher = s.attach(2);
+  s.run([](Handle* h) -> Task<void> {
+    Json payload = Json::object({{"jobid", "watched"},
+                                 {"cmd", "hostname"},
+                                 {"args", Json::object()},
+                                 {"ranks", Json::array({0, 1})}});
+    co_await h->rpc_check("wexec.run", std::move(payload));
+  }(launcher.get()));
+  s.ex().run();
+  EXPECT_GE(wakes, 2);  // job stdio/exit commit changed the lwj dir
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,194 @@
+// JSON value model, parser, canonical serialization.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "base/rng.hpp"
+#include "json/json.hpp"
+
+namespace flux {
+namespace {
+
+TEST(Json, ScalarTypes) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(42).is_int());
+  EXPECT_TRUE(Json(4.5).is_double());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+}
+
+TEST(Json, IntAndDoubleStayDistinct) {
+  EXPECT_NE(Json(1), Json(1.0));
+  EXPECT_EQ(Json(1).dump(), "1");
+  EXPECT_EQ(Json(1.0).dump(), "1.0");
+}
+
+TEST(Json, DumpCanonicalSortedKeys) {
+  Json j = Json::object({{"zebra", 1}, {"alpha", 2}, {"mid", 3}});
+  EXPECT_EQ(j.dump(), R"({"alpha":2,"mid":3,"zebra":1})");
+}
+
+TEST(Json, EqualObjectsSerializeIdentically) {
+  Json a = Json::object({{"x", 1}, {"y", "two"}});
+  Json b;
+  b["y"] = "two";
+  b["x"] = 1;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+TEST(Json, StringEscapes) {
+  Json j = Json("line\n\"quoted\"\ttab\\slash\x01");
+  EXPECT_EQ(j.dump(), R"("line\n\"quoted\"\ttab\\slash\u0001")");
+  auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, j);
+}
+
+TEST(Json, ParseBasics) {
+  auto v = Json::parse(R"({"a": [1, 2.5, "x", true, false, null], "b": {}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at("a").size(), 6u);
+  EXPECT_EQ(v->at("a").as_array()[0], Json(1));
+  EXPECT_EQ(v->at("a").as_array()[1], Json(2.5));
+  EXPECT_TRUE(v->at("b").is_object());
+}
+
+TEST(Json, ParseTopLevelScalars) {
+  EXPECT_EQ(*Json::parse("true"), Json(true));
+  EXPECT_EQ(*Json::parse("false"), Json(false));
+  EXPECT_EQ(*Json::parse("null"), Json());
+  EXPECT_EQ(*Json::parse("-17"), Json(-17));
+  EXPECT_EQ(*Json::parse("\"s\""), Json("s"));
+  EXPECT_EQ(*Json::parse("1e3"), Json(1000.0));
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  auto v = Json::parse(R"("Aé中😀")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "[1] trailing", "{\"a\" 1}", "\"\\u12\"", "\"bad\x01ctl\"",
+        "nan", "+1"}) {
+    auto v = Json::parse(bad);
+    EXPECT_FALSE(v.has_value()) << "input: " << bad;
+  }
+}
+
+TEST(Json, DeepNestingLimit) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(Json, Int64RoundTrip) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  Json j(big);
+  auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_int(), big);
+}
+
+TEST(Json, GettersWithDefaults) {
+  Json j = Json::object({{"i", 7}, {"s", "str"}, {"b", true}, {"d", 2.5}});
+  EXPECT_EQ(j.get_int("i"), 7);
+  EXPECT_EQ(j.get_int("missing", -1), -1);
+  EXPECT_EQ(j.get_string("s"), "str");
+  EXPECT_EQ(j.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(j.get_bool("b"));
+  EXPECT_DOUBLE_EQ(j.get_double("d"), 2.5);
+  EXPECT_DOUBLE_EQ(j.get_double("i"), 7.0);  // int promotes
+}
+
+TEST(Json, AtOnMissingReturnsNull) {
+  Json j = Json::object({{"x", 1}});
+  EXPECT_TRUE(j.at("nope").is_null());
+  EXPECT_TRUE(Json(3).at("anything").is_null());
+}
+
+TEST(Json, TypeErrorsThrow) {
+  EXPECT_THROW((void)Json("s").as_int(), FluxException);
+  EXPECT_THROW((void)Json(1).as_string(), FluxException);
+  EXPECT_THROW((void)Json(1).as_array(), FluxException);
+  EXPECT_THROW((void)Json(1).as_object(), FluxException);
+  EXPECT_THROW((void)Json("s").as_double(), FluxException);
+}
+
+TEST(Json, SubscriptPromotesNull) {
+  Json j;
+  j["a"]["b"] = 5;
+  EXPECT_EQ(j.at("a").at("b"), Json(5));
+}
+
+TEST(Json, PushBackPromotesNull) {
+  Json j;
+  j.push_back(1);
+  j.push_back("two");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, DumpSizeMatchesDump) {
+  Json j = Json::object(
+      {{"arr", Json::array({1, 2.5, "three", true, nullptr})},
+       {"nested", Json::object({{"k", "v\nescaped"}})},
+       {"n", -42}});
+  EXPECT_EQ(j.dump_size(), j.dump().size());
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  Json j = Json::object({{"a", Json::array({1, 2})}, {"b", Json::object()}});
+  auto parsed = Json::parse(j.dump_pretty());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, j);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+// Property: random structured values round-trip through dump/parse.
+TEST(JsonProperty, RandomRoundTrip) {
+  Rng rng(20260705);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Build a random value of bounded depth.
+    std::function<Json(int)> gen = [&](int depth) -> Json {
+      const std::uint64_t pick = rng.below(depth >= 4 ? 5 : 7);
+      switch (pick) {
+        case 0: return Json();
+        case 1: return Json(rng.below(2) == 0);
+        case 2: return Json(static_cast<std::int64_t>(rng() >> 1) -
+                            static_cast<std::int64_t>(rng() >> 2));
+        case 3: return Json(rng.uniform() * 1e6 - 5e5);
+        case 4: return Json(rng.bytes(rng.below(20)));
+        case 5: {
+          Json arr = Json::array();
+          const auto n = rng.below(4);
+          for (std::uint64_t i = 0; i < n; ++i) arr.push_back(gen(depth + 1));
+          return arr;
+        }
+        default: {
+          Json obj = Json::object();
+          const auto n = rng.below(4);
+          for (std::uint64_t i = 0; i < n; ++i)
+            obj[rng.bytes(1 + rng.below(8))] = gen(depth + 1);
+          return obj;
+        }
+      }
+    };
+    const Json value = gen(0);
+    auto parsed = Json::parse(value.dump());
+    ASSERT_TRUE(parsed.has_value()) << value.dump();
+    EXPECT_EQ(*parsed, value) << value.dump();
+    EXPECT_EQ(value.dump_size(), value.dump().size());
+  }
+}
+
+}  // namespace
+}  // namespace flux

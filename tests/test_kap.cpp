@@ -1,0 +1,134 @@
+// KAP driver: phases, parameters, and the paper's qualitative findings at
+// test-friendly scale (parameterized sweeps act as property tests on the
+// evaluation's shape claims).
+#include <gtest/gtest.h>
+
+#include "kap/kap.hpp"
+
+namespace flux::kap {
+namespace {
+
+KapConfig small(std::uint32_t nodes = 8, std::uint32_t ppn = 4) {
+  KapConfig cfg;
+  cfg.nnodes = nodes;
+  cfg.procs_per_node = ppn;
+  return cfg;
+}
+
+TEST(Kap, RunsAllPhasesAndReportsStats) {
+  KapConfig cfg = small();
+  cfg.gets_per_consumer = 2;
+  const KapResult r = run_kap(cfg);
+  EXPECT_GT(r.wireup.count(), 0);
+  EXPECT_GT(r.producer.max.count(), 0);
+  EXPECT_GT(r.sync.max.count(), 0);
+  EXPECT_GT(r.consumer.max.count(), 0);
+  EXPECT_EQ(r.total_objects, 32u);
+  EXPECT_GT(r.net_messages, 0u);
+  EXPECT_GE(r.producer.max, r.producer.p99);
+  EXPECT_GE(r.producer.p99, r.producer.p50);
+}
+
+TEST(Kap, ObjectKeyLayouts) {
+  KapConfig cfg = small();
+  cfg.single_directory = true;
+  EXPECT_EQ(object_key(cfg, 7), "kap.k7");
+  cfg.single_directory = false;
+  cfg.dir_fanout = 128;
+  EXPECT_EQ(object_key(cfg, 7), "kap.d0.k7");
+  EXPECT_EQ(object_key(cfg, 129), "kap.d1.k129");
+}
+
+TEST(Kap, ProducerConsumerSubsets) {
+  KapConfig cfg = small();
+  cfg.nproducers = 4;
+  cfg.nconsumers = 8;
+  cfg.gets_per_consumer = 1;
+  const KapResult r = run_kap(cfg);
+  EXPECT_EQ(r.total_objects, 4u);
+  EXPECT_GT(r.consumer.max.count(), 0);
+}
+
+TEST(Kap, WaitVersionSyncMode) {
+  KapConfig cfg = small(4, 2);
+  cfg.sync = KapConfig::Sync::WaitVersion;
+  cfg.gets_per_consumer = 1;
+  const KapResult r = run_kap(cfg);
+  EXPECT_GT(r.sync.max.count(), 0);
+}
+
+TEST(Kap, StridedAccessPattern) {
+  KapConfig cfg = small();
+  cfg.gets_per_consumer = 4;
+  cfg.access_stride = 7;
+  const KapResult r = run_kap(cfg);
+  EXPECT_GT(r.consumer.max.count(), 0);
+}
+
+// --- shape properties (the paper's findings, at reduced scale) -------------
+
+class KapScale : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(KapScale, FenceRedundantNeverSlowerThanUnique) {
+  KapConfig cfg = small(GetParam());
+  cfg.value_size = 4096;
+  cfg.gets_per_consumer = 0;
+  KapConfig red = cfg;
+  red.redundant_values = true;
+  const auto u = run_kap(cfg);
+  const auto r = run_kap(red);
+  EXPECT_LE(r.sync.max.count(), u.sync.max.count());
+  // And strictly less bytes on the wire.
+  EXPECT_LT(r.net_bytes, u.net_bytes);
+}
+
+TEST_P(KapScale, MultiDirNeverSlowerThanSingleDir) {
+  KapConfig cfg = small(GetParam());
+  cfg.puts_per_producer = 8;  // enough keys for several directories
+  cfg.gets_per_consumer = 2;
+  cfg.dir_fanout = 16;
+  KapConfig multi = cfg;
+  multi.single_directory = false;
+  const auto single = run_kap(cfg);
+  const auto m = run_kap(multi);
+  EXPECT_LE(m.consumer.max.count(), single.consumer.max.count() * 11 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, KapScale, ::testing::Values(4u, 8u, 16u));
+
+TEST(KapShape, UniqueFenceGrowsWithProducers) {
+  auto sync_at = [](std::uint32_t nodes) {
+    KapConfig cfg = small(nodes);
+    cfg.value_size = 2048;
+    cfg.gets_per_consumer = 0;
+    return run_kap(cfg).sync.max.count();
+  };
+  const auto s8 = sync_at(8);
+  const auto s32 = sync_at(32);
+  EXPECT_GT(s32, s8 * 2);  // clearly growing (paper: ~linear)
+}
+
+TEST(KapShape, PutLatencyIndependentOfScale) {
+  auto prod_at = [](std::uint32_t nodes) {
+    KapConfig cfg = small(nodes);
+    cfg.gets_per_consumer = 0;
+    return run_kap(cfg).producer.max.count();
+  };
+  const auto p8 = prod_at(8);
+  const auto p32 = prod_at(32);
+  EXPECT_LT(p32, p8 * 2);  // near-flat (paper: "scales well")
+}
+
+TEST(KapShape, ConsumerValuesVerified) {
+  // The driver validates every byte read; a passing run IS the property.
+  KapConfig cfg = small();
+  cfg.value_size = 512;
+  cfg.gets_per_consumer = 8;
+  cfg.redundant_values = false;
+  EXPECT_NO_THROW(run_kap(cfg));
+  cfg.redundant_values = true;
+  EXPECT_NO_THROW(run_kap(cfg));
+}
+
+}  // namespace
+}  // namespace flux::kap

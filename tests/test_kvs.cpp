@@ -1,0 +1,474 @@
+// KVS: hash-tree semantics, commit/fence, faulting, watch, versions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kvs/kvs_module.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+Task<void> put_commit(Handle* h, std::string key, Json value) {
+  KvsClient kvs(*h);
+  co_await kvs.put(std::move(key), std::move(value));
+  co_await kvs.commit();
+}
+
+TEST(Kvs, PutCommitGetAcrossRanks) {
+  SimSession s(SimSession::default_config(8));
+  auto writer = s.attach(7);
+  auto reader = s.attach(4);
+  s.run(put_commit(writer.get(), "a.b.c", 42));
+  Json v = s.run([](Handle* h) -> Task<Json> {
+    KvsClient kvs(*h);
+    co_return co_await kvs.get("a.b.c");
+  }(reader.get()));
+  EXPECT_EQ(v, Json(42));
+}
+
+TEST(Kvs, GetMissingKeyIsEnoent) {
+  SimSession s;
+  auto h = s.attach(3);
+  try {
+    s.run([](Handle* hd) -> Task<void> {
+      KvsClient kvs(*hd);
+      (void)co_await kvs.get("no.such.key");
+    }(h.get()));
+    FAIL() << "expected ENOENT";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, Errc::NoEnt);
+  }
+}
+
+TEST(Kvs, PathAcrossValueIsEnotdir) {
+  SimSession s;
+  auto h = s.attach(1);
+  s.run(put_commit(h.get(), "x.v", 1));
+  try {
+    s.run([](Handle* hd) -> Task<void> {
+      KvsClient kvs(*hd);
+      (void)co_await kvs.get("x.v.deeper");
+    }(h.get()));
+    FAIL() << "expected ENOTDIR";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, Errc::NotDir);
+  }
+}
+
+TEST(Kvs, GetDirectoryIsEisdir) {
+  SimSession s;
+  auto h = s.attach(2);
+  s.run(put_commit(h.get(), "dir.sub.leaf", 1));
+  try {
+    s.run([](Handle* hd) -> Task<void> {
+      KvsClient kvs(*hd);
+      (void)co_await kvs.get("dir.sub");
+    }(h.get()));
+    FAIL() << "expected EISDIR";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, Errc::IsDir);
+  }
+}
+
+TEST(Kvs, ListDirAndRootDir) {
+  SimSession s;
+  auto h = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("top.a", 1);
+    co_await kvs.put("top.b", 2);
+    co_await kvs.put("other", 3);
+    co_await kvs.commit();
+    auto top = co_await kvs.list_dir("top");
+    if (top != std::vector<std::string>{"a", "b"})
+      throw FluxException(Error(Errc::Proto, "bad top listing"));
+    auto root = co_await kvs.list_dir(".");
+    bool has_top = false, has_other = false;
+    for (const auto& name : root) {
+      has_top |= (name == "top");
+      has_other |= (name == "other");
+    }
+    if (!has_top || !has_other)
+      throw FluxException(Error(Errc::Proto, "bad root listing"));
+  }(h.get()));
+}
+
+TEST(Kvs, UnlinkRemovesKey) {
+  SimSession s;
+  auto h = s.attach(1);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("gone.soon", "x");
+    co_await kvs.commit();
+    co_await kvs.unlink("gone.soon");
+    co_await kvs.commit();
+    try {
+      (void)co_await kvs.get("gone.soon");
+      throw FluxException(Error(Errc::Proto, "key still present"));
+    } catch (const FluxException& e) {
+      if (e.error().code != Errc::NoEnt) throw;
+    }
+  }(h.get()));
+}
+
+TEST(Kvs, MkdirCreatesEmptyDirectory) {
+  SimSession s;
+  auto h = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.mkdir("empty.dir");
+    co_await kvs.commit();
+    auto names = co_await kvs.list_dir("empty.dir");
+    if (!names.empty())
+      throw FluxException(Error(Errc::Proto, "expected empty dir"));
+  }(h.get()));
+}
+
+TEST(Kvs, OverwriteReplacesValueAndBumpsVersion) {
+  SimSession s;
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("k", 1);
+    auto r1 = co_await kvs.commit();
+    co_await kvs.put("k", 2);
+    auto r2 = co_await kvs.commit();
+    if (r2.version <= r1.version)
+      throw FluxException(Error(Errc::Proto, "version not monotonic"));
+    if (r2.rootref == r1.rootref)
+      throw FluxException(Error(Errc::Proto, "root ref did not change"));
+    Json v = co_await kvs.get("k");
+    if (v != Json(2)) throw FluxException(Error(Errc::Proto, "stale value"));
+  }(h.get()));
+}
+
+TEST(Kvs, ValueReplacedByDirectoryAndBack) {
+  SimSession s;
+  auto h = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("morph", 1);
+    co_await kvs.commit();
+    co_await kvs.put("morph.child", 2);  // morph becomes a directory
+    co_await kvs.commit();
+    Json v = co_await kvs.get("morph.child");
+    if (v != Json(2)) throw FluxException(Error(Errc::Proto, "bad child"));
+    co_await kvs.put("morph", 3);  // and back to a value
+    co_await kvs.commit();
+    Json w = co_await kvs.get("morph");
+    if (w != Json(3)) throw FluxException(Error(Errc::Proto, "bad morph"));
+  }(h.get()));
+}
+
+TEST(Kvs, ReadYourWrites) {
+  // Commit returns only after the local root has been applied: an immediate
+  // get on the same handle must see the write (paper's RYW property).
+  SimSession s(SimSession::default_config(16));
+  auto h = s.attach(15);  // deep leaf, far from the master
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (int i = 0; i < 5; ++i) {
+      co_await kvs.put("ryw", i);
+      co_await kvs.commit();
+      Json v = co_await kvs.get("ryw");
+      if (v != Json(i))
+        throw FluxException(Error(Errc::Proto, "stale read-your-write"));
+    }
+  }(h.get()));
+}
+
+TEST(Kvs, MonotonicReadsAcrossVersions) {
+  // A reader polling a key must never observe an older value after a newer
+  // one (paper's monotonic-read property).
+  SimSession s(SimSession::default_config(8));
+  auto writer = s.attach(7);
+  auto reader = s.attach(6);
+  std::vector<std::int64_t> observed;
+  // Writer bumps the key 10 times; reader polls between sim slices.
+  co_spawn(s.ex(), [](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    for (int i = 1; i <= 10; ++i) {
+      co_await kvs.put("mono", i);
+      co_await kvs.commit();
+    }
+  }(writer.get()), "writer");
+  co_spawn(s.ex(), [](Handle* h, std::vector<std::int64_t>* obs) -> Task<void> {
+    KvsClient kvs(*h);
+    for (int i = 0; i < 50; ++i) {
+      try {
+        Json v = co_await kvs.get("mono");
+        obs->push_back(v.as_int());
+      } catch (const FluxException&) {
+        // not yet written
+      }
+      co_await sleep_for(h->executor(), std::chrono::microseconds(50));
+    }
+  }(reader.get(), &observed), "reader");
+  s.ex().run();
+  for (std::size_t i = 1; i < observed.size(); ++i)
+    EXPECT_GE(observed[i], observed[i - 1]) << "at poll " << i;
+  ASSERT_FALSE(observed.empty());
+  EXPECT_EQ(observed.back(), 10);
+}
+
+TEST(Kvs, CausalConsistencyViaWaitVersion) {
+  // Process A writes and passes the version to process B out-of-band; B
+  // waits for that version and must see the value (paper's causal property).
+  SimSession s(SimSession::default_config(16));
+  auto a = s.attach(9);
+  auto b = s.attach(14);
+  std::uint64_t version = 0;
+  s.run([](Handle* h, std::uint64_t* out) -> Task<void> {
+    KvsClient kvs(*h);
+    co_await kvs.put("causal", "payload");
+    auto r = co_await kvs.commit();
+    *out = r.version;
+  }(a.get(), &version));
+  ASSERT_GT(version, 0u);
+  s.run([](Handle* h, std::uint64_t v) -> Task<void> {
+    KvsClient kvs(*h);
+    co_await kvs.wait_version(v);
+    Json value = co_await kvs.get("causal");
+    if (value != Json("payload"))
+      throw FluxException(Error(Errc::Proto, "causal read failed"));
+  }(b.get(), version));
+}
+
+TEST(Kvs, FenceIsCollectiveCommit) {
+  SimSession s(SimSession::default_config(8));
+  std::vector<std::unique_ptr<Handle>> handles;
+  std::vector<CommitResult> results(8);
+  int done = 0;
+  for (NodeId r = 0; r < 8; ++r) {
+    handles.push_back(s.attach(r));
+    co_spawn(s.ex(),
+             [](Handle* h, NodeId rank, CommitResult* out, int* d) -> Task<void> {
+               KvsClient kvs(*h);
+               co_await kvs.put("fence.r" + std::to_string(rank), rank);
+               *out = co_await kvs.fence("f1", 8);
+               ++*d;
+             }(handles.back().get(), r, &results[r], &done),
+             "fencer");
+  }
+  s.ex().run();
+  ASSERT_EQ(done, 8);
+  // One root update covers all eight writes; everyone sees one version.
+  for (NodeId r = 1; r < 8; ++r) {
+    EXPECT_EQ(results[r].version, results[0].version);
+    EXPECT_EQ(results[r].rootref, results[0].rootref);
+  }
+  // All values visible everywhere afterwards.
+  auto h = s.attach(5);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (NodeId r = 0; r < 8; ++r) {
+      Json v = co_await kvs.get("fence.r" + std::to_string(r));
+      if (v != Json(r)) throw FluxException(Error(Errc::Proto, "bad value"));
+    }
+  }(h.get()));
+}
+
+TEST(Kvs, FenceDoesNotCompleteEarly) {
+  SimSession s(SimSession::default_config(4));
+  auto h0 = s.attach(0);
+  int done = 0;
+  co_spawn(s.ex(), [](Handle* h, int* d) -> Task<void> {
+    KvsClient kvs(*h);
+    co_await kvs.put("early", 1);
+    co_await kvs.fence("f2", 3);
+    ++*d;
+  }(h0.get(), &done));
+  s.ex().run();
+  EXPECT_EQ(done, 0);  // 1 of 3
+}
+
+TEST(Kvs, RedundantValuesDeduplicateInStore) {
+  // Identical values share one content address: the master stores one
+  // object regardless of producer count (Figure 3's reduction effect).
+  SimSession s(SimSession::default_config(8));
+  std::vector<std::unique_ptr<Handle>> handles;
+  int done = 0;
+  for (NodeId r = 0; r < 8; ++r) {
+    handles.push_back(s.attach(r));
+    co_spawn(s.ex(), [](Handle* h, NodeId rank, int* d) -> Task<void> {
+      KvsClient kvs(*h);
+      co_await kvs.put("dedup.k" + std::to_string(rank),
+                       "identical-payload-for-everyone");
+      co_await kvs.fence("f3", 8);
+      ++*d;
+    }(handles.back().get(), r, &done));
+  }
+  s.ex().run();
+  ASSERT_EQ(done, 8);
+  auto* master =
+      dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+  ASSERT_NE(master, nullptr);
+  // Objects: 1 shared value + directories. With 8 keys in one dir: empty
+  // root, old root, "dedup" dir, new root, and exactly ONE value object.
+  std::set<std::string> refs;
+  auto h = s.attach(0);
+  s.run([](Handle* hd, std::set<std::string>* out) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (int r = 0; r < 8; ++r)
+      out->insert(co_await kvs.lookup_ref("dedup.k" + std::to_string(r)));
+  }(h.get(), &refs));
+  EXPECT_EQ(refs.size(), 1u);  // all keys reference the same object
+}
+
+TEST(Kvs, WatchFiresOnChangeAndOnlyOnChange) {
+  SimSession s(SimSession::default_config(4));
+  auto watcher = s.attach(3);
+  auto writer = s.attach(1);
+  std::vector<std::optional<Json>> seen;
+  auto kvs_watcher = std::make_unique<KvsClient>(*watcher);
+  kvs_watcher->watch("watched.key",
+                     [&](const std::optional<Json>& v) { seen.push_back(v); });
+  s.ex().run();
+  ASSERT_EQ(seen.size(), 1u);  // initial callback: absent
+  EXPECT_FALSE(seen[0].has_value());
+
+  s.run(put_commit(writer.get(), "watched.key", "v1"));
+  s.ex().run();
+  ASSERT_EQ(seen.size(), 2u);
+  ASSERT_TRUE(seen[1].has_value());
+  EXPECT_EQ(*seen[1], Json("v1"));
+
+  // An unrelated commit must NOT fire the watch.
+  s.run(put_commit(writer.get(), "unrelated.key", 1));
+  s.ex().run();
+  EXPECT_EQ(seen.size(), 2u);
+
+  s.run(put_commit(writer.get(), "watched.key", "v2"));
+  s.ex().run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(*seen[2], Json("v2"));
+}
+
+TEST(Kvs, WatchOnDirectorySeesDeepChanges) {
+  // Hash-tree property: "a watched directory changes if keys under it at
+  // any path depth change."
+  SimSession s(SimSession::default_config(4));
+  auto watcher = s.attach(2);
+  auto writer = s.attach(1);
+  int fires = 0;
+  KvsClient kvs_watcher(*watcher);
+  kvs_watcher.watch("tree", [&](const std::optional<Json>&) { ++fires; });
+  s.ex().run();
+  EXPECT_EQ(fires, 1);  // initial (absent)
+  s.run(put_commit(writer.get(), "tree.a.b.c.deep", 1));
+  s.ex().run();
+  EXPECT_EQ(fires, 2);
+  s.run(put_commit(writer.get(), "tree.a.b.c.deep", 2));
+  s.ex().run();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Kvs, SlaveCachesFaultThroughTree) {
+  SimSession s(SimSession::default_config(16));
+  auto writer = s.attach(0);
+  s.run(put_commit(writer.get(), "faulty.key", "data"));
+  // A reader at a deep leaf faults the objects through interior caches.
+  auto reader = s.attach(15);
+  s.run([](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    (void)co_await kvs.get("faulty.key");
+  }(reader.get()));
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(15).find_module("kvs"));
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_GT(leaf->op_stats().faults_issued, 0u);
+  // The interior parent (rank 7 -> 3 -> 1) served and now caches the object.
+  auto* interior =
+      dynamic_cast<KvsModule*>(s.session().broker(7).find_module("kvs"));
+  EXPECT_GT(interior->op_stats().faults_served, 0u);
+  EXPECT_GT(interior->cache().count(), 0u);
+}
+
+TEST(Kvs, ConcurrentFaultsCoalesce) {
+  SimSession s(SimSession::default_config(4));
+  auto writer = s.attach(0);
+  s.run(put_commit(writer.get(), "hot.key", std::string(2048, 'x')));
+  // Many clients on one broker read simultaneously; the broker must issue
+  // far fewer upstream faults than readers.
+  std::vector<std::unique_ptr<Handle>> handles;
+  int done = 0;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(s.attach(3));
+    co_spawn(s.ex(), [](Handle* h, int* d) -> Task<void> {
+      KvsClient kvs(*h);
+      (void)co_await kvs.get("hot.key");
+      ++*d;
+    }(handles.back().get(), &done));
+  }
+  s.ex().run();
+  ASSERT_EQ(done, 16);
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(3).find_module("kvs"));
+  // Root dir + value object: at most a handful of faults, not 16x2.
+  EXPECT_LE(leaf->op_stats().faults_issued, 4u);
+}
+
+TEST(Kvs, CacheExpiryAfterDisuse) {
+  SessionConfig cfg = SimSession::default_config(4);
+  // No mon module: its periodic KVS polls would keep the root directory
+  // object warm and defeat the disuse check.
+  cfg.modules = {"hb", "live", "barrier", "kvs"};
+  cfg.module_config =
+      Json::object({{"kvs", Json::object({{"expiry_epochs", 3}})},
+                    {"hb", Json::object({{"period_us", 100}})}});
+  SimSession s(cfg);
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("exp.k", "v");
+    co_await kvs.commit();
+    (void)co_await kvs.get("exp.k");
+  }(h.get()));
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(3).find_module("kvs"));
+  EXPECT_GT(leaf->cache().count(), 0u);
+  // Let many heartbeats pass with no access: entries expire.
+  s.settle(std::chrono::milliseconds(2));
+  EXPECT_EQ(leaf->cache().count(), 0u);
+}
+
+TEST(Kvs, StatsReportShape) {
+  SimSession s;
+  auto h = s.attach(1);
+  s.run(put_commit(h.get(), "stats.k", 5));
+  Message resp = s.run(h->rpc_check("kvs.stats"));
+  EXPECT_TRUE(resp.payload.contains("cache_objects"));
+  EXPECT_GE(resp.payload.get_int("puts"), 1);
+  EXPECT_FALSE(resp.payload.get_bool("master"));  // rank 1 is a slave
+}
+
+TEST(Kvs, EmptyKeyRejected) {
+  SimSession s;
+  auto h = s.attach(0);
+  try {
+    s.run([](Handle* hd) -> Task<void> {
+      KvsClient kvs(*hd);
+      co_await kvs.put("", 1);
+    }(h.get()));
+    FAIL() << "expected EINVAL";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, Errc::Inval);
+  }
+}
+
+TEST(Kvs, CommitWithoutPutsStillAdvances) {
+  SimSession s;
+  auto h = s.attach(2);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    auto r = co_await kvs.commit();
+    if (r.version == 0)
+      throw FluxException(Error(Errc::Proto, "no version returned"));
+  }(h.get()));
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,227 @@
+// Model-based property test: random KVS operation sequences executed on a
+// full simulated session must match a flat reference model at every commit
+// point, across topologies, client placements and value shapes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/rng.hpp"
+#include "kvs/kvs_module.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+struct Params {
+  std::uint32_t size;
+  std::uint32_t arity;
+  std::uint64_t seed;
+};
+
+class KvsModelTest : public ::testing::TestWithParam<Params> {};
+
+/// Reference semantics of the hierarchical keyspace: a put of key K removes
+/// any value at a strict prefix of K (the prefix becomes a directory) and
+/// any value at a strict extension of K (K becomes a value); an unlink
+/// removes K and everything below it.
+class RefModel {
+ public:
+  void put(const std::string& key, Json value) {
+    erase_related(key);
+    map_[key] = std::move(value);
+  }
+  void unlink(const std::string& key) {
+    std::erase_if(map_, [&](const auto& kv) {
+      return kv.first == key || is_prefix(key, kv.first);
+    });
+  }
+  [[nodiscard]] const std::map<std::string, Json>& entries() const {
+    return map_;
+  }
+
+ private:
+  static bool is_prefix(const std::string& dir, const std::string& key) {
+    return key.size() > dir.size() && key.compare(0, dir.size(), dir) == 0 &&
+           key[dir.size()] == '.';
+  }
+  void erase_related(const std::string& key) {
+    std::erase_if(map_, [&](const auto& kv) {
+      return is_prefix(key, kv.first) || is_prefix(kv.first, key);
+    });
+  }
+  std::map<std::string, Json> map_;
+};
+
+std::string random_key(Rng& rng) {
+  static const char* parts[] = {"app", "lwj", "x", "cfg", "deep", "k1", "k2"};
+  std::string key;
+  const auto depth = 1 + rng.below(3);
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    if (i) key += '.';
+    key += parts[rng.below(std::size(parts))];
+  }
+  return key;
+}
+
+Json random_value(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return Json(static_cast<std::int64_t>(rng()));
+    case 1: return Json(rng.bytes(rng.below(64)));
+    case 2: return Json::array({Json(1), Json(rng.bytes(4))});
+    default: return Json::object({{"n", rng.uniform()}});
+  }
+}
+
+TEST_P(KvsModelTest, RandomOpsMatchReferenceModel) {
+  const Params p = GetParam();
+  SimSession s(SimSession::default_config(p.size, p.arity));
+  Rng rng(p.seed);
+  RefModel ref;
+
+  // A writer on a random broker per round; readers scattered.
+  for (int round = 0; round < 12; ++round) {
+    auto writer = s.attach(static_cast<NodeId>(rng.below(p.size)));
+    // 1-6 mutations, then one commit.
+    const auto nops = 1 + rng.below(6);
+    std::vector<std::pair<std::string, std::optional<Json>>> ops;
+    for (std::uint64_t i = 0; i < nops; ++i) {
+      const std::string key = random_key(rng);
+      if (rng.below(5) == 0) {
+        ops.emplace_back(key, std::nullopt);  // unlink
+      } else {
+        ops.emplace_back(key, random_value(rng));
+      }
+    }
+    s.run([](Handle* h,
+             std::vector<std::pair<std::string, std::optional<Json>>>* batch)
+              -> Task<void> {
+      KvsClient kvs(*h);
+      for (auto& [key, value] : *batch) {
+        if (value)
+          co_await kvs.put(key, *value);
+        else
+          co_await kvs.unlink(key);
+      }
+      co_await kvs.commit();
+    }(writer.get(), &ops));
+    for (auto& [key, value] : ops) {
+      if (value)
+        ref.put(key, *value);
+      else
+        ref.unlink(key);
+    }
+
+    // Verify the whole reference model from a random reader.
+    auto reader = s.attach(static_cast<NodeId>(rng.below(p.size)));
+    s.run([](Handle* h, const RefModel* model) -> Task<void> {
+      KvsClient kvs(*h);
+      for (const auto& [key, expect] : model->entries()) {
+        Json got = co_await kvs.get(key);
+        if (got != expect)
+          throw FluxException(
+              Error(Errc::Proto, "model mismatch at key '" + key + "'"));
+      }
+    }(reader.get(), &ref));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, KvsModelTest,
+    ::testing::Values(Params{1, 2, 11}, Params{2, 2, 22}, Params{5, 2, 33},
+                      Params{8, 2, 44}, Params{8, 4, 55}, Params{16, 2, 66},
+                      Params{16, 16, 77}, Params{33, 3, 88}),
+    [](const ::testing::TestParamInfo<Params>& param_info) {
+      return "n" + std::to_string(param_info.param.size) + "a" +
+             std::to_string(param_info.param.arity);
+    });
+
+TEST(KvsProperty, ValueShapesRoundTripExactly) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  const std::vector<Json> shapes = {
+      Json(),                                  // null value
+      Json(true),
+      Json(-9007199254740993LL),               // beyond double precision
+      Json(0.1),
+      Json(""),
+      Json(std::string(100000, 'q')),          // 100 KB string
+      Json::array(),
+      Json::object(),
+      Json::object({{"nested", Json::array({Json::object({{"x", 1}})})}}),
+      Json("utf8: \xc3\xa9\xe4\xb8\xad"),
+  };
+  s.run([](Handle* hd, const std::vector<Json>* values) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (std::size_t i = 0; i < values->size(); ++i)
+      co_await kvs.put("shape.k" + std::to_string(i), (*values)[i]);
+    co_await kvs.commit();
+    for (std::size_t i = 0; i < values->size(); ++i) {
+      Json got = co_await kvs.get("shape.k" + std::to_string(i));
+      if (got != (*values)[i])
+        throw FluxException(
+            Error(Errc::Proto, "shape " + std::to_string(i) + " mutated"));
+    }
+  }(h.get(), &shapes));
+}
+
+TEST(KvsProperty, InterleavedFencesFromDisjointGroups) {
+  // Two disjoint fence groups run concurrently; both must complete and both
+  // key sets must be fully visible afterwards.
+  SimSession s(SimSession::default_config(8));
+  std::vector<std::unique_ptr<Handle>> handles;
+  int done = 0;
+  for (int g = 0; g < 2; ++g) {
+    for (int p = 0; p < 6; ++p) {
+      handles.push_back(s.attach(static_cast<NodeId>((g * 6 + p) % 8)));
+      co_spawn(s.ex(),
+               [](Handle* h, int group, int proc, int* d) -> Task<void> {
+                 KvsClient kvs(*h);
+                 co_await kvs.put("g" + std::to_string(group) + ".k" +
+                                      std::to_string(proc),
+                                  proc);
+                 co_await kvs.fence("fence-g" + std::to_string(group), 6);
+                 ++*d;
+               }(handles.back().get(), g, p, &done),
+               "fencer");
+    }
+  }
+  s.ex().run();
+  ASSERT_EQ(done, 12);
+  auto h = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (int g = 0; g < 2; ++g)
+      for (int p = 0; p < 6; ++p) {
+        Json v = co_await kvs.get("g" + std::to_string(g) + ".k" +
+                                  std::to_string(p));
+        if (v != Json(p)) throw FluxException(Error(Errc::Proto, "lost key"));
+      }
+  }(h.get()));
+}
+
+TEST(KvsProperty, LastCommitWinsOnConflict) {
+  SimSession s(SimSession::default_config(4));
+  auto a = s.attach(1);
+  auto b = s.attach(2);
+  // Sequential conflicting commits: the later one wins.
+  s.run([](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    co_await kvs.put("conflict", "first");
+    co_await kvs.commit();
+  }(a.get()));
+  s.run([](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    co_await kvs.put("conflict", "second");
+    co_await kvs.commit();
+  }(b.get()));
+  Json v = s.run([](Handle* h) -> Task<Json> {
+    KvsClient kvs(*h);
+    co_return co_await kvs.get("conflict");
+  }(a.get()));
+  EXPECT_EQ(v, Json("second"));
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,303 @@
+// Table-I comms modules: hb, live, log, mon, group.
+#include <gtest/gtest.h>
+
+#include "modules/hb.hpp"
+#include "modules/live.hpp"
+#include "modules/logmod.hpp"
+#include "modules/mon.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+SessionConfig fast_hb_config(std::uint32_t size) {
+  SessionConfig cfg = SimSession::default_config(size);
+  cfg.module_config =
+      Json::object({{"hb", Json::object({{"period_us", 100}})}});
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// hb
+// ---------------------------------------------------------------------------
+
+TEST(Heartbeat, EpochAdvancesEverywhere) {
+  SimSession s(fast_hb_config(8));
+  s.settle(std::chrono::microseconds(1050));
+  for (NodeId r = 0; r < 8; ++r) {
+    auto* hb = dynamic_cast<modules::Heartbeat*>(
+        s.session().broker(r).find_module("hb"));
+    ASSERT_NE(hb, nullptr);
+    EXPECT_GE(hb->epoch(), 8u) << "rank " << r;
+  }
+}
+
+TEST(Heartbeat, GetReportsEpoch) {
+  SimSession s(fast_hb_config(4));
+  s.settle(std::chrono::microseconds(500));
+  auto h = s.attach(2);
+  Message resp = s.run(h->rpc_check("hb.get"));
+  EXPECT_GE(resp.payload.get_int("epoch"), 3);
+  EXPECT_EQ(resp.payload.get_int("period_us"), 100);
+}
+
+TEST(Heartbeat, EventsCarryMonotoneEpochs) {
+  SimSession s(fast_hb_config(4));
+  auto h = s.attach(3);
+  std::vector<std::int64_t> epochs;
+  h->subscribe("hb", [&](const Message& ev) {
+    epochs.push_back(ev.payload.get_int("epoch"));
+  });
+  s.settle(std::chrono::milliseconds(1));
+  ASSERT_GE(epochs.size(), 5u);
+  for (std::size_t i = 1; i < epochs.size(); ++i)
+    EXPECT_EQ(epochs[i], epochs[i - 1] + 1);
+}
+
+// ---------------------------------------------------------------------------
+// live
+// ---------------------------------------------------------------------------
+
+TEST(Live, HealthySessionReportsNoDeaths) {
+  SimSession s(fast_hb_config(8));
+  s.settle(std::chrono::milliseconds(2));
+  for (NodeId r = 0; r < 8; ++r) {
+    auto* live =
+        dynamic_cast<modules::Live*>(s.session().broker(r).find_module("live"));
+    ASSERT_NE(live, nullptr);
+    EXPECT_TRUE(live->dead().empty()) << "rank " << r;
+  }
+}
+
+TEST(Live, DetectsDeadChildAndPublishesDown) {
+  SimSession s(fast_hb_config(8));
+  auto h = s.attach(0);
+  std::vector<std::int64_t> down;
+  h->subscribe("live.down", [&](const Message& ev) {
+    down.push_back(ev.payload.get_int("rank"));
+  });
+  s.settle(std::chrono::milliseconds(1));
+  s.session().fail(6);  // child of rank 2
+  s.settle(std::chrono::milliseconds(2));
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0], 6);
+  auto* live =
+      dynamic_cast<modules::Live*>(s.session().broker(2).find_module("live"));
+  EXPECT_TRUE(live->dead().contains(6));
+}
+
+TEST(Live, StatusRpc) {
+  SimSession s(fast_hb_config(4));
+  s.settle(std::chrono::milliseconds(1));
+  auto h = s.attach(0);
+  RpcOptions opts;
+  opts.nodeid = 0;
+  Json payload = Json::object();
+  Message resp = s.run(h->rpc_check("live.status", std::move(payload), opts));
+  EXPECT_EQ(resp.payload.get_int("monitored"), 2);  // children 1 and 2
+  EXPECT_EQ(resp.payload.at("down").size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// log
+// ---------------------------------------------------------------------------
+
+TEST(Log, RecordsReduceToSessionRoot) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(5);
+  s.run([](Handle* hd) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      Json rec = Json::object({{"level", 4},
+                               {"component", "test"},
+                               {"text", "warning " + std::to_string(i)}});
+      co_await hd->rpc_check("log.append", std::move(rec));
+    }
+  }(h.get()));
+  s.ex().run();
+  auto* root_log =
+      dynamic_cast<modules::Log*>(s.session().broker(0).find_module("log"));
+  ASSERT_NE(root_log, nullptr);
+  ASSERT_GE(root_log->session_log().size(), 3u);
+  EXPECT_EQ(root_log->session_log().back().rank, 5u);
+  EXPECT_EQ(root_log->session_log().back().component, "test");
+}
+
+TEST(Log, ForwardLevelFiltersDebugRecords) {
+  SessionConfig cfg = SimSession::default_config(4);
+  cfg.module_config =
+      Json::object({{"log", Json::object({{"forward_level", 4}})}});
+  SimSession s(cfg);
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    Json dbg = Json::object(
+        {{"level", 7}, {"component", "t"}, {"text", "debug noise"}});
+    co_await hd->rpc_check("log.append", std::move(dbg));
+    Json err = Json::object(
+        {{"level", 3}, {"component", "t"}, {"text", "real error"}});
+    co_await hd->rpc_check("log.append", std::move(err));
+  }(h.get()));
+  s.ex().run();
+  auto* root_log =
+      dynamic_cast<modules::Log*>(s.session().broker(0).find_module("log"));
+  ASSERT_EQ(root_log->session_log().size(), 1u);
+  EXPECT_EQ(root_log->session_log()[0].text, "real error");
+}
+
+TEST(Log, GetReturnsRecentRecords) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(2);
+  s.run([](Handle* hd) -> Task<void> {
+    Json rec = Json::object(
+        {{"level", 3}, {"component", "c"}, {"text", "hello log"}});
+    co_await hd->rpc_check("log.append", std::move(rec));
+    Json query = Json::object({{"max", 10}});
+    Message resp = co_await hd->rpc_check("log.get", std::move(query));
+    if (resp.payload.at("records").size() < 1)
+      throw FluxException(Error(Errc::Proto, "no records returned"));
+  }(h.get()));
+}
+
+TEST(Log, DumpReturnsLocalRing) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    Json rec = Json::object(
+        {{"level", 7}, {"component", "c"}, {"text", "ring entry"}});
+    co_await hd->rpc_check("log.append", std::move(rec));
+    RpcOptions opts;
+    opts.nodeid = 3;  // rank-addressed: this broker's ring buffer
+    Message resp = co_await hd->rpc_check("log.dump", Json::object(), opts);
+    if (resp.payload.get_int("rank") != 3)
+      throw FluxException(Error(Errc::Proto, "wrong rank"));
+    if (resp.payload.at("records").size() < 1)
+      throw FluxException(Error(Errc::Proto, "empty ring"));
+  }(h.get()));
+}
+
+TEST(Log, FaultEventDumpsContext) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  // A debug record that would normally NOT be forwarded...
+  s.run([](Handle* hd) -> Task<void> {
+    Json rec = Json::object(
+        {{"level", 7}, {"component", "c"}, {"text", "pre-fault context"}});
+    co_await hd->rpc_check("log.append", std::move(rec));
+  }(h.get()));
+  auto* root_log =
+      dynamic_cast<modules::Log*>(s.session().broker(0).find_module("log"));
+  const std::size_t before = root_log->session_log().size();
+  // ...surfaces at the root after a fault event.
+  h->publish("log.fault");
+  s.ex().run();
+  EXPECT_GT(root_log->session_log().size(), before);
+  bool found = false;
+  for (const auto& rec : root_log->session_log())
+    if (rec.text == "pre-fault context") found = true;
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// mon
+// ---------------------------------------------------------------------------
+
+TEST(Mon, KvsActivatedSamplingReducesToKvs) {
+  SessionConfig cfg = fast_hb_config(8);
+  cfg.module_config["mon"] = Json::object({{"interval_epochs", 2}});
+  SimSession s(cfg);
+  auto h = s.attach(0);
+  // Activate the "load" sampler through the KVS (the paper's mechanism).
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    Json samplers = Json::array({"load"});
+    co_await kvs.put("mon.samplers", std::move(samplers));
+    co_await kvs.commit();
+  }(h.get()));
+  s.settle(std::chrono::milliseconds(3));
+  // An aggregate for some epoch must exist, covering all 8 ranks.
+  auto names = s.run([](Handle* hd) -> Task<std::vector<std::string>> {
+    KvsClient kvs(*hd);
+    co_return co_await kvs.list_dir("mon.data.load");
+  }(h.get()));
+  ASSERT_FALSE(names.empty());
+  Json agg = s.run([&](Handle* hd) -> Task<Json> {
+    KvsClient kvs(*hd);
+    co_return co_await kvs.get("mon.data.load." + names.back());
+  }(h.get()));
+  EXPECT_EQ(agg.get_int("count"), 8);
+  EXPECT_GE(agg.get_double("max"), agg.get_double("min"));
+  EXPECT_GT(agg.get_double("avg"), 0.0);
+}
+
+TEST(Mon, NoSamplingWithoutKvsActivation) {
+  SessionConfig cfg = fast_hb_config(4);
+  SimSession s(cfg);
+  s.settle(std::chrono::milliseconds(2));
+  auto h = s.attach(0);
+  try {
+    s.run([](Handle* hd) -> Task<void> {
+      KvsClient kvs(*hd);
+      (void)co_await kvs.list_dir("mon.data");
+    }(h.get()));
+    FAIL() << "expected ENOENT (no samples stored)";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, Errc::NoEnt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// group
+// ---------------------------------------------------------------------------
+
+TEST(Group, JoinLeaveInfo) {
+  SimSession s(SimSession::default_config(8));
+  auto a = s.attach(3);
+  auto b = s.attach(6);
+  s.run([](Handle* h1, Handle* h2) -> Task<void> {
+    Json j1 = Json::object({{"name", "tools"}});
+    co_await h1->rpc_check("group.join", std::move(j1));
+    Json j2 = Json::object({{"name", "tools"}});
+    co_await h2->rpc_check("group.join", std::move(j2));
+    Json q = Json::object({{"name", "tools"}});
+    Message info = co_await h1->rpc_check("group.info", std::move(q));
+    if (info.payload.get_int("size") != 2)
+      throw FluxException(Error(Errc::Proto, "expected 2 members"));
+    Json l = Json::object({{"name", "tools"}});
+    co_await h2->rpc_check("group.leave", std::move(l));
+    Json q2 = Json::object({{"name", "tools"}});
+    Message info2 = co_await h1->rpc_check("group.info", std::move(q2));
+    if (info2.payload.get_int("size") != 1)
+      throw FluxException(Error(Errc::Proto, "expected 1 member"));
+  }(a.get(), b.get()));
+}
+
+TEST(Group, ChangeEventsPublished) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(1);
+  int changes = 0;
+  h->subscribe("group.change", [&](const Message&) { ++changes; });
+  s.run([](Handle* hd) -> Task<void> {
+    Json j = Json::object({{"name", "g"}});
+    co_await hd->rpc_check("group.join", std::move(j));
+  }(h.get()));
+  s.ex().run();
+  EXPECT_EQ(changes, 1);
+}
+
+TEST(Group, ListGroups) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(2);
+  s.run([](Handle* hd) -> Task<void> {
+    Json j1 = Json::object({{"name", "alpha"}});
+    co_await hd->rpc_check("group.join", std::move(j1));
+    Json j2 = Json::object({{"name", "beta"}});
+    co_await hd->rpc_check("group.join", std::move(j2));
+    Message resp = co_await hd->rpc_check("group.list");
+    if (resp.payload.at("groups").size() != 2)
+      throw FluxException(Error(Errc::Proto, "expected 2 groups"));
+  }(h.get()));
+}
+
+}  // namespace
+}  // namespace flux

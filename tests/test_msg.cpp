@@ -1,0 +1,134 @@
+// Message model and wire codec.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "msg/codec.hpp"
+#include "msg/message.hpp"
+
+namespace flux {
+namespace {
+
+TEST(Message, ServiceAndMethod) {
+  Message m = Message::request("kvs.put");
+  EXPECT_EQ(m.service(), "kvs");
+  EXPECT_EQ(m.method(), "put");
+
+  Message bare = Message::request("hb");
+  EXPECT_EQ(bare.service(), "hb");
+  EXPECT_EQ(bare.method(), "");
+
+  Message deep = Message::request("a.b.c");
+  EXPECT_EQ(deep.service(), "a");
+  EXPECT_EQ(deep.method(), "b.c");
+}
+
+TEST(Message, TopicMatching) {
+  EXPECT_TRUE(Message::topic_matches("hb", "hb"));
+  EXPECT_TRUE(Message::topic_matches("hb", "hb.pulse"));
+  EXPECT_FALSE(Message::topic_matches("hb", "hbx"));
+  EXPECT_FALSE(Message::topic_matches("hb.pulse", "hb"));
+  EXPECT_TRUE(Message::topic_matches("", "anything"));
+  EXPECT_TRUE(Message::topic_matches("kvs.setroot", "kvs.setroot"));
+}
+
+TEST(Message, RespondCopiesRoutingState) {
+  Message req = Message::request("kvs.get", Json::object({{"key", "a"}}));
+  req.matchtag = 77;
+  req.route.push_back(RouteHop{RouteHop::Kind::Client, 3, 12});
+  req.route.push_back(RouteHop{RouteHop::Kind::Broker, 1, 0});
+
+  Message ok = req.respond(Json::object({{"x", 1}}));
+  EXPECT_TRUE(ok.is_response());
+  EXPECT_EQ(ok.matchtag, 77u);
+  EXPECT_EQ(ok.errnum, 0);
+  EXPECT_EQ(ok.route, req.route);
+  EXPECT_EQ(ok.topic, "kvs.get");
+
+  Message err = req.respond_error(Errc::NoEnt, "no such key");
+  EXPECT_EQ(err.errnum, static_cast<int>(Errc::NoEnt));
+  EXPECT_EQ(err.payload.get_string("errmsg"), "no such key");
+}
+
+TEST(Codec, RoundTripAllFields) {
+  Message m = Message::request("kvs.fence",
+                               Json::object({{"name", "f"}, {"nprocs", 12}}));
+  m.matchtag = 0xdeadbeef;
+  m.nodeid = 42;
+  m.seq = 0x1122334455667788ULL;
+  m.errnum = 2;
+  m.route = {RouteHop{RouteHop::Kind::Client, 9, 101},
+             RouteHop{RouteHop::Kind::Broker, 4, 0},
+             RouteHop{RouteHop::Kind::Module, 2, 7}};
+  m.data = std::make_shared<const std::string>("bulk\0bytes\xff ok", 14);
+
+  auto wire = encode(m);
+  auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->type, m.type);
+  EXPECT_EQ(decoded->topic, m.topic);
+  EXPECT_EQ(decoded->matchtag, m.matchtag);
+  EXPECT_EQ(decoded->nodeid, m.nodeid);
+  EXPECT_EQ(decoded->seq, m.seq);
+  EXPECT_EQ(decoded->errnum, m.errnum);
+  EXPECT_EQ(decoded->route, m.route);
+  EXPECT_EQ(decoded->payload, m.payload);
+  ASSERT_TRUE(decoded->data);
+  EXPECT_EQ(*decoded->data, *m.data);
+}
+
+TEST(Codec, WireSizeMatchesEncodedSize) {
+  Message m = Message::event("kvs.setroot",
+                             Json::object({{"version", 3},
+                                           {"rootref", std::string(40, 'a')}}));
+  m.seq = 17;
+  m.route.push_back(RouteHop{RouteHop::Kind::Broker, 1, 0});
+  m.data = std::make_shared<const std::string>(std::string(100, 'z'));
+  EXPECT_EQ(m.wire_size(), encode(m).size());
+}
+
+TEST(Codec, RejectsCorruptInput) {
+  Message m = Message::request("x.y");
+  auto wire = encode(m);
+
+  // Truncations at every length are rejected (never crash).
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    auto r = decode(std::span(wire.data(), len));
+    EXPECT_FALSE(r.has_value()) << "truncated to " << len;
+  }
+  // Bad magic.
+  auto bad = wire;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Bad type.
+  bad = wire;
+  bad[4] = 99;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Trailing garbage.
+  bad = wire;
+  bad.push_back(0);
+  EXPECT_FALSE(decode(bad).has_value());
+}
+
+TEST(Codec, FuzzRandomBytesNeverCrash) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)decode(junk);  // must not crash; result may rarely succeed
+  }
+}
+
+TEST(Codec, EmptyEverything) {
+  Message m;
+  m.type = MsgType::Keepalive;
+  auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::Keepalive);
+  EXPECT_TRUE(decoded->topic.empty());
+  EXPECT_TRUE(decoded->route.empty());
+  EXPECT_FALSE(decoded->data);
+  EXPECT_FALSE(decoded->attachment);
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,89 @@
+// RtInstance: scheduling (§III) driving real execution on the run-time
+// (§IV) — allocations map to broker ranks, jobs launch through wexec, and
+// provenance lands in the KVS.
+#include <gtest/gtest.h>
+
+#include "core/rt_bridge.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+TEST(RtBridge, JobRunsOnBrokersAndRecordsProvenance) {
+  SimSession s(SimSession::default_config(8));
+  RtInstance rt(s.session());
+  JobSpec spec = JobSpec::app("hostname-job", 4, std::chrono::milliseconds(5));
+  auto id = rt.submit(spec, "hostname");
+  ASSERT_TRUE(id.has_value());
+  s.ex().run();
+  EXPECT_EQ(rt.state(*id), JobState::Complete);
+  EXPECT_TRUE(rt.idle());
+
+  // Provenance + stdio in the KVS.
+  auto h = s.attach(3);
+  s.run([](Handle* hd, std::uint64_t jobid) -> Task<void> {
+    KvsClient kvs(*hd);
+    Json rec = co_await kvs.get("lwj.rt" + std::to_string(jobid) + ".record");
+    if (rec.get_string("state") != "complete" || rec.get_int("nnodes") != 4)
+      throw FluxException(Error(Errc::Proto, "bad job record"));
+    // Per-rank stdio exists for the allocated ranks.
+    auto dirs = co_await kvs.list_dir("lwj.rt" + std::to_string(jobid));
+    if (dirs.size() != 5)  // 4 rank dirs + "record"
+      throw FluxException(Error(Errc::Proto, "unexpected lwj layout"));
+  }(h.get(), *id));
+}
+
+TEST(RtBridge, QueueingWhenSessionFull) {
+  SimSession s(SimSession::default_config(4));
+  RtInstance rt(s.session());
+  JobSpec wide = JobSpec::app("wide", 4, std::chrono::milliseconds(5));
+  std::vector<std::uint64_t> order;
+  rt.on_complete([&](std::uint64_t id, bool ok) {
+    ASSERT_TRUE(ok);
+    order.push_back(id);
+  });
+  auto a = rt.submit(wide, "hostname");
+  auto b = rt.submit(wide, "hostname");
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  s.ex().run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], *a);
+  EXPECT_EQ(order[1], *b);
+}
+
+TEST(RtBridge, FailingCommandMarksJobFailed) {
+  SimSession s(SimSession::default_config(4));
+  RtInstance rt(s.session());
+  JobSpec spec = JobSpec::app("boom", 2, std::chrono::milliseconds(5));
+  Json args = Json::object({{"code", 9}});
+  auto id = rt.submit(spec, "exit", std::move(args));
+  ASSERT_TRUE(id.has_value());
+  bool reported_success = true;
+  rt.on_complete([&](std::uint64_t, bool ok) { reported_success = ok; });
+  s.ex().run();
+  EXPECT_EQ(rt.state(*id), JobState::Failed);
+  EXPECT_FALSE(reported_success);
+}
+
+TEST(RtBridge, ManyConcurrentSmallJobs) {
+  SimSession s(SimSession::default_config(8));
+  RtInstance rt(s.session(), "firstfit");
+  int completed = 0;
+  rt.on_complete([&](std::uint64_t, bool ok) {
+    ASSERT_TRUE(ok);
+    ++completed;
+  });
+  for (int i = 0; i < 12; ++i) {
+    JobSpec spec =
+        JobSpec::app("s" + std::to_string(i), 2, std::chrono::milliseconds(2));
+    ASSERT_TRUE(rt.submit(spec, "hostname").has_value());
+  }
+  s.ex().run();
+  EXPECT_EQ(completed, 12);
+  EXPECT_TRUE(rt.idle());
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,80 @@
+// SHA1 correctness: FIPS-180 vectors, streaming equivalence, parsing.
+#include <gtest/gtest.h>
+
+#include "hash/sha1.hpp"
+
+namespace flux {
+namespace {
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(Sha1::of("abc").hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1::of("").hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(
+      Sha1::of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionA) {
+  Sha1Stream s;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(s.digest().hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingMatchesOneShot) {
+  const std::string data =
+      "The quick brown fox jumps over the lazy dog, repeatedly and with "
+      "increasing enthusiasm, until the buffer boundary is crossed.";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha1Stream s;
+    s.update(std::string_view(data).substr(0, split));
+    s.update(std::string_view(data).substr(split));
+    EXPECT_EQ(s.digest(), Sha1::of(data)) << "split at " << split;
+  }
+}
+
+TEST(Sha1, BlockBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding boundaries.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string data(len, 'x');
+    Sha1Stream s;
+    s.update(data);
+    EXPECT_EQ(s.digest(), Sha1::of(data)) << "len " << len;
+  }
+}
+
+TEST(Sha1, ParseRoundTrip) {
+  const Sha1 digest = Sha1::of("roundtrip");
+  const auto parsed = Sha1::parse(digest.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, digest);
+}
+
+TEST(Sha1, ParseRejectsBadInput) {
+  EXPECT_FALSE(Sha1::parse("").has_value());
+  EXPECT_FALSE(Sha1::parse("abc").has_value());
+  EXPECT_FALSE(Sha1::parse(std::string(40, 'g')).has_value());
+  EXPECT_FALSE(Sha1::parse(std::string(39, 'a')).has_value());
+  EXPECT_FALSE(Sha1::parse(std::string(42, 'a')).has_value());
+}
+
+TEST(Sha1, ShortHex) {
+  EXPECT_EQ(Sha1::of("abc").short_hex(), "a9993e36");
+}
+
+TEST(Sha1, DefaultIsZero) {
+  EXPECT_EQ(Sha1{}.hex(), std::string(40, '0'));
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha1::of("a"), Sha1::of("b"));
+  EXPECT_NE(Sha1::of("content-1"), Sha1::of("content-2"));
+}
+
+TEST(Sha1, StdHashUsable) {
+  std::hash<Sha1> h;
+  EXPECT_NE(h(Sha1::of("a")), h(Sha1::of("b")));
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,125 @@
+// Overlay topology: k-ary trees, rings, healing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.hpp"
+
+namespace flux {
+namespace {
+
+TEST(Topology, BinaryTreeShape) {
+  auto t = Topology::tree(7, 2);
+  EXPECT_FALSE(t.parent(0).has_value());
+  EXPECT_EQ(*t.parent(1), 0u);
+  EXPECT_EQ(*t.parent(2), 0u);
+  EXPECT_EQ(*t.parent(3), 1u);
+  EXPECT_EQ(*t.parent(6), 2u);
+  EXPECT_EQ(t.children(0), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(t.children(1), (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(3), 2u);
+  EXPECT_EQ(t.height(), 2u);
+}
+
+TEST(Topology, SingleNode) {
+  auto t = Topology::tree(1, 2);
+  EXPECT_FALSE(t.parent(0).has_value());
+  EXPECT_TRUE(t.children(0).empty());
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_EQ(t.ring_next(0), 0u);
+}
+
+class TopologyArity : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TopologyArity, EveryRankReachesRoot) {
+  const std::uint32_t arity = GetParam();
+  auto t = Topology::tree(64, arity);
+  for (NodeId r = 0; r < 64; ++r) {
+    NodeId cur = r;
+    unsigned hops = 0;
+    while (auto p = t.parent(cur)) {
+      cur = *p;
+      ASSERT_LE(++hops, 64u);
+    }
+    EXPECT_EQ(cur, 0u);
+    EXPECT_EQ(t.depth(r), hops);
+  }
+}
+
+TEST_P(TopologyArity, SubtreePartitionsRanks) {
+  const std::uint32_t arity = GetParam();
+  auto t = Topology::tree(33, arity);
+  std::set<NodeId> all;
+  // Root's subtree covers everything exactly once.
+  for (NodeId r : t.subtree(0)) EXPECT_TRUE(all.insert(r).second);
+  EXPECT_EQ(all.size(), 33u);
+  // Children subtrees are disjoint.
+  std::set<NodeId> seen;
+  for (NodeId c : t.children(0))
+    for (NodeId r : t.subtree(c)) EXPECT_TRUE(seen.insert(r).second);
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST_P(TopologyArity, ChildCountsBounded) {
+  const std::uint32_t arity = GetParam();
+  auto t = Topology::tree(100, arity);
+  for (NodeId r = 0; r < 100; ++r)
+    EXPECT_LE(t.children(r).size(), arity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, TopologyArity,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+TEST(Topology, RingHops) {
+  auto t = Topology::tree(8, 2);
+  EXPECT_EQ(t.ring_next(7), 0u);
+  EXPECT_EQ(t.ring_next(3), 4u);
+  EXPECT_EQ(t.ring_hops(2, 5), 3u);
+  EXPECT_EQ(t.ring_hops(5, 2), 5u);
+  EXPECT_EQ(t.ring_hops(4, 4), 0u);
+}
+
+TEST(Topology, HealAroundInteriorNode) {
+  auto t = Topology::tree(15, 2);  // node 1 has children 3,4
+  const auto moved = t.heal_around(1);
+  EXPECT_EQ(moved, (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(*t.parent(3), 0u);
+  EXPECT_EQ(*t.parent(4), 0u);
+  EXPECT_FALSE(t.parent(1).has_value());
+  // Node 1 is detached from the root's children.
+  const auto& root_children = t.children(0);
+  EXPECT_EQ(std::count(root_children.begin(), root_children.end(), 1u), 0);
+  // Deeper descendants keep their subtree (7's parent is still 3).
+  EXPECT_EQ(*t.parent(7), 3u);
+  // Depths reflect the healed tree.
+  EXPECT_EQ(t.depth(3), 1u);
+  EXPECT_EQ(t.depth(7), 2u);
+}
+
+TEST(Topology, HealRootRejected) {
+  auto t = Topology::tree(3, 2);
+  EXPECT_THROW(t.heal_around(0), std::invalid_argument);
+}
+
+TEST(Topology, ReparentCycleRejected) {
+  auto t = Topology::tree(7, 2);
+  EXPECT_THROW(t.reparent(1, 3), std::invalid_argument);  // 3 is under 1
+  EXPECT_THROW(t.reparent(2, 2), std::invalid_argument);
+}
+
+TEST(Topology, ReparentMovesSubtree) {
+  auto t = Topology::tree(7, 2);
+  t.reparent(5, 1);  // move 5 (child of 2) under 1
+  EXPECT_EQ(*t.parent(5), 1u);
+  EXPECT_EQ(t.children(2), (std::vector<NodeId>{6}));
+  EXPECT_EQ(t.depth(5), 2u);
+}
+
+TEST(Topology, InvalidConstruction) {
+  EXPECT_THROW(Topology::tree(0, 2), std::invalid_argument);
+  EXPECT_THROW(Topology::tree(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flux

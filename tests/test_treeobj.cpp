@@ -1,0 +1,225 @@
+// KVS tree objects, content store, transaction apply — the paper's §IV-B
+// worked example plus hash-tree invariants as properties.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "kvs/content_store.hpp"
+#include "kvs/object_bundle.hpp"
+#include "kvs/treeobj.hpp"
+
+namespace flux {
+namespace {
+
+TEST(TreeObj, ValueObjectShape) {
+  ObjPtr v = make_val_object(42);
+  EXPECT_TRUE(v->is_val());
+  EXPECT_FALSE(v->is_dir());
+  EXPECT_EQ(v->value(), Json(42));
+  EXPECT_EQ(v->id, Sha1::of(v->bytes));
+}
+
+TEST(TreeObj, ContentAddressingDeduplicates) {
+  EXPECT_EQ(make_val_object("same")->id, make_val_object("same")->id);
+  EXPECT_NE(make_val_object("a")->id, make_val_object("b")->id);
+  // Int and double values are distinct content.
+  EXPECT_NE(make_val_object(1)->id, make_val_object(1.0)->id);
+}
+
+TEST(TreeObj, DirObjectShape) {
+  const Sha1 ref = Sha1::of("x");
+  ObjPtr d = make_dir_object({{"alpha", ref}});
+  EXPECT_TRUE(d->is_dir());
+  EXPECT_EQ(d->entries().at("alpha").as_string(), ref.hex());
+}
+
+TEST(TreeObj, ParseRejectsMalformed) {
+  EXPECT_EQ(parse_object("not json"), nullptr);
+  EXPECT_EQ(parse_object(R"({"t":"weird"})"), nullptr);
+  EXPECT_EQ(parse_object(R"({"t":"dir","e":{"a":"nothex"}})"), nullptr);
+  EXPECT_EQ(parse_object(R"({"t":"val"})"), nullptr);  // no "d"
+  EXPECT_NE(parse_object(R"({"d":7,"t":"val"})"), nullptr);
+}
+
+TEST(TreeObj, ParseRoundTripsSerialization) {
+  ObjPtr v = make_val_object(Json::object({{"k", "v"}}));
+  ObjPtr back = parse_object(v->bytes);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->id, v->id);
+  EXPECT_EQ(back->doc, v->doc);
+}
+
+TEST(TreeObj, SplitKey) {
+  EXPECT_EQ(split_key("a.b.c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_key("solo"), (std::vector<std::string>{"solo"}));
+  EXPECT_TRUE(split_key(".").empty());
+  EXPECT_TRUE(split_key("").empty());
+  EXPECT_EQ(split_key("a..b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_key(".lead.trail."),
+            (std::vector<std::string>{"lead", "trail"}));
+}
+
+TEST(TreeObj, TuplesJsonRoundTrip) {
+  std::vector<Tuple> tuples{{"a.b", Sha1::of("1")}, {"c", Sha1{}}};
+  auto back = tuples_from_json(tuples_to_json(tuples));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].key, "a.b");
+  EXPECT_EQ((*back)[0].ref, Sha1::of("1"));
+  EXPECT_TRUE((*back)[1].is_unlink());
+  EXPECT_FALSE(tuples_from_json(Json(3)).has_value());
+  EXPECT_FALSE(tuples_from_json(Json::array({Json::array({"k"})})).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The paper's §IV-B worked example: update a.b.c and get a new root ref.
+// ---------------------------------------------------------------------------
+
+TEST(Apply, PaperWorkedExample) {
+  ContentStore store;
+  ObjPtr empty = empty_dir_object();
+  store.put(empty);
+
+  ObjPtr v42 = make_val_object(42);
+  store.put(v42);
+  const Sha1 root1 = apply_transaction(store, empty->id, {{"a.b.c", v42->id}});
+
+  // Walk: root -> a -> b -> c, exactly as the paper's lookup enumerates.
+  ObjPtr root = store.get(root1);
+  ASSERT_TRUE(root && root->is_dir());
+  ObjPtr a = store.get(*Sha1::parse(root->entries().at("a").as_string()));
+  ASSERT_TRUE(a && a->is_dir());
+  ObjPtr b = store.get(*Sha1::parse(a->entries().at("b").as_string()));
+  ASSERT_TRUE(b && b->is_dir());
+  ObjPtr c = store.get(*Sha1::parse(b->entries().at("c").as_string()));
+  ASSERT_TRUE(c && c->is_val());
+  EXPECT_EQ(c->value(), Json(42));
+
+  // "An important property of this structure is that any update results in
+  // a new SHA1 root reference."
+  ObjPtr v43 = make_val_object(43);
+  store.put(v43);
+  const Sha1 root2 = apply_transaction(store, root1, {{"a.b.c", v43->id}});
+  EXPECT_NE(root2, root1);
+
+  // Old and new snapshots coexist ("both new and old objects coexist in the
+  // caches, the switch from old to new root is atomic").
+  ObjPtr old_root = store.get(root1);
+  ObjPtr old_a = store.get(*Sha1::parse(old_root->entries().at("a").as_string()));
+  ObjPtr old_b = store.get(*Sha1::parse(old_a->entries().at("b").as_string()));
+  ObjPtr old_c = store.get(*Sha1::parse(old_b->entries().at("c").as_string()));
+  EXPECT_EQ(old_c->value(), Json(42));
+}
+
+TEST(Apply, UnlinkAndMissingUnlink) {
+  ContentStore store;
+  store.put(empty_dir_object());
+  ObjPtr v = make_val_object("v");
+  store.put(v);
+  Sha1 root = apply_transaction(store, empty_dir_object()->id,
+                                {{"x", v->id}, {"y", v->id}});
+  root = apply_transaction(store, root, {Tuple{"x", Sha1{}}});
+  ObjPtr dir = store.get(root);
+  EXPECT_FALSE(dir->entries().contains("x"));
+  EXPECT_TRUE(dir->entries().contains("y"));
+  // Unlinking a missing key is a no-op, not an error.
+  const Sha1 same = apply_transaction(store, root, {Tuple{"zzz", Sha1{}}});
+  EXPECT_EQ(same, root);
+}
+
+TEST(Apply, IdenticalContentGivesIdenticalRoots) {
+  // Canonical serialization: applying equal logical states from different
+  // orders converges to one root hash.
+  ContentStore s1, s2;
+  s1.put(empty_dir_object());
+  s2.put(empty_dir_object());
+  ObjPtr v1 = make_val_object(1), v2 = make_val_object(2);
+  s1.put(v1); s1.put(v2);
+  s2.put(v1); s2.put(v2);
+  const Sha1 r1 = apply_transaction(
+      s1, empty_dir_object()->id, {{"a.x", v1->id}, {"a.y", v2->id}});
+  const Sha1 r2 = apply_transaction(
+      s2, empty_dir_object()->id, {{"a.y", v2->id}, {"a.x", v1->id}});
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(Apply, BatchedFenceEqualsSequentialCommits) {
+  // Property: one batched apply == the composition of singleton applies.
+  Rng rng(123);
+  ContentStore batched, sequential;
+  batched.put(empty_dir_object());
+  sequential.put(empty_dir_object());
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 200; ++i) {
+    ObjPtr v = make_val_object(rng.bytes(8));
+    batched.put(v);
+    sequential.put(v);
+    tuples.push_back(Tuple{
+        "d" + std::to_string(rng.below(8)) + ".k" + std::to_string(rng.below(50)),
+        v->id});
+  }
+  const Sha1 one_shot =
+      apply_transaction(batched, empty_dir_object()->id, tuples);
+  Sha1 step = empty_dir_object()->id;
+  for (const Tuple& t : tuples)
+    step = apply_transaction(sequential, step, {t});
+  EXPECT_EQ(one_shot, step);
+}
+
+TEST(ContentStore, PutIsIdempotent) {
+  ContentStore store;
+  ObjPtr v = make_val_object("x");
+  EXPECT_TRUE(store.put(v));
+  EXPECT_FALSE(store.put(v));
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.bytes(), v->size());
+}
+
+TEST(ObjectCache, PinPreventsExpiry) {
+  ObjectCache cache;
+  ObjPtr a = make_val_object("a"), b = make_val_object("b");
+  cache.put(a, 1);
+  cache.put(b, 1);
+  cache.pin(a->id);
+  EXPECT_EQ(cache.expire(100, 10), 1u);  // only b evicted
+  EXPECT_NE(cache.get(a->id, 100), nullptr);
+  cache.unpin(a->id);
+  EXPECT_EQ(cache.expire(200, 10), 1u);
+  EXPECT_EQ(cache.count(), 0u);
+}
+
+TEST(ObjectCache, GetRefreshesLastUse) {
+  ObjectCache cache;
+  ObjPtr a = make_val_object("a");
+  cache.put(a, 1);
+  EXPECT_NE(cache.get(a->id, 50), nullptr);  // refresh at epoch 50
+  EXPECT_EQ(cache.expire(55, 10), 0u);       // recently used: kept
+  EXPECT_EQ(cache.expire(100, 10), 1u);
+}
+
+TEST(ObjectBundle, SerializeDeserializeRoundTrip) {
+  std::vector<ObjPtr> objs{make_val_object(1), make_val_object("two"),
+                           make_dir_object({{"n", Sha1::of("x")}})};
+  ObjectBundle bundle(objs);
+  EXPECT_EQ(bundle.wire_size(), bundle.serialize().size());
+  auto back = ObjectBundle::deserialize(bundle.serialize());
+  ASSERT_TRUE(back.has_value());
+  auto* typed = dynamic_cast<const ObjectBundle*>(back->get());
+  ASSERT_NE(typed, nullptr);
+  ASSERT_EQ(typed->objects().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(typed->objects()[i]->id, objs[i]->id);
+}
+
+TEST(ObjectBundle, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ObjectBundle::deserialize("zz").has_value());
+  ObjectBundle one({make_val_object(5)});
+  std::string truncated = one.serialize();
+  truncated.pop_back();
+  EXPECT_FALSE(ObjectBundle::deserialize(truncated).has_value());
+  std::string padded = one.serialize();
+  padded += "x";
+  EXPECT_FALSE(ObjectBundle::deserialize(padded).has_value());
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,174 @@
+// wexec: bulk launch, stdio capture into the KVS, signals, exit reduction.
+#include <gtest/gtest.h>
+
+#include "modules/wexec.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+Task<Message> run_job(Handle* h, std::string jobid, std::string cmd,
+                      Json args = Json::object(), Json ranks = Json()) {
+  Json payload = Json::object({{"jobid", std::move(jobid)},
+                               {"cmd", std::move(cmd)},
+                               {"args", std::move(args)},
+                               {"ranks", std::move(ranks)}});
+  Message resp = co_await h->rpc_check("wexec.run", std::move(payload));
+  co_return resp;
+}
+
+TEST(Wexec, BulkLaunchOnAllRanks) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(3);
+  Message resp = s.run(run_job(h.get(), "j1", "hostname"));
+  EXPECT_EQ(resp.payload.get_int("ntasks"), 8);
+  EXPECT_TRUE(resp.payload.get_bool("success"));
+}
+
+TEST(Wexec, StdioCapturedInKvs) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(1);
+  s.run(run_job(h.get(), "j2", "hostname"));
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (int r = 0; r < 4; ++r) {
+      Json out = co_await kvs.get("lwj.j2." + std::to_string(r) + ".stdout");
+      if (out.as_array().at(0) != Json("node" + std::to_string(r)))
+        throw FluxException(Error(Errc::Proto, "wrong stdout"));
+      Json code = co_await kvs.get("lwj.j2." + std::to_string(r) + ".exitcode");
+      if (code != Json(0))
+        throw FluxException(Error(Errc::Proto, "nonzero exit"));
+    }
+  }(h.get()));
+}
+
+TEST(Wexec, RankSubsetSelection) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(0);
+  Json ranks = Json::array({1, 4, 6});
+  Message resp = s.run(run_job(h.get(), "j3", "hostname", Json::object(),
+                               std::move(ranks)));
+  EXPECT_EQ(resp.payload.get_int("ntasks"), 3);
+  // Non-selected ranks must have no KVS entries.
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    (void)co_await kvs.get("lwj.j3.4.stdout");  // selected: exists
+    try {
+      (void)co_await kvs.get("lwj.j3.2.stdout");  // not selected
+      throw FluxException(Error(Errc::Proto, "unexpected entry"));
+    } catch (const FluxException& e) {
+      if (e.error().code != Errc::NoEnt) throw;
+    }
+  }(h.get()));
+}
+
+TEST(Wexec, NonzeroExitCodesAggregated) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(2);
+  Json args = Json::object({{"code", 3}});
+  Message resp = s.run(run_job(h.get(), "j4", "exit", std::move(args)));
+  EXPECT_FALSE(resp.payload.get_bool("success"));
+  EXPECT_EQ(resp.payload.at("exits").get_int("3"), 4);
+}
+
+TEST(Wexec, UnknownCommandIs127) {
+  SimSession s(SimSession::default_config(2));
+  auto h = s.attach(0);
+  Message resp = s.run(run_job(h.get(), "j5", "not-a-command"));
+  EXPECT_FALSE(resp.payload.get_bool("success"));
+  EXPECT_EQ(resp.payload.at("exits").get_int("127"), 2);
+  // stderr explains the failure.
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    Json err = co_await kvs.get("lwj.j5.0.stderr");
+    if (err.as_array().empty())
+      throw FluxException(Error(Errc::Proto, "no stderr captured"));
+  }(h.get()));
+}
+
+TEST(Wexec, DuplicateJobidRejected) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(0);
+  // A long-running job holds the id...
+  co_spawn(s.ex(), [](Handle* hd) -> Task<void> {
+    Json args = Json::object({{"us", 100000}});
+    Json payload = Json::object({{"jobid", "dup"},
+                                 {"cmd", "sleep"},
+                                 {"args", std::move(args)},
+                                 {"ranks", Json()}});
+    (void)co_await hd->rpc("wexec.run", std::move(payload));
+  }(h.get()), "sleeper");
+  s.ex().run_for(std::chrono::milliseconds(1));
+  // ...so a second run with the same id fails.
+  auto h2 = s.attach(1);
+  bool rejected = false;
+  co_spawn(s.ex(), [](Handle* hd, bool* out) -> Task<void> {
+    try {
+      (void)co_await run_job(hd, "dup", "hostname");
+    } catch (const FluxException& e) {
+      *out = (e.error().code == Errc::Exist);
+    }
+  }(h2.get(), &rejected), "dup");
+  s.ex().run_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(rejected);
+  s.ex().run();  // drain the sleeper
+}
+
+TEST(Wexec, SignalTerminatesSpinners) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(0);
+  Message resp = s.run([](Handle* hd) -> Task<Message> {
+    // Launch spinners that only exit when signalled.
+    Json payload = Json::object({{"jobid", "spin1"},
+                                 {"cmd", "spin"},
+                                 {"args", Json::object()},
+                                 {"ranks", Json()}});
+    auto pending = hd->rpc("wexec.run", std::move(payload));
+    co_await hd->sleep(std::chrono::milliseconds(1));
+    Json kill = Json::object({{"jobid", "spin1"}, {"signum", 15}});
+    co_await hd->rpc_check("wexec.kill", std::move(kill));
+    Message done = co_await pending;
+    Handle::check(done);
+    co_return done;
+  }(h.get()));
+  // All tasks exited 143 (128 + SIGTERM).
+  EXPECT_EQ(resp.payload.at("exits").get_int("143"), 4);
+}
+
+TEST(Wexec, ProcessesUseKvsThroughTheirOwnHandle) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  Json args = Json::object({{"key", "fromproc.v"}, {"value", "written"}});
+  Message resp = s.run(run_job(h.get(), "j6", "kvsput", std::move(args),
+                               Json::array({2})));
+  EXPECT_TRUE(resp.payload.get_bool("success"));
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    Json v = co_await kvs.get("fromproc.v");
+    if (v != Json("written"))
+      throw FluxException(Error(Errc::Proto, "kvsput did not stick"));
+  }(h.get()));
+}
+
+TEST(Wexec, CustomRegisteredCommand) {
+  modules::CommandRegistry::instance().add(
+      "answer", [](modules::ProcessCtx& p) -> Task<int> {
+        p.out("42");
+        co_return 0;
+      });
+  SimSession s(SimSession::default_config(2));
+  auto h = s.attach(0);
+  Message resp = s.run(run_job(h.get(), "j7", "answer"));
+  EXPECT_TRUE(resp.payload.get_bool("success"));
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    Json out = co_await kvs.get("lwj.j7.1.stdout");
+    if (out.as_array().at(0) != Json("42"))
+      throw FluxException(Error(Errc::Proto, "custom command output wrong"));
+  }(h.get()));
+}
+
+}  // namespace
+}  // namespace flux
