@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_distributed_master.dir/bench_abl_distributed_master.cpp.o"
+  "CMakeFiles/bench_abl_distributed_master.dir/bench_abl_distributed_master.cpp.o.d"
+  "bench_abl_distributed_master"
+  "bench_abl_distributed_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_distributed_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_module_depth.dir/bench_abl_module_depth.cpp.o"
+  "CMakeFiles/bench_abl_module_depth.dir/bench_abl_module_depth.cpp.o.d"
+  "bench_abl_module_depth"
+  "bench_abl_module_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_module_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

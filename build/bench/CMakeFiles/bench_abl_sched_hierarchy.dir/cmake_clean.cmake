@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sched_hierarchy.dir/bench_abl_sched_hierarchy.cpp.o"
+  "CMakeFiles/bench_abl_sched_hierarchy.dir/bench_abl_sched_hierarchy.cpp.o.d"
+  "bench_abl_sched_hierarchy"
+  "bench_abl_sched_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sched_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

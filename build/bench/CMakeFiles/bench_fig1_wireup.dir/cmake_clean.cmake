@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_wireup.dir/bench_fig1_wireup.cpp.o"
+  "CMakeFiles/bench_fig1_wireup.dir/bench_fig1_wireup.cpp.o.d"
+  "bench_fig1_wireup"
+  "bench_fig1_wireup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_wireup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

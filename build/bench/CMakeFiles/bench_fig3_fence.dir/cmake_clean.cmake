@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fence.dir/bench_fig3_fence.cpp.o"
+  "CMakeFiles/bench_fig3_fence.dir/bench_fig3_fence.cpp.o.d"
+  "bench_fig3_fence"
+  "bench_fig3_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_get_singledir.dir/bench_fig4a_get_singledir.cpp.o"
+  "CMakeFiles/bench_fig4a_get_singledir.dir/bench_fig4a_get_singledir.cpp.o.d"
+  "bench_fig4a_get_singledir"
+  "bench_fig4a_get_singledir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_get_singledir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_get_multidir.dir/bench_fig4b_get_multidir.cpp.o"
+  "CMakeFiles/bench_fig4b_get_multidir.dir/bench_fig4b_get_multidir.cpp.o.d"
+  "bench_fig4b_get_multidir"
+  "bench_fig4b_get_multidir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_get_multidir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

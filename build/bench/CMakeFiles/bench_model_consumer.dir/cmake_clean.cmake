@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_consumer.dir/bench_model_consumer.cpp.o"
+  "CMakeFiles/bench_model_consumer.dir/bench_model_consumer.cpp.o.d"
+  "bench_model_consumer"
+  "bench_model_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_cli.dir/flux_cli.cpp.o"
+  "CMakeFiles/flux_cli.dir/flux_cli.cpp.o.d"
+  "flux_cli"
+  "flux_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_sched.dir/hierarchical_sched.cpp.o"
+  "CMakeFiles/hierarchical_sched.dir/hierarchical_sched.cpp.o.d"
+  "hierarchical_sched"
+  "hierarchical_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

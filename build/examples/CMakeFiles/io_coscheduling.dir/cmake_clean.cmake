@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_coscheduling.dir/io_coscheduling.cpp.o"
+  "CMakeFiles/io_coscheduling.dir/io_coscheduling.cpp.o.d"
+  "io_coscheduling"
+  "io_coscheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

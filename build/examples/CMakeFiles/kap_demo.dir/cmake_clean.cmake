@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kap_demo.dir/kap_demo.cpp.o"
+  "CMakeFiles/kap_demo.dir/kap_demo.cpp.o.d"
+  "kap_demo"
+  "kap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

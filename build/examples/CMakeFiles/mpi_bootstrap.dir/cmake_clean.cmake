@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_bootstrap.dir/mpi_bootstrap.cpp.o"
+  "CMakeFiles/mpi_bootstrap.dir/mpi_bootstrap.cpp.o.d"
+  "mpi_bootstrap"
+  "mpi_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_session.dir/threaded_session.cpp.o"
+  "CMakeFiles/threaded_session.dir/threaded_session.cpp.o.d"
+  "threaded_session"
+  "threaded_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wexec_demo.dir/wexec_demo.cpp.o"
+  "CMakeFiles/wexec_demo.dir/wexec_demo.cpp.o.d"
+  "wexec_demo"
+  "wexec_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wexec_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart" "8")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.mpi_bootstrap "/root/repo/build/examples/mpi_bootstrap" "16" "2")
+set_tests_properties(example.mpi_bootstrap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.hierarchical_sched "/root/repo/build/examples/hierarchical_sched")
+set_tests_properties(example.hierarchical_sched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.power_capping "/root/repo/build/examples/power_capping")
+set_tests_properties(example.power_capping PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.wexec_demo "/root/repo/build/examples/wexec_demo" "4")
+set_tests_properties(example.wexec_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.kap_demo "/root/repo/build/examples/kap_demo" "8" "4" "64" "2")
+set_tests_properties(example.kap_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.threaded_session "/root/repo/build/examples/threaded_session" "4" "8")
+set_tests_properties(example.threaded_session PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.flux_cli "/root/repo/build/examples/flux_cli" "-n" "2" "info")
+set_tests_properties(example.flux_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.io_coscheduling "/root/repo/build/examples/io_coscheduling")
+set_tests_properties(example.io_coscheduling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

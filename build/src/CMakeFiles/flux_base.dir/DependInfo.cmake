@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/error.cpp" "src/CMakeFiles/flux_base.dir/base/error.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/base/error.cpp.o.d"
+  "/root/repo/src/base/hex.cpp" "src/CMakeFiles/flux_base.dir/base/hex.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/base/hex.cpp.o.d"
+  "/root/repo/src/base/log.cpp" "src/CMakeFiles/flux_base.dir/base/log.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/base/log.cpp.o.d"
+  "/root/repo/src/base/rng.cpp" "src/CMakeFiles/flux_base.dir/base/rng.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/base/rng.cpp.o.d"
+  "/root/repo/src/hash/sha1.cpp" "src/CMakeFiles/flux_base.dir/hash/sha1.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/hash/sha1.cpp.o.d"
+  "/root/repo/src/json/json.cpp" "src/CMakeFiles/flux_base.dir/json/json.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/json/json.cpp.o.d"
+  "/root/repo/src/msg/codec.cpp" "src/CMakeFiles/flux_base.dir/msg/codec.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/msg/codec.cpp.o.d"
+  "/root/repo/src/msg/message.cpp" "src/CMakeFiles/flux_base.dir/msg/message.cpp.o" "gcc" "src/CMakeFiles/flux_base.dir/msg/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_base.dir/base/error.cpp.o"
+  "CMakeFiles/flux_base.dir/base/error.cpp.o.d"
+  "CMakeFiles/flux_base.dir/base/hex.cpp.o"
+  "CMakeFiles/flux_base.dir/base/hex.cpp.o.d"
+  "CMakeFiles/flux_base.dir/base/log.cpp.o"
+  "CMakeFiles/flux_base.dir/base/log.cpp.o.d"
+  "CMakeFiles/flux_base.dir/base/rng.cpp.o"
+  "CMakeFiles/flux_base.dir/base/rng.cpp.o.d"
+  "CMakeFiles/flux_base.dir/hash/sha1.cpp.o"
+  "CMakeFiles/flux_base.dir/hash/sha1.cpp.o.d"
+  "CMakeFiles/flux_base.dir/json/json.cpp.o"
+  "CMakeFiles/flux_base.dir/json/json.cpp.o.d"
+  "CMakeFiles/flux_base.dir/msg/codec.cpp.o"
+  "CMakeFiles/flux_base.dir/msg/codec.cpp.o.d"
+  "CMakeFiles/flux_base.dir/msg/message.cpp.o"
+  "CMakeFiles/flux_base.dir/msg/message.cpp.o.d"
+  "libflux_base.a"
+  "libflux_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

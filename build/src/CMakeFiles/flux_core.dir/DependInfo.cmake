@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/flux_core.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/flux_core.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/jobspec.cpp" "src/CMakeFiles/flux_core.dir/core/jobspec.cpp.o" "gcc" "src/CMakeFiles/flux_core.dir/core/jobspec.cpp.o.d"
+  "/root/repo/src/core/rt_bridge.cpp" "src/CMakeFiles/flux_core.dir/core/rt_bridge.cpp.o" "gcc" "src/CMakeFiles/flux_core.dir/core/rt_bridge.cpp.o.d"
+  "/root/repo/src/resource/pool.cpp" "src/CMakeFiles/flux_core.dir/resource/pool.cpp.o" "gcc" "src/CMakeFiles/flux_core.dir/resource/pool.cpp.o.d"
+  "/root/repo/src/resource/resource.cpp" "src/CMakeFiles/flux_core.dir/resource/resource.cpp.o" "gcc" "src/CMakeFiles/flux_core.dir/resource/resource.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/CMakeFiles/flux_core.dir/sched/policy.cpp.o" "gcc" "src/CMakeFiles/flux_core.dir/sched/policy.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/flux_core.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/flux_core.dir/sched/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flux_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flux_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_core.dir/core/instance.cpp.o"
+  "CMakeFiles/flux_core.dir/core/instance.cpp.o.d"
+  "CMakeFiles/flux_core.dir/core/jobspec.cpp.o"
+  "CMakeFiles/flux_core.dir/core/jobspec.cpp.o.d"
+  "CMakeFiles/flux_core.dir/core/rt_bridge.cpp.o"
+  "CMakeFiles/flux_core.dir/core/rt_bridge.cpp.o.d"
+  "CMakeFiles/flux_core.dir/resource/pool.cpp.o"
+  "CMakeFiles/flux_core.dir/resource/pool.cpp.o.d"
+  "CMakeFiles/flux_core.dir/resource/resource.cpp.o"
+  "CMakeFiles/flux_core.dir/resource/resource.cpp.o.d"
+  "CMakeFiles/flux_core.dir/sched/policy.cpp.o"
+  "CMakeFiles/flux_core.dir/sched/policy.cpp.o.d"
+  "CMakeFiles/flux_core.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/flux_core.dir/sched/scheduler.cpp.o.d"
+  "libflux_core.a"
+  "libflux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/flux_exec.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/flux_exec.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/sim_executor.cpp" "src/CMakeFiles/flux_exec.dir/exec/sim_executor.cpp.o" "gcc" "src/CMakeFiles/flux_exec.dir/exec/sim_executor.cpp.o.d"
+  "/root/repo/src/exec/thread_executor.cpp" "src/CMakeFiles/flux_exec.dir/exec/thread_executor.cpp.o" "gcc" "src/CMakeFiles/flux_exec.dir/exec/thread_executor.cpp.o.d"
+  "/root/repo/src/net/simnet.cpp" "src/CMakeFiles/flux_exec.dir/net/simnet.cpp.o" "gcc" "src/CMakeFiles/flux_exec.dir/net/simnet.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/flux_exec.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/flux_exec.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_exec.dir/exec/executor.cpp.o"
+  "CMakeFiles/flux_exec.dir/exec/executor.cpp.o.d"
+  "CMakeFiles/flux_exec.dir/exec/sim_executor.cpp.o"
+  "CMakeFiles/flux_exec.dir/exec/sim_executor.cpp.o.d"
+  "CMakeFiles/flux_exec.dir/exec/thread_executor.cpp.o"
+  "CMakeFiles/flux_exec.dir/exec/thread_executor.cpp.o.d"
+  "CMakeFiles/flux_exec.dir/net/simnet.cpp.o"
+  "CMakeFiles/flux_exec.dir/net/simnet.cpp.o.d"
+  "CMakeFiles/flux_exec.dir/net/topology.cpp.o"
+  "CMakeFiles/flux_exec.dir/net/topology.cpp.o.d"
+  "libflux_exec.a"
+  "libflux_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

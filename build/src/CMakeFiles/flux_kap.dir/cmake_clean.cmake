@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_kap.dir/kap/kap.cpp.o"
+  "CMakeFiles/flux_kap.dir/kap/kap.cpp.o.d"
+  "libflux_kap.a"
+  "libflux_kap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_kap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/handle.cpp" "src/CMakeFiles/flux_rt.dir/api/handle.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/api/handle.cpp.o.d"
+  "/root/repo/src/api/pmi.cpp" "src/CMakeFiles/flux_rt.dir/api/pmi.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/api/pmi.cpp.o.d"
+  "/root/repo/src/api/sync_handle.cpp" "src/CMakeFiles/flux_rt.dir/api/sync_handle.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/api/sync_handle.cpp.o.d"
+  "/root/repo/src/broker/broker.cpp" "src/CMakeFiles/flux_rt.dir/broker/broker.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/broker/broker.cpp.o.d"
+  "/root/repo/src/broker/module.cpp" "src/CMakeFiles/flux_rt.dir/broker/module.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/broker/module.cpp.o.d"
+  "/root/repo/src/broker/session.cpp" "src/CMakeFiles/flux_rt.dir/broker/session.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/broker/session.cpp.o.d"
+  "/root/repo/src/kvs/content_store.cpp" "src/CMakeFiles/flux_rt.dir/kvs/content_store.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/kvs/content_store.cpp.o.d"
+  "/root/repo/src/kvs/kvs_client.cpp" "src/CMakeFiles/flux_rt.dir/kvs/kvs_client.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/kvs/kvs_client.cpp.o.d"
+  "/root/repo/src/kvs/kvs_module.cpp" "src/CMakeFiles/flux_rt.dir/kvs/kvs_module.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/kvs/kvs_module.cpp.o.d"
+  "/root/repo/src/kvs/object_bundle.cpp" "src/CMakeFiles/flux_rt.dir/kvs/object_bundle.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/kvs/object_bundle.cpp.o.d"
+  "/root/repo/src/kvs/treeobj.cpp" "src/CMakeFiles/flux_rt.dir/kvs/treeobj.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/kvs/treeobj.cpp.o.d"
+  "/root/repo/src/modules/barrier.cpp" "src/CMakeFiles/flux_rt.dir/modules/barrier.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/barrier.cpp.o.d"
+  "/root/repo/src/modules/group.cpp" "src/CMakeFiles/flux_rt.dir/modules/group.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/group.cpp.o.d"
+  "/root/repo/src/modules/hb.cpp" "src/CMakeFiles/flux_rt.dir/modules/hb.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/hb.cpp.o.d"
+  "/root/repo/src/modules/live.cpp" "src/CMakeFiles/flux_rt.dir/modules/live.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/live.cpp.o.d"
+  "/root/repo/src/modules/logmod.cpp" "src/CMakeFiles/flux_rt.dir/modules/logmod.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/logmod.cpp.o.d"
+  "/root/repo/src/modules/mon.cpp" "src/CMakeFiles/flux_rt.dir/modules/mon.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/mon.cpp.o.d"
+  "/root/repo/src/modules/resvc.cpp" "src/CMakeFiles/flux_rt.dir/modules/resvc.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/resvc.cpp.o.d"
+  "/root/repo/src/modules/wexec.cpp" "src/CMakeFiles/flux_rt.dir/modules/wexec.cpp.o" "gcc" "src/CMakeFiles/flux_rt.dir/modules/wexec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flux_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

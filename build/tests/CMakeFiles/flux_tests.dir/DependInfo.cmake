@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base.cpp" "tests/CMakeFiles/flux_tests.dir/test_base.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_base.cpp.o.d"
+  "/root/repo/tests/test_broker.cpp" "tests/CMakeFiles/flux_tests.dir/test_broker.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_broker.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/flux_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_failure.cpp" "tests/CMakeFiles/flux_tests.dir/test_failure.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_failure.cpp.o.d"
+  "/root/repo/tests/test_handle.cpp" "tests/CMakeFiles/flux_tests.dir/test_handle.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_handle.cpp.o.d"
+  "/root/repo/tests/test_instance.cpp" "tests/CMakeFiles/flux_tests.dir/test_instance.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_instance.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/flux_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/flux_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_kap.cpp" "tests/CMakeFiles/flux_tests.dir/test_kap.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_kap.cpp.o.d"
+  "/root/repo/tests/test_kvs.cpp" "tests/CMakeFiles/flux_tests.dir/test_kvs.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_kvs.cpp.o.d"
+  "/root/repo/tests/test_kvs_property.cpp" "tests/CMakeFiles/flux_tests.dir/test_kvs_property.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_kvs_property.cpp.o.d"
+  "/root/repo/tests/test_modules.cpp" "tests/CMakeFiles/flux_tests.dir/test_modules.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_modules.cpp.o.d"
+  "/root/repo/tests/test_msg.cpp" "tests/CMakeFiles/flux_tests.dir/test_msg.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_msg.cpp.o.d"
+  "/root/repo/tests/test_resource.cpp" "tests/CMakeFiles/flux_tests.dir/test_resource.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_resource.cpp.o.d"
+  "/root/repo/tests/test_resvc_pmi.cpp" "tests/CMakeFiles/flux_tests.dir/test_resvc_pmi.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_resvc_pmi.cpp.o.d"
+  "/root/repo/tests/test_rt_bridge.cpp" "tests/CMakeFiles/flux_tests.dir/test_rt_bridge.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_rt_bridge.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/flux_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_session.cpp" "tests/CMakeFiles/flux_tests.dir/test_session.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_session.cpp.o.d"
+  "/root/repo/tests/test_sha1.cpp" "tests/CMakeFiles/flux_tests.dir/test_sha1.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_sha1.cpp.o.d"
+  "/root/repo/tests/test_simnet.cpp" "tests/CMakeFiles/flux_tests.dir/test_simnet.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_simnet.cpp.o.d"
+  "/root/repo/tests/test_threaded.cpp" "tests/CMakeFiles/flux_tests.dir/test_threaded.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_threaded.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/flux_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_treeobj.cpp" "tests/CMakeFiles/flux_tests.dir/test_treeobj.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_treeobj.cpp.o.d"
+  "/root/repo/tests/test_wexec.cpp" "tests/CMakeFiles/flux_tests.dir/test_wexec.cpp.o" "gcc" "tests/CMakeFiles/flux_tests.dir/test_wexec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flux_kap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flux_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flux_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
