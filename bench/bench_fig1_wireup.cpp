@@ -75,6 +75,7 @@ PlaneLatencies measure(std::uint32_t nnodes, std::uint32_t arity) {
 }  // namespace
 
 int main() {
+  metrics_open("fig1_wireup");
   print_header(
       "Figure 1 — comms session wire-up and the three overlay planes",
       "Ahn et al., ICPP'14, Figure 1 (architecture) + §V-A session setup",
@@ -92,6 +93,13 @@ int main() {
     std::printf("%8u %8u %12.1f %12.1f %12.1f %12.1f\n", n, 2u, us(p.wireup),
                 us(p.tree_rpc), us(p.ring_rpc), us(p.event));
     wireups.push_back(us(p.wireup));
+    Json row = Json::object({{"brokers", static_cast<std::int64_t>(n)},
+                             {"arity", 2},
+                             {"wireup_us", us(p.wireup)},
+                             {"tree_rpc_us", us(p.tree_rpc)},
+                             {"ring_rpc_us", us(p.ring_rpc)},
+                             {"event_us", us(p.event)}});
+    metrics_add(std::move(row));
   }
   const double grow = wireups.back() / wireups.front();
   const double scale = static_cast<double>(sizes.back()) /
@@ -106,6 +114,11 @@ int main() {
   for (std::uint32_t arity : {2u, 4u, 16u}) {
     const PlaneLatencies p = measure(sizes.back(), arity);
     std::printf("%8u %8u %12.1f\n", sizes.back(), arity, us(p.wireup));
+    Json row =
+        Json::object({{"brokers", static_cast<std::int64_t>(sizes.back())},
+                      {"arity", static_cast<std::int64_t>(arity)},
+                      {"wireup_us", us(p.wireup)}});
+    metrics_add(std::move(row));
   }
   return 0;
 }

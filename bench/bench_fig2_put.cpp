@@ -10,6 +10,7 @@ int main() {
   using namespace flux;
   using namespace flux::bench;
 
+  metrics_open("fig2_put");
   print_header(
       "Figure 2 — producer-phase (kvs_put) max latency vs #producers",
       "Ahn et al., ICPP'14, Figure 2",

@@ -15,6 +15,7 @@ int main() {
   using namespace flux;
   using namespace flux::bench;
 
+  metrics_open("fig3_fence");
   print_header(
       "Figure 3 — synchronization-phase (kvs_fence) max latency vs #producers",
       "Ahn et al., ICPP'14, Figure 3 (vsize-k and red-vsize-k series)",

@@ -12,6 +12,7 @@ int main() {
   using namespace flux;
   using namespace flux::bench;
 
+  metrics_open("fig4a_get_singledir");
   print_header(
       "Figure 4(a) — consumer-phase (kvs_get) max latency, SINGLE directory",
       "Ahn et al., ICPP'14, Figure 4(a) (8-byte values)",

@@ -12,6 +12,7 @@ int main() {
   using namespace flux;
   using namespace flux::bench;
 
+  metrics_open("fig4b_get_multidir");
   print_header(
       "Figure 4(b) — consumer-phase (kvs_get) max latency, dirs of <=128",
       "Ahn et al., ICPP'14, Figure 4(b) (8-byte values)",

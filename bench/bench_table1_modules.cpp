@@ -26,6 +26,7 @@ struct Row {
 }  // namespace
 
 int main() {
+  metrics_open("table1_modules");
   print_header("Table I — prototyped comms modules",
                "Ahn et al., ICPP'14, Table I",
                "all nine modules load and serve their representative "
@@ -73,9 +74,7 @@ int main() {
 
   timed("live", "heartbeat-synchronized hellos detect dead children",
         "live.status", [](Handle* hd) -> Task<void> {
-          RpcOptions opts;
-          opts.nodeid = 0;
-          co_await hd->rpc_check("live.status", Json::object(), opts);
+          co_await hd->request("live.status").to(0).call();
         }(h.get()));
 
   timed("log", "records reduced & filtered to a session-root log",
@@ -148,6 +147,11 @@ int main() {
                 row.ok ? "OK" : "FAILED", row.op.c_str(), row.latency_us,
                 row.description);
     all_ok &= row.ok;
+    Json metric = Json::object({{"module", row.module},
+                                {"op", row.op},
+                                {"latency_us", row.latency_us},
+                                {"ok", row.ok}});
+    metrics_add(std::move(metric));
   }
   std::printf("\n%s: %zu/%zu Table-I modules functional on a %u-broker "
               "session\n",

@@ -21,6 +21,7 @@
 
 #include "api/sync_handle.hpp"
 #include "broker/session.hpp"
+#include "obs/stats_client.hpp"
 
 using namespace flux;
 
@@ -73,9 +74,9 @@ const std::map<std::string, Command>& commands() {
       {"lsmod",
        {"lsmod [rank]", "list comms modules loaded on a broker",
         [](Cli& c, const Args& a) {
-          RpcOptions opts;
-          if (!a.empty()) opts.nodeid = static_cast<NodeId>(std::stoul(a[0]));
-          Message r = c.h->rpc("cmb.lsmod", Json::object(), opts);
+          auto req = c.h->request("cmb.lsmod");
+          if (!a.empty()) req.to(static_cast<NodeId>(std::stoul(a[0])));
+          Message r = req.get();
           for (const Json& m : r.payload.at("modules").as_array())
             std::printf("%s\n", m.as_string().c_str());
           return r.errnum;
@@ -93,9 +94,9 @@ const std::map<std::string, Command>& commands() {
        {"live <rank>", "liveness status tracked by a broker",
         [](Cli& c, const Args& a) {
           if (int rc = need(a, 1, "live <rank>")) return rc;
-          RpcOptions opts;
-          opts.nodeid = static_cast<NodeId>(std::stoul(a[0]));
-          Message r = c.h->rpc("live.status", Json::object(), opts);
+          Message r = c.h->request("live.status")
+                          .to(static_cast<NodeId>(std::stoul(a[0])))
+                          .get();
           std::printf("%s\n", r.payload.dump_pretty().c_str());
           return r.errnum;
         }}},
@@ -165,9 +166,9 @@ const std::map<std::string, Command>& commands() {
       {"kvs-stats",
        {"kvs-stats [rank]", "kvs module statistics",
         [](Cli& c, const Args& a) {
-          RpcOptions opts;
-          if (!a.empty()) opts.nodeid = static_cast<NodeId>(std::stoul(a[0]));
-          Message r = c.h->rpc("kvs.stats", Json::object(), opts);
+          auto req = c.h->request("kvs.stats");
+          if (!a.empty()) req.to(static_cast<NodeId>(std::stoul(a[0])));
+          Message r = req.get();
           std::printf("%s\n", r.payload.dump_pretty().c_str());
           return r.errnum;
         }}},
@@ -175,9 +176,9 @@ const std::map<std::string, Command>& commands() {
        {"kvs-drop-cache <rank>", "drop a broker's slave cache",
         [](Cli& c, const Args& a) {
           if (int rc = need(a, 1, "kvs-drop-cache <rank>")) return rc;
-          RpcOptions opts;
-          opts.nodeid = static_cast<NodeId>(std::stoul(a[0]));
-          Message r = c.h->rpc("kvs.drop_cache", Json::object(), opts);
+          Message r = c.h->request("kvs.drop_cache")
+                          .to(static_cast<NodeId>(std::stoul(a[0])))
+                          .get();
           std::printf("evicted %lld\n",
                       static_cast<long long>(r.payload.get_int("evicted")));
           return r.errnum;
@@ -200,9 +201,9 @@ const std::map<std::string, Command>& commands() {
        {"ps <rank>", "list running wexec tasks on a broker",
         [](Cli& c, const Args& a) {
           if (int rc = need(a, 1, "ps <rank>")) return rc;
-          RpcOptions opts;
-          opts.nodeid = static_cast<NodeId>(std::stoul(a[0]));
-          Message r = c.h->rpc("wexec.ps", Json::object(), opts);
+          Message r = c.h->request("wexec.ps")
+                          .to(static_cast<NodeId>(std::stoul(a[0])))
+                          .get();
           std::printf("%s\n", r.payload.dump_pretty().c_str());
           return r.errnum;
         }}},
@@ -246,9 +247,9 @@ const std::map<std::string, Command>& commands() {
        {"log-dump <rank>", "dump a broker's circular debug buffer",
         [](Cli& c, const Args& a) {
           if (int rc = need(a, 1, "log-dump <rank>")) return rc;
-          RpcOptions opts;
-          opts.nodeid = static_cast<NodeId>(std::stoul(a[0]));
-          Message r = c.h->rpc("log.dump", Json::object(), opts);
+          Message r = c.h->request("log.dump")
+                          .to(static_cast<NodeId>(std::stoul(a[0])))
+                          .get();
           std::printf("%zu records in ring\n", r.payload.at("records").size());
           return r.errnum;
         }}},
@@ -303,6 +304,43 @@ const std::map<std::string, Command>& commands() {
           Message r = c.h->rpc("group.list");
           for (const Json& g : r.payload.at("groups").as_array())
             std::printf("%s\n", g.as_string().c_str());
+          return r.errnum;
+        }}},
+      // --- observability ------------------------------------------------------
+      {"stats",
+       {"stats [service] [all]", "aggregated session-wide counters/histograms",
+        [](Cli& c, const Args& a) {
+          std::string service = "cmb";
+          bool all = false;
+          for (const auto& arg : a) {
+            if (arg == "all")
+              all = true;
+            else
+              service = arg;
+          }
+          Json merged = c.h->stats(service, all);
+          std::printf("%s (%lld ranks)\n%s", service.c_str(),
+                      static_cast<long long>(merged.get_int("ranks")),
+                      obs::format_snapshot(merged).c_str());
+          return 0;
+        }}},
+      {"trace",
+       {"trace <topic> [rank] [json]", "send a traced request, print each hop",
+        [](Cli& c, const Args& a) {
+          if (int rc = need(a, 1, "trace <topic> [rank] [json]")) return rc;
+          auto req = c.h->request(a[0]).trace();
+          if (a.size() > 1) req.to(static_cast<NodeId>(std::stoul(a[1])));
+          if (a.size() > 2) req.payload(parse_value(a[2]));
+          Message r = req.get();
+          std::int64_t prev = r.trace.empty() ? 0 : r.trace.front().t_ns;
+          for (const TraceHop& hop : r.trace) {
+            std::printf("rank %-4u %-6s t=%lldns (+%lldns)\n", hop.rank,
+                        std::string(trace_plane_name(hop.plane)).c_str(),
+                        static_cast<long long>(hop.t_ns),
+                        static_cast<long long>(hop.t_ns - prev));
+            prev = hop.t_ns;
+          }
+          std::printf("%zu hops, errnum %d\n", r.trace.size(), r.errnum);
           return r.errnum;
         }}},
       // --- mon ----------------------------------------------------------------

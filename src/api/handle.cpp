@@ -10,20 +10,31 @@ Handle::Handle(Broker& broker) : broker_(broker) {
 
 Handle::~Handle() { broker_.remove_endpoint(endpoint_); }
 
-Future<Message> Handle::rpc(std::string topic, Json payload, RpcOptions opts) {
-  Message req = Message::request(std::move(topic), std::move(payload));
-  req.nodeid = opts.nodeid;
-  req.data = std::move(opts.data);
-  if (opts.timeout.count() > 0)
-    return broker_.rpc(endpoint_, std::move(req), opts.timeout);
-  return broker_.rpc(endpoint_, std::move(req));
+Future<Message> RequestBuilder::send() {
+  Handle& h = *handle_;
+  if (timeout_.count() > 0)
+    return h.broker().rpc(h.endpoint(), std::move(req_), timeout_);
+  return h.broker().rpc(h.endpoint(), std::move(req_));
 }
 
-Task<Message> Handle::rpc_check(std::string topic, Json payload,
-                                RpcOptions opts) {
-  Message resp = co_await rpc(std::move(topic), std::move(payload), opts);
-  check(resp);
+namespace {
+Task<Message> checked(Future<Message> fut) {
+  // Awaiting the future throws on transport-level errors (timeout, broker
+  // failure); check() covers service-level errnum in the response.
+  Message resp = co_await fut;
+  Handle::check(resp);
   co_return resp;
+}
+}  // namespace
+
+Task<Message> RequestBuilder::call() { return checked(send()); }
+
+Future<Message> Handle::rpc(std::string topic, Json payload) {
+  return request(std::move(topic)).payload(std::move(payload)).send();
+}
+
+Task<Message> Handle::rpc_check(std::string topic, Json payload) {
+  return request(std::move(topic)).payload(std::move(payload)).call();
 }
 
 void Handle::check(const Message& response) {
@@ -74,11 +85,9 @@ Task<void> Handle::barrier(std::string name, std::int64_t nprocs) {
 }
 
 Task<Json> Handle::ping(NodeId target) {
-  RpcOptions opts;
-  opts.nodeid = target;
   Json payload = Json::object({{"from", rank()}});
-  Message resp = co_await rpc("cmb.ping", std::move(payload), opts);
-  check(resp);
+  Message resp =
+      co_await request("cmb.ping").to(target).payload(std::move(payload)).call();
   co_return resp.payload;
 }
 

@@ -23,15 +23,7 @@
 
 namespace flux {
 
-struct RpcOptions {
-  /// Destination: kNodeAny routes upstream on the tree; kNodeUpstream skips
-  /// the local broker's modules; a concrete rank rides the ring plane.
-  NodeId nodeid = kNodeAny;
-  /// Optional bulk data frame.
-  std::shared_ptr<const std::string> data;
-  /// Zero means no timeout.
-  Duration timeout{0};
-};
+class RequestBuilder;
 
 class Handle {
  public:
@@ -46,14 +38,17 @@ class Handle {
   [[nodiscard]] std::uint32_t size() const noexcept { return broker_.size(); }
   [[nodiscard]] std::uint64_t endpoint() const noexcept { return endpoint_; }
 
-  /// Issue a request; the future resolves with the raw response (which may
-  /// carry errnum != 0 — see check()).
-  Future<Message> rpc(std::string topic, Json payload = Json::object(),
-                      RpcOptions opts = {});
+  /// Start a fluent request:
+  ///   co_await h.request("kvs.get").payload(j).to(rank).timeout(d).trace()
+  /// The builder is awaitable (resolves with the raw response); use .call()
+  /// for the checked form that throws FluxException on errnum != 0.
+  [[nodiscard]] RequestBuilder request(std::string topic);
 
-  /// Await the response and throw FluxException if errnum != 0.
-  Task<Message> rpc_check(std::string topic, Json payload = Json::object(),
-                          RpcOptions opts = {});
+  /// Deprecated: thin wrapper over request(topic).payload(p).send().
+  Future<Message> rpc(std::string topic, Json payload = Json::object());
+
+  /// Deprecated: thin wrapper over request(topic).payload(p).call().
+  Task<Message> rpc_check(std::string topic, Json payload = Json::object());
 
   /// Throw FluxException if the response carries an error.
   static void check(const Message& response);
@@ -92,5 +87,85 @@ class Handle {
   std::uint64_t next_sub_ = 1;
   std::vector<Subscription> subs_;
 };
+
+/// Fluent request descriptor. Defaults: route upstream on the tree plane,
+/// empty payload, no deadline, no trace. Setters return *this so requests
+/// read as one chain; the terminal operation is one of
+///  - co_await (or .send()): Future with the raw response (errnum may be set)
+///  - co_await .call(): checked response; throws FluxException on errnum
+/// Sending happens at the terminal call, so a builder can be prepared and
+/// fired later; each builder sends at most once.
+class RequestBuilder {
+ public:
+  /// Destination rank: rides the ring plane (paper: "trivially reached
+  /// without routing tables"). kNodeAny restores tree routing.
+  RequestBuilder& to(NodeId rank) noexcept {
+    req_.nodeid = rank;
+    return *this;
+  }
+
+  /// Skip the local broker's modules, then route upstream as usual — the
+  /// idiom for "ask my parent's view of this service".
+  RequestBuilder& upstream() noexcept {
+    req_.nodeid = kNodeUpstream;
+    return *this;
+  }
+
+  RequestBuilder& payload(Json j) {
+    req_.payload = std::move(j);
+    return *this;
+  }
+
+  /// Attach a bulk data frame (travels outside the JSON payload).
+  RequestBuilder& data(std::shared_ptr<const std::string> d) noexcept {
+    req_.data = std::move(d);
+    return *this;
+  }
+
+  /// Attach a structured bulk attachment (e.g. a KVS ObjectBundle).
+  RequestBuilder& attachment(std::shared_ptr<const Attachment> a) noexcept {
+    req_.attachment = std::move(a);
+    return *this;
+  }
+
+  /// Resolve the future with ETIMEDOUT if no response arrives in time.
+  RequestBuilder& timeout(Duration d) noexcept {
+    timeout_ = d;
+    return *this;
+  }
+
+  /// Collect per-broker route stamps; the response's Message::trace holds
+  /// the full forward+return path.
+  RequestBuilder& trace(bool on = true) noexcept {
+    if (on)
+      req_.flags |= kMsgFlagTrace;
+    else
+      req_.flags &= static_cast<std::uint8_t>(~kMsgFlagTrace);
+    return *this;
+  }
+
+  /// Send now; the future resolves with the raw response message.
+  [[nodiscard]] Future<Message> send();
+
+  /// Send now; awaiting throws FluxException if the response carries an
+  /// error (including ETIMEDOUT from timeout()).
+  [[nodiscard]] Task<Message> call();
+
+  /// `co_await builder` == `co_await builder.send()`.
+  [[nodiscard]] Future<Message> operator co_await() { return send(); }
+
+ private:
+  friend class Handle;
+  RequestBuilder(Handle& h, std::string topic)
+      : handle_(&h), req_(Message::request(std::move(topic))) {}
+
+  Handle* handle_;
+  Message req_;
+  Duration timeout_{0};
+};
+
+inline RequestBuilder Handle::request(std::string topic) {
+  return RequestBuilder(*this, std::move(topic));
+}
 
 }  // namespace flux

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "exec/thread_executor.hpp"
+#include "obs/stats_client.hpp"
 
 namespace flux {
 
@@ -60,18 +61,40 @@ SyncHandle::~SyncHandle() {
   done.future().wait();
 }
 
-Message SyncHandle::rpc(std::string topic, Json payload, RpcOptions opts) {
-  return run<Message>([this, topic = std::move(topic),
-                       payload = std::move(payload),
-                       opts = std::move(opts)]() mutable -> Task<Message> {
-    Message resp =
-        co_await handle_->rpc(std::move(topic), std::move(payload), opts);
+Message SyncHandle::Request::get() {
+  return h_->run<Message>(
+      [h = h_, topic = std::move(topic_), payload = std::move(payload_),
+       nodeid = nodeid_, data = std::move(data_), timeout = timeout_,
+       trace = trace_]() mutable -> Task<Message> {
+    RequestBuilder b = h->async().request(std::move(topic));
+    b.payload(std::move(payload)).to(nodeid).data(std::move(data)).trace(trace);
+    if (timeout.count() > 0) b.timeout(timeout);
+    Message resp = co_await b.send();
     co_return resp;
   });
 }
 
+Message SyncHandle::Request::call() {
+  Message resp = get();
+  Handle::check(resp);
+  return resp;
+}
+
+Message SyncHandle::rpc(std::string topic, Json payload) {
+  return request(std::move(topic)).payload(std::move(payload)).get();
+}
+
 Json SyncHandle::ping(NodeId target) {
   return run<Json>([this, target]() { return handle_->ping(target); });
+}
+
+Json SyncHandle::stats(std::string service, bool all) {
+  return run<Json>(
+      [this, service = std::move(service), all]() mutable -> Task<Json> {
+    obs::FluxStats fs(*handle_);
+    Json merged = co_await fs.aggregate(std::move(service), all);
+    co_return merged;
+  });
 }
 
 void SyncHandle::barrier(std::string name, std::int64_t nprocs) {

@@ -30,9 +30,58 @@ class SyncHandle {
   /// The underlying async handle (only touch it from the reactor).
   [[nodiscard]] Handle& async() noexcept { return *handle_; }
 
-  Message rpc(std::string topic, Json payload = Json::object(),
-              RpcOptions opts = {});
+  /// Blocking mirror of Handle::request():
+  ///   sh.request("kvs.get").payload(j).to(rank).get()
+  /// .get() blocks for the raw response; .call() additionally throws
+  /// FluxException if the response carries an error.
+  class Request {
+   public:
+    Request& to(NodeId rank) noexcept {
+      nodeid_ = rank;
+      return *this;
+    }
+    Request& payload(Json j) {
+      payload_ = std::move(j);
+      return *this;
+    }
+    Request& data(std::shared_ptr<const std::string> d) noexcept {
+      data_ = std::move(d);
+      return *this;
+    }
+    Request& timeout(Duration d) noexcept {
+      timeout_ = d;
+      return *this;
+    }
+    Request& trace(bool on = true) noexcept {
+      trace_ = on;
+      return *this;
+    }
+    Message get();   ///< block for the raw response
+    Message call();  ///< get() + Handle::check()
+
+   private:
+    friend class SyncHandle;
+    Request(SyncHandle& h, std::string topic)
+        : h_(&h), topic_(std::move(topic)) {}
+
+    SyncHandle* h_;
+    std::string topic_;
+    Json payload_;
+    NodeId nodeid_ = kNodeAny;
+    std::shared_ptr<const std::string> data_;
+    Duration timeout_{0};
+    bool trace_ = false;
+  };
+
+  [[nodiscard]] Request request(std::string topic) {
+    return Request(*this, std::move(topic));
+  }
+
+  /// Deprecated: thin wrapper over request(topic).payload(p).get().
+  Message rpc(std::string topic, Json payload = Json::object());
   Json ping(NodeId target);
+  /// Session-wide merged stats snapshot (obs::FluxStats::aggregate).
+  Json stats(std::string service, bool all = false);
   void barrier(std::string name, std::int64_t nprocs);
   void publish(std::string topic, Json payload = Json::object());
 
@@ -47,6 +96,8 @@ class SyncHandle {
   void kvs_wait_version(std::uint64_t version);
 
  private:
+  friend class Request;
+
   /// Run a coroutine factory on the reactor; block for its result.
   template <class T>
   T run(std::function<Task<T>()> make);

@@ -10,7 +10,12 @@
 namespace flux {
 
 Broker::Broker(Session& session, NodeId rank, Executor& ex)
-    : session_(session), rank_(rank), ex_(ex), topo_(session.topology()) {}
+    : session_(session), rank_(rank), ex_(ex), topo_(session.topology()) {
+  net_rx_msgs_ = &registry_.counter("cmb.net.rx_msgs");
+  net_rx_bytes_ = &registry_.counter("cmb.net.rx_bytes");
+  net_tx_msgs_ = &registry_.counter("cmb.net.tx_msgs");
+  net_tx_bytes_ = &registry_.counter("cmb.net.tx_bytes");
+}
 
 Broker::~Broker() = default;
 
@@ -101,6 +106,40 @@ void Broker::unsubscribe(std::uint64_t endpoint, std::string_view topic_prefix) 
 
 void Broker::receive(Message msg) {
   if (failed_) return;
+  net_rx_msgs_->inc();
+  net_rx_bytes_->inc(static_cast<std::uint64_t>(msg.wire_size()));
+  if (msg.traced()) {
+    // Stamp the hop. The plane is inferred from how the message got here:
+    // the first stamp on a request is the node-local client hop; after that,
+    // rank-addressed requests ride the ring and kNodeAny requests the tree.
+    // Responses retrace the tree unless the next route hop lives on another
+    // rank (ring-origin request riding home).
+    TraceHop hop;
+    hop.rank = rank_;
+    hop.t_ns = ex_.now().count();
+    switch (msg.type) {
+      case MsgType::Request:
+        if (msg.trace.empty())
+          hop.plane = TraceHop::Plane::Local;
+        else if (msg.nodeid != kNodeAny && msg.nodeid != kNodeUpstream)
+          hop.plane = TraceHop::Plane::Ring;
+        else
+          hop.plane = TraceHop::Plane::Tree;
+        break;
+      case MsgType::Response:
+        hop.plane = (!msg.route.empty() && msg.route.back().rank != rank_)
+                        ? TraceHop::Plane::Ring
+                        : TraceHop::Plane::Tree;
+        break;
+      case MsgType::Event:
+        hop.plane = TraceHop::Plane::Event;
+        break;
+      case MsgType::Keepalive:
+        hop.plane = TraceHop::Plane::Local;
+        break;
+    }
+    msg.trace.push_back(hop);
+  }
   switch (msg.type) {
     case MsgType::Request:
       route_request(std::move(msg));
@@ -123,7 +162,7 @@ Future<Message> Broker::rpc(std::uint64_t endpoint, Message req) {
   Promise<Message> promise(ex_);
   req.matchtag = next_matchtag_++;
   req.route.push_back(RouteHop{RouteHop::Kind::Client, rank_, endpoint});
-  pending_.emplace(req.matchtag, promise);
+  pending_.emplace(req.matchtag, PendingRpc{promise, ex_.now()});
   // The node-local hop: client -> broker (the paper's UNIX-domain socket).
   session_.send(rank_, rank_, std::move(req));
   return promise.future();
@@ -137,8 +176,11 @@ Future<Message> Broker::rpc(std::uint64_t endpoint, Message req,
   ex_.post_after(timeout, [this, tag, topic] {
     auto it = pending_.find(tag);
     if (it == pending_.end()) return;
-    it->second.set_error(Error(Errc::TimedOut, "rpc timeout: " + topic));
+    auto promise = it->second.promise;
     pending_.erase(it);
+    ++stats_.rpc_timeouts;
+    registry_.counter("cmb.rpc_timeouts").inc();
+    promise.set_error(Error(Errc::TimedOut, "rpc timeout: " + topic));
   });
   return fut;
 }
@@ -226,10 +268,14 @@ void Broker::route_response(Message msg) {
     msg.route.pop_back();
     auto pending = pending_.find(msg.matchtag);
     if (pending != pending_.end()) {
-      auto promise = pending->second;
+      auto promise = pending->second.promise;
+      registry_.histogram("cmb.rpc_ns").record(ex_.now() - pending->second.start);
       pending_.erase(pending);
       promise.set_value(std::move(msg));
     } else {
+      // Late response: the matchtag was already settled (rpc timeout fired).
+      ++stats_.responses_dropped;
+      registry_.counter("cmb.responses_dropped").inc();
       log::debug("broker", "rank ", rank_, ": dropped response tag ",
                  msg.matchtag, " topic ", msg.topic);
     }
@@ -265,7 +311,7 @@ Future<Message> Broker::module_rpc(Module& m, Message req) {
   req.matchtag = next_matchtag_++;
   req.route.push_back(
       RouteHop{RouteHop::Kind::Module, rank_, m.endpoint_id()});
-  pending_.emplace(req.matchtag, promise);
+  pending_.emplace(req.matchtag, PendingRpc{promise, ex_.now()});
   // Module requests originate inside the broker: route directly, no local
   // transport hop (comms modules share the CMB address space).
   route_request(std::move(req));
@@ -377,8 +423,29 @@ void Broker::handle_cmb_request(Message msg) {
     respond(msg.respond(Json::object({{"rank", rank_}, {"modules", mods}})));
     return;
   }
+  if (method == "stats.get") {
+    respond(msg.respond(stats_json(msg.payload.get_bool("all", false))));
+    return;
+  }
   respond(msg.respond_error(Errc::NoSys,
                             "cmb has no method '" + std::string(method) + "'"));
+}
+
+Json Broker::stats_json(bool all) const {
+  Json out = all ? registry_.snapshot() : registry_.snapshot("cmb");
+  out["rank"] = rank_;
+  // Fold the core routing counters in under the registry's naming scheme so
+  // aggregation code sees one uniform counter map.
+  Json& counters = out["counters"];
+  counters["cmb.requests_dispatched"] = stats_.requests_dispatched;
+  counters["cmb.requests_forwarded"] = stats_.requests_forwarded;
+  counters["cmb.responses_routed"] = stats_.responses_routed;
+  counters["cmb.events_published"] = stats_.events_published;
+  counters["cmb.events_delivered"] = stats_.events_delivered;
+  counters["cmb.ring_forwarded"] = stats_.ring_forwarded;
+  counters["cmb.rpc_timeouts"] = stats_.rpc_timeouts;
+  counters["cmb.responses_dropped"] = stats_.responses_dropped;
+  return out;
 }
 
 void Broker::maybe_complete_hello() {
@@ -400,14 +467,16 @@ void Broker::maybe_complete_hello() {
 // ---------------------------------------------------------------------------
 
 void Broker::send(NodeId to, Message msg) {
+  net_tx_msgs_->inc();
+  net_tx_bytes_->inc(static_cast<std::uint64_t>(msg.wire_size()));
   session_.send(rank_, to, std::move(msg));
 }
 
 void Broker::fail() {
   failed_ = true;
   // Settle outstanding local RPCs so client coroutines do not leak.
-  for (auto& [tag, promise] : pending_)
-    promise.set_error(Error(Errc::HostDown, "broker failed"));
+  for (auto& [tag, pending] : pending_)
+    pending.promise.set_error(Error(Errc::HostDown, "broker failed"));
   pending_.clear();
 }
 

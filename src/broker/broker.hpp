@@ -30,6 +30,7 @@
 #include "exec/future.hpp"
 #include "msg/message.hpp"
 #include "net/topology.hpp"
+#include "obs/stats.hpp"
 
 namespace flux {
 
@@ -112,8 +113,21 @@ class Broker {
     std::uint64_t events_published = 0;
     std::uint64_t events_delivered = 0;
     std::uint64_t ring_forwarded = 0;
+    std::uint64_t rpc_timeouts = 0;        ///< local RPCs resolved ETIMEDOUT
+    std::uint64_t responses_dropped = 0;   ///< late/unmatched responses
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// This broker's observability registry. Reactor-confined: only touch it
+  /// from this broker's executor (see obs/stats.hpp).
+  [[nodiscard]] obs::StatsRegistry& stats_registry() noexcept { return registry_; }
+  [[nodiscard]] const obs::StatsRegistry& stats_registry() const noexcept {
+    return registry_;
+  }
+
+  /// The "cmb" service's stats.get payload: core routing counters plus the
+  /// registry's cmb.* instruments (all registry services with all=true).
+  [[nodiscard]] Json stats_json(bool all = false) const;
 
  private:
   struct Endpoint {
@@ -148,9 +162,14 @@ class Broker {
   // Module event subscriptions: (prefix, module).
   std::vector<std::pair<std::string, Module*>> module_subs_;
 
-  // Pending RPCs issued from this broker's endpoints/modules.
+  // Pending RPCs issued from this broker's endpoints/modules. The issue
+  // timestamp feeds the cmb.rpc_ns latency histogram at resolution.
+  struct PendingRpc {
+    Promise<Message> promise;
+    TimePoint start;
+  };
   std::uint32_t next_matchtag_ = 1;
-  std::map<std::uint32_t, Promise<Message>> pending_;
+  std::map<std::uint32_t, PendingRpc> pending_;
 
   // Event sequencing (root) and delivery ordering (all).
   std::uint64_t next_event_seq_ = 1;
@@ -161,6 +180,13 @@ class Broker {
   bool hello_sent_ = false;
 
   Stats stats_;
+  obs::StatsRegistry registry_;
+  // Net traffic counters, resolved once in the constructor (receive/send are
+  // the hottest broker paths; no per-message registry lookup).
+  obs::Counter* net_rx_msgs_ = nullptr;
+  obs::Counter* net_rx_bytes_ = nullptr;
+  obs::Counter* net_tx_msgs_ = nullptr;
+  obs::Counter* net_tx_bytes_ = nullptr;
 };
 
 }  // namespace flux

@@ -5,15 +5,30 @@
 namespace flux {
 
 void ModuleBase::handle_request(Message msg) {
+  if (requests_counter_ == nullptr) {
+    requests_counter_ =
+        &broker().stats_registry().counter(std::string(name()) + ".requests");
+  }
+  requests_counter_->inc();
   const auto method = msg.method();
   auto it = handlers_.find(method);
   if (it == handlers_.end()) {
+    if (method == "stats.get") {
+      respond_ok(msg, stats_json());
+      return;
+    }
     respond_error(msg, Errc::NoSys,
                   "module '" + std::string(name()) + "' has no method '" +
                       std::string(method) + "'");
     return;
   }
   it->second(msg);
+}
+
+Json ModuleBase::stats_json() const {
+  Json out = broker().stats_registry().snapshot(name());
+  out["rank"] = broker().rank();
+  return out;
 }
 
 void ModuleBase::respond_error(const Message& req, Errc code,

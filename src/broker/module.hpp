@@ -15,6 +15,7 @@
 
 #include "json/json.hpp"
 #include "msg/message.hpp"
+#include "obs/stats.hpp"
 
 namespace flux {
 
@@ -54,12 +55,19 @@ class Module {
 };
 
 /// Convenience base: method-name handler table plus small helpers, the idiom
-/// every in-tree module uses.
+/// every in-tree module uses. Every ModuleBase answers "<name>.stats.get"
+/// with stats_json() and counts dispatched requests in the broker's
+/// observability registry as "<name>.requests".
 class ModuleBase : public Module {
  public:
   using Module::Module;
 
   void handle_request(Message msg) override;
+
+  /// The "<name>.stats.get" payload: this module's slice of the broker's
+  /// registry ("<name>.*" instruments) plus {"rank"}. Override to fold in
+  /// module-internal gauges; call the base and extend its result.
+  [[nodiscard]] virtual Json stats_json() const;
 
  protected:
   using Handler = std::function<void(Message&)>;
@@ -76,6 +84,7 @@ class ModuleBase : public Module {
 
  private:
   std::map<std::string, Handler, std::less<>> handlers_;
+  obs::Counter* requests_counter_ = nullptr;  // lazy: name() needs a built vtable
 };
 
 }  // namespace flux

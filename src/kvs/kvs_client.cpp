@@ -3,49 +3,102 @@
 #include <algorithm>
 
 #include "base/log.hpp"
+#include "kvs/object_bundle.hpp"
 
 namespace flux {
+
+namespace {
+void check_key(std::string_view op, std::string_view key) {
+  if (key.empty() || split_key(key).empty())
+    throw FluxException(
+        Error(Errc::Inval, std::string(op) + ": empty key"));
+}
+}  // namespace
+
+KvsTxn& KvsTxn::put(std::string key, Json value) {
+  check_key("put", key);
+  ObjPtr obj = make_val_object(std::move(value));
+  tuples_.push_back(Tuple{std::move(key), obj->id});
+  objects_.push_back(std::move(obj));
+  return *this;
+}
+
+KvsTxn& KvsTxn::unlink(std::string key) {
+  check_key("unlink", key);
+  tuples_.push_back(Tuple{std::move(key), Sha1{}});
+  return *this;
+}
+
+KvsTxn& KvsTxn::mkdir(std::string key) {
+  check_key("mkdir", key);
+  ObjPtr obj = empty_dir_object();
+  tuples_.push_back(Tuple{std::move(key), obj->id});
+  objects_.push_back(std::move(obj));
+  return *this;
+}
 
 KvsClient::~KvsClient() {
   if (setroot_sub_ != 0) h_.unsubscribe(setroot_sub_);
 }
 
 Task<void> KvsClient::put(std::string key, Json value) {
-  ObjPtr obj = make_val_object(std::move(value));
-  RpcOptions opts;
-  opts.data = std::shared_ptr<const std::string>(obj, &obj->bytes);
-  Json payload = Json::object({{"key", std::move(key)}});
-  Message resp = co_await h_.rpc("kvs.put", std::move(payload), std::move(opts));
-  Handle::check(resp);
+  txn_.put(std::move(key), std::move(value));
+  // Write-back caching (paper §IV-B): the value object is shipped to the
+  // nearest KVS instance at put() time so it is already positioned when the
+  // commit/fence flushes; the (key, ref) tuple stays staged client-side.
+  // Put latency is this one RPC — the paper's kvs_put cost.
+  std::vector<ObjPtr> objs;
+  objs.push_back(txn_.objects_.back());
+  RequestBuilder req = h_.request("kvs.stage");
+  req.attachment(std::make_shared<ObjectBundle>(std::move(objs)));
+  (void)co_await req.call();
 }
 
 Task<void> KvsClient::unlink(std::string key) {
-  Json payload = Json::object({{"key", std::move(key)}});
-  Message resp = co_await h_.rpc("kvs.unlink", std::move(payload));
-  Handle::check(resp);
+  txn_.unlink(std::move(key));
+  co_return;
 }
 
 Task<void> KvsClient::mkdir(std::string key) {
-  Json payload = Json::object({{"key", std::move(key)}});
-  Message resp = co_await h_.rpc("kvs.mkdir", std::move(payload));
-  Handle::check(resp);
+  txn_.mkdir(std::move(key));
+  co_return;
+}
+
+Task<CommitResult> KvsClient::commit(KvsTxn txn) {
+  Json payload = Json::object({{"ops", tuples_to_json(txn.tuples_)}});
+  RequestBuilder req = h_.request("kvs.commit").payload(std::move(payload));
+  if (!txn.objects_.empty())
+    req.attachment(std::make_shared<ObjectBundle>(std::move(txn.objects_)));
+  Message resp = co_await req.call();
+  co_return CommitResult{
+      static_cast<std::uint64_t>(resp.payload.get_int("version")),
+      resp.payload.get_string("rootref")};
 }
 
 Task<CommitResult> KvsClient::commit() {
-  Message resp = co_await h_.rpc("kvs.commit");
-  Handle::check(resp);
+  KvsTxn staged = std::move(txn_);
+  txn_ = KvsTxn{};
+  return commit(std::move(staged));
+}
+
+Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs,
+                                    KvsTxn txn) {
+  Json payload = Json::object({{"name", std::move(name)},
+                               {"nprocs", nprocs},
+                               {"ops", tuples_to_json(txn.tuples_)}});
+  RequestBuilder req = h_.request("kvs.fence").payload(std::move(payload));
+  if (!txn.objects_.empty())
+    req.attachment(std::make_shared<ObjectBundle>(std::move(txn.objects_)));
+  Message resp = co_await req.call();
   co_return CommitResult{
       static_cast<std::uint64_t>(resp.payload.get_int("version")),
       resp.payload.get_string("rootref")};
 }
 
 Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs) {
-  Json payload = Json::object({{"name", std::move(name)}, {"nprocs", nprocs}});
-  Message resp = co_await h_.rpc("kvs.fence", std::move(payload));
-  Handle::check(resp);
-  co_return CommitResult{
-      static_cast<std::uint64_t>(resp.payload.get_int("version")),
-      resp.payload.get_string("rootref")};
+  KvsTxn staged = std::move(txn_);
+  txn_ = KvsTxn{};
+  return fence(std::move(name), nprocs, std::move(staged));
 }
 
 Task<Json> KvsClient::get(std::string key) {

@@ -8,9 +8,12 @@
 //   kvs_wait_version(v)   -> KvsClient::wait_version
 //   kvs_watch(key,cb)     -> KvsClient::watch      (per-root-update compare)
 //
-// A KvsClient holds no transaction state itself: puts accumulate in the
-// local kvs module keyed by this client's endpoint ("cached locally pending
-// commit"), so fence semantics are per-process exactly as in the paper.
+// Writes accumulate in an explicit KvsTxn on the *client* side ("cached
+// locally pending commit"); commit(txn)/fence(...,txn) ship the whole
+// transaction — (key, ref) tuples plus the content-addressed objects — to
+// the kvs module in a single RPC. KvsClient::put/unlink/mkdir are sugar over
+// a default transaction, so fence semantics stay per-process exactly as in
+// the paper.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,33 @@ struct CommitResult {
   std::string rootref;
 };
 
+/// An explicit KVS transaction: an ordered list of (key, object) operations
+/// staged client-side. Nothing touches the session until the transaction is
+/// handed to KvsClient::commit()/fence(); applying is atomic (one root swap
+/// covers every op). Value objects are hashed at put() time, so a txn also
+/// pre-computes the content addresses the commit will reference.
+class KvsTxn {
+ public:
+  /// Stage a write. Throws FluxException(EINVAL) for an empty key.
+  KvsTxn& put(std::string key, Json value);
+  /// Stage a removal (tombstone tuple).
+  KvsTxn& unlink(std::string key);
+  /// Stage an (empty) directory creation.
+  KvsTxn& mkdir(std::string key);
+
+  [[nodiscard]] bool empty() const noexcept { return tuples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return tuples_.size(); }
+  void clear() {
+    tuples_.clear();
+    objects_.clear();
+  }
+
+ private:
+  friend class KvsClient;
+  std::vector<Tuple> tuples_;
+  std::vector<ObjPtr> objects_;
+};
+
 class KvsClient {
  public:
   explicit KvsClient(Handle& h) : h_(h) {}
@@ -36,18 +66,25 @@ class KvsClient {
   KvsClient(const KvsClient&) = delete;
   KvsClient& operator=(const KvsClient&) = delete;
 
-  /// Write-back put: the value object lands in the local cache; visibility
-  /// requires commit()/fence().
+  /// The default transaction put/unlink/mkdir stage into.
+  [[nodiscard]] KvsTxn& txn() noexcept { return txn_; }
+
+  /// Write-back put: sugar over txn().put(); visibility requires
+  /// commit()/fence().
   Task<void> put(std::string key, Json value);
-  /// Remove a key (takes effect at commit).
+  /// Remove a key: sugar over txn().unlink() (takes effect at commit).
   Task<void> unlink(std::string key);
-  /// Create an (empty) directory (takes effect at commit).
+  /// Create an (empty) directory: sugar over txn().mkdir().
   Task<void> mkdir(std::string key);
 
-  /// Flush this process's puts and wait for the new root to be applied
+  /// Ship an explicit transaction and wait for the new root to be applied
   /// locally (read-your-writes).
+  Task<CommitResult> commit(KvsTxn txn);
+  /// Flush the default transaction (this process's staged puts).
   Task<CommitResult> commit();
-  /// Collective commit across `nprocs` processes using fence `name`.
+  /// Collective commit of an explicit transaction across `nprocs` processes.
+  Task<CommitResult> fence(std::string name, std::int64_t nprocs, KvsTxn txn);
+  /// Collective commit of the default transaction.
   Task<CommitResult> fence(std::string name, std::int64_t nprocs);
 
   /// Committed-state read; throws FluxException(ENOENT/EISDIR/...) on error.
@@ -83,6 +120,7 @@ class KvsClient {
   void on_setroot();
 
   Handle& h_;
+  KvsTxn txn_;
   std::uint64_t next_watch_ = 1;
   std::vector<std::unique_ptr<Watch>> watches_;
   std::uint64_t setroot_sub_ = 0;

@@ -19,6 +19,7 @@ KvsModule::KvsModule(Broker& b) : ModuleBase(b) {
   ObjectBundle::register_codec();
 
   on("put", [this](Message& m) { op_put(m); });
+  on("stage", [this](Message& m) { op_stage(m); });
   on("unlink", [this](Message& m) { op_unlink(m); });
   on("mkdir", [this](Message& m) { op_mkdir(m); });
   on("get", [this](Message& m) { op_get(m); });
@@ -122,6 +123,27 @@ void KvsModule::op_put(Message& msg) {
   respond_ok(msg, Json::object({{"ref", ref}}));
 }
 
+void KvsModule::op_stage(Message& msg) {
+  // Write-back caching for client-side transactions (paper: "objects are
+  // cached in write-back mode at kvs_put time"). The value objects are
+  // positioned here at put() time; the (key, ref) tuples stay in the
+  // client's KvsTxn until commit/fence ships them. Not pinned: the commit
+  // re-ships its bundle, so these entries may expire like any cached object.
+  auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
+  if (!bundle) {
+    respond_error(msg, Errc::Inval, "stage: missing object bundle");
+    return;
+  }
+  for (const ObjPtr& obj : bundle->objects()) {
+    ++ops_.puts;
+    if (is_master())
+      store_.put(obj);
+    else
+      cache_.put(obj, epoch_);
+  }
+  respond_ok(msg);
+}
+
 void KvsModule::op_unlink(Message& msg) {
   const std::string key = msg.payload.get_string("key");
   if (key.empty() || split_key(key).empty()) {
@@ -171,10 +193,44 @@ void KvsModule::op_fence(Message& msg) {
     respond_error(msg, Errc::Inval, "fence: need name and nprocs > 0");
     return;
   }
-  // Claim the caller's transaction (may be empty: pure synchronization).
+  // Claim the caller's transaction: the explicit client-side form ("ops"
+  // tuples + object bundle in this very request), plus any ops staged via
+  // the legacy endpoint-keyed put/unlink/mkdir RPCs.
   Txn txn;
+  if (msg.payload.contains("ops")) {
+    auto tuples = tuples_from_json(msg.payload.at("ops"));
+    if (!tuples) {
+      respond_error(msg, Errc::Inval, "fence: malformed ops");
+      return;
+    }
+    std::vector<ObjPtr> objects;
+    if (msg.attachment) {
+      auto bundle =
+          std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
+      if (!bundle) {
+        respond_error(msg, Errc::Inval, "fence: non-bundle attachment");
+        return;
+      }
+      objects = bundle->objects();
+    }
+    txn.tuples = std::move(tuples).value();
+    for (ObjPtr& obj : objects) {
+      // Mirror record(): master stores straight away; slaves cache + pin so
+      // the objects survive eviction until the fence completes.
+      if (is_master()) {
+        store_.put(obj);
+      } else {
+        cache_.put(obj, epoch_);
+        cache_.pin(obj->id);
+      }
+      txn.objects.push_back(std::move(obj));
+    }
+  }
   if (auto it = txns_.find(txn_key(msg)); it != txns_.end()) {
-    txn = std::move(it->second);
+    std::move(it->second.tuples.begin(), it->second.tuples.end(),
+              std::back_inserter(txn.tuples));
+    std::move(it->second.objects.begin(), it->second.objects.end(),
+              std::back_inserter(txn.objects));
     txns_.erase(it);
   }
   FenceState& fence = fences_[name];

@@ -70,6 +70,7 @@ class KvsModule final : public ModuleBase {
  private:
   // -- request handlers -------------------------------------------------------
   void op_put(Message& msg);
+  void op_stage(Message& msg);
   void op_unlink(Message& msg);
   void op_mkdir(Message& msg);
   void op_get(Message& msg);

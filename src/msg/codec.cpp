@@ -88,6 +88,7 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   out.reserve(msg.wire_size());
   put_u32(out, kMagic);
   put_u8(out, static_cast<std::uint8_t>(msg.type));
+  put_u8(out, msg.flags);
   put_u32(out, msg.matchtag);
   put_u32(out, msg.nodeid);
   put_u64(out, msg.seq);
@@ -99,6 +100,12 @@ std::vector<std::uint8_t> encode(const Message& msg) {
     put_u8(out, static_cast<std::uint8_t>(hop.kind));
     put_u32(out, hop.rank);
     put_u64(out, hop.id);
+  }
+  put_u16(out, static_cast<std::uint16_t>(msg.trace.size()));
+  for (const TraceHop& hop : msg.trace) {
+    put_u8(out, static_cast<std::uint8_t>(hop.plane));
+    put_u32(out, hop.rank);
+    put_u64(out, static_cast<std::uint64_t>(hop.t_ns));
   }
   const std::string json = msg.payload.dump();
   put_u32(out, static_cast<std::uint32_t>(json.size()));
@@ -130,6 +137,7 @@ Expected<Message> decode(std::span<const std::uint8_t> wire) {
   if (type < 1 || type > 4) return proto_error("bad message type");
   msg.type = static_cast<MsgType>(type);
 
+  if (!rd.u8(msg.flags)) return proto_error("truncated flags");
   if (!rd.u32(msg.matchtag)) return proto_error("truncated matchtag");
   if (!rd.u32(msg.nodeid)) return proto_error("truncated nodeid");
   if (!rd.u64(msg.seq)) return proto_error("truncated seq");
@@ -152,6 +160,21 @@ Expected<Message> decode(std::span<const std::uint8_t> wire) {
     if (!rd.u32(hop.rank) || !rd.u64(hop.id))
       return proto_error("truncated route hop");
     msg.route.push_back(hop);
+  }
+
+  std::uint16_t trace_len = 0;
+  if (!rd.u16(trace_len)) return proto_error("truncated trace length");
+  msg.trace.reserve(trace_len);
+  for (std::uint16_t i = 0; i < trace_len; ++i) {
+    TraceHop hop;
+    std::uint8_t plane = 0;
+    if (!rd.u8(plane) || plane > 3) return proto_error("bad trace hop");
+    hop.plane = static_cast<TraceHop::Plane>(plane);
+    std::uint64_t t = 0;
+    if (!rd.u32(hop.rank) || !rd.u64(t))
+      return proto_error("truncated trace hop");
+    hop.t_ns = static_cast<std::int64_t>(t);
+    msg.trace.push_back(hop);
   }
 
   std::uint32_t json_len = 0;

@@ -6,11 +6,13 @@
 // the ØMQ-based prototype marshals frames onto TCP.
 //
 // Layout (little-endian):
-//   u32 magic 'FLUX'   u8 type       u32 matchtag   u32 nodeid
-//   u64 seq            i32 errnum    u16 topic_len  topic bytes
+//   u32 magic 'FLUX'   u8 type       u8 flags       u32 matchtag
+//   u32 nodeid         u64 seq       i32 errnum     u16 topic_len  topic bytes
 //   u16 route_len      route_len × { u8 kind, u32 rank, u64 id }
+//   u16 trace_len      trace_len × { u8 plane, u32 rank, u64 t_ns }
 //   u32 json_len       canonical JSON bytes
 //   u32 data_len       raw data bytes
+//   u8 att_tag_len     tag bytes     u32 att_len    attachment bytes
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,16 @@ std::string_view msg_type_name(MsgType t) noexcept {
   return "?";
 }
 
+std::string_view trace_plane_name(TraceHop::Plane p) noexcept {
+  switch (p) {
+    case TraceHop::Plane::Local: return "local";
+    case TraceHop::Plane::Tree: return "tree";
+    case TraceHop::Plane::Ring: return "ring";
+    case TraceHop::Plane::Event: return "event";
+  }
+  return "?";
+}
+
 Message Message::request(std::string topic, Json payload) {
   Message m;
   m.type = MsgType::Request;
@@ -35,7 +45,9 @@ Message Message::respond(Json response_payload) const {
   m.matchtag = matchtag;
   m.nodeid = nodeid;
   m.errnum = 0;
+  m.flags = flags;
   m.route = route;  // unwound hop-by-hop by the broker
+  m.trace = trace;  // the return path keeps appending to the request's hops
   m.payload = std::move(response_payload);
   return m;
 }
@@ -69,15 +81,16 @@ bool Message::topic_matches(std::string_view sub, std::string_view topic) noexce
 std::size_t Message::wire_size() const {
   // Mirrors codec.cpp layout: fixed header + topic + route stack + frame
   // length prefixes + JSON frame + data frame.
-  constexpr std::size_t kFixed = 4 /*magic*/ + 1 /*type*/ + 4 /*matchtag*/ +
-                                 4 /*nodeid*/ + 8 /*seq*/ + 4 /*errnum*/ +
-                                 2 /*topic len*/ + 2 /*route len*/ +
+  constexpr std::size_t kFixed = 4 /*magic*/ + 1 /*type*/ + 1 /*flags*/ +
+                                 4 /*matchtag*/ + 4 /*nodeid*/ + 8 /*seq*/ +
+                                 4 /*errnum*/ + 2 /*topic len*/ +
+                                 2 /*route len*/ + 2 /*trace len*/ +
                                  4 /*json len*/ + 4 /*data len*/ +
                                  1 /*attachment tag len*/ + 4 /*attachment len*/;
   std::size_t att = 0;
   if (attachment) att = attachment->tag().size() + attachment->wire_size();
-  return kFixed + topic.size() + route.size() * 13 + payload.dump_size() +
-         data_size() + att;
+  return kFixed + topic.size() + route.size() * 13 + trace.size() * 13 +
+         payload.dump_size() + data_size() + att;
 }
 
 }  // namespace flux

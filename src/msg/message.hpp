@@ -58,6 +58,27 @@ class Attachment {
   [[nodiscard]] virtual std::string serialize() const = 0;
 };
 
+/// Header flag bits (Message::flags).
+inline constexpr std::uint8_t kMsgFlagTrace = 0x01;  ///< collect route trace
+
+/// One per-broker stamp of a traced message's journey. Requests accumulate
+/// hops as they cross brokers; respond() copies the request's hops into the
+/// response, which keeps stamping on the way back — so the originator gets
+/// the full forward+return path with per-hop timestamps, the raw material
+/// for the paper's §V-C per-hop cost model.
+struct TraceHop {
+  /// Overlay plane the message crossed to reach this broker (Figure 1),
+  /// Local being the node-local client<->broker transport hop.
+  enum class Plane : std::uint8_t { Local = 0, Tree = 1, Ring = 2, Event = 3 };
+  NodeId rank = 0;
+  Plane plane = Plane::Local;
+  std::int64_t t_ns = 0;  ///< executor clock at the stamp (sim: virtual time)
+
+  friend bool operator==(const TraceHop&, const TraceHop&) = default;
+};
+
+std::string_view trace_plane_name(TraceHop::Plane p) noexcept;
+
 /// One hop of a request's return path. Client endpoints and comules (module
 /// endpoints) are disambiguated from broker ranks by the kind tag.
 struct RouteHop {
@@ -90,8 +111,14 @@ struct Message {
   /// Response error code (0 == success).
   int errnum = 0;
 
+  /// Header flag bits (kMsgFlag*).
+  std::uint8_t flags = 0;
+
   /// Return path. route.front() is the originating endpoint.
   std::vector<RouteHop> route;
+
+  /// Per-broker stamps, appended while kMsgFlagTrace is set.
+  std::vector<TraceHop> trace;
 
   /// JSON payload frame.
   Json payload;
@@ -115,6 +142,7 @@ struct Message {
   [[nodiscard]] bool is_request() const noexcept { return type == MsgType::Request; }
   [[nodiscard]] bool is_response() const noexcept { return type == MsgType::Response; }
   [[nodiscard]] bool is_event() const noexcept { return type == MsgType::Event; }
+  [[nodiscard]] bool traced() const noexcept { return (flags & kMsgFlagTrace) != 0; }
 
   /// Leading topic component ("kvs" for "kvs.put").
   [[nodiscard]] std::string_view service() const noexcept;

@@ -1,0 +1,129 @@
+#include "obs/stats.hpp"
+
+#include <bit>
+
+namespace flux::obs {
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const std::size_t idx = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[idx < kBuckets ? idx : kBuckets - 1] += 1;
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; walk buckets until it is covered.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Bucket i spans [2^(i-1), 2^i); report its geometric-ish midpoint.
+      const std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+      const std::uint64_t hi = i == 0 ? 0 : (1ull << i) - 1;
+      std::uint64_t mid = lo + (hi - lo) / 2;
+      if (mid < min()) mid = min();
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+Json Histogram::to_json() const {
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    buckets.push_back(Json::array({i, buckets_[i]}));
+  }
+  return Json::object({{"count", count_},
+                       {"sum", sum_},
+                       {"min", min()},
+                       {"max", max_},
+                       {"mean", mean()},
+                       {"p50", percentile(0.50)},
+                       {"p90", percentile(0.90)},
+                       {"p99", percentile(0.99)},
+                       {"buckets", std::move(buckets)}});
+}
+
+void Histogram::merge_json(const Json& j) {
+  if (!j.is_object() || !j.at("buckets").is_array()) return;
+  const auto count = static_cast<std::uint64_t>(j.get_int("count", 0));
+  if (count == 0) return;
+  for (const Json& pair : j.at("buckets").as_array()) {
+    if (!pair.is_array() || pair.size() != 2) continue;
+    const auto idx = static_cast<std::size_t>(pair.as_array()[0].as_int());
+    if (idx >= kBuckets) continue;
+    buckets_[idx] += static_cast<std::uint64_t>(pair.as_array()[1].as_int());
+  }
+  count_ += count;
+  sum_ += static_cast<std::uint64_t>(j.get_int("sum", 0));
+  const auto mn = static_cast<std::uint64_t>(j.get_int("min", 0));
+  const auto mx = static_cast<std::uint64_t>(j.get_int("max", 0));
+  if (mn < min_) min_ = mn;
+  if (mx > max_) max_ = mx;
+}
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Histogram& StatsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  return it->second;
+}
+
+namespace {
+bool under_prefix(std::string_view prefix, std::string_view name) {
+  if (prefix.empty()) return true;
+  if (name.size() <= prefix.size()) return name == prefix;
+  return name.compare(0, prefix.size(), prefix) == 0 &&
+         name[prefix.size()] == '.';
+}
+}  // namespace
+
+Json StatsRegistry::snapshot(std::string_view prefix) const {
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_)
+    if (under_prefix(prefix, name)) counters[name] = c.value();
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_)
+    if (under_prefix(prefix, name)) histograms[name] = h.to_json();
+  return Json::object(
+      {{"counters", std::move(counters)}, {"histograms", std::move(histograms)}});
+}
+
+void StatsRegistry::merge_snapshot(Json& into, const Json& snap) {
+  if (into.is_null())
+    into = Json::object(
+        {{"counters", Json::object()}, {"histograms", Json::object()}});
+  if (snap.at("counters").is_object()) {
+    Json& counters = into["counters"];
+    for (const auto& [name, value] : snap.at("counters").as_object())
+      counters[name] = counters.at(name).is_null()
+                           ? value
+                           : Json(counters.at(name).as_int() + value.as_int());
+  }
+  if (snap.at("histograms").is_object()) {
+    Json& histograms = into["histograms"];
+    for (const auto& [name, hj] : snap.at("histograms").as_object()) {
+      Histogram h;
+      h.merge_json(histograms.at(name));
+      h.merge_json(hj);
+      histograms[name] = h.to_json();
+    }
+  }
+}
+
+}  // namespace flux::obs

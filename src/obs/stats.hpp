@@ -1,0 +1,108 @@
+// Session observability: counters and latency histograms (paper §V).
+//
+// The paper's evaluation reasons about per-hop message costs; this registry
+// is the in-tree telemetry layer those measurements hang off. Every broker
+// owns one StatsRegistry; its comms modules, the KVS, and the network layer
+// create named Counters and Histograms in it. Registries are *lock-free on
+// the reactor*: a registry is only ever touched from its broker's executor
+// (sim: the one SimExecutor thread; threaded: that broker's reactor thread),
+// so instruments are plain integers — recording a sample is one array
+// increment, cheap enough for every message hop.
+//
+// Snapshots serialize to JSON for the "<service>.stats.get" RPC; snapshots
+// from different ranks merge (counters sum, histogram buckets add) so a
+// client can aggregate a session-wide view — see obs/stats_client.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "exec/executor.hpp"
+#include "json/json.hpp"
+
+namespace flux::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Log-scale (power-of-two bucket) histogram of non-negative samples,
+/// HdrHistogram-style: bucket i counts samples whose bit width is i, i.e.
+/// value 0 -> bucket 0, value v > 0 -> bucket floor(log2(v)) + 1. With 64
+/// buckets it covers the full uint64 range at ~2x resolution — enough to
+/// read p50/p99 shapes of nanosecond latencies without per-sample storage.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept;
+  void record(Duration d) noexcept {
+    record(d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count()));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0,1]: the geometric midpoint of the bucket
+  /// holding the q-th sample (clamped to observed min/max).
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+  /// {"count","sum","min","max","mean","p50","p90","p99","buckets":[[i,n]..]}
+  [[nodiscard]] Json to_json() const;
+
+  /// Add another histogram's samples (cross-rank aggregation). Accepts the
+  /// to_json() form; unknown/malformed input is ignored.
+  void merge_json(const Json& j);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// Name-keyed registry of instruments. Names are hierarchical
+/// ("kvs.puts", "cmb.rpc_ns"); the leading component is the owning service,
+/// which "<service>.stats.get" uses to slice per-module views.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime;
+  /// instrument-holding code resolves once and increments directly.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// {"counters":{name:value,...},"histograms":{name:{...},...}}, limited to
+  /// names under `prefix` ("kvs" matches "kvs.puts", not "kvsx"); empty
+  /// prefix snapshots everything.
+  [[nodiscard]] Json snapshot(std::string_view prefix = {}) const;
+
+  /// Merge one snapshot into an aggregate (counters sum; histograms merge).
+  static void merge_snapshot(Json& into, const Json& snap);
+
+ private:
+  // node-based maps: stable addresses across inserts.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace flux::obs

@@ -89,17 +89,17 @@ TEST(Broker, RpcTimeoutFires) {
   // barrier.enter with an impossible nprocs never completes -> timeout.
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(1);
-  RpcOptions opts;
-  opts.timeout = std::chrono::milliseconds(10);
   bool timed_out = false;
-  s.run([](Handle* hd, RpcOptions o, bool* out) -> Task<void> {
+  s.run([](Handle* hd, bool* out) -> Task<void> {
     Json payload = Json::object({{"name", "never"}, {"nprocs", 9999}});
     try {
-      (void)co_await hd->rpc("barrier.enter", std::move(payload), o);
+      (void)co_await hd->request("barrier.enter")
+          .payload(std::move(payload))
+          .timeout(std::chrono::milliseconds(10));
     } catch (const FluxException& e) {
       *out = (e.error().code == Errc::TimedOut);
     }
-  }(h.get(), opts, &timed_out));
+  }(h.get(), &timed_out));
   EXPECT_TRUE(timed_out);
 }
 

@@ -138,9 +138,7 @@ TEST(Handle, UpstreamAddressingSkipsLocalModule) {
   }(writer.get()));
   auto h = s.attach(3);
   Message resp = s.run([](Handle* hd) -> Task<Message> {
-    RpcOptions opts;
-    opts.nodeid = kNodeUpstream;
-    Message r = co_await hd->rpc("kvs.stats", Json::object(), opts);
+    Message r = co_await hd->request("kvs.stats").upstream();
     co_return r;
   }(h.get()));
   EXPECT_EQ(resp.errnum, 0);

@@ -92,10 +92,7 @@ TEST(Live, StatusRpc) {
   SimSession s(fast_hb_config(4));
   s.settle(std::chrono::milliseconds(1));
   auto h = s.attach(0);
-  RpcOptions opts;
-  opts.nodeid = 0;
-  Json payload = Json::object();
-  Message resp = s.run(h->rpc_check("live.status", std::move(payload), opts));
+  Message resp = s.run(h->request("live.status").to(0).call());
   EXPECT_EQ(resp.payload.get_int("monitored"), 2);  // children 1 and 2
   EXPECT_EQ(resp.payload.at("down").size(), 0u);
 }
@@ -166,9 +163,8 @@ TEST(Log, DumpReturnsLocalRing) {
     Json rec = Json::object(
         {{"level", 7}, {"component", "c"}, {"text", "ring entry"}});
     co_await hd->rpc_check("log.append", std::move(rec));
-    RpcOptions opts;
-    opts.nodeid = 3;  // rank-addressed: this broker's ring buffer
-    Message resp = co_await hd->rpc_check("log.dump", Json::object(), opts);
+    // Rank-addressed: this broker's ring buffer.
+    Message resp = co_await hd->request("log.dump").to(3).call();
     if (resp.payload.get_int("rank") != 3)
       throw FluxException(Error(Errc::Proto, "wrong rank"));
     if (resp.payload.at("records").size() < 1)

@@ -1,0 +1,311 @@
+// Observability subsystem: StatsRegistry instruments, broker/module stats
+// RPCs, per-message route tracing, and the KvsTxn client transaction API.
+#include <gtest/gtest.h>
+
+#include "obs/stats.hpp"
+#include "obs/stats_client.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+// ---------------------------------------------------------------------------
+// Instruments (no session required)
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounter, IncrementsByArbitraryAmounts) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsHistogram, BasicStatistics) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  for (std::uint64_t v : {100u, 200u, 400u, 800u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 800u);
+  EXPECT_EQ(h.sum(), 1500u);
+  EXPECT_DOUBLE_EQ(h.mean(), 375.0);
+  // Percentiles are bucket-resolution but must be ordered and clamped.
+  EXPECT_LE(h.percentile(0.0), h.percentile(0.5));
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+  EXPECT_GE(h.percentile(0.01), h.min());
+  EXPECT_LE(h.percentile(0.99), h.max());
+}
+
+TEST(ObsHistogram, JsonRoundTripAndMerge) {
+  obs::Histogram a;
+  for (std::uint64_t v : {10u, 1000u, 100000u}) a.record(v);
+  const Json j = a.to_json();
+  EXPECT_EQ(j.get_int("count"), 3);
+  EXPECT_EQ(j.get_int("min"), 10);
+  EXPECT_EQ(j.get_int("max"), 100000);
+  ASSERT_TRUE(j.contains("buckets"));
+
+  // Merging a histogram's own JSON doubles every statistic.
+  obs::Histogram b;
+  b.merge_json(j);
+  b.merge_json(j);
+  EXPECT_EQ(b.count(), 6u);
+  EXPECT_EQ(b.min(), 10u);
+  EXPECT_EQ(b.max(), 100000u);
+  EXPECT_EQ(b.sum(), 2u * a.sum());
+}
+
+TEST(ObsRegistry, SnapshotFiltersByServicePrefix) {
+  obs::StatsRegistry reg;
+  reg.counter("kvs.puts").inc(3);
+  reg.counter("kvsx.other").inc(7);
+  reg.histogram("kvs.commit_ns").record(500u);
+
+  const Json all = reg.snapshot();
+  EXPECT_EQ(all.at("counters").size(), 2u);
+
+  // "kvs" must match "kvs.puts" but not "kvsx.other".
+  const Json kvs = reg.snapshot("kvs");
+  EXPECT_EQ(kvs.at("counters").size(), 1u);
+  EXPECT_EQ(kvs.at("counters").get_int("kvs.puts"), 3);
+  EXPECT_EQ(kvs.at("histograms").size(), 1u);
+}
+
+TEST(ObsRegistry, MergeSnapshotSumsAndMerges) {
+  obs::StatsRegistry reg;
+  reg.counter("svc.ops").inc(5);
+  reg.histogram("svc.lat").record(100u);
+  const Json snap = reg.snapshot();
+
+  Json agg;
+  obs::StatsRegistry::merge_snapshot(agg, snap);
+  obs::StatsRegistry::merge_snapshot(agg, snap);
+  EXPECT_EQ(agg.at("counters").get_int("svc.ops"), 10);
+  EXPECT_EQ(agg.at("histograms").at("svc.lat").get_int("count"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Route tracing
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, TracedKvsGetHopCountMatchesTopologyDepth) {
+  // kvs pinned to the root: a traced get from the deepest leaf must cross
+  // every broker on the path up (d tree hops + the local client hop) and
+  // every broker on the way back down (d hops): 2*depth + 1 stamps.
+  SessionConfig cfg = SimSession::default_config(16);
+  cfg.module_max_depth["kvs"] = 0;
+  SimSession s(cfg);
+  const NodeId leaf = 15;
+  const unsigned depth = s.session().broker(leaf).depth();
+  ASSERT_GT(depth, 0u);
+
+  auto h = s.attach(leaf);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("trace.k", 7);
+    co_await kvs.commit();
+  }(h.get()));
+
+  Message resp = s.run([](Handle* hd) -> Task<Message> {
+    Json payload = Json::object({{"key", "trace.k"}});
+    Message r = co_await hd->request("kvs.get")
+                    .payload(std::move(payload))
+                    .trace()
+                    .send();
+    co_return r;
+  }(h.get()));
+
+  EXPECT_EQ(resp.errnum, 0);
+  ASSERT_EQ(resp.trace.size(), 2 * depth + 1);
+  // First stamp: this broker receiving its own client's request.
+  EXPECT_EQ(resp.trace.front().rank, leaf);
+  EXPECT_EQ(resp.trace.front().plane, TraceHop::Plane::Local);
+  // The turnaround is the root; the last stamp is back at the leaf.
+  EXPECT_EQ(resp.trace[depth].rank, 0u);
+  EXPECT_EQ(resp.trace.back().rank, leaf);
+  // Timestamps are monotone along the path.
+  for (std::size_t i = 1; i < resp.trace.size(); ++i)
+    EXPECT_GE(resp.trace[i].t_ns, resp.trace[i - 1].t_ns) << "hop " << i;
+}
+
+TEST(ObsTrace, UntracedRequestsCarryNoHops) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  Message resp = s.run([](Handle* hd) -> Task<Message> {
+    Message r = co_await hd->request("cmb.info").send();
+    co_return r;
+  }(h.get()));
+  EXPECT_EQ(resp.errnum, 0);
+  EXPECT_TRUE(resp.trace.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stats RPCs
+// ---------------------------------------------------------------------------
+
+TEST(ObsStats, CmbStatsGetReflectsBrokerActivity) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(2);
+  (void)s.run(h->ping(5));  // generate ring traffic + one matched rpc
+
+  Message resp = s.run(h->request("cmb.stats.get").to(2).call());
+  EXPECT_EQ(resp.payload.get_int("rank"), 2);
+  const Json& counters = resp.payload.at("counters");
+  EXPECT_GT(counters.get_int("cmb.net.rx_msgs"), 0);
+  EXPECT_GT(counters.get_int("cmb.net.tx_bytes"), 0);
+  // The ping's response was matched on this broker -> a latency sample.
+  EXPECT_GE(resp.payload.at("histograms").at("cmb.rpc_ns").get_int("count"), 1);
+  // Registry counters agree with the legacy Stats struct.
+  EXPECT_EQ(counters.get_int("cmb.rpc_timeouts"),
+            static_cast<std::int64_t>(s.session().broker(2).stats().rpc_timeouts));
+}
+
+TEST(ObsStats, ModuleStatsGetCountsRequests) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(1);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("m.k", 1);
+    co_await kvs.commit();
+    (void)co_await kvs.get("m.k");
+  }(h.get()));
+
+  Message resp = s.run(h->request("kvs.stats.get").call());
+  const Json& counters = resp.payload.at("counters");
+  EXPECT_GE(counters.get_int("kvs.requests"), 2);
+}
+
+TEST(ObsStats, AggregateSweepsEveryRank) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(3);
+  (void)s.run(h->ping(6));
+
+  Json agg = s.run([](Handle* hd) -> Task<Json> {
+    obs::FluxStats stats(*hd);
+    Json merged = co_await stats.aggregate("cmb");
+    co_return merged;
+  }(h.get()));
+  EXPECT_EQ(agg.get_int("ranks"), 8);
+  // Session-wide rx must cover at least the wire-up hellos of every broker.
+  EXPECT_GE(agg.at("counters").get_int("cmb.net.rx_msgs"), 8);
+}
+
+TEST(ObsStats, RpcTimeoutCountsAndLateResponseIsDropped) {
+  SimSession s(SimSession::default_config(4));
+  auto h1 = s.attach(1);
+  auto h2 = s.attach(2);
+
+  // h1 enters a 2-party barrier alone with a short timeout.
+  bool timed_out = false;
+  s.run([](Handle* hd, bool* out) -> Task<void> {
+    Json payload = Json::object({{"name", "late"}, {"nprocs", 2}});
+    try {
+      (void)co_await hd->request("barrier.enter")
+          .payload(std::move(payload))
+          .timeout(std::chrono::milliseconds(5));
+    } catch (const FluxException& e) {
+      *out = (e.error().code == Errc::TimedOut);
+    }
+  }(h1.get(), &timed_out));
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(s.session().broker(1).stats().rpc_timeouts, 1u);
+
+  // h2 completes the barrier; the release response for h1's long-gone entry
+  // arrives at broker 1 with no pending match and must be counted, not leak.
+  s.run([](Handle* hd) -> Task<void> {
+    co_await hd->barrier("late", 2);
+  }(h2.get()));
+  s.ex().run();
+  EXPECT_GE(s.session().broker(1).stats().responses_dropped, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// KvsTxn
+// ---------------------------------------------------------------------------
+
+TEST(KvsTxn, ExplicitTransactionCommitsAtomically) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    KvsTxn txn;
+    txn.put("txn.a", 1).put("txn.b", 2).mkdir("txn.dir");
+    if (txn.size() != 3)
+      throw FluxException(Error(Errc::Proto, "expected 3 staged ops"));
+    CommitResult r = co_await kvs.commit(std::move(txn));
+    if (r.version == 0)
+      throw FluxException(Error(Errc::Proto, "commit did not advance root"));
+    Json a = co_await kvs.get("txn.a");
+    Json b = co_await kvs.get("txn.b");
+    if (a != Json(1) || b != Json(2))
+      throw FluxException(Error(Errc::Proto, "txn values lost"));
+    (void)co_await kvs.list_dir("txn.dir");
+  }(h.get()));
+}
+
+TEST(KvsTxn, StagedWritesInvisibleUntilCommit) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(2);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("inv.k", 9);  // staged in the default txn only
+    if (kvs.txn().size() != 1)
+      throw FluxException(Error(Errc::Proto, "put did not stage"));
+    try {
+      (void)co_await kvs.get("inv.k");
+      throw FluxException(Error(Errc::Proto, "uncommitted put visible"));
+    } catch (const FluxException& e) {
+      if (e.error().code != Errc::NoEnt) throw;
+    }
+    co_await kvs.commit();
+    if (!kvs.txn().empty())
+      throw FluxException(Error(Errc::Proto, "commit left txn non-empty"));
+    Json v = co_await kvs.get("inv.k");
+    if (v != Json(9)) throw FluxException(Error(Errc::Proto, "lost put"));
+  }(h.get()));
+}
+
+TEST(KvsTxn, UnlinkStagesTombstone) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(1);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("del.k", "x");
+    co_await kvs.commit();
+    KvsTxn txn;
+    txn.unlink("del.k");
+    co_await kvs.commit(std::move(txn));
+    try {
+      (void)co_await kvs.get("del.k");
+      throw FluxException(Error(Errc::Proto, "unlinked key still readable"));
+    } catch (const FluxException& e) {
+      if (e.error().code != Errc::NoEnt) throw;
+    }
+  }(h.get()));
+}
+
+TEST(KvsTxn, EmptyKeyRejectedAtStagingTime) {
+  KvsTxn txn;
+  try {
+    txn.put("", 1);
+    FAIL() << "expected EINVAL";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, Errc::Inval);
+  }
+  EXPECT_TRUE(txn.empty());
+}
+
+TEST(KvsTxn, ClearDiscardsStagedOps) {
+  KvsTxn txn;
+  txn.put("a", 1).unlink("b");
+  EXPECT_EQ(txn.size(), 2u);
+  txn.clear();
+  EXPECT_TRUE(txn.empty());
+}
+
+}  // namespace
+}  // namespace flux
