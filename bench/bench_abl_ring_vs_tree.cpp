@@ -39,7 +39,7 @@ Rtts measure(std::uint32_t nodes) {
     const TimePoint t0 = ex.now();
     bool done = false;
     co_spawn(ex, [](Handle* hd, bool* d) -> Task<void> {
-      co_await hd->rpc_check("group.list");  // served at the root
+      co_await hd->request("group.list").call();  // served at the root
       *d = true;
     }(h.get(), &done));
     ex.run();

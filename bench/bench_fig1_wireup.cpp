@@ -40,7 +40,7 @@ PlaneLatencies measure(std::uint32_t nnodes, std::uint32_t arity) {
     const TimePoint t0 = ex.now();
     bool done = false;
     co_spawn(ex, [](Handle* hd, bool* d) -> Task<void> {
-      co_await hd->rpc_check("group.list");
+      co_await hd->request("group.list").call();
       *d = true;
     }(h.get(), &done));
     ex.run();

@@ -67,7 +67,7 @@ int main() {
         "hb.get", [](Handle* hd) -> Task<void> {
           // Let a few heartbeats fire first.
           co_await hd->sleep(std::chrono::milliseconds(2));
-          Message r = co_await hd->rpc_check("hb.get");
+          Message r = co_await hd->request("hb.get").call();
           if (r.payload.get_int("epoch") < 1)
             throw FluxException(Error(Errc::Proto, "no heartbeats"));
         }(h.get()));
@@ -82,9 +82,9 @@ int main() {
           Json rec = Json::object({{"level", 3},
                                    {"component", "bench"},
                                    {"text", "table1"}});
-          co_await hd->rpc_check("log.append", std::move(rec));
+          co_await hd->request("log.append").payload(std::move(rec)).call();
           Json query = Json::object({{"max", 1}});
-          co_await hd->rpc_check("log.get", std::move(query));
+          co_await hd->request("log.get").payload(std::move(query)).call();
         }(h.get()));
 
   timed("mon", "KVS-activated heartbeat-synchronized sampling, tree-reduced",
@@ -100,9 +100,9 @@ int main() {
   timed("group", "process collections for collective operations",
         "group.join+info", [](Handle* hd) -> Task<void> {
           Json j = Json::object({{"name", "t1"}});
-          co_await hd->rpc_check("group.join", std::move(j));
+          co_await hd->request("group.join").payload(std::move(j)).call();
           Json q = Json::object({{"name", "t1"}});
-          Message info = co_await hd->rpc_check("group.info", std::move(q));
+          Message info = co_await hd->request("group.info").payload(std::move(q)).call();
           if (info.payload.get_int("size") != 1)
             throw FluxException(Error(Errc::Proto, "bad group size"));
         }(h.get()));
@@ -126,7 +126,7 @@ int main() {
                                        {"cmd", "hostname"},
                                        {"args", Json::object()},
                                        {"ranks", Json()}});
-          Message r = co_await hd->rpc_check("wexec.run", std::move(payload));
+          Message r = co_await hd->request("wexec.run").payload(std::move(payload)).call();
           if (!r.payload.get_bool("success"))
             throw FluxException(Error(Errc::Proto, "job failed"));
         }(h.get()));
@@ -134,9 +134,9 @@ int main() {
   timed("resvc", "resources enumerated in the KVS and allocated",
         "resvc.alloc+free", [](Handle* hd) -> Task<void> {
           Json a = Json::object({{"jobid", "t1"}, {"nnodes", 4}});
-          co_await hd->rpc_check("resvc.alloc", std::move(a));
+          co_await hd->request("resvc.alloc").payload(std::move(a)).call();
           Json f = Json::object({{"jobid", "t1"}});
-          co_await hd->rpc_check("resvc.free", std::move(f));
+          co_await hd->request("resvc.free").payload(std::move(f)).call();
         }(h.get()));
 
   std::printf("%-8s %-8s %-24s %12s  %s\n", "module", "status", "operation",

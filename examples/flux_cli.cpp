@@ -322,6 +322,15 @@ const std::map<std::string, Command>& commands() {
           std::printf("%s (%lld ranks)\n%s", service.c_str(),
                       static_cast<long long>(merged.get_int("ranks")),
                       obs::format_snapshot(merged).c_str());
+          const Json& counters = merged.at("counters");
+          if (counters.is_object()) {
+            const std::int64_t hits = counters.get_int("kvs.cache.hits");
+            const std::int64_t misses = counters.get_int("kvs.cache.misses");
+            if (hits + misses > 0)
+              std::printf("%-36s %11.1f%%\n", "kvs.cache.hit_rate",
+                          100.0 * static_cast<double>(hits) /
+                              static_cast<double>(hits + misses));
+          }
           return 0;
         }}},
       {"trace",

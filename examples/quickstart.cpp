@@ -40,7 +40,7 @@ Task<void> demo(Handle* h, std::uint32_t size) {
   Json args = Json::object();
   Json run_payload = Json::object(
       {{"jobid", "qs1"}, {"cmd", "hostname"}, {"args", args}, {"ranks", Json()}});
-  Message run = co_await h->rpc_check("wexec.run", std::move(run_payload));
+  Message run = co_await h->request("wexec.run").payload(std::move(run_payload)).call();
   std::printf("wexec.run: %lld tasks, success=%s\n",
               static_cast<long long>(run.payload.get_int("ntasks")),
               run.payload.get_bool("success") ? "true" : "false");

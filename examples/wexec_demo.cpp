@@ -24,7 +24,7 @@ Task<void> demo(Handle* h, std::uint32_t nnodes) {
                                  {"cmd", "hostname"},
                                  {"args", Json::object()},
                                  {"ranks", Json()}});
-    Message r = co_await h->rpc_check("wexec.run", std::move(payload));
+    Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
     std::printf("lwj1: ran 'hostname' on %lld ranks, success=%s\n",
                 static_cast<long long>(r.payload.get_int("ntasks")),
                 r.payload.get_bool("success") ? "true" : "false");
@@ -53,7 +53,7 @@ Task<void> demo(Handle* h, std::uint32_t nnodes) {
                                  {"cmd", "probe"},
                                  {"args", Json::object()},
                                  {"ranks", Json::array({0, 1, 2})}});
-    Message r = co_await h->rpc_check("wexec.run", std::move(payload));
+    Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
     std::printf("lwj2: tool daemons on 3 ranks, success=%s\n",
                 r.payload.get_bool("success") ? "true" : "false");
     auto keys = co_await kvs.list_dir("tool.probe");
@@ -67,10 +67,10 @@ Task<void> demo(Handle* h, std::uint32_t nnodes) {
                                  {"cmd", "spin"},
                                  {"args", Json::object()},
                                  {"ranks", Json()}});
-    auto pending = h->rpc("wexec.run", std::move(payload));
+    auto pending = h->request("wexec.run").payload(std::move(payload)).send();
     co_await h->sleep(std::chrono::milliseconds(2));
     Json kill = Json::object({{"jobid", "lwj3"}, {"signum", 15}});
-    co_await h->rpc_check("wexec.kill", std::move(kill));
+    co_await h->request("wexec.kill").payload(std::move(kill)).call();
     Message done = co_await pending;
     Handle::check(done);
     std::printf("lwj3: spinners signalled; exit histogram: %s\n",

@@ -29,14 +29,6 @@ Task<Message> checked(Future<Message> fut) {
 
 Task<Message> RequestBuilder::call() { return checked(send()); }
 
-Future<Message> Handle::rpc(std::string topic, Json payload) {
-  return request(std::move(topic)).payload(std::move(payload)).send();
-}
-
-Task<Message> Handle::rpc_check(std::string topic, Json payload) {
-  return request(std::move(topic)).payload(std::move(payload)).call();
-}
-
 void Handle::check(const Message& response) {
   if (response.errnum == 0) return;
   throw FluxException(Error(static_cast<Errc>(response.errnum),
@@ -80,8 +72,7 @@ Task<void> Handle::barrier(std::string name, std::int64_t nprocs) {
   // gcc 12 miscompiles non-empty initializer-list temporaries appearing in
   // the same statement as a co_await ("array used as initializer").
   Json payload = Json::object({{"name", std::move(name)}, {"nprocs", nprocs}});
-  Message resp = co_await rpc("barrier.enter", std::move(payload));
-  check(resp);
+  (void)co_await request("barrier.enter").payload(std::move(payload)).call();
 }
 
 Task<Json> Handle::ping(NodeId target) {

@@ -44,12 +44,6 @@ class Handle {
   /// for the checked form that throws FluxException on errnum != 0.
   [[nodiscard]] RequestBuilder request(std::string topic);
 
-  /// Deprecated: thin wrapper over request(topic).payload(p).send().
-  Future<Message> rpc(std::string topic, Json payload = Json::object());
-
-  /// Deprecated: thin wrapper over request(topic).payload(p).call().
-  Task<Message> rpc_check(std::string topic, Json payload = Json::object());
-
   /// Throw FluxException if the response carries an error.
   static void check(const Message& response);
 

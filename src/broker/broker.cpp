@@ -61,6 +61,12 @@ void Broker::start() {
 
 void Broker::shutdown() {
   for (auto& m : modules_) m->shutdown();
+  // Settle outstanding RPCs: a coroutine parked on a Future owns the Future
+  // and the Future's state owns the coroutine handle, so an unsettled promise
+  // strands the whole frame (Session::~Session drains the posted resumes).
+  for (auto& [tag, pending] : pending_)
+    pending.promise.set_error(Error(Errc::Canceled, "session shutdown"));
+  pending_.clear();
 }
 
 Module* Broker::find_module(std::string_view service) noexcept {
@@ -127,7 +133,10 @@ void Broker::receive(Message msg) {
           hop.plane = TraceHop::Plane::Tree;
         break;
       case MsgType::Response:
-        hop.plane = (!msg.route.empty() && msg.route.back().rank != rank_)
+        // Direct-edge responses (sharded KVS overlay) cross one tree-like
+        // hop; only Client/Module hops on a foreign rank imply the ring.
+        hop.plane = (!msg.route.empty() && msg.route.back().rank != rank_ &&
+                     msg.route.back().kind != RouteHop::Kind::Direct)
                         ? TraceHop::Plane::Ring
                         : TraceHop::Plane::Tree;
         break;
@@ -259,8 +268,13 @@ void Broker::route_response(Message msg) {
       send(hop.rank, std::move(msg));
       return;
     }
-    // Client/Module endpoint hop.
+    // Client/Module/Direct endpoint hop.
     if (hop.rank != rank_) {
+      if (hop.kind == RouteHop::Kind::Direct) {
+        // Direct-edge origin (sharded-KVS overlay): return point-to-point.
+        send(hop.rank, std::move(msg));
+        return;
+      }
       // Ring-addressed request origin: ride the ring home.
       send(topology().ring_next(rank_), std::move(msg));
       return;
@@ -318,6 +332,30 @@ Future<Message> Broker::module_rpc(Module& m, Message req) {
   return promise.future();
 }
 
+Future<Message> Broker::direct_rpc(Module& m, NodeId to, Message req) {
+  Promise<Message> promise(ex_);
+  req.matchtag = next_matchtag_++;
+  req.nodeid = to;
+  req.route.push_back(
+      RouteHop{RouteHop::Kind::Direct, rank_, m.endpoint_id()});
+  pending_.emplace(req.matchtag, PendingRpc{promise, ex_.now(), to});
+  if (to == rank_)
+    route_request(std::move(req));
+  else
+    send(to, std::move(req));
+  return promise.future();
+}
+
+void Broker::forward_direct(NodeId to, Message req) {
+  req.nodeid = to;
+  if (to == rank_) {
+    route_request(std::move(req));
+    return;
+  }
+  ++stats_.requests_forwarded;
+  send(to, std::move(req));
+}
+
 void Broker::module_subscribe(Module& m, std::string topic_prefix) {
   module_subs_.emplace_back(std::move(topic_prefix), &m);
 }
@@ -357,7 +395,8 @@ void Broker::deliver_event(const Message& msg) {
   if (msg.seq <= last_event_seq_) return;  // duplicate suppression
   last_event_seq_ = msg.seq;
   ++stats_.events_delivered;
-  if (msg.topic == "cmb.online") online_ = true;
+  if (msg.topic == "cmb.online")
+    online_.store(true, std::memory_order_release);
   if (msg.topic == "live.down") {
     // Self-heal BEFORE forwarding: re-parent the dead rank's children to
     // its grandparent in this broker's topology replica, so the adopting
@@ -373,6 +412,19 @@ void Broker::deliver_event(const Message& msg) {
       const auto moved = topo_.heal_around(dead);
       if (!moved.empty())
         log::info("broker", "rank ", rank_, ": healed around dead rank ", dead);
+    }
+    // Direct RPCs to the dead rank will never see a response (the transport
+    // drops traffic to failed brokers); settle them so callers don't hang.
+    if (dead < size() && dead != rank_) {
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.target == dead) {
+          auto promise = it->second.promise;
+          it = pending_.erase(it);
+          promise.set_error(Error(Errc::HostDown, "direct rpc target died"));
+        } else {
+          ++it;
+        }
+      }
     }
   }
   // Forward down the (possibly just-healed) tree first.
@@ -408,7 +460,7 @@ void Broker::handle_cmb_request(Message msg) {
                                       {"size", size()},
                                       {"depth", depth()},
                                       {"arity", topology().arity()},
-                                      {"online", online_}})));
+                                      {"online", online()}})));
     return;
   }
   if (method == "hello") {

@@ -18,6 +18,7 @@
 //    responses ride the ring back to the originating rank.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -94,6 +95,16 @@ class Broker {
   void publish(std::string topic, Json payload = Json::object());
   /// Module-initiated RPC (routed like any request).
   Future<Message> module_rpc(Module& m, Message req);
+  /// Module-initiated RPC sent straight to `to` over the transport; the
+  /// response also returns direct (RouteHop::Kind::Direct). This is the
+  /// sharded-KVS overlay hop: per-shard reduction trees are not session
+  /// topology, so their edges bypass both tree and ring routing. If `to`
+  /// is later declared dead ("live.down"), the pending RPC settles with
+  /// EHOSTDOWN instead of hanging.
+  Future<Message> direct_rpc(Module& m, NodeId to, Message req);
+  /// Fire-and-forget request sent straight to `to` (no response expected);
+  /// the direct-edge analogue of forward_upstream.
+  void forward_direct(NodeId to, Message req);
   /// Subscribe a module to an event topic prefix.
   void module_subscribe(Module& m, std::string topic_prefix);
 
@@ -104,7 +115,9 @@ class Broker {
 
   /// True once the session-wide hello reduction reached the root and the
   /// "cmb.online" event came back down.
-  [[nodiscard]] bool online() const noexcept { return online_; }
+  [[nodiscard]] bool online() const noexcept {
+    return online_.load(std::memory_order_acquire);
+  }
 
   struct Stats {
     std::uint64_t requests_dispatched = 0;
@@ -152,7 +165,9 @@ class Broker {
   /// never share mutable topology state across threads.
   Topology topo_;
   bool failed_ = false;
-  bool online_ = false;
+  // Read by Session::wait_online from a foreign thread in threaded sessions;
+  // written only on this broker's reactor.
+  std::atomic<bool> online_{false};
 
   std::vector<std::unique_ptr<Module>> modules_;
   std::map<std::string, Module*, std::less<>> modules_by_name_;
@@ -167,6 +182,9 @@ class Broker {
   struct PendingRpc {
     Promise<Message> promise;
     TimePoint start;
+    /// Concrete destination rank for direct RPCs (settled on "live.down");
+    /// kNodeAny for tree/ring RPCs whose destination routing decides.
+    NodeId target = kNodeAny;
   };
   std::uint32_t next_matchtag_ = 1;
   std::map<std::uint32_t, PendingRpc> pending_;

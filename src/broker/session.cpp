@@ -36,8 +36,23 @@ Session::Session(SessionConfig cfg)
       topo_(Topology::tree(cfg_.size, cfg_.tree_arity)) {}
 
 Session::~Session() {
-  for (auto& b : brokers_)
-    if (b && !b->failed()) b->shutdown();
+  if (sim_ex_) {
+    for (auto& b : brokers_)
+      if (b && !b->failed()) b->shutdown();
+    // Shutdown settles outstanding RPCs, which posts coroutine resumes; run
+    // them now, while brokers are still alive, so parked frames unwind
+    // instead of leaking. Modules are stopped, so only settle-error unwinds
+    // remain and run() ignores daemon (timer) events.
+    sim_ex_->run();
+    return;
+  }
+  // Threaded: each broker's state belongs to its reactor, so shut down there.
+  // The reactor drains all ready work (including the posted shutdown and the
+  // resumes it triggers) before stop() lets it exit.
+  for (NodeId r = 0; r < brokers_.size(); ++r) {
+    Broker* b = brokers_[r].get();
+    if (b && !b->failed()) thread_ex_[r]->post([b] { b->shutdown(); });
+  }
   for (auto& ex : thread_ex_) ex->stop();
 }
 
@@ -75,6 +90,12 @@ std::unique_ptr<Session> Session::create_sim(SimExecutor& ex, SessionConfig cfg)
 
 std::unique_ptr<Session> Session::create_threaded(SessionConfig cfg) {
   auto s = std::unique_ptr<Session>(new Session(std::move(cfg)));
+  // Real-thread reactors compete for host cores with clients (and sanitizers),
+  // so one can be descheduled past several 1 ms heartbeats.  A false positive
+  // is fatal — a wrongly-declared broker never rejoins — so unless the caller
+  // tuned the detector, give it wall-clock slack (~1 s at the default period).
+  Json& live_cfg = s->cfg_.module_config["live"];
+  if (live_cfg.get_int("missed_max", -1) < 0) live_cfg["missed_max"] = 1000;
   s->thread_ex_.reserve(s->cfg_.size);
   for (std::uint32_t r = 0; r < s->cfg_.size; ++r)
     s->thread_ex_.push_back(std::make_unique<ThreadExecutor>());

@@ -44,9 +44,11 @@ ObjPtr ObjectCache::get(const Sha1& id, std::uint64_t epoch) {
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (misses_) misses_->inc();
     return nullptr;
   }
   ++stats_.hits;
+  if (hits_) hits_->inc();
   it->second.last_used = epoch;
   return it->second.obj;
 }
@@ -74,6 +76,7 @@ std::size_t ObjectCache::expire(std::uint64_t epoch, std::uint64_t max_age) {
     }
   }
   stats_.evictions += evicted;
+  if (evictions_) evictions_->inc(evicted);
   return evicted;
 }
 
@@ -89,6 +92,7 @@ std::size_t ObjectCache::drop_all() {
     }
   }
   stats_.evictions += evicted;
+  if (evictions_) evictions_->inc(evicted);
   return evicted;
 }
 

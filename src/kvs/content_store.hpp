@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "kvs/treeobj.hpp"
+#include "obs/stats.hpp"
 
 namespace flux {
 
@@ -58,6 +59,15 @@ class ObjectCache {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Mirror hit/miss/eviction counts into observability counters (the
+  /// owning module binds its broker's registry instruments once at start).
+  void bind_counters(obs::Counter* hits, obs::Counter* misses,
+                     obs::Counter* evictions) noexcept {
+    hits_ = hits;
+    misses_ = misses;
+    evictions_ = evictions;
+  }
+
  private:
   struct Entry {
     ObjPtr obj;
@@ -67,6 +77,9 @@ class ObjectCache {
   std::unordered_map<Sha1, Entry> entries_;
   std::size_t bytes_ = 0;
   Stats stats_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 /// Apply commit tuples to the hash tree rooted at `root_ref`, reading from

@@ -13,6 +13,18 @@ void check_key(std::string_view op, std::string_view key) {
     throw FluxException(
         Error(Errc::Inval, std::string(op) + ": empty key"));
 }
+
+CommitResult parse_commit_result(const Message& resp) {
+  CommitResult out{
+      static_cast<std::uint64_t>(resp.payload.get_int("version")),
+      resp.payload.get_string("rootref"),
+      {}};
+  const Json& vv = resp.payload.at("vv");
+  if (vv.is_array())
+    for (const Json& v : vv.as_array())
+      out.vv.push_back(static_cast<std::uint64_t>(v.as_int()));
+  return out;
+}
 }  // namespace
 
 KvsTxn& KvsTxn::put(std::string key, Json value) {
@@ -70,9 +82,7 @@ Task<CommitResult> KvsClient::commit(KvsTxn txn) {
   if (!txn.objects_.empty())
     req.attachment(std::make_shared<ObjectBundle>(std::move(txn.objects_)));
   Message resp = co_await req.call();
-  co_return CommitResult{
-      static_cast<std::uint64_t>(resp.payload.get_int("version")),
-      resp.payload.get_string("rootref")};
+  co_return parse_commit_result(resp);
 }
 
 Task<CommitResult> KvsClient::commit() {
@@ -90,9 +100,7 @@ Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs,
   if (!txn.objects_.empty())
     req.attachment(std::make_shared<ObjectBundle>(std::move(txn.objects_)));
   Message resp = co_await req.call();
-  co_return CommitResult{
-      static_cast<std::uint64_t>(resp.payload.get_int("version")),
-      resp.payload.get_string("rootref")};
+  co_return parse_commit_result(resp);
 }
 
 Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs) {
@@ -103,8 +111,8 @@ Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs) {
 
 Task<Json> KvsClient::get(std::string key) {
   Json payload = Json::object({{"key", std::move(key)}});
-  Message resp = co_await h_.rpc("kvs.get", std::move(payload));
-  Handle::check(resp);
+  Message resp =
+      co_await h_.request("kvs.get").payload(std::move(payload)).call();
   if (!resp.data)
     throw FluxException(Error(Errc::Proto, "kvs.get: response without data"));
   ObjPtr obj = parse_object(*resp.data);
@@ -115,8 +123,8 @@ Task<Json> KvsClient::get(std::string key) {
 
 Task<std::vector<std::string>> KvsClient::list_dir(std::string key) {
   Json payload = Json::object({{"key", std::move(key)}, {"dir", true}});
-  Message resp = co_await h_.rpc("kvs.get", std::move(payload));
-  Handle::check(resp);
+  Message resp =
+      co_await h_.request("kvs.get").payload(std::move(payload)).call();
   std::vector<std::string> names;
   for (const Json& n : resp.payload.at("entries").as_array())
     names.push_back(n.as_string());
@@ -126,21 +134,20 @@ Task<std::vector<std::string>> KvsClient::list_dir(std::string key) {
 
 Task<std::string> KvsClient::lookup_ref(std::string key) {
   Json payload = Json::object({{"key", std::move(key)}});
-  Message resp = co_await h_.rpc("kvs.lookup_ref", std::move(payload));
-  Handle::check(resp);
+  Message resp =
+      co_await h_.request("kvs.lookup_ref").payload(std::move(payload)).call();
   co_return resp.payload.get_string("ref");
 }
 
 Task<std::uint64_t> KvsClient::get_version() {
-  Message resp = co_await h_.rpc("kvs.get_version");
-  Handle::check(resp);
+  Message resp = co_await h_.request("kvs.get_version").call();
   co_return static_cast<std::uint64_t>(resp.payload.get_int("version"));
 }
 
 Task<void> KvsClient::wait_version(std::uint64_t version) {
   Json payload = Json::object({{"version", version}});
-  Message resp = co_await h_.rpc("kvs.wait_version", std::move(payload));
-  Handle::check(resp);
+  (void)co_await
+      h_.request("kvs.wait_version").payload(std::move(payload)).call();
 }
 
 // ---------------------------------------------------------------------------

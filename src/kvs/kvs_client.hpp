@@ -30,6 +30,10 @@ namespace flux {
 struct CommitResult {
   std::uint64_t version = 0;
   std::string rootref;
+  /// Per-shard version vector; empty unless the session runs sharded KVS
+  /// masters (module config {"shards": k>1}). vv[s] is shard s's version as
+  /// of this commit; `version` is the sum of the vector.
+  std::vector<std::uint64_t> vv;
 };
 
 /// An explicit KVS transaction: an ordered list of (key, object) operations

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <set>
 
 #include "base/log.hpp"
 #include "broker/broker.hpp"
+#include "kvs/shard_coordinator.hpp"
 
 namespace flux {
 
@@ -12,6 +15,17 @@ namespace {
 /// Data frame aliasing an object's serialized bytes (zero-copy).
 std::shared_ptr<const std::string> object_frame(const ObjPtr& obj) {
   return {obj, &obj->bytes};
+}
+
+/// Host wall time of a synchronous apply (virtual time doesn't advance
+/// inside one reactor turn, so the apply histogram samples the real CPU
+/// cost of the hash-tree update).
+std::uint64_t wall_ns_since(
+    std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 }  // namespace
 
@@ -30,6 +44,7 @@ KvsModule::KvsModule(Broker& b) : ModuleBase(b) {
   on("fence", [this](Message& m) { op_fence(m); });
   on("flush", [this](Message& m) { op_flush(m); });
   on("fault", [this](Message& m) { op_fault(m); });
+  on("shard_done", [this](Message& m) { op_shard_done(m); });
   on("stats", [this](Message& m) { op_stats(m); });
   on("drop_cache", [this](Message& m) { op_drop_cache(m); });
 
@@ -37,31 +52,93 @@ KvsModule::KvsModule(Broker& b) : ModuleBase(b) {
   broker().module_subscribe(*this, "hb");
 }
 
+KvsModule::~KvsModule() = default;
+
 bool KvsModule::is_master() const noexcept { return broker().is_root(); }
 
 void KvsModule::start() {
   const Json cfg = broker().module_config("kvs");
   expiry_epochs_ =
       static_cast<std::uint64_t>(cfg.get_int("expiry_epochs", 0));
-  if (is_master()) {
-    // Bootstrap: version 1 is the empty root directory.
+  // Slave-cache efficacy instruments (hit-rate surfaces in `flux_cli stats`).
+  obs::StatsRegistry& reg = broker().stats_registry();
+  cache_.bind_counters(&reg.counter("kvs.cache.hits"),
+                       &reg.counter("kvs.cache.misses"),
+                       &reg.counter("kvs.cache.evictions"));
+
+  const auto shards_cfg = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cfg.get_int("shards", 1)));
+  shard_map_ =
+      ShardMap(broker().size(), shards_cfg, broker().topology().arity());
+  shards_ = shard_map_.shards();
+
+  if (!sharded()) {
+    if (is_master()) {
+      // Bootstrap: version 1 is the empty root directory.
+      ObjPtr empty = empty_dir_object();
+      root_ref_ = empty->id;
+      store_.put(std::move(empty));
+      root_version_ = 1;
+      broker().publish("kvs.setroot",
+                       Json::object({{"version", root_version_},
+                                     {"rootref", root_ref_.hex()},
+                                     {"fences", Json::array()}}));
+    }
+    return;
+  }
+
+  shard_roots_.assign(shards_, Sha1{});
+  shard_versions_.assign(shards_, 0);
+  shard_dead_.assign(shards_, false);
+  my_shard_ = shard_map_.shard_of_master(broker().rank());
+  broker().module_subscribe(*this, "kvs.fence.done");
+  broker().module_subscribe(*this, "live.down");
+  if (broker().is_root())
+    coord_ = std::make_unique<ShardCoordinator>(broker(), shards_);
+
+  if (my_shard_) {
+    const std::string prefix = "kvs.shard." + std::to_string(*my_shard_);
+    shard_commits_ = &reg.counter(prefix + ".commits");
+    shard_faults_served_ = &reg.counter(prefix + ".faults_served");
+    shard_apply_ns_ = &reg.histogram(prefix + ".apply_ns");
+    // Bootstrap this shard: version 1 is its empty root directory.
     ObjPtr empty = empty_dir_object();
-    root_ref_ = empty->id;
+    shard_roots_[*my_shard_] = empty->id;
     store_.put(std::move(empty));
-    root_version_ = 1;
-    broker().publish("kvs.setroot",
-                     Json::object({{"version", root_version_},
-                                   {"rootref", root_ref_.hex()},
-                                   {"fences", Json::array()}}));
+    shard_versions_[*my_shard_] = 1;
+    refresh_scalar_root();
+    Json ev =
+        Json::object({{"shard", static_cast<std::int64_t>(*my_shard_)},
+                      {"version", 1},
+                      {"rootref", shard_roots_[*my_shard_].hex()}});
+    broker().publish("kvs.setroot." + std::to_string(*my_shard_),
+                     std::move(ev));
   }
 }
 
 void KvsModule::handle_event(const Message& msg) {
   if (msg.topic == "hb") {
     epoch_ = static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0));
-    if (expiry_epochs_ > 0 && !is_master())
+    // Sharded: every rank keeps a cache (a shard master caches the other
+    // shards' objects); pinned (dirty) entries survive expiry regardless.
+    if (expiry_epochs_ > 0 && (sharded() || !is_master()))
       cache_.expire(epoch_, expiry_epochs_);
     return;
+  }
+  if (sharded()) {
+    if (msg.topic == "kvs.fence.done") {
+      on_fence_done(msg);
+      return;
+    }
+    if (msg.topic.starts_with("kvs.setroot.")) {
+      on_shard_setroot(msg);
+      return;
+    }
+    if (msg.topic == "live.down") {
+      on_live_down(msg);
+      return;
+    }
+    return;  // plain "kvs.setroot" is never published in sharded mode
   }
   if (msg.topic == "kvs.setroot") {
     const auto version =
@@ -92,9 +169,11 @@ KvsModule::TxnKey KvsModule::txn_key(const Message& msg) {
 void KvsModule::record(Message& msg, std::string key, ObjPtr obj) {
   Txn& txn = txns_[txn_key(msg)];
   txn.tuples.push_back(Tuple{std::move(key), obj->id});
-  if (is_master()) {
+  if (!sharded() && is_master()) {
     store_.put(obj);
   } else {
+    // Sharded: the owning master is only known per-tuple; stage in the cache
+    // (pinned) and let the fence flush place each object on its shard.
     cache_.put(obj, epoch_);
     cache_.pin(obj->id);
   }
@@ -136,7 +215,7 @@ void KvsModule::op_stage(Message& msg) {
   }
   for (const ObjPtr& obj : bundle->objects()) {
     ++ops_.puts;
-    if (is_master())
+    if (!sharded() && is_master())
       store_.put(obj);
     else
       cache_.put(obj, epoch_);
@@ -185,14 +264,7 @@ void KvsModule::op_commit(Message& msg) {
   op_fence(msg);
 }
 
-void KvsModule::op_fence(Message& msg) {
-  ++ops_.fences;
-  const std::string name = msg.payload.get_string("name");
-  const std::int64_t nprocs = msg.payload.get_int("nprocs", 0);
-  if (name.empty() || nprocs <= 0) {
-    respond_error(msg, Errc::Inval, "fence: need name and nprocs > 0");
-    return;
-  }
+std::optional<KvsModule::Txn> KvsModule::claim_txn(Message& msg) {
   // Claim the caller's transaction: the explicit client-side form ("ops"
   // tuples + object bundle in this very request), plus any ops staged via
   // the legacy endpoint-keyed put/unlink/mkdir RPCs.
@@ -201,7 +273,7 @@ void KvsModule::op_fence(Message& msg) {
     auto tuples = tuples_from_json(msg.payload.at("ops"));
     if (!tuples) {
       respond_error(msg, Errc::Inval, "fence: malformed ops");
-      return;
+      return std::nullopt;
     }
     std::vector<ObjPtr> objects;
     if (msg.attachment) {
@@ -209,15 +281,16 @@ void KvsModule::op_fence(Message& msg) {
           std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
       if (!bundle) {
         respond_error(msg, Errc::Inval, "fence: non-bundle attachment");
-        return;
+        return std::nullopt;
       }
       objects = bundle->objects();
     }
     txn.tuples = std::move(tuples).value();
     for (ObjPtr& obj : objects) {
-      // Mirror record(): master stores straight away; slaves cache + pin so
-      // the objects survive eviction until the fence completes.
-      if (is_master()) {
+      // Mirror record(): the single master stores straight away; everyone
+      // else caches + pins so the objects survive eviction until the fence
+      // completes.
+      if (!sharded() && is_master()) {
         store_.put(obj);
       } else {
         cache_.put(obj, epoch_);
@@ -233,10 +306,27 @@ void KvsModule::op_fence(Message& msg) {
               std::back_inserter(txn.objects));
     txns_.erase(it);
   }
+  return txn;
+}
+
+void KvsModule::op_fence(Message& msg) {
+  ++ops_.fences;
+  const std::string name = msg.payload.get_string("name");
+  const std::int64_t nprocs = msg.payload.get_int("nprocs", 0);
+  if (name.empty() || nprocs <= 0) {
+    respond_error(msg, Errc::Inval, "fence: need name and nprocs > 0");
+    return;
+  }
+  auto txn = claim_txn(msg);
+  if (!txn) return;
+  if (sharded()) {
+    op_fence_sharded(msg, name, nprocs, std::move(*txn));
+    return;
+  }
   FenceState& fence = fences_[name];
-  for (const ObjPtr& obj : txn.objects) fence.pins.push_back(obj->id);
+  for (const ObjPtr& obj : txn->objects) fence.pins.push_back(obj->id);
   fence.waiters.push_back(msg);
-  fence_add(name, nprocs, 1, std::move(txn.tuples), txn.objects);
+  fence_add(name, nprocs, 1, std::move(txn->tuples), txn->objects);
 }
 
 void KvsModule::fence_add(const std::string& name, std::int64_t nprocs,
@@ -321,6 +411,16 @@ void KvsModule::op_flush(Message& msg) {
     }
     objects = bundle->objects();
   }
+  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  if (shard >= 0) {
+    if (!sharded() || shard >= static_cast<std::int64_t>(shards_)) {
+      log::error("kvs", "flush for unknown shard ", shard);
+      return;
+    }
+    shard_fence_add(name, static_cast<std::uint32_t>(shard), nprocs, count,
+                    std::move(tuples).value(), objects);
+    return;
+  }
   if (is_master())
     for (const ObjPtr& obj : objects) store_.put(obj);
   fence_add(name, nprocs, count, std::move(tuples).value(), objects);
@@ -399,11 +499,315 @@ Future<std::uint64_t> KvsModule::version_reached(std::uint64_t version) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded masters (paper §VII)
+// ---------------------------------------------------------------------------
+
+void KvsModule::refresh_scalar_root() {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : shard_versions_) sum += v;
+  root_version_ = sum;
+  if (!shard_roots_.empty()) root_ref_ = shard_roots_[0];
+  complete_version_waiters();
+  auto it = shard_ready_waiters_.begin();
+  while (it != shard_ready_waiters_.end()) {
+    if (shard_versions_[it->first] >= 1) {
+      auto promise = it->second;
+      it = shard_ready_waiters_.erase(it);
+      promise.set_value(1);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Future<std::uint64_t> KvsModule::shard_ready(std::uint32_t shard) {
+  Promise<std::uint64_t> p(broker().executor());
+  if (shard_versions_[shard] >= 1)
+    p.set_value(shard_versions_[shard]);
+  else
+    shard_ready_waiters_.emplace_back(shard, p);
+  return p.future();
+}
+
+void KvsModule::op_fence_sharded(Message& msg, const std::string& name,
+                                 std::int64_t nprocs, Txn txn) {
+  // Split the transaction into per-shard parts. Objects follow the tuples
+  // that reference them (an object referenced from two shards ships to
+  // both — content addressing makes that a harmless duplicate).
+  std::vector<std::vector<Tuple>> tuples_by(shards_);
+  std::vector<std::vector<ObjPtr>> objects_by(shards_);
+  std::unordered_map<Sha1, ObjPtr> by_id;
+  for (const ObjPtr& obj : txn.objects) by_id.emplace(obj->id, obj);
+  std::vector<std::unordered_set<Sha1>> routed(shards_);
+  for (Tuple& t : txn.tuples) {
+    const std::uint32_t s = shard_map_.shard_of(t.key);
+    if (auto it = by_id.find(t.ref);
+        it != by_id.end() && routed[s].insert(t.ref).second)
+      objects_by[s].push_back(it->second);
+    tuples_by[s].push_back(std::move(t));
+  }
+
+  // Writes against a dead shard fail fast instead of hanging the fence.
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    if (!tuples_by[s].empty() && shard_dead_[s]) {
+      for (const ObjPtr& obj : txn.objects) cache_.unpin(obj->id);
+      respond_error(msg, Errc::HostDown,
+                    "fence: master of shard " + std::to_string(s) + " is down");
+      return;
+    }
+  }
+
+  ShardedFence& fence = sharded_fences_[name];
+  if (fence.parts.empty()) fence.parts.resize(shards_);
+  if (fence.nprocs == 0) fence.nprocs = nprocs;
+  for (const ObjPtr& obj : txn.objects) fence.pins.push_back(obj->id);
+  fence.waiters.push_back(msg);
+
+  // EVERY live shard receives this participant's count — empty parts
+  // included — so each master independently detects completion at nprocs
+  // and the coordinator fuses exactly once per fence.
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    if (shard_dead_[s]) continue;
+    shard_fence_add(name, s, nprocs, 1, std::move(tuples_by[s]),
+                    objects_by[s]);
+  }
+}
+
+void KvsModule::shard_fence_add(const std::string& name, std::uint32_t shard,
+                                std::int64_t nprocs, std::int64_t count,
+                                std::vector<Tuple> tuples,
+                                const std::vector<ObjPtr>& objects) {
+  ShardedFence& fence = sharded_fences_[name];
+  if (fence.parts.empty()) fence.parts.resize(shards_);
+  if (fence.nprocs == 0) fence.nprocs = nprocs;
+  if (fence.nprocs != nprocs)
+    log::warn("kvs", "fence '", name, "': inconsistent nprocs ", nprocs,
+              " vs ", fence.nprocs);
+  ShardPart& part = fence.parts[shard];
+  if (!tuples.empty()) part.touched = true;
+
+  if (is_shard_master(shard)) {
+    for (const ObjPtr& obj : objects) store_.put(obj);
+    part.total_count += count;
+    std::move(tuples.begin(), tuples.end(),
+              std::back_inserter(part.total_tuples));
+    if (part.total_count >= fence.nprocs && !part.applied) {
+      if (part.total_count > fence.nprocs)
+        log::warn("kvs", "fence '", name, "' shard ", shard, ": ",
+                  part.total_count, " entries for nprocs=", fence.nprocs);
+      // May re-enter this module (coordinator fuse) and erase the fence
+      // state — nothing after this call may touch `fence`/`part`.
+      shard_master_apply(name, shard);
+    }
+    return;
+  }
+
+  part.pending_count += count;
+  std::move(tuples.begin(), tuples.end(),
+            std::back_inserter(part.pending_tuples));
+  for (const ObjPtr& obj : objects)
+    if (part.forwarded_ids.insert(obj->id).second)
+      part.pending_objects.push_back(obj);
+  if (!part.flush_scheduled) {
+    part.flush_scheduled = true;
+    // Posted, like the single-master flush: same-turn contributions
+    // coalesce into one message per shard-tree edge.
+    broker().executor().post(
+        [this, name, shard] { flush_shard_fence(name, shard); });
+  }
+}
+
+void KvsModule::flush_shard_fence(const std::string& name,
+                                  std::uint32_t shard) {
+  auto it = sharded_fences_.find(name);
+  if (it == sharded_fences_.end()) return;
+  ShardPart& part = it->second.parts[shard];
+  part.flush_scheduled = false;
+  if (part.pending_count == 0) return;
+  if (shard_dead_[shard]) {
+    // Undeliverable; the coordinator fails this fence.
+    part.pending_count = 0;
+    part.pending_tuples.clear();
+    part.pending_objects.clear();
+    return;
+  }
+  ++ops_.flushes_forwarded;
+  Message flush = Message::request(
+      "kvs.flush",
+      Json::object({{"name", name},
+                    {"nprocs", it->second.nprocs},
+                    {"count", part.pending_count},
+                    {"shard", static_cast<std::int64_t>(shard)},
+                    {"tuples", tuples_to_json(part.pending_tuples)}}));
+  if (!part.pending_objects.empty())
+    flush.attachment =
+        std::make_shared<ObjectBundle>(std::move(part.pending_objects));
+  part.pending_count = 0;
+  part.pending_tuples.clear();
+  part.pending_objects.clear();
+  // forwarded_ids intentionally NOT cleared: dedup spans flush waves.
+  const auto up = shard_parent_live(shard, broker().rank());
+  if (up) broker().forward_direct(*up, std::move(flush));
+}
+
+void KvsModule::shard_master_apply(const std::string& name,
+                                   std::uint32_t shard) {
+  auto it = sharded_fences_.find(name);
+  if (it == sharded_fences_.end()) return;
+  ShardPart& part = it->second.parts[shard];
+  part.applied = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  shard_roots_[shard] =
+      apply_transaction(store_, shard_roots_[shard], part.total_tuples);
+  ++shard_versions_[shard];
+  part.total_tuples.clear();
+  if (shard_apply_ns_) shard_apply_ns_->record(wall_ns_since(t0));
+  if (shard_commits_) shard_commits_->inc();
+  refresh_scalar_root();
+
+  const std::uint64_t version = shard_versions_[shard];
+  const Sha1 root = shard_roots_[shard];
+  Json ev = Json::object({{"shard", static_cast<std::int64_t>(shard)},
+                          {"version", version},
+                          {"rootref", root.hex()}});
+  broker().publish("kvs.setroot." + std::to_string(shard), std::move(ev));
+  // Report to the coordinator LAST: fusing re-enters this module
+  // ("kvs.fence.done") and erases the fence state.
+  if (coord_) {
+    coord_->shard_done(name, shard, version, root);
+  } else {
+    Json done = Json::object({{"name", name},
+                              {"shard", static_cast<std::int64_t>(shard)},
+                              {"version", version},
+                              {"rootref", root.hex()}});
+    broker().forward_direct(0, Message::request("kvs.shard_done",
+                                                std::move(done)));
+  }
+}
+
+void KvsModule::op_shard_done(Message& msg) {
+  // Master -> coordinator completion report; fire-and-forget.
+  if (!coord_) return;
+  const std::string name = msg.payload.get_string("name");
+  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  const auto version =
+      static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
+  const auto ref = Sha1::parse(msg.payload.get_string("rootref"));
+  if (name.empty() || shard < 0 ||
+      shard >= static_cast<std::int64_t>(shards_) || !ref)
+    return;
+  coord_->shard_done(name, static_cast<std::uint32_t>(shard), version, *ref);
+}
+
+void KvsModule::on_shard_setroot(const Message& msg) {
+  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  const auto version =
+      static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
+  const auto ref = Sha1::parse(msg.payload.get_string("rootref"));
+  if (shard < 0 || shard >= static_cast<std::int64_t>(shards_) || !ref) {
+    log::error("kvs", "malformed shard setroot event");
+    return;
+  }
+  const auto s = static_cast<std::uint32_t>(shard);
+  // Per-shard monotonic reads: a shard's roots apply in version order.
+  if (version > shard_versions_[s]) {
+    shard_versions_[s] = version;
+    shard_roots_[s] = *ref;
+    refresh_scalar_root();
+  }
+}
+
+void KvsModule::on_fence_done(const Message& msg) {
+  const std::string name = msg.payload.get_string("name");
+  const bool failed = msg.payload.get_bool("failed", false);
+  const Json& vv = msg.payload.at("vv");
+  const Json& rootrefs = msg.payload.at("rootrefs");
+  if (vv.is_array() && rootrefs.is_array()) {
+    const auto& versions = vv.as_array();
+    const auto& roots = rootrefs.as_array();
+    const std::size_t n =
+        std::min<std::size_t>({shards_, versions.size(), roots.size()});
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto version = static_cast<std::uint64_t>(versions[s].as_int());
+      if (version <= shard_versions_[s]) continue;
+      const auto ref = Sha1::parse(roots[s].as_string());
+      if (!ref) continue;
+      shard_versions_[s] = version;
+      shard_roots_[s] = *ref;
+    }
+  }
+  // Adopt ALL shard roots before responding: read-your-writes plus
+  // cross-shard visibility of everything the fence committed.
+  refresh_scalar_root();
+
+  auto it = sharded_fences_.find(name);
+  if (it == sharded_fences_.end()) return;
+  ShardedFence fence = std::move(it->second);
+  sharded_fences_.erase(it);
+  for (const Sha1& id : fence.pins) cache_.unpin(id);
+  // Even when the coordinator salvaged the live shards, writes this broker
+  // routed to a now-dead shard are gone — its waiters must hear that.
+  bool lost_local_writes = false;
+  for (std::uint32_t s = 0; s < fence.parts.size(); ++s)
+    if (shard_dead_[s] && fence.parts[s].touched) lost_local_writes = true;
+  if (failed || lost_local_writes) {
+    for (const Message& waiter : fence.waiters)
+      respond_error(waiter, Errc::HostDown,
+                    "fence '" + name + "': a shard master died");
+    return;
+  }
+  Json vv_out = Json::array();
+  for (const std::uint64_t v : shard_versions_)
+    vv_out.push_back(static_cast<std::int64_t>(v));
+  for (const Message& waiter : fence.waiters)
+    broker().respond(waiter.respond(
+        Json::object({{"version", root_version_},
+                      {"rootref", root_ref_.hex()},
+                      {"vv", vv_out}})));
+}
+
+std::optional<NodeId> KvsModule::shard_parent_live(std::uint32_t shard,
+                                                   NodeId rank) const {
+  // The per-shard trees are static arithmetic (ShardMap); unlike the session
+  // tree they have no heal_around, so climb over dead interior ranks here.
+  auto up = shard_map_.parent(shard, rank);
+  while (up && dead_ranks_.contains(*up)) up = shard_map_.parent(shard, *up);
+  return up;
+}
+
+void KvsModule::on_live_down(const Message& msg) {
+  const auto dead = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+  if (dead >= broker().size()) return;
+  dead_ranks_.insert(dead);
+  const auto s = shard_map_.shard_of_master(dead);
+  if (!s || shard_dead_[*s]) return;
+  shard_dead_[*s] = true;
+  log::warn("kvs", "rank ", broker().rank(), ": shard ", *s,
+            " master (rank ", dead, ") died");
+  // Gets blocked on this shard's bootstrap can never proceed.
+  auto it = shard_ready_waiters_.begin();
+  while (it != shard_ready_waiters_.end()) {
+    if (it->first == *s) {
+      auto promise = it->second;
+      it = shard_ready_waiters_.erase(it);
+      promise.set_error(Error(Errc::HostDown, "shard master died"));
+    } else {
+      ++it;
+    }
+  }
+  if (coord_) coord_->shard_failed(*s);
+}
+
+// ---------------------------------------------------------------------------
 // Lookups (get / lookup_ref / fault)
 // ---------------------------------------------------------------------------
 
-Task<ObjPtr> KvsModule::lookup_object(Sha1 ref) {
-  if (is_master()) co_return store_.get(ref);
+Task<ObjPtr> KvsModule::lookup_object(Sha1 ref, int shard) {
+  const bool authoritative =
+      shard < 0 ? is_master()
+                : is_shard_master(static_cast<std::uint32_t>(shard));
+  if (authoritative) co_return store_.get(ref);
   if (ObjPtr hit = cache_.get(ref, epoch_)) co_return hit;
 
   // Coalesce concurrent faults for the same object.
@@ -415,13 +819,33 @@ Task<ObjPtr> KvsModule::lookup_object(Sha1 ref) {
   faults_.emplace(ref, promise);
   ++ops_.faults_issued;
 
-  Message req =
-      Message::request("kvs.fault", Json::object({{"ref", ref.hex()}}));
-  req.nodeid = kNodeUpstream;  // the local module is the requester
-  Message resp = co_await broker().module_rpc(*this, std::move(req));
+  Json payload = Json::object({{"ref", ref.hex()}});
+  if (shard >= 0) payload["shard"] = static_cast<std::int64_t>(shard);
+  Message req = Message::request("kvs.fault", std::move(payload));
+
+  Message resp;
+  bool settled = false;
+  if (shard < 0) {
+    req.nodeid = kNodeUpstream;  // the local module is the requester
+    resp = co_await broker().module_rpc(*this, std::move(req));
+  } else {
+    // Climb the shard's own tree over a direct edge; a dead master settles
+    // the RPC with EHOSTDOWN (the miss surfaces as a null object).
+    const auto up =
+        shard_parent_live(static_cast<std::uint32_t>(shard), broker().rank());
+    if (!up) {
+      settled = true;
+    } else {
+      try {
+        resp = co_await broker().direct_rpc(*this, *up, std::move(req));
+      } catch (const FluxException&) {
+        settled = true;
+      }
+    }
+  }
 
   ObjPtr obj;
-  if (resp.errnum == 0 && resp.data) {
+  if (!settled && resp.errnum == 0 && resp.data) {
     obj = parse_object(*resp.data);
     if (obj && obj->id != ref) {
       log::error("kvs", "fault integrity failure for ", ref.short_hex());
@@ -441,23 +865,29 @@ void KvsModule::op_fault(Message& msg) {
     respond_error(msg, Errc::Inval, "fault: bad ref");
     return;
   }
+  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  const bool authoritative =
+      shard < 0 ? is_master()
+                : is_shard_master(static_cast<std::uint32_t>(shard));
   // Fast path: local hit.
-  ObjPtr obj = is_master() ? store_.get(*ref) : cache_.get(*ref, epoch_);
+  ObjPtr obj = authoritative ? store_.get(*ref) : cache_.get(*ref, epoch_);
   if (obj) {
+    if (authoritative && shard >= 0 && shard_faults_served_)
+      shard_faults_served_->inc();
     Message resp = msg.respond();
     resp.data = object_frame(obj);
     broker().respond(std::move(resp));
     return;
   }
-  if (is_master()) {
+  if (authoritative) {
     respond_error(msg, Errc::NoEnt, "fault: unknown object " + ref->short_hex());
     return;
   }
   // Slow path: fault it in from our own parent, then serve.
   co_spawn(
       broker().executor(),
-      [](KvsModule* self, Message req, Sha1 id) -> Task<void> {
-        ObjPtr found = co_await self->lookup_object(id);
+      [](KvsModule* self, Message req, Sha1 id, int s) -> Task<void> {
+        ObjPtr found = co_await self->lookup_object(id, s);
         if (!found) {
           self->respond_error(req, Errc::NoEnt,
                               "fault: unknown object " + id.short_hex());
@@ -466,7 +896,7 @@ void KvsModule::op_fault(Message& msg) {
         Message resp = req.respond();
         resp.data = object_frame(found);
         self->broker().respond(std::move(resp));
-      }(this, std::move(msg), *ref),
+      }(this, std::move(msg), *ref, static_cast<int>(shard)),
       "kvs.fault");
 }
 
@@ -481,18 +911,87 @@ void KvsModule::op_lookup_ref(Message& msg) {
            "kvs.lookup_ref");
 }
 
-Task<void> KvsModule::do_get(Message req, bool ref_only) {
-  if (root_version_ == 0) co_await version_reached(1);
+Task<void> KvsModule::do_get_root_sharded(Message req, bool ref_only,
+                                          bool want_dir) {
+  if (ref_only) {
+    // The scalar root mirror is shard 0's root (as is the "rootref" every
+    // commit/fence response reports).
+    if (shard_versions_[0] == 0) {
+      try {
+        co_await shard_ready(0);
+      } catch (const FluxException&) {
+        respond_error(req, Errc::HostDown, "lookup_ref: shard 0 master down");
+        co_return;
+      }
+    }
+    respond_ok(req, Json::object({{"ref", shard_roots_[0].hex()}}));
+    co_return;
+  }
+  if (!want_dir) {
+    respond_error(req, Errc::IsDir, "get: '.' is a directory");
+    co_return;
+  }
+  // The logical root directory is the union of the shards' top levels.
+  std::set<std::string> merged;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    if (shard_dead_[s]) continue;
+    if (shard_versions_[s] == 0) {
+      try {
+        co_await shard_ready(s);
+      } catch (const FluxException&) {
+        continue;
+      }
+    }
+    ObjPtr dir = co_await lookup_object(shard_roots_[s], static_cast<int>(s));
+    if (!dir || !dir->is_dir()) continue;
+    for (const auto& [name, ref] : dir->entries()) merged.insert(name);
+  }
+  Json names = Json::array();
+  for (const std::string& name : merged) names.push_back(name);
+  respond_ok(req, Json::object({{"dir", true}, {"entries", std::move(names)}}));
+}
 
+Task<void> KvsModule::do_get(Message req, bool ref_only) {
   const std::string key = req.payload.get_string("key");
   const bool want_dir = req.payload.get_bool("dir", false);
   const auto path = split_key(key);
 
-  Sha1 cur = root_ref_;
+  int shard = -1;
+  Sha1 cur;
+  if (sharded()) {
+    if (path.empty()) {
+      co_await do_get_root_sharded(std::move(req), ref_only, want_dir);
+      co_return;
+    }
+    const std::uint32_t s = shard_map_.shard_of(path[0]);
+    shard = static_cast<int>(s);
+    if (shard_dead_[s]) {
+      respond_error(req, Errc::HostDown,
+                    "get: master of shard " + std::to_string(s) + " is down");
+      co_return;
+    }
+    if (shard_versions_[s] == 0) {
+      try {
+        co_await shard_ready(s);
+      } catch (const FluxException&) {
+        respond_error(req, Errc::HostDown,
+                      "get: master of shard " + std::to_string(s) + " is down");
+        co_return;
+      }
+    }
+    cur = shard_roots_[s];
+  } else {
+    if (root_version_ == 0) co_await version_reached(1);
+    cur = root_ref_;
+  }
+
   for (const std::string& component : path) {
-    ObjPtr dir = co_await lookup_object(cur);
+    ObjPtr dir = co_await lookup_object(cur, shard);
     if (!dir) {
-      respond_error(req, Errc::NoEnt, "get: dangling ref on path of " + key);
+      if (shard >= 0 && shard_dead_[static_cast<std::uint32_t>(shard)])
+        respond_error(req, Errc::HostDown, "get: shard master died");
+      else
+        respond_error(req, Errc::NoEnt, "get: dangling ref on path of " + key);
       co_return;
     }
     if (!dir->is_dir()) {
@@ -518,9 +1017,12 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     co_return;
   }
 
-  ObjPtr obj = co_await lookup_object(cur);
+  ObjPtr obj = co_await lookup_object(cur, shard);
   if (!obj) {
-    respond_error(req, Errc::NoEnt, "get: dangling terminal ref for " + key);
+    if (shard >= 0 && shard_dead_[static_cast<std::uint32_t>(shard)])
+      respond_error(req, Errc::HostDown, "get: shard master died");
+    else
+      respond_error(req, Errc::NoEnt, "get: dangling terminal ref for " + key);
     co_return;
   }
   if (obj->is_dir()) {
@@ -547,8 +1049,15 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
 // ---------------------------------------------------------------------------
 
 void KvsModule::op_get_version(Message& msg) {
-  respond_ok(msg, Json::object({{"version", root_version_},
-                                {"rootref", root_ref_.hex()}}));
+  Json out = Json::object({{"version", root_version_},
+                           {"rootref", root_ref_.hex()}});
+  if (sharded()) {
+    Json vv = Json::array();
+    for (const std::uint64_t v : shard_versions_)
+      vv.push_back(static_cast<std::int64_t>(v));
+    out["vv"] = std::move(vv);
+  }
+  respond_ok(msg, std::move(out));
 }
 
 void KvsModule::op_wait_version(Message& msg) {
@@ -568,8 +1077,7 @@ void KvsModule::op_wait_version(Message& msg) {
 }
 
 void KvsModule::op_stats(Message& msg) {
-  respond_ok(
-      msg,
+  Json out =
       Json::object({{"rank", broker().rank()},
                     {"master", is_master()},
                     {"version", root_version_},
@@ -586,7 +1094,17 @@ void KvsModule::op_stats(Message& msg) {
                     {"fences", ops_.fences},
                     {"faults_issued", ops_.faults_issued},
                     {"faults_served", ops_.faults_served},
-                    {"flushes_forwarded", ops_.flushes_forwarded}}));
+                    {"flushes_forwarded", ops_.flushes_forwarded}});
+  if (sharded()) {
+    out["shards"] = static_cast<std::int64_t>(shards_);
+    out["shard_master"] = my_shard_.has_value();
+    if (my_shard_) out["shard"] = static_cast<std::int64_t>(*my_shard_);
+    Json vv = Json::array();
+    for (const std::uint64_t v : shard_versions_)
+      vv.push_back(static_cast<std::int64_t>(v));
+    out["vv"] = std::move(vv);
+  }
+  respond_ok(msg, std::move(out));
 }
 
 void KvsModule::op_drop_cache(Message& msg) {

@@ -1,12 +1,13 @@
-// The kvs comms module (paper §IV-B).
+// The kvs comms module (paper §IV-B), with optional sharded masters (§VII).
 //
-// One instance runs inside each broker where the module is loaded. The
-// instance on the session root is the *master*: it holds the authoritative
-// content store, applies transactions, and publishes new root references as
-// "kvs.setroot" events. Every other instance is a *slave cache*: it resolves
-// gets against its local object cache, faulting missing objects from its
-// CMB-tree parent "recursively up the tree until the request can be
-// fulfilled", and switches roots in version order when setroot events arrive.
+// One instance runs inside each broker where the module is loaded. In the
+// default single-master layout the instance on the session root is the
+// *master*: it holds the authoritative content store, applies transactions,
+// and publishes new root references as "kvs.setroot" events. Every other
+// instance is a *slave cache*: it resolves gets against its local object
+// cache, faulting missing objects from its CMB-tree parent "recursively up
+// the tree until the request can be fulfilled", and switches roots in version
+// order when setroot events arrive.
 //
 // Consistency (Vogels' taxonomy, as claimed by the paper):
 //  - monotonic reads: setroot events are globally sequenced and applied in
@@ -16,16 +17,47 @@
 //  - causal: get_version/wait_version let one process pass a version to
 //    another, which waits for it before reading.
 //
+// Sharded masters (module config {"shards": k}, the §VII "distributed KVS
+// master" built for real):
+//  - The namespace is hash-partitioned by top-level directory across k
+//    master brokers in ONE session; a deterministic ShardMap (rendezvous
+//    hashing, shard_map.hpp) lets every broker compute a key's owner
+//    locally. master_rank(s) = s*size/k, so shard 0 stays on the session
+//    root and k=1 degenerates to the classic layout bit-for-bit.
+//  - Each shard owns a full hash tree (own root ref + version) and its own
+//    logical reduction tree over all ranks, rooted at its master. Fence
+//    flushes and object faults for shard s climb that tree over *direct*
+//    transport edges (Broker::forward_direct / direct_rpc), so shard traffic
+//    never serializes through the session root — the whole point of §VII.
+//  - Every fence/commit contribution is split into k per-shard parts (empty
+//    parts still carry their participant count), each shard master applies
+//    at nprocs independently and publishes "kvs.setroot.<s>"; a
+//    ShardCoordinator on the session root fuses the per-shard completions
+//    into one "kvs.fence.done" event carrying the full version vector, which
+//    completes fence waiters everywhere — collective-commit semantics, plus
+//    cross-shard visibility: a completed fence's writes are readable on
+//    every shard.
+//  - Consistency becomes per-shard: each shard's roots apply in that shard's
+//    version order (monotonic reads per shard); the scalar version reported
+//    to clients is the sum of the vector (monotonic, and equal to the legacy
+//    scalar at k=1), with the vector itself alongside as "vv".
+//  - A dead shard master ("live.down") fails fast: in-flight direct RPCs to
+//    it settle EHOSTDOWN, pending fences fuse as failed, new operations on
+//    its shard are refused, and the other shards keep serving. Re-mastering
+//    a shard is future work, as §VII's full design is in the paper.
+//
 // Client-visible operations (via kvs_client.hpp):
 //   put, unlink, mkdir, get, lookup_ref, commit, fence, get_version,
 //   wait_version, stats, drop_cache
-// Internal (module-to-module on the tree plane):
-//   flush (aggregated dirty state heading to the master), fault (object
-//   fetch from the parent cache).
+// Internal (module-to-module):
+//   flush (aggregated dirty state heading to a master), fault (object fetch
+//   from the per-shard tree parent), shard_done (master -> coordinator).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,12 +68,16 @@
 #include "exec/task.hpp"
 #include "kvs/content_store.hpp"
 #include "kvs/object_bundle.hpp"
+#include "kvs/shard_map.hpp"
 
 namespace flux {
+
+class ShardCoordinator;
 
 class KvsModule final : public ModuleBase {
  public:
   explicit KvsModule(Broker& broker);
+  ~KvsModule() override;
 
   [[nodiscard]] std::string_view name() const override { return "kvs"; }
   void start() override;
@@ -49,6 +85,15 @@ class KvsModule final : public ModuleBase {
 
   /// True on the session root (authoritative store lives here).
   [[nodiscard]] bool is_master() const noexcept;
+
+  /// Sharded-master mode (module config {"shards": k>1}).
+  [[nodiscard]] bool sharded() const noexcept { return shards_ > 1; }
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+  [[nodiscard]] const ShardMap& shard_map() const noexcept { return shard_map_; }
+  /// The shard this broker masters, if any.
+  [[nodiscard]] std::optional<std::uint32_t> my_shard() const noexcept {
+    return my_shard_;
+  }
 
   struct OpStats {
     std::uint64_t puts = 0;
@@ -66,6 +111,9 @@ class KvsModule final : public ModuleBase {
   [[nodiscard]] const ObjectCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const ContentStore& store() const noexcept { return store_; }
   [[nodiscard]] const OpStats& op_stats() const noexcept { return ops_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& shard_versions() const noexcept {
+    return shard_versions_;
+  }
 
  private:
   // -- request handlers -------------------------------------------------------
@@ -81,6 +129,7 @@ class KvsModule final : public ModuleBase {
   void op_fence(Message& msg);
   void op_flush(Message& msg);
   void op_fault(Message& msg);
+  void op_shard_done(Message& msg);
   void op_stats(Message& msg);
   void op_drop_cache(Message& msg);
 
@@ -94,6 +143,9 @@ class KvsModule final : public ModuleBase {
   static TxnKey txn_key(const Message& msg);
   /// Record one dirty object + tuple under the caller's transaction.
   void record(Message& msg, std::string key, ObjPtr obj);
+  /// Claim the caller's transaction (payload ops + bundle + staged RPC ops);
+  /// returns nullopt after responding with an error on malformed input.
+  std::optional<Txn> claim_txn(Message& msg);
 
   struct FenceState {
     std::int64_t nprocs = 0;
@@ -130,8 +182,61 @@ class KvsModule final : public ModuleBase {
   void apply_root(const Sha1& ref, std::uint64_t version,
                   const std::vector<std::string>& fences);
 
-  /// Local-or-fault object lookup (coalesces concurrent faults).
-  Task<ObjPtr> lookup_object(Sha1 ref);
+  // -- sharded-master machinery ------------------------------------------------
+  /// Per-(fence, shard) aggregation state on this broker.
+  struct ShardPart {
+    std::int64_t pending_count = 0;
+    std::vector<Tuple> pending_tuples;
+    std::vector<ObjPtr> pending_objects;
+    std::unordered_set<Sha1> forwarded_ids;
+    bool flush_scheduled = false;
+    // Tuples were routed to this shard through this broker; if the shard's
+    // master then dies mid-fence, local waiters must see an error even when
+    // the coordinator salvages the live shards.
+    bool touched = false;
+    // Shard master only.
+    std::int64_t total_count = 0;
+    std::vector<Tuple> total_tuples;
+    bool applied = false;
+  };
+  struct ShardedFence {
+    std::int64_t nprocs = 0;
+    std::vector<ShardPart> parts;  // one per shard
+    std::vector<Message> waiters;
+    std::vector<Sha1> pins;
+  };
+
+  [[nodiscard]] bool is_shard_master(std::uint32_t shard) const noexcept {
+    return my_shard_ && *my_shard_ == shard;
+  }
+  void op_fence_sharded(Message& msg, const std::string& name,
+                        std::int64_t nprocs, Txn txn);
+  void shard_fence_add(const std::string& name, std::uint32_t shard,
+                       std::int64_t nprocs, std::int64_t count,
+                       std::vector<Tuple> tuples,
+                       const std::vector<ObjPtr>& objects);
+  void flush_shard_fence(const std::string& name, std::uint32_t shard);
+  void shard_master_apply(const std::string& name, std::uint32_t shard);
+  void on_shard_setroot(const Message& msg);
+  void on_fence_done(const Message& msg);
+  void on_live_down(const Message& msg);
+  /// Recompute the scalar mirror (root_version_ = sum of shard versions,
+  /// root_ref_ = shard 0's root) and complete waiters it unblocks.
+  void refresh_scalar_root();
+  /// Resolves once shard `shard` has a root (version >= 1).
+  Future<std::uint64_t> shard_ready(std::uint32_t shard);
+  /// Next hop toward shard `shard`'s master, climbing over dead interior
+  /// ranks (the shard-tree analogue of the session tree's self-healing).
+  /// nullopt at the master or when the whole chain above is dead.
+  [[nodiscard]] std::optional<NodeId> shard_parent_live(std::uint32_t shard,
+                                                        NodeId rank) const;
+  /// Merged top-level listing / root ref (sharded root-directory get).
+  Task<void> do_get_root_sharded(Message req, bool ref_only, bool want_dir);
+
+  /// Local-or-fault object lookup (coalesces concurrent faults). With a
+  /// non-negative shard, faults climb that shard's tree over direct edges;
+  /// otherwise the legacy session tree.
+  Task<ObjPtr> lookup_object(Sha1 ref, int shard = -1);
 
   /// Async get walk; responds to `req` when done.
   Task<void> do_get(Message req, bool ref_only);
@@ -143,8 +248,8 @@ class KvsModule final : public ModuleBase {
 
   // -- state -------------------------------------------------------------------
   Sha1 root_ref_{};
-  std::uint64_t root_version_ = 0;  // 0 == no root yet
-  ContentStore store_;              // master only
+  std::uint64_t root_version_ = 0;  // 0 == no root yet (sharded: sum of vv)
+  ContentStore store_;              // master / shard master only
   ObjectCache cache_;               // slaves (and master's put staging)
   std::uint64_t epoch_ = 0;
   std::uint64_t expiry_epochs_ = 0;  // 0 == expiry disabled
@@ -154,6 +259,22 @@ class KvsModule final : public ModuleBase {
   std::map<std::string, FenceState> fences_;
   std::unordered_map<Sha1, Promise<ObjPtr>> faults_;
   std::vector<std::pair<std::uint64_t, Promise<std::uint64_t>>> version_waiters_;
+
+  // Sharded-master state (inert when shards_ == 1).
+  std::uint32_t shards_ = 1;
+  ShardMap shard_map_;
+  std::optional<std::uint32_t> my_shard_;
+  std::vector<Sha1> shard_roots_;
+  std::vector<std::uint64_t> shard_versions_;
+  std::vector<bool> shard_dead_;       // indexed by shard (master died)
+  std::unordered_set<NodeId> dead_ranks_;  // every dead rank (tree healing)
+  std::map<std::string, ShardedFence> sharded_fences_;
+  std::vector<std::pair<std::uint32_t, Promise<std::uint64_t>>> shard_ready_waiters_;
+  std::unique_ptr<ShardCoordinator> coord_;  // session root only
+  // Per-shard instruments (shard master only; named kvs.shard.<s>.*).
+  obs::Counter* shard_commits_ = nullptr;
+  obs::Counter* shard_faults_served_ = nullptr;
+  obs::Histogram* shard_apply_ns_ = nullptr;
 
   OpStats ops_;
 };

@@ -1,0 +1,78 @@
+#include "kvs/shard_coordinator.hpp"
+
+#include "broker/broker.hpp"
+
+namespace flux {
+
+ShardCoordinator::ShardCoordinator(Broker& broker, std::uint32_t shards)
+    : broker_(broker),
+      shards_(shards),
+      shard_dead_(shards, false),
+      versions_(shards, 0),
+      roots_(shards) {}
+
+std::uint32_t ShardCoordinator::live_shards() const noexcept {
+  std::uint32_t n = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s)
+    if (!shard_dead_[s]) ++n;
+  return n;
+}
+
+void ShardCoordinator::shard_done(const std::string& name, std::uint32_t shard,
+                                  std::uint64_t version, const Sha1& rootref) {
+  if (shard >= shards_) return;
+  if (version > versions_[shard]) {
+    versions_[shard] = version;
+    roots_[shard] = rootref;
+  }
+  Pending& p = pending_[name];
+  if (p.reported.empty()) p.reported.assign(shards_, false);
+  if (!p.reported[shard]) {
+    p.reported[shard] = true;
+    ++p.n_reported;
+  }
+  maybe_fuse(name, p);
+}
+
+void ShardCoordinator::shard_failed(std::uint32_t shard) {
+  if (shard >= shards_ || shard_dead_[shard]) return;
+  shard_dead_[shard] = true;
+  // Everything in flight right now lost its part on the dead shard; fences
+  // no longer waiting on anything alive fuse (as failed) right away.
+  // Iterate over a name snapshot: maybe_fuse erases completed entries.
+  std::vector<std::string> names;
+  names.reserve(pending_.size());
+  for (auto& [name, p] : pending_) {
+    p.tainted = true;
+    names.push_back(name);
+  }
+  for (const std::string& name : names) {
+    auto it = pending_.find(name);
+    if (it != pending_.end()) maybe_fuse(name, it->second);
+  }
+}
+
+void ShardCoordinator::maybe_fuse(const std::string& name, Pending& p) {
+  std::uint32_t live_reported = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s)
+    if (!shard_dead_[s] && p.reported[s]) ++live_reported;
+  if (live_reported < live_shards()) return;
+
+  const bool failed = p.tainted;
+
+  Json vv = Json::array();
+  Json rootrefs = Json::array();
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    vv.push_back(static_cast<std::int64_t>(versions_[s]));
+    rootrefs.push_back(roots_[s].hex());
+  }
+  pending_.erase(name);
+  ++fences_fused_;
+  broker_.publish("kvs.fence.done",
+                  Json::object({{"name", name},
+                                {"vv", std::move(vv)},
+                                {"rootrefs", std::move(rootrefs)},
+                                {"failed", failed}}));
+}
+
+}  // namespace flux

@@ -1,0 +1,81 @@
+#include "kvs/shard_map.hpp"
+
+#include <algorithm>
+
+namespace flux {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit avalanche.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string_view top_component(std::string_view key) noexcept {
+  const auto dot = key.find('.');
+  return dot == std::string_view::npos ? key : key.substr(0, dot);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::uint32_t size, std::uint32_t shards,
+                   std::uint32_t arity)
+    : size_(std::max(1u, size)),
+      shards_(std::clamp(shards, 1u, std::max(1u, size))),
+      arity_(std::max(1u, arity)) {}
+
+std::uint32_t ShardMap::shard_of(std::string_view key) const noexcept {
+  if (shards_ == 1) return 0;
+  // Rendezvous hashing: the shard with the highest (dir, shard) score wins.
+  // Scores for one directory never depend on any other key.
+  const std::uint64_t dir_hash = fnv1a(top_component(key));
+  std::uint32_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    const std::uint64_t score = mix64(dir_hash ^ mix64(s));
+    if (s == 0 || score > best_score) {
+      best = s;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+NodeId ShardMap::master_rank(std::uint32_t shard) const noexcept {
+  // Evenly spread; shard 0 on the session root so shards=1 is the paper's
+  // single-master layout.
+  return static_cast<NodeId>(
+      (static_cast<std::uint64_t>(shard) * size_) / shards_);
+}
+
+std::optional<std::uint32_t> ShardMap::shard_of_master(
+    NodeId rank) const noexcept {
+  for (std::uint32_t s = 0; s < shards_; ++s)
+    if (master_rank(s) == rank) return s;
+  return std::nullopt;
+}
+
+std::optional<NodeId> ShardMap::parent(std::uint32_t shard,
+                                       NodeId rank) const noexcept {
+  const NodeId m = master_rank(shard);
+  if (rank == m) return std::nullopt;
+  // Heap-shaped tree relabeled so the master is logical rank 0. For shard 0
+  // (m == 0) this reduces to the session tree's parent = (rank-1)/arity.
+  const std::uint32_t lid = (rank + size_ - m) % size_;
+  const std::uint32_t parent_lid = (lid - 1) / arity_;
+  return static_cast<NodeId>((parent_lid + m) % size_);
+}
+
+}  // namespace flux

@@ -1,0 +1,67 @@
+// Deterministic namespace partition for sharded KVS masters (paper §VII).
+//
+// The paper leaves "distributing the KVS master itself" as future work; this
+// map is the routing half of that design. The namespace is partitioned by
+// *top-level directory*: every key under "jobs.*" lives on one shard, chosen
+// by rendezvous (highest-random-weight) hashing of the first path component.
+// Rendezvous hashing gives the two invariants the subsystem leans on:
+//
+//  - every key maps to exactly one shard, as a pure function of the key and
+//    the shard count — no routing tables, any broker computes it locally;
+//  - the mapping of one directory is independent of any other key, so
+//    commits touching disjoint directories never contend on shard choice.
+//
+// Each shard's master broker is spread across the session
+// (master_rank(s) = s * size / shards; shard 0 stays on the session root so a
+// one-shard map degenerates to the paper's single-master layout). Every shard
+// also gets its own logical reduction tree over *all* ranks, rooted at its
+// master: the ordinary heap-shaped tree relabeled so the master is rank 0 of
+// the relabeling. Shard 0's tree is therefore exactly the session tree, and
+// flush/fault traffic for shard s climbs toward master s with the same
+// log-depth hop count the single-master design has toward the root.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "msg/message.hpp"
+
+namespace flux {
+
+class ShardMap {
+ public:
+  /// Identity map: one shard, mastered by the session root.
+  ShardMap() = default;
+
+  /// Partition a session of `size` ranks into `shards` shards (clamped to
+  /// [1, size]); `arity` shapes the per-shard reduction trees.
+  ShardMap(std::uint32_t size, std::uint32_t shards, std::uint32_t arity);
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+
+  /// Owning shard of `key` ("a.b.c" hashes on "a"). Pure function of the
+  /// top-level component and the shard count.
+  [[nodiscard]] std::uint32_t shard_of(std::string_view key) const noexcept;
+
+  /// Master broker rank for a shard. master_rank(0) == 0 (the session root).
+  [[nodiscard]] NodeId master_rank(std::uint32_t shard) const noexcept;
+
+  /// The shard `rank` masters, if any.
+  [[nodiscard]] std::optional<std::uint32_t> shard_of_master(
+      NodeId rank) const noexcept;
+
+  /// Parent of `rank` in shard `shard`'s reduction tree; nullopt at the
+  /// shard's master (that tree's root). For shard 0 this is exactly the
+  /// session tree's parent relation.
+  [[nodiscard]] std::optional<NodeId> parent(std::uint32_t shard,
+                                             NodeId rank) const noexcept;
+
+ private:
+  std::uint32_t size_ = 1;
+  std::uint32_t shards_ = 1;
+  std::uint32_t arity_ = 2;
+};
+
+}  // namespace flux

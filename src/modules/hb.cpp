@@ -19,14 +19,16 @@ void Heartbeat::start() {
   if (broker().is_root()) arm();
 }
 
-void Heartbeat::shutdown() { stopped_ = true; }
+void Heartbeat::shutdown() {
+  stopped_.store(true, std::memory_order_release);
+}
 
 void Heartbeat::arm() {
   broker().executor().post_daemon_after(period_, [this] { tick(); });
 }
 
 void Heartbeat::tick() {
-  if (stopped_ || broker().failed()) return;
+  if (stopped_.load(std::memory_order_acquire) || broker().failed()) return;
   broker().publish("hb", Json::object({{"epoch", ++epoch_}}));
   arm();
 }

@@ -8,6 +8,8 @@
 // noise-reduction design.
 #pragma once
 
+#include <atomic>
+
 #include "broker/module.hpp"
 #include "exec/executor.hpp"
 
@@ -31,7 +33,9 @@ class Heartbeat final : public ModuleBase {
 
   Duration period_{std::chrono::milliseconds(1)};
   std::uint64_t epoch_ = 0;
-  bool stopped_ = false;
+  // Set by shutdown(), which threaded sessions call from the owning
+  // thread while the reactor may still be ticking.
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace flux::modules

@@ -155,7 +155,7 @@ Expected<Message> decode(std::span<const std::uint8_t> wire) {
   for (std::uint16_t i = 0; i < route_len; ++i) {
     RouteHop hop;
     std::uint8_t kind = 0;
-    if (!rd.u8(kind) || kind > 2) return proto_error("bad route hop");
+    if (!rd.u8(kind) || kind > 3) return proto_error("bad route hop");
     hop.kind = static_cast<RouteHop::Kind>(kind);
     if (!rd.u32(hop.rank) || !rd.u64(hop.id))
       return proto_error("truncated route hop");

@@ -80,9 +80,13 @@ struct TraceHop {
 std::string_view trace_plane_name(TraceHop::Plane p) noexcept;
 
 /// One hop of a request's return path. Client endpoints and comules (module
-/// endpoints) are disambiguated from broker ranks by the kind tag.
+/// endpoints) are disambiguated from broker ranks by the kind tag. Direct is
+/// a module endpoint whose response returns over a direct transport link
+/// instead of retracing the tree or riding the ring — the sharded-KVS
+/// overlay (shard_map.hpp) uses it so per-shard trees bypass the session
+/// root.
 struct RouteHop {
-  enum class Kind : std::uint8_t { Broker = 0, Client = 1, Module = 2 };
+  enum class Kind : std::uint8_t { Broker = 0, Client = 1, Module = 2, Direct = 3 };
   Kind kind = Kind::Broker;
   NodeId rank = 0;        ///< broker rank the endpoint lives on
   std::uint64_t id = 0;   ///< client handle id / module endpoint id (0 for Broker)

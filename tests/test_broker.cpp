@@ -46,7 +46,7 @@ TEST(Broker, PingUnknownRankFails) {
 TEST(Broker, CmbInfo) {
   SimSession s(SimSession::default_config(8));
   auto h = s.attach(6);
-  Message resp = s.run(h->rpc_check("cmb.info"));
+  Message resp = s.run(h->request("cmb.info").call());
   EXPECT_EQ(resp.payload.get_int("rank"), 6);
   EXPECT_EQ(resp.payload.get_int("size"), 8);
   EXPECT_EQ(resp.payload.get_int("depth"), 2);
@@ -56,7 +56,7 @@ TEST(Broker, CmbInfo) {
 TEST(Broker, CmbLsmodListsTableOneModules) {
   SimSession s;
   auto h = s.attach(0);
-  Message resp = s.run(h->rpc_check("cmb.lsmod"));
+  Message resp = s.run(h->request("cmb.lsmod").call());
   std::set<std::string> mods;
   for (const Json& m : resp.payload.at("modules").as_array())
     mods.insert(m.as_string());
@@ -69,7 +69,7 @@ TEST(Broker, UnmatchedServiceGetsEnosysFromRoot) {
   SimSession s(SimSession::default_config(8));
   auto h = s.attach(7);
   Message resp = s.run([](Handle* hd) -> Task<Message> {
-    Message r = co_await hd->rpc("nosuch.service");
+    Message r = co_await hd->request("nosuch.service").send();
     co_return r;
   }(h.get()));
   EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));
@@ -79,7 +79,7 @@ TEST(Broker, UnknownMethodGetsEnosysFromModule) {
   SimSession s;
   auto h = s.attach(0);
   Message resp = s.run([](Handle* hd) -> Task<Message> {
-    Message r = co_await hd->rpc("kvs.frobnicate");
+    Message r = co_await hd->request("kvs.frobnicate").send();
     co_return r;
   }(h.get()));
   EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));

@@ -80,7 +80,7 @@ TEST(Failure, ResvcTakesDeadNodeOutOfThePool) {
   s.session().fail(5);
   s.settle(std::chrono::milliseconds(3));
   auto h = s.attach(0);
-  Message st = s.run(h->rpc_check("resvc.status"));
+  Message st = s.run(h->request("resvc.status").call());
   EXPECT_EQ(st.payload.get_int("down"), 1);
   EXPECT_EQ(st.payload.get_int("free"), 7);
   // The KVS enumeration reflects the death.
@@ -146,6 +146,170 @@ TEST(Failure, PendingRpcOnFailedBrokerSettles) {
   s.session().fail(3);
   s.ex().run();
   EXPECT_EQ(seen, Errc::HostDown);
+}
+
+
+// ---------------------------------------------------------------------------
+// Sharded KVS masters under failure (paper §VII)
+// ---------------------------------------------------------------------------
+
+SessionConfig sharded_failure_config(std::uint32_t size, std::uint32_t shards) {
+  SessionConfig cfg = failure_config(size);
+  Json mc = cfg.module_config;
+  mc["kvs"] = Json::object({{"shards", static_cast<std::int64_t>(shards)}});
+  cfg.module_config = std::move(mc);
+  return cfg;
+}
+
+TEST(Failure, ShardMasterDeathHealsAndOtherShardsKeepServing) {
+  // size 8, shards 4: masters at ranks 0, 2, 4, 6. Rank 2 is interior
+  // (children 5, 6) and masters a non-root shard.
+  SimSession s(sharded_failure_config(8, 4));
+  auto h = s.attach(7);
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(7).find_module("kvs"));
+  ASSERT_NE(leaf, nullptr);
+  const ShardMap& map = leaf->shard_map();
+  const std::uint32_t dead_shard = *map.shard_of_master(2);
+
+  // Find keys per shard, commit one to every shard pre-death.
+  std::vector<std::string> key_on(4);
+  for (int i = 0; key_on[0].empty() || key_on[1].empty() ||
+                  key_on[2].empty() || key_on[3].empty();
+       ++i)
+    key_on[map.shard_of("d" + std::to_string(i))] = "d" + std::to_string(i);
+  s.run([](Handle* hd, const std::vector<std::string>* keys) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (const std::string& k : *keys) co_await kvs.put(k + ".v", k);
+    co_await kvs.commit();
+  }(h.get(), &key_on));
+
+  s.session().fail(2);
+  s.settle(std::chrono::milliseconds(2));  // detection + heal + live.down
+
+  // Topology healed around the dead broker everywhere.
+  for (NodeId r : {0u, 1u, 5u, 6u, 7u}) {
+    const Topology& topo = s.session().broker(r).topology();
+    EXPECT_EQ(*topo.parent(5), 0u) << "rank " << r;
+    EXPECT_EQ(*topo.parent(6), 0u) << "rank " << r;
+  }
+
+  s.run([](Handle* hd, const std::vector<std::string>* keys,
+           std::uint32_t dead) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (std::uint32_t sh = 0; sh < 4; ++sh) {
+      const std::string key = (*keys)[sh] + ".v";
+      if (sh == dead) {
+        // The dead shard's data is gone; reads fail fast with EHOSTDOWN.
+        try {
+          (void)co_await kvs.get(key);
+          throw FluxException(Error(Errc::Proto, "read of dead shard passed"));
+        } catch (const FluxException& e) {
+          if (e.error().code != Errc::HostDown) throw;
+        }
+      } else {
+        // Live shards keep serving reads...
+        Json v = co_await kvs.get(key);
+        if (v != Json((*keys)[sh]))
+          throw FluxException(Error(Errc::Proto, "live shard lost data"));
+        // ...and writes.
+        co_await kvs.put(key, "rewritten");
+        auto r = co_await kvs.commit();
+        if (r.vv.size() != 4)
+          throw FluxException(Error(Errc::Proto, "no vv after death"));
+        Json w = co_await kvs.get(key);
+        if (w != Json("rewritten"))
+          throw FluxException(Error(Errc::Proto, "post-death write lost"));
+      }
+    }
+    // Writes destined to the dead shard are refused, not hung.
+    try {
+      co_await kvs.put((*keys)[dead] + ".w", 1);
+      co_await kvs.commit();
+      throw FluxException(Error(Errc::Proto, "write to dead shard passed"));
+    } catch (const FluxException& e) {
+      if (e.error().code != Errc::HostDown) throw;
+    }
+  }(h.get(), &key_on, dead_shard));
+}
+
+TEST(Failure, ShardMasterDeathSettlesInFlightFence) {
+  SimSession s(sharded_failure_config(8, 4));
+  s.settle(std::chrono::milliseconds(1));
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(7).find_module("kvs"));
+  const ShardMap& map = leaf->shard_map();
+  // A key owned by rank 2's shard.
+  std::string key;
+  for (int i = 0;; ++i) {
+    key = "f" + std::to_string(i);
+    if (map.master_rank(map.shard_of(key)) == 2) break;
+  }
+
+  auto h = s.attach(7);
+  std::optional<Errc> seen;
+  int done = 0;
+  co_spawn(s.ex(),
+           [](Handle* hd, std::string k, std::optional<Errc>* out,
+              int* d) -> Task<void> {
+             KvsClient kvs(*hd);
+             co_await kvs.put(k + ".v", 1);
+             try {
+               // nprocs=2 with one participant: still pending at death.
+               co_await kvs.fence("doomed", 2);
+             } catch (const FluxException& e) {
+               *out = e.error().code;
+             }
+             ++*d;
+           }(h.get(), key, &seen, &done),
+           "doomed-fencer");
+  s.settle(std::chrono::milliseconds(1));  // contribution reaches masters
+  EXPECT_EQ(done, 0);                      // fence pending (1 of 2)
+
+  s.session().fail(2);
+  s.settle(std::chrono::milliseconds(3));
+
+  // The second participant arrives after the death; the fence settles with
+  // an error at the writer whose tuples went to the dead shard.
+  auto h2 = s.attach(5);
+  int done2 = 0;
+  co_spawn(s.ex(),
+           [](Handle* hd, int* d) -> Task<void> {
+             KvsClient kvs(*hd);
+             try {
+               co_await kvs.fence("doomed", 2);
+             } catch (const FluxException&) {
+             }
+             ++*d;
+           }(h2.get(), &done2),
+           "second-fencer");
+  s.settle(std::chrono::milliseconds(3));
+  EXPECT_EQ(done, 1) << "fence waiter hung after shard master death";
+  EXPECT_EQ(done2, 1);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, Errc::HostDown);
+}
+
+TEST(Failure, DirectRpcToDeadBrokerSettles) {
+  // In-flight direct RPCs (the sharded overlay edges) settle with EHOSTDOWN
+  // when the target dies instead of hanging the coroutine.
+  SimSession s(sharded_failure_config(8, 4));
+  s.settle(std::chrono::milliseconds(1));
+  s.session().fail(2);
+  s.settle(std::chrono::milliseconds(3));
+  // Faulting an object of the dead shard from a rank whose per-shard parent
+  // IS the dead master exercises the settled-error path end to end.
+  auto h = s.attach(6);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    try {
+      (void)co_await kvs.get("anything.here");  // any key: walk needs roots
+      co_return;  // NoEnt/HostDown both acceptable shapes below
+    } catch (const FluxException& e) {
+      if (e.error().code != Errc::HostDown && e.error().code != Errc::NoEnt)
+        throw;
+    }
+  }(h.get()));
 }
 
 }  // namespace

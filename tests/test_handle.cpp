@@ -15,7 +15,7 @@ TEST(Handle, RpcCheckThrowsTypedErrors) {
   try {
     s.run([](Handle* hd) -> Task<void> {
       Json payload = Json::object({{"key", "missing.key"}});
-      (void)co_await hd->rpc_check("kvs.get", std::move(payload));
+      (void)co_await hd->request("kvs.get").payload(std::move(payload)).call();
     }(h.get()));
     FAIL() << "expected throw";
   } catch (const FluxException& e) {
@@ -30,7 +30,7 @@ TEST(Handle, RawRpcReturnsErrnumWithoutThrowing) {
   auto h = s.attach(1);
   Message resp = s.run([](Handle* hd) -> Task<Message> {
     Json payload = Json::object({{"key", "missing.key"}});
-    Message r = co_await hd->rpc("kvs.get", std::move(payload));
+    Message r = co_await hd->request("kvs.get").payload(std::move(payload)).send();
     co_return r;
   }(h.get()));
   EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoEnt));
@@ -115,7 +115,7 @@ TEST(Handle, ConcurrentRpcsMatchIndependently) {
     std::vector<Future<Message>> pending;
     for (int i = 0; i < 10; ++i) {
       Json payload = Json::object({{"key", "c.k" + std::to_string(i)}});
-      pending.push_back(hd->rpc("kvs.get", std::move(payload)));
+      pending.push_back(hd->request("kvs.get").payload(std::move(payload)).send());
     }
     for (int i = 0; i < 10; ++i) {
       Message resp = co_await pending[static_cast<std::size_t>(i)];

@@ -45,7 +45,7 @@ TEST(Integration, FullStackConcurrentWorkloads) {
                                  {"cmd", "hostname"},
                                  {"args", Json::object()},
                                  {"ranks", Json()}});
-    Message r = co_await h->rpc_check("wexec.run", std::move(payload));
+    Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
     if (!r.payload.get_bool("success"))
       throw FluxException(Error(Errc::Proto, "wexec failed"));
     ++*d;
@@ -62,7 +62,7 @@ TEST(Integration, FullStackConcurrentWorkloads) {
       Json rec = Json::object({{"level", 4},
                                {"component", "integration"},
                                {"text", "tick " + std::to_string(i)}});
-      co_await h->rpc_check("log.append", std::move(rec));
+      co_await h->request("log.append").payload(std::move(rec)).call();
       co_await h->sleep(std::chrono::microseconds(300));
     }
     ++*d;
@@ -179,7 +179,7 @@ TEST(Integration, WatchDrivenToolReactsToJobCompletion) {
                                  {"cmd", "hostname"},
                                  {"args", Json::object()},
                                  {"ranks", Json::array({0, 1})}});
-    co_await h->rpc_check("wexec.run", std::move(payload));
+    co_await h->request("wexec.run").payload(std::move(payload)).call();
   }(launcher.get()));
   s.ex().run();
   EXPECT_GE(wakes, 2);  // job stdio/exit commit changed the lwj dir

@@ -1,6 +1,7 @@
 // KVS: hash-tree semantics, commit/fence, faulting, watch, versions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "kvs/kvs_module.hpp"
@@ -439,7 +440,7 @@ TEST(Kvs, StatsReportShape) {
   SimSession s;
   auto h = s.attach(1);
   s.run(put_commit(h.get(), "stats.k", 5));
-  Message resp = s.run(h->rpc_check("kvs.stats"));
+  Message resp = s.run(h->request("kvs.stats").call());
   EXPECT_TRUE(resp.payload.contains("cache_objects"));
   EXPECT_GE(resp.payload.get_int("puts"), 1);
   EXPECT_FALSE(resp.payload.get_bool("master"));  // rank 1 is a slave
@@ -468,6 +469,182 @@ TEST(Kvs, CommitWithoutPutsStillAdvances) {
     if (r.version == 0)
       throw FluxException(Error(Errc::Proto, "no version returned"));
   }(h.get()));
+}
+
+
+// ---------------------------------------------------------------------------
+// Sharded masters (paper §VII, module config {"shards": k})
+// ---------------------------------------------------------------------------
+
+SessionConfig sharded_config(std::uint32_t size, std::uint32_t shards) {
+  SessionConfig cfg = SimSession::default_config(size);
+  cfg.module_config = Json::object(
+      {{"kvs",
+        Json::object({{"shards", static_cast<std::int64_t>(shards)}})}});
+  return cfg;
+}
+
+TEST(KvsSharded, CommitGetAcrossRanksAndShards) {
+  SimSession s(sharded_config(8, 4));
+  auto writer = s.attach(7);
+  CommitResult res = s.run([](Handle* h) -> Task<CommitResult> {
+    KvsClient kvs(*h);
+    // Distinct top-level directories scatter across the four shards.
+    for (int d = 0; d < 8; ++d)
+      co_await kvs.put("dir" + std::to_string(d) + ".k", d);
+    co_return co_await kvs.commit();
+  }(writer.get()));
+  ASSERT_EQ(res.vv.size(), 4u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : res.vv) sum += v;
+  EXPECT_EQ(res.version, sum);  // scalar version mirrors the vector
+
+  auto reader = s.attach(5);
+  s.run([](Handle* h) -> Task<void> {
+    KvsClient kvs(*h);
+    for (int d = 0; d < 8; ++d) {
+      Json v = co_await kvs.get("dir" + std::to_string(d) + ".k");
+      if (v != Json(d)) throw FluxException(Error(Errc::Proto, "bad value"));
+    }
+    // Root listing is the union of every shard's top level (plus what the
+    // resvc module publishes).
+    auto names = co_await kvs.list_dir(".");
+    for (int d = 0; d < 8; ++d) {
+      const std::string want = "dir" + std::to_string(d);
+      if (std::find(names.begin(), names.end(), want) == names.end())
+        throw FluxException(Error(Errc::Proto, "missing " + want));
+    }
+  }(reader.get()));
+}
+
+TEST(KvsSharded, TuplesLandOnOwningShardsOnly) {
+  SimSession s(sharded_config(8, 4));
+  auto h = s.attach(6);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    for (int d = 0; d < 12; ++d)
+      co_await kvs.put("t" + std::to_string(d) + ".v", d);
+    co_await kvs.commit();
+  }(h.get()));
+  auto* root =
+      dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+  ASSERT_NE(root, nullptr);
+  ASSERT_TRUE(root->sharded());
+  const ShardMap& map = root->shard_map();
+  // Each shard master's store holds exactly its own top-level dirs: its root
+  // object lists precisely the keys the ShardMap routes to it.
+  for (std::uint32_t sh = 0; sh < 4; ++sh) {
+    auto* master = dynamic_cast<KvsModule*>(
+        s.session().broker(map.master_rank(sh)).find_module("kvs"));
+    ASSERT_NE(master, nullptr);
+    ASSERT_EQ(master->my_shard(), std::optional<std::uint32_t>(sh));
+  }
+  std::set<std::uint32_t> owners;
+  for (int d = 0; d < 12; ++d)
+    owners.insert(map.shard_of("t" + std::to_string(d) + ".v"));
+  EXPECT_GT(owners.size(), 1u) << "12 dirs all hashed to one shard";
+}
+
+TEST(KvsSharded, FenceCrossShardVisibility) {
+  SimSession s(sharded_config(8, 4));
+  std::vector<std::unique_ptr<Handle>> handles;
+  std::vector<CommitResult> results(8);
+  int done = 0;
+  for (NodeId r = 0; r < 8; ++r) {
+    handles.push_back(s.attach(r));
+    co_spawn(
+        s.ex(),
+        [](Handle* h, NodeId rank, CommitResult* out, int* d) -> Task<void> {
+          KvsClient kvs(*h);
+          co_await kvs.put("sf" + std::to_string(rank) + ".val", rank);
+          *out = co_await kvs.fence("shard-fence", 8);
+          ++*d;
+        }(handles.back().get(), r, &results[r], &done),
+        "fencer");
+  }
+  s.ex().run();
+  ASSERT_EQ(done, 8);
+  for (NodeId r = 0; r < 8; ++r) ASSERT_EQ(results[r].vv.size(), 4u);
+  // The fused version vector is identical for every participant.
+  for (NodeId r = 1; r < 8; ++r) EXPECT_EQ(results[r].vv, results[0].vv);
+  // After the fence response, every rank sees EVERY shard's writes
+  // (read-your-writes + cross-shard fence visibility) without settling.
+  for (NodeId r = 0; r < 8; ++r) {
+    s.run([](Handle* h, NodeId rank) -> Task<void> {
+      KvsClient kvs(*h);
+      for (NodeId w = 0; w < 8; ++w) {
+        Json v = co_await kvs.get("sf" + std::to_string(w) + ".val");
+        if (v != Json(w))
+          throw FluxException(Error(Errc::Proto,
+                                    "rank " + std::to_string(rank) +
+                                        " missed write " + std::to_string(w)));
+      }
+    }(handles[r].get(), r));
+  }
+}
+
+TEST(KvsSharded, PerShardMonotonicReads) {
+  SimSession s(sharded_config(8, 4));
+  auto writer = s.attach(3);
+  // Commit the same shard repeatedly; every observer's view of that shard
+  // must move through versions in order (never backwards).
+  std::vector<std::uint64_t> seen;
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(6).find_module("kvs"));
+  ASSERT_NE(leaf, nullptr);
+  const std::uint32_t shard = leaf->shard_map().shard_of("mono.k");
+  for (int i = 0; i < 5; ++i) {
+    s.run([](Handle* h, int val) -> Task<void> {
+      KvsClient kvs(*h);
+      co_await kvs.put("mono.k", val);
+      co_await kvs.commit();
+    }(writer.get(), i));
+    s.settle(std::chrono::microseconds(500));
+    seen.push_back(leaf->shard_versions()[shard]);
+  }
+  for (std::size_t i = 1; i < seen.size(); ++i)
+    EXPECT_LE(seen[i - 1], seen[i]) << "shard version went backwards";
+  EXPECT_GE(seen.back(), 5u);  // bootstrap + 5 commits reached rank 6
+}
+
+TEST(KvsSharded, SingleShardConfigMatchesLegacy) {
+  // shards=1 must degrade to the classic single-master layout: no vv in
+  // responses, same stats shape, master on the session root.
+  SimSession s(sharded_config(8, 1));
+  auto h = s.attach(4);
+  CommitResult res = s.run([](Handle* hd) -> Task<CommitResult> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("legacy.k", 1);
+    co_return co_await kvs.commit();
+  }(h.get()));
+  EXPECT_TRUE(res.vv.empty());
+  Message stats = s.run(h->request("kvs.stats").call());
+  EXPECT_FALSE(stats.payload.contains("vv"));
+  EXPECT_FALSE(stats.payload.contains("shards"));
+  auto* root =
+      dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+  EXPECT_FALSE(root->sharded());
+  EXPECT_TRUE(root->is_master());
+}
+
+TEST(KvsSharded, CausalAcrossShardsViaWaitVersion) {
+  SimSession s(sharded_config(8, 4));
+  auto w = s.attach(1);
+  // Writer commits, passes the resulting scalar version to a reader on
+  // another rank; the reader waits for it, then must see the write.
+  CommitResult res = s.run([](Handle* h) -> Task<CommitResult> {
+    KvsClient kvs(*h);
+    co_await kvs.put("causal.x", 99);
+    co_return co_await kvs.commit();
+  }(w.get()));
+  auto r = s.attach(6);
+  s.run([](Handle* h, std::uint64_t version) -> Task<void> {
+    KvsClient kvs(*h);
+    co_await kvs.wait_version(version);
+    Json v = co_await kvs.get("causal.x");
+    if (v != Json(99))
+      throw FluxException(Error(Errc::Proto, "stale read after wait"));
+  }(r.get(), res.version));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "base/rng.hpp"
 #include "kvs/kvs_module.hpp"
@@ -221,6 +222,129 @@ TEST(KvsProperty, LastCommitWinsOnConflict) {
     co_return co_await kvs.get("conflict");
   }(a.get()));
   EXPECT_EQ(v, Json("second"));
+}
+
+
+// ---------------------------------------------------------------------------
+// Shard routing invariants (ShardMap, paper §VII)
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapProperty, EveryKeyRoutesToExactlyOneShard) {
+  Rng rng(0xfeedULL);
+  for (const std::uint32_t shards : {1u, 2u, 3u, 4u, 7u, 8u}) {
+    ShardMap map(/*size=*/8, shards, /*arity=*/2);
+    for (int i = 0; i < 500; ++i) {
+      const std::string key = random_key(rng);
+      const std::uint32_t s = map.shard_of(key);
+      EXPECT_LT(s, map.shards()) << key;
+      // Deterministic: an identically-parameterized map (as every broker
+      // builds independently) must agree.
+      ShardMap replica(8, shards, 2);
+      EXPECT_EQ(replica.shard_of(key), s) << key;
+    }
+  }
+}
+
+TEST(ShardMapProperty, RoutingDependsOnlyOnTopLevelDirectory) {
+  // Everything under one top-level directory co-locates on one shard, no
+  // matter how deep the key or what other keys exist.
+  Rng rng(0xbeefULL);
+  ShardMap map(16, 4, 2);
+  for (int i = 0; i < 200; ++i) {
+    const std::string top = "dir" + std::to_string(rng.below(50));
+    const std::uint32_t s = map.shard_of(top);
+    EXPECT_EQ(map.shard_of(top + ".a"), s);
+    EXPECT_EQ(map.shard_of(top + ".deep.er.leaf"), s);
+    EXPECT_EQ(map.shard_of(top + "." + random_key(rng)), s);
+  }
+}
+
+TEST(ShardMapProperty, SingleShardRoutesEverythingToRoot) {
+  Rng rng(0x5151ULL);
+  ShardMap map(32, 1, 2);
+  EXPECT_EQ(map.master_rank(0), 0u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(map.shard_of(random_key(rng)), 0u);
+  }
+  // Default-constructed (the inert shards_=1 state) behaves identically.
+  ShardMap inert;
+  EXPECT_EQ(inert.shards(), 1u);
+  EXPECT_EQ(inert.shard_of("anything.at.all"), 0u);
+}
+
+TEST(ShardMapProperty, MasterRanksAreDistinctAndShardZeroIsRoot) {
+  for (const std::uint32_t size : {4u, 8u, 16u, 33u}) {
+    for (std::uint32_t shards = 1; shards <= std::min(size, 8u); ++shards) {
+      ShardMap map(size, shards, 2);
+      std::set<NodeId> masters;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        const NodeId m = map.master_rank(s);
+        EXPECT_LT(m, size);
+        masters.insert(m);
+        EXPECT_EQ(map.shard_of_master(m), std::optional<std::uint32_t>(s));
+      }
+      EXPECT_EQ(masters.size(), shards) << "master ranks collide";
+      EXPECT_EQ(map.master_rank(0), 0u) << "shard 0 must stay on the root";
+    }
+  }
+}
+
+TEST(ShardMapProperty, RendezvousGrowthOnlyMovesKeysToNewShard) {
+  // Rendezvous hashing's minimal-disruption property: going from k to k+1
+  // shards, a key either stays put or moves to the NEW shard — never
+  // between old shards.
+  Rng rng(0xabcdULL);
+  for (std::uint32_t k = 1; k < 6; ++k) {
+    ShardMap before(16, k, 2);
+    ShardMap after(16, k + 1, 2);
+    for (int i = 0; i < 300; ++i) {
+      const std::string key = random_key(rng);
+      const std::uint32_t s0 = before.shard_of(key);
+      const std::uint32_t s1 = after.shard_of(key);
+      if (s1 != s0) EXPECT_EQ(s1, k) << key << " moved between old shards";
+    }
+  }
+}
+
+TEST(ShardMapProperty, PerShardTreeReachesMasterFromEveryRank) {
+  for (const std::uint32_t size : {4u, 8u, 15u}) {
+    for (const std::uint32_t shards : {2u, 3u, 4u}) {
+      for (const std::uint32_t arity : {2u, 3u}) {
+        ShardMap map(size, shards, arity);
+        for (std::uint32_t s = 0; s < shards; ++s) {
+          const NodeId master = map.master_rank(s);
+          EXPECT_FALSE(map.parent(s, master).has_value());
+          for (NodeId r = 0; r < size; ++r) {
+            // Climbing parents terminates at the master within `size` hops
+            // and never revisits a rank (the relabeled tree is acyclic).
+            std::set<NodeId> visited;
+            NodeId cur = r;
+            while (cur != master) {
+              ASSERT_TRUE(visited.insert(cur).second)
+                  << "cycle at rank " << cur;
+              auto up = map.parent(s, cur);
+              ASSERT_TRUE(up.has_value()) << "dead end at rank " << cur;
+              ASSERT_LT(*up, size);
+              cur = *up;
+              ASSERT_LE(visited.size(), size);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardMapProperty, KeysSpreadAcrossShards) {
+  // Not a strict balance bound — just that rendezvous hashing actually
+  // spreads distinct top-level directories over every shard.
+  ShardMap map(16, 4, 2);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 400; ++i)
+    ++counts[map.shard_of("lwj" + std::to_string(i))];
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [shard, n] : counts)
+    EXPECT_GT(n, 40) << "shard " << shard << " starved";
 }
 
 }  // namespace

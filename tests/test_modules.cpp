@@ -38,7 +38,7 @@ TEST(Heartbeat, GetReportsEpoch) {
   SimSession s(fast_hb_config(4));
   s.settle(std::chrono::microseconds(500));
   auto h = s.attach(2);
-  Message resp = s.run(h->rpc_check("hb.get"));
+  Message resp = s.run(h->request("hb.get").call());
   EXPECT_GE(resp.payload.get_int("epoch"), 3);
   EXPECT_EQ(resp.payload.get_int("period_us"), 100);
 }
@@ -109,7 +109,7 @@ TEST(Log, RecordsReduceToSessionRoot) {
       Json rec = Json::object({{"level", 4},
                                {"component", "test"},
                                {"text", "warning " + std::to_string(i)}});
-      co_await hd->rpc_check("log.append", std::move(rec));
+      co_await hd->request("log.append").payload(std::move(rec)).call();
     }
   }(h.get()));
   s.ex().run();
@@ -130,10 +130,10 @@ TEST(Log, ForwardLevelFiltersDebugRecords) {
   s.run([](Handle* hd) -> Task<void> {
     Json dbg = Json::object(
         {{"level", 7}, {"component", "t"}, {"text", "debug noise"}});
-    co_await hd->rpc_check("log.append", std::move(dbg));
+    co_await hd->request("log.append").payload(std::move(dbg)).call();
     Json err = Json::object(
         {{"level", 3}, {"component", "t"}, {"text", "real error"}});
-    co_await hd->rpc_check("log.append", std::move(err));
+    co_await hd->request("log.append").payload(std::move(err)).call();
   }(h.get()));
   s.ex().run();
   auto* root_log =
@@ -148,9 +148,9 @@ TEST(Log, GetReturnsRecentRecords) {
   s.run([](Handle* hd) -> Task<void> {
     Json rec = Json::object(
         {{"level", 3}, {"component", "c"}, {"text", "hello log"}});
-    co_await hd->rpc_check("log.append", std::move(rec));
+    co_await hd->request("log.append").payload(std::move(rec)).call();
     Json query = Json::object({{"max", 10}});
-    Message resp = co_await hd->rpc_check("log.get", std::move(query));
+    Message resp = co_await hd->request("log.get").payload(std::move(query)).call();
     if (resp.payload.at("records").size() < 1)
       throw FluxException(Error(Errc::Proto, "no records returned"));
   }(h.get()));
@@ -162,7 +162,7 @@ TEST(Log, DumpReturnsLocalRing) {
   s.run([](Handle* hd) -> Task<void> {
     Json rec = Json::object(
         {{"level", 7}, {"component", "c"}, {"text", "ring entry"}});
-    co_await hd->rpc_check("log.append", std::move(rec));
+    co_await hd->request("log.append").payload(std::move(rec)).call();
     // Rank-addressed: this broker's ring buffer.
     Message resp = co_await hd->request("log.dump").to(3).call();
     if (resp.payload.get_int("rank") != 3)
@@ -179,7 +179,7 @@ TEST(Log, FaultEventDumpsContext) {
   s.run([](Handle* hd) -> Task<void> {
     Json rec = Json::object(
         {{"level", 7}, {"component", "c"}, {"text", "pre-fault context"}});
-    co_await hd->rpc_check("log.append", std::move(rec));
+    co_await hd->request("log.append").payload(std::move(rec)).call();
   }(h.get()));
   auto* root_log =
       dynamic_cast<modules::Log*>(s.session().broker(0).find_module("log"));
@@ -252,17 +252,17 @@ TEST(Group, JoinLeaveInfo) {
   auto b = s.attach(6);
   s.run([](Handle* h1, Handle* h2) -> Task<void> {
     Json j1 = Json::object({{"name", "tools"}});
-    co_await h1->rpc_check("group.join", std::move(j1));
+    co_await h1->request("group.join").payload(std::move(j1)).call();
     Json j2 = Json::object({{"name", "tools"}});
-    co_await h2->rpc_check("group.join", std::move(j2));
+    co_await h2->request("group.join").payload(std::move(j2)).call();
     Json q = Json::object({{"name", "tools"}});
-    Message info = co_await h1->rpc_check("group.info", std::move(q));
+    Message info = co_await h1->request("group.info").payload(std::move(q)).call();
     if (info.payload.get_int("size") != 2)
       throw FluxException(Error(Errc::Proto, "expected 2 members"));
     Json l = Json::object({{"name", "tools"}});
-    co_await h2->rpc_check("group.leave", std::move(l));
+    co_await h2->request("group.leave").payload(std::move(l)).call();
     Json q2 = Json::object({{"name", "tools"}});
-    Message info2 = co_await h1->rpc_check("group.info", std::move(q2));
+    Message info2 = co_await h1->request("group.info").payload(std::move(q2)).call();
     if (info2.payload.get_int("size") != 1)
       throw FluxException(Error(Errc::Proto, "expected 1 member"));
   }(a.get(), b.get()));
@@ -275,7 +275,7 @@ TEST(Group, ChangeEventsPublished) {
   h->subscribe("group.change", [&](const Message&) { ++changes; });
   s.run([](Handle* hd) -> Task<void> {
     Json j = Json::object({{"name", "g"}});
-    co_await hd->rpc_check("group.join", std::move(j));
+    co_await hd->request("group.join").payload(std::move(j)).call();
   }(h.get()));
   s.ex().run();
   EXPECT_EQ(changes, 1);
@@ -286,10 +286,10 @@ TEST(Group, ListGroups) {
   auto h = s.attach(2);
   s.run([](Handle* hd) -> Task<void> {
     Json j1 = Json::object({{"name", "alpha"}});
-    co_await hd->rpc_check("group.join", std::move(j1));
+    co_await hd->request("group.join").payload(std::move(j1)).call();
     Json j2 = Json::object({{"name", "beta"}});
-    co_await hd->rpc_check("group.join", std::move(j2));
-    Message resp = co_await hd->rpc_check("group.list");
+    co_await hd->request("group.join").payload(std::move(j2)).call();
+    Message resp = co_await hd->request("group.list").call();
     if (resp.payload.at("groups").size() != 2)
       throw FluxException(Error(Errc::Proto, "expected 2 groups"));
   }(h.get()));

@@ -179,6 +179,26 @@ TEST(ObsStats, ModuleStatsGetCountsRequests) {
   EXPECT_GE(counters.get_int("kvs.requests"), 2);
 }
 
+TEST(ObsStats, KvsCacheCountersTrackHitsAndMisses) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);  // leaf: gets fault through the cache, not the store
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("cache.k", 11);
+    co_await kvs.commit();
+    (void)co_await kvs.get("cache.k");  // faults objects in (misses)
+    (void)co_await kvs.get("cache.k");  // served locally (hits)
+  }(h.get()));
+
+  Message resp = s.run(h->request("cmb.stats.get")
+                           .payload(Json::object({{"all", true}}))
+                           .to(3)
+                           .call());
+  const Json& counters = resp.payload.at("counters");
+  EXPECT_GT(counters.get_int("kvs.cache.misses"), 0);
+  EXPECT_GT(counters.get_int("kvs.cache.hits"), 0);
+}
+
 TEST(ObsStats, AggregateSweepsEveryRank) {
   SimSession s(SimSession::default_config(8));
   auto h = s.attach(3);

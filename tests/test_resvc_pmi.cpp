@@ -34,19 +34,19 @@ TEST(Resvc, AllocateRecordsAndFrees) {
   s.run([](Handle* hd) -> Task<void> {
     KvsClient kvs(*hd);
     Json req = Json::object({{"jobid", "lwj1"}, {"nnodes", 3}});
-    Message resp = co_await hd->rpc_check("resvc.alloc", std::move(req));
+    Message resp = co_await hd->request("resvc.alloc").payload(std::move(req)).call();
     if (resp.payload.at("ranks").size() != 3)
       throw FluxException(Error(Errc::Proto, "expected 3 ranks"));
     // Allocation recorded in the KVS under the job.
     Json rec = co_await kvs.get("lwj.lwj1.resources");
     if (rec.size() != 3)
       throw FluxException(Error(Errc::Proto, "allocation not recorded"));
-    Message st = co_await hd->rpc_check("resvc.status");
+    Message st = co_await hd->request("resvc.status").call();
     if (st.payload.get_int("free") != 5)
       throw FluxException(Error(Errc::Proto, "free count wrong"));
     Json fr = Json::object({{"jobid", "lwj1"}});
-    co_await hd->rpc_check("resvc.free", std::move(fr));
-    Message st2 = co_await hd->rpc_check("resvc.status");
+    co_await hd->request("resvc.free").payload(std::move(fr)).call();
+    Message st2 = co_await hd->request("resvc.status").call();
     if (st2.payload.get_int("free") != 8)
       throw FluxException(Error(Errc::Proto, "free did not return nodes"));
   }(h.get()));
@@ -58,7 +58,7 @@ TEST(Resvc, ExhaustionIsEnospc) {
   try {
     s.run([](Handle* hd) -> Task<void> {
       Json req = Json::object({{"jobid", "big"}, {"nnodes", 99}});
-      co_await hd->rpc_check("resvc.alloc", std::move(req));
+      co_await hd->request("resvc.alloc").payload(std::move(req)).call();
     }(h.get()));
     FAIL() << "expected ENOSPC";
   } catch (const FluxException& e) {
@@ -72,9 +72,9 @@ TEST(Resvc, DuplicateJobidIsEexist) {
   try {
     s.run([](Handle* hd) -> Task<void> {
       Json r1 = Json::object({{"jobid", "dup"}, {"nnodes", 1}});
-      co_await hd->rpc_check("resvc.alloc", std::move(r1));
+      co_await hd->request("resvc.alloc").payload(std::move(r1)).call();
       Json r2 = Json::object({{"jobid", "dup"}, {"nnodes", 1}});
-      co_await hd->rpc_check("resvc.alloc", std::move(r2));
+      co_await hd->request("resvc.alloc").payload(std::move(r2)).call();
     }(h.get()));
     FAIL() << "expected EEXIST";
   } catch (const FluxException& e) {

@@ -34,7 +34,7 @@ TEST(Session, ModuleConfigReachesModules) {
       Json::object({{"hb", Json::object({{"period_us", 12345}})}});
   SimSession s(cfg);
   auto h = s.attach(0);
-  Message resp = s.run(h->rpc_check("hb.get"));
+  Message resp = s.run(h->request("hb.get").call());
   EXPECT_EQ(resp.payload.get_int("period_us"), 12345);
 }
 
@@ -47,7 +47,7 @@ TEST(Session, CustomModuleSetHonored) {
   // A request for an unloaded service errors at the root.
   auto h = s.attach(3);
   Message resp = s.run([](Handle* hd) -> Task<Message> {
-    Message r = co_await hd->rpc("barrier.enter");
+    Message r = co_await hd->request("barrier.enter").send();
     co_return r;
   }(h.get()));
   EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));
@@ -84,7 +84,7 @@ TEST(Session, NetStatsCountTraffic) {
   SimSession s(SimSession::default_config(8));
   const auto before = s.session().simnet()->stats().messages;
   auto h = s.attach(5);
-  s.run(h->rpc_check("cmb.info"));
+  s.run(h->request("cmb.info").call());
   EXPECT_GT(s.session().simnet()->stats().messages, before);
 }
 
@@ -93,7 +93,7 @@ TEST(Session, LargeSessionWiresUp) {
   EXPECT_TRUE(s.session().all_online());
   // Deepest leaf can reach services.
   auto h = s.attach(511);
-  Message resp = s.run(h->rpc_check("cmb.info"));
+  Message resp = s.run(h->request("cmb.info").call());
   EXPECT_EQ(resp.payload.get_int("depth"), 9);  // heap path 511 -> ... -> 0
 }
 

@@ -13,8 +13,13 @@ namespace {
 SessionConfig threaded_config(std::uint32_t size) {
   SessionConfig cfg;
   cfg.size = size;
+  // Generous liveness bound: under sanitizers (tsan slows execution ~10x) a
+  // reactor can miss several 2ms heartbeats, and a falsely-declared broker
+  // never rejoins (split-brain recovery is future work) — these are not
+  // failure tests, so make false positives impossible.
   cfg.module_config =
-      Json::object({{"hb", Json::object({{"period_us", 2000}})}});
+      Json::object({{"hb", Json::object({{"period_us", 2000}})},
+                    {"live", Json::object({{"missed_max", 1 << 20}})}});
   return cfg;
 }
 

@@ -15,7 +15,7 @@ Task<Message> run_job(Handle* h, std::string jobid, std::string cmd,
                                {"cmd", std::move(cmd)},
                                {"args", std::move(args)},
                                {"ranks", std::move(ranks)}});
-  Message resp = co_await h->rpc_check("wexec.run", std::move(payload));
+  Message resp = co_await h->request("wexec.run").payload(std::move(payload)).call();
   co_return resp;
 }
 
@@ -98,7 +98,7 @@ TEST(Wexec, DuplicateJobidRejected) {
                                  {"cmd", "sleep"},
                                  {"args", std::move(args)},
                                  {"ranks", Json()}});
-    (void)co_await hd->rpc("wexec.run", std::move(payload));
+    (void)co_await hd->request("wexec.run").payload(std::move(payload)).send();
   }(h.get()), "sleeper");
   s.ex().run_for(std::chrono::milliseconds(1));
   // ...so a second run with the same id fails.
@@ -125,10 +125,10 @@ TEST(Wexec, SignalTerminatesSpinners) {
                                  {"cmd", "spin"},
                                  {"args", Json::object()},
                                  {"ranks", Json()}});
-    auto pending = hd->rpc("wexec.run", std::move(payload));
+    auto pending = hd->request("wexec.run").payload(std::move(payload)).send();
     co_await hd->sleep(std::chrono::milliseconds(1));
     Json kill = Json::object({{"jobid", "spin1"}, {"signum", 15}});
-    co_await hd->rpc_check("wexec.kill", std::move(kill));
+    co_await hd->request("wexec.kill").payload(std::move(kill)).call();
     Message done = co_await pending;
     Handle::check(done);
     co_return done;
