@@ -64,7 +64,8 @@ PlaneLatencies measure(std::uint32_t nnodes, std::uint32_t arity) {
     auto sub = session->attach(nnodes / 2);
     const TimePoint t0 = ex.now();
     TimePoint seen{0};
-    sub->subscribe("bench.ev", [&](const Message&) { seen = ex.now(); });
+    Subscription guard =
+        sub->subscribe("bench.ev", [&](const Message&) { seen = ex.now(); });
     h->publish("bench.ev");
     ex.run();
     out.event = seen - t0;

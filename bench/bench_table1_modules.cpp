@@ -69,7 +69,7 @@ int main() {
           co_await hd->sleep(std::chrono::milliseconds(2));
           Message r = co_await hd->request("hb.get").call();
           if (r.payload.get_int("epoch") < 1)
-            throw FluxException(Error(Errc::Proto, "no heartbeats"));
+            throw FluxException(Error(errc::proto, "no heartbeats"));
         }(h.get()));
 
   timed("live", "heartbeat-synchronized hellos detect dead children",
@@ -104,7 +104,7 @@ int main() {
           Json q = Json::object({{"name", "t1"}});
           Message info = co_await hd->request("group.info").payload(std::move(q)).call();
           if (info.payload.get_int("size") != 1)
-            throw FluxException(Error(Errc::Proto, "bad group size"));
+            throw FluxException(Error(errc::proto, "bad group size"));
         }(h.get()));
 
   timed("barrier", "collective synchronization across Flux groups",
@@ -128,7 +128,7 @@ int main() {
                                        {"ranks", Json()}});
           Message r = co_await hd->request("wexec.run").payload(std::move(payload)).call();
           if (!r.payload.get_bool("success"))
-            throw FluxException(Error(Errc::Proto, "job failed"));
+            throw FluxException(Error(errc::proto, "job failed"));
         }(h.get()));
 
   timed("resvc", "resources enumerated in the KVS and allocated",

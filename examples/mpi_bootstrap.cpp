@@ -39,7 +39,7 @@ Task<void> mpi_rank(Handle* h, int rank, int nprocs, Shared* sh) {
     if (!card.empty()) ++neighbors_ok;
   }
   if (neighbors_ok != nprocs)
-    throw FluxException(Error(Errc::Proto, "incomplete connection table"));
+    throw FluxException(Error(errc::proto, "incomplete connection table"));
 
   co_await pmi.finalize();
   ++sh->finished;

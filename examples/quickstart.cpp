@@ -71,10 +71,11 @@ int main(int argc, char** argv) {
 
   auto handle = session->attach(3 % nnodes);
   int events_seen = 0;
-  handle->subscribe("kvs.setroot", [&](const Message& ev) {
-    ++events_seen;
-    (void)ev;
-  });
+  Subscription setroot_sub =
+      handle->subscribe("kvs.setroot", [&](const Message& ev) {
+        ++events_seen;
+        (void)ev;
+      });
 
   bool failed = false;
   co_spawn(ex, [](Handle* h, std::uint32_t n, bool* fail) -> Task<void> {

@@ -8,14 +8,21 @@
 // The async API returns awaitable Futures/Tasks; client code is written as
 // coroutines spawned on the broker's executor. SyncHandle (sync_handle.hpp)
 // wraps this for blocking use from ordinary threads in threaded sessions.
+//
+// Lifetimes are RAII: subscribe() returns a move-only Subscription guard that
+// auto-unsubscribes when destroyed. A guard may safely outlive its Handle —
+// it holds weak state, so destruction after the Handle is gone is a no-op
+// (no dangling unsubscribe, no dangling callback).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "base/retry.hpp"
 #include "broker/broker.hpp"
 #include "exec/future.hpp"
 #include "exec/task.hpp"
@@ -24,6 +31,51 @@
 namespace flux {
 
 class RequestBuilder;
+class Handle;
+
+namespace detail {
+/// Shared liveness anchor between a Handle and its Subscription guards. The
+/// Handle nulls `owner` in its destructor; a guard that outlives the Handle
+/// locks the state, sees nullptr, and does nothing.
+struct SubOwner {
+  Handle* owner = nullptr;
+};
+}  // namespace detail
+
+/// Move-only RAII guard for an event subscription. Destroying (or reset()ing)
+/// it unsubscribes; destroying it after the owning Handle is gone is a no-op.
+class [[nodiscard]] Subscription {
+ public:
+  Subscription() noexcept = default;
+  Subscription(Subscription&& o) noexcept
+      : state_(std::move(o.state_)), id_(std::exchange(o.id_, 0)) {}
+  Subscription& operator=(Subscription&& o) noexcept {
+    if (this != &o) {
+      reset();
+      state_ = std::move(o.state_);
+      id_ = std::exchange(o.id_, 0);
+    }
+    return *this;
+  }
+  ~Subscription() { reset(); }
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  /// Unsubscribe now (idempotent).
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] bool active() const noexcept { return id_ != 0; }
+  explicit operator bool() const noexcept { return active(); }
+
+ private:
+  friend class Handle;
+  Subscription(std::weak_ptr<detail::SubOwner> s, std::uint64_t id) noexcept
+      : state_(std::move(s)), id_(id) {}
+
+  std::weak_ptr<detail::SubOwner> state_;
+  std::uint64_t id_ = 0;
+};
 
 class Handle {
  public:
@@ -41,19 +93,31 @@ class Handle {
   /// Start a fluent request:
   ///   co_await h.request("kvs.get").payload(j).to(rank).timeout(d).trace()
   /// The builder is awaitable (resolves with the raw response); use .call()
-  /// for the checked form that throws FluxException on errnum != 0.
+  /// for the checked form that throws FluxException on an error response.
   [[nodiscard]] RequestBuilder request(std::string topic);
 
   /// Throw FluxException if the response carries an error.
   static void check(const Message& response);
 
+  /// This handle's default RPC policy. Initialized from the session-wide
+  /// default (SessionConfig::rpc); per-request .timeout()/.retry() override.
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept { return policy_; }
+  void set_retry_policy(RetryPolicy p) noexcept { policy_ = p; }
+
   /// Publish an event into the session.
   void publish(std::string topic, Json payload = Json::object());
 
-  /// Subscribe to an event topic prefix; returns a subscription id.
-  std::uint64_t subscribe(std::string topic_prefix,
-                          std::function<void(const Message&)> fn);
-  void unsubscribe(std::uint64_t subscription_id);
+  /// Subscribe to an event topic prefix. The returned guard owns the
+  /// subscription: it auto-unsubscribes on destruction.
+  Subscription subscribe(std::string topic_prefix,
+                         std::function<void(const Message&)> fn);
+
+  /// Deprecated: raw-id unsubscribe. Prefer holding the Subscription guard
+  /// from subscribe() and letting it reset()/destruct.
+  [[deprecated("hold the Subscription guard instead")]]
+  void unsubscribe(std::uint64_t subscription_id) {
+    unsubscribe_impl(subscription_id);
+  }
 
   /// Collective barrier across `nprocs` participants session-wide
   /// (paper Table I: the `barrier` comms module).
@@ -68,9 +132,11 @@ class Handle {
   }
 
  private:
+  friend class Subscription;
   void deliver(Message msg);
+  void unsubscribe_impl(std::uint64_t subscription_id);
 
-  struct Subscription {
+  struct Sub {
     std::uint64_t id;
     std::string prefix;
     std::function<void(const Message&)> fn;
@@ -79,12 +145,14 @@ class Handle {
   Broker& broker_;
   std::uint64_t endpoint_ = 0;
   std::uint64_t next_sub_ = 1;
-  std::vector<Subscription> subs_;
+  std::vector<Sub> subs_;
+  std::shared_ptr<detail::SubOwner> sub_state_;
+  RetryPolicy policy_;
 };
 
 /// Fluent request descriptor. Defaults: route upstream on the tree plane,
-/// empty payload, no deadline, no trace. Setters return *this so requests
-/// read as one chain; the terminal operation is one of
+/// empty payload, the handle's default retry policy, no trace. Setters return
+/// *this so requests read as one chain; the terminal operation is one of
 ///  - co_await (or .send()): Future with the raw response (errnum may be set)
 ///  - co_await .call(): checked response; throws FluxException on errnum
 /// Sending happens at the terminal call, so a builder can be prepared and
@@ -122,9 +190,27 @@ class RequestBuilder {
     return *this;
   }
 
-  /// Resolve the future with ETIMEDOUT if no response arrives in time.
+  /// Per-attempt deadline: resolve with errc::timeout if no response in
+  /// time. Overrides the handle/session default policy's timeout.
   RequestBuilder& timeout(Duration d) noexcept {
     timeout_ = d;
+    return *this;
+  }
+
+  /// Retry a timed-out (or host-down) attempt up to `n` more times, waiting
+  /// `backoff` before the first retry and doubling it each retry. Needs a
+  /// deadline: pairs with .timeout() or the session default timeout.
+  /// Overrides the handle/session default policy's retry settings.
+  RequestBuilder& retry(int n, Duration backoff = std::chrono::milliseconds(1)) noexcept {
+    retries_ = n;
+    backoff_ = backoff;
+    return *this;
+  }
+
+  /// Disable retries and the default deadline for this request.
+  RequestBuilder& no_retry() noexcept {
+    retries_ = 0;
+    timeout_ = Duration{-1};
     return *this;
   }
 
@@ -142,7 +228,7 @@ class RequestBuilder {
   [[nodiscard]] Future<Message> send();
 
   /// Send now; awaiting throws FluxException if the response carries an
-  /// error (including ETIMEDOUT from timeout()).
+  /// error (including errc::timeout after the configured retries).
   [[nodiscard]] Task<Message> call();
 
   /// `co_await builder` == `co_await builder.send()`.
@@ -153,9 +239,15 @@ class RequestBuilder {
   RequestBuilder(Handle& h, std::string topic)
       : handle_(&h), req_(Message::request(std::move(topic))) {}
 
+  /// The policy this request will run under: the handle default overlaid
+  /// with this builder's .timeout()/.retry()/.no_retry() calls.
+  [[nodiscard]] RetryPolicy effective_policy() const noexcept;
+
   Handle* handle_;
   Message req_;
-  Duration timeout_{0};
+  Duration timeout_{0};   // 0 = inherit; <0 = explicitly none
+  int retries_ = -1;      // -1 = inherit
+  Duration backoff_{0};
 };
 
 inline RequestBuilder Handle::request(std::string topic) {

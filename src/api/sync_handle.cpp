@@ -29,7 +29,7 @@ T SyncHandle::run(std::function<Task<T>()> make) {
                } catch (const FluxException& e) {
                  p.set_error(e.error());
                } catch (const std::exception& e) {
-                 p.set_error(Error(Errc::Proto, e.what()));
+                 p.set_error(Error(errc::proto, e.what()));
                }
              }(std::move(make), promise),
              "sync-op");
@@ -65,10 +65,14 @@ Message SyncHandle::Request::get() {
   return h_->run<Message>(
       [h = h_, topic = std::move(topic_), payload = std::move(payload_),
        nodeid = nodeid_, data = std::move(data_), timeout = timeout_,
+       retries = retries_, backoff = backoff_,
        trace = trace_]() mutable -> Task<Message> {
     RequestBuilder b = h->async().request(std::move(topic));
     b.payload(std::move(payload)).to(nodeid).data(std::move(data)).trace(trace);
-    if (timeout.count() > 0) b.timeout(timeout);
+    // Replicate this Request's overrides onto the builder; sentinel values
+    // (timeout 0 / retries -1) mean "inherit" in both places.
+    if (timeout.count() != 0) b.timeout(timeout);
+    if (retries >= 0) b.retry(retries, backoff);
     Message resp = co_await b.send();
     co_return resp;
   });

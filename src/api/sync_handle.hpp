@@ -52,6 +52,20 @@ class SyncHandle {
       timeout_ = d;
       return *this;
     }
+    /// Mirror of RequestBuilder::retry(): retry timed-out / host-down
+    /// attempts with exponential backoff (needs a timeout, per-request or
+    /// session default).
+    Request& retry(int n, Duration backoff = std::chrono::milliseconds(1)) noexcept {
+      retries_ = n;
+      backoff_ = backoff;
+      return *this;
+    }
+    /// Disable retries and the default deadline for this request.
+    Request& no_retry() noexcept {
+      retries_ = 0;
+      timeout_ = Duration{-1};
+      return *this;
+    }
     Request& trace(bool on = true) noexcept {
       trace_ = on;
       return *this;
@@ -69,7 +83,9 @@ class SyncHandle {
     Json payload_;
     NodeId nodeid_ = kNodeAny;
     std::shared_ptr<const std::string> data_;
-    Duration timeout_{0};
+    Duration timeout_{0};  // 0 = inherit; <0 = explicitly none
+    int retries_ = -1;     // -1 = inherit
+    Duration backoff_{0};
     bool trace_ = false;
   };
 

@@ -2,25 +2,63 @@
 
 namespace flux {
 
-std::string_view errc_name(Errc e) noexcept {
+std::string_view errc_name(errc e) noexcept {
   switch (e) {
-    case Errc::Ok: return "OK";
-    case Errc::NoSys: return "ENOSYS";
-    case Errc::NoEnt: return "ENOENT";
-    case Errc::Exist: return "EEXIST";
-    case Errc::Inval: return "EINVAL";
-    case Errc::Proto: return "EPROTO";
-    case Errc::HostDown: return "EHOSTDOWN";
-    case Errc::TimedOut: return "ETIMEDOUT";
-    case Errc::NotDir: return "ENOTDIR";
-    case Errc::IsDir: return "EISDIR";
-    case Errc::Perm: return "EPERM";
-    case Errc::Again: return "EAGAIN";
-    case Errc::NoSpc: return "ENOSPC";
-    case Errc::Canceled: return "ECANCELED";
-    case Errc::Overflow: return "EOVERFLOW";
+    case errc::ok: return "OK";
+    case errc::nosys: return "ENOSYS";
+    case errc::noent: return "ENOENT";
+    case errc::exist: return "EEXIST";
+    case errc::inval: return "EINVAL";
+    case errc::proto: return "EPROTO";
+    case errc::host_down: return "EHOSTDOWN";
+    case errc::timeout: return "ETIMEDOUT";
+    case errc::not_dir: return "ENOTDIR";
+    case errc::is_dir: return "EISDIR";
+    case errc::perm: return "EPERM";
+    case errc::again: return "EAGAIN";
+    case errc::no_spc: return "ENOSPC";
+    case errc::canceled: return "ECANCELED";
+    case errc::overflow: return "EOVERFLOW";
   }
   return "EUNKNOWN";
+}
+
+namespace {
+
+class FluxCategory final : public std::error_category {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "flux"; }
+  [[nodiscard]] std::string message(int condition) const override {
+    switch (static_cast<errc>(condition)) {
+      case errc::ok: return "success";
+      case errc::nosys: return "no module matched the request topic";
+      case errc::noent: return "key, object, or rank not found";
+      case errc::exist: return "object already exists";
+      case errc::inval: return "malformed request payload";
+      case errc::proto: return "malformed wire message";
+      case errc::host_down: return "peer declared dead by the live module";
+      case errc::timeout: return "rpc timeout expired";
+      case errc::not_dir: return "path component is not a directory";
+      case errc::is_dir: return "terminal path component is a directory";
+      case errc::perm: return "operation not permitted at this level";
+      case errc::again: return "resource temporarily unavailable";
+      case errc::no_spc: return "resource request cannot fit allocation bounds";
+      case errc::canceled: return "operation canceled";
+      case errc::overflow: return "version or sequence regression detected";
+    }
+    return "unknown flux error " + std::to_string(condition);
+  }
+};
+
+}  // namespace
+
+const std::error_category& flux_category() noexcept {
+  static const FluxCategory category;
+  return category;
+}
+
+std::error_code make_error_code(errc e) noexcept {
+  return {static_cast<int>(e), flux_category()};
 }
 
 std::string Error::to_string() const {

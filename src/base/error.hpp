@@ -1,14 +1,21 @@
 // Error model shared across all Flux subsystems.
 //
 // Flux distinguishes *expected* failures (routing misses, missing keys, dead
-// peers) from programming errors. Expected failures travel as `Errc` codes in
-// response messages and as the error arm of `Expected<T>`; programming errors
-// throw (and terminate tests loudly).
+// peers) from programming errors. Expected failures travel as `flux::errc`
+// codes in response messages and as the error arm of `Expected<T>`;
+// programming errors throw (and terminate tests loudly).
+//
+// `errc` is a registered std::error_code enum: flux_category() gives every
+// code a name and message, `std::error_code ec = errc::timeout;` works, and
+// comparisons against response codes are typed instead of raw-int. Numeric
+// values are POSIX errno values and are part of the wire format — stable
+// forever.
 #pragma once
 
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <system_error>
 #include <utility>
 #include <variant>
 
@@ -16,37 +23,69 @@ namespace flux {
 
 /// POSIX-flavoured error codes used in CMB response messages (the paper's
 /// prototype reuses errno values; so do we, with stable numeric values).
-enum class Errc : int {
-  Ok = 0,
-  NoSys = 38,        ///< ENOSYS: no module matched the request topic
-  NoEnt = 2,         ///< ENOENT: key/object/rank not found
-  Exist = 17,        ///< EEXIST: object already exists
-  Inval = 22,        ///< EINVAL: malformed request payload
-  Proto = 71,        ///< EPROTO: malformed wire message
-  HostDown = 112,    ///< EHOSTDOWN: peer declared dead by the live module
-  TimedOut = 110,    ///< ETIMEDOUT: rpc timeout expired
-  NotDir = 20,       ///< ENOTDIR: path component is not a directory
-  IsDir = 21,        ///< EISDIR: terminal path component is a directory
-  Perm = 1,          ///< EPERM: operation not permitted at this level
-  Again = 11,        ///< EAGAIN: resource temporarily unavailable
-  NoSpc = 28,        ///< ENOSPC: resource request cannot fit allocation bounds
-  Canceled = 125,    ///< ECANCELED: operation canceled (shutdown, job kill)
-  Overflow = 75,     ///< EOVERFLOW: version/sequence regression detected
+/// The PascalCase enumerators are deprecated aliases kept for source
+/// compatibility; new code uses the snake_case spellings.
+enum class errc : int {
+  ok = 0,
+  nosys = 38,       ///< ENOSYS: no module matched the request topic
+  noent = 2,        ///< ENOENT: key/object/rank not found
+  exist = 17,       ///< EEXIST: object already exists
+  inval = 22,       ///< EINVAL: malformed request payload
+  proto = 71,       ///< EPROTO: malformed wire message
+  host_down = 112,  ///< EHOSTDOWN: peer declared dead by the live module
+  timeout = 110,    ///< ETIMEDOUT: rpc timeout expired
+  not_dir = 20,     ///< ENOTDIR: path component is not a directory
+  is_dir = 21,      ///< EISDIR: terminal path component is a directory
+  perm = 1,         ///< EPERM: operation not permitted at this level
+  again = 11,       ///< EAGAIN: resource temporarily unavailable
+  no_spc = 28,      ///< ENOSPC: resource request cannot fit allocation bounds
+  canceled = 125,   ///< ECANCELED: operation canceled (shutdown, job kill)
+  overflow = 75,    ///< EOVERFLOW: version/sequence regression detected
+
+  // Deprecated spellings (pre-error_category API).
+  Ok = ok,
+  NoSys = nosys,
+  NoEnt = noent,
+  Exist = exist,
+  Inval = inval,
+  Proto = proto,
+  HostDown = host_down,
+  TimedOut = timeout,
+  NotDir = not_dir,
+  IsDir = is_dir,
+  Perm = perm,
+  Again = again,
+  NoSpc = no_spc,
+  Canceled = canceled,
+  Overflow = overflow,
 };
 
+/// Deprecated alias; new code spells it flux::errc.
+using Errc = errc;
+
 /// Human-readable name for an error code ("ENOSYS", ...).
-std::string_view errc_name(Errc e) noexcept;
+std::string_view errc_name(errc e) noexcept;
+
+/// The std::error_category for flux::errc ("flux").
+const std::error_category& flux_category() noexcept;
+
+/// ADL hook: lets `std::error_code ec = errc::timeout;` compile.
+std::error_code make_error_code(errc e) noexcept;
 
 /// An error: code plus free-form context message.
 struct Error {
-  Errc code = Errc::Ok;
+  errc code = errc::ok;
   std::string message;
 
   Error() = default;
-  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
-  explicit Error(Errc c) : code(c), message(std::string(errc_name(c))) {}
+  Error(errc c, std::string msg) : code(c), message(std::move(msg)) {}
+  explicit Error(errc c) : code(c), message(std::string(errc_name(c))) {}
 
-  [[nodiscard]] bool ok() const noexcept { return code == Errc::Ok; }
+  [[nodiscard]] bool ok() const noexcept { return code == errc::ok; }
+  /// This error as a std::error_code in flux_category().
+  [[nodiscard]] std::error_code error_code() const noexcept {
+    return make_error_code(code);
+  }
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -57,6 +96,10 @@ class FluxException : public std::runtime_error {
   explicit FluxException(Error e)
       : std::runtime_error(e.to_string()), error_(std::move(e)) {}
   [[nodiscard]] const Error& error() const noexcept { return error_; }
+  /// The typed code this exception carries, as a std::error_code.
+  [[nodiscard]] std::error_code code() const noexcept {
+    return error_.error_code();
+  }
 
  private:
   Error error_;
@@ -124,3 +167,6 @@ class Status {
 };
 
 }  // namespace flux
+
+template <>
+struct std::is_error_code_enum<flux::errc> : std::true_type {};

@@ -65,7 +65,7 @@ void Broker::shutdown() {
   // and the Future's state owns the coroutine handle, so an unsettled promise
   // strands the whole frame (Session::~Session drains the posted resumes).
   for (auto& [tag, pending] : pending_)
-    pending.promise.set_error(Error(Errc::Canceled, "session shutdown"));
+    pending.promise.set_error(Error(errc::canceled, "session shutdown"));
   pending_.clear();
 }
 
@@ -189,7 +189,7 @@ Future<Message> Broker::rpc(std::uint64_t endpoint, Message req,
     pending_.erase(it);
     ++stats_.rpc_timeouts;
     registry_.counter("cmb.rpc_timeouts").inc();
-    promise.set_error(Error(Errc::TimedOut, "rpc timeout: " + topic));
+    promise.set_error(Error(errc::timeout, "rpc timeout: " + topic));
   });
   return fut;
 }
@@ -208,7 +208,7 @@ void Broker::route_request(Message msg) {
   // "high latency of a ring is manageable").
   if (msg.nodeid != kNodeAny && msg.nodeid != kNodeUpstream) {
     if (msg.nodeid >= size()) {
-      respond(msg.respond_error(Errc::NoEnt, "no such rank"));
+      respond(msg.respond_error(errc::noent, "no such rank"));
       return;
     }
     if (msg.nodeid == rank_) {
@@ -220,7 +220,7 @@ void Broker::route_request(Message msg) {
         dispatch_local(std::move(msg), *m);
       } else {
         respond(msg.respond_error(
-            Errc::NoSys, "rank has no module '" + std::string(msg.service()) + "'"));
+            errc::nosys, "rank has no module '" + std::string(msg.service()) + "'"));
       }
       return;
     }
@@ -245,7 +245,7 @@ void Broker::route_request(Message msg) {
   const auto up = parent();
   if (!up) {
     respond(msg.respond_error(
-        Errc::NoSys, "no service matched '" + msg.topic + "'"));
+        errc::nosys, "no service matched '" + msg.topic + "'"));
     return;
   }
   ++stats_.requests_forwarded;
@@ -397,6 +397,31 @@ void Broker::deliver_event(const Message& msg) {
   ++stats_.events_delivered;
   if (msg.topic == "cmb.online")
     online_.store(true, std::memory_order_release);
+  if (msg.topic == "cmb.rejoin") {
+    // A restarted broker was re-admitted by the root. Adopt the root's
+    // authoritative parent relation BEFORE forwarding down — the event must
+    // reach the rejoined rank through its brand-new parent link, the same
+    // heal-then-forward discipline live.down uses.
+    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    if (back < size() && msg.payload.contains("parents") &&
+        msg.payload.at("parents").is_array() &&
+        msg.payload.at("parents").size() == size()) {
+      const auto& arr = msg.payload.at("parents").as_array();
+      std::vector<std::optional<NodeId>> rel(size());
+      for (std::uint32_t r = 0; r < size(); ++r) {
+        const std::int64_t p = arr[r].is_int() ? arr[r].as_int() : -1;
+        if (p >= 0) rel[r] = static_cast<NodeId>(p);
+      }
+      topo_.set_parents(std::move(rel));
+      dead_ranks_.erase(back);
+      if (back == rank_) {
+        // Our own re-admission doubles as wire-up confirmation.
+        online_.store(true, std::memory_order_release);
+        log::info("broker", "rank ", rank_, ": rejoined under parent ",
+                  msg.payload.get_int("parent", -1));
+      }
+    }
+  }
   if (msg.topic == "live.down") {
     // Self-heal BEFORE forwarding: re-parent the dead rank's children to
     // its grandparent in this broker's topology replica, so the adopting
@@ -408,6 +433,7 @@ void Broker::deliver_event(const Message& msg) {
     // paper: "a design for comprehensive fault tolerance ... is a
     // near-term project activity").
     const auto dead = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    if (dead < size() && dead != rank_) dead_ranks_.insert(dead);
     if (dead < size() && dead != 0 && dead != rank_ && topo_.parent(dead)) {
       const auto moved = topo_.heal_around(dead);
       if (!moved.empty())
@@ -420,7 +446,7 @@ void Broker::deliver_event(const Message& msg) {
         if (it->second.target == dead) {
           auto promise = it->second.promise;
           it = pending_.erase(it);
-          promise.set_error(Error(Errc::HostDown, "direct rpc target died"));
+          promise.set_error(Error(errc::host_down, "direct rpc target died"));
         } else {
           ++it;
         }
@@ -432,14 +458,22 @@ void Broker::deliver_event(const Message& msg) {
   // Local module subscribers.
   for (auto& [prefix, mod] : module_subs_)
     if (Message::topic_matches(prefix, msg.topic)) mod->handle_event(msg);
-  // Local client subscribers.
-  for (auto& [id, ep] : endpoints_) {
+  // Local client subscribers. A callback may attach/detach handles (mutating
+  // endpoints_) or destroy the very Handle being iterated, so never hold an
+  // iterator across a deliver: snapshot the matching ids, then re-look each
+  // one up and only deliver if it still exists.
+  std::vector<std::uint64_t> matched;
+  for (const auto& [id, ep] : endpoints_) {
     for (const auto& prefix : ep.subscriptions) {
       if (Message::topic_matches(prefix, msg.topic)) {
-        ep.deliver(msg);
+        matched.push_back(id);
         break;
       }
     }
+  }
+  for (const std::uint64_t id : matched) {
+    auto it = endpoints_.find(id);
+    if (it != endpoints_.end()) it->second.deliver(msg);
   }
 }
 
@@ -469,6 +503,35 @@ void Broker::handle_cmb_request(Message msg) {
     maybe_complete_hello();
     return;
   }
+  if (method == "rejoin") {
+    // Root-only re-admission of a restarted broker (sent direct to rank 0,
+    // fire-and-forget: the "cmb.rejoin" event is the acknowledgement). The
+    // rejoiner attaches under its nearest live static-tree ancestor — the
+    // deterministic dual of grandparent healing.
+    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    if (!is_root() || back >= size() || back == 0) {
+      log::warn("broker", "rank ", rank_, ": ignoring bad rejoin for rank ",
+                msg.payload.get_int("rank", -1));
+      return;
+    }
+    dead_ranks_.erase(back);
+    NodeId new_parent = 0;
+    for (NodeId a = (back - 1) / topology().arity(); a != 0;
+         a = (a - 1) / topology().arity()) {
+      if (!dead_ranks_.contains(a)) {
+        new_parent = a;
+        break;
+      }
+    }
+    if (topo_.parent(back) != new_parent) topo_.reparent(back, new_parent);
+    Json parents = Json::array();
+    for (const auto& p : topo_.parents())
+      parents.push_back(p ? Json(static_cast<std::int64_t>(*p)) : Json(-1));
+    Json payload = Json::object(
+        {{"rank", back}, {"parent", new_parent}, {"parents", std::move(parents)}});
+    publish("cmb.rejoin", std::move(payload));
+    return;
+  }
   if (method == "lsmod") {
     Json mods = Json::array();
     for (auto name : module_names()) mods.push_back(std::string(name));
@@ -479,7 +542,7 @@ void Broker::handle_cmb_request(Message msg) {
     respond(msg.respond(stats_json(msg.payload.get_bool("all", false))));
     return;
   }
-  respond(msg.respond_error(Errc::NoSys,
+  respond(msg.respond_error(errc::nosys,
                             "cmb has no method '" + std::string(method) + "'"));
 }
 
@@ -528,8 +591,48 @@ void Broker::fail() {
   failed_ = true;
   // Settle outstanding local RPCs so client coroutines do not leak.
   for (auto& [tag, pending] : pending_)
-    pending.promise.set_error(Error(Errc::HostDown, "broker failed"));
+    pending.promise.set_error(Error(errc::host_down, "broker failed"));
   pending_.clear();
+}
+
+void Broker::restart() {
+  if (!failed_) return;
+  failed_ = false;
+  online_.store(false, std::memory_order_release);
+
+  // A restarted CMB is a fresh process: tear down the crashed instance's
+  // modules (their endpoints and event subscriptions with them) and build
+  // new ones from the session config. Client endpoints that were attached
+  // to this broker died with it and are NOT preserved.
+  for (auto& m : modules_) remove_endpoint(m->endpoint_id());
+  module_subs_.clear();
+  modules_by_name_.clear();
+  modules_.clear();
+  // RPCs submitted while the broker was down piled up in pending_ (their
+  // sends were dropped). Settle them — silently clearing would strand each
+  // caller's timeout timer against a missing entry, parking the coroutine
+  // forever.
+  for (auto& [tag, pending] : pending_)
+    pending.promise.set_error(Error(errc::host_down, "broker restarted"));
+  pending_.clear();
+  dead_ranks_.clear();
+  last_event_seq_ = 0;   // accept the next sequenced event, whatever it is
+  next_event_seq_ = 1;
+  // The session hello reduction completed long ago; suppress a re-send.
+  hello_count_ = 0;
+  hello_sent_ = true;
+  // Start from the session's base topology; the cmb.rejoin event overwrites
+  // it with the root's authoritative (healed) parent relation.
+  topo_ = session_.topology();
+
+  session_.add_modules(*this);
+  for (auto& m : modules_) m->start();
+
+  log::info("broker", "rank ", rank_, ": restarting, requesting rejoin");
+  Message req = Message::request("cmb.rejoin");
+  req.nodeid = 0;
+  req.payload["rank"] = rank_;
+  send(0, std::move(req));
 }
 
 }  // namespace flux

@@ -23,6 +23,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -112,6 +113,17 @@ class Broker {
   [[nodiscard]] bool failed() const noexcept { return failed_; }
   /// Stop participating: all subsequent receives are dropped.
   void fail();
+  /// Come back from fail() as a fresh process: new module instances, no
+  /// pending RPCs, no event history. Sends "cmb.rejoin" straight to the
+  /// root; the root re-attaches this rank under its nearest live ancestor
+  /// and broadcasts the new parent relation, which doubles as this broker's
+  /// wire-up confirmation (online() flips when the event arrives).
+  void restart();
+  /// Ranks this broker has seen declared dead (via "live.down") and not yet
+  /// rejoined. The root consults this to pick a rejoin parent.
+  [[nodiscard]] const std::set<NodeId>& dead_ranks() const noexcept {
+    return dead_ranks_;
+  }
 
   /// True once the session-wide hello reduction reached the root and the
   /// "cmb.online" event came back down.
@@ -165,6 +177,7 @@ class Broker {
   /// never share mutable topology state across threads.
   Topology topo_;
   bool failed_ = false;
+  std::set<NodeId> dead_ranks_;
   // Read by Session::wait_online from a foreign thread in threaded sessions;
   // written only on this broker's reactor.
   std::atomic<bool> online_{false};

@@ -17,7 +17,7 @@ void ModuleBase::handle_request(Message msg) {
       respond_ok(msg, stats_json());
       return;
     }
-    respond_error(msg, Errc::NoSys,
+    respond_error(msg, errc::nosys,
                   "module '" + std::string(name()) + "' has no method '" +
                       std::string(method) + "'");
     return;

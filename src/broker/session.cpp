@@ -5,6 +5,7 @@
 
 #include "api/handle.hpp"
 #include "base/log.hpp"
+#include "fault/injector.hpp"
 #include "modules/barrier.hpp"
 #include "modules/group.hpp"
 #include "modules/hb.hpp"
@@ -62,13 +63,17 @@ bool Session::module_enabled_at(const std::string& name, NodeId rank) const {
   return topo_.depth(rank) <= it->second;
 }
 
+void Session::add_modules(Broker& b) {
+  for (const auto& name : cfg_.modules)
+    if (module_enabled_at(name, b.rank())) b.add_module(make_module(name, b));
+}
+
 void Session::build_brokers() {
   brokers_.reserve(cfg_.size);
   for (NodeId r = 0; r < cfg_.size; ++r) {
     auto& ex = executor(r);
     auto b = std::make_unique<Broker>(*this, r, ex);
-    for (const auto& name : cfg_.modules)
-      if (module_enabled_at(name, r)) b->add_module(make_module(name, *b));
+    add_modules(*b);
     brokers_.push_back(std::move(b));
   }
   for (NodeId r = 0; r < cfg_.size; ++r) {
@@ -114,6 +119,43 @@ std::unique_ptr<Handle> Session::attach(NodeId rank) {
 }
 
 void Session::send(NodeId from, NodeId to, Message msg) {
+  if (fault::Injector* inj = injector_.load(std::memory_order_acquire)) {
+    const fault::Verdict v = inj->on_send(from, to, msg);
+    switch (v.action) {
+      case fault::Verdict::Action::deliver:
+        break;
+      case fault::Verdict::Action::drop:
+        return;
+      case fault::Verdict::Action::delay:
+        // Park on the sender's reactor, then take the real transport hop
+        // (bypassing re-injection). Later traffic on the link overtakes the
+        // parked message, so delay doubles as reordering.
+        executor(from).post_after(v.delay,
+                                  [this, from, to, m = std::move(msg)]() mutable {
+                                    send_now(from, to, std::move(m));
+                                  });
+        return;
+      case fault::Verdict::Action::corrupt: {
+        // Bit-flip one byte of the encoded frame. If the frame no longer
+        // decodes, the link "dropped a mangled packet"; if it does, the
+        // receiver sees the altered message and must cope.
+        auto wire = encode(msg);
+        if (wire.empty()) return;
+        wire[v.corrupt_pos % wire.size()] ^= v.corrupt_xor;
+        auto decoded = decode(wire);
+        if (!decoded) return;
+        send_now(from, to, std::move(decoded).value());
+        return;
+      }
+    }
+  }
+  send_now(from, to, std::move(msg));
+}
+
+void Session::send_now(NodeId from, NodeId to, Message msg) {
+  // Unroutable address (possible under fault-injected corruption of route
+  // hops): the transport refuses it rather than indexing out of range.
+  if (from >= cfg_.size || to >= cfg_.size) return;
   if (simnet_) {
     simnet_->send(from, to, std::move(msg));
     return;
@@ -139,6 +181,12 @@ void Session::fail(NodeId rank) {
   Broker* b = brokers_.at(rank).get();
   executor(rank).post([b] { b->fail(); });
   if (simnet_) simnet_->fail(rank);
+}
+
+void Session::restart(NodeId rank) {
+  Broker* b = brokers_.at(rank).get();
+  if (simnet_) simnet_->restore(rank);
+  executor(rank).post([b] { b->restart(); });
 }
 
 void Session::heal_around(NodeId dead) { topo_.heal_around(dead); }

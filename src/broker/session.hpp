@@ -10,11 +10,13 @@
 //    real concurrency, real serialization.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "base/retry.hpp"
 #include "broker/broker.hpp"
 #include "exec/sim_executor.hpp"
 #include "exec/thread_executor.hpp"
@@ -24,6 +26,10 @@
 namespace flux {
 
 class Handle;
+
+namespace fault {
+class Injector;
+}  // namespace fault
 
 struct SessionConfig {
   std::uint32_t size = 1;
@@ -42,6 +48,11 @@ struct SessionConfig {
   /// upstream ("loaded at a configurable tree depth to tune its level of
   /// distribution or to conserve node resources", §IV-A).
   std::map<std::string, unsigned, std::less<>> module_max_depth;
+
+  /// Session-wide default RPC policy. Every Handle starts from this;
+  /// RequestBuilder::timeout()/retry() override per request. The zero
+  /// default means "no deadline, no retries" (pre-existing behavior).
+  RetryPolicy rpc{};
 
   std::uint64_t seed = 1;
 };
@@ -81,9 +92,25 @@ class Session {
 
   /// Fault injection: broker stops processing; its traffic is dropped.
   void fail(NodeId rank);
+  /// Restart a failed broker: fresh module instances, fresh event/RPC state,
+  /// then the cmb.rejoin handshake with the root re-attaches it to the tree
+  /// (and modules resync — e.g. KVS roots from the content store).
+  void restart(NodeId rank);
   /// Heal the tree around a (failed) rank: its children re-parent to their
   /// grandparent. Normally triggered by the live module's "live.down" event.
   void heal_around(NodeId dead);
+
+  /// Install (or clear, with nullptr) a transport fault injector. Every
+  /// send() consults it; it may drop, delay, or corrupt messages. The
+  /// injector must outlive the session or be cleared before destruction.
+  /// Atomic because threaded reactors read it concurrently with arming.
+  void set_fault_injector(fault::Injector* injector) noexcept {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Instantiate the configured module set on `b` (per module_max_depth).
+  /// Used at session build and again by Broker::restart for a rejoin.
+  void add_modules(Broker& b);
 
   /// Sim only: run the executor until every live broker reports online.
   /// Returns simulated wire-up duration. Throws if the sim goes idle first.
@@ -99,8 +126,11 @@ class Session {
   Session(SessionConfig cfg);
   void build_brokers();
   [[nodiscard]] bool module_enabled_at(const std::string& name, NodeId rank) const;
+  /// send() after fault injection: the real transport hop.
+  void send_now(NodeId from, NodeId to, Message msg);
 
   SessionConfig cfg_;
+  std::atomic<fault::Injector*> injector_{nullptr};
   Topology topo_;
   SimExecutor* sim_ex_ = nullptr;                  // sim mode
   std::unique_ptr<SimNet> simnet_;                 // sim mode

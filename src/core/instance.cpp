@@ -130,7 +130,7 @@ void FluxInstance::job_ended(std::uint64_t jobid) {
 
 Status FluxInstance::request_grow(const ResourceRequest& delta) {
   if (parent_ == nullptr)
-    return Error(Errc::Perm, "grow: the root instance has no parent to ask");
+    return Error(errc::perm, "grow: the root instance has no parent to ask");
   // Parental consent: the parent grants from its own pool, recursively
   // asking *its* parent when it cannot (constraint aggregation up the
   // hierarchy, §III).
@@ -147,7 +147,7 @@ Status FluxInstance::request_grow(const ResourceRequest& delta) {
 
 Status FluxInstance::release_shrink(const ResourceRequest& delta) {
   if (parent_ == nullptr)
-    return Error(Errc::Perm, "shrink: the root instance has no parent");
+    return Error(errc::perm, "shrink: the root instance has no parent");
   auto freed = pool_.cede(delta);
   if (!freed) return freed.error();
   auto st = parent_->pool_.shrink_nodes(backing_alloc_, *freed, delta.power_w,

@@ -1,0 +1,47 @@
+// Transport fault-injection hook.
+//
+// The paper's reliability argument ("self-healing overlay networks",
+// "resilience to somewhat unreliable hardware") is only credible if the
+// failure paths are exercised. Session::send() consults an installed
+// Injector on every message; the injector returns a verdict — deliver,
+// drop, delay, or corrupt — before the message reaches the transport.
+// FaultPlan (plan.hpp) is the seeded, deterministic implementation.
+#pragma once
+
+#include "exec/executor.hpp"
+#include "msg/message.hpp"
+
+namespace flux::fault {
+
+/// What to do with one in-flight message.
+struct Verdict {
+  enum class Action : std::uint8_t {
+    deliver,  ///< pass through untouched
+    drop,     ///< silently lose it (lossy link)
+    delay,    ///< deliver after `delay` (also models reordering: a delayed
+              ///< message lands behind later traffic on the same link)
+    corrupt,  ///< flip one encoded byte; undecodable results are dropped
+  };
+  Action action = Action::deliver;
+  Duration delay{0};          ///< for Action::delay
+  std::size_t corrupt_pos = 0;   ///< byte index (mod wire size) to flip
+  std::uint8_t corrupt_xor = 1;  ///< non-zero xor mask for the flipped byte
+
+  static Verdict deliver_v() { return {}; }
+  static Verdict drop_v() { return {Action::drop, Duration{0}, 0, 1}; }
+  static Verdict delay_v(Duration d) { return {Action::delay, d, 0, 1}; }
+  static Verdict corrupt_v(std::size_t pos, std::uint8_t mask) {
+    return {Action::corrupt, Duration{0}, pos, mask == 0 ? std::uint8_t{1} : mask};
+  }
+};
+
+/// Interface installed via Session::set_fault_injector. Called on the
+/// sender's reactor for every transport send (including the node-local
+/// client hop, from == to).
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  virtual Verdict on_send(NodeId from, NodeId to, const Message& msg) = 0;
+};
+
+}  // namespace flux::fault

@@ -1,0 +1,247 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "base/error.hpp"
+#include "broker/session.hpp"
+
+namespace flux::fault {
+
+namespace {
+
+bool rank_matches(NodeId pattern, NodeId rank) noexcept {
+  return pattern == kNodeAny || pattern == rank;
+}
+
+Duration us(std::int64_t n) { return std::chrono::microseconds(n); }
+
+NodeId rank_from_json(const Json& j, const char* key) {
+  const std::int64_t r = j.get_int(key, -1);
+  return r < 0 ? kNodeAny : static_cast<NodeId>(r);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+FaultPlan& FaultPlan::crash_at(NodeId rank, Duration at) {
+  events_.push_back({NodeEvent::Kind::crash, rank, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart_at(NodeId rank, Duration at) {
+  events_.push_back({NodeEvent::Kind::restart, rank, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link(LinkPolicy policy) {
+  links_.push_back(policy);
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_nth(NodeId from, NodeId to, std::uint64_t nth) {
+  nth_rules_.push_back({from, to, nth, Verdict::Action::drop, Duration{0}, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_nth(NodeId from, NodeId to, std::uint64_t nth) {
+  nth_rules_.push_back(
+      {from, to, nth, Verdict::Action::corrupt, Duration{0}, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_nth(NodeId from, NodeId to, std::uint64_t nth,
+                                Duration d) {
+  nth_rules_.push_back({from, to, nth, Verdict::Action::delay, d, false});
+  return *this;
+}
+
+FaultPlan FaultPlan::from_json(const Json& j) {
+  FaultPlan plan(static_cast<std::uint64_t>(j.get_int("seed", 1)));
+  if (j.contains("events")) {
+    if (!j.at("events").is_array())
+      throw FluxException(Error(errc::inval, "fault plan: events not an array"));
+    for (const Json& e : j.at("events").as_array()) {
+      const std::string kind = e.get_string("kind");
+      const auto rank = static_cast<NodeId>(e.get_int("rank", 0));
+      const Duration at = us(e.get_int("at_us", 0));
+      if (kind == "crash")
+        plan.crash_at(rank, at);
+      else if (kind == "restart")
+        plan.restart_at(rank, at);
+      else
+        throw FluxException(
+            Error(errc::inval, "fault plan: unknown event kind '" + kind + "'"));
+    }
+  }
+  if (j.contains("links")) {
+    if (!j.at("links").is_array())
+      throw FluxException(Error(errc::inval, "fault plan: links not an array"));
+    for (const Json& l : j.at("links").as_array()) {
+      LinkPolicy p;
+      p.from = rank_from_json(l, "from");
+      p.to = rank_from_json(l, "to");
+      p.drop = l.get_double("drop", 0.0);
+      p.corrupt = l.get_double("corrupt", 0.0);
+      p.delay = l.get_double("delay", 0.0);
+      p.delay_min = us(l.get_int("delay_min_us", 0));
+      p.delay_max = us(l.get_int("delay_max_us", 0));
+      plan.link(p);
+    }
+  }
+  if (j.contains("nth")) {
+    if (!j.at("nth").is_array())
+      throw FluxException(Error(errc::inval, "fault plan: nth not an array"));
+    for (const Json& r : j.at("nth").as_array()) {
+      const NodeId from = rank_from_json(r, "from");
+      const NodeId to = rank_from_json(r, "to");
+      const auto nth = static_cast<std::uint64_t>(r.get_int("n", 1));
+      const std::string action = r.get_string("action");
+      if (action == "drop")
+        plan.drop_nth(from, to, nth);
+      else if (action == "corrupt")
+        plan.corrupt_nth(from, to, nth);
+      else if (action == "delay")
+        plan.delay_nth(from, to, nth, us(r.get_int("delay_us", 100)));
+      else
+        throw FluxException(Error(
+            errc::inval, "fault plan: unknown nth action '" + action + "'"));
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomOptions& opt) {
+  FaultPlan plan(seed);
+  // A separate stream for schedule synthesis so per-message draws in
+  // on_send() don't depend on how many schedule decisions were made.
+  Rng r(seed ^ 0xfa017be9cdb97d1ULL);
+  const auto frac = [&](double lo, double hi) {
+    return lo + (hi - lo) * r.uniform();
+  };
+  const auto within = [&](double lo_frac, double hi_frac) {
+    return std::chrono::duration_cast<Duration>(opt.horizon *
+                                                frac(lo_frac, hi_frac));
+  };
+
+  if (opt.crashes && opt.size > 1) {
+    const int n =
+        1 + static_cast<int>(r.below(static_cast<std::uint64_t>(
+                std::max(1, std::min(opt.max_crashes,
+                                     static_cast<int>(opt.size) - 1)))));
+    std::vector<NodeId> victims;
+    while (static_cast<int>(victims.size()) < n) {
+      // Rank 0 hosts the session root (KVS coordinator, event sequencer);
+      // the paper treats its loss as session-fatal, so plans spare it.
+      const auto v = static_cast<NodeId>(1 + r.below(opt.size - 1));
+      if (std::find(victims.begin(), victims.end(), v) == victims.end())
+        victims.push_back(v);
+    }
+    for (const NodeId v : victims) {
+      const Duration at = within(0.1, 0.5);
+      plan.crash_at(v, at);
+      if (opt.restarts && r.uniform() < 0.75)
+        plan.restart_at(v, at + within(0.2, 0.4));
+    }
+  }
+  if (opt.drops) {
+    LinkPolicy p;
+    p.drop = frac(0.005, 0.05);
+    plan.link(p);
+  }
+  if (opt.delays) {
+    LinkPolicy p;
+    p.delay = frac(0.02, 0.15);
+    p.delay_min = us(5);
+    p.delay_max = us(static_cast<std::int64_t>(frac(50, 500)));
+    plan.link(p);
+  }
+  if (opt.corruption) {
+    LinkPolicy p;
+    p.corrupt = frac(0.005, 0.03);
+    plan.link(p);
+  }
+  return plan;
+}
+
+void FaultPlan::arm(Session& session) {
+  if (armed_) return;
+  armed_ = true;
+  session.set_fault_injector(this);
+  for (const NodeEvent& e : events_) {
+    Session* s = &session;
+    const NodeEvent ev = e;
+    // Posted on rank 0's executor: in sim mode that is THE executor (so
+    // events land at exact virtual times); in threaded mode any reactor
+    // works because Session::fail/restart re-post onto the target's own.
+    session.executor(0).post_after(ev.at, [s, ev] {
+      if (ev.kind == NodeEvent::Kind::crash)
+        s->fail(ev.rank);
+      else
+        s->restart(ev.rank);
+    });
+  }
+}
+
+std::uint64_t FaultPlan::messages_seen() const noexcept {
+  std::lock_guard lk(mu_);
+  return seen_;
+}
+
+std::uint64_t FaultPlan::faults_injected() const noexcept {
+  std::lock_guard lk(mu_);
+  return injected_;
+}
+
+Verdict FaultPlan::on_send(NodeId from, NodeId to, const Message& msg) {
+  (void)msg;
+  std::lock_guard lk(mu_);
+  ++seen_;
+  const std::uint64_t n = ++counts_[{from, to}];
+  for (NthRule& rule : nth_rules_) {
+    if (rule.spent || !rank_matches(rule.from, from) ||
+        !rank_matches(rule.to, to) || rule.nth != n)
+      continue;
+    rule.spent = true;
+    ++injected_;
+    switch (rule.action) {
+      case Verdict::Action::drop:
+        return Verdict::drop_v();
+      case Verdict::Action::delay:
+        return Verdict::delay_v(rule.delay);
+      case Verdict::Action::corrupt:
+        return Verdict::corrupt_v(static_cast<std::size_t>(rng_()),
+                                  static_cast<std::uint8_t>(rng_() | 1));
+      case Verdict::Action::deliver:
+        return Verdict::deliver_v();
+    }
+  }
+  for (const LinkPolicy& p : links_) {
+    if (!rank_matches(p.from, from) || !rank_matches(p.to, to)) continue;
+    const double u = rng_.uniform();
+    if (u < p.drop) {
+      ++injected_;
+      return Verdict::drop_v();
+    }
+    if (u < p.drop + p.corrupt) {
+      ++injected_;
+      return Verdict::corrupt_v(static_cast<std::size_t>(rng_()),
+                                static_cast<std::uint8_t>(rng_() | 1));
+    }
+    if (u < p.drop + p.corrupt + p.delay) {
+      ++injected_;
+      const auto span = p.delay_max - p.delay_min;
+      const Duration d =
+          p.delay_min +
+          (span.count() > 0
+               ? Duration{static_cast<Duration::rep>(
+                     rng_.below(static_cast<std::uint64_t>(span.count())))}
+               : Duration{0});
+      return Verdict::delay_v(d);
+    }
+  }
+  return Verdict::deliver_v();
+}
+
+}  // namespace flux::fault

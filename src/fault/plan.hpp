@@ -1,0 +1,157 @@
+// Seed-driven deterministic fault schedules.
+//
+// A FaultPlan is the concrete Injector: it owns a timed schedule of
+// node-level faults (broker crashes, restarts with tree rejoin) plus per-link
+// message policies (probabilistic drop/delay/corrupt and exact
+// nth-message triggers). Everything a plan does derives from its seed and the
+// order of transport sends, so a simulated run replays bit-for-bit: rerunning
+// a failing chaos seed reproduces the failure.
+//
+// Construction is programmatic (fluent setters) or from JSON:
+//
+//   {
+//     "events": [{"kind": "crash",   "rank": 3, "at_us": 2000},
+//                {"kind": "restart", "rank": 3, "at_us": 9000}],
+//     "links":  [{"from": -1, "to": -1, "drop": 0.02,
+//                 "delay": 0.05, "delay_min_us": 20, "delay_max_us": 400,
+//                 "corrupt": 0.01}],
+//     "nth":    [{"from": 0, "to": 1, "n": 7, "action": "drop"}]
+//   }
+//
+// (-1 is the wildcard rank.) FaultPlan::random(seed, opts) synthesizes a
+// schedule from a single seed — the chaos suite's generator.
+//
+// Usage: bring the session online first, then arm(session). Arming installs
+// the injector and posts the timed node events; link policies apply to every
+// send from that point on. The plan must outlive the session (or the session
+// must clear the injector first).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "fault/injector.hpp"
+#include "json/json.hpp"
+
+namespace flux {
+class Session;
+}  // namespace flux
+
+namespace flux::fault {
+
+/// One scheduled node-level fault.
+struct NodeEvent {
+  enum class Kind : std::uint8_t { crash, restart };
+  Kind kind = Kind::crash;
+  NodeId rank = 0;
+  Duration at{0};  ///< relative to arm() time
+};
+
+/// Probabilistic per-message policy for a link (or, with wildcard ranks, a
+/// set of links). Probabilities are evaluated in the order drop, corrupt,
+/// delay against one uniform draw, so their sum should stay <= 1.
+struct LinkPolicy {
+  NodeId from = kNodeAny;  ///< kNodeAny = any sender
+  NodeId to = kNodeAny;    ///< kNodeAny = any receiver
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double delay = 0.0;
+  Duration delay_min{0};
+  Duration delay_max{0};
+};
+
+/// Exact-count trigger: act on the nth matching message of a link. Fires
+/// once; counts are kept per (from, to) pair, wildcards match any pair.
+struct NthRule {
+  NodeId from = kNodeAny;
+  NodeId to = kNodeAny;
+  std::uint64_t nth = 1;  ///< 1-based
+  Verdict::Action action = Verdict::Action::drop;
+  Duration delay{0};  ///< for Action::delay
+  bool spent = false;
+};
+
+class FaultPlan final : public Injector {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1);
+
+  /// Movable so the factory functions below can return by value. Must not be
+  /// moved after arm() — the session holds a pointer to the armed plan.
+  FaultPlan(FaultPlan&& o) noexcept
+      : seed_(o.seed_),
+        rng_(o.rng_),
+        events_(std::move(o.events_)),
+        links_(std::move(o.links_)),
+        nth_rules_(std::move(o.nth_rules_)),
+        counts_(std::move(o.counts_)),
+        seen_(o.seen_),
+        injected_(o.injected_),
+        armed_(o.armed_) {}
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+  FaultPlan& operator=(FaultPlan&&) = delete;
+
+  // -- programmatic construction ---------------------------------------------
+  FaultPlan& crash_at(NodeId rank, Duration at);
+  FaultPlan& restart_at(NodeId rank, Duration at);
+  FaultPlan& link(LinkPolicy policy);
+  FaultPlan& drop_nth(NodeId from, NodeId to, std::uint64_t nth);
+  FaultPlan& corrupt_nth(NodeId from, NodeId to, std::uint64_t nth);
+  FaultPlan& delay_nth(NodeId from, NodeId to, std::uint64_t nth, Duration d);
+
+  /// Parse the JSON schedule format above. Throws FluxException(inval) on
+  /// malformed input.
+  static FaultPlan from_json(const Json& j);
+
+  /// Options for random(): which fault categories a synthesized schedule may
+  /// draw from, sized to the session.
+  struct RandomOptions {
+    std::uint32_t size = 1;          ///< session size (rank 0 never crashes)
+    Duration horizon{std::chrono::milliseconds(50)};  ///< schedule window
+    bool crashes = false;
+    bool restarts = false;  ///< crashed brokers may restart + rejoin
+    bool drops = false;
+    bool delays = false;
+    bool corruption = false;
+    int max_crashes = 1;
+  };
+
+  /// Deterministically synthesize a schedule from one seed.
+  static FaultPlan random(std::uint64_t seed, const RandomOptions& opt);
+
+  /// Install this plan on a session: set the injector and post the timed
+  /// node events (times are relative to now). Call once, after wire-up.
+  void arm(Session& session);
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<NodeEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Messages considered (total transport sends seen since arm()).
+  [[nodiscard]] std::uint64_t messages_seen() const noexcept;
+  /// Messages dropped / delayed / corrupted so far.
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept;
+
+  // Injector:
+  Verdict on_send(NodeId from, NodeId to, const Message& msg) override;
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  // Threaded sessions call on_send from every broker's reactor thread.
+  mutable std::mutex mu_;
+  std::vector<NodeEvent> events_;
+  std::vector<LinkPolicy> links_;
+  std::vector<NthRule> nth_rules_;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> counts_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t injected_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace flux::fault

@@ -13,7 +13,7 @@ namespace {
 const Json kNull{};
 
 [[noreturn]] void type_error(const char* what) {
-  throw FluxException(Error(Errc::Inval, std::string("json: not a ") + what));
+  throw FluxException(Error(errc::inval, std::string("json: not a ") + what));
 }
 }  // namespace
 
@@ -364,7 +364,7 @@ class Parser {
   static constexpr int kMaxDepth = 200;
 
   Error err(const std::string& what) const {
-    return Error(Errc::Proto,
+    return Error(errc::proto,
                  "json parse error at byte " + std::to_string(pos_) + ": " + what);
   }
 

@@ -100,7 +100,7 @@ Task<void> kap_proc(Handle* h, ProcShared* sh, std::uint32_t proc) {
       if (!v.is_string() ||
           v.as_string().size() != cfg.value_size)
         throw FluxException(
-            Error(Errc::Proto, "kap: consumer read unexpected value"));
+            Error(errc::proto, "kap: consumer read unexpected value"));
     }
   }
   sh->consumer_lat[proc] = ex.now() - cons_start;

@@ -11,7 +11,7 @@ namespace {
 void check_key(std::string_view op, std::string_view key) {
   if (key.empty() || split_key(key).empty())
     throw FluxException(
-        Error(Errc::Inval, std::string(op) + ": empty key"));
+        Error(errc::inval, std::string(op) + ": empty key"));
 }
 
 CommitResult parse_commit_result(const Message& resp) {
@@ -49,8 +49,17 @@ KvsTxn& KvsTxn::mkdir(std::string key) {
   return *this;
 }
 
+void WatchHandle::reset() noexcept {
+  if (id_ == 0) return;
+  if (auto s = state_.lock(); s && s->owner) s->owner->unwatch_impl(id_);
+  id_ = 0;
+  state_.reset();
+}
+
 KvsClient::~KvsClient() {
-  if (setroot_sub_ != 0) h_.unsubscribe(setroot_sub_);
+  // Outstanding WatchHandle guards become no-ops; setroot_sub_ (an RAII
+  // Subscription) detaches from the Handle on member destruction.
+  watch_state_->owner = nullptr;
 }
 
 Task<void> KvsClient::put(std::string key, Json value) {
@@ -114,10 +123,10 @@ Task<Json> KvsClient::get(std::string key) {
   Message resp =
       co_await h_.request("kvs.get").payload(std::move(payload)).call();
   if (!resp.data)
-    throw FluxException(Error(Errc::Proto, "kvs.get: response without data"));
+    throw FluxException(Error(errc::proto, "kvs.get: response without data"));
   ObjPtr obj = parse_object(*resp.data);
   if (!obj || !obj->is_val())
-    throw FluxException(Error(Errc::Proto, "kvs.get: malformed value object"));
+    throw FluxException(Error(errc::proto, "kvs.get: malformed value object"));
   co_return obj->value();
 }
 
@@ -154,8 +163,10 @@ Task<void> KvsClient::wait_version(std::uint64_t version) {
 // Watch
 // ---------------------------------------------------------------------------
 
-std::uint64_t KvsClient::watch(std::string key, WatchFn cb) {
-  if (setroot_sub_ == 0) {
+WatchHandle KvsClient::watch(std::string key, WatchFn cb) {
+  if (!setroot_sub_) {
+    // Prefix subscription: matches the single-master "kvs.setroot" and every
+    // sharded "kvs.setroot.<s>" (including failover announcements).
     setroot_sub_ = h_.subscribe("kvs.setroot",
                                 [this](const Message&) { on_setroot(); });
   }
@@ -166,10 +177,10 @@ std::uint64_t KvsClient::watch(std::string key, WatchFn cb) {
   Watch* raw = w.get();
   watches_.push_back(std::move(w));
   co_spawn(h_.executor(), refresh_watch(raw), "kvs.watch");
-  return raw->id;
+  return WatchHandle(watch_state_, raw->id);
 }
 
-void KvsClient::unwatch(std::uint64_t id) {
+void KvsClient::unwatch_impl(std::uint64_t id) {
   std::erase_if(watches_,
                 [id](const std::unique_ptr<Watch>& w) { return w->id == id; });
 }
@@ -186,7 +197,7 @@ Task<void> KvsClient::refresh_watch(Watch* w) {
   try {
     ref = co_await lookup_ref(w->key);
   } catch (const FluxException& e) {
-    if (e.error().code != Errc::NoEnt) throw;
+    if (e.error().code != errc::noent) throw;
     ref = std::nullopt;  // key (currently) absent
   }
   // The watch may have been cancelled while the lookup was in flight.

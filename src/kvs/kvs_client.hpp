@@ -27,6 +27,52 @@
 
 namespace flux {
 
+class KvsClient;
+
+namespace detail {
+/// Shared liveness anchor between a KvsClient and its WatchHandle guards
+/// (same pattern as SubOwner in api/handle.hpp): the client nulls `owner`
+/// on destruction, so a guard outliving the client is a harmless no-op.
+struct WatchOwner {
+  KvsClient* owner = nullptr;
+};
+}  // namespace detail
+
+/// Move-only RAII guard for a KVS watch. Destroying (or reset()ing) it
+/// cancels the watch; destroying it after the KvsClient is gone is a no-op.
+class [[nodiscard]] WatchHandle {
+ public:
+  WatchHandle() noexcept = default;
+  WatchHandle(WatchHandle&& o) noexcept
+      : state_(std::move(o.state_)), id_(std::exchange(o.id_, 0)) {}
+  WatchHandle& operator=(WatchHandle&& o) noexcept {
+    if (this != &o) {
+      reset();
+      state_ = std::move(o.state_);
+      id_ = std::exchange(o.id_, 0);
+    }
+    return *this;
+  }
+  ~WatchHandle() { reset(); }
+  WatchHandle(const WatchHandle&) = delete;
+  WatchHandle& operator=(const WatchHandle&) = delete;
+
+  /// Cancel the watch now (idempotent).
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] bool active() const noexcept { return id_ != 0; }
+  explicit operator bool() const noexcept { return active(); }
+
+ private:
+  friend class KvsClient;
+  WatchHandle(std::weak_ptr<detail::WatchOwner> s, std::uint64_t id) noexcept
+      : state_(std::move(s)), id_(id) {}
+
+  std::weak_ptr<detail::WatchOwner> state_;
+  std::uint64_t id_ = 0;
+};
+
 struct CommitResult {
   std::uint64_t version = 0;
   std::string rootref;
@@ -65,7 +111,10 @@ class KvsTxn {
 
 class KvsClient {
  public:
-  explicit KvsClient(Handle& h) : h_(h) {}
+  explicit KvsClient(Handle& h)
+      : h_(h), watch_state_(std::make_shared<detail::WatchOwner>()) {
+    watch_state_->owner = this;
+  }
   ~KvsClient();
   KvsClient(const KvsClient&) = delete;
   KvsClient& operator=(const KvsClient&) = delete;
@@ -105,12 +154,24 @@ class KvsClient {
   /// does not exist), then again on every root update that changes it
   /// (paper: "internally performing a get ... in response to each root
   /// update, comparing the new and old values"). Directory keys change when
-  /// anything beneath them changes — the hash-tree property.
+  /// anything beneath them changes — the hash-tree property. The returned
+  /// guard owns the watch: it cancels on destruction. In sharded sessions
+  /// the watch also re-fires across a shard-master failover (the successor's
+  /// "kvs.setroot.<s>" announcement is a root update like any other).
   using WatchFn = std::function<void(const std::optional<Json>&)>;
-  std::uint64_t watch(std::string key, WatchFn cb);
-  void unwatch(std::uint64_t id);
+  WatchHandle watch(std::string key, WatchFn cb);
+
+  /// Deprecated: raw-id cancel. Prefer holding the WatchHandle guard.
+  [[deprecated("hold the WatchHandle guard instead")]]
+  void unwatch(std::uint64_t id) {
+    unwatch_impl(id);
+  }
 
  private:
+  friend class WatchHandle;
+
+  void unwatch_impl(std::uint64_t id);
+
   struct Watch {
     std::uint64_t id;
     std::string key;
@@ -127,7 +188,8 @@ class KvsClient {
   KvsTxn txn_;
   std::uint64_t next_watch_ = 1;
   std::vector<std::unique_ptr<Watch>> watches_;
-  std::uint64_t setroot_sub_ = 0;
+  std::shared_ptr<detail::WatchOwner> watch_state_;
+  Subscription setroot_sub_;
 };
 
 }  // namespace flux

@@ -50,11 +50,23 @@ KvsModule::KvsModule(Broker& b) : ModuleBase(b) {
 
   broker().module_subscribe(*this, "kvs.setroot");
   broker().module_subscribe(*this, "hb");
+  broker().module_subscribe(*this, "cmb.rejoin");
 }
 
 KvsModule::~KvsModule() = default;
 
 bool KvsModule::is_master() const noexcept { return broker().is_root(); }
+
+bool KvsModule::is_shard_master(std::uint32_t shard) const noexcept {
+  return shard < shard_masters_.size() &&
+         shard_masters_[shard] == broker().rank();
+}
+
+std::optional<std::uint32_t> KvsModule::mastered_by(NodeId rank) const {
+  for (std::uint32_t s = 0; s < shard_masters_.size(); ++s)
+    if (shard_masters_[s] == rank) return s;
+  return std::nullopt;
+}
 
 void KvsModule::start() {
   const Json cfg = broker().module_config("kvs");
@@ -90,6 +102,10 @@ void KvsModule::start() {
   shard_roots_.assign(shards_, Sha1{});
   shard_versions_.assign(shards_, 0);
   shard_dead_.assign(shards_, false);
+  shard_masters_.resize(shards_);
+  for (std::uint32_t s = 0; s < shards_; ++s)
+    shard_masters_[s] = shard_map_.master_rank(s);
+  failover_ = cfg.get_bool("failover", false);
   my_shard_ = shard_map_.shard_of_master(broker().rank());
   broker().module_subscribe(*this, "kvs.fence.done");
   broker().module_subscribe(*this, "live.down");
@@ -123,6 +139,17 @@ void KvsModule::handle_event(const Message& msg) {
     // shards' objects); pinned (dirty) entries survive expiry regardless.
     if (expiry_epochs_ > 0 && (sharded() || !is_master()))
       cache_.expire(epoch_, expiry_epochs_);
+    if (sharded() && failover_ && !pending_failover_.empty()) check_failovers();
+    return;
+  }
+  if (msg.topic == "cmb.rejoin") {
+    // Our broker restarted and was just re-admitted (this module instance is
+    // the fresh one built by Broker::restart). Pull authoritative roots and
+    // versions from upstream; objects fault back in from the distributed
+    // content store on demand.
+    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    if (back == broker().rank() && !broker().is_root())
+      co_spawn(broker().executor(), resync_after_rejoin(), "kvs.resync");
     return;
   }
   if (sharded()) {
@@ -184,14 +211,14 @@ void KvsModule::op_put(Message& msg) {
   ++ops_.puts;
   const std::string key = msg.payload.get_string("key");
   if (key.empty() || split_key(key).empty()) {
-    respond_error(msg, Errc::Inval, "put: empty key");
+    respond_error(msg, errc::inval, "put: empty key");
     return;
   }
   ObjPtr obj;
   if (msg.data) {
     obj = parse_object(*msg.data);
     if (!obj || !obj->is_val()) {
-      respond_error(msg, Errc::Inval, "put: malformed value object");
+      respond_error(msg, errc::inval, "put: malformed value object");
       return;
     }
   } else {
@@ -210,7 +237,7 @@ void KvsModule::op_stage(Message& msg) {
   // re-ships its bundle, so these entries may expire like any cached object.
   auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
   if (!bundle) {
-    respond_error(msg, Errc::Inval, "stage: missing object bundle");
+    respond_error(msg, errc::inval, "stage: missing object bundle");
     return;
   }
   for (const ObjPtr& obj : bundle->objects()) {
@@ -226,7 +253,7 @@ void KvsModule::op_stage(Message& msg) {
 void KvsModule::op_unlink(Message& msg) {
   const std::string key = msg.payload.get_string("key");
   if (key.empty() || split_key(key).empty()) {
-    respond_error(msg, Errc::Inval, "unlink: empty key");
+    respond_error(msg, errc::inval, "unlink: empty key");
     return;
   }
   txns_[txn_key(msg)].tuples.push_back(Tuple{key, Sha1{}});
@@ -236,7 +263,7 @@ void KvsModule::op_unlink(Message& msg) {
 void KvsModule::op_mkdir(Message& msg) {
   const std::string key = msg.payload.get_string("key");
   if (key.empty() || split_key(key).empty()) {
-    respond_error(msg, Errc::Inval, "mkdir: empty key");
+    respond_error(msg, errc::inval, "mkdir: empty key");
     return;
   }
   record(msg, key, empty_dir_object());
@@ -272,7 +299,7 @@ std::optional<KvsModule::Txn> KvsModule::claim_txn(Message& msg) {
   if (msg.payload.contains("ops")) {
     auto tuples = tuples_from_json(msg.payload.at("ops"));
     if (!tuples) {
-      respond_error(msg, Errc::Inval, "fence: malformed ops");
+      respond_error(msg, errc::inval, "fence: malformed ops");
       return std::nullopt;
     }
     std::vector<ObjPtr> objects;
@@ -280,7 +307,7 @@ std::optional<KvsModule::Txn> KvsModule::claim_txn(Message& msg) {
       auto bundle =
           std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
       if (!bundle) {
-        respond_error(msg, Errc::Inval, "fence: non-bundle attachment");
+        respond_error(msg, errc::inval, "fence: non-bundle attachment");
         return std::nullopt;
       }
       objects = bundle->objects();
@@ -314,7 +341,7 @@ void KvsModule::op_fence(Message& msg) {
   const std::string name = msg.payload.get_string("name");
   const std::int64_t nprocs = msg.payload.get_int("nprocs", 0);
   if (name.empty() || nprocs <= 0) {
-    respond_error(msg, Errc::Inval, "fence: need name and nprocs > 0");
+    respond_error(msg, errc::inval, "fence: need name and nprocs > 0");
     return;
   }
   auto txn = claim_txn(msg);
@@ -551,7 +578,7 @@ void KvsModule::op_fence_sharded(Message& msg, const std::string& name,
   for (std::uint32_t s = 0; s < shards_; ++s) {
     if (!tuples_by[s].empty() && shard_dead_[s]) {
       for (const ObjPtr& obj : txn.objects) cache_.unpin(obj->id);
-      respond_error(msg, Errc::HostDown,
+      respond_error(msg, errc::host_down,
                     "fence: master of shard " + std::to_string(s) + " is down");
       return;
     }
@@ -710,6 +737,20 @@ void KvsModule::on_shard_setroot(const Message& msg) {
     return;
   }
   const auto s = static_cast<std::uint32_t>(shard);
+  // Failover / post-rejoin announcement: a "master" field re-binds the shard
+  // to a new authoritative rank. Adopt it before the version check so the
+  // shard counts as live again even on ranks that raced ahead.
+  if (msg.payload.contains("master")) {
+    const auto m = static_cast<NodeId>(msg.payload.get_int("master", -1));
+    if (m < broker().size() && shard_masters_[s] != m) {
+      shard_masters_[s] = m;
+      shard_dead_[s] = false;
+      pending_failover_.erase(s);
+      if (coord_) coord_->shard_revived(s, version, *ref);
+      log::info("kvs", "rank ", broker().rank(), ": shard ", s,
+                " now mastered by rank ", m);
+    }
+  }
   // Per-shard monotonic reads: a shard's roots apply in version order.
   if (version > shard_versions_[s]) {
     shard_versions_[s] = version;
@@ -753,7 +794,7 @@ void KvsModule::on_fence_done(const Message& msg) {
     if (shard_dead_[s] && fence.parts[s].touched) lost_local_writes = true;
   if (failed || lost_local_writes) {
     for (const Message& waiter : fence.waiters)
-      respond_error(waiter, Errc::HostDown,
+      respond_error(waiter, errc::host_down,
                     "fence '" + name + "': a shard master died");
     return;
   }
@@ -769,10 +810,14 @@ void KvsModule::on_fence_done(const Message& msg) {
 
 std::optional<NodeId> KvsModule::shard_parent_live(std::uint32_t shard,
                                                    NodeId rank) const {
-  // The per-shard trees are static arithmetic (ShardMap); unlike the session
-  // tree they have no heal_around, so climb over dead interior ranks here.
-  auto up = shard_map_.parent(shard, rank);
-  while (up && dead_ranks_.contains(*up)) up = shard_map_.parent(shard, *up);
+  // The per-shard trees are arithmetic (ShardMap, relabeled so the current
+  // master — home or failed-over successor — is the tree root); unlike the
+  // session tree they have no heal_around, so climb over dead interior
+  // ranks here.
+  const NodeId master = shard_masters_[shard];
+  auto up = shard_map_.parent(shard, rank, master);
+  while (up && dead_ranks_.contains(*up))
+    up = shard_map_.parent(shard, *up, master);
   return up;
 }
 
@@ -780,7 +825,7 @@ void KvsModule::on_live_down(const Message& msg) {
   const auto dead = static_cast<NodeId>(msg.payload.get_int("rank", -1));
   if (dead >= broker().size()) return;
   dead_ranks_.insert(dead);
-  const auto s = shard_map_.shard_of_master(dead);
+  const auto s = mastered_by(dead);
   if (!s || shard_dead_[*s]) return;
   shard_dead_[*s] = true;
   log::warn("kvs", "rank ", broker().rank(), ": shard ", *s,
@@ -791,12 +836,149 @@ void KvsModule::on_live_down(const Message& msg) {
     if (it->first == *s) {
       auto promise = it->second;
       it = shard_ready_waiters_.erase(it);
-      promise.set_error(Error(Errc::HostDown, "shard master died"));
+      promise.set_error(Error(errc::host_down, "shard master died"));
     } else {
       ++it;
     }
   }
   if (coord_) coord_->shard_failed(*s);
+  // Failover: the designated successor promotes itself two epochs from now
+  // (hb-driven, so detection and takeover are both heartbeat-clocked). Every
+  // rank schedules the same deadline; only the successor acts on it, and a
+  // setroot-with-master announcement cancels it everywhere.
+  if (failover_ && !pending_failover_.contains(*s))
+    pending_failover_[*s] = epoch_ + 2;
+}
+
+NodeId KvsModule::successor_for(std::uint32_t shard) const {
+  // Next live rank after the dead master in ring order. The event plane is
+  // root-sequenced, so every rank has seen the same ordered live.down
+  // history and computes the same successor — no election needed.
+  const NodeId start = shard_masters_[shard];
+  for (std::uint32_t i = 1; i < broker().size(); ++i) {
+    const NodeId cand = (start + i) % broker().size();
+    if (!dead_ranks_.contains(cand)) return cand;
+  }
+  return start;
+}
+
+void KvsModule::check_failovers() {
+  auto it = pending_failover_.begin();
+  while (it != pending_failover_.end()) {
+    const std::uint32_t s = it->first;
+    if (!shard_dead_[s]) {  // someone already took over
+      it = pending_failover_.erase(it);
+      continue;
+    }
+    if (epoch_ < it->second || successor_for(s) != broker().rank()) {
+      ++it;
+      continue;
+    }
+    it = pending_failover_.erase(it);
+    promote_shard(s);
+  }
+}
+
+void KvsModule::promote_shard(std::uint32_t shard) {
+  // Take over a dead shard with an EMPTY root at version+1. The dead
+  // master's tree is unrecoverable (it held the only authoritative copy),
+  // so we choose explicit, consistent data loss — readers see ENOENT at a
+  // strictly higher version — over hanging fences or serving torn state.
+  log::warn("kvs", "rank ", broker().rank(), ": taking over shard ", shard,
+            " from dead rank ", shard_masters_[shard]);
+  ObjPtr empty = empty_dir_object();
+  const Sha1 root = empty->id;
+  store_.put(std::move(empty));
+  shard_masters_[shard] = broker().rank();
+  shard_dead_[shard] = false;
+  shard_roots_[shard] = root;
+  ++shard_versions_[shard];
+  const std::uint64_t version = shard_versions_[shard];
+  if (!my_shard_) {
+    my_shard_ = shard;
+    obs::StatsRegistry& reg = broker().stats_registry();
+    const std::string prefix = "kvs.shard." + std::to_string(shard);
+    shard_commits_ = &reg.counter(prefix + ".commits");
+    shard_faults_served_ = &reg.counter(prefix + ".faults_served");
+    shard_apply_ns_ = &reg.histogram(prefix + ".apply_ns");
+  }
+  refresh_scalar_root();
+  if (coord_) coord_->shard_revived(shard, version, root);
+  Json ev = Json::object({{"shard", static_cast<std::int64_t>(shard)},
+                          {"version", version},
+                          {"rootref", root.hex()},
+                          {"master", broker().rank()}});
+  broker().publish("kvs.setroot." + std::to_string(shard), std::move(ev));
+}
+
+Task<void> KvsModule::resync_after_rejoin() {
+  try {
+    Message req = Message::request("kvs.get_version", Json::object());
+    req.nodeid = kNodeUpstream;
+    Message resp = co_await broker().module_rpc(*this, std::move(req));
+    if (!resp.ok()) co_return;
+    if (!sharded()) {
+      const auto version =
+          static_cast<std::uint64_t>(resp.payload.get_int("version", 0));
+      const auto ref = Sha1::parse(resp.payload.get_string("rootref"));
+      if (ref && version > root_version_) apply_root(*ref, version, {});
+      co_return;
+    }
+    // Adopt masters first: shard-tree parent links and write authority both
+    // key off them.
+    if (resp.payload.contains("masters") &&
+        resp.payload.at("masters").is_array()) {
+      const auto& ms = resp.payload.at("masters").as_array();
+      for (std::uint32_t s = 0; s < shards_ && s < ms.size(); ++s) {
+        if (!ms[s].is_int()) continue;
+        const auto m = static_cast<NodeId>(ms[s].as_int());
+        if (m < broker().size() && shard_masters_[s] != m) {
+          shard_masters_[s] = m;
+          shard_dead_[s] = false;
+          pending_failover_.erase(s);
+        }
+      }
+    }
+    if (resp.payload.contains("vv") && resp.payload.at("vv").is_array() &&
+        resp.payload.contains("rootrefs") &&
+        resp.payload.at("rootrefs").is_array()) {
+      const auto& vv = resp.payload.at("vv").as_array();
+      const auto& roots = resp.payload.at("rootrefs").as_array();
+      const std::size_t n =
+          std::min<std::size_t>({shards_, vv.size(), roots.size()});
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!vv[s].is_int()) continue;
+        const auto version = static_cast<std::uint64_t>(vv[s].as_int());
+        const auto ref = Sha1::parse(roots[s].as_string());
+        if (!ref || version <= shard_versions_[s]) continue;
+        shard_versions_[s] = version;
+        shard_roots_[s] = *ref;
+      }
+    }
+    refresh_scalar_root();
+    // A restarted broker that still masters a shard lost its object store
+    // with the crash. Re-bootstrap at adopted_version + 1 (same explicit
+    // data-loss policy as hb failover) and announce with a master field so
+    // peers converge on a root this store can actually serve.
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      if (shard_masters_[s] != broker().rank()) continue;
+      ObjPtr empty = empty_dir_object();
+      const Sha1 root = empty->id;
+      store_.put(std::move(empty));
+      shard_roots_[s] = root;
+      ++shard_versions_[s];
+      const std::uint64_t version = shard_versions_[s];
+      refresh_scalar_root();
+      Json ev = Json::object({{"shard", static_cast<std::int64_t>(s)},
+                              {"version", version},
+                              {"rootref", root.hex()},
+                              {"master", broker().rank()}});
+      broker().publish("kvs.setroot." + std::to_string(s), std::move(ev));
+    }
+  } catch (const FluxException& ex) {
+    log::warn("kvs", "rank ", broker().rank(),
+              ": post-rejoin resync failed: ", ex.what());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -845,7 +1027,7 @@ Task<ObjPtr> KvsModule::lookup_object(Sha1 ref, int shard) {
   }
 
   ObjPtr obj;
-  if (!settled && resp.errnum == 0 && resp.data) {
+  if (!settled && resp.ok() && resp.data) {
     obj = parse_object(*resp.data);
     if (obj && obj->id != ref) {
       log::error("kvs", "fault integrity failure for ", ref.short_hex());
@@ -862,7 +1044,7 @@ void KvsModule::op_fault(Message& msg) {
   ++ops_.faults_served;
   const auto ref = Sha1::parse(msg.payload.get_string("ref"));
   if (!ref) {
-    respond_error(msg, Errc::Inval, "fault: bad ref");
+    respond_error(msg, errc::inval, "fault: bad ref");
     return;
   }
   const std::int64_t shard = msg.payload.get_int("shard", -1);
@@ -880,7 +1062,7 @@ void KvsModule::op_fault(Message& msg) {
     return;
   }
   if (authoritative) {
-    respond_error(msg, Errc::NoEnt, "fault: unknown object " + ref->short_hex());
+    respond_error(msg, errc::noent, "fault: unknown object " + ref->short_hex());
     return;
   }
   // Slow path: fault it in from our own parent, then serve.
@@ -889,7 +1071,7 @@ void KvsModule::op_fault(Message& msg) {
       [](KvsModule* self, Message req, Sha1 id, int s) -> Task<void> {
         ObjPtr found = co_await self->lookup_object(id, s);
         if (!found) {
-          self->respond_error(req, Errc::NoEnt,
+          self->respond_error(req, errc::noent,
                               "fault: unknown object " + id.short_hex());
           co_return;
         }
@@ -920,7 +1102,7 @@ Task<void> KvsModule::do_get_root_sharded(Message req, bool ref_only,
       try {
         co_await shard_ready(0);
       } catch (const FluxException&) {
-        respond_error(req, Errc::HostDown, "lookup_ref: shard 0 master down");
+        respond_error(req, errc::host_down, "lookup_ref: shard 0 master down");
         co_return;
       }
     }
@@ -928,7 +1110,7 @@ Task<void> KvsModule::do_get_root_sharded(Message req, bool ref_only,
     co_return;
   }
   if (!want_dir) {
-    respond_error(req, Errc::IsDir, "get: '.' is a directory");
+    respond_error(req, errc::is_dir, "get: '.' is a directory");
     co_return;
   }
   // The logical root directory is the union of the shards' top levels.
@@ -966,7 +1148,7 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     const std::uint32_t s = shard_map_.shard_of(path[0]);
     shard = static_cast<int>(s);
     if (shard_dead_[s]) {
-      respond_error(req, Errc::HostDown,
+      respond_error(req, errc::host_down,
                     "get: master of shard " + std::to_string(s) + " is down");
       co_return;
     }
@@ -974,7 +1156,7 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
       try {
         co_await shard_ready(s);
       } catch (const FluxException&) {
-        respond_error(req, Errc::HostDown,
+        respond_error(req, errc::host_down,
                       "get: master of shard " + std::to_string(s) + " is down");
         co_return;
       }
@@ -989,24 +1171,24 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     ObjPtr dir = co_await lookup_object(cur, shard);
     if (!dir) {
       if (shard >= 0 && shard_dead_[static_cast<std::uint32_t>(shard)])
-        respond_error(req, Errc::HostDown, "get: shard master died");
+        respond_error(req, errc::host_down, "get: shard master died");
       else
-        respond_error(req, Errc::NoEnt, "get: dangling ref on path of " + key);
+        respond_error(req, errc::noent, "get: dangling ref on path of " + key);
       co_return;
     }
     if (!dir->is_dir()) {
-      respond_error(req, Errc::NotDir, "get: '" + key + "' crosses a value");
+      respond_error(req, errc::not_dir, "get: '" + key + "' crosses a value");
       co_return;
     }
     const auto& entries = dir->entries();
     auto it = entries.find(component);
     if (it == entries.end()) {
-      respond_error(req, Errc::NoEnt, "get: no such key '" + key + "'");
+      respond_error(req, errc::noent, "get: no such key '" + key + "'");
       co_return;
     }
     const auto ref = Sha1::parse(it->second.as_string());
     if (!ref) {
-      respond_error(req, Errc::Proto, "get: corrupt directory entry");
+      respond_error(req, errc::proto, "get: corrupt directory entry");
       co_return;
     }
     cur = *ref;
@@ -1020,14 +1202,14 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
   ObjPtr obj = co_await lookup_object(cur, shard);
   if (!obj) {
     if (shard >= 0 && shard_dead_[static_cast<std::uint32_t>(shard)])
-      respond_error(req, Errc::HostDown, "get: shard master died");
+      respond_error(req, errc::host_down, "get: shard master died");
     else
-      respond_error(req, Errc::NoEnt, "get: dangling terminal ref for " + key);
+      respond_error(req, errc::noent, "get: dangling terminal ref for " + key);
     co_return;
   }
   if (obj->is_dir()) {
     if (!want_dir) {
-      respond_error(req, Errc::IsDir, "get: '" + key + "' is a directory");
+      respond_error(req, errc::is_dir, "get: '" + key + "' is a directory");
       co_return;
     }
     Json names = Json::array();
@@ -1036,7 +1218,7 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     co_return;
   }
   if (want_dir) {
-    respond_error(req, Errc::NotDir, "get: '" + key + "' is not a directory");
+    respond_error(req, errc::not_dir, "get: '" + key + "' is not a directory");
     co_return;
   }
   Message resp = req.respond();
@@ -1053,9 +1235,16 @@ void KvsModule::op_get_version(Message& msg) {
                            {"rootref", root_ref_.hex()}});
   if (sharded()) {
     Json vv = Json::array();
-    for (const std::uint64_t v : shard_versions_)
-      vv.push_back(static_cast<std::int64_t>(v));
+    Json rootrefs = Json::array();
+    Json masters = Json::array();
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      vv.push_back(static_cast<std::int64_t>(shard_versions_[s]));
+      rootrefs.push_back(shard_roots_[s].hex());
+      masters.push_back(static_cast<std::int64_t>(shard_masters_[s]));
+    }
     out["vv"] = std::move(vv);
+    out["rootrefs"] = std::move(rootrefs);
+    out["masters"] = std::move(masters);
   }
   respond_ok(msg, std::move(out));
 }

@@ -114,6 +114,10 @@ class KvsModule final : public ModuleBase {
   [[nodiscard]] const std::vector<std::uint64_t>& shard_versions() const noexcept {
     return shard_versions_;
   }
+  /// Current master rank per shard (updated by hb-driven failover).
+  [[nodiscard]] const std::vector<NodeId>& shard_masters() const noexcept {
+    return shard_masters_;
+  }
 
  private:
   // -- request handlers -------------------------------------------------------
@@ -206,9 +210,9 @@ class KvsModule final : public ModuleBase {
     std::vector<Sha1> pins;
   };
 
-  [[nodiscard]] bool is_shard_master(std::uint32_t shard) const noexcept {
-    return my_shard_ && *my_shard_ == shard;
-  }
+  [[nodiscard]] bool is_shard_master(std::uint32_t shard) const noexcept;
+  /// The shard currently mastered by `rank`, consulting failover state.
+  [[nodiscard]] std::optional<std::uint32_t> mastered_by(NodeId rank) const;
   void op_fence_sharded(Message& msg, const std::string& name,
                         std::int64_t nprocs, Txn txn);
   void shard_fence_add(const std::string& name, std::uint32_t shard,
@@ -220,6 +224,21 @@ class KvsModule final : public ModuleBase {
   void on_shard_setroot(const Message& msg);
   void on_fence_done(const Message& msg);
   void on_live_down(const Message& msg);
+
+  // -- failover / rejoin recovery ---------------------------------------------
+  /// Deterministic successor for a dead shard master: the next live rank
+  /// after it in ring order (every broker computes the same answer from the
+  /// globally-ordered live.down history).
+  [[nodiscard]] NodeId successor_for(std::uint32_t shard) const;
+  /// hb tick: promote this broker for any shard whose failover grace period
+  /// has elapsed and whose designated successor we are.
+  void check_failovers();
+  /// Take over a dead shard: re-bootstrap it one version above the last
+  /// published root and announce mastership via "kvs.setroot.<s>".
+  void promote_shard(std::uint32_t shard);
+  /// After a broker restart+rejoin: re-adopt roots/versions/masters from the
+  /// upstream kvs instance (objects fault back in on demand).
+  Task<void> resync_after_rejoin();
   /// Recompute the scalar mirror (root_version_ = sum of shard versions,
   /// root_ref_ = shard 0's root) and complete waiters it unblocks.
   void refresh_scalar_root();
@@ -268,6 +287,12 @@ class KvsModule final : public ModuleBase {
   std::vector<std::uint64_t> shard_versions_;
   std::vector<bool> shard_dead_;       // indexed by shard (master died)
   std::unordered_set<NodeId> dead_ranks_;  // every dead rank (tree healing)
+  // Current master per shard (ShardMap home ranks until failover moves one).
+  std::vector<NodeId> shard_masters_;
+  // hb-driven failover (module config {"failover": true}): shard -> epoch at
+  // which the designated successor self-promotes.
+  bool failover_ = false;
+  std::map<std::uint32_t, std::uint64_t> pending_failover_;
   std::map<std::string, ShardedFence> sharded_fences_;
   std::vector<std::pair<std::uint32_t, Promise<std::uint64_t>>> shard_ready_waiters_;
   std::unique_ptr<ShardCoordinator> coord_;  // session root only

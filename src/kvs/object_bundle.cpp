@@ -41,20 +41,20 @@ Expected<std::shared_ptr<const Attachment>> ObjectBundle::deserialize(
   std::size_t pos = 0;
   std::uint32_t count = 0;
   if (!read_u32(body, pos, count))
-    return Error(Errc::Proto, "object bundle: truncated count");
+    return Error(errc::proto, "object bundle: truncated count");
   std::vector<ObjPtr> objects;
   objects.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     std::uint32_t len = 0;
     if (!read_u32(body, pos, len) || pos + len > body.size())
-      return Error(Errc::Proto, "object bundle: truncated object");
+      return Error(errc::proto, "object bundle: truncated object");
     ObjPtr obj = parse_object(std::string(body.substr(pos, len)));
-    if (!obj) return Error(Errc::Proto, "object bundle: malformed object");
+    if (!obj) return Error(errc::proto, "object bundle: malformed object");
     pos += len;
     objects.push_back(std::move(obj));
   }
   if (pos != body.size())
-    return Error(Errc::Proto, "object bundle: trailing bytes");
+    return Error(errc::proto, "object bundle: trailing bytes");
   return std::shared_ptr<const Attachment>(
       std::make_shared<ObjectBundle>(std::move(objects)));
 }

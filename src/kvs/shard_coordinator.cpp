@@ -26,12 +26,28 @@ void ShardCoordinator::shard_done(const std::string& name, std::uint32_t shard,
     roots_[shard] = rootref;
   }
   Pending& p = pending_[name];
-  if (p.reported.empty()) p.reported.assign(shards_, false);
+  if (p.reported.empty()) {
+    p.reported.assign(shards_, false);
+    // Snapshot the completion set now: exactly the shards alive at first
+    // report. A shard revived mid-fence must not widen it.
+    p.expected.resize(shards_);
+    for (std::uint32_t s = 0; s < shards_; ++s) p.expected[s] = !shard_dead_[s];
+  }
   if (!p.reported[shard]) {
     p.reported[shard] = true;
     ++p.n_reported;
   }
   maybe_fuse(name, p);
+}
+
+void ShardCoordinator::shard_revived(std::uint32_t shard, std::uint64_t version,
+                                     const Sha1& root) {
+  if (shard >= shards_ || !shard_dead_[shard]) return;
+  shard_dead_[shard] = false;
+  if (version > versions_[shard]) {
+    versions_[shard] = version;
+    roots_[shard] = root;
+  }
 }
 
 void ShardCoordinator::shard_failed(std::uint32_t shard) {
@@ -53,10 +69,18 @@ void ShardCoordinator::shard_failed(std::uint32_t shard) {
 }
 
 void ShardCoordinator::maybe_fuse(const std::string& name, Pending& p) {
-  std::uint32_t live_reported = 0;
-  for (std::uint32_t s = 0; s < shards_; ++s)
-    if (!shard_dead_[s] && p.reported[s]) ++live_reported;
-  if (live_reported < live_shards()) return;
+  // Complete when every shard that is (a) in this fence's snapshotted
+  // expectation set and (b) still alive has reported. Shards that died
+  // since the snapshot are excused (taint covers them); shards revived
+  // since are not expected at all.
+  std::uint32_t want = 0;
+  std::uint32_t have = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    if (!p.expected[s] || shard_dead_[s]) continue;
+    ++want;
+    if (p.reported[s]) ++have;
+  }
+  if (have < want) return;
 
   const bool failed = p.tainted;
 

@@ -43,6 +43,13 @@ class ShardCoordinator {
   /// lost); fences started afterwards fuse normally over the live shards.
   void shard_failed(std::uint32_t shard);
 
+  /// A successor took over a dead shard (hb-driven failover) at
+  /// (version, root). The shard counts as live again for fences that start
+  /// from now on; fences already in flight keep the expectation set they
+  /// snapshotted, so a mid-fence revival neither blocks nor un-taints them.
+  void shard_revived(std::uint32_t shard, std::uint64_t version,
+                     const Sha1& root);
+
   [[nodiscard]] std::uint64_t fences_fused() const noexcept {
     return fences_fused_;
   }
@@ -51,6 +58,10 @@ class ShardCoordinator {
   struct Pending {
     std::vector<bool> reported;
     std::uint32_t n_reported = 0;
+    // Shards alive when this fence first reported — the completion set. A
+    // shard revived later is NOT added (it never saw the fence); a snapshot
+    // shard that dies later is handled by taint + the liveness re-check.
+    std::vector<bool> expected;
     // In flight when a shard master died: part of it is unrecoverable.
     bool tainted = false;
   };

@@ -69,13 +69,19 @@ std::optional<std::uint32_t> ShardMap::shard_of_master(
 
 std::optional<NodeId> ShardMap::parent(std::uint32_t shard,
                                        NodeId rank) const noexcept {
-  const NodeId m = master_rank(shard);
-  if (rank == m) return std::nullopt;
+  return parent(shard, rank, master_rank(shard));
+}
+
+std::optional<NodeId> ShardMap::parent(std::uint32_t shard, NodeId rank,
+                                       NodeId master) const noexcept {
+  (void)shard;
+  if (rank == master) return std::nullopt;
   // Heap-shaped tree relabeled so the master is logical rank 0. For shard 0
-  // (m == 0) this reduces to the session tree's parent = (rank-1)/arity.
-  const std::uint32_t lid = (rank + size_ - m) % size_;
+  // under its home master (m == 0) this reduces to the session tree's
+  // parent = (rank-1)/arity.
+  const std::uint32_t lid = (rank + size_ - master) % size_;
   const std::uint32_t parent_lid = (lid - 1) / arity_;
-  return static_cast<NodeId>((parent_lid + m) % size_);
+  return static_cast<NodeId>((parent_lid + master) % size_);
 }
 
 }  // namespace flux

@@ -58,6 +58,13 @@ class ShardMap {
   [[nodiscard]] std::optional<NodeId> parent(std::uint32_t shard,
                                              NodeId rank) const noexcept;
 
+  /// Same relabeled tree, but rooted at an explicit `master` rank — the
+  /// failover form: when a shard master dies and a successor is promoted,
+  /// every broker re-derives the shard's reduction tree around the new
+  /// master with this overload. parent(s, r) == parent(s, r, master_rank(s)).
+  [[nodiscard]] std::optional<NodeId> parent(std::uint32_t shard, NodeId rank,
+                                             NodeId master) const noexcept;
+
  private:
   std::uint32_t size_ = 1;
   std::uint32_t shards_ = 1;

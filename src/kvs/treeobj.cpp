@@ -117,15 +117,15 @@ Json tuples_to_json(const std::vector<Tuple>& tuples) {
 
 Expected<std::vector<Tuple>> tuples_from_json(const Json& array) {
   if (!array.is_array())
-    return Error(Errc::Proto, "tuples: expected array");
+    return Error(errc::proto, "tuples: expected array");
   std::vector<Tuple> out;
   out.reserve(array.size());
   for (const Json& item : array.as_array()) {
     if (!item.is_array() || item.size() != 2 || !item.as_array()[0].is_string() ||
         !item.as_array()[1].is_string())
-      return Error(Errc::Proto, "tuples: expected [key, refhex] pairs");
+      return Error(errc::proto, "tuples: expected [key, refhex] pairs");
     auto ref = Sha1::parse(item.as_array()[1].as_string());
-    if (!ref) return Error(Errc::Proto, "tuples: bad sha1 ref");
+    if (!ref) return Error(errc::proto, "tuples: bad sha1 ref");
     out.push_back(Tuple{item.as_array()[0].as_string(), *ref});
   }
   return out;

@@ -10,7 +10,7 @@ Barrier::Barrier(Broker& b) : ModuleBase(b) {
     const std::string bname = m.payload.get_string("name");
     const std::int64_t nprocs = m.payload.get_int("nprocs", 0);
     if (bname.empty() || nprocs <= 0) {
-      respond_error(m, Errc::Inval, "barrier: need name and nprocs > 0");
+      respond_error(m, errc::inval, "barrier: need name and nprocs > 0");
       return;
     }
     ++stats_.entered;

@@ -17,7 +17,7 @@ Group::Group(Broker& b) : ModuleBase(b) {
   on("join", [this](Message& m) {
     const std::string group = m.payload.get_string("name");
     if (group.empty()) {
-      respond_error(m, Errc::Inval, "group.join: need name");
+      respond_error(m, errc::inval, "group.join: need name");
       return;
     }
     Delta d;
@@ -27,7 +27,7 @@ Group::Group(Broker& b) : ModuleBase(b) {
   on("leave", [this](Message& m) {
     const std::string group = m.payload.get_string("name");
     if (group.empty()) {
-      respond_error(m, Errc::Inval, "group.leave: need name");
+      respond_error(m, errc::inval, "group.leave: need name");
       return;
     }
     Delta d;

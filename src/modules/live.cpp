@@ -22,6 +22,7 @@ Live::Live(Broker& b) : ModuleBase(b) {
   });
   broker().module_subscribe(*this, "hb");
   broker().module_subscribe(*this, "live.down");
+  broker().module_subscribe(*this, "cmb.rejoin");
 }
 
 void Live::start() {
@@ -40,6 +41,15 @@ void Live::handle_event(const Message& msg) {
         static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0));
     for (auto& [child, last] : last_hello_)
       last = std::max(last, down_epoch);
+    return;
+  }
+  if (msg.topic == "cmb.rejoin") {
+    // A restarted broker was re-admitted: forget its death and give it a
+    // fresh hello clock (the broker applied the new parent relation before
+    // this handler ran, so it may already be our child).
+    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    dead_.erase(back);
+    last_hello_.erase(back);
     return;
   }
   if (msg.topic != "hb") return;

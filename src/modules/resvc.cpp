@@ -51,15 +51,15 @@ void Resvc::op_alloc(Message& msg) {
   const std::string jobid = msg.payload.get_string("jobid");
   const std::int64_t nnodes = msg.payload.get_int("nnodes", 1);
   if (jobid.empty() || nnodes <= 0) {
-    respond_error(msg, Errc::Inval, "resvc.alloc: need jobid and nnodes > 0");
+    respond_error(msg, errc::inval, "resvc.alloc: need jobid and nnodes > 0");
     return;
   }
   if (allocations_.contains(jobid)) {
-    respond_error(msg, Errc::Exist, "resvc.alloc: jobid already allocated");
+    respond_error(msg, errc::exist, "resvc.alloc: jobid already allocated");
     return;
   }
   if (std::cmp_less(free_.size(), nnodes)) {
-    respond_error(msg, Errc::NoSpc, "resvc.alloc: insufficient free nodes");
+    respond_error(msg, errc::no_spc, "resvc.alloc: insufficient free nodes");
     return;
   }
   std::vector<NodeId> ranks;
@@ -97,7 +97,7 @@ void Resvc::op_free(Message& msg) {
   const std::string jobid = msg.payload.get_string("jobid");
   auto it = allocations_.find(jobid);
   if (it == allocations_.end()) {
-    respond_error(msg, Errc::NoEnt, "resvc.free: no such allocation");
+    respond_error(msg, errc::noent, "resvc.free: no such allocation");
     return;
   }
   for (NodeId r : it->second)

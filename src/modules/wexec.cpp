@@ -117,11 +117,11 @@ void Wexec::op_run(Message& msg) {
   const std::string jobid = msg.payload.get_string("jobid");
   const std::string cmd = msg.payload.get_string("cmd");
   if (jobid.empty() || cmd.empty()) {
-    respond_error(msg, Errc::Inval, "wexec.run: need jobid and cmd");
+    respond_error(msg, errc::inval, "wexec.run: need jobid and cmd");
     return;
   }
   if (jobs_.contains(jobid)) {
-    respond_error(msg, Errc::Exist, "wexec.run: jobid in use");
+    respond_error(msg, errc::exist, "wexec.run: jobid in use");
     return;
   }
   Json ranks = msg.payload.at("ranks");
@@ -129,7 +129,7 @@ void Wexec::op_run(Message& msg) {
       ranks.is_array() ? static_cast<std::int64_t>(ranks.size())
                        : static_cast<std::int64_t>(broker().size());
   if (ntasks == 0) {
-    respond_error(msg, Errc::Inval, "wexec.run: empty rank list");
+    respond_error(msg, errc::inval, "wexec.run: empty rank list");
     return;
   }
   Job& job = jobs_[jobid];
@@ -150,7 +150,7 @@ void Wexec::op_kill(Message& msg) {
   }
   const std::string jobid = msg.payload.get_string("jobid");
   if (jobid.empty()) {
-    respond_error(msg, Errc::Inval, "wexec.kill: need jobid");
+    respond_error(msg, errc::inval, "wexec.kill: need jobid");
     return;
   }
   broker().publish(

@@ -78,7 +78,7 @@ class Reader {
 };
 
 Error proto_error(const char* what) {
-  return Error(Errc::Proto, std::string("codec: ") + what);
+  return Error(errc::proto, std::string("codec: ") + what);
 }
 
 }  // namespace

@@ -140,7 +140,12 @@ struct Message {
   /// Build the success response to `req` (copies tag & reversed route).
   [[nodiscard]] Message respond(Json payload = Json::object()) const;
   /// Build an error response to `req`.
-  [[nodiscard]] Message respond_error(Errc code, std::string_view what = {}) const;
+  [[nodiscard]] Message respond_error(errc code, std::string_view what = {}) const;
+
+  /// This message's error code, typed. errnum stays the raw wire field; this
+  /// is the comparison surface: `resp.error() == errc::timeout`.
+  [[nodiscard]] errc error() const noexcept { return static_cast<errc>(errnum); }
+  [[nodiscard]] bool ok() const noexcept { return errnum == 0; }
 
   // -- helpers --------------------------------------------------------------
   [[nodiscard]] bool is_request() const noexcept { return type == MsgType::Request; }

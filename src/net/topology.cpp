@@ -70,6 +70,13 @@ void Topology::reparent(NodeId child, NodeId new_parent) {
   children_[new_parent].push_back(child);
 }
 
+void Topology::set_parents(std::vector<std::optional<NodeId>> parents) {
+  if (parents.size() != parent_.size())
+    throw std::invalid_argument("topology: set_parents size mismatch");
+  parent_ = std::move(parents);
+  rebuild_children();
+}
+
 std::vector<NodeId> Topology::heal_around(NodeId dead) {
   const auto gp = parent_.at(dead);
   if (!gp)

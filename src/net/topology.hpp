@@ -54,6 +54,16 @@ class Topology {
   /// parent (grandparent healing). Returns the re-parented children.
   std::vector<NodeId> heal_around(NodeId dead);
 
+  /// The full parent relation (index = rank; nullopt = root or detached).
+  [[nodiscard]] const std::vector<std::optional<NodeId>>& parents() const noexcept {
+    return parent_;
+  }
+
+  /// Wholesale-adopt a parent relation. Broker rejoin uses this: the root
+  /// broadcasts its authoritative parent array in the "cmb.rejoin" event and
+  /// every replica converges on it. Sizes must match.
+  void set_parents(std::vector<std::optional<NodeId>> parents);
+
  private:
   Topology() = default;
   void rebuild_children();

@@ -66,9 +66,9 @@ bool ResourcePool::fits_now(const ResourceRequest& req) const {
 
 Expected<Allocation> ResourcePool::allocate(const ResourceRequest& req) {
   if (req.nnodes <= 0)
-    return Error(Errc::Inval, "allocate: nnodes must be > 0");
+    return Error(errc::inval, "allocate: nnodes must be > 0");
   if (!fits_now(req))
-    return Error(Errc::NoSpc, "allocate: request does not fit pool");
+    return Error(errc::no_spc, "allocate: request does not fit pool");
   Allocation alloc;
   alloc.id = next_id_++;
   for (auto it = free_.begin();
@@ -92,7 +92,7 @@ Expected<Allocation> ResourcePool::allocate(const ResourceRequest& req) {
 Status ResourcePool::release(std::uint64_t allocation_id) {
   auto it = allocations_.find(allocation_id);
   if (it == allocations_.end())
-    return Error(Errc::NoEnt, "release: unknown allocation");
+    return Error(errc::noent, "release: unknown allocation");
   for (ResourceId n : it->second.nodes) free_.insert(n);
   power_used_ -= it->second.power_w;
   io_used_ -= it->second.io_bw_gbs;
@@ -109,15 +109,15 @@ Expected<std::vector<ResourceId>> ResourcePool::grow(
     std::uint64_t allocation_id, const ResourceRequest& delta) {
   auto it = allocations_.find(allocation_id);
   if (it == allocations_.end())
-    return Error(Errc::NoEnt, "grow: unknown allocation");
+    return Error(errc::noent, "grow: unknown allocation");
   ResourceRequest need = delta;
   need.nnodes = std::max<std::int64_t>(need.nnodes, 0);
   if (std::cmp_greater(need.nnodes, free_.size()))
-    return Error(Errc::NoSpc, "grow: not enough free nodes");
+    return Error(errc::no_spc, "grow: not enough free nodes");
   if (power_used_ + need.power_w > power_budget_)
-    return Error(Errc::NoSpc, "grow: power budget exceeded");
+    return Error(errc::no_spc, "grow: power budget exceeded");
   if (io_used_ + need.io_bw_gbs > io_budget_)
-    return Error(Errc::NoSpc, "grow: bandwidth budget exceeded");
+    return Error(errc::no_spc, "grow: bandwidth budget exceeded");
   Allocation& alloc = it->second;
   std::vector<ResourceId> added;
   for (auto fit = free_.begin();
@@ -137,7 +137,7 @@ Expected<std::vector<ResourceId>> ResourcePool::grow(
       alloc.nodes.pop_back();
       free_.insert(n);
     }
-    return Error(Errc::NoSpc, "grow: nodes too narrow");
+    return Error(errc::no_spc, "grow: nodes too narrow");
   }
   alloc.power_w += delta.power_w;
   alloc.io_bw_gbs += delta.io_bw_gbs;
@@ -151,14 +151,14 @@ Status ResourcePool::shrink_nodes(std::uint64_t allocation_id,
                                   double power_w, double io_bw_gbs) {
   auto it = allocations_.find(allocation_id);
   if (it == allocations_.end())
-    return Error(Errc::NoEnt, "shrink_nodes: unknown allocation");
+    return Error(errc::noent, "shrink_nodes: unknown allocation");
   Allocation& alloc = it->second;
   if (power_w > alloc.power_w || io_bw_gbs > alloc.io_bw_gbs)
-    return Error(Errc::Inval, "shrink_nodes: more budget than allocated");
+    return Error(errc::inval, "shrink_nodes: more budget than allocated");
   for (ResourceId n : nodes) {
     auto pos = std::find(alloc.nodes.begin(), alloc.nodes.end(), n);
     if (pos == alloc.nodes.end())
-      return Error(Errc::Inval, "shrink_nodes: node not in allocation");
+      return Error(errc::inval, "shrink_nodes: node not in allocation");
   }
   for (ResourceId n : nodes) {
     alloc.nodes.erase(std::find(alloc.nodes.begin(), alloc.nodes.end(), n));
@@ -184,11 +184,11 @@ void ResourcePool::adopt(const std::vector<ResourceId>& nodes, double power_w,
 Expected<std::vector<ResourceId>> ResourcePool::cede(
     const ResourceRequest& delta) {
   if (std::cmp_greater(delta.nnodes, free_.size()))
-    return Error(Errc::Again, "cede: not enough free nodes to give back");
+    return Error(errc::again, "cede: not enough free nodes to give back");
   if (delta.power_w > power_budget_ - power_used_)
-    return Error(Errc::Again, "cede: power budget in use");
+    return Error(errc::again, "cede: power budget in use");
   if (delta.io_bw_gbs > io_budget_ - io_used_)
-    return Error(Errc::Again, "cede: bandwidth budget in use");
+    return Error(errc::again, "cede: bandwidth budget in use");
   std::vector<ResourceId> freed;
   for (std::int64_t i = 0; i < delta.nnodes; ++i) {
     auto it = std::prev(free_.end());
@@ -205,12 +205,12 @@ Expected<std::vector<ResourceId>> ResourcePool::shrink(
     std::uint64_t allocation_id, const ResourceRequest& delta) {
   auto it = allocations_.find(allocation_id);
   if (it == allocations_.end())
-    return Error(Errc::NoEnt, "shrink: unknown allocation");
+    return Error(errc::noent, "shrink: unknown allocation");
   Allocation& alloc = it->second;
   if (std::cmp_greater(delta.nnodes, alloc.nodes.size()))
-    return Error(Errc::Inval, "shrink: more nodes than allocated");
+    return Error(errc::inval, "shrink: more nodes than allocated");
   if (delta.power_w > alloc.power_w || delta.io_bw_gbs > alloc.io_bw_gbs)
-    return Error(Errc::Inval, "shrink: more budget than allocated");
+    return Error(errc::inval, "shrink: more budget than allocated");
   std::vector<ResourceId> freed;
   for (std::int64_t i = 0; i < delta.nnodes; ++i) {
     freed.push_back(alloc.nodes.back());

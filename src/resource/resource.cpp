@@ -74,11 +74,11 @@ Json ResourceGraph::to_json() const {
 
 namespace {
 Status parse_vertex(ResourceGraph& g, const Json& j, ResourceId parent) {
-  if (!j.is_object()) return Error(Errc::Proto, "resource: expected object");
+  if (!j.is_object()) return Error(errc::proto, "resource: expected object");
   const std::string type = j.get_string("type");
   const std::string name = j.get_string("name");
   if (type.empty() || name.empty())
-    return Error(Errc::Proto, "resource: vertex needs type and name");
+    return Error(errc::proto, "resource: vertex needs type and name");
   const double capacity = j.get_double("capacity", 1.0);
   const ResourceId id = (parent == kNoResource)
                             ? g.add_root(type, name, capacity)

@@ -14,7 +14,7 @@ Expected<std::uint64_t> Scheduler::submit(ResourceRequest request,
                                           Duration walltime, int priority,
                                           bool manual_completion) {
   if (!pool_.feasible(request))
-    return Error(Errc::NoSpc, "submit: request can never fit this pool");
+    return Error(errc::no_spc, "submit: request can never fit this pool");
   PendingJob job;
   job.jobid = next_jobid_++;
   job.request = request;
@@ -32,7 +32,7 @@ Status Scheduler::cancel(std::uint64_t jobid) {
   auto it = std::find_if(queue_.begin(), queue_.end(),
                          [jobid](const PendingJob& j) { return j.jobid == jobid; });
   if (it == queue_.end())
-    return Error(Errc::NoEnt, "cancel: job not pending");
+    return Error(errc::noent, "cancel: job not pending");
   queue_.erase(it);
   manual_.erase(jobid);
   ++stats_.canceled;

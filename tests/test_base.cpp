@@ -12,12 +12,12 @@ namespace flux {
 namespace {
 
 TEST(Error, NamesAndMessages) {
-  EXPECT_EQ(errc_name(Errc::NoEnt), "ENOENT");
-  EXPECT_EQ(errc_name(Errc::NoSys), "ENOSYS");
-  EXPECT_EQ(Error(Errc::TimedOut).to_string(), "ETIMEDOUT");
-  EXPECT_EQ(Error(Errc::Inval, "bad key").to_string(), "EINVAL: bad key");
+  EXPECT_EQ(errc_name(errc::noent), "ENOENT");
+  EXPECT_EQ(errc_name(errc::nosys), "ENOSYS");
+  EXPECT_EQ(Error(errc::timeout).to_string(), "ETIMEDOUT");
+  EXPECT_EQ(Error(errc::inval, "bad key").to_string(), "EINVAL: bad key");
   EXPECT_TRUE(Error().ok());
-  EXPECT_FALSE(Error(Errc::Perm).ok());
+  EXPECT_FALSE(Error(errc::perm).ok());
 }
 
 TEST(Expected, ValueAndErrorPaths) {
@@ -26,9 +26,9 @@ TEST(Expected, ValueAndErrorPaths) {
   EXPECT_EQ(*good, 5);
   EXPECT_EQ(good.value_or(9), 5);
 
-  Expected<int> bad(Error(Errc::NoEnt, "missing"));
+  Expected<int> bad(Error(errc::noent, "missing"));
   EXPECT_FALSE(bad.has_value());
-  EXPECT_EQ(bad.error().code, Errc::NoEnt);
+  EXPECT_EQ(bad.error().code, errc::noent);
   EXPECT_EQ(bad.value_or(9), 9);
   EXPECT_THROW((void)bad.value(), FluxException);
 }
@@ -37,7 +37,7 @@ TEST(Expected, StatusSemantics) {
   Status ok;
   EXPECT_TRUE(ok.has_value());
   EXPECT_NO_THROW(ok.value());
-  Status fail(Error(Errc::Again));
+  Status fail(Error(errc::again));
   EXPECT_FALSE(fail.has_value());
   EXPECT_THROW(fail.value(), FluxException);
 }

@@ -72,7 +72,7 @@ TEST(Broker, UnmatchedServiceGetsEnosysFromRoot) {
     Message r = co_await hd->request("nosuch.service").send();
     co_return r;
   }(h.get()));
-  EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));
+  EXPECT_EQ(resp.errnum, static_cast<int>(errc::nosys));
 }
 
 TEST(Broker, UnknownMethodGetsEnosysFromModule) {
@@ -82,7 +82,7 @@ TEST(Broker, UnknownMethodGetsEnosysFromModule) {
     Message r = co_await hd->request("kvs.frobnicate").send();
     co_return r;
   }(h.get()));
-  EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));
+  EXPECT_EQ(resp.errnum, static_cast<int>(errc::nosys));
 }
 
 TEST(Broker, RpcTimeoutFires) {
@@ -97,7 +97,7 @@ TEST(Broker, RpcTimeoutFires) {
           .payload(std::move(payload))
           .timeout(std::chrono::milliseconds(10));
     } catch (const FluxException& e) {
-      *out = (e.error().code == Errc::TimedOut);
+      *out = (e.error().code == errc::timeout);
     }
   }(h.get(), &timed_out));
   EXPECT_TRUE(timed_out);
@@ -109,7 +109,7 @@ TEST(Broker, EventsAreGloballySequencedAndOrdered) {
   auto sub = s.attach(3);
   std::vector<std::uint64_t> seqs;
   std::vector<std::string> topics;
-  sub->subscribe("test", [&](const Message& ev) {
+  Subscription watch = sub->subscribe("test", [&](const Message& ev) {
     seqs.push_back(ev.seq);
     topics.push_back(ev.topic);
   });
@@ -126,11 +126,14 @@ TEST(Broker, EventsAreGloballySequencedAndOrdered) {
 TEST(Broker, EventsReachEveryRankAndPrefixFilter) {
   SimSession s(SimSession::default_config(8));
   std::vector<std::unique_ptr<Handle>> handles;
+  std::vector<Subscription> subs;
   int hits = 0, misses = 0;
   for (NodeId r = 0; r < 8; ++r) {
     handles.push_back(s.attach(r));
-    handles.back()->subscribe("aaa", [&](const Message&) { ++hits; });
-    handles.back()->subscribe("zzz", [&](const Message&) { ++misses; });
+    subs.push_back(
+        handles.back()->subscribe("aaa", [&](const Message&) { ++hits; }));
+    subs.push_back(
+        handles.back()->subscribe("zzz", [&](const Message&) { ++misses; }));
   }
   handles[4]->publish("aaa.hello");
   s.ex().run();
@@ -142,10 +145,10 @@ TEST(Broker, UnsubscribeStopsDelivery) {
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(2);
   int count = 0;
-  auto id = h->subscribe("t", [&](const Message&) { ++count; });
+  Subscription sub = h->subscribe("t", [&](const Message&) { ++count; });
   h->publish("t.one");
   s.ex().run();
-  h->unsubscribe(id);
+  sub.reset();
   h->publish("t.two");
   s.ex().run();
   EXPECT_EQ(count, 1);
@@ -168,7 +171,7 @@ TEST(Broker, ModuleDepthLimitedStillServes) {
     co_await kvs.commit();
     Json v = co_await kvs.get("depth.test");
     if (v != Json(99))
-      throw FluxException(Error(Errc::Proto, "unexpected value"));
+      throw FluxException(Error(errc::proto, "unexpected value"));
   }(h.get()));
 }
 
@@ -227,7 +230,7 @@ TEST_P(BrokerArity, KvsAndBarrierWorkAtEveryArity) {
     co_await kvs.put("arity.x", "v");
     co_await kvs.commit();
     Json v = co_await kvs.get("arity.x");
-    if (v != Json("v")) throw FluxException(Error(Errc::Proto, "bad value"));
+    if (v != Json("v")) throw FluxException(Error(errc::proto, "bad value"));
     co_await hd->barrier("arity", 1);
   }(h.get()));
 }

@@ -1,0 +1,430 @@
+// Chaos suite: seed-driven deterministic fault schedules against live
+// sessions. Every seeded run must terminate — each fence/commit/get either
+// completes or fails with a typed FluxException (errc::timeout, host_down,
+// ...) — and replaying a seed must reproduce the run bit-for-bit.
+//
+// Categories (50 distinct seeds total):
+//   1-10   broker crashes (no recovery)
+//   11-20  crashes + restarts with tree rejoin and KVS resync
+//   21-30  lossy links (probabilistic drop + delay)
+//   31-40  message corruption
+//   41-50  sharded-KVS master crash with hb-driven failover
+//
+// A hang shows up as SimSession::run/ex().run() never finishing a writer
+// (`completed == false`) rather than wedging the harness: every client RPC
+// runs under the session-wide RetryPolicy deadline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "fault/plan.hpp"
+#include "kvs/kvs_module.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using fault::FaultPlan;
+using testing::SimSession;
+
+constexpr int kWriters = 4;
+constexpr int kRounds = 4;
+
+/// Seeds per category (50 total at the default of 10). FLUX_CHAOS_SEEDS dials
+/// the sweep up for soak runs; seed values are just RNG keys, so ranges from
+/// different categories overlapping is harmless.
+std::uint64_t seeds_per_category() {
+  if (const char* env = std::getenv("FLUX_CHAOS_SEEDS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::uint64_t>(n);
+  }
+  return 10;
+}
+
+/// Everything observable about one chaos run; two runs of the same seed must
+/// compare equal (the determinism contract).
+struct ChaosOutcome {
+  bool completed = false;  ///< all writers finished (no hang)
+  int ok = 0;
+  int failed = 0;
+  int unexpected = 0;  ///< non-FluxException escapes (always a bug)
+  std::vector<std::string> codes;
+  std::uint64_t injected = 0;
+  std::uint64_t version = 0;
+
+  bool operator==(const ChaosOutcome&) const = default;
+};
+
+SessionConfig chaos_config(std::uint32_t size, Json kvs = Json::object()) {
+  SessionConfig cfg = SimSession::default_config(size);
+  cfg.module_config =
+      Json::object({{"hb", Json::object({{"period_us", 100}})},
+                    {"live", Json::object({{"missed_max", 3}})},
+                    {"kvs", std::move(kvs)}});
+  // The no-hang safety net: every client RPC gets a deadline plus retries
+  // unless a request overrides it.
+  cfg.rpc = RetryPolicy{std::chrono::milliseconds(2), 3,
+                        std::chrono::microseconds(100)};
+  return cfg;
+}
+
+Task<void> chaos_writer(Handle* h, int id, ChaosOutcome* out, int* done) {
+  KvsClient kvs(*h);
+  for (int round = 0; round < kRounds; ++round) {
+    try {
+      co_await h->sleep(std::chrono::microseconds(400 + 150 * id));
+      co_await kvs.put(
+          "chaos.w" + std::to_string(id) + ".r" + std::to_string(round),
+          id * 100 + round);
+      co_await kvs.fence("chaos.r" + std::to_string(round), kWriters);
+      Json peer = co_await kvs.get("chaos.w" + std::to_string((id + 1) % kWriters) +
+                                   ".r" + std::to_string(round));
+      (void)peer;
+      ++out->ok;
+    } catch (const FluxException& e) {
+      // Clean taint: the operation failed with a typed error instead of
+      // hanging or corrupting state.
+      ++out->failed;
+      out->codes.push_back(std::string(errc_name(e.error().code)));
+    } catch (const std::exception&) {
+      ++out->unexpected;
+    }
+  }
+  ++*done;
+}
+
+/// Arm `plan` on a wired-up session, run the standard writer workload to
+/// completion, let hb-driven recovery land, and collect the outcome.
+ChaosOutcome run_chaos_workload(SimSession& s, FaultPlan& plan) {
+  plan.arm(s.session());
+  const std::uint32_t size = s.session().broker(0).size();
+  ChaosOutcome out;
+  int done = 0;
+  std::vector<std::unique_ptr<Handle>> handles;
+  for (int w = 0; w < kWriters; ++w) {
+    handles.push_back(
+        s.attach(static_cast<NodeId>(static_cast<std::uint32_t>(w) * 5 + 1) % size));
+    co_spawn(s.ex(), chaos_writer(handles.back().get(), w, &out, &done),
+             "chaos-writer");
+  }
+  s.ex().run();
+  out.completed = (done == kWriters);
+  s.settle(std::chrono::milliseconds(5));  // heal / failover promotion epochs
+  s.ex().run();                            // late restarts, rejoin traffic
+  out.injected = plan.faults_injected();
+
+  // Final authoritative KVS version from the root (never crashed by plans).
+  auto reader = s.attach(0);
+  try {
+    out.version = s.run([](Handle* h) -> Task<std::uint64_t> {
+      KvsClient kvs(*h);
+      co_return co_await kvs.get_version();
+    }(reader.get()));
+  } catch (const FluxException& e) {
+    out.codes.push_back("final:" + std::string(errc_name(e.error().code)));
+  }
+  return out;
+}
+
+void expect_clean(const ChaosOutcome& out) {
+  EXPECT_TRUE(out.completed) << "writer workload hung";
+  EXPECT_EQ(out.unexpected, 0) << "untyped exception escaped";
+  EXPECT_EQ(out.ok + out.failed, kWriters * kRounds);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded schedule categories
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, CrashOnlySeeds) {
+  for (std::uint64_t seed = 1; seed < 1 + seeds_per_category(); ++seed) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    FaultPlan::RandomOptions opt;
+    opt.size = 12;
+    opt.horizon = std::chrono::milliseconds(8);
+    opt.crashes = true;
+    opt.max_crashes = 2;
+    SimSession s(chaos_config(opt.size));
+    FaultPlan plan = FaultPlan::random(seed, opt);
+    const ChaosOutcome out = run_chaos_workload(s, plan);
+    expect_clean(out);
+  }
+}
+
+TEST(Chaos, CrashRestartSeeds) {
+  for (std::uint64_t seed = 11; seed < 11 + seeds_per_category(); ++seed) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    FaultPlan::RandomOptions opt;
+    opt.size = 12;
+    opt.horizon = std::chrono::milliseconds(8);
+    opt.crashes = true;
+    opt.restarts = true;
+    opt.max_crashes = 2;
+    SimSession s(chaos_config(opt.size));
+    FaultPlan plan = FaultPlan::random(seed, opt);
+    const ChaosOutcome out = run_chaos_workload(s, plan);
+    expect_clean(out);
+    // Every broker the schedule restarted must have rejoined the session.
+    for (const fault::NodeEvent& ev : plan.events()) {
+      if (ev.kind != fault::NodeEvent::Kind::restart) continue;
+      EXPECT_TRUE(s.session().broker(ev.rank).online())
+          << "rank " << ev.rank << " did not rejoin";
+      EXPECT_FALSE(s.session().broker(ev.rank).failed());
+    }
+  }
+}
+
+TEST(Chaos, LossyLinkSeeds) {
+  for (std::uint64_t seed = 21; seed < 21 + seeds_per_category(); ++seed) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    FaultPlan::RandomOptions opt;
+    opt.size = 10;
+    opt.drops = true;
+    opt.delays = true;
+    SimSession s(chaos_config(opt.size));
+    FaultPlan plan = FaultPlan::random(seed, opt);
+    const ChaosOutcome out = run_chaos_workload(s, plan);
+    expect_clean(out);
+    EXPECT_GT(plan.messages_seen(), 0u);
+  }
+}
+
+TEST(Chaos, CorruptionSeeds) {
+  for (std::uint64_t seed = 31; seed < 31 + seeds_per_category(); ++seed) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    FaultPlan::RandomOptions opt;
+    opt.size = 10;
+    opt.corruption = true;
+    SimSession s(chaos_config(opt.size));
+    FaultPlan plan = FaultPlan::random(seed, opt);
+    const ChaosOutcome out = run_chaos_workload(s, plan);
+    expect_clean(out);
+  }
+}
+
+TEST(Chaos, ShardMasterFailoverSeeds) {
+  for (std::uint64_t seed = 41; seed < 41 + seeds_per_category(); ++seed) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    SimSession s(chaos_config(
+        12, Json::object({{"shards", 3}, {"failover", true}})));
+    auto* kvs0 =
+        dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+    ASSERT_NE(kvs0, nullptr);
+    const std::vector<NodeId> before = kvs0->shard_masters();
+    std::vector<NodeId> candidates;
+    for (NodeId m : before)
+      if (m != 0 &&
+          std::find(candidates.begin(), candidates.end(), m) == candidates.end())
+        candidates.push_back(m);
+    ASSERT_FALSE(candidates.empty());
+
+    // The schedule itself is seed-derived: which master dies, when, and
+    // whether it comes back.
+    Rng pick(seed);
+    const NodeId victim = candidates[pick.below(candidates.size())];
+    FaultPlan plan(seed);
+    plan.crash_at(victim, std::chrono::microseconds(
+                              1500 + static_cast<std::int64_t>(pick.below(1500))));
+    if (pick.uniform() < 0.4)
+      plan.restart_at(victim, std::chrono::milliseconds(8));
+
+    const ChaosOutcome out = run_chaos_workload(s, plan);
+    expect_clean(out);
+
+    // Every shard the victim mastered must have a new master.
+    const std::vector<NodeId>& after = kvs0->shard_masters();
+    for (std::size_t sh = 0; sh < before.size(); ++sh) {
+      if (before[sh] != victim) continue;
+      EXPECT_NE(after[sh], victim) << "shard " << sh << " not failed over";
+    }
+    // Live ranks agree on the post-failover master map.
+    for (NodeId r : {1u, 6u, 11u}) {
+      if (s.session().broker(r).failed()) continue;
+      auto* k =
+          dynamic_cast<KvsModule*>(s.session().broker(r).find_module("kvs"));
+      ASSERT_NE(k, nullptr);
+      EXPECT_EQ(k->shard_masters(), after) << "rank " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, SameSeedSynthesizesSameSchedule) {
+  FaultPlan::RandomOptions opt;
+  opt.size = 12;
+  opt.crashes = true;
+  opt.restarts = true;
+  opt.drops = true;
+  opt.delays = true;
+  opt.corruption = true;
+  opt.max_crashes = 3;
+  for (std::uint64_t seed : {3ull, 99ull, 12345ull}) {
+    const FaultPlan a = FaultPlan::random(seed, opt);
+    const FaultPlan b = FaultPlan::random(seed, opt);
+    ASSERT_EQ(a.events().size(), b.events().size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+      EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+      EXPECT_EQ(a.events()[i].rank, b.events()[i].rank);
+      EXPECT_EQ(a.events()[i].at.count(), b.events()[i].at.count());
+    }
+    // Different seeds must not collide on the same schedule.
+    const FaultPlan c = FaultPlan::random(seed + 1, opt);
+    bool differs = c.events().size() != a.events().size();
+    for (std::size_t i = 0; !differs && i < a.events().size(); ++i)
+      differs = c.events()[i].rank != a.events()[i].rank ||
+                c.events()[i].at.count() != a.events()[i].at.count();
+    EXPECT_TRUE(differs) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, SameSeedReplaysIdentically) {
+  for (std::uint64_t seed : {13ull, 25ull, 37ull}) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    const auto once = [seed] {
+      FaultPlan::RandomOptions opt;
+      opt.size = 10;
+      opt.horizon = std::chrono::milliseconds(8);
+      opt.crashes = seed == 13;
+      opt.restarts = seed == 13;
+      opt.drops = seed == 25;
+      opt.delays = seed == 25;
+      opt.corruption = seed == 37;
+      SimSession s(chaos_config(opt.size));
+      FaultPlan plan = FaultPlan::random(seed, opt);
+      return run_chaos_workload(s, plan);
+    };
+    const ChaosOutcome first = once();
+    const ChaosOutcome second = once();
+    EXPECT_TRUE(first == second)
+        << "seed " << seed << " diverged: ok " << first.ok << "/" << second.ok
+        << " failed " << first.failed << "/" << second.failed << " injected "
+        << first.injected << "/" << second.injected << " version "
+        << first.version << "/" << second.version;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed recovery scenarios
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, RpcToCrashedRankResolvesTimeoutAfterRetries) {
+  SimSession s(chaos_config(8));
+  s.session().fail(5);
+  s.settle(std::chrono::microseconds(10));
+  auto h = s.attach(1);
+  const TimePoint t0 = s.ex().now();
+  try {
+    s.run([](Handle* hd) -> Task<void> {
+      co_await hd->request("cmb.ping")
+          .to(5)
+          .timeout(std::chrono::milliseconds(1))
+          .retry(2, std::chrono::microseconds(50))
+          .call();
+      ADD_FAILURE() << "rpc to crashed rank succeeded";
+    }(h.get()));
+    FAIL() << "expected FluxException";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, errc::timeout) << e.what();
+    EXPECT_EQ(e.code(), make_error_code(errc::timeout));
+  }
+  // Three attempts (1 + 2 retries), each under a 1ms deadline.
+  EXPECT_GE(s.ex().now() - t0, std::chrono::milliseconds(3));
+}
+
+TEST(Chaos, SurgicalNthDropIsRetriedToSuccess) {
+  SimSession s(chaos_config(4));
+  FaultPlan plan(7);
+  // Ranks 1 -> 2 only ever talk over the ring plane here, so the first such
+  // message is exactly the forwarded ping below.
+  plan.drop_nth(1, 2, 1);
+  plan.arm(s.session());
+  auto h = s.attach(1);
+  Json pong = s.run([](Handle* hd) -> Task<Json> {
+    co_return co_await hd->ping(3);
+  }(h.get()));
+  EXPECT_EQ(pong.get_int("rank", -1), 3);
+  EXPECT_EQ(plan.faults_injected(), 1u);
+}
+
+TEST(Chaos, RestartedBrokerRejoinsAndResyncsKvs) {
+  SimSession s(chaos_config(8));
+  auto w = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("boot.key", "v1");
+    co_await kvs.commit();
+  }(w.get()));
+
+  s.session().fail(5);
+  s.settle(std::chrono::milliseconds(2));  // detection + heal
+  s.session().restart(5);
+  s.settle(std::chrono::milliseconds(3));  // rejoin + resync
+
+  EXPECT_TRUE(s.session().broker(5).online());
+  EXPECT_FALSE(s.session().broker(5).failed());
+
+  auto back = s.attach(5);
+  Json v = s.run([](Handle* hd) -> Task<Json> {
+    KvsClient kvs(*hd);
+    co_return co_await kvs.get("boot.key");
+  }(back.get()));
+  EXPECT_EQ(v.as_string(), "v1");
+
+  auto* k5 = dynamic_cast<KvsModule*>(s.session().broker(5).find_module("kvs"));
+  auto* k0 = dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+  ASSERT_NE(k5, nullptr);
+  ASSERT_NE(k0, nullptr);
+  EXPECT_EQ(k5->root_version(), k0->root_version());
+}
+
+// ---------------------------------------------------------------------------
+// Plan construction
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, FaultPlanFromJsonParsesSchedule) {
+  Json crash = Json::object({{"kind", "crash"}, {"rank", 3}, {"at_us", 2000}});
+  Json restart =
+      Json::object({{"kind", "restart"}, {"rank", 3}, {"at_us", 9000}});
+  Json link = Json::object({{"from", -1}, {"to", -1}, {"drop", 0.5}});
+  Json nth = Json::object(
+      {{"from", 0}, {"to", 1}, {"n", 7}, {"action", "drop"}});
+  Json j = Json::object({{"events", Json::array({crash, restart})},
+                         {"links", Json::array({link})},
+                         {"nth", Json::array({nth})}});
+  const FaultPlan plan = FaultPlan::from_json(j);
+  ASSERT_EQ(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, fault::NodeEvent::Kind::crash);
+  EXPECT_EQ(plan.events()[0].rank, 3u);
+  EXPECT_EQ(plan.events()[0].at, std::chrono::microseconds(2000));
+  EXPECT_EQ(plan.events()[1].kind, fault::NodeEvent::Kind::restart);
+  EXPECT_EQ(plan.events()[1].at, std::chrono::microseconds(9000));
+}
+
+TEST(Chaos, FaultPlanFromJsonRejectsMalformed) {
+  try {
+    FaultPlan::from_json(Json::object({{"events", Json("nope")}}));
+    FAIL() << "events-not-an-array accepted";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, errc::inval);
+  }
+  Json bad_kind = Json::object({{"kind", "explode"}, {"rank", 1}});
+  Json j = Json::object({{"events", Json::array({bad_kind})}});
+  try {
+    FaultPlan::from_json(j);
+    FAIL() << "unknown event kind accepted";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, errc::inval);
+  }
+}
+
+}  // namespace
+}  // namespace flux

@@ -86,7 +86,7 @@ TEST(Task, ValueChainPropagates) {
 TEST(Task, ExceptionsPropagateThroughAwait) {
   SimExecutor ex;
   auto thrower = []() -> Task<int> {
-    throw FluxException(Error(Errc::NoEnt, "gone"));
+    throw FluxException(Error(errc::noent, "gone"));
     co_return 0;  // unreachable
   };
   bool caught = false;
@@ -94,7 +94,7 @@ TEST(Task, ExceptionsPropagateThroughAwait) {
     try {
       (void)co_await std::move(t);
     } catch (const FluxException& e) {
-      *c = (e.error().code == Errc::NoEnt);
+      *c = (e.error().code == errc::noent);
     }
   }(thrower(), &caught));
   ex.run();
@@ -153,7 +153,7 @@ TEST(Future, FirstSettleWins) {
   Promise<int> p(ex);
   p.set_value(1);
   p.set_value(2);
-  p.set_error(Error(Errc::TimedOut));
+  p.set_error(Error(errc::timeout));
   int got = 0;
   co_spawn(ex, [](Future<int> f, int* out) -> Task<void> {
     *out = co_await f;
@@ -165,8 +165,8 @@ TEST(Future, FirstSettleWins) {
 TEST(Future, ErrorThrowsOnAwait) {
   SimExecutor ex;
   Promise<int> p(ex);
-  p.set_error(Error(Errc::TimedOut, "deadline"));
-  Errc seen = Errc::Ok;
+  p.set_error(Error(errc::timeout, "deadline"));
+  Errc seen = errc::ok;
   co_spawn(ex, [](Future<int> f, Errc* out) -> Task<void> {
     try {
       (void)co_await f;
@@ -175,7 +175,7 @@ TEST(Future, ErrorThrowsOnAwait) {
     }
   }(p.future(), &seen));
   ex.run();
-  EXPECT_EQ(seen, Errc::TimedOut);
+  EXPECT_EQ(seen, errc::timeout);
 }
 
 TEST(ThreadExecutor, PostAndTimersRun) {

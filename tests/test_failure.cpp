@@ -51,12 +51,12 @@ TEST(Failure, KvsServesAfterInteriorDeath) {
     KvsClient kvs(*h);
     Json v = co_await kvs.get("pre.fail");
     if (v != Json("survives"))
-      throw FluxException(Error(Errc::Proto, "lost committed data"));
+      throw FluxException(Error(errc::proto, "lost committed data"));
     co_await kvs.put("post.fail", "written after heal");
     co_await kvs.commit();
     Json w = co_await kvs.get("post.fail");
     if (w != Json("written after heal"))
-      throw FluxException(Error(Errc::Proto, "post-heal write failed"));
+      throw FluxException(Error(errc::proto, "post-heal write failed"));
   }(survivor.get()));
 }
 
@@ -68,7 +68,8 @@ TEST(Failure, EventsReachOrphansAfterHeal) {
   auto sub = s.attach(6);
   auto pub = s.attach(0);
   int got = 0;
-  sub->subscribe("heal.test", [&](const Message&) { ++got; });
+  Subscription watch =
+      sub->subscribe("heal.test", [&](const Message&) { ++got; });
   pub->publish("heal.test");
   s.ex().run();
   EXPECT_EQ(got, 1);
@@ -88,7 +89,7 @@ TEST(Failure, ResvcTakesDeadNodeOutOfThePool) {
     KvsClient kvs(*hd);
     Json n5 = co_await kvs.get("resource.nodes.n5");
     if (n5.get_string("state") != "down")
-      throw FluxException(Error(Errc::Proto, "node not marked down"));
+      throw FluxException(Error(errc::proto, "node not marked down"));
   }(h.get()));
 }
 
@@ -126,14 +127,14 @@ TEST(Failure, MultipleDeaths) {
     co_await kvs.put("multi.death", "ok");
     co_await kvs.commit();
     Json v = co_await kvs.get("multi.death");
-    if (v != Json("ok")) throw FluxException(Error(Errc::Proto, "broken"));
+    if (v != Json("ok")) throw FluxException(Error(errc::proto, "broken"));
   }(h.get()));
 }
 
 TEST(Failure, PendingRpcOnFailedBrokerSettles) {
   SimSession s(failure_config(8));
   auto h = s.attach(3);
-  Errc seen = Errc::Ok;
+  Errc seen = errc::ok;
   co_spawn(s.ex(), [](Handle* hd, Errc* out) -> Task<void> {
     try {
       // A barrier that will never complete while the broker dies.
@@ -145,7 +146,7 @@ TEST(Failure, PendingRpcOnFailedBrokerSettles) {
   s.settle(std::chrono::microseconds(500));
   s.session().fail(3);
   s.ex().run();
-  EXPECT_EQ(seen, Errc::HostDown);
+  EXPECT_EQ(seen, errc::host_down);
 }
 
 
@@ -203,32 +204,32 @@ TEST(Failure, ShardMasterDeathHealsAndOtherShardsKeepServing) {
         // The dead shard's data is gone; reads fail fast with EHOSTDOWN.
         try {
           (void)co_await kvs.get(key);
-          throw FluxException(Error(Errc::Proto, "read of dead shard passed"));
+          throw FluxException(Error(errc::proto, "read of dead shard passed"));
         } catch (const FluxException& e) {
-          if (e.error().code != Errc::HostDown) throw;
+          if (e.error().code != errc::host_down) throw;
         }
       } else {
         // Live shards keep serving reads...
         Json v = co_await kvs.get(key);
         if (v != Json((*keys)[sh]))
-          throw FluxException(Error(Errc::Proto, "live shard lost data"));
+          throw FluxException(Error(errc::proto, "live shard lost data"));
         // ...and writes.
         co_await kvs.put(key, "rewritten");
         auto r = co_await kvs.commit();
         if (r.vv.size() != 4)
-          throw FluxException(Error(Errc::Proto, "no vv after death"));
+          throw FluxException(Error(errc::proto, "no vv after death"));
         Json w = co_await kvs.get(key);
         if (w != Json("rewritten"))
-          throw FluxException(Error(Errc::Proto, "post-death write lost"));
+          throw FluxException(Error(errc::proto, "post-death write lost"));
       }
     }
     // Writes destined to the dead shard are refused, not hung.
     try {
       co_await kvs.put((*keys)[dead] + ".w", 1);
       co_await kvs.commit();
-      throw FluxException(Error(Errc::Proto, "write to dead shard passed"));
+      throw FluxException(Error(errc::proto, "write to dead shard passed"));
     } catch (const FluxException& e) {
-      if (e.error().code != Errc::HostDown) throw;
+      if (e.error().code != errc::host_down) throw;
     }
   }(h.get(), &key_on, dead_shard));
 }
@@ -287,7 +288,7 @@ TEST(Failure, ShardMasterDeathSettlesInFlightFence) {
   EXPECT_EQ(done, 1) << "fence waiter hung after shard master death";
   EXPECT_EQ(done2, 1);
   ASSERT_TRUE(seen.has_value());
-  EXPECT_EQ(*seen, Errc::HostDown);
+  EXPECT_EQ(*seen, errc::host_down);
 }
 
 TEST(Failure, DirectRpcToDeadBrokerSettles) {
@@ -306,10 +307,76 @@ TEST(Failure, DirectRpcToDeadBrokerSettles) {
       (void)co_await kvs.get("anything.here");  // any key: walk needs roots
       co_return;  // NoEnt/HostDown both acceptable shapes below
     } catch (const FluxException& e) {
-      if (e.error().code != Errc::HostDown && e.error().code != Errc::NoEnt)
+      if (e.error().code != errc::host_down && e.error().code != errc::noent)
         throw;
     }
   }(h.get()));
+}
+
+TEST(Failure, WatchRefiresAcrossShardMasterFailover) {
+  // A KvsClient::watch survives its shard master dying: the hb-driven
+  // failover promotes a successor, the successor's "kvs.setroot.<s>"
+  // announcement re-fires the watch (value lost: empty-root bootstrap), and
+  // writes through the new master fire it again with the new value.
+  SessionConfig cfg = sharded_failure_config(8, 2);
+  Json mc = cfg.module_config;
+  mc["kvs"] = Json::object({{"shards", 2}, {"failover", true}});
+  cfg.module_config = std::move(mc);
+  cfg.rpc = RetryPolicy{std::chrono::milliseconds(2), 3,
+                        std::chrono::microseconds(100)};
+  SimSession s(cfg);
+
+  auto* kvs0 =
+      dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+  ASSERT_NE(kvs0, nullptr);
+  const ShardMap& map = kvs0->shard_map();
+  // The shard mastered off-root, and a key living on it.
+  std::uint32_t shard = 0;
+  for (std::uint32_t sh = 0; sh < 2; ++sh)
+    if (map.master_rank(sh) != 0) shard = sh;
+  const NodeId master = map.master_rank(shard);
+  ASSERT_NE(master, 0u);
+  std::string key;
+  for (int i = 0; key.empty(); ++i)
+    if (map.shard_of("wf" + std::to_string(i)) == shard)
+      key = "wf" + std::to_string(i) + ".x";
+
+  auto watcher = s.attach(6);
+  KvsClient wkvs(*watcher);
+  std::vector<bool> fires;  // true = value present at fire time
+  WatchHandle watch = wkvs.watch(
+      key, [&](const std::optional<Json>& v) { fires.push_back(v.has_value()); });
+  s.ex().run();
+  ASSERT_EQ(fires.size(), 1u);  // initial: absent
+  EXPECT_FALSE(fires[0]);
+
+  auto writer = s.attach(2);
+  s.run([](Handle* hd, std::string k) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put(k, "v1");
+    co_await kvs.commit();
+  }(writer.get(), key));
+  s.ex().run();
+  ASSERT_GE(fires.size(), 2u);
+  EXPECT_TRUE(fires.back());  // saw the committed value
+
+  const std::size_t before = fires.size();
+  s.session().fail(master);
+  s.settle(std::chrono::milliseconds(5));  // detect, promote, announce
+  ASSERT_GT(fires.size(), before)
+      << "watch did not re-fire on the successor's setroot announcement";
+  EXPECT_FALSE(fires.back());  // successor bootstraps empty: value lost
+  const std::vector<NodeId>& masters = kvs0->shard_masters();
+  EXPECT_NE(masters[shard], master) << "no successor promoted";
+
+  s.run([](Handle* hd, std::string k) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put(k, "v2");
+    co_await kvs.commit();
+  }(writer.get(), key));
+  s.ex().run();
+  EXPECT_TRUE(fires.back());  // re-fired with the post-failover value
+  EXPECT_TRUE(watch.active());
 }
 
 }  // namespace

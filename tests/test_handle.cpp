@@ -19,7 +19,7 @@ TEST(Handle, RpcCheckThrowsTypedErrors) {
     }(h.get()));
     FAIL() << "expected throw";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::NoEnt);
+    EXPECT_EQ(e.error().code, errc::noent);
     // The message carries both the topic and the module's explanation.
     EXPECT_NE(std::string(e.what()).find("kvs.get"), std::string::npos);
   }
@@ -33,7 +33,7 @@ TEST(Handle, RawRpcReturnsErrnumWithoutThrowing) {
     Message r = co_await hd->request("kvs.get").payload(std::move(payload)).send();
     co_return r;
   }(h.get()));
-  EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoEnt));
+  EXPECT_EQ(resp.errnum, static_cast<int>(errc::noent));
 }
 
 TEST(Handle, ManyHandlesOnOneBrokerAreIndependent) {
@@ -49,13 +49,13 @@ TEST(Handle, ManyHandlesOnOneBrokerAreIndependent) {
     co_await kb.commit();  // b has nothing pending
     try {
       (void)co_await kb.get("iso.a");
-      throw FluxException(Error(Errc::Proto, "a's put leaked through b"));
+      throw FluxException(Error(errc::proto, "a's put leaked through b"));
     } catch (const FluxException& e) {
-      if (e.error().code != Errc::NoEnt) throw;
+      if (e.error().code != errc::noent) throw;
     }
     co_await ka.commit();  // now a's put becomes visible
     Json v = co_await kb.get("iso.a");
-    if (v != Json(1)) throw FluxException(Error(Errc::Proto, "lost put"));
+    if (v != Json(1)) throw FluxException(Error(errc::proto, "lost put"));
   }(a.get(), b.get()));
 }
 
@@ -63,10 +63,10 @@ TEST(Handle, SubscriptionCallbacksMayResubscribe) {
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(1);
   int first = 0, second = 0;
-  std::uint64_t sub2 = 0;
-  h->subscribe("re", [&](const Message&) {
+  Subscription sub2;
+  Subscription sub1 = h->subscribe("re", [&](const Message&) {
     ++first;
-    if (sub2 == 0)
+    if (!sub2)
       sub2 = h->subscribe("re", [&](const Message&) { ++second; });
   });
   h->publish("re.1");
@@ -83,7 +83,7 @@ TEST(Handle, DestroyedHandleStopsReceiving) {
   int count = 0;
   {
     auto h = s.attach(2);
-    h->subscribe("gone", [&](const Message&) { ++count; });
+    Subscription sub = h->subscribe("gone", [&](const Message&) { ++count; });
     pub->publish("gone.1");
     s.ex().run();
     EXPECT_EQ(count, 1);
@@ -122,7 +122,7 @@ TEST(Handle, ConcurrentRpcsMatchIndependently) {
       Handle::check(resp);
       ObjPtr obj = parse_object(*resp.data);
       if (obj->value() != Json(i))
-        throw FluxException(Error(Errc::Proto, "responses cross-matched"));
+        throw FluxException(Error(errc::proto, "responses cross-matched"));
     }
   }(h.get()));
 }

@@ -33,7 +33,7 @@ TEST(Integration, FullStackConcurrentWorkloads) {
       std::string peer =
           co_await pmi.get("c" + std::to_string((rank + 7) % 32));
       if (peer != std::to_string((rank + 7) % 32))
-        throw FluxException(Error(Errc::Proto, "bad peer card"));
+        throw FluxException(Error(errc::proto, "bad peer card"));
       ++*d;
     }(pmi_handles.back().get(), p, &pmi_done), "pmi");
   }
@@ -47,7 +47,7 @@ TEST(Integration, FullStackConcurrentWorkloads) {
                                  {"ranks", Json()}});
     Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
     if (!r.payload.get_bool("success"))
-      throw FluxException(Error(Errc::Proto, "wexec failed"));
+      throw FluxException(Error(errc::proto, "wexec failed"));
     ++*d;
   }(wh.get(), &wexec_done), "wexec");
 
@@ -81,7 +81,7 @@ TEST(Integration, FullStackConcurrentWorkloads) {
     KvsClient kvs(*h);
     (void)co_await kvs.get("lwj.intwx.31.stdout");     // wexec capture
     auto mon = co_await kvs.list_dir("mon.data.load");  // mon aggregates
-    if (mon.empty()) throw FluxException(Error(Errc::Proto, "no samples"));
+    if (mon.empty()) throw FluxException(Error(errc::proto, "no samples"));
   }(check.get()));
   auto* root_log =
       dynamic_cast<modules::Log*>(s.session().broker(0).find_module("log"));
@@ -97,13 +97,14 @@ TEST(Integration, EventOrderIsIdenticalEverywhere) {
   // observe the exact same global order (root sequencing).
   std::vector<std::unique_ptr<Handle>> pubs;
   std::vector<std::unique_ptr<Handle>> subs;
+  std::vector<Subscription> guards;
   std::vector<std::vector<std::string>> seen(4);
   for (int i = 0; i < 4; ++i) {
     subs.push_back(s.attach(static_cast<NodeId>(15 - i * 4)));
     auto* sink = &seen[static_cast<std::size_t>(i)];
-    subs.back()->subscribe("race", [sink](const Message& ev) {
+    guards.push_back(subs.back()->subscribe("race", [sink](const Message& ev) {
       sink->push_back(ev.topic);
-    });
+    }));
   }
   for (int p = 0; p < 3; ++p) {
     pubs.push_back(s.attach(static_cast<NodeId>(p * 5 + 1)));
@@ -156,7 +157,7 @@ TEST(Integration, CenterScaleKvsSweep) {
       for (int w = 0; w < kWriters; ++w) {
         Json v = co_await kvs.get("sweep.w" + std::to_string(w));
         if (v.as_string().size() != static_cast<std::size_t>(64 + w))
-          throw FluxException(Error(Errc::Proto, "bad sweep value"));
+          throw FluxException(Error(errc::proto, "bad sweep value"));
       }
     }(reader.get()));
   }
@@ -169,7 +170,8 @@ TEST(Integration, WatchDrivenToolReactsToJobCompletion) {
   auto tool = s.attach(5);
   KvsClient tool_kvs(*tool);
   int wakes = 0;
-  tool_kvs.watch("lwj", [&](const std::optional<Json>&) { ++wakes; });
+  WatchHandle watch =
+      tool_kvs.watch("lwj", [&](const std::optional<Json>&) { ++wakes; });
   s.ex().run();
   EXPECT_EQ(wakes, 1);  // initial (absent)
 

@@ -40,7 +40,7 @@ TEST(Kvs, GetMissingKeyIsEnoent) {
     }(h.get()));
     FAIL() << "expected ENOENT";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::NoEnt);
+    EXPECT_EQ(e.error().code, errc::noent);
   }
 }
 
@@ -55,7 +55,7 @@ TEST(Kvs, PathAcrossValueIsEnotdir) {
     }(h.get()));
     FAIL() << "expected ENOTDIR";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::NotDir);
+    EXPECT_EQ(e.error().code, errc::not_dir);
   }
 }
 
@@ -70,7 +70,7 @@ TEST(Kvs, GetDirectoryIsEisdir) {
     }(h.get()));
     FAIL() << "expected EISDIR";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::IsDir);
+    EXPECT_EQ(e.error().code, errc::is_dir);
   }
 }
 
@@ -85,7 +85,7 @@ TEST(Kvs, ListDirAndRootDir) {
     co_await kvs.commit();
     auto top = co_await kvs.list_dir("top");
     if (top != std::vector<std::string>{"a", "b"})
-      throw FluxException(Error(Errc::Proto, "bad top listing"));
+      throw FluxException(Error(errc::proto, "bad top listing"));
     auto root = co_await kvs.list_dir(".");
     bool has_top = false, has_other = false;
     for (const auto& name : root) {
@@ -93,7 +93,7 @@ TEST(Kvs, ListDirAndRootDir) {
       has_other |= (name == "other");
     }
     if (!has_top || !has_other)
-      throw FluxException(Error(Errc::Proto, "bad root listing"));
+      throw FluxException(Error(errc::proto, "bad root listing"));
   }(h.get()));
 }
 
@@ -108,9 +108,9 @@ TEST(Kvs, UnlinkRemovesKey) {
     co_await kvs.commit();
     try {
       (void)co_await kvs.get("gone.soon");
-      throw FluxException(Error(Errc::Proto, "key still present"));
+      throw FluxException(Error(errc::proto, "key still present"));
     } catch (const FluxException& e) {
-      if (e.error().code != Errc::NoEnt) throw;
+      if (e.error().code != errc::noent) throw;
     }
   }(h.get()));
 }
@@ -124,7 +124,7 @@ TEST(Kvs, MkdirCreatesEmptyDirectory) {
     co_await kvs.commit();
     auto names = co_await kvs.list_dir("empty.dir");
     if (!names.empty())
-      throw FluxException(Error(Errc::Proto, "expected empty dir"));
+      throw FluxException(Error(errc::proto, "expected empty dir"));
   }(h.get()));
 }
 
@@ -138,11 +138,11 @@ TEST(Kvs, OverwriteReplacesValueAndBumpsVersion) {
     co_await kvs.put("k", 2);
     auto r2 = co_await kvs.commit();
     if (r2.version <= r1.version)
-      throw FluxException(Error(Errc::Proto, "version not monotonic"));
+      throw FluxException(Error(errc::proto, "version not monotonic"));
     if (r2.rootref == r1.rootref)
-      throw FluxException(Error(Errc::Proto, "root ref did not change"));
+      throw FluxException(Error(errc::proto, "root ref did not change"));
     Json v = co_await kvs.get("k");
-    if (v != Json(2)) throw FluxException(Error(Errc::Proto, "stale value"));
+    if (v != Json(2)) throw FluxException(Error(errc::proto, "stale value"));
   }(h.get()));
 }
 
@@ -156,11 +156,11 @@ TEST(Kvs, ValueReplacedByDirectoryAndBack) {
     co_await kvs.put("morph.child", 2);  // morph becomes a directory
     co_await kvs.commit();
     Json v = co_await kvs.get("morph.child");
-    if (v != Json(2)) throw FluxException(Error(Errc::Proto, "bad child"));
+    if (v != Json(2)) throw FluxException(Error(errc::proto, "bad child"));
     co_await kvs.put("morph", 3);  // and back to a value
     co_await kvs.commit();
     Json w = co_await kvs.get("morph");
-    if (w != Json(3)) throw FluxException(Error(Errc::Proto, "bad morph"));
+    if (w != Json(3)) throw FluxException(Error(errc::proto, "bad morph"));
   }(h.get()));
 }
 
@@ -176,7 +176,7 @@ TEST(Kvs, ReadYourWrites) {
       co_await kvs.commit();
       Json v = co_await kvs.get("ryw");
       if (v != Json(i))
-        throw FluxException(Error(Errc::Proto, "stale read-your-write"));
+        throw FluxException(Error(errc::proto, "stale read-your-write"));
     }
   }(h.get()));
 }
@@ -234,7 +234,7 @@ TEST(Kvs, CausalConsistencyViaWaitVersion) {
     co_await kvs.wait_version(v);
     Json value = co_await kvs.get("causal");
     if (value != Json("payload"))
-      throw FluxException(Error(Errc::Proto, "causal read failed"));
+      throw FluxException(Error(errc::proto, "causal read failed"));
   }(b.get(), version));
 }
 
@@ -267,7 +267,7 @@ TEST(Kvs, FenceIsCollectiveCommit) {
     KvsClient kvs(*hd);
     for (NodeId r = 0; r < 8; ++r) {
       Json v = co_await kvs.get("fence.r" + std::to_string(r));
-      if (v != Json(r)) throw FluxException(Error(Errc::Proto, "bad value"));
+      if (v != Json(r)) throw FluxException(Error(errc::proto, "bad value"));
     }
   }(h.get()));
 }
@@ -325,8 +325,8 @@ TEST(Kvs, WatchFiresOnChangeAndOnlyOnChange) {
   auto writer = s.attach(1);
   std::vector<std::optional<Json>> seen;
   auto kvs_watcher = std::make_unique<KvsClient>(*watcher);
-  kvs_watcher->watch("watched.key",
-                     [&](const std::optional<Json>& v) { seen.push_back(v); });
+  WatchHandle watch = kvs_watcher->watch(
+      "watched.key", [&](const std::optional<Json>& v) { seen.push_back(v); });
   s.ex().run();
   ASSERT_EQ(seen.size(), 1u);  // initial callback: absent
   EXPECT_FALSE(seen[0].has_value());
@@ -356,7 +356,8 @@ TEST(Kvs, WatchOnDirectorySeesDeepChanges) {
   auto writer = s.attach(1);
   int fires = 0;
   KvsClient kvs_watcher(*watcher);
-  kvs_watcher.watch("tree", [&](const std::optional<Json>&) { ++fires; });
+  WatchHandle watch =
+      kvs_watcher.watch("tree", [&](const std::optional<Json>&) { ++fires; });
   s.ex().run();
   EXPECT_EQ(fires, 1);  // initial (absent)
   s.run(put_commit(writer.get(), "tree.a.b.c.deep", 1));
@@ -456,7 +457,7 @@ TEST(Kvs, EmptyKeyRejected) {
     }(h.get()));
     FAIL() << "expected EINVAL";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::Inval);
+    EXPECT_EQ(e.error().code, errc::inval);
   }
 }
 
@@ -467,7 +468,7 @@ TEST(Kvs, CommitWithoutPutsStillAdvances) {
     KvsClient kvs(*hd);
     auto r = co_await kvs.commit();
     if (r.version == 0)
-      throw FluxException(Error(Errc::Proto, "no version returned"));
+      throw FluxException(Error(errc::proto, "no version returned"));
   }(h.get()));
 }
 
@@ -504,7 +505,7 @@ TEST(KvsSharded, CommitGetAcrossRanksAndShards) {
     KvsClient kvs(*h);
     for (int d = 0; d < 8; ++d) {
       Json v = co_await kvs.get("dir" + std::to_string(d) + ".k");
-      if (v != Json(d)) throw FluxException(Error(Errc::Proto, "bad value"));
+      if (v != Json(d)) throw FluxException(Error(errc::proto, "bad value"));
     }
     // Root listing is the union of every shard's top level (plus what the
     // resvc module publishes).
@@ -512,7 +513,7 @@ TEST(KvsSharded, CommitGetAcrossRanksAndShards) {
     for (int d = 0; d < 8; ++d) {
       const std::string want = "dir" + std::to_string(d);
       if (std::find(names.begin(), names.end(), want) == names.end())
-        throw FluxException(Error(Errc::Proto, "missing " + want));
+        throw FluxException(Error(errc::proto, "missing " + want));
     }
   }(reader.get()));
 }
@@ -575,7 +576,7 @@ TEST(KvsSharded, FenceCrossShardVisibility) {
       for (NodeId w = 0; w < 8; ++w) {
         Json v = co_await kvs.get("sf" + std::to_string(w) + ".val");
         if (v != Json(w))
-          throw FluxException(Error(Errc::Proto,
+          throw FluxException(Error(errc::proto,
                                     "rank " + std::to_string(rank) +
                                         " missed write " + std::to_string(w)));
       }
@@ -643,7 +644,7 @@ TEST(KvsSharded, CausalAcrossShardsViaWaitVersion) {
     co_await kvs.wait_version(version);
     Json v = co_await kvs.get("causal.x");
     if (v != Json(99))
-      throw FluxException(Error(Errc::Proto, "stale read after wait"));
+      throw FluxException(Error(errc::proto, "stale read after wait"));
   }(r.get(), res.version));
 }
 

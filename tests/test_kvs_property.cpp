@@ -122,7 +122,7 @@ TEST_P(KvsModelTest, RandomOpsMatchReferenceModel) {
         Json got = co_await kvs.get(key);
         if (got != expect)
           throw FluxException(
-              Error(Errc::Proto, "model mismatch at key '" + key + "'"));
+              Error(errc::proto, "model mismatch at key '" + key + "'"));
       }
     }(reader.get(), &ref));
   }
@@ -162,7 +162,7 @@ TEST(KvsProperty, ValueShapesRoundTripExactly) {
       Json got = co_await kvs.get("shape.k" + std::to_string(i));
       if (got != (*values)[i])
         throw FluxException(
-            Error(Errc::Proto, "shape " + std::to_string(i) + " mutated"));
+            Error(errc::proto, "shape " + std::to_string(i) + " mutated"));
     }
   }(h.get(), &shapes));
 }
@@ -197,7 +197,7 @@ TEST(KvsProperty, InterleavedFencesFromDisjointGroups) {
       for (int p = 0; p < 6; ++p) {
         Json v = co_await kvs.get("g" + std::to_string(g) + ".k" +
                                   std::to_string(p));
-        if (v != Json(p)) throw FluxException(Error(Errc::Proto, "lost key"));
+        if (v != Json(p)) throw FluxException(Error(errc::proto, "lost key"));
       }
   }(h.get()));
 }
@@ -330,6 +330,86 @@ TEST(ShardMapProperty, PerShardTreeReachesMasterFromEveryRank) {
             }
           }
         }
+      }
+    }
+  }
+}
+
+TEST(ShardMapProperty, ShardAssignmentIgnoresTreeShapeAndSessionSize) {
+  // Rendezvous stability under rank relabeling: which shard owns a key is a
+  // pure function of the key's top-level directory and the shard count. The
+  // session size, the reduction-tree arity, and (after a failover) which
+  // rank currently masters the shard never move keys between shards.
+  Rng rng(0x5eedULL);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = random_key(rng);
+    for (const std::uint32_t shards : {2u, 3u, 5u}) {
+      const std::uint32_t expected = ShardMap(8, shards, 2).shard_of(key);
+      for (const std::uint32_t size : {8u, 16u, 31u})
+        for (const std::uint32_t arity : {2u, 3u})
+          EXPECT_EQ(ShardMap(size, shards, arity).shard_of(key), expected)
+              << key << " with " << shards << " shards";
+    }
+  }
+}
+
+TEST(ShardMapProperty, FailoverParentOverloadMatchesStaticMaster) {
+  // parent(s, r) is defined as parent(s, r, master_rank(s)); the failover
+  // overload must agree wherever the static master is still in charge.
+  for (const std::uint32_t size : {4u, 8u, 15u}) {
+    ShardMap map(size, 3, 2);
+    for (std::uint32_t s = 0; s < map.shards(); ++s)
+      for (NodeId r = 0; r < size; ++r)
+        EXPECT_EQ(map.parent(s, r), map.parent(s, r, map.master_rank(s)))
+            << "shard " << s << " rank " << r;
+  }
+}
+
+TEST(ShardMapProperty, RelabeledTreeReachesAnyPromotedMaster) {
+  // After a failover promotes an arbitrary successor, every broker re-derives
+  // the shard tree around the new master. Whatever rank is promoted, the
+  // relabeled tree stays a rooted acyclic heap: climbing from any rank
+  // terminates at the master within `size` hops.
+  for (const std::uint32_t size : {5u, 8u, 13u}) {
+    for (const std::uint32_t arity : {2u, 3u}) {
+      ShardMap map(size, 2, arity);
+      for (NodeId master = 0; master < size; ++master) {
+        EXPECT_FALSE(map.parent(1, master, master).has_value());
+        for (NodeId r = 0; r < size; ++r) {
+          std::set<NodeId> visited;
+          NodeId cur = r;
+          while (cur != master) {
+            ASSERT_TRUE(visited.insert(cur).second) << "cycle at " << cur;
+            auto up = map.parent(1, cur, master);
+            ASSERT_TRUE(up.has_value()) << "dead end at " << cur;
+            ASSERT_LT(*up, size);
+            cur = *up;
+            ASSERT_LE(visited.size(), size);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardMapProperty, RelabelingIsAPureRotation) {
+  // The failover tree is the heap tree relabeled by rotating ranks so the
+  // master sits at logical 0: parent(s, r, m) == rotate(heap_parent(lid))
+  // where lid = (r - m) mod size. Pin the closed form so the module-side
+  // copy in KvsModule::shard_parent_live can't drift from the map.
+  const std::uint32_t size = 11, arity = 3;
+  ShardMap map(size, 2, arity);
+  for (NodeId master = 0; master < size; ++master) {
+    for (NodeId r = 0; r < size; ++r) {
+      const std::uint32_t lid = (r + size - master) % size;
+      const auto got = map.parent(1, r, master);
+      if (lid == 0) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        const std::uint32_t parent_lid = (lid - 1) / arity;
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, (parent_lid + master) % size)
+            << "master " << master << " rank " << r;
       }
     }
   }

@@ -47,7 +47,7 @@ TEST(Heartbeat, EventsCarryMonotoneEpochs) {
   SimSession s(fast_hb_config(4));
   auto h = s.attach(3);
   std::vector<std::int64_t> epochs;
-  h->subscribe("hb", [&](const Message& ev) {
+  Subscription sub = h->subscribe("hb", [&](const Message& ev) {
     epochs.push_back(ev.payload.get_int("epoch"));
   });
   s.settle(std::chrono::milliseconds(1));
@@ -75,7 +75,7 @@ TEST(Live, DetectsDeadChildAndPublishesDown) {
   SimSession s(fast_hb_config(8));
   auto h = s.attach(0);
   std::vector<std::int64_t> down;
-  h->subscribe("live.down", [&](const Message& ev) {
+  Subscription sub = h->subscribe("live.down", [&](const Message& ev) {
     down.push_back(ev.payload.get_int("rank"));
   });
   s.settle(std::chrono::milliseconds(1));
@@ -152,7 +152,7 @@ TEST(Log, GetReturnsRecentRecords) {
     Json query = Json::object({{"max", 10}});
     Message resp = co_await hd->request("log.get").payload(std::move(query)).call();
     if (resp.payload.at("records").size() < 1)
-      throw FluxException(Error(Errc::Proto, "no records returned"));
+      throw FluxException(Error(errc::proto, "no records returned"));
   }(h.get()));
 }
 
@@ -166,9 +166,9 @@ TEST(Log, DumpReturnsLocalRing) {
     // Rank-addressed: this broker's ring buffer.
     Message resp = co_await hd->request("log.dump").to(3).call();
     if (resp.payload.get_int("rank") != 3)
-      throw FluxException(Error(Errc::Proto, "wrong rank"));
+      throw FluxException(Error(errc::proto, "wrong rank"));
     if (resp.payload.at("records").size() < 1)
-      throw FluxException(Error(Errc::Proto, "empty ring"));
+      throw FluxException(Error(errc::proto, "empty ring"));
   }(h.get()));
 }
 
@@ -238,7 +238,7 @@ TEST(Mon, NoSamplingWithoutKvsActivation) {
     }(h.get()));
     FAIL() << "expected ENOENT (no samples stored)";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::NoEnt);
+    EXPECT_EQ(e.error().code, errc::noent);
   }
 }
 
@@ -258,13 +258,13 @@ TEST(Group, JoinLeaveInfo) {
     Json q = Json::object({{"name", "tools"}});
     Message info = co_await h1->request("group.info").payload(std::move(q)).call();
     if (info.payload.get_int("size") != 2)
-      throw FluxException(Error(Errc::Proto, "expected 2 members"));
+      throw FluxException(Error(errc::proto, "expected 2 members"));
     Json l = Json::object({{"name", "tools"}});
     co_await h2->request("group.leave").payload(std::move(l)).call();
     Json q2 = Json::object({{"name", "tools"}});
     Message info2 = co_await h1->request("group.info").payload(std::move(q2)).call();
     if (info2.payload.get_int("size") != 1)
-      throw FluxException(Error(Errc::Proto, "expected 1 member"));
+      throw FluxException(Error(errc::proto, "expected 1 member"));
   }(a.get(), b.get()));
 }
 
@@ -272,7 +272,8 @@ TEST(Group, ChangeEventsPublished) {
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(1);
   int changes = 0;
-  h->subscribe("group.change", [&](const Message&) { ++changes; });
+  Subscription sub =
+      h->subscribe("group.change", [&](const Message&) { ++changes; });
   s.run([](Handle* hd) -> Task<void> {
     Json j = Json::object({{"name", "g"}});
     co_await hd->request("group.join").payload(std::move(j)).call();
@@ -291,7 +292,7 @@ TEST(Group, ListGroups) {
     co_await hd->request("group.join").payload(std::move(j2)).call();
     Message resp = co_await hd->request("group.list").call();
     if (resp.payload.at("groups").size() != 2)
-      throw FluxException(Error(Errc::Proto, "expected 2 groups"));
+      throw FluxException(Error(errc::proto, "expected 2 groups"));
   }(h.get()));
 }
 

@@ -44,8 +44,8 @@ TEST(Message, RespondCopiesRoutingState) {
   EXPECT_EQ(ok.route, req.route);
   EXPECT_EQ(ok.topic, "kvs.get");
 
-  Message err = req.respond_error(Errc::NoEnt, "no such key");
-  EXPECT_EQ(err.errnum, static_cast<int>(Errc::NoEnt));
+  Message err = req.respond_error(errc::noent, "no such key");
+  EXPECT_EQ(err.errnum, static_cast<int>(errc::noent));
   EXPECT_EQ(err.payload.get_string("errmsg"), "no such key");
 }
 

@@ -228,7 +228,7 @@ TEST(ObsStats, RpcTimeoutCountsAndLateResponseIsDropped) {
           .payload(std::move(payload))
           .timeout(std::chrono::milliseconds(5));
     } catch (const FluxException& e) {
-      *out = (e.error().code == Errc::TimedOut);
+      *out = (e.error().code == errc::timeout);
     }
   }(h1.get(), &timed_out));
   EXPECT_TRUE(timed_out);
@@ -255,14 +255,14 @@ TEST(KvsTxn, ExplicitTransactionCommitsAtomically) {
     KvsTxn txn;
     txn.put("txn.a", 1).put("txn.b", 2).mkdir("txn.dir");
     if (txn.size() != 3)
-      throw FluxException(Error(Errc::Proto, "expected 3 staged ops"));
+      throw FluxException(Error(errc::proto, "expected 3 staged ops"));
     CommitResult r = co_await kvs.commit(std::move(txn));
     if (r.version == 0)
-      throw FluxException(Error(Errc::Proto, "commit did not advance root"));
+      throw FluxException(Error(errc::proto, "commit did not advance root"));
     Json a = co_await kvs.get("txn.a");
     Json b = co_await kvs.get("txn.b");
     if (a != Json(1) || b != Json(2))
-      throw FluxException(Error(Errc::Proto, "txn values lost"));
+      throw FluxException(Error(errc::proto, "txn values lost"));
     (void)co_await kvs.list_dir("txn.dir");
   }(h.get()));
 }
@@ -274,18 +274,18 @@ TEST(KvsTxn, StagedWritesInvisibleUntilCommit) {
     KvsClient kvs(*hd);
     co_await kvs.put("inv.k", 9);  // staged in the default txn only
     if (kvs.txn().size() != 1)
-      throw FluxException(Error(Errc::Proto, "put did not stage"));
+      throw FluxException(Error(errc::proto, "put did not stage"));
     try {
       (void)co_await kvs.get("inv.k");
-      throw FluxException(Error(Errc::Proto, "uncommitted put visible"));
+      throw FluxException(Error(errc::proto, "uncommitted put visible"));
     } catch (const FluxException& e) {
-      if (e.error().code != Errc::NoEnt) throw;
+      if (e.error().code != errc::noent) throw;
     }
     co_await kvs.commit();
     if (!kvs.txn().empty())
-      throw FluxException(Error(Errc::Proto, "commit left txn non-empty"));
+      throw FluxException(Error(errc::proto, "commit left txn non-empty"));
     Json v = co_await kvs.get("inv.k");
-    if (v != Json(9)) throw FluxException(Error(Errc::Proto, "lost put"));
+    if (v != Json(9)) throw FluxException(Error(errc::proto, "lost put"));
   }(h.get()));
 }
 
@@ -301,9 +301,9 @@ TEST(KvsTxn, UnlinkStagesTombstone) {
     co_await kvs.commit(std::move(txn));
     try {
       (void)co_await kvs.get("del.k");
-      throw FluxException(Error(Errc::Proto, "unlinked key still readable"));
+      throw FluxException(Error(errc::proto, "unlinked key still readable"));
     } catch (const FluxException& e) {
-      if (e.error().code != Errc::NoEnt) throw;
+      if (e.error().code != errc::noent) throw;
     }
   }(h.get()));
 }
@@ -314,7 +314,7 @@ TEST(KvsTxn, EmptyKeyRejectedAtStagingTime) {
     txn.put("", 1);
     FAIL() << "expected EINVAL";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::Inval);
+    EXPECT_EQ(e.error().code, errc::inval);
   }
   EXPECT_TRUE(txn.empty());
 }

@@ -21,10 +21,10 @@ TEST(Resvc, EnumeratesNodesIntoKvs) {
     KvsClient kvs(*hd);
     auto nodes = co_await kvs.list_dir("resource.nodes");
     if (nodes.size() != 8)
-      throw FluxException(Error(Errc::Proto, "expected 8 enumerated nodes"));
+      throw FluxException(Error(errc::proto, "expected 8 enumerated nodes"));
     Json n0 = co_await kvs.get("resource.nodes.n0");
     if (n0.get_int("cores") != 16 || n0.get_string("state") != "up")
-      throw FluxException(Error(Errc::Proto, "bad node record"));
+      throw FluxException(Error(errc::proto, "bad node record"));
   }(h.get()));
 }
 
@@ -36,19 +36,19 @@ TEST(Resvc, AllocateRecordsAndFrees) {
     Json req = Json::object({{"jobid", "lwj1"}, {"nnodes", 3}});
     Message resp = co_await hd->request("resvc.alloc").payload(std::move(req)).call();
     if (resp.payload.at("ranks").size() != 3)
-      throw FluxException(Error(Errc::Proto, "expected 3 ranks"));
+      throw FluxException(Error(errc::proto, "expected 3 ranks"));
     // Allocation recorded in the KVS under the job.
     Json rec = co_await kvs.get("lwj.lwj1.resources");
     if (rec.size() != 3)
-      throw FluxException(Error(Errc::Proto, "allocation not recorded"));
+      throw FluxException(Error(errc::proto, "allocation not recorded"));
     Message st = co_await hd->request("resvc.status").call();
     if (st.payload.get_int("free") != 5)
-      throw FluxException(Error(Errc::Proto, "free count wrong"));
+      throw FluxException(Error(errc::proto, "free count wrong"));
     Json fr = Json::object({{"jobid", "lwj1"}});
     co_await hd->request("resvc.free").payload(std::move(fr)).call();
     Message st2 = co_await hd->request("resvc.status").call();
     if (st2.payload.get_int("free") != 8)
-      throw FluxException(Error(Errc::Proto, "free did not return nodes"));
+      throw FluxException(Error(errc::proto, "free did not return nodes"));
   }(h.get()));
 }
 
@@ -62,7 +62,7 @@ TEST(Resvc, ExhaustionIsEnospc) {
     }(h.get()));
     FAIL() << "expected ENOSPC";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::NoSpc);
+    EXPECT_EQ(e.error().code, errc::no_spc);
   }
 }
 
@@ -78,7 +78,7 @@ TEST(Resvc, DuplicateJobidIsEexist) {
     }(h.get()));
     FAIL() << "expected EEXIST";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::Exist);
+    EXPECT_EQ(e.error().code, errc::exist);
   }
 }
 
@@ -109,7 +109,7 @@ TEST(Pmi, FullBootstrapExchange) {
             std::string card =
                 co_await pmi.get("card." + std::to_string(peer));
             if (card != "addr-of-" + std::to_string(peer))
-              throw FluxException(Error(Errc::Proto, "bad business card"));
+              throw FluxException(Error(errc::proto, "bad business card"));
           }
           co_await pmi.finalize();
           ++*done;
@@ -138,7 +138,7 @@ TEST(Pmi, BarrierPublishesPriorPuts) {
     co_await pmi.barrier();
     // After the barrier the peer's put must be visible.
     std::string v = co_await pmi.get("k");
-    if (v != "v") throw FluxException(Error(Errc::Proto, "put not visible"));
+    if (v != "v") throw FluxException(Error(errc::proto, "put not visible"));
     *st += 1;
   }(b.get(), &stage), "pmi-b");
   s.ex().run();
@@ -165,7 +165,7 @@ TEST(Pmi, InitRecordsProcessTable) {
     KvsClient kvs(*hd);
     Json proc0 = co_await kvs.get("ptab.proc.0");
     if (proc0.get_int("broker_rank", -1) < 0)
-      throw FluxException(Error(Errc::Proto, "no broker rank recorded"));
+      throw FluxException(Error(errc::proto, "no broker rank recorded"));
   }(h.get()));
 }
 

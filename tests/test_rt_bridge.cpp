@@ -27,11 +27,11 @@ TEST(RtBridge, JobRunsOnBrokersAndRecordsProvenance) {
     KvsClient kvs(*hd);
     Json rec = co_await kvs.get("lwj.rt" + std::to_string(jobid) + ".record");
     if (rec.get_string("state") != "complete" || rec.get_int("nnodes") != 4)
-      throw FluxException(Error(Errc::Proto, "bad job record"));
+      throw FluxException(Error(errc::proto, "bad job record"));
     // Per-rank stdio exists for the allocated ranks.
     auto dirs = co_await kvs.list_dir("lwj.rt" + std::to_string(jobid));
     if (dirs.size() != 5)  // 4 rank dirs + "record"
-      throw FluxException(Error(Errc::Proto, "unexpected lwj layout"));
+      throw FluxException(Error(errc::proto, "unexpected lwj layout"));
   }(h.get(), *id));
 }
 

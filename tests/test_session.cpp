@@ -17,7 +17,7 @@ TEST(Session, SingleBrokerSessionWorks) {
     co_await kvs.put("solo", 1);
     co_await kvs.commit();
     Json v = co_await kvs.get("solo");
-    if (v != Json(1)) throw FluxException(Error(Errc::Proto, "bad"));
+    if (v != Json(1)) throw FluxException(Error(errc::proto, "bad"));
     co_await hd->barrier("solo", 1);
     (void)co_await hd->ping(0);
   }(h.get()));
@@ -50,7 +50,7 @@ TEST(Session, CustomModuleSetHonored) {
     Message r = co_await hd->request("barrier.enter").send();
     co_return r;
   }(h.get()));
-  EXPECT_EQ(resp.errnum, static_cast<int>(Errc::NoSys));
+  EXPECT_EQ(resp.errnum, static_cast<int>(errc::nosys));
 }
 
 TEST(Session, UnknownModuleNameThrows) {

@@ -6,6 +6,7 @@
 
 #include "api/sync_handle.hpp"
 #include "broker/session.hpp"
+#include "fault/plan.hpp"
 
 namespace flux {
 namespace {
@@ -103,8 +104,36 @@ TEST(Threaded, RpcErrorsSurfaceAsExceptions) {
     (void)h.kvs_get("missing.key");
     FAIL() << "expected ENOENT";
   } catch (const FluxException& e) {
-    EXPECT_EQ(e.error().code, Errc::NoEnt);
+    EXPECT_EQ(e.error().code, errc::noent);
   }
+}
+
+TEST(Threaded, FaultInjectorCoversWireTransport) {
+  // The injector hooks Session::send, which both transports share — so a
+  // drop-everything policy toward one rank makes a retried RPC from a real
+  // client thread resolve with a typed timeout instead of blocking forever.
+  // (Deterministic despite threads: drop probability 1.0 needs no RNG order.)
+  fault::FaultPlan plan(7);  // declared before the session: must outlive it
+  fault::LinkPolicy lossy;
+  lossy.to = 3;
+  lossy.drop = 1.0;
+  plan.link(lossy);
+
+  SessionConfig cfg = threaded_config(4);
+  cfg.rpc = RetryPolicy{std::chrono::milliseconds(50), 1,
+                        std::chrono::milliseconds(1)};
+  auto session = Session::create_threaded(cfg);
+  ASSERT_TRUE(session->wait_online());
+  plan.arm(*session);
+
+  SyncHandle h(*session, 1);
+  try {
+    (void)h.ping(3);
+    FAIL() << "expected flux::errc::timeout";
+  } catch (const FluxException& e) {
+    EXPECT_EQ(e.error().code, errc::timeout);
+  }
+  EXPECT_GT(plan.faults_injected(), 0u);
 }
 
 TEST(Threaded, WireCodecCarriesAttachments) {

@@ -36,10 +36,10 @@ TEST(Wexec, StdioCapturedInKvs) {
     for (int r = 0; r < 4; ++r) {
       Json out = co_await kvs.get("lwj.j2." + std::to_string(r) + ".stdout");
       if (out.as_array().at(0) != Json("node" + std::to_string(r)))
-        throw FluxException(Error(Errc::Proto, "wrong stdout"));
+        throw FluxException(Error(errc::proto, "wrong stdout"));
       Json code = co_await kvs.get("lwj.j2." + std::to_string(r) + ".exitcode");
       if (code != Json(0))
-        throw FluxException(Error(Errc::Proto, "nonzero exit"));
+        throw FluxException(Error(errc::proto, "nonzero exit"));
     }
   }(h.get()));
 }
@@ -57,9 +57,9 @@ TEST(Wexec, RankSubsetSelection) {
     (void)co_await kvs.get("lwj.j3.4.stdout");  // selected: exists
     try {
       (void)co_await kvs.get("lwj.j3.2.stdout");  // not selected
-      throw FluxException(Error(Errc::Proto, "unexpected entry"));
+      throw FluxException(Error(errc::proto, "unexpected entry"));
     } catch (const FluxException& e) {
-      if (e.error().code != Errc::NoEnt) throw;
+      if (e.error().code != errc::noent) throw;
     }
   }(h.get()));
 }
@@ -84,7 +84,7 @@ TEST(Wexec, UnknownCommandIs127) {
     KvsClient kvs(*hd);
     Json err = co_await kvs.get("lwj.j5.0.stderr");
     if (err.as_array().empty())
-      throw FluxException(Error(Errc::Proto, "no stderr captured"));
+      throw FluxException(Error(errc::proto, "no stderr captured"));
   }(h.get()));
 }
 
@@ -108,7 +108,7 @@ TEST(Wexec, DuplicateJobidRejected) {
     try {
       (void)co_await run_job(hd, "dup", "hostname");
     } catch (const FluxException& e) {
-      *out = (e.error().code == Errc::Exist);
+      *out = (e.error().code == errc::exist);
     }
   }(h2.get(), &rejected), "dup");
   s.ex().run_for(std::chrono::milliseconds(1));
@@ -148,7 +148,7 @@ TEST(Wexec, ProcessesUseKvsThroughTheirOwnHandle) {
     KvsClient kvs(*hd);
     Json v = co_await kvs.get("fromproc.v");
     if (v != Json("written"))
-      throw FluxException(Error(Errc::Proto, "kvsput did not stick"));
+      throw FluxException(Error(errc::proto, "kvsput did not stick"));
   }(h.get()));
 }
 
@@ -166,7 +166,7 @@ TEST(Wexec, CustomRegisteredCommand) {
     KvsClient kvs(*hd);
     Json out = co_await kvs.get("lwj.j7.1.stdout");
     if (out.as_array().at(0) != Json("42"))
-      throw FluxException(Error(Errc::Proto, "custom command output wrong"));
+      throw FluxException(Error(errc::proto, "custom command output wrong"));
   }(h.get()));
 }
 
