@@ -53,8 +53,8 @@ void BM_MessageCodecRoundTrip(benchmark::State& state) {
   Message m = Message::request("kvs.put", Json::object({{"key", "a.b.c"}}));
   m.route = {RouteHop{RouteHop::Kind::Client, 3, 12},
              RouteHop{RouteHop::Kind::Broker, 1, 0}};
-  m.data = std::make_shared<const std::string>(
-      rng.bytes(static_cast<std::size_t>(state.range(0))));
+  m.set_data(std::make_shared<const std::string>(
+      rng.bytes(static_cast<std::size_t>(state.range(0)))));
   for (auto _ : state) {
     auto wire = encode(m);
     auto back = decode(wire);
@@ -64,6 +64,37 @@ void BM_MessageCodecRoundTrip(benchmark::State& state) {
                           static_cast<std::int64_t>(m.wire_size()));
 }
 BENCHMARK(BM_MessageCodecRoundTrip)->Arg(8)->Arg(512)->Arg(32768);
+
+// Forwarding-hop encode cost. An interior broker re-encodes each message it
+// relays; the body encoding (JSON dump + data + attachment) is memoized on
+// the Message, so hop N memcpys the cached bytes instead of re-serializing.
+// Arg 1 selects the path: 1 = cached (forwarding steady state), 0 = the
+// cache invalidated every iteration (the pre-memoization cost, kept as the
+// comparison baseline).
+void BM_MessageForwardEncode(benchmark::State& state) {
+  const bool cached = state.range(1) != 0;
+  Rng rng(6);
+  Message m = Message::request(
+      "kvs.load", Json::object({{"refs", Json::array()}, {"shard", 0}}));
+  m.route = {RouteHop{RouteHop::Kind::Client, 3, 12},
+             RouteHop{RouteHop::Kind::Broker, 1, 0}};
+  m.set_data(std::make_shared<const std::string>(
+      rng.bytes(static_cast<std::size_t>(state.range(0)))));
+  auto warm = encode(m);
+  benchmark::DoNotOptimize(warm);
+  for (auto _ : state) {
+    if (!cached) m.set_payload(Json(m.payload()));
+    auto wire = encode(m);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.wire_size()));
+}
+BENCHMARK(BM_MessageForwardEncode)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({32768, 0})
+    ->Args({32768, 1});
 
 void BM_KvsApplyTransaction(benchmark::State& state) {
   const auto ntuples = static_cast<std::size_t>(state.range(0));

@@ -68,7 +68,7 @@ int main() {
           // Let a few heartbeats fire first.
           co_await hd->sleep(std::chrono::milliseconds(2));
           Message r = co_await hd->request("hb.get").call();
-          if (r.payload.get_int("epoch") < 1)
+          if (r.payload().get_int("epoch") < 1)
             throw FluxException(Error(errc::proto, "no heartbeats"));
         }(h.get()));
 
@@ -103,7 +103,7 @@ int main() {
           co_await hd->request("group.join").payload(std::move(j)).call();
           Json q = Json::object({{"name", "t1"}});
           Message info = co_await hd->request("group.info").payload(std::move(q)).call();
-          if (info.payload.get_int("size") != 1)
+          if (info.payload().get_int("size") != 1)
             throw FluxException(Error(errc::proto, "bad group size"));
         }(h.get()));
 
@@ -127,7 +127,7 @@ int main() {
                                        {"args", Json::object()},
                                        {"ranks", Json()}});
           Message r = co_await hd->request("wexec.run").payload(std::move(payload)).call();
-          if (!r.payload.get_bool("success"))
+          if (!r.payload().get_bool("success"))
             throw FluxException(Error(errc::proto, "job failed"));
         }(h.get()));
 

@@ -59,7 +59,7 @@ const std::map<std::string, Command>& commands() {
        {"info", "broker identity, size, depth",
         [](Cli& c, const Args&) {
           Message r = c.h->rpc("cmb.info");
-          std::printf("%s\n", r.payload.dump_pretty().c_str());
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
           return r.errnum;
         }}},
       {"ping",
@@ -77,7 +77,7 @@ const std::map<std::string, Command>& commands() {
           auto req = c.h->request("cmb.lsmod");
           if (!a.empty()) req.to(static_cast<NodeId>(std::stoul(a[0])));
           Message r = req.get();
-          for (const Json& m : r.payload.at("modules").as_array())
+          for (const Json& m : r.payload().at("modules").as_array())
             std::printf("%s\n", m.as_string().c_str());
           return r.errnum;
         }}},
@@ -86,8 +86,8 @@ const std::map<std::string, Command>& commands() {
         [](Cli& c, const Args&) {
           Message r = c.h->rpc("hb.get");
           std::printf("epoch %lld (period %lld us)\n",
-                      static_cast<long long>(r.payload.get_int("epoch")),
-                      static_cast<long long>(r.payload.get_int("period_us")));
+                      static_cast<long long>(r.payload().get_int("epoch")),
+                      static_cast<long long>(r.payload().get_int("period_us")));
           return r.errnum;
         }}},
       {"live",
@@ -97,7 +97,7 @@ const std::map<std::string, Command>& commands() {
           Message r = c.h->request("live.status")
                           .to(static_cast<NodeId>(std::stoul(a[0])))
                           .get();
-          std::printf("%s\n", r.payload.dump_pretty().c_str());
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
           return r.errnum;
         }}},
       {"event-pub",
@@ -169,7 +169,7 @@ const std::map<std::string, Command>& commands() {
           auto req = c.h->request("kvs.stats");
           if (!a.empty()) req.to(static_cast<NodeId>(std::stoul(a[0])));
           Message r = req.get();
-          std::printf("%s\n", r.payload.dump_pretty().c_str());
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
           return r.errnum;
         }}},
       {"kvs-drop-cache",
@@ -180,7 +180,7 @@ const std::map<std::string, Command>& commands() {
                           .to(static_cast<NodeId>(std::stoul(a[0])))
                           .get();
           std::printf("evicted %lld\n",
-                      static_cast<long long>(r.payload.get_int("evicted")));
+                      static_cast<long long>(r.payload().get_int("evicted")));
           return r.errnum;
         }}},
       // --- wexec -------------------------------------------------------------
@@ -194,7 +194,7 @@ const std::map<std::string, Command>& commands() {
                {"args", a.size() > 2 ? parse_value(a[2]) : Json::object()},
                {"ranks", Json()}});
           Message r = c.h->rpc("wexec.run", std::move(payload));
-          std::printf("%s\n", r.payload.dump_pretty().c_str());
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
           return r.errnum;
         }}},
       {"ps",
@@ -204,7 +204,7 @@ const std::map<std::string, Command>& commands() {
           Message r = c.h->request("wexec.ps")
                           .to(static_cast<NodeId>(std::stoul(a[0])))
                           .get();
-          std::printf("%s\n", r.payload.dump_pretty().c_str());
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
           return r.errnum;
         }}},
       {"kill",
@@ -224,7 +224,7 @@ const std::map<std::string, Command>& commands() {
           Json query =
               Json::object({{"max", a.empty() ? 20 : std::stoll(a[0])}});
           Message r = c.h->rpc("log.get", std::move(query));
-          for (const Json& rec : r.payload.at("records").as_array())
+          for (const Json& rec : r.payload().at("records").as_array())
             std::printf("[%lld] rank%lld %s: %s\n",
                         static_cast<long long>(rec.get_int("level")),
                         static_cast<long long>(rec.get_int("rank")),
@@ -250,7 +250,7 @@ const std::map<std::string, Command>& commands() {
           Message r = c.h->request("log.dump")
                           .to(static_cast<NodeId>(std::stoul(a[0])))
                           .get();
-          std::printf("%zu records in ring\n", r.payload.at("records").size());
+          std::printf("%zu records in ring\n", r.payload().at("records").size());
           return r.errnum;
         }}},
       // --- resources ----------------------------------------------------------
@@ -258,7 +258,7 @@ const std::map<std::string, Command>& commands() {
        {"resource-status", "free/allocated/down node counts",
         [](Cli& c, const Args&) {
           Message r = c.h->rpc("resvc.status");
-          std::printf("%s\n", r.payload.dump_pretty().c_str());
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
           return r.errnum;
         }}},
       {"resource-alloc",
@@ -268,7 +268,7 @@ const std::map<std::string, Command>& commands() {
           Json payload =
               Json::object({{"jobid", a[0]}, {"nnodes", std::stoll(a[1])}});
           Message r = c.h->rpc("resvc.alloc", std::move(payload));
-          std::printf("%s\n", r.payload.dump().c_str());
+          std::printf("%s\n", r.payload().dump().c_str());
           return r.errnum;
         }}},
       {"resource-free",
@@ -295,14 +295,14 @@ const std::map<std::string, Command>& commands() {
           if (int rc = need(a, 1, "group-info <name>")) return rc;
           Json payload = Json::object({{"name", a[0]}});
           Message r = c.h->rpc("group.info", std::move(payload));
-          std::printf("%s\n", r.payload.dump_pretty().c_str());
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
           return r.errnum;
         }}},
       {"group-list",
        {"group-list", "list all groups",
         [](Cli& c, const Args&) {
           Message r = c.h->rpc("group.list");
-          for (const Json& g : r.payload.at("groups").as_array())
+          for (const Json& g : r.payload().at("groups").as_array())
             std::printf("%s\n", g.as_string().c_str());
           return r.errnum;
         }}},

@@ -42,8 +42,8 @@ Task<void> demo(Handle* h, std::uint32_t size) {
       {{"jobid", "qs1"}, {"cmd", "hostname"}, {"args", args}, {"ranks", Json()}});
   Message run = co_await h->request("wexec.run").payload(std::move(run_payload)).call();
   std::printf("wexec.run: %lld tasks, success=%s\n",
-              static_cast<long long>(run.payload.get_int("ntasks")),
-              run.payload.get_bool("success") ? "true" : "false");
+              static_cast<long long>(run.payload().get_int("ntasks")),
+              run.payload().get_bool("success") ? "true" : "false");
 
   // Each task's output landed in the KVS under lwj.<jobid>.<rank>.stdout.
   Json out0 = co_await kvs.get("lwj.qs1.0.stdout");

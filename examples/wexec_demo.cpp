@@ -26,8 +26,8 @@ Task<void> demo(Handle* h, std::uint32_t nnodes) {
                                  {"ranks", Json()}});
     Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
     std::printf("lwj1: ran 'hostname' on %lld ranks, success=%s\n",
-                static_cast<long long>(r.payload.get_int("ntasks")),
-                r.payload.get_bool("success") ? "true" : "false");
+                static_cast<long long>(r.payload().get_int("ntasks")),
+                r.payload().get_bool("success") ? "true" : "false");
     for (std::uint32_t rank = 0; rank < std::min(nnodes, 4u); ++rank) {
       Json out =
           co_await kvs.get("lwj.lwj1." + std::to_string(rank) + ".stdout");
@@ -55,7 +55,7 @@ Task<void> demo(Handle* h, std::uint32_t nnodes) {
                                  {"ranks", Json::array({0, 1, 2})}});
     Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
     std::printf("lwj2: tool daemons on 3 ranks, success=%s\n",
-                r.payload.get_bool("success") ? "true" : "false");
+                r.payload().get_bool("success") ? "true" : "false");
     auto keys = co_await kvs.list_dir("tool.probe");
     std::printf("  tool data in KVS: %zu entries under tool.probe\n",
                 keys.size());
@@ -74,7 +74,7 @@ Task<void> demo(Handle* h, std::uint32_t nnodes) {
     Message done = co_await pending;
     Handle::check(done);
     std::printf("lwj3: spinners signalled; exit histogram: %s\n",
-                done.payload.at("exits").dump().c_str());
+                done.payload().at("exits").dump().c_str());
   }
 }
 

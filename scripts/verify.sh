@@ -39,4 +39,14 @@ for p in "${presets[@]}"; do
   fi
 done
 
+# Bench smoke: quick-grid run of the Fig. 2/3/4 + micro benches into a
+# scratch dir, so a perf-path regression that crashes or hangs a bench is
+# caught here rather than at the next trajectory recording. Only part of the
+# full sweep (no preset args); numbers are discarded — scripts/bench.sh is
+# the recorded run.
+if [ $# -eq 0 ]; then
+  echo "=== bench smoke (FLUX_BENCH_QUICK=1) ==="
+  FLUX_BENCH_QUICK=1 scripts/bench.sh "$(mktemp -d)"
+fi
+
 echo "verify: all requested presets green"

@@ -110,7 +110,7 @@ void Handle::check(const Message& response) {
   if (response.ok()) return;
   throw FluxException(Error(response.error(),
                             response.topic + ": " +
-                                response.payload.get_string("errmsg", "error")));
+                                response.payload().get_string("errmsg", "error")));
 }
 
 void Handle::publish(std::string topic, Json payload) {
@@ -164,7 +164,7 @@ Task<Json> Handle::ping(NodeId target) {
   Json payload = Json::object({{"from", rank()}});
   Message resp =
       co_await request("cmb.ping").to(target).payload(std::move(payload)).call();
-  co_return resp.payload;
+  co_return resp.payload();
 }
 
 }  // namespace flux

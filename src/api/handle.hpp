@@ -174,19 +174,19 @@ class RequestBuilder {
   }
 
   RequestBuilder& payload(Json j) {
-    req_.payload = std::move(j);
+    req_.set_payload(std::move(j));
     return *this;
   }
 
   /// Attach a bulk data frame (travels outside the JSON payload).
   RequestBuilder& data(std::shared_ptr<const std::string> d) noexcept {
-    req_.data = std::move(d);
+    req_.set_data(std::move(d));
     return *this;
   }
 
   /// Attach a structured bulk attachment (e.g. a KVS ObjectBundle).
   RequestBuilder& attachment(std::shared_ptr<const Attachment> a) noexcept {
-    req_.attachment = std::move(a);
+    req_.set_attachment(std::move(a));
     return *this;
   }
 

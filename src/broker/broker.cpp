@@ -179,10 +179,15 @@ Future<Message> Broker::rpc(std::uint64_t endpoint, Message req) {
 
 Future<Message> Broker::rpc(std::uint64_t endpoint, Message req,
                             Duration timeout) {
-  const std::string topic = req.topic;
+  std::string topic = req.topic;
   auto fut = rpc(endpoint, std::move(req));
-  const std::uint32_t tag = next_matchtag_ - 1;
-  ex_.post_after(timeout, [this, tag, topic] {
+  arm_rpc_timeout(next_matchtag_ - 1, timeout, std::move(topic));
+  return fut;
+}
+
+void Broker::arm_rpc_timeout(std::uint32_t tag, Duration timeout,
+                             std::string topic) {
+  ex_.post_after(timeout, [this, tag, topic = std::move(topic)] {
     auto it = pending_.find(tag);
     if (it == pending_.end()) return;
     auto promise = it->second.promise;
@@ -191,7 +196,6 @@ Future<Message> Broker::rpc(std::uint64_t endpoint, Message req,
     registry_.counter("cmb.rpc_timeouts").inc();
     promise.set_error(Error(errc::timeout, "rpc timeout: " + topic));
   });
-  return fut;
 }
 
 void Broker::submit(std::uint64_t endpoint, Message req) {
@@ -332,6 +336,13 @@ Future<Message> Broker::module_rpc(Module& m, Message req) {
   return promise.future();
 }
 
+Future<Message> Broker::module_rpc(Module& m, Message req, Duration timeout) {
+  std::string topic = req.topic;
+  auto fut = module_rpc(m, std::move(req));
+  arm_rpc_timeout(next_matchtag_ - 1, timeout, std::move(topic));
+  return fut;
+}
+
 Future<Message> Broker::direct_rpc(Module& m, NodeId to, Message req) {
   Promise<Message> promise(ex_);
   req.matchtag = next_matchtag_++;
@@ -344,6 +355,14 @@ Future<Message> Broker::direct_rpc(Module& m, NodeId to, Message req) {
   else
     send(to, std::move(req));
   return promise.future();
+}
+
+Future<Message> Broker::direct_rpc(Module& m, NodeId to, Message req,
+                                   Duration timeout) {
+  std::string topic = req.topic;
+  auto fut = direct_rpc(m, to, std::move(req));
+  arm_rpc_timeout(next_matchtag_ - 1, timeout, std::move(topic));
+  return fut;
 }
 
 void Broker::forward_direct(NodeId to, Message req) {
@@ -402,11 +421,11 @@ void Broker::deliver_event(const Message& msg) {
     // authoritative parent relation BEFORE forwarding down — the event must
     // reach the rejoined rank through its brand-new parent link, the same
     // heal-then-forward discipline live.down uses.
-    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
-    if (back < size() && msg.payload.contains("parents") &&
-        msg.payload.at("parents").is_array() &&
-        msg.payload.at("parents").size() == size()) {
-      const auto& arr = msg.payload.at("parents").as_array();
+    const auto back = static_cast<NodeId>(msg.payload().get_int("rank", -1));
+    if (back < size() && msg.payload().contains("parents") &&
+        msg.payload().at("parents").is_array() &&
+        msg.payload().at("parents").size() == size()) {
+      const auto& arr = msg.payload().at("parents").as_array();
       std::vector<std::optional<NodeId>> rel(size());
       for (std::uint32_t r = 0; r < size(); ++r) {
         const std::int64_t p = arr[r].is_int() ? arr[r].as_int() : -1;
@@ -418,7 +437,7 @@ void Broker::deliver_event(const Message& msg) {
         // Our own re-admission doubles as wire-up confirmation.
         online_.store(true, std::memory_order_release);
         log::info("broker", "rank ", rank_, ": rejoined under parent ",
-                  msg.payload.get_int("parent", -1));
+                  msg.payload().get_int("parent", -1));
       }
     }
   }
@@ -432,7 +451,7 @@ void Broker::deliver_event(const Message& msg) {
     // resume (full split-brain recovery is future work, matching the
     // paper: "a design for comprehensive fault tolerance ... is a
     // near-term project activity").
-    const auto dead = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    const auto dead = static_cast<NodeId>(msg.payload().get_int("rank", -1));
     if (dead < size() && dead != rank_) dead_ranks_.insert(dead);
     if (dead < size() && dead != 0 && dead != rank_ && topo_.parent(dead)) {
       const auto moved = topo_.heal_around(dead);
@@ -484,7 +503,7 @@ void Broker::deliver_event(const Message& msg) {
 void Broker::handle_cmb_request(Message msg) {
   const auto method = msg.method();
   if (method == "ping") {
-    Json payload = msg.payload;
+    Json payload = msg.payload();
     payload["rank"] = rank_;
     respond(msg.respond(std::move(payload)));
     return;
@@ -499,7 +518,7 @@ void Broker::handle_cmb_request(Message msg) {
   }
   if (method == "hello") {
     // Wire-up reduction: count descendants reporting in.
-    hello_count_ += static_cast<std::uint32_t>(msg.payload.get_int("count", 1));
+    hello_count_ += static_cast<std::uint32_t>(msg.payload().get_int("count", 1));
     maybe_complete_hello();
     return;
   }
@@ -508,10 +527,10 @@ void Broker::handle_cmb_request(Message msg) {
     // fire-and-forget: the "cmb.rejoin" event is the acknowledgement). The
     // rejoiner attaches under its nearest live static-tree ancestor — the
     // deterministic dual of grandparent healing.
-    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    const auto back = static_cast<NodeId>(msg.payload().get_int("rank", -1));
     if (!is_root() || back >= size() || back == 0) {
       log::warn("broker", "rank ", rank_, ": ignoring bad rejoin for rank ",
-                msg.payload.get_int("rank", -1));
+                msg.payload().get_int("rank", -1));
       return;
     }
     dead_ranks_.erase(back);
@@ -539,7 +558,7 @@ void Broker::handle_cmb_request(Message msg) {
     return;
   }
   if (method == "stats.get") {
-    respond(msg.respond(stats_json(msg.payload.get_bool("all", false))));
+    respond(msg.respond(stats_json(msg.payload().get_bool("all", false))));
     return;
   }
   respond(msg.respond_error(errc::nosys,
@@ -574,7 +593,7 @@ void Broker::maybe_complete_hello() {
   }
   Message hello = Message::request("cmb.hello");
   hello.nodeid = *parent();
-  hello.payload["count"] = hello_count_ + 1;
+  hello.mutable_payload()["count"] = hello_count_ + 1;
   // Direct tree hop: hello is consumed by the parent broker.
   send(*parent(), std::move(hello));
 }
@@ -631,7 +650,7 @@ void Broker::restart() {
   log::info("broker", "rank ", rank_, ": restarting, requesting rejoin");
   Message req = Message::request("cmb.rejoin");
   req.nodeid = 0;
-  req.payload["rank"] = rank_;
+  req.mutable_payload()["rank"] = rank_;
   send(0, std::move(req));
 }
 

@@ -96,6 +96,10 @@ class Broker {
   void publish(std::string topic, Json payload = Json::object());
   /// Module-initiated RPC (routed like any request).
   Future<Message> module_rpc(Module& m, Message req);
+  /// module_rpc() with a per-attempt deadline; resolves errc::timeout if no
+  /// response in time (module-internal RPCs otherwise never fail locally,
+  /// which turns a dropped request into a permanent hang).
+  Future<Message> module_rpc(Module& m, Message req, Duration timeout);
   /// Module-initiated RPC sent straight to `to` over the transport; the
   /// response also returns direct (RouteHop::Kind::Direct). This is the
   /// sharded-KVS overlay hop: per-shard reduction trees are not session
@@ -103,6 +107,8 @@ class Broker {
   /// is later declared dead ("live.down"), the pending RPC settles with
   /// EHOSTDOWN instead of hanging.
   Future<Message> direct_rpc(Module& m, NodeId to, Message req);
+  /// direct_rpc() with a per-attempt deadline (see module_rpc overload).
+  Future<Message> direct_rpc(Module& m, NodeId to, Message req, Duration timeout);
   /// Fire-and-forget request sent straight to `to` (no response expected);
   /// the direct-edge analogue of forward_upstream.
   void forward_direct(NodeId to, Message req);
@@ -168,6 +174,9 @@ class Broker {
   void deliver_event(const Message& msg);
   void send(NodeId to, Message msg);
   void maybe_complete_hello();
+  /// Settle the pending RPC `tag` with errc::timeout after `timeout` passes
+  /// (no-op if the response already arrived).
+  void arm_rpc_timeout(std::uint32_t tag, Duration timeout, std::string topic);
 
   Session& session_;
   NodeId rank_;

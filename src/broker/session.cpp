@@ -161,13 +161,15 @@ void Session::send_now(NodeId from, NodeId to, Message msg) {
     return;
   }
   // Threaded transport: round-trip through the wire codec (serialization is
-  // exercised for real), then hand to the destination reactor.
+  // exercised for real), then hand the shared frame to the destination
+  // reactor. The receiver decodes zero-copy: the message's body aliases the
+  // frame, so a forwarding hop re-emits it without re-serializing.
   Broker& src = broker(from);
   Broker& dst = broker(to);
   if (src.failed() || dst.failed()) return;
-  auto wire = encode(msg);
+  WireFrame wire = encode_shared(msg);
   thread_ex_.at(to)->post([&dst, wire = std::move(wire)] {
-    auto decoded = decode(wire);
+    auto decoded = decode_shared(wire);
     if (!decoded) {
       log::error("session", "undecodable message dropped: ",
                  decoded.error().to_string());

@@ -71,7 +71,7 @@ Task<void> RtInstance::launch(std::uint64_t jobid, Allocation alloc) {
   bool success = false;
   try {
     Message resp = co_await handle_->request("wexec.run").payload(std::move(run)).call();
-    success = resp.payload.get_bool("success");
+    success = resp.payload().get_bool("success");
   } catch (const FluxException& e) {
     log::warn("rt", "job ", jobid, " launch failed: ", e.what());
   }

@@ -40,20 +40,24 @@ FaultPlan& FaultPlan::link(LinkPolicy policy) {
   return *this;
 }
 
-FaultPlan& FaultPlan::drop_nth(NodeId from, NodeId to, std::uint64_t nth) {
-  nth_rules_.push_back({from, to, nth, Verdict::Action::drop, Duration{0}, false});
+FaultPlan& FaultPlan::drop_nth(NodeId from, NodeId to, std::uint64_t nth,
+                               std::string topic) {
+  nth_rules_.push_back({from, to, nth, Verdict::Action::drop, Duration{0},
+                        std::move(topic), false, 0});
   return *this;
 }
 
-FaultPlan& FaultPlan::corrupt_nth(NodeId from, NodeId to, std::uint64_t nth) {
-  nth_rules_.push_back(
-      {from, to, nth, Verdict::Action::corrupt, Duration{0}, false});
+FaultPlan& FaultPlan::corrupt_nth(NodeId from, NodeId to, std::uint64_t nth,
+                                  std::string topic) {
+  nth_rules_.push_back({from, to, nth, Verdict::Action::corrupt, Duration{0},
+                        std::move(topic), false, 0});
   return *this;
 }
 
 FaultPlan& FaultPlan::delay_nth(NodeId from, NodeId to, std::uint64_t nth,
-                                Duration d) {
-  nth_rules_.push_back({from, to, nth, Verdict::Action::delay, d, false});
+                                Duration d, std::string topic) {
+  nth_rules_.push_back(
+      {from, to, nth, Verdict::Action::delay, d, std::move(topic), false, 0});
   return *this;
 }
 
@@ -97,13 +101,15 @@ FaultPlan FaultPlan::from_json(const Json& j) {
       const NodeId from = rank_from_json(r, "from");
       const NodeId to = rank_from_json(r, "to");
       const auto nth = static_cast<std::uint64_t>(r.get_int("n", 1));
+      std::string topic = r.get_string("topic");
       const std::string action = r.get_string("action");
       if (action == "drop")
-        plan.drop_nth(from, to, nth);
+        plan.drop_nth(from, to, nth, std::move(topic));
       else if (action == "corrupt")
-        plan.corrupt_nth(from, to, nth);
+        plan.corrupt_nth(from, to, nth, std::move(topic));
       else if (action == "delay")
-        plan.delay_nth(from, to, nth, us(r.get_int("delay_us", 100)));
+        plan.delay_nth(from, to, nth, us(r.get_int("delay_us", 100)),
+                       std::move(topic));
       else
         throw FluxException(Error(
             errc::inval, "fault plan: unknown nth action '" + action + "'"));
@@ -195,14 +201,21 @@ std::uint64_t FaultPlan::faults_injected() const noexcept {
 }
 
 Verdict FaultPlan::on_send(NodeId from, NodeId to, const Message& msg) {
-  (void)msg;
   std::lock_guard lk(mu_);
   ++seen_;
   const std::uint64_t n = ++counts_[{from, to}];
   for (NthRule& rule : nth_rules_) {
     if (rule.spent || !rank_matches(rule.from, from) ||
-        !rank_matches(rule.to, to) || rule.nth != n)
+        !rank_matches(rule.to, to))
       continue;
+    // Topic rules keep their own count of matching messages; plain rules
+    // index into the link pair's full message stream (legacy semantics).
+    std::uint64_t k = n;
+    if (!rule.topic.empty()) {
+      if (!Message::topic_matches(rule.topic, msg.topic)) continue;
+      k = ++rule.matched;
+    }
+    if (rule.nth != k) continue;
     rule.spent = true;
     ++injected_;
     switch (rule.action) {

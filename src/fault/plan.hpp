@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -66,13 +67,18 @@ struct LinkPolicy {
 
 /// Exact-count trigger: act on the nth matching message of a link. Fires
 /// once; counts are kept per (from, to) pair, wildcards match any pair.
+/// With a non-empty topic prefix the rule counts only messages whose topic
+/// matches it (per-rule count), so e.g. "the 2nd kvs.load from 3 to 1" is
+/// addressable regardless of interleaved heartbeat/event traffic.
 struct NthRule {
   NodeId from = kNodeAny;
   NodeId to = kNodeAny;
   std::uint64_t nth = 1;  ///< 1-based
   Verdict::Action action = Verdict::Action::drop;
-  Duration delay{0};  ///< for Action::delay
+  Duration delay{0};      ///< for Action::delay
+  std::string topic;      ///< topic prefix filter; empty = any message
   bool spent = false;
+  std::uint64_t matched = 0;  ///< per-rule count (topic rules only)
 };
 
 class FaultPlan final : public Injector {
@@ -99,9 +105,12 @@ class FaultPlan final : public Injector {
   FaultPlan& crash_at(NodeId rank, Duration at);
   FaultPlan& restart_at(NodeId rank, Duration at);
   FaultPlan& link(LinkPolicy policy);
-  FaultPlan& drop_nth(NodeId from, NodeId to, std::uint64_t nth);
-  FaultPlan& corrupt_nth(NodeId from, NodeId to, std::uint64_t nth);
-  FaultPlan& delay_nth(NodeId from, NodeId to, std::uint64_t nth, Duration d);
+  FaultPlan& drop_nth(NodeId from, NodeId to, std::uint64_t nth,
+                      std::string topic = {});
+  FaultPlan& corrupt_nth(NodeId from, NodeId to, std::uint64_t nth,
+                         std::string topic = {});
+  FaultPlan& delay_nth(NodeId from, NodeId to, std::uint64_t nth, Duration d,
+                       std::string topic = {});
 
   /// Parse the JSON schedule format above. Throws FluxException(inval) on
   /// malformed input.

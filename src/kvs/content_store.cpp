@@ -30,6 +30,10 @@ bool ContentStore::contains(const Sha1& id) const {
 // ObjectCache
 // ---------------------------------------------------------------------------
 
+void ObjectCache::touch(const Sha1& id, std::uint64_t epoch) {
+  use_buckets_[epoch].push_back(id);
+}
+
 void ObjectCache::put(ObjPtr obj, std::uint64_t epoch) {
   assert(obj);
   auto [it, inserted] = entries_.try_emplace(obj->id);
@@ -37,6 +41,7 @@ void ObjectCache::put(ObjPtr obj, std::uint64_t epoch) {
     it->second.obj = std::move(obj);
     bytes_ += it->second.obj->size();
   }
+  if (inserted || it->second.last_used != epoch) touch(it->first, epoch);
   it->second.last_used = epoch;
 }
 
@@ -49,8 +54,14 @@ ObjPtr ObjectCache::get(const Sha1& id, std::uint64_t epoch) {
   }
   ++stats_.hits;
   if (hits_) hits_->inc();
+  if (it->second.last_used != epoch) touch(id, epoch);
   it->second.last_used = epoch;
   return it->second.obj;
+}
+
+ObjPtr ObjectCache::peek(const Sha1& id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.obj;
 }
 
 void ObjectCache::pin(const Sha1& id) {
@@ -66,14 +77,27 @@ void ObjectCache::unpin(const Sha1& id) {
 std::size_t ObjectCache::expire(std::uint64_t epoch, std::uint64_t max_age) {
   std::size_t evicted = 0;
   const std::uint64_t cutoff = (epoch > max_age) ? epoch - max_age : 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.pins == 0 && it->second.last_used < cutoff) {
+  // Visit only buckets older than the cutoff; every live entry with
+  // last_used < cutoff is in one of them (its last touch). Stale duplicates
+  // (refreshed or already-evicted ids) fail the re-check and are skipped.
+  while (!use_buckets_.empty() && use_buckets_.begin()->first < cutoff) {
+    auto bucket = use_buckets_.begin();
+    for (const Sha1& id : bucket->second) {
+      ++stats_.expire_scanned;
+      auto it = entries_.find(id);
+      if (it == entries_.end() || it->second.last_used >= cutoff) continue;
+      if (it->second.pins != 0) {
+        // Pinned (dirty, un-flushed): keep last_used unchanged but re-bucket
+        // at the cutoff — the oldest bucket this pass won't revisit — so a
+        // later expire() reconsiders the entry once unpinned.
+        touch(id, cutoff);
+        continue;
+      }
       bytes_ -= it->second.obj->size();
-      it = entries_.erase(it);
+      entries_.erase(it);
       ++evicted;
-    } else {
-      ++it;
     }
+    use_buckets_.erase(bucket);
   }
   stats_.evictions += evicted;
   if (evictions_) evictions_->inc(evicted);
@@ -91,6 +115,9 @@ std::size_t ObjectCache::drop_all() {
       ++it;
     }
   }
+  // Rebuild the use buckets for the (pinned) survivors.
+  use_buckets_.clear();
+  for (const auto& [id, entry] : entries_) touch(id, entry.last_used);
   stats_.evictions += evicted;
   if (evictions_) evictions_->inc(evicted);
   return evicted;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -36,12 +37,21 @@ class ContentStore {
 };
 
 /// Slave object cache with epoch-based disuse expiry.
+///
+/// Expiry is O(candidates), not O(cache size): each use appends the id to a
+/// lazy per-epoch bucket, and expire() visits only buckets older than the
+/// cutoff. A refreshed entry leaves stale duplicates in old buckets; they are
+/// skipped at visit time by re-checking the entry's true last_used. The
+/// per-expire scan work is surfaced in Stats::expire_scanned so the cost
+/// stays observable.
 class ObjectCache {
  public:
   /// Insert/update; records `epoch` as last use.
   void put(ObjPtr obj, std::uint64_t epoch);
   /// Lookup; a hit refreshes last use to `epoch`.
   [[nodiscard]] ObjPtr get(const Sha1& id, std::uint64_t epoch);
+  /// Side-effect-free lookup: no last-use refresh, no hit/miss accounting.
+  [[nodiscard]] ObjPtr peek(const Sha1& id) const;
   /// Pin/unpin: pinned entries (dirty, un-flushed) are never expired.
   void pin(const Sha1& id);
   void unpin(const Sha1& id);
@@ -56,6 +66,9 @@ class ObjectCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Candidate ids examined across all expire() calls (the actual expiry
+    /// work; stays near the eviction count instead of count() per epoch).
+    std::uint64_t expire_scanned = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -74,7 +87,14 @@ class ObjectCache {
     std::uint64_t last_used = 0;
     int pins = 0;
   };
+  /// Record that `id` was used at `epoch` (appends to that epoch's bucket).
+  void touch(const Sha1& id, std::uint64_t epoch);
+
   std::unordered_map<Sha1, Entry> entries_;
+  /// epoch -> ids last seen used then. Entries may be stale (the id was
+  /// refreshed later, or already evicted); validated against entries_ at
+  /// expire() time. Ordered so expire() pops oldest-first.
+  std::map<std::uint64_t, std::vector<Sha1>> use_buckets_;
   std::size_t bytes_ = 0;
   Stats stats_;
   obs::Counter* hits_ = nullptr;

@@ -16,10 +16,10 @@ void check_key(std::string_view op, std::string_view key) {
 
 CommitResult parse_commit_result(const Message& resp) {
   CommitResult out{
-      static_cast<std::uint64_t>(resp.payload.get_int("version")),
-      resp.payload.get_string("rootref"),
+      static_cast<std::uint64_t>(resp.payload().get_int("version")),
+      resp.payload().get_string("rootref"),
       {}};
-  const Json& vv = resp.payload.at("vv");
+  const Json& vv = resp.payload().at("vv");
   if (vv.is_array())
     for (const Json& v : vv.as_array())
       out.vv.push_back(static_cast<std::uint64_t>(v.as_int()));
@@ -122,9 +122,9 @@ Task<Json> KvsClient::get(std::string key) {
   Json payload = Json::object({{"key", std::move(key)}});
   Message resp =
       co_await h_.request("kvs.get").payload(std::move(payload)).call();
-  if (!resp.data)
+  if (!resp.data())
     throw FluxException(Error(errc::proto, "kvs.get: response without data"));
-  ObjPtr obj = parse_object(*resp.data);
+  ObjPtr obj = parse_object(*resp.data());
   if (!obj || !obj->is_val())
     throw FluxException(Error(errc::proto, "kvs.get: malformed value object"));
   co_return obj->value();
@@ -135,7 +135,7 @@ Task<std::vector<std::string>> KvsClient::list_dir(std::string key) {
   Message resp =
       co_await h_.request("kvs.get").payload(std::move(payload)).call();
   std::vector<std::string> names;
-  for (const Json& n : resp.payload.at("entries").as_array())
+  for (const Json& n : resp.payload().at("entries").as_array())
     names.push_back(n.as_string());
   std::sort(names.begin(), names.end());
   co_return names;
@@ -145,12 +145,12 @@ Task<std::string> KvsClient::lookup_ref(std::string key) {
   Json payload = Json::object({{"key", std::move(key)}});
   Message resp =
       co_await h_.request("kvs.lookup_ref").payload(std::move(payload)).call();
-  co_return resp.payload.get_string("ref");
+  co_return resp.payload().get_string("ref");
 }
 
 Task<std::uint64_t> KvsClient::get_version() {
   Message resp = co_await h_.request("kvs.get_version").call();
-  co_return static_cast<std::uint64_t>(resp.payload.get_int("version"));
+  co_return static_cast<std::uint64_t>(resp.payload().get_int("version"));
 }
 
 Task<void> KvsClient::wait_version(std::uint64_t version) {

@@ -7,6 +7,7 @@
 
 #include "base/log.hpp"
 #include "broker/broker.hpp"
+#include "broker/session.hpp"
 #include "kvs/shard_coordinator.hpp"
 
 namespace flux {
@@ -44,6 +45,7 @@ KvsModule::KvsModule(Broker& b) : ModuleBase(b) {
   on("fence", [this](Message& m) { op_fence(m); });
   on("flush", [this](Message& m) { op_flush(m); });
   on("fault", [this](Message& m) { op_fault(m); });
+  on("load", [this](Message& m) { op_load(m); });
   on("shard_done", [this](Message& m) { op_shard_done(m); });
   on("stats", [this](Message& m) { op_stats(m); });
   on("drop_cache", [this](Message& m) { op_drop_cache(m); });
@@ -134,7 +136,7 @@ void KvsModule::start() {
 
 void KvsModule::handle_event(const Message& msg) {
   if (msg.topic == "hb") {
-    epoch_ = static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0));
+    epoch_ = static_cast<std::uint64_t>(msg.payload().get_int("epoch", 0));
     // Sharded: every rank keeps a cache (a shard master caches the other
     // shards' objects); pinned (dirty) entries survive expiry regardless.
     if (expiry_epochs_ > 0 && (sharded() || !is_master()))
@@ -147,7 +149,7 @@ void KvsModule::handle_event(const Message& msg) {
     // the fresh one built by Broker::restart). Pull authoritative roots and
     // versions from upstream; objects fault back in from the distributed
     // content store on demand.
-    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    const auto back = static_cast<NodeId>(msg.payload().get_int("rank", -1));
     if (back == broker().rank() && !broker().is_root())
       co_spawn(broker().executor(), resync_after_rejoin(), "kvs.resync");
     return;
@@ -169,15 +171,15 @@ void KvsModule::handle_event(const Message& msg) {
   }
   if (msg.topic == "kvs.setroot") {
     const auto version =
-        static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
-    const auto ref = Sha1::parse(msg.payload.get_string("rootref"));
+        static_cast<std::uint64_t>(msg.payload().get_int("version", 0));
+    const auto ref = Sha1::parse(msg.payload().get_string("rootref"));
     if (!ref) {
       log::error("kvs", "setroot event with bad rootref");
       return;
     }
     std::vector<std::string> fences;
-    if (msg.payload.at("fences").is_array())
-      for (const Json& f : msg.payload.at("fences").as_array())
+    if (msg.payload().at("fences").is_array())
+      for (const Json& f : msg.payload().at("fences").as_array())
         if (f.is_string()) fences.push_back(f.as_string());
     apply_root(*ref, version, fences);
   }
@@ -209,20 +211,20 @@ void KvsModule::record(Message& msg, std::string key, ObjPtr obj) {
 
 void KvsModule::op_put(Message& msg) {
   ++ops_.puts;
-  const std::string key = msg.payload.get_string("key");
+  const std::string key = msg.payload().get_string("key");
   if (key.empty() || split_key(key).empty()) {
     respond_error(msg, errc::inval, "put: empty key");
     return;
   }
   ObjPtr obj;
-  if (msg.data) {
-    obj = parse_object(*msg.data);
+  if (msg.data()) {
+    obj = parse_object(*msg.data());
     if (!obj || !obj->is_val()) {
       respond_error(msg, errc::inval, "put: malformed value object");
       return;
     }
   } else {
-    obj = make_val_object(msg.payload.at("value"));
+    obj = make_val_object(msg.payload().at("value"));
   }
   const std::string ref = obj->id.hex();
   record(msg, key, std::move(obj));
@@ -235,7 +237,7 @@ void KvsModule::op_stage(Message& msg) {
   // positioned here at put() time; the (key, ref) tuples stay in the
   // client's KvsTxn until commit/fence ships them. Not pinned: the commit
   // re-ships its bundle, so these entries may expire like any cached object.
-  auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
+  auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment());
   if (!bundle) {
     respond_error(msg, errc::inval, "stage: missing object bundle");
     return;
@@ -251,7 +253,7 @@ void KvsModule::op_stage(Message& msg) {
 }
 
 void KvsModule::op_unlink(Message& msg) {
-  const std::string key = msg.payload.get_string("key");
+  const std::string key = msg.payload().get_string("key");
   if (key.empty() || split_key(key).empty()) {
     respond_error(msg, errc::inval, "unlink: empty key");
     return;
@@ -261,7 +263,7 @@ void KvsModule::op_unlink(Message& msg) {
 }
 
 void KvsModule::op_mkdir(Message& msg) {
-  const std::string key = msg.payload.get_string("key");
+  const std::string key = msg.payload().get_string("key");
   if (key.empty() || split_key(key).empty()) {
     respond_error(msg, errc::inval, "mkdir: empty key");
     return;
@@ -284,10 +286,11 @@ void KvsModule::op_commit(Message& msg) {
   const std::string name = "#commit." + std::to_string(key.first) + "." +
                            std::to_string(key.second) + "." +
                            std::to_string(++commit_seq_);
-  Json payload = msg.payload;
+  // Annotate the fence fields in place — a commit payload can carry large
+  // transaction ops, so copying it wholesale just to add two keys is waste.
+  Json& payload = msg.mutable_payload();
   payload["name"] = name;
   payload["nprocs"] = 1;
-  msg.payload = std::move(payload);
   op_fence(msg);
 }
 
@@ -296,16 +299,16 @@ std::optional<KvsModule::Txn> KvsModule::claim_txn(Message& msg) {
   // tuples + object bundle in this very request), plus any ops staged via
   // the legacy endpoint-keyed put/unlink/mkdir RPCs.
   Txn txn;
-  if (msg.payload.contains("ops")) {
-    auto tuples = tuples_from_json(msg.payload.at("ops"));
+  if (msg.payload().contains("ops")) {
+    auto tuples = tuples_from_json(msg.payload().at("ops"));
     if (!tuples) {
       respond_error(msg, errc::inval, "fence: malformed ops");
       return std::nullopt;
     }
     std::vector<ObjPtr> objects;
-    if (msg.attachment) {
+    if (msg.attachment()) {
       auto bundle =
-          std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
+          std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment());
       if (!bundle) {
         respond_error(msg, errc::inval, "fence: non-bundle attachment");
         return std::nullopt;
@@ -338,8 +341,8 @@ std::optional<KvsModule::Txn> KvsModule::claim_txn(Message& msg) {
 
 void KvsModule::op_fence(Message& msg) {
   ++ops_.fences;
-  const std::string name = msg.payload.get_string("name");
-  const std::int64_t nprocs = msg.payload.get_int("nprocs", 0);
+  const std::string name = msg.payload().get_string("name");
+  const std::int64_t nprocs = msg.payload().get_int("nprocs", 0);
   if (name.empty() || nprocs <= 0) {
     respond_error(msg, errc::inval, "fence: need name and nprocs > 0");
     return;
@@ -411,8 +414,8 @@ void KvsModule::flush_fence(const std::string& name) {
                                  {"count", fence.pending_count},
                                  {"tuples", tuples_to_json(fence.pending_tuples)}}));
   if (!fence.pending_objects.empty())
-    flush.attachment =
-        std::make_shared<ObjectBundle>(std::move(fence.pending_objects));
+    flush.set_attachment(
+        std::make_shared<ObjectBundle>(std::move(fence.pending_objects)));
   fence.pending_count = 0;
   fence.pending_tuples.clear();
   fence.pending_objects.clear();
@@ -421,24 +424,24 @@ void KvsModule::flush_fence(const std::string& name) {
 }
 
 void KvsModule::op_flush(Message& msg) {
-  const std::string name = msg.payload.get_string("name");
-  const std::int64_t nprocs = msg.payload.get_int("nprocs", 0);
-  const std::int64_t count = msg.payload.get_int("count", 0);
-  auto tuples = tuples_from_json(msg.payload.at("tuples"));
+  const std::string name = msg.payload().get_string("name");
+  const std::int64_t nprocs = msg.payload().get_int("nprocs", 0);
+  const std::int64_t count = msg.payload().get_int("count", 0);
+  auto tuples = tuples_from_json(msg.payload().at("tuples"));
   if (name.empty() || nprocs <= 0 || count <= 0 || !tuples) {
     log::error("kvs", "malformed flush for fence '", name, "'");
     return;
   }
   std::vector<ObjPtr> objects;
-  if (msg.attachment) {
-    auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment);
+  if (msg.attachment()) {
+    auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(msg.attachment());
     if (!bundle) {
       log::error("kvs", "flush with non-bundle attachment");
       return;
     }
     objects = bundle->objects();
   }
-  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  const std::int64_t shard = msg.payload().get_int("shard", -1);
   if (shard >= 0) {
     if (!sharded() || shard >= static_cast<std::int64_t>(shards_)) {
       log::error("kvs", "flush for unknown shard ", shard);
@@ -667,8 +670,8 @@ void KvsModule::flush_shard_fence(const std::string& name,
                     {"shard", static_cast<std::int64_t>(shard)},
                     {"tuples", tuples_to_json(part.pending_tuples)}}));
   if (!part.pending_objects.empty())
-    flush.attachment =
-        std::make_shared<ObjectBundle>(std::move(part.pending_objects));
+    flush.set_attachment(
+        std::make_shared<ObjectBundle>(std::move(part.pending_objects)));
   part.pending_count = 0;
   part.pending_tuples.clear();
   part.pending_objects.clear();
@@ -716,11 +719,11 @@ void KvsModule::shard_master_apply(const std::string& name,
 void KvsModule::op_shard_done(Message& msg) {
   // Master -> coordinator completion report; fire-and-forget.
   if (!coord_) return;
-  const std::string name = msg.payload.get_string("name");
-  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  const std::string name = msg.payload().get_string("name");
+  const std::int64_t shard = msg.payload().get_int("shard", -1);
   const auto version =
-      static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
-  const auto ref = Sha1::parse(msg.payload.get_string("rootref"));
+      static_cast<std::uint64_t>(msg.payload().get_int("version", 0));
+  const auto ref = Sha1::parse(msg.payload().get_string("rootref"));
   if (name.empty() || shard < 0 ||
       shard >= static_cast<std::int64_t>(shards_) || !ref)
     return;
@@ -728,10 +731,10 @@ void KvsModule::op_shard_done(Message& msg) {
 }
 
 void KvsModule::on_shard_setroot(const Message& msg) {
-  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  const std::int64_t shard = msg.payload().get_int("shard", -1);
   const auto version =
-      static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
-  const auto ref = Sha1::parse(msg.payload.get_string("rootref"));
+      static_cast<std::uint64_t>(msg.payload().get_int("version", 0));
+  const auto ref = Sha1::parse(msg.payload().get_string("rootref"));
   if (shard < 0 || shard >= static_cast<std::int64_t>(shards_) || !ref) {
     log::error("kvs", "malformed shard setroot event");
     return;
@@ -740,8 +743,8 @@ void KvsModule::on_shard_setroot(const Message& msg) {
   // Failover / post-rejoin announcement: a "master" field re-binds the shard
   // to a new authoritative rank. Adopt it before the version check so the
   // shard counts as live again even on ranks that raced ahead.
-  if (msg.payload.contains("master")) {
-    const auto m = static_cast<NodeId>(msg.payload.get_int("master", -1));
+  if (msg.payload().contains("master")) {
+    const auto m = static_cast<NodeId>(msg.payload().get_int("master", -1));
     if (m < broker().size() && shard_masters_[s] != m) {
       shard_masters_[s] = m;
       shard_dead_[s] = false;
@@ -760,10 +763,10 @@ void KvsModule::on_shard_setroot(const Message& msg) {
 }
 
 void KvsModule::on_fence_done(const Message& msg) {
-  const std::string name = msg.payload.get_string("name");
-  const bool failed = msg.payload.get_bool("failed", false);
-  const Json& vv = msg.payload.at("vv");
-  const Json& rootrefs = msg.payload.at("rootrefs");
+  const std::string name = msg.payload().get_string("name");
+  const bool failed = msg.payload().get_bool("failed", false);
+  const Json& vv = msg.payload().at("vv");
+  const Json& rootrefs = msg.payload().at("rootrefs");
   if (vv.is_array() && rootrefs.is_array()) {
     const auto& versions = vv.as_array();
     const auto& roots = rootrefs.as_array();
@@ -822,7 +825,7 @@ std::optional<NodeId> KvsModule::shard_parent_live(std::uint32_t shard,
 }
 
 void KvsModule::on_live_down(const Message& msg) {
-  const auto dead = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+  const auto dead = static_cast<NodeId>(msg.payload().get_int("rank", -1));
   if (dead >= broker().size()) return;
   dead_ranks_.insert(dead);
   const auto s = mastered_by(dead);
@@ -919,16 +922,16 @@ Task<void> KvsModule::resync_after_rejoin() {
     if (!resp.ok()) co_return;
     if (!sharded()) {
       const auto version =
-          static_cast<std::uint64_t>(resp.payload.get_int("version", 0));
-      const auto ref = Sha1::parse(resp.payload.get_string("rootref"));
+          static_cast<std::uint64_t>(resp.payload().get_int("version", 0));
+      const auto ref = Sha1::parse(resp.payload().get_string("rootref"));
       if (ref && version > root_version_) apply_root(*ref, version, {});
       co_return;
     }
     // Adopt masters first: shard-tree parent links and write authority both
     // key off them.
-    if (resp.payload.contains("masters") &&
-        resp.payload.at("masters").is_array()) {
-      const auto& ms = resp.payload.at("masters").as_array();
+    if (resp.payload().contains("masters") &&
+        resp.payload().at("masters").is_array()) {
+      const auto& ms = resp.payload().at("masters").as_array();
       for (std::uint32_t s = 0; s < shards_ && s < ms.size(); ++s) {
         if (!ms[s].is_int()) continue;
         const auto m = static_cast<NodeId>(ms[s].as_int());
@@ -939,11 +942,11 @@ Task<void> KvsModule::resync_after_rejoin() {
         }
       }
     }
-    if (resp.payload.contains("vv") && resp.payload.at("vv").is_array() &&
-        resp.payload.contains("rootrefs") &&
-        resp.payload.at("rootrefs").is_array()) {
-      const auto& vv = resp.payload.at("vv").as_array();
-      const auto& roots = resp.payload.at("rootrefs").as_array();
+    if (resp.payload().contains("vv") && resp.payload().at("vv").is_array() &&
+        resp.payload().contains("rootrefs") &&
+        resp.payload().at("rootrefs").is_array()) {
+      const auto& vv = resp.payload().at("vv").as_array();
+      const auto& roots = resp.payload().at("rootrefs").as_array();
       const std::size_t n =
           std::min<std::size_t>({shards_, vv.size(), roots.size()});
       for (std::size_t s = 0; s < n; ++s) {
@@ -986,68 +989,243 @@ Task<void> KvsModule::resync_after_rejoin() {
 // ---------------------------------------------------------------------------
 
 Task<ObjPtr> KvsModule::lookup_object(Sha1 ref, int shard) {
+  co_return co_await lookup_chain(ref, {}, shard);
+}
+
+Task<ObjPtr> KvsModule::lookup_chain(Sha1 ref, std::vector<std::string> walk,
+                                     int shard) {
+  std::vector<ObjPtr> objs =
+      co_await ensure_objects(std::vector<Sha1>(1, ref), std::move(walk), shard);
+  co_return objs[0];
+}
+
+Task<std::vector<ObjPtr>> KvsModule::ensure_objects(
+    std::vector<Sha1> refs, std::vector<std::string> walk, int shard) {
   const bool authoritative =
       shard < 0 ? is_master()
                 : is_shard_master(static_cast<std::uint32_t>(shard));
-  if (authoritative) co_return store_.get(ref);
-  if (ObjPtr hit = cache_.get(ref, epoch_)) co_return hit;
-
-  // Coalesce concurrent faults for the same object.
-  if (auto it = faults_.find(ref); it != faults_.end()) {
-    ObjPtr obj = co_await it->second.future();
-    co_return obj;
+  std::vector<ObjPtr> out(refs.size());
+  if (authoritative) {
+    for (std::size_t i = 0; i < refs.size(); ++i) out[i] = store_.get(refs[i]);
+    co_return out;
   }
-  Promise<ObjPtr> promise(broker().executor());
-  faults_.emplace(ref, promise);
-  ++ops_.faults_issued;
 
-  Json payload = Json::object({{"ref", ref.hex()}});
-  if (shard >= 0) payload["shard"] = static_cast<std::int64_t>(shard);
-  Message req = Message::request("kvs.fault", std::move(payload));
+  // Partition the batch: local hits / misses already in flight (join them) /
+  // fresh misses this call must fetch. A duplicate ref inside one batch
+  // joins the first occurrence's fault.
+  std::vector<Future<ObjPtr>> joined;
+  std::vector<std::size_t> joined_idx;
+  std::vector<Sha1> fresh;
+  std::vector<std::size_t> fresh_idx;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    out[i] = cache_.get(refs[i], epoch_);
+    if (out[i]) continue;
+    if (auto it = faults_.find(refs[i]); it != faults_.end()) {
+      joined.push_back(it->second.future());
+      joined_idx.push_back(i);
+      continue;
+    }
+    Promise<ObjPtr> promise(broker().executor());
+    faults_.emplace(refs[i], promise);
+    fresh.push_back(refs[i]);
+    fresh_idx.push_back(i);
+  }
 
-  Message resp;
-  bool settled = false;
-  if (shard < 0) {
-    req.nodeid = kNodeUpstream;  // the local module is the requester
-    resp = co_await broker().module_rpc(*this, std::move(req));
-  } else {
-    // Climb the shard's own tree over a direct edge; a dead master settles
-    // the RPC with EHOSTDOWN (the miss surfaces as a null object).
-    const auto up =
-        shard_parent_live(static_cast<std::uint32_t>(shard), broker().rank());
-    if (!up) {
-      settled = true;
-    } else {
+  if (!fresh.empty()) {
+    // One upstream round-trip for the whole batch.
+    ++ops_.faults_issued;
+    // The chain hint only helps if we are the ones fetching the walk base;
+    // otherwise the caller re-batches from the first missing link.
+    const bool send_walk = !walk.empty() && fresh.front() == refs.front();
+    Json jrefs = Json::array();
+    for (const Sha1& r : fresh) jrefs.push_back(r.hex());
+    Json payload = Json::object({{"refs", std::move(jrefs)}});
+    if (send_walk) {
+      Json names = Json::array();
+      for (const std::string& n : walk) names.push_back(n);
+      payload["walk"] = std::move(names);
+    }
+    if (shard >= 0) payload["shard"] = static_cast<std::int64_t>(shard);
+
+    // A dropped/corrupted batch must taint or retry, never hang: with a
+    // session RPC policy the attempt gets a deadline (+ retries); without
+    // one it behaves like the legacy fault path.
+    const RetryPolicy policy = broker().session().config().rpc;
+    Message resp;
+    bool have_resp = false;
+    Duration backoff = policy.backoff;
+    int attempts_left = policy.has_retries() ? policy.retries : 0;
+    for (;;) {
+      Message req = Message::request("kvs.load", payload);
+      bool failed = false;
       try {
-        resp = co_await broker().direct_rpc(*this, *up, std::move(req));
+        if (shard < 0) {
+          req.nodeid = kNodeUpstream;  // the local module is the requester
+          if (policy.has_timeout())
+            resp = co_await broker().module_rpc(*this, std::move(req),
+                                                policy.timeout);
+          else
+            resp = co_await broker().module_rpc(*this, std::move(req));
+        } else {
+          // Climb the shard's own tree over a direct edge; a dead master
+          // settles the RPC with EHOSTDOWN (misses surface as nulls).
+          const auto up = shard_parent_live(static_cast<std::uint32_t>(shard),
+                                            broker().rank());
+          if (!up) {
+            failed = true;
+          } else if (policy.has_timeout()) {
+            resp = co_await broker().direct_rpc(*this, *up, std::move(req),
+                                                policy.timeout);
+          } else {
+            resp = co_await broker().direct_rpc(*this, *up, std::move(req));
+          }
+        }
       } catch (const FluxException&) {
-        settled = true;
+        failed = true;
+      }
+      if (!failed) {
+        have_resp = true;
+        break;
+      }
+      if (attempts_left-- <= 0) break;
+      ++ops_.faults_issued;  // the retry is another upstream round-trip
+      if (backoff.count() > 0) {
+        co_await sleep_for(broker().executor(), backoff);
+        backoff *= 2;
       }
     }
-  }
 
-  ObjPtr obj;
-  if (!settled && resp.ok() && resp.data) {
-    obj = parse_object(*resp.data);
-    if (obj && obj->id != ref) {
-      log::error("kvs", "fault integrity failure for ", ref.short_hex());
-      obj = nullptr;
+    // Cache everything the bundle brought (requested + walked chain) and
+    // settle every parked fault it satisfies — walk prefetches routinely
+    // complete fetches other waiters are parked on.
+    std::unordered_map<Sha1, ObjPtr> got;
+    if (have_resp && resp.ok()) {
+      if (auto bundle = std::dynamic_pointer_cast<const ObjectBundle>(
+              resp.attachment())) {
+        for (const ObjPtr& obj : bundle->objects()) {
+          if (!obj) continue;
+          cache_.put(obj, epoch_);
+          ++ops_.objects_faulted;
+          got.emplace(obj->id, obj);
+          if (auto it = faults_.find(obj->id); it != faults_.end()) {
+            auto promise = it->second;
+            faults_.erase(it);
+            promise.set_value(obj);
+          }
+        }
+      }
+    }
+    // Settle what's left of our fresh set as misses (unknown upstream, or
+    // the fetch failed). Promises are first-settle-wins, so a concurrent
+    // batch that already delivered an id makes these no-ops.
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      if (auto it = faults_.find(fresh[k]); it != faults_.end()) {
+        auto promise = it->second;
+        faults_.erase(it);
+        promise.set_value(nullptr);
+      }
+      auto it = got.find(fresh[k]);
+      out[fresh_idx[k]] = it != got.end() ? it->second
+                                          : cache_.get(fresh[k], epoch_);
     }
   }
-  if (obj) cache_.put(obj, epoch_);
-  faults_.erase(ref);
-  promise.set_value(obj);
-  co_return obj;
+
+  for (std::size_t k = 0; k < joined.size(); ++k)
+    out[joined_idx[k]] = co_await joined[k];
+  co_return out;
+}
+
+Task<void> KvsModule::serve_load(Message req, std::vector<Sha1> refs,
+                                 std::vector<std::string> walk, int shard) {
+  const bool authoritative =
+      shard < 0 ? is_master()
+                : is_shard_master(static_cast<std::uint32_t>(shard));
+  std::vector<ObjPtr> objs = co_await ensure_objects(refs, walk, shard);
+
+  std::vector<ObjPtr> found;
+  std::unordered_set<Sha1> included;
+  const auto include = [&](const ObjPtr& obj) {
+    if (obj && included.insert(obj->id).second) found.push_back(obj);
+  };
+  Json missing = Json::array();
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (objs[i])
+      include(objs[i]);
+    else
+      missing.push_back(refs[i].hex());
+  }
+
+  // Speculative chain walk from refs[0]: bundle every object the named path
+  // crosses, so a cold downstream get costs one round-trip total. A link
+  // missing here is itself chain-faulted upstream in one batched hop.
+  ObjPtr node = objs.empty() ? nullptr : objs[0];
+  std::size_t wi = 0;
+  while (node && wi < walk.size()) {
+    if (!node->is_dir()) break;
+    const auto& entries = node->entries();
+    auto it = entries.find(walk[wi]);
+    if (it == entries.end()) break;
+    const auto ref = Sha1::parse(it->second.as_string());
+    if (!ref) break;
+    ObjPtr next = authoritative ? store_.get(*ref) : cache_.get(*ref, epoch_);
+    if (!next) {
+      std::vector<std::string> rest(
+          walk.begin() + static_cast<std::ptrdiff_t>(wi) + 1, walk.end());
+      std::vector<ObjPtr> fetched =
+          co_await ensure_objects(std::vector<Sha1>(1, *ref), std::move(rest), shard);
+      next = fetched[0];
+    }
+    if (!next) break;
+    include(next);
+    node = std::move(next);
+    ++wi;
+  }
+
+  if (authoritative && shard >= 0 && shard_faults_served_)
+    shard_faults_served_->inc();
+  Message resp = req.respond(Json::object({{"missing", std::move(missing)}}));
+  if (!found.empty())
+    resp.set_attachment(std::make_shared<ObjectBundle>(std::move(found)));
+  broker().respond(std::move(resp));
+}
+
+void KvsModule::op_load(Message& msg) {
+  ++ops_.loads_served;
+  const Json& jrefs = msg.payload().at("refs");
+  if (!jrefs.is_array() || jrefs.as_array().empty()) {
+    respond_error(msg, errc::inval, "load: need refs[]");
+    return;
+  }
+  std::vector<Sha1> refs;
+  refs.reserve(jrefs.as_array().size());
+  for (const Json& r : jrefs.as_array()) {
+    std::optional<Sha1> ref;
+    if (r.is_string()) ref = Sha1::parse(r.as_string());
+    if (!ref) {
+      respond_error(msg, errc::inval, "load: bad ref");
+      return;
+    }
+    refs.push_back(*ref);
+  }
+  std::vector<std::string> walk;
+  const Json& jwalk = msg.payload().at("walk");
+  if (jwalk.is_array())
+    for (const Json& n : jwalk.as_array())
+      if (n.is_string()) walk.push_back(n.as_string());
+  const int shard = static_cast<int>(msg.payload().get_int("shard", -1));
+  co_spawn(broker().executor(),
+           serve_load(std::move(msg), std::move(refs), std::move(walk), shard),
+           "kvs.load");
 }
 
 void KvsModule::op_fault(Message& msg) {
   ++ops_.faults_served;
-  const auto ref = Sha1::parse(msg.payload.get_string("ref"));
+  const auto ref = Sha1::parse(msg.payload().get_string("ref"));
   if (!ref) {
     respond_error(msg, errc::inval, "fault: bad ref");
     return;
   }
-  const std::int64_t shard = msg.payload.get_int("shard", -1);
+  const std::int64_t shard = msg.payload().get_int("shard", -1);
   const bool authoritative =
       shard < 0 ? is_master()
                 : is_shard_master(static_cast<std::uint32_t>(shard));
@@ -1057,7 +1235,7 @@ void KvsModule::op_fault(Message& msg) {
     if (authoritative && shard >= 0 && shard_faults_served_)
       shard_faults_served_->inc();
     Message resp = msg.respond();
-    resp.data = object_frame(obj);
+    resp.set_data(object_frame(obj));
     broker().respond(std::move(resp));
     return;
   }
@@ -1076,7 +1254,7 @@ void KvsModule::op_fault(Message& msg) {
           co_return;
         }
         Message resp = req.respond();
-        resp.data = object_frame(found);
+        resp.set_data(object_frame(found));
         self->broker().respond(std::move(resp));
       }(this, std::move(msg), *ref, static_cast<int>(shard)),
       "kvs.fault");
@@ -1134,8 +1312,8 @@ Task<void> KvsModule::do_get_root_sharded(Message req, bool ref_only,
 }
 
 Task<void> KvsModule::do_get(Message req, bool ref_only) {
-  const std::string key = req.payload.get_string("key");
-  const bool want_dir = req.payload.get_bool("dir", false);
+  const std::string key = req.payload().get_string("key");
+  const bool want_dir = req.payload().get_bool("dir", false);
   const auto path = split_key(key);
 
   int shard = -1;
@@ -1167,8 +1345,16 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     cur = root_ref_;
   }
 
-  for (const std::string& component : path) {
-    ObjPtr dir = co_await lookup_object(cur, shard);
+  for (std::size_t ci = 0; ci < path.size(); ++ci) {
+    const std::string& component = path[ci];
+    // Chain lookup: a cold miss batches the entire remaining path into one
+    // upstream round-trip, so the later iterations (and the terminal value
+    // fetch) hit the cache.
+    ObjPtr dir = co_await lookup_chain(
+        cur,
+        std::vector<std::string>(path.begin() + static_cast<std::ptrdiff_t>(ci),
+                                 path.end()),
+        shard);
     if (!dir) {
       if (shard >= 0 && shard_dead_[static_cast<std::uint32_t>(shard)])
         respond_error(req, errc::host_down, "get: shard master died");
@@ -1222,7 +1408,7 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     co_return;
   }
   Message resp = req.respond();
-  resp.data = object_frame(obj);
+  resp.set_data(object_frame(obj));
   broker().respond(std::move(resp));
 }
 
@@ -1251,7 +1437,7 @@ void KvsModule::op_get_version(Message& msg) {
 
 void KvsModule::op_wait_version(Message& msg) {
   const auto version =
-      static_cast<std::uint64_t>(msg.payload.get_int("version", 0));
+      static_cast<std::uint64_t>(msg.payload().get_int("version", 0));
   if (root_version_ >= version) {
     op_get_version(msg);
     return;

@@ -100,8 +100,14 @@ class KvsModule final : public ModuleBase {
     std::uint64_t gets = 0;
     std::uint64_t commits = 0;
     std::uint64_t fences = 0;
+    /// Upstream fault round-trips issued (a batched kvs.load counts once no
+    /// matter how many objects it brings in).
     std::uint64_t faults_issued = 0;
     std::uint64_t faults_served = 0;
+    /// Batched kvs.load requests handled for downstream brokers.
+    std::uint64_t loads_served = 0;
+    /// Objects brought into the local cache by fault/load responses.
+    std::uint64_t objects_faulted = 0;
     std::uint64_t flushes_forwarded = 0;
   };
 
@@ -133,6 +139,7 @@ class KvsModule final : public ModuleBase {
   void op_fence(Message& msg);
   void op_flush(Message& msg);
   void op_fault(Message& msg);
+  void op_load(Message& msg);
   void op_shard_done(Message& msg);
   void op_stats(Message& msg);
   void op_drop_cache(Message& msg);
@@ -256,6 +263,25 @@ class KvsModule final : public ModuleBase {
   /// non-negative shard, faults climb that shard's tree over direct edges;
   /// otherwise the legacy session tree.
   Task<ObjPtr> lookup_object(Sha1 ref, int shard = -1);
+
+  /// Chain-aware lookup used by the get walk: on a miss, one batched
+  /// kvs.load round-trip brings in `ref` plus (speculatively) the whole
+  /// directory chain named by `walk` below it.
+  Task<ObjPtr> lookup_chain(Sha1 ref, std::vector<std::string> walk, int shard);
+
+  /// Batched fault core: make `refs` locally available, fetching every miss
+  /// in a single upstream kvs.load round-trip (per-id coalescing across
+  /// concurrent batches via faults_). `walk` is the speculative chain hint
+  /// forwarded when refs[0] itself is missing. Returns objects positionally
+  /// (null = unknown upstream, or fetch tainted by timeout/host-down).
+  Task<std::vector<ObjPtr>> ensure_objects(std::vector<Sha1> refs,
+                                           std::vector<std::string> walk,
+                                           int shard);
+
+  /// Server side of one kvs.load request; responds with an ObjectBundle of
+  /// everything located (requested refs + walked chain) and the missing ids.
+  Task<void> serve_load(Message req, std::vector<Sha1> refs,
+                        std::vector<std::string> walk, int shard);
 
   /// Async get walk; responds to `req` when done.
   Task<void> do_get(Message req, bool ref_only);

@@ -7,8 +7,8 @@ namespace flux::modules {
 
 Barrier::Barrier(Broker& b) : ModuleBase(b) {
   on("enter", [this](Message& m) {
-    const std::string bname = m.payload.get_string("name");
-    const std::int64_t nprocs = m.payload.get_int("nprocs", 0);
+    const std::string bname = m.payload().get_string("name");
+    const std::int64_t nprocs = m.payload().get_int("nprocs", 0);
     if (bname.empty() || nprocs <= 0) {
       respond_error(m, errc::inval, "barrier: need name and nprocs > 0");
       return;
@@ -19,9 +19,9 @@ Barrier::Barrier(Broker& b) : ModuleBase(b) {
   });
   // Aggregated subtree counts from downstream instances.
   on("reduce", [this](Message& m) {
-    const std::string bname = m.payload.get_string("name");
-    const std::int64_t nprocs = m.payload.get_int("nprocs", 0);
-    const std::int64_t count = m.payload.get_int("count", 0);
+    const std::string bname = m.payload().get_string("name");
+    const std::int64_t nprocs = m.payload().get_int("nprocs", 0);
+    const std::int64_t count = m.payload().get_int("count", 0);
     if (bname.empty() || nprocs <= 0 || count <= 0) {
       log::error("barrier", "malformed reduce for '", bname, "'");
       return;
@@ -79,7 +79,7 @@ void Barrier::flush(const std::string& bname) {
 
 void Barrier::handle_event(const Message& msg) {
   if (msg.topic != "barrier.exit") return;
-  const std::string bname = msg.payload.get_string("name");
+  const std::string bname = msg.payload().get_string("name");
   auto it = barriers_.find(bname);
   if (it == barriers_.end()) return;
   State st = std::move(it->second);

@@ -15,32 +15,32 @@ std::string member_id(const Message& msg) {
 
 Group::Group(Broker& b) : ModuleBase(b) {
   on("join", [this](Message& m) {
-    const std::string group = m.payload.get_string("name");
+    const std::string group = m.payload().get_string("name");
     if (group.empty()) {
       respond_error(m, errc::inval, "group.join: need name");
       return;
     }
     Delta d;
-    d.join.push_back(m.payload.get_string("member", member_id(m)));
+    d.join.push_back(m.payload().get_string("member", member_id(m)));
     apply_and_forward(group, std::move(d), &m);
   });
   on("leave", [this](Message& m) {
-    const std::string group = m.payload.get_string("name");
+    const std::string group = m.payload().get_string("name");
     if (group.empty()) {
       respond_error(m, errc::inval, "group.leave: need name");
       return;
     }
     Delta d;
-    d.leave.push_back(m.payload.get_string("member", member_id(m)));
+    d.leave.push_back(m.payload().get_string("member", member_id(m)));
     apply_and_forward(group, std::move(d), &m);
   });
   // Aggregated deltas from downstream instances.
   on("update", [this](Message& m) {
-    const std::string group = m.payload.get_string("name");
+    const std::string group = m.payload().get_string("name");
     Delta d;
-    for (const Json& j : m.payload.at("join").as_array())
+    for (const Json& j : m.payload().at("join").as_array())
       d.join.push_back(j.as_string());
-    for (const Json& j : m.payload.at("leave").as_array())
+    for (const Json& j : m.payload().at("leave").as_array())
       d.leave.push_back(j.as_string());
     apply_and_forward(group, std::move(d), nullptr);
   });
@@ -51,7 +51,7 @@ Group::Group(Broker& b) : ModuleBase(b) {
       broker().forward_upstream(std::move(m));
       return;
     }
-    const std::string group = m.payload.get_string("name");
+    const std::string group = m.payload().get_string("name");
     auto it = members_.find(group);
     Json list = Json::array();
     if (it != members_.end())

@@ -35,7 +35,7 @@ void Heartbeat::tick() {
 
 void Heartbeat::handle_event(const Message& msg) {
   if (msg.topic == "hb")
-    epoch_ = static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0));
+    epoch_ = static_cast<std::uint64_t>(msg.payload().get_int("epoch", 0));
 }
 
 }  // namespace flux::modules

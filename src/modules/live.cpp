@@ -7,8 +7,8 @@ namespace flux::modules {
 
 Live::Live(Broker& b) : ModuleBase(b) {
   on("hello", [this](Message& m) {
-    const auto child = static_cast<NodeId>(m.payload.get_int("rank", -1));
-    const auto epoch = static_cast<std::uint64_t>(m.payload.get_int("epoch", 0));
+    const auto child = static_cast<NodeId>(m.payload().get_int("rank", -1));
+    const auto epoch = static_cast<std::uint64_t>(m.payload().get_int("epoch", 0));
     auto [it, inserted] = last_hello_.try_emplace(child, epoch);
     if (!inserted) it->second = std::max(it->second, epoch);
     // No response: hellos are one-way, heartbeat-synchronized traffic.
@@ -38,7 +38,7 @@ void Live::handle_event(const Message& msg) {
     // broker below the failure would be cascade-declared dead the moment
     // events resume. Reset the hello clocks of our current children.
     const auto down_epoch =
-        static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0));
+        static_cast<std::uint64_t>(msg.payload().get_int("epoch", 0));
     for (auto& [child, last] : last_hello_)
       last = std::max(last, down_epoch);
     return;
@@ -47,13 +47,13 @@ void Live::handle_event(const Message& msg) {
     // A restarted broker was re-admitted: forget its death and give it a
     // fresh hello clock (the broker applied the new parent relation before
     // this handler ran, so it may already be our child).
-    const auto back = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+    const auto back = static_cast<NodeId>(msg.payload().get_int("rank", -1));
     dead_.erase(back);
     last_hello_.erase(back);
     return;
   }
   if (msg.topic != "hb") return;
-  on_heartbeat(static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0)));
+  on_heartbeat(static_cast<std::uint64_t>(msg.payload().get_int("epoch", 0)));
 }
 
 void Live::on_heartbeat(std::uint64_t epoch) {

@@ -26,12 +26,12 @@ Log::Log(Broker& b) : ModuleBase(b) {
   on("append", [this](Message& m) {
     // Single record from a local client, or a batch from downstream. A
     // batch flagged "context" (fault dumps) bypasses the severity filter.
-    if (m.payload.at("records").is_array()) {
-      const bool force = m.payload.get_bool("context", false);
-      for (const Json& j : m.payload.at("records").as_array())
+    if (m.payload().at("records").is_array()) {
+      const bool force = m.payload().get_bool("context", false);
+      for (const Json& j : m.payload().at("records").as_array())
         append(LogRecord::from_json(j), force);
     } else {
-      LogRecord rec = LogRecord::from_json(m.payload);
+      LogRecord rec = LogRecord::from_json(m.payload());
       rec.rank = m.route.empty() ? broker().rank() : m.route.front().rank;
       rec.time_ns = broker().executor().now().count();
       append(std::move(rec));
@@ -50,7 +50,7 @@ Log::Log(Broker& b) : ModuleBase(b) {
       broker().forward_upstream(std::move(m));
       return;
     }
-    const auto max = static_cast<std::size_t>(m.payload.get_int("max", 100));
+    const auto max = static_cast<std::size_t>(m.payload().get_int("max", 100));
     Json records = Json::array();
     const std::size_t start =
         session_log_.size() > max ? session_log_.size() - max : 0;

@@ -43,9 +43,9 @@ Mon::Mon(Broker& b) : ModuleBase(b) {
   });
 
   on("reduce", [this](Message& m) {
-    const auto epoch = static_cast<std::uint64_t>(m.payload.get_int("epoch"));
+    const auto epoch = static_cast<std::uint64_t>(m.payload().get_int("epoch"));
     std::map<std::string, MonSample, std::less<>> metrics;
-    for (const auto& [mname, sample] : m.payload.at("metrics").as_object())
+    for (const auto& [mname, sample] : m.payload().at("metrics").as_object())
       metrics.emplace(mname, MonSample::from_json(sample));
     reduce(epoch, std::move(metrics));
   });
@@ -70,7 +70,7 @@ void Mon::register_sampler(std::string sampler_name, Sampler fn) {
 
 void Mon::handle_event(const Message& msg) {
   if (msg.topic != "hb") return;
-  on_heartbeat(static_cast<std::uint64_t>(msg.payload.get_int("epoch", 0)));
+  on_heartbeat(static_cast<std::uint64_t>(msg.payload().get_int("epoch", 0)));
 }
 
 void Mon::on_heartbeat(std::uint64_t epoch) {
@@ -86,7 +86,7 @@ Task<void> Mon::sample_epoch(std::uint64_t epoch) {
       "kvs.get", Json::object({{"key", "mon.samplers"}}));
   Message resp = co_await broker().module_rpc(*this, std::move(get_req));
   if (resp.errnum != 0) co_return;  // sampling not configured
-  ObjPtr obj = resp.data ? parse_object(*resp.data) : nullptr;
+  ObjPtr obj = resp.data() ? parse_object(*resp.data()) : nullptr;
   if (!obj || !obj->is_val() || !obj->value().is_array()) co_return;
 
   std::map<std::string, MonSample, std::less<>> metrics;
@@ -144,7 +144,7 @@ Task<void> Mon::store_aggregate(std::uint64_t epoch) {
     Message put = Message::request(
         "kvs.put", Json::object({{"key", "mon.data." + mname + ".e" +
                                              std::to_string(epoch)}}));
-    put.data = std::shared_ptr<const std::string>(obj, &obj->bytes);
+    put.set_data(std::shared_ptr<const std::string>(obj, &obj->bytes));
     Message resp = co_await broker().module_rpc(*this, std::move(put));
     if (resp.errnum != 0)
       log::warn("mon", "failed to store sample: ", resp.errnum);

@@ -31,7 +31,7 @@ Task<void> Resvc::enumerate() {
     Message put = Message::request(
         "kvs.put",
         Json::object({{"key", "resource.nodes.n" + std::to_string(r)}}));
-    put.data = std::shared_ptr<const std::string>(obj, &obj->bytes);
+    put.set_data(std::shared_ptr<const std::string>(obj, &obj->bytes));
     Message resp = co_await broker().module_rpc(*this, std::move(put));
     if (resp.errnum != 0) {
       log::error("resvc", "enumeration put failed");
@@ -48,8 +48,8 @@ void Resvc::op_alloc(Message& msg) {
     broker().forward_upstream(std::move(msg));
     return;
   }
-  const std::string jobid = msg.payload.get_string("jobid");
-  const std::int64_t nnodes = msg.payload.get_int("nnodes", 1);
+  const std::string jobid = msg.payload().get_string("jobid");
+  const std::int64_t nnodes = msg.payload().get_int("nnodes", 1);
   if (jobid.empty() || nnodes <= 0) {
     respond_error(msg, errc::inval, "resvc.alloc: need jobid and nnodes > 0");
     return;
@@ -78,7 +78,7 @@ Task<void> Resvc::record_alloc(Message req, std::string jobid,
   ObjPtr obj = make_val_object(list);
   Message put = Message::request(
       "kvs.put", Json::object({{"key", "lwj." + jobid + ".resources"}}));
-  put.data = std::shared_ptr<const std::string>(obj, &obj->bytes);
+  put.set_data(std::shared_ptr<const std::string>(obj, &obj->bytes));
   Message put_resp = co_await broker().module_rpc(*this, std::move(put));
   Message commit_resp =
       co_await broker().module_rpc(*this, Message::request("kvs.commit"));
@@ -94,7 +94,7 @@ void Resvc::op_free(Message& msg) {
     broker().forward_upstream(std::move(msg));
     return;
   }
-  const std::string jobid = msg.payload.get_string("jobid");
+  const std::string jobid = msg.payload().get_string("jobid");
   auto it = allocations_.find(jobid);
   if (it == allocations_.end()) {
     respond_error(msg, errc::noent, "resvc.free: no such allocation");
@@ -121,7 +121,7 @@ void Resvc::op_status(Message& msg) {
 
 void Resvc::handle_event(const Message& msg) {
   if (msg.topic != "live.down" || !broker().is_root()) return;
-  const auto rank = static_cast<NodeId>(msg.payload.get_int("rank", -1));
+  const auto rank = static_cast<NodeId>(msg.payload().get_int("rank", -1));
   if (rank >= broker().size()) return;
   down_.insert(rank);
   free_.erase(rank);
@@ -135,7 +135,7 @@ Task<void> Resvc::mark_node_state(NodeId rank, std::string state) {
   Message put = Message::request(
       "kvs.put",
       Json::object({{"key", "resource.nodes.n" + std::to_string(rank)}}));
-  put.data = std::shared_ptr<const std::string>(obj, &obj->bytes);
+  put.set_data(std::shared_ptr<const std::string>(obj, &obj->bytes));
   (void)co_await broker().module_rpc(*this, std::move(put));
   (void)co_await broker().module_rpc(*this, Message::request("kvs.commit"));
 }

@@ -114,8 +114,8 @@ void Wexec::op_run(Message& msg) {
     broker().forward_upstream(std::move(msg));
     return;
   }
-  const std::string jobid = msg.payload.get_string("jobid");
-  const std::string cmd = msg.payload.get_string("cmd");
+  const std::string jobid = msg.payload().get_string("jobid");
+  const std::string cmd = msg.payload().get_string("cmd");
   if (jobid.empty() || cmd.empty()) {
     respond_error(msg, errc::inval, "wexec.run: need jobid and cmd");
     return;
@@ -124,7 +124,7 @@ void Wexec::op_run(Message& msg) {
     respond_error(msg, errc::exist, "wexec.run: jobid in use");
     return;
   }
-  Json ranks = msg.payload.at("ranks");
+  Json ranks = msg.payload().at("ranks");
   const std::int64_t ntasks =
       ranks.is_array() ? static_cast<std::int64_t>(ranks.size())
                        : static_cast<std::int64_t>(broker().size());
@@ -138,7 +138,7 @@ void Wexec::op_run(Message& msg) {
   broker().publish("wexec.exec",
                    Json::object({{"jobid", jobid},
                                  {"cmd", cmd},
-                                 {"args", msg.payload.at("args")},
+                                 {"args", msg.payload().at("args")},
                                  {"ranks", std::move(ranks)},
                                  {"ntasks", ntasks}}));
 }
@@ -148,7 +148,7 @@ void Wexec::op_kill(Message& msg) {
     broker().forward_upstream(std::move(msg));
     return;
   }
-  const std::string jobid = msg.payload.get_string("jobid");
+  const std::string jobid = msg.payload().get_string("jobid");
   if (jobid.empty()) {
     respond_error(msg, errc::inval, "wexec.kill: need jobid");
     return;
@@ -156,13 +156,13 @@ void Wexec::op_kill(Message& msg) {
   broker().publish(
       "wexec.signal",
       Json::object({{"jobid", jobid},
-                    {"signum", msg.payload.get_int("signum", 15)}}));
+                    {"signum", msg.payload().get_int("signum", 15)}}));
   respond_ok(msg);
 }
 
 void Wexec::handle_event(const Message& msg) {
   if (msg.topic == "wexec.exec") {
-    const Json& ranks = msg.payload.at("ranks");
+    const Json& ranks = msg.payload().at("ranks");
     bool mine = true;
     if (ranks.is_array()) {
       mine = false;
@@ -172,15 +172,15 @@ void Wexec::handle_event(const Message& msg) {
     }
     if (!mine) return;
     co_spawn(broker().executor(),
-             run_task(msg.payload.get_string("jobid"),
-                      msg.payload.get_string("cmd"), msg.payload.at("args"),
-                      msg.payload.get_int("ntasks", 1)),
+             run_task(msg.payload().get_string("jobid"),
+                      msg.payload().get_string("cmd"), msg.payload().at("args"),
+                      msg.payload().get_int("ntasks", 1)),
              "wexec.task");
     return;
   }
   if (msg.topic == "wexec.signal") {
-    const std::string jobid = msg.payload.get_string("jobid");
-    const int signum = static_cast<int>(msg.payload.get_int("signum", 15));
+    const std::string jobid = msg.payload().get_string("jobid");
+    const int signum = static_cast<int>(msg.payload().get_int("signum", 15));
     auto [lo, hi] = procs_.equal_range(jobid);
     for (auto it = lo; it != hi; ++it) it->second.ctx->deliver_signal(signum);
   }
@@ -235,10 +235,10 @@ void Wexec::report_complete(const std::string& jobid, int exit_code) {
 }
 
 void Wexec::op_complete(Message& msg) {
-  const std::string jobid = msg.payload.get_string("jobid");
+  const std::string jobid = msg.payload().get_string("jobid");
   PendingComplete& pc = pending_complete_[jobid];
-  pc.count += msg.payload.get_int("count", 0);
-  for (const auto& [code, n] : msg.payload.at("exits").as_object())
+  pc.count += msg.payload().get_int("count", 0);
+  for (const auto& [code, n] : msg.payload().at("exits").as_object())
     pc.exits[code] += n.as_int();
   if (pc.scheduled) return;
   pc.scheduled = true;

@@ -65,6 +65,7 @@ class Reader {
     return true;
   }
   [[nodiscard]] bool done() const { return pos_ == wire_.size(); }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
 
  private:
   bool fixed(std::uint8_t* out, std::size_t n) {
@@ -83,9 +84,47 @@ Error proto_error(const char* what) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& msg) {
-  std::vector<std::uint8_t> out;
-  out.reserve(msg.wire_size());
+CodecStats& codec_stats() noexcept {
+  static CodecStats stats;
+  return stats;
+}
+
+// Defined here rather than message.cpp: the body layout (length prefixes,
+// frame order) is wire-codec knowledge.
+const SharedBytes& Message::encoded_body() const {
+  if (!body_cache_) {
+    codec_stats().body_builds.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::uint8_t> out;
+    const std::string json = payload_.dump();
+    std::size_t att_size = 0;
+    if (attachment_)
+      att_size = attachment_->tag().size() + attachment_->wire_size();
+    out.reserve(4 + json.size() + 4 + data_size() + 1 + 4 + att_size);
+    put_u32(out, static_cast<std::uint32_t>(json.size()));
+    put_bytes(out, json);
+    put_u32(out, static_cast<std::uint32_t>(data_size()));
+    if (data_) put_bytes(out, *data_);
+    if (attachment_) {
+      const auto tag = attachment_->tag();
+      put_u8(out, static_cast<std::uint8_t>(tag.size()));
+      put_bytes(out, tag);
+      const std::string body = attachment_->serialize();
+      put_u32(out, static_cast<std::uint32_t>(body.size()));
+      put_bytes(out, body);
+    } else {
+      put_u8(out, 0);
+      put_u32(out, 0);
+    }
+    body_cache_ = SharedBytes(std::move(out));
+    body_size_ = body_cache_.size();
+  }
+  return body_cache_;
+}
+
+namespace {
+
+/// Emit the per-hop header portion (everything before the JSON frame).
+void put_header(std::vector<std::uint8_t>& out, const Message& msg) {
   put_u32(out, kMagic);
   put_u8(out, static_cast<std::uint8_t>(msg.type));
   put_u8(out, msg.flags);
@@ -107,26 +146,33 @@ std::vector<std::uint8_t> encode(const Message& msg) {
     put_u32(out, hop.rank);
     put_u64(out, static_cast<std::uint64_t>(hop.t_ns));
   }
-  const std::string json = msg.payload.dump();
-  put_u32(out, static_cast<std::uint32_t>(json.size()));
-  put_bytes(out, json);
-  put_u32(out, static_cast<std::uint32_t>(msg.data_size()));
-  if (msg.data) put_bytes(out, *msg.data);
-  if (msg.attachment) {
-    const auto tag = msg.attachment->tag();
-    put_u8(out, static_cast<std::uint8_t>(tag.size()));
-    put_bytes(out, tag);
-    const std::string body = msg.attachment->serialize();
-    put_u32(out, static_cast<std::uint32_t>(body.size()));
-    put_bytes(out, body);
-  } else {
-    put_u8(out, 0);
-    put_u32(out, 0);
-  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  CodecStats& st = codec_stats();
+  st.encodes.fetch_add(1, std::memory_order_relaxed);
+  if (msg.has_encoded_body())
+    st.body_reuses.fetch_add(1, std::memory_order_relaxed);
+  const SharedBytes& body = msg.encoded_body();
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.header_wire_size() + body.size());
+  put_header(out, msg);
+  out.insert(out.end(), body.data(), body.data() + body.size());
   return out;
 }
 
-Expected<Message> decode(std::span<const std::uint8_t> wire) {
+WireFrame encode_shared(const Message& msg) {
+  return std::make_shared<const std::vector<std::uint8_t>>(encode(msg));
+}
+
+namespace {
+
+/// Shared decode core. `owner` non-null = zero-copy path: the decoded
+/// message's body cache aliases the frame instead of copying it.
+Expected<Message> decode_impl(std::span<const std::uint8_t> wire,
+                              const WireFrame* owner) {
   Reader rd(wire);
   std::uint32_t magic = 0;
   if (!rd.u32(magic) || magic != kMagic) return proto_error("bad magic");
@@ -177,22 +223,26 @@ Expected<Message> decode(std::span<const std::uint8_t> wire) {
     msg.trace.push_back(hop);
   }
 
+  const std::size_t body_start = rd.pos();
+
   std::uint32_t json_len = 0;
   std::string json;
   if (!rd.u32(json_len) || !rd.str(json, json_len))
     return proto_error("truncated json frame");
   auto parsed = Json::parse(json);
   if (!parsed) return parsed.error();
-  msg.payload = std::move(parsed).value();
+  Json payload = std::move(parsed).value();
 
+  std::shared_ptr<const std::string> data;
   std::uint32_t data_len = 0;
   if (!rd.u32(data_len)) return proto_error("truncated data length");
   if (data_len > 0) {
-    std::string data;
-    if (!rd.str(data, data_len)) return proto_error("truncated data frame");
-    msg.data = std::make_shared<const std::string>(std::move(data));
+    std::string bytes;
+    if (!rd.str(bytes, data_len)) return proto_error("truncated data frame");
+    data = std::make_shared<const std::string>(std::move(bytes));
   }
 
+  std::shared_ptr<const Attachment> attachment;
   std::uint8_t tag_len = 0;
   if (!rd.u8(tag_len)) return proto_error("truncated attachment tag length");
   std::string tag;
@@ -208,10 +258,53 @@ Expected<Message> decode(std::span<const std::uint8_t> wire) {
       return proto_error("unknown attachment tag");
     auto decoded = it->second(att_body);
     if (!decoded) return decoded.error();
-    msg.attachment = std::move(decoded).value();
+    attachment = std::move(decoded).value();
   }
   if (!rd.done()) return proto_error("trailing bytes");
+
+  // Seed the body-encoding cache with the arriving bytes: re-encoding this
+  // message for the next hop memcpys them instead of re-serializing. The
+  // zero-copy path aliases the shared frame; the span path owns a copy.
+  SharedBytes body;
+  if (owner != nullptr) {
+    body = SharedBytes(*owner, wire.data() + body_start,
+                       wire.size() - body_start);
+  } else {
+    body = SharedBytes(std::vector<std::uint8_t>(
+        wire.begin() + static_cast<std::ptrdiff_t>(body_start), wire.end()));
+  }
+  detail::MessageCodecAccess::install_body(msg, std::move(payload),
+                                           std::move(data),
+                                           std::move(attachment),
+                                           std::move(body));
   return msg;
+}
+
+}  // namespace
+
+namespace detail {
+
+void MessageCodecAccess::install_body(Message& m, Json payload,
+                                      std::shared_ptr<const std::string> data,
+                                      std::shared_ptr<const Attachment> att,
+                                      SharedBytes cache) {
+  m.payload_ = std::move(payload);
+  m.data_ = std::move(data);
+  m.attachment_ = std::move(att);
+  m.body_size_ = cache ? cache.size() : Message::kNoBodySize;
+  m.body_cache_ = std::move(cache);
+}
+
+}  // namespace detail
+
+Expected<Message> decode(std::span<const std::uint8_t> wire) {
+  codec_stats().decodes.fetch_add(1, std::memory_order_relaxed);
+  return decode_impl(wire, nullptr);
+}
+
+Expected<Message> decode_shared(const WireFrame& frame) {
+  codec_stats().decodes.fetch_add(1, std::memory_order_relaxed);
+  return decode_impl(*frame, &frame);
 }
 
 void register_attachment_codec(std::string tag, AttachmentDecoder decoder) {

@@ -15,8 +15,10 @@
 //   u8 att_tag_len     tag bytes     u32 att_len    attachment bytes
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,11 +28,48 @@
 
 namespace flux {
 
-/// Serialize a message to wire bytes.
+/// Serialize a message to wire bytes. The body portion (JSON + data +
+/// attachment) comes from the message's memoized encoding: the first encode
+/// of a message serializes it, later encodes (forwarding hops) memcpy the
+/// cached bytes.
 std::vector<std::uint8_t> encode(const Message& msg);
 
-/// Parse wire bytes; Error{Proto} on malformed input.
+/// Parse wire bytes; Error{Proto} on malformed input. Seeds the decoded
+/// message's body-encoding cache from the frame, so re-encoding it for the
+/// next hop reuses the arriving bytes.
 Expected<Message> decode(std::span<const std::uint8_t> wire);
+
+/// A shared immutable wire frame, as passed between threaded reactors.
+using WireFrame = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// encode() into a shared frame (one allocation, refcounted across threads).
+WireFrame encode_shared(const Message& msg);
+
+/// decode() that aliases the frame's body region into the message's encoding
+/// cache instead of copying it — the zero-copy receive path. The frame is
+/// kept alive by the returned message.
+Expected<Message> decode_shared(const WireFrame& frame);
+
+/// Codec invocation counters (relaxed atomics; cheap enough to always keep).
+/// body_builds counts expensive body serializations (JSON dump + attachment
+/// serialize); body_reuses counts encodes served from a message's cached
+/// body. A message forwarded across N hops should cost 1 build + N-1 reuses.
+struct CodecStats {
+  std::atomic<std::uint64_t> encodes{0};
+  std::atomic<std::uint64_t> decodes{0};
+  std::atomic<std::uint64_t> body_builds{0};
+  std::atomic<std::uint64_t> body_reuses{0};
+
+  void reset() noexcept {
+    encodes.store(0, std::memory_order_relaxed);
+    decodes.store(0, std::memory_order_relaxed);
+    body_builds.store(0, std::memory_order_relaxed);
+    body_reuses.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Process-wide codec counters (tests and benches reset + sample them).
+CodecStats& codec_stats() noexcept;
 
 /// Decoder for a concrete Attachment type, keyed by its tag().
 using AttachmentDecoder =

@@ -26,7 +26,7 @@ Message Message::request(std::string topic, Json payload) {
   Message m;
   m.type = MsgType::Request;
   m.topic = std::move(topic);
-  m.payload = std::move(payload);
+  m.payload_ = std::move(payload);
   return m;
 }
 
@@ -34,7 +34,7 @@ Message Message::event(std::string topic, Json payload) {
   Message m;
   m.type = MsgType::Event;
   m.topic = std::move(topic);
-  m.payload = std::move(payload);
+  m.payload_ = std::move(payload);
   return m;
 }
 
@@ -48,14 +48,14 @@ Message Message::respond(Json response_payload) const {
   m.flags = flags;
   m.route = route;  // unwound hop-by-hop by the broker
   m.trace = trace;  // the return path keeps appending to the request's hops
-  m.payload = std::move(response_payload);
+  m.payload_ = std::move(response_payload);
   return m;
 }
 
 Message Message::respond_error(Errc code, std::string_view what) const {
   Message m = respond();
   m.errnum = static_cast<int>(code);
-  if (!what.empty()) m.payload = Json::object({{"errmsg", std::string(what)}});
+  if (!what.empty()) m.payload_ = Json::object({{"errmsg", std::string(what)}});
   return m;
 }
 
@@ -78,19 +78,27 @@ bool Message::topic_matches(std::string_view sub, std::string_view topic) noexce
   return topic.size() == sub.size() || topic[sub.size()] == '.';
 }
 
-std::size_t Message::wire_size() const {
-  // Mirrors codec.cpp layout: fixed header + topic + route stack + frame
-  // length prefixes + JSON frame + data frame.
+std::size_t Message::header_wire_size() const noexcept {
+  // Mirrors codec.cpp layout up to (excluding) the JSON frame.
   constexpr std::size_t kFixed = 4 /*magic*/ + 1 /*type*/ + 1 /*flags*/ +
                                  4 /*matchtag*/ + 4 /*nodeid*/ + 8 /*seq*/ +
                                  4 /*errnum*/ + 2 /*topic len*/ +
-                                 2 /*route len*/ + 2 /*trace len*/ +
-                                 4 /*json len*/ + 4 /*data len*/ +
-                                 1 /*attachment tag len*/ + 4 /*attachment len*/;
-  std::size_t att = 0;
-  if (attachment) att = attachment->tag().size() + attachment->wire_size();
-  return kFixed + topic.size() + route.size() * 13 + trace.size() * 13 +
-         payload.dump_size() + data_size() + att;
+                                 2 /*route len*/ + 2 /*trace len*/;
+  return kFixed + topic.size() + route.size() * 13 + trace.size() * 13;
+}
+
+std::size_t Message::wire_size() const {
+  // Body footprint (length prefixes + JSON + data + attachment) is memoized:
+  // per-hop accounting (simnet bandwidth model, broker tx/rx counters) would
+  // otherwise re-walk the JSON payload and attachment on every send.
+  if (body_size_ == kNoBodySize) {
+    std::size_t att = 0;
+    if (attachment_) att = attachment_->tag().size() + attachment_->wire_size();
+    body_size_ = 4 /*json len*/ + payload_.dump_size() + 4 /*data len*/ +
+                 data_size() + 1 /*attachment tag len*/ +
+                 4 /*attachment len*/ + att;
+  }
+  return header_wire_size() + body_size_;
 }
 
 }  // namespace flux

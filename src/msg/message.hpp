@@ -13,12 +13,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "base/error.hpp"
 #include "json/json.hpp"
+#include "msg/shared_bytes.hpp"
 
 namespace flux {
 
@@ -39,6 +41,10 @@ enum class MsgType : std::uint8_t {
 };
 
 std::string_view msg_type_name(MsgType t) noexcept;
+
+namespace detail {
+struct MessageCodecAccess;
+}  // namespace detail
 
 /// Opaque shared bulk attachment with an explicit wire footprint.
 ///
@@ -124,14 +130,57 @@ struct Message {
   /// Per-broker stamps, appended while kMsgFlagTrace is set.
   std::vector<TraceHop> trace;
 
-  /// JSON payload frame.
-  Json payload;
+  // -- body frames ----------------------------------------------------------
+  // The payload / data / attachment frames are private so every mutation is
+  // forced through a setter that invalidates the memoized body encoding
+  // below. Header fields (route, trace, nodeid, ...) stay public: forwarding
+  // rewrites them on every hop, and they are cheap to re-emit — only the
+  // body is memoized.
+
+  /// JSON payload frame (read-only view).
+  [[nodiscard]] const Json& payload() const noexcept { return payload_; }
+  /// Mutable payload access; invalidates the cached body encoding.
+  [[nodiscard]] Json& mutable_payload() noexcept {
+    invalidate_encoding();
+    return payload_;
+  }
+  void set_payload(Json p) noexcept {
+    invalidate_encoding();
+    payload_ = std::move(p);
+  }
 
   /// Optional bulk data frame (shared, immutable).
-  std::shared_ptr<const std::string> data;
+  [[nodiscard]] const std::shared_ptr<const std::string>& data() const noexcept {
+    return data_;
+  }
+  void set_data(std::shared_ptr<const std::string> d) noexcept {
+    invalidate_encoding();
+    data_ = std::move(d);
+  }
 
   /// Optional structured bulk attachment (shared, immutable).
-  std::shared_ptr<const Attachment> attachment;
+  [[nodiscard]] const std::shared_ptr<const Attachment>& attachment() const noexcept {
+    return attachment_;
+  }
+  void set_attachment(std::shared_ptr<const Attachment> a) noexcept {
+    invalidate_encoding();
+    attachment_ = std::move(a);
+  }
+
+  /// Canonical encoding of the body frames (JSON + data + attachment tail of
+  /// the wire layout), memoized on first use. encode() reuses it on every
+  /// subsequent hop, and decode() seeds it from the arriving frame, so a
+  /// forwarded message serializes its body exactly once end to end.
+  /// Defined in codec.cpp (it is wire-layout knowledge).
+  [[nodiscard]] const SharedBytes& encoded_body() const;
+  [[nodiscard]] bool has_encoded_body() const noexcept {
+    return static_cast<bool>(body_cache_);
+  }
+  /// Drop the memoized encoding (called by every body mutator).
+  void invalidate_encoding() const noexcept {
+    body_cache_.reset();
+    body_size_ = kNoBodySize;
+  }
 
   // -- constructors ---------------------------------------------------------
   static Message request(std::string topic, Json payload = Json::object());
@@ -163,18 +212,53 @@ struct Message {
 
   /// Size of the bulk data frame (0 if absent).
   [[nodiscard]] std::size_t data_size() const noexcept {
-    return data ? data->size() : 0;
+    return data_ ? data_->size() : 0;
   }
 
   /// Size of the attachment frame (0 if absent).
   [[nodiscard]] std::size_t attachment_size() const {
-    return attachment ? attachment->wire_size() : 0;
+    return attachment_ ? attachment_->wire_size() : 0;
   }
 
   /// Wire footprint in bytes: what encode() would produce. Used by the
   /// network simulator for bandwidth/serialization accounting without
-  /// actually encoding on every simulated hop.
+  /// actually encoding on every simulated hop. The body portion is memoized
+  /// (and shared with the cached encoding), so per-hop accounting does not
+  /// re-walk the JSON payload or attachment.
   [[nodiscard]] std::size_t wire_size() const;
+
+  /// Wire footprint of the per-hop header portion (everything before the
+  /// JSON frame: fixed fields + topic + route + trace stacks).
+  [[nodiscard]] std::size_t header_wire_size() const noexcept;
+
+ private:
+  /// Codec-internal backdoor: decode() fills the body fields and seeds the
+  /// encoding cache from the arriving frame without double-invalidation.
+  friend struct detail::MessageCodecAccess;
+
+  static constexpr std::size_t kNoBodySize = static_cast<std::size_t>(-1);
+
+  Json payload_;
+  std::shared_ptr<const std::string> data_;
+  std::shared_ptr<const Attachment> attachment_;
+
+  // Memoized canonical body encoding + its size. `mutable` because memoizing
+  // on a const Message (encode takes const&) is semantically non-mutating;
+  // messages are reactor-confined, so no concurrent access to one instance.
+  mutable SharedBytes body_cache_;
+  mutable std::size_t body_size_ = kNoBodySize;
 };
+
+namespace detail {
+/// The wire codec's access to Message body internals (defined in codec.cpp):
+/// decode() installs all three body frames plus the encoding cache in one
+/// step, bypassing the invalidating setters.
+struct MessageCodecAccess {
+  static void install_body(Message& m, Json payload,
+                           std::shared_ptr<const std::string> data,
+                           std::shared_ptr<const Attachment> att,
+                           SharedBytes cache);
+};
+}  // namespace detail
 
 }  // namespace flux

@@ -1,0 +1,57 @@
+// SharedBytes: an immutable, shared view of a byte range.
+//
+// The view carries its owner (any shared_ptr) so it can alias a slice of a
+// larger buffer — e.g. the body region of a decoded wire frame — without
+// copying. Copying a SharedBytes copies a pointer pair and bumps a refcount;
+// the underlying bytes are never mutated after construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flux {
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Own a fresh buffer.
+  explicit SharedBytes(std::vector<std::uint8_t> bytes) {
+    auto owned = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+    data_ = owned->data();
+    size_ = owned->size();
+    owner_ = std::move(owned);
+  }
+
+  /// Alias `[data, data+size)` inside a buffer kept alive by `owner`.
+  SharedBytes(std::shared_ptr<const void> owner, const std::uint8_t* data,
+              std::size_t size) noexcept
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return {data_, size_};
+  }
+
+  /// Distinguishes "no buffer" from "empty buffer".
+  explicit operator bool() const noexcept { return data_ != nullptr; }
+
+  void reset() noexcept {
+    owner_.reset();
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace flux

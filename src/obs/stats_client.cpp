@@ -13,7 +13,7 @@ Task<Json> FluxStats::get(std::string service, NodeId rank, bool all) {
       h_.request(std::move(service) + ".stats.get").payload(std::move(payload));
   if (rank != kNodeAny) req.to(rank);
   Message resp = co_await req.call();
-  co_return resp.payload;
+  co_return resp.payload();
 }
 
 Task<Json> FluxStats::aggregate(std::string service, bool all) {
@@ -26,7 +26,7 @@ Task<Json> FluxStats::aggregate(std::string service, bool all) {
                        .to(rank)
                        .send();
     if (resp.errnum != 0) continue;  // service not loaded at this rank
-    StatsRegistry::merge_snapshot(merged, resp.payload);
+    StatsRegistry::merge_snapshot(merged, resp.payload());
     ++responding;
   }
   if (merged.is_null())

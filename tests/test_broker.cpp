@@ -47,10 +47,10 @@ TEST(Broker, CmbInfo) {
   SimSession s(SimSession::default_config(8));
   auto h = s.attach(6);
   Message resp = s.run(h->request("cmb.info").call());
-  EXPECT_EQ(resp.payload.get_int("rank"), 6);
-  EXPECT_EQ(resp.payload.get_int("size"), 8);
-  EXPECT_EQ(resp.payload.get_int("depth"), 2);
-  EXPECT_TRUE(resp.payload.get_bool("online"));
+  EXPECT_EQ(resp.payload().get_int("rank"), 6);
+  EXPECT_EQ(resp.payload().get_int("size"), 8);
+  EXPECT_EQ(resp.payload().get_int("depth"), 2);
+  EXPECT_TRUE(resp.payload().get_bool("online"));
 }
 
 TEST(Broker, CmbLsmodListsTableOneModules) {
@@ -58,7 +58,7 @@ TEST(Broker, CmbLsmodListsTableOneModules) {
   auto h = s.attach(0);
   Message resp = s.run(h->request("cmb.lsmod").call());
   std::set<std::string> mods;
-  for (const Json& m : resp.payload.at("modules").as_array())
+  for (const Json& m : resp.payload().at("modules").as_array())
     mods.insert(m.as_string());
   for (const char* want :
        {"hb", "live", "log", "mon", "group", "barrier", "kvs", "wexec", "resvc"})

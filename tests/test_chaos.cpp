@@ -355,6 +355,103 @@ TEST(Chaos, SurgicalNthDropIsRetriedToSuccess) {
   EXPECT_EQ(plan.faults_injected(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Batched kvs.load under fire: a dropped or corrupted batch fault must be
+// retried by the module's session RetryPolicy or surface as a typed taint —
+// never hang the reader.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, DroppedBatchedLoadIsRetried) {
+  SimSession s(chaos_config(4));
+  auto w = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("batch.a.b", "survives");
+    co_await kvs.commit();
+  }(w.get()));
+
+  FaultPlan plan(11);
+  // Swallow the leaf's first batched chain fault (3 -> tree parent 1).
+  plan.drop_nth(3, 1, 1, "kvs.load");
+  plan.arm(s.session());
+
+  auto reader = s.attach(3);
+  Json v = s.run([](Handle* hd) -> Task<Json> {
+    KvsClient kvs(*hd);
+    co_return co_await kvs.get("batch.a.b");
+  }(reader.get()));
+  EXPECT_EQ(v.as_string(), "survives");
+  EXPECT_EQ(plan.faults_injected(), 1u);
+  // The lost batch shows up as an extra upstream round-trip, not a hang.
+  auto* leaf = dynamic_cast<KvsModule*>(s.session().broker(3).find_module("kvs"));
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_GE(leaf->op_stats().faults_issued, 2u);
+}
+
+TEST(Chaos, CorruptedBatchedLoadIsRetried) {
+  SimSession s(chaos_config(4));
+  auto w = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("batch.c.d", 99);
+    co_await kvs.commit();
+  }(w.get()));
+
+  FaultPlan plan(12);
+  plan.corrupt_nth(3, 1, 1, "kvs.load");
+  plan.arm(s.session());
+
+  auto reader = s.attach(3);
+  // A mangled frame either fails to decode (link drop -> module retry, get
+  // succeeds) or decodes to an altered request whose useless answer taints
+  // the get with a typed error. Both terminate; neither may hang.
+  try {
+    Json v = s.run([](Handle* hd) -> Task<Json> {
+      KvsClient kvs(*hd);
+      co_return co_await kvs.get("batch.c.d");
+    }(reader.get()));
+    EXPECT_EQ(v, Json(99));
+  } catch (const FluxException& e) {
+    EXPECT_TRUE(e.error().code == errc::timeout ||
+                e.error().code == errc::noent ||
+                e.error().code == errc::proto)
+        << "untyped corruption fallout: " << e.error().to_string();
+  }
+  EXPECT_EQ(plan.faults_injected(), 1u);
+}
+
+TEST(Chaos, FullyDroppedBatchedLoadTaintsNeverHangs) {
+  SimSession s(chaos_config(4));
+  auto w = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    KvsClient kvs(*hd);
+    co_await kvs.put("batch.e.f", "unreachable");
+    co_await kvs.commit();
+  }(w.get()));
+
+  FaultPlan plan(13);
+  // Swallow every batched fault the leaf can issue within its retry budget
+  // (module attempts plus client-retry-triggered reissues). A fired rule
+  // consumes its message before later rules count it, so 32 first-match
+  // rules drop the first 32 kvs.load sends on the link.
+  for (int n = 0; n < 32; ++n) plan.drop_nth(3, 1, 1, "kvs.load");
+  plan.arm(s.session());
+
+  auto reader = s.attach(3);
+  bool typed_taint = false;
+  try {
+    (void)s.run([](Handle* hd) -> Task<Json> {
+      KvsClient kvs(*hd);
+      co_return co_await kvs.get("batch.e.f");
+    }(reader.get()));
+  } catch (const FluxException& e) {
+    typed_taint = e.error().code == errc::timeout ||
+                  e.error().code == errc::noent;
+  }
+  // The run() returning at all proves no hang; the error must be typed.
+  EXPECT_TRUE(typed_taint) << "expected timeout/noent taint";
+}
+
 TEST(Chaos, RestartedBrokerRejoinsAndResyncsKvs) {
   SimSession s(chaos_config(8));
   auto w = s.attach(0);

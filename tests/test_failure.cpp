@@ -82,8 +82,8 @@ TEST(Failure, ResvcTakesDeadNodeOutOfThePool) {
   s.settle(std::chrono::milliseconds(3));
   auto h = s.attach(0);
   Message st = s.run(h->request("resvc.status").call());
-  EXPECT_EQ(st.payload.get_int("down"), 1);
-  EXPECT_EQ(st.payload.get_int("free"), 7);
+  EXPECT_EQ(st.payload().get_int("down"), 1);
+  EXPECT_EQ(st.payload().get_int("free"), 7);
   // The KVS enumeration reflects the death.
   s.run([](Handle* hd) -> Task<void> {
     KvsClient kvs(*hd);

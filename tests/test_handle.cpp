@@ -120,7 +120,7 @@ TEST(Handle, ConcurrentRpcsMatchIndependently) {
     for (int i = 0; i < 10; ++i) {
       Message resp = co_await pending[static_cast<std::size_t>(i)];
       Handle::check(resp);
-      ObjPtr obj = parse_object(*resp.data);
+      ObjPtr obj = parse_object(*resp.data());
       if (obj->value() != Json(i))
         throw FluxException(Error(errc::proto, "responses cross-matched"));
     }
@@ -142,7 +142,7 @@ TEST(Handle, UpstreamAddressingSkipsLocalModule) {
     co_return r;
   }(h.get()));
   EXPECT_EQ(resp.errnum, 0);
-  EXPECT_NE(resp.payload.get_int("rank"), 3);  // answered upstream of us
+  EXPECT_NE(resp.payload().get_int("rank"), 3);  // answered upstream of us
 }
 
 }  // namespace

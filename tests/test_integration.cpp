@@ -46,7 +46,7 @@ TEST(Integration, FullStackConcurrentWorkloads) {
                                  {"args", Json::object()},
                                  {"ranks", Json()}});
     Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
-    if (!r.payload.get_bool("success"))
+    if (!r.payload().get_bool("success"))
       throw FluxException(Error(errc::proto, "wexec failed"));
     ++*d;
   }(wh.get(), &wexec_done), "wexec");

@@ -385,8 +385,91 @@ TEST(Kvs, SlaveCachesFaultThroughTree) {
   // The interior parent (rank 7 -> 3 -> 1) served and now caches the object.
   auto* interior =
       dynamic_cast<KvsModule*>(s.session().broker(7).find_module("kvs"));
-  EXPECT_GT(interior->op_stats().faults_served, 0u);
+  EXPECT_GT(interior->op_stats().loads_served, 0u);
   EXPECT_GT(interior->cache().count(), 0u);
+}
+
+// Acceptance for the batched read path: a cold-cache get of a depth-8 path
+// must cost at least 2x fewer upstream round-trips than the sequential
+// fault model (one RPC per chain object = path length + 1).
+TEST(Kvs, BatchedColdGetReducesUpstreamRoundTrips) {
+  SessionConfig cfg = SimSession::default_config(16);
+  // No mon module: its periodic KVS polls would add background faults and
+  // make the exact round-trip count nondeterministic.
+  cfg.modules = {"hb", "live", "barrier", "kvs"};
+  SimSession s(cfg);
+  const std::string key = "d1.d2.d3.d4.d5.d6.d7.leaf";  // 8 components
+  auto writer = s.attach(0);
+  s.run(put_commit(writer.get(), key, "deep"));
+
+  auto reader = s.attach(15);
+  Json v = s.run([&key](Handle* h) -> Task<Json> {
+    KvsClient kvs(*h);
+    co_return co_await kvs.get(key);
+  }(reader.get()));
+  EXPECT_EQ(v, Json("deep"));
+
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(15).find_module("kvs"));
+  ASSERT_NE(leaf, nullptr);
+  // Sequential model: root dir + 7 intermediate dirs + value = 9 RPCs.
+  const std::uint64_t sequential_model = 8 + 1;
+  EXPECT_LE(leaf->op_stats().faults_issued * 2, sequential_model);
+  // The walk prefetch bundles the whole chain into the first round-trip.
+  EXPECT_EQ(leaf->op_stats().faults_issued, 1u);
+  EXPECT_EQ(leaf->op_stats().objects_faulted, sequential_model);
+}
+
+// Equivalence: the batched chain fetch must deliver exactly the objects N
+// sequential faults would have (the path's chain, bit-identical to the
+// master's authoritative copies) — batching changes round-trips, not state.
+TEST(Kvs, BatchedLoadEquivalentToSequentialFaults) {
+  SessionConfig cfg = SimSession::default_config(8);
+  cfg.modules = {"hb", "live", "barrier", "kvs"};
+  SimSession s(cfg);
+  const std::string key = "eq.x.y.z";
+  auto writer = s.attach(0);
+  s.run(put_commit(writer.get(), key, Json::object({{"v", 7}})));
+
+  auto reader = s.attach(7);
+  (void)s.run([&key](Handle* h) -> Task<Json> {
+    KvsClient kvs(*h);
+    co_return co_await kvs.get(key);
+  }(reader.get()));
+
+  auto* master =
+      dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+  auto* leaf =
+      dynamic_cast<KvsModule*>(s.session().broker(7).find_module("kvs"));
+  ASSERT_NE(master, nullptr);
+  ASSERT_NE(leaf, nullptr);
+
+  // Walk the authoritative chain root->...->value; the slave cache must hold
+  // every link, serialized identically (content addressing makes identity
+  // equality), exactly as per-object faults would have produced.
+  Sha1 cur = master->root_ref();
+  std::vector<std::string> path = {"eq", "x", "y", "z"};
+  std::size_t chain_len = 0;
+  for (std::size_t i = 0;; ++i) {
+    ObjPtr truth = master->store().get(cur);
+    ASSERT_NE(truth, nullptr);
+    ObjPtr cached = leaf->cache().peek(cur);
+    ASSERT_NE(cached, nullptr) << "chain object " << i << " not cached";
+    EXPECT_EQ(cached->id, truth->id);
+    EXPECT_EQ(cached->doc.dump(), truth->doc.dump());
+    ++chain_len;
+    if (i == path.size()) break;
+    ASSERT_TRUE(truth->is_dir());
+    auto it = truth->entries().find(path[i]);
+    ASSERT_NE(it, truth->entries().end());
+    auto next = Sha1::parse(it->second.as_string());
+    ASSERT_TRUE(next.has_value());
+    cur = *next;
+  }
+  EXPECT_EQ(chain_len, path.size() + 1);
+  // And the whole chain arrived in one batched round-trip.
+  EXPECT_EQ(leaf->op_stats().faults_issued, 1u);
+  EXPECT_EQ(leaf->op_stats().objects_faulted, chain_len);
 }
 
 TEST(Kvs, ConcurrentFaultsCoalesce) {
@@ -442,9 +525,9 @@ TEST(Kvs, StatsReportShape) {
   auto h = s.attach(1);
   s.run(put_commit(h.get(), "stats.k", 5));
   Message resp = s.run(h->request("kvs.stats").call());
-  EXPECT_TRUE(resp.payload.contains("cache_objects"));
-  EXPECT_GE(resp.payload.get_int("puts"), 1);
-  EXPECT_FALSE(resp.payload.get_bool("master"));  // rank 1 is a slave
+  EXPECT_TRUE(resp.payload().contains("cache_objects"));
+  EXPECT_GE(resp.payload().get_int("puts"), 1);
+  EXPECT_FALSE(resp.payload().get_bool("master"));  // rank 1 is a slave
 }
 
 TEST(Kvs, EmptyKeyRejected) {
@@ -620,8 +703,8 @@ TEST(KvsSharded, SingleShardConfigMatchesLegacy) {
   }(h.get()));
   EXPECT_TRUE(res.vv.empty());
   Message stats = s.run(h->request("kvs.stats").call());
-  EXPECT_FALSE(stats.payload.contains("vv"));
-  EXPECT_FALSE(stats.payload.contains("shards"));
+  EXPECT_FALSE(stats.payload().contains("vv"));
+  EXPECT_FALSE(stats.payload().contains("shards"));
   auto* root =
       dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
   EXPECT_FALSE(root->sharded());

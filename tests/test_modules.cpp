@@ -39,8 +39,8 @@ TEST(Heartbeat, GetReportsEpoch) {
   s.settle(std::chrono::microseconds(500));
   auto h = s.attach(2);
   Message resp = s.run(h->request("hb.get").call());
-  EXPECT_GE(resp.payload.get_int("epoch"), 3);
-  EXPECT_EQ(resp.payload.get_int("period_us"), 100);
+  EXPECT_GE(resp.payload().get_int("epoch"), 3);
+  EXPECT_EQ(resp.payload().get_int("period_us"), 100);
 }
 
 TEST(Heartbeat, EventsCarryMonotoneEpochs) {
@@ -48,7 +48,7 @@ TEST(Heartbeat, EventsCarryMonotoneEpochs) {
   auto h = s.attach(3);
   std::vector<std::int64_t> epochs;
   Subscription sub = h->subscribe("hb", [&](const Message& ev) {
-    epochs.push_back(ev.payload.get_int("epoch"));
+    epochs.push_back(ev.payload().get_int("epoch"));
   });
   s.settle(std::chrono::milliseconds(1));
   ASSERT_GE(epochs.size(), 5u);
@@ -76,7 +76,7 @@ TEST(Live, DetectsDeadChildAndPublishesDown) {
   auto h = s.attach(0);
   std::vector<std::int64_t> down;
   Subscription sub = h->subscribe("live.down", [&](const Message& ev) {
-    down.push_back(ev.payload.get_int("rank"));
+    down.push_back(ev.payload().get_int("rank"));
   });
   s.settle(std::chrono::milliseconds(1));
   s.session().fail(6);  // child of rank 2
@@ -93,8 +93,8 @@ TEST(Live, StatusRpc) {
   s.settle(std::chrono::milliseconds(1));
   auto h = s.attach(0);
   Message resp = s.run(h->request("live.status").to(0).call());
-  EXPECT_EQ(resp.payload.get_int("monitored"), 2);  // children 1 and 2
-  EXPECT_EQ(resp.payload.at("down").size(), 0u);
+  EXPECT_EQ(resp.payload().get_int("monitored"), 2);  // children 1 and 2
+  EXPECT_EQ(resp.payload().at("down").size(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -151,7 +151,7 @@ TEST(Log, GetReturnsRecentRecords) {
     co_await hd->request("log.append").payload(std::move(rec)).call();
     Json query = Json::object({{"max", 10}});
     Message resp = co_await hd->request("log.get").payload(std::move(query)).call();
-    if (resp.payload.at("records").size() < 1)
+    if (resp.payload().at("records").size() < 1)
       throw FluxException(Error(errc::proto, "no records returned"));
   }(h.get()));
 }
@@ -165,9 +165,9 @@ TEST(Log, DumpReturnsLocalRing) {
     co_await hd->request("log.append").payload(std::move(rec)).call();
     // Rank-addressed: this broker's ring buffer.
     Message resp = co_await hd->request("log.dump").to(3).call();
-    if (resp.payload.get_int("rank") != 3)
+    if (resp.payload().get_int("rank") != 3)
       throw FluxException(Error(errc::proto, "wrong rank"));
-    if (resp.payload.at("records").size() < 1)
+    if (resp.payload().at("records").size() < 1)
       throw FluxException(Error(errc::proto, "empty ring"));
   }(h.get()));
 }
@@ -257,13 +257,13 @@ TEST(Group, JoinLeaveInfo) {
     co_await h2->request("group.join").payload(std::move(j2)).call();
     Json q = Json::object({{"name", "tools"}});
     Message info = co_await h1->request("group.info").payload(std::move(q)).call();
-    if (info.payload.get_int("size") != 2)
+    if (info.payload().get_int("size") != 2)
       throw FluxException(Error(errc::proto, "expected 2 members"));
     Json l = Json::object({{"name", "tools"}});
     co_await h2->request("group.leave").payload(std::move(l)).call();
     Json q2 = Json::object({{"name", "tools"}});
     Message info2 = co_await h1->request("group.info").payload(std::move(q2)).call();
-    if (info2.payload.get_int("size") != 1)
+    if (info2.payload().get_int("size") != 1)
       throw FluxException(Error(errc::proto, "expected 1 member"));
   }(a.get(), b.get()));
 }
@@ -291,7 +291,7 @@ TEST(Group, ListGroups) {
     Json j2 = Json::object({{"name", "beta"}});
     co_await hd->request("group.join").payload(std::move(j2)).call();
     Message resp = co_await hd->request("group.list").call();
-    if (resp.payload.at("groups").size() != 2)
+    if (resp.payload().at("groups").size() != 2)
       throw FluxException(Error(errc::proto, "expected 2 groups"));
   }(h.get()));
 }

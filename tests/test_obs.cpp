@@ -153,12 +153,12 @@ TEST(ObsStats, CmbStatsGetReflectsBrokerActivity) {
   (void)s.run(h->ping(5));  // generate ring traffic + one matched rpc
 
   Message resp = s.run(h->request("cmb.stats.get").to(2).call());
-  EXPECT_EQ(resp.payload.get_int("rank"), 2);
-  const Json& counters = resp.payload.at("counters");
+  EXPECT_EQ(resp.payload().get_int("rank"), 2);
+  const Json& counters = resp.payload().at("counters");
   EXPECT_GT(counters.get_int("cmb.net.rx_msgs"), 0);
   EXPECT_GT(counters.get_int("cmb.net.tx_bytes"), 0);
   // The ping's response was matched on this broker -> a latency sample.
-  EXPECT_GE(resp.payload.at("histograms").at("cmb.rpc_ns").get_int("count"), 1);
+  EXPECT_GE(resp.payload().at("histograms").at("cmb.rpc_ns").get_int("count"), 1);
   // Registry counters agree with the legacy Stats struct.
   EXPECT_EQ(counters.get_int("cmb.rpc_timeouts"),
             static_cast<std::int64_t>(s.session().broker(2).stats().rpc_timeouts));
@@ -175,7 +175,7 @@ TEST(ObsStats, ModuleStatsGetCountsRequests) {
   }(h.get()));
 
   Message resp = s.run(h->request("kvs.stats.get").call());
-  const Json& counters = resp.payload.at("counters");
+  const Json& counters = resp.payload().at("counters");
   EXPECT_GE(counters.get_int("kvs.requests"), 2);
 }
 
@@ -194,7 +194,7 @@ TEST(ObsStats, KvsCacheCountersTrackHitsAndMisses) {
                            .payload(Json::object({{"all", true}}))
                            .to(3)
                            .call());
-  const Json& counters = resp.payload.at("counters");
+  const Json& counters = resp.payload().at("counters");
   EXPECT_GT(counters.get_int("kvs.cache.misses"), 0);
   EXPECT_GT(counters.get_int("kvs.cache.hits"), 0);
 }

@@ -35,19 +35,19 @@ TEST(Resvc, AllocateRecordsAndFrees) {
     KvsClient kvs(*hd);
     Json req = Json::object({{"jobid", "lwj1"}, {"nnodes", 3}});
     Message resp = co_await hd->request("resvc.alloc").payload(std::move(req)).call();
-    if (resp.payload.at("ranks").size() != 3)
+    if (resp.payload().at("ranks").size() != 3)
       throw FluxException(Error(errc::proto, "expected 3 ranks"));
     // Allocation recorded in the KVS under the job.
     Json rec = co_await kvs.get("lwj.lwj1.resources");
     if (rec.size() != 3)
       throw FluxException(Error(errc::proto, "allocation not recorded"));
     Message st = co_await hd->request("resvc.status").call();
-    if (st.payload.get_int("free") != 5)
+    if (st.payload().get_int("free") != 5)
       throw FluxException(Error(errc::proto, "free count wrong"));
     Json fr = Json::object({{"jobid", "lwj1"}});
     co_await hd->request("resvc.free").payload(std::move(fr)).call();
     Message st2 = co_await hd->request("resvc.status").call();
-    if (st2.payload.get_int("free") != 8)
+    if (st2.payload().get_int("free") != 8)
       throw FluxException(Error(errc::proto, "free did not return nodes"));
   }(h.get()));
 }

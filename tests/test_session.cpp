@@ -35,7 +35,7 @@ TEST(Session, ModuleConfigReachesModules) {
   SimSession s(cfg);
   auto h = s.attach(0);
   Message resp = s.run(h->request("hb.get").call());
-  EXPECT_EQ(resp.payload.get_int("period_us"), 12345);
+  EXPECT_EQ(resp.payload().get_int("period_us"), 12345);
 }
 
 TEST(Session, CustomModuleSetHonored) {
@@ -94,7 +94,7 @@ TEST(Session, LargeSessionWiresUp) {
   // Deepest leaf can reach services.
   auto h = s.attach(511);
   Message resp = s.run(h->request("cmb.info").call());
-  EXPECT_EQ(resp.payload.get_int("depth"), 9);  // heap path 511 -> ... -> 0
+  EXPECT_EQ(resp.payload().get_int("depth"), 9);  // heap path 511 -> ... -> 0
 }
 
 TEST(Session, KeepaliveMessagesAreIgnored) {

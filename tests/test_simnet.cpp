@@ -83,7 +83,7 @@ TEST(SimNet, BigMessagesTakeProportionallyLonger) {
   NetFixture f(simple_params());
   Message small = Message::request("x");
   Message big = Message::request("x");
-  big.data = std::make_shared<const std::string>(std::string(10000, 'z'));
+  big.set_data(std::make_shared<const std::string>(std::string(10000, 'z')));
   f.net.send(0, 1, small);
   f.net.send(2, 1, big);
   f.ex.run();

@@ -196,6 +196,49 @@ TEST(ObjectCache, GetRefreshesLastUse) {
   EXPECT_EQ(cache.expire(100, 10), 1u);
 }
 
+// Bucketed expiry examines only stale-bucket candidates, not the whole
+// cache: repeated expire() calls over a hot cache do near-zero scan work.
+TEST(ObjectCache, ExpiryScansCandidatesNotWholeCache) {
+  ObjectCache cache;
+  std::vector<ObjPtr> objs;
+  for (int i = 0; i < 100; ++i) {
+    objs.push_back(make_val_object(i));
+    cache.put(objs.back(), 1);
+  }
+  // Keep half hot at epoch 10; the other half goes stale.
+  for (int i = 0; i < 50; ++i) (void)cache.get(objs[i]->id, 10);
+  const std::uint64_t hits_before = cache.stats().hits;
+
+  EXPECT_EQ(cache.expire(6, 5), 0u);    // cutoff 1: epoch-1 uses still fresh
+  EXPECT_EQ(cache.expire(10, 5), 50u);  // cutoff 5: epoch-1 bucket drained
+  EXPECT_EQ(cache.count(), 50u);
+
+  // Draining the epoch-1 bucket examined each of its 100 candidates once
+  // (50 evicted + 50 refreshed-at-10 duplicates), not count() per pass as a
+  // full scan would.
+  EXPECT_LE(cache.stats().expire_scanned, 100u);
+  // Idle repeat passes are free: every remaining entry's bucket survives.
+  const std::uint64_t scanned = cache.stats().expire_scanned;
+  for (int pass = 0; pass < 10; ++pass) EXPECT_EQ(cache.expire(10, 5), 0u);
+  EXPECT_EQ(cache.stats().expire_scanned, scanned);
+  // Expiry accounting never touches hit/miss stats.
+  EXPECT_EQ(cache.stats().hits, hits_before);
+  EXPECT_EQ(cache.stats().evictions, 50u);
+}
+
+// A pinned entry skipped by an expiry pass is still evicted by a later pass
+// after unpinning, even if it was never touched in between.
+TEST(ObjectCache, BucketedExpiryReconsidersUnpinned) {
+  ObjectCache cache;
+  ObjPtr a = make_val_object("a");
+  cache.put(a, 1);
+  cache.pin(a->id);
+  EXPECT_EQ(cache.expire(100, 10), 0u);
+  cache.unpin(a->id);
+  EXPECT_EQ(cache.expire(200, 10), 1u);
+  EXPECT_EQ(cache.count(), 0u);
+}
+
 TEST(ObjectBundle, SerializeDeserializeRoundTrip) {
   std::vector<ObjPtr> objs{make_val_object(1), make_val_object("two"),
                            make_dir_object({{"n", Sha1::of("x")}})};

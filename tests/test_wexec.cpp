@@ -23,8 +23,8 @@ TEST(Wexec, BulkLaunchOnAllRanks) {
   SimSession s(SimSession::default_config(8));
   auto h = s.attach(3);
   Message resp = s.run(run_job(h.get(), "j1", "hostname"));
-  EXPECT_EQ(resp.payload.get_int("ntasks"), 8);
-  EXPECT_TRUE(resp.payload.get_bool("success"));
+  EXPECT_EQ(resp.payload().get_int("ntasks"), 8);
+  EXPECT_TRUE(resp.payload().get_bool("success"));
 }
 
 TEST(Wexec, StdioCapturedInKvs) {
@@ -50,7 +50,7 @@ TEST(Wexec, RankSubsetSelection) {
   Json ranks = Json::array({1, 4, 6});
   Message resp = s.run(run_job(h.get(), "j3", "hostname", Json::object(),
                                std::move(ranks)));
-  EXPECT_EQ(resp.payload.get_int("ntasks"), 3);
+  EXPECT_EQ(resp.payload().get_int("ntasks"), 3);
   // Non-selected ranks must have no KVS entries.
   s.run([](Handle* hd) -> Task<void> {
     KvsClient kvs(*hd);
@@ -69,16 +69,16 @@ TEST(Wexec, NonzeroExitCodesAggregated) {
   auto h = s.attach(2);
   Json args = Json::object({{"code", 3}});
   Message resp = s.run(run_job(h.get(), "j4", "exit", std::move(args)));
-  EXPECT_FALSE(resp.payload.get_bool("success"));
-  EXPECT_EQ(resp.payload.at("exits").get_int("3"), 4);
+  EXPECT_FALSE(resp.payload().get_bool("success"));
+  EXPECT_EQ(resp.payload().at("exits").get_int("3"), 4);
 }
 
 TEST(Wexec, UnknownCommandIs127) {
   SimSession s(SimSession::default_config(2));
   auto h = s.attach(0);
   Message resp = s.run(run_job(h.get(), "j5", "not-a-command"));
-  EXPECT_FALSE(resp.payload.get_bool("success"));
-  EXPECT_EQ(resp.payload.at("exits").get_int("127"), 2);
+  EXPECT_FALSE(resp.payload().get_bool("success"));
+  EXPECT_EQ(resp.payload().at("exits").get_int("127"), 2);
   // stderr explains the failure.
   s.run([](Handle* hd) -> Task<void> {
     KvsClient kvs(*hd);
@@ -134,7 +134,7 @@ TEST(Wexec, SignalTerminatesSpinners) {
     co_return done;
   }(h.get()));
   // All tasks exited 143 (128 + SIGTERM).
-  EXPECT_EQ(resp.payload.at("exits").get_int("143"), 4);
+  EXPECT_EQ(resp.payload().at("exits").get_int("143"), 4);
 }
 
 TEST(Wexec, ProcessesUseKvsThroughTheirOwnHandle) {
@@ -143,7 +143,7 @@ TEST(Wexec, ProcessesUseKvsThroughTheirOwnHandle) {
   Json args = Json::object({{"key", "fromproc.v"}, {"value", "written"}});
   Message resp = s.run(run_job(h.get(), "j6", "kvsput", std::move(args),
                                Json::array({2})));
-  EXPECT_TRUE(resp.payload.get_bool("success"));
+  EXPECT_TRUE(resp.payload().get_bool("success"));
   s.run([](Handle* hd) -> Task<void> {
     KvsClient kvs(*hd);
     Json v = co_await kvs.get("fromproc.v");
@@ -161,7 +161,7 @@ TEST(Wexec, CustomRegisteredCommand) {
   SimSession s(SimSession::default_config(2));
   auto h = s.attach(0);
   Message resp = s.run(run_job(h.get(), "j7", "answer"));
-  EXPECT_TRUE(resp.payload.get_bool("success"));
+  EXPECT_TRUE(resp.payload().get_bool("success"));
   s.run([](Handle* hd) -> Task<void> {
     KvsClient kvs(*hd);
     Json out = co_await kvs.get("lwj.j7.1.stdout");
