@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full verification sweep: every preset, plus an explicit chaos pass.
+# Full verification sweep: every preset, plus explicit chaos and DST passes.
 #
-#   scripts/verify.sh            # default + asan + tsan, then chaos under asan
+#   scripts/verify.sh            # default + asan + tsan, then chaos+dst under asan
 #   scripts/verify.sh default    # just one preset
 #   FLUX_CHAOS_SEEDS=200 scripts/verify.sh   # dial up the seeded schedules
+#   FLUX_DST_SEEDS=500 scripts/verify.sh     # dial up the simulation sweeps
 #
 # The chaos suite (ctest -L chaos) runs seeded fault-injection schedules; on
 # failure, gtest SCOPED_TRACE prints "chaos seed N" so a single failing
@@ -11,6 +12,11 @@
 #
 #   FLUX_CHAOS_SEEDS=1 build-asan/tests/flux_chaos_tests \
 #     --gtest_filter='Chaos.CrashRestartSeeds'   # then bisect by seed range
+#
+# The DST suite (ctest -L dst) sweeps the deterministic-simulation harness
+# (240 schedules per run at the default widths) through the consistency
+# oracle; a failing seed prints in the gtest output and replays with
+# FLUX_TEST_SEED=<seed>. See DESIGN.md §5.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +42,9 @@ for p in "${presets[@]}"; do
     echo "=== [asan] chaos label (seeded fault schedules) ==="
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
       ctest --test-dir build-asan -L chaos --output-on-failure
+    echo "=== [asan] dst label (simulation sweeps + oracle + repros) ==="
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+      ctest --test-dir build-asan -L dst --output-on-failure
   fi
 done
 

@@ -1,0 +1,214 @@
+#include "check/explorer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "api/handle.hpp"
+#include "base/retry.hpp"
+#include "broker/session.hpp"
+#include "check/history.hpp"
+#include "exec/sim_executor.hpp"
+#include "fault/plan.hpp"
+#include "kvs/kvs_client.hpp"
+#include "obs/stats.hpp"
+
+namespace flux::check {
+
+namespace {
+
+/// Separate stream for fault-plan synthesis so the jitter stream (seeded with
+/// the run seed directly) stays independent of whether faults are on.
+constexpr std::uint64_t kFaultStream = 0x9e3779b97f4a7c15ULL;
+
+SessionConfig dst_config(std::uint64_t seed, const DstOptions& opt) {
+  SessionConfig cfg;
+  cfg.size = opt.size;
+  cfg.tree_arity = opt.arity;
+  cfg.seed = seed;
+  Json kvs = Json::object();
+  if (opt.shards > 1) {
+    kvs["shards"] = static_cast<std::int64_t>(opt.shards);
+    if (opt.failover) kvs["failover"] = true;
+  }
+  cfg.module_config =
+      Json::object({{"hb", Json::object({{"period_us", 100}})},
+                    {"live", Json::object({{"missed_max", 3}})},
+                    {"kvs", std::move(kvs)}});
+  // No-hang safety net (the chaos-suite idiom): every client RPC gets a
+  // deadline plus retries, so a lost message surfaces as a typed error the
+  // recorder logs instead of wedging the run.
+  cfg.rpc = RetryPolicy{std::chrono::milliseconds(2), 3,
+                        std::chrono::microseconds(100)};
+  cfg.net.jitter_max = opt.jitter_max;
+  cfg.net.jitter_seed = seed;
+  return cfg;
+}
+
+/// A read that tolerates its own typed failure. The recorder logged the get
+/// (absent, or with its errc) either way; swallowing here keeps one failed
+/// read — possibly the very violation a mutation injects — from skipping the
+/// rest of the round, in particular the peer fence read that distinguishes
+/// fence-atomicity from read-your-writes.
+Task<void> try_get(KvsClient* kvs, std::string key) {
+  try {
+    (void)co_await kvs->get(std::move(key));
+  } catch (const FluxException&) {
+  }
+}
+
+Task<void> dst_client(Handle* h, KvsClient* kvs, int id, int nclients,
+                      int rounds, int* done) {
+  for (int r = 0; r < rounds; ++r) {
+    try {
+      co_await h->sleep(std::chrono::microseconds(150 + 70 * id));
+      if (id == 0) {
+        // The watched key: rewritten once per round by client 0 only, so
+        // every other commit below is a root update that does NOT change it.
+        // (Json literals are hoisted out of the co_await expressions here and
+        // below: gcc 12 cannot keep an initializer_list temporary alive
+        // across a suspension point — "array used as initializer".)
+        Json wv = Json::object({{"r", r}});
+        co_await kvs->put("w.main", std::move(wv));
+        co_await kvs->commit();
+      }
+      // Solo commit + own read-back (read-your-writes). Top-level dirs are
+      // per client, so sharded sessions spread these across shards.
+      const std::string own =
+          "c" + std::to_string(id) + ".k" + std::to_string(r);
+      Json ov = Json::object({{"c", id}, {"r", r}});
+      co_await kvs->put(own, std::move(ov));
+      co_await kvs->commit();
+      co_await try_get(kvs, own);
+      // Collective fence + own and peer reads (fence atomicity).
+      const std::string fkey =
+          "f" + std::to_string(id) + ".r" + std::to_string(r);
+      Json fv = Json::object({{"f", id}, {"r", r}});
+      co_await kvs->put(fkey, std::move(fv));
+      co_await kvs->fence("dstfence.r" + std::to_string(r), nclients);
+      co_await try_get(kvs, fkey);
+      co_await try_get(kvs, "f" + std::to_string((id + 1) % nclients) + ".r" +
+                                std::to_string(r));
+    } catch (const FluxException&) {
+      // Typed failure under faults: the recorder taps logged it with its
+      // errc; the oracle excuses the affected keys.
+    }
+  }
+  ++*done;
+}
+
+DstResult run_impl(std::uint64_t seed, const DstOptions& opt,
+                   std::optional<fault::FaultPlan> plan) {
+  DstResult out;
+  out.seed = seed;
+  if (plan) out.fault_plan = plan->to_json();
+
+  try {
+    SimExecutor ex;
+    SessionConfig cfg = dst_config(seed, opt);
+    auto session = Session::create_sim(ex, cfg);
+    session->run_until_online();
+    if (plan) plan->arm(*session);
+
+    HistoryRecorder rec;
+    const int nclients = std::max(1, opt.clients);
+    std::vector<NodeId> ranks;
+    std::vector<std::unique_ptr<Handle>> handles;
+    std::vector<std::unique_ptr<KvsClient>> clients;
+    std::vector<WatchHandle> watches;
+    for (int i = 0; i < nclients; ++i) {
+      // Spread clients over non-root ranks (the root's kvs instance is the
+      // master in single-master mode; slaves are where the contract can
+      // break), falling back to rank 0 in a 1-node session.
+      const NodeId rank =
+          opt.size > 1 ? 1 + static_cast<NodeId>(i) % (opt.size - 1) : 0;
+      ranks.push_back(rank);
+      handles.push_back(session->attach(rank));
+      clients.push_back(std::make_unique<KvsClient>(*handles.back()));
+      clients.back()->set_recorder(&rec, i);
+      watches.push_back(
+          clients.back()->watch("w.main", [](const std::optional<Json>&) {}));
+    }
+
+    int done = 0;
+    for (int i = 0; i < nclients; ++i)
+      co_spawn(ex,
+               dst_client(handles[static_cast<std::size_t>(i)].get(),
+                          clients[static_cast<std::size_t>(i)].get(), i,
+                          nclients, opt.rounds, &done),
+               "dst-client");
+    ex.run();
+    ex.run_for(std::chrono::milliseconds(3));  // heal / failover epochs
+    ex.run();                                  // late restarts, rejoins
+    out.stalled_clients = nclients - done;
+
+    // Clients on ranks a fault schedule crashed (or restarted): their local
+    // version vector may legitimately regress mid-resync.
+    OracleOptions oracle_opt;
+    if (plan) {
+      for (const fault::NodeEvent& ev : plan->events())
+        for (int i = 0; i < nclients; ++i)
+          if (ranks[static_cast<std::size_t>(i)] == ev.rank)
+            oracle_opt.tainted_clients.push_back(i);
+    }
+    out.history_len = rec.size();
+    out.report = check_history(rec.ops(), oracle_opt,
+                               &session->broker(0).stats_registry());
+
+    // Drop watches and recorder taps before the session goes away.
+    watches.clear();
+    for (auto& c : clients) c->set_recorder(nullptr, -1);
+    session->set_fault_injector(nullptr);
+  } catch (const std::exception& e) {
+    out.workload_error = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+DstResult run_schedule(std::uint64_t seed, const DstOptions& opt) {
+  std::optional<fault::FaultPlan> plan;
+  if (opt.faults) {
+    fault::FaultPlan::RandomOptions fo;
+    fo.size = opt.size;
+    fo.horizon = std::chrono::milliseconds(8);
+    fo.crashes = opt.crashes;
+    fo.restarts = opt.restarts;
+    fo.drops = opt.drops;
+    fo.delays = opt.delays;
+    fo.corruption = false;  // see header: corruption blinds the oracle
+    fo.max_crashes = opt.max_crashes;
+    plan.emplace(fault::FaultPlan::random(seed ^ kFaultStream, fo));
+  }
+  return run_impl(seed, opt, std::move(plan));
+}
+
+DstResult run_schedule(std::uint64_t seed, const DstOptions& opt,
+                       const Json& fault_plan) {
+  std::optional<fault::FaultPlan> plan;
+  if (!fault_plan.is_null()) plan.emplace(fault::FaultPlan::from_json(fault_plan));
+  return run_impl(seed, opt, std::move(plan));
+}
+
+std::vector<DstResult> explore(std::uint64_t first, int n,
+                               const DstOptions& opt) {
+  std::vector<DstResult> failures;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = first + static_cast<std::uint64_t>(i);
+    DstResult res = run_schedule(seed, opt);
+    if (res.failed()) {
+      std::fprintf(stderr, "dst: seed %llu FAILED: %s\n",
+                   static_cast<unsigned long long>(seed),
+                   res.workload_error ? res.error.c_str()
+                                      : res.report.to_string().c_str());
+      failures.push_back(std::move(res));
+    }
+  }
+  return failures;
+}
+
+}  // namespace flux::check

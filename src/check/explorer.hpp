@@ -1,0 +1,82 @@
+// DST schedule explorer: run a standard KVS workload on a simulated session
+// under a 64-bit seed and hand the recorded history to the consistency
+// oracle.
+//
+// One seed fixes everything about a run — the SimNet delivery-jitter stream
+// (NetParams::jitter_seed, the tie-break hook), the composed FaultPlan (when
+// enabled), and the workload itself — so a failing seed replays bit-for-bit.
+// explore() sweeps N consecutive seeds and returns the failures; the
+// shrinker (check/shrink.hpp) minimizes one failure into a committed repro.
+//
+// The workload exercises every checked property: per-client solo commits and
+// read-backs (read-your-writes), collective fences with own- and peer-key
+// reads after completion (fence atomicity), a watched key one client
+// rewrites each round while unrelated commits churn the root (watch order),
+// and the setroot/version-vector observations every op samples (monotonic
+// reads, setroot sequence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/oracle.hpp"
+#include "exec/executor.hpp"
+#include "json/json.hpp"
+
+namespace flux::check {
+
+struct DstOptions {
+  std::uint32_t size = 4;    ///< session size
+  std::uint32_t arity = 2;   ///< tree arity
+  std::uint32_t shards = 1;  ///< >1 = sharded KVS masters
+  bool failover = false;     ///< hb-driven shard-master failover
+  int clients = 3;           ///< client handles, spread over ranks 1..size-1
+  int rounds = 2;            ///< workload rounds
+
+  /// SimNet delivery perturbation bound; 0 disables the tie-break hook and
+  /// the network model is byte-identical to the unperturbed baseline.
+  Duration jitter_max{2000};
+
+  /// Compose a FaultPlan synthesized from the run seed. Corruption is
+  /// deliberately excluded: a decodable-but-corrupted setroot event would
+  /// make the oracle flag the *transport*, not the KVS contract.
+  bool faults = false;
+  bool crashes = false;
+  bool restarts = false;
+  bool drops = false;
+  bool delays = false;
+  int max_crashes = 1;
+};
+
+struct DstResult {
+  std::uint64_t seed = 0;
+  OracleReport report;
+  std::size_t history_len = 0;
+  /// Workload coroutines that never completed (a hang is a failure too).
+  int stalled_clients = 0;
+  /// An untyped exception escaped the workload (always a bug).
+  bool workload_error = false;
+  std::string error;
+  /// The fault plan the run composed (null when opt.faults is false).
+  Json fault_plan;
+
+  [[nodiscard]] bool failed() const noexcept {
+    return !report.ok() || stalled_clients > 0 || workload_error;
+  }
+};
+
+/// Run one schedule under `seed` (jitter stream + synthesized fault plan +
+/// workload all derive from it).
+DstResult run_schedule(std::uint64_t seed, const DstOptions& opt);
+
+/// Same, but replay an explicit fault-plan JSON (FaultPlan::from_json
+/// format; pass a null Json for no faults). The shrinker's path.
+DstResult run_schedule(std::uint64_t seed, const DstOptions& opt,
+                       const Json& fault_plan);
+
+/// Run seeds [first, first + n); returns only the failing results. Each
+/// failure's seed is printed to stderr so a human can replay it.
+std::vector<DstResult> explore(std::uint64_t first, int n,
+                               const DstOptions& opt);
+
+}  // namespace flux::check

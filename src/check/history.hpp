@@ -1,0 +1,83 @@
+// DST history recorder: the per-session, per-client operation log.
+//
+// Every client-visible KVS operation (put / get / commit / fence / watch
+// callback) plus every observed "kvs.setroot*" event is appended as one
+// OpRecord, together with version-vector samples taken from the client's
+// *local* kvs module instance at op begin and end. The log's append order is
+// the serialization order of the single-threaded simulation, so a completed
+// history is a total order the consistency oracle (check/oracle.hpp) can
+// replay without re-running anything.
+//
+// Taps live in KvsClient (kvs/kvs_client.cpp): KvsClient::set_recorder()
+// installs the recorder for one logical client id. The recorder itself is
+// deliberately dumb — all judgment lives in the oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.hpp"
+#include "json/json.hpp"
+
+namespace flux::check {
+
+enum class OpKind : std::uint8_t { put, get, commit, fence, watch, setroot };
+
+inline std::string_view op_kind_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::put: return "put";
+    case OpKind::get: return "get";
+    case OpKind::commit: return "commit";
+    case OpKind::fence: return "fence";
+    case OpKind::watch: return "watch";
+    case OpKind::setroot: return "setroot";
+  }
+  return "?";
+}
+
+/// One recorded operation. Which fields are meaningful depends on `kind`;
+/// unused fields keep their defaults.
+struct OpRecord {
+  int client = -1;
+  OpKind kind = OpKind::get;
+
+  std::string key;    ///< put/get/watch key; commit/fence: the fence name
+  Json value;         ///< put: staged value; get/watch: observed value
+  std::string ref;    ///< watch: content address observed ("" = absent)
+  bool absent = false;  ///< get/watch: the key did not exist
+  errc err = errc::ok;  ///< typed failure (op threw / event malformed)
+
+  /// Local kvs instance's version vector sampled at op begin / end
+  /// (single-master sessions: a 1-vector holding the scalar root version).
+  std::vector<std::uint64_t> vv_begin;
+  std::vector<std::uint64_t> vv_end;
+
+  /// commit/fence response fields.
+  std::uint64_t result_version = 0;
+  std::vector<std::uint64_t> result_vv;
+
+  /// setroot observation fields.
+  std::uint64_t seq = 0;      ///< global event sequence number
+  std::int64_t shard = -1;    ///< shard index (-1 = single-master setroot)
+  std::uint64_t version = 0;  ///< published root version
+
+  std::int64_t t_ns = 0;  ///< virtual time at the record
+};
+
+/// Append-only operation log shared by every tapped client of one session.
+class HistoryRecorder {
+ public:
+  void record(OpRecord r) { ops_.push_back(std::move(r)); }
+  [[nodiscard]] const std::vector<OpRecord>& ops() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace flux::check

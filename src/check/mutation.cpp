@@ -1,0 +1,50 @@
+#include "check/mutation.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace flux::check {
+
+namespace {
+// Process-wide registry. Sim tests are single-threaded, but threaded
+// sessions exist; the slow path takes a mutex, the hot path only reads the
+// counter.
+std::atomic<int> g_enabled_count{0};
+std::mutex g_mu;
+std::vector<std::string>& names() {
+  static std::vector<std::string> v;
+  return v;
+}
+}  // namespace
+
+bool mutation(std::string_view name) noexcept {
+  if (g_enabled_count.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard lk(g_mu);
+  const auto& v = names();
+  return std::find(v.begin(), v.end(), name) != v.end();
+}
+
+void mutation_enable(std::string_view name) {
+  std::lock_guard lk(g_mu);
+  auto& v = names();
+  if (std::find(v.begin(), v.end(), name) != v.end()) return;
+  v.emplace_back(name);
+  g_enabled_count.store(static_cast<int>(v.size()), std::memory_order_relaxed);
+}
+
+void mutation_disable(std::string_view name) {
+  std::lock_guard lk(g_mu);
+  auto& v = names();
+  std::erase(v, std::string(name));
+  g_enabled_count.store(static_cast<int>(v.size()), std::memory_order_relaxed);
+}
+
+void mutation_clear() noexcept {
+  std::lock_guard lk(g_mu);
+  names().clear();
+  g_enabled_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace flux::check

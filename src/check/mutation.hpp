@@ -1,0 +1,45 @@
+// Test-only mutation registry for the DST oracle's "teeth" tests.
+//
+// A mutation is a named, deliberately-broken code path compiled into the
+// runtime but dead unless a test enables it: skip a kvs.setroot version bump,
+// fuse a fence after one shard, re-fire an unchanged watch. Each mutation
+// breaks exactly one consistency property the oracle (check/oracle.hpp)
+// claims to check, so a mutation run that the oracle passes means the oracle
+// is blind — that's what tests/test_dst.cpp asserts against.
+//
+// The query is designed to be free in production paths: when no mutation is
+// enabled (always, outside the mutation tests) it is a single relaxed atomic
+// load of a zero counter.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace flux::check {
+
+/// True if `name` is currently enabled. One relaxed atomic load when the
+/// registry is empty (the always case outside mutation tests).
+[[nodiscard]] bool mutation(std::string_view name) noexcept;
+
+/// Enable / disable a named mutation (idempotent).
+void mutation_enable(std::string_view name);
+void mutation_disable(std::string_view name);
+
+/// Disable everything (test teardown safety net).
+void mutation_clear() noexcept;
+
+/// RAII enable-for-scope, the form the mutation tests use.
+class MutationGuard {
+ public:
+  explicit MutationGuard(std::string_view name) : name_(name) {
+    mutation_enable(name_);
+  }
+  ~MutationGuard() { mutation_disable(name_); }
+  MutationGuard(const MutationGuard&) = delete;
+  MutationGuard& operator=(const MutationGuard&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace flux::check

@@ -1,0 +1,69 @@
+// KVS consistency oracle: replays a completed DST history (check/history.hpp)
+// and checks the consistency contract the paper claims for the KVS (§IV-B,
+// Vogels' taxonomy) plus the sharded-master extensions (§VII):
+//
+//   monotonic-reads    a client's sampled version vector never regresses
+//                      component-wise across its operations.
+//   read-your-writes   after a client's commit/fence succeeds, that client's
+//                      reads of its own keys observe the committed value (or
+//                      a later one it staged), never an older state.
+//   fence-atomicity    a completed collective fence is all-or-nothing: every
+//                      participant's post-fence reads see every participant's
+//                      fence writes — no client observes the fence partially
+//                      applied across shards.
+//   setroot-sequence   observed "kvs.setroot*" events carry strictly
+//                      increasing global sequence numbers, per-shard strictly
+//                      increasing versions, and agree across observers.
+//   watch-order        watch callbacks on one key never fire twice for the
+//                      same root ref, and the values they deliver follow the
+//                      writer's commit order.
+//
+// The oracle is a pure function of the history — it re-runs nothing — so a
+// violation pins the blame on the recorded run, which the seed replays
+// bit-for-bit. Soundness under fault schedules: value-level checks restrict
+// themselves to single-writer keys, keys touched by a failed commit/fence
+// are excused (the write may or may not have applied), and clients whose
+// broker crashed are excused entirely via OracleOptions::tainted_clients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+
+namespace flux::obs {
+class StatsRegistry;
+}  // namespace flux::obs
+
+namespace flux::check {
+
+struct Violation {
+  std::string property;  ///< "monotonic-reads", "read-your-writes", ...
+  std::size_t index = 0;  ///< history index of the offending record
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  /// Distinct violated property names, sorted.
+  [[nodiscard]] std::vector<std::string> properties() const;
+  [[nodiscard]] bool violates(std::string_view property) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct OracleOptions {
+  /// Clients attached to a broker that crashed (or restarted) during the
+  /// run: their local version vector may legitimately regress mid-resync,
+  /// so every per-client check skips them.
+  std::vector<int> tainted_clients;
+};
+
+/// Check a completed history. With a non-null `stats`, every violation bumps
+/// the counter "check.violation.<property>".
+OracleReport check_history(const std::vector<OpRecord>& ops,
+                           const OracleOptions& opt = {},
+                           obs::StatsRegistry* stats = nullptr);
+
+}  // namespace flux::check

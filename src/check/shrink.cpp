@@ -1,0 +1,127 @@
+#include "check/shrink.hpp"
+
+#include <memory>
+
+#include "base/error.hpp"
+#include "check/mutation.hpp"
+
+namespace flux::check {
+
+namespace {
+
+Json strings_to_json(const std::vector<std::string>& v) {
+  Json out = Json::array();
+  for (const std::string& s : v) out.push_back(s);
+  return out;
+}
+
+std::vector<std::string> strings_from_json(const Json& j) {
+  std::vector<std::string> out;
+  if (!j.is_array()) return out;
+  for (const Json& s : j.as_array()) out.push_back(s.as_string());
+  return out;
+}
+
+}  // namespace
+
+Json Repro::to_json() const {
+  return Json::object({{"seed", static_cast<std::int64_t>(seed)},
+                       {"size", static_cast<std::int64_t>(opt.size)},
+                       {"arity", static_cast<std::int64_t>(opt.arity)},
+                       {"shards", static_cast<std::int64_t>(opt.shards)},
+                       {"failover", opt.failover},
+                       {"clients", opt.clients},
+                       {"rounds", opt.rounds},
+                       {"jitter_max_ns", opt.jitter_max.count()},
+                       {"fault_plan", fault_plan},
+                       {"mutations", strings_to_json(mutations)},
+                       {"expect", strings_to_json(expect)}});
+}
+
+Repro Repro::from_json(const Json& j) {
+  if (!j.is_object())
+    throw FluxException(Error(errc::inval, "repro: not an object"));
+  Repro r;
+  r.seed = static_cast<std::uint64_t>(j.get_int("seed", 1));
+  r.opt.size = static_cast<std::uint32_t>(j.get_int("size", 4));
+  r.opt.arity = static_cast<std::uint32_t>(j.get_int("arity", 2));
+  r.opt.shards = static_cast<std::uint32_t>(j.get_int("shards", 1));
+  r.opt.failover = j.get_bool("failover", false);
+  r.opt.clients = static_cast<int>(j.get_int("clients", 3));
+  r.opt.rounds = static_cast<int>(j.get_int("rounds", 2));
+  r.opt.jitter_max = Duration{j.get_int("jitter_max_ns", 0)};
+  r.fault_plan = j.at("fault_plan");
+  r.mutations = strings_from_json(j.at("mutations"));
+  r.expect = strings_from_json(j.at("expect"));
+  return r;
+}
+
+DstResult replay(const Repro& r) {
+  std::vector<std::unique_ptr<MutationGuard>> guards;
+  guards.reserve(r.mutations.size());
+  for (const std::string& m : r.mutations)
+    guards.push_back(std::make_unique<MutationGuard>(m));
+  return run_schedule(r.seed, r.opt, r.fault_plan);
+}
+
+Repro shrink(Repro failing, int max_rounds) {
+  const auto fails = [](const Repro& c) { return replay(c).failed(); };
+
+  bool progress = true;
+  while (progress && max_rounds-- > 0) {
+    progress = false;
+
+    // Delete fault-plan components one at a time, back to front (so kept
+    // indices stay valid across erases).
+    for (const char* list : {"events", "links", "nth"}) {
+      if (!failing.fault_plan.is_object() ||
+          !failing.fault_plan.at(list).is_array())
+        continue;
+      for (std::size_t n = failing.fault_plan.at(list).size(); n-- > 0;) {
+        Repro cand = failing;
+        JsonArray& arr = cand.fault_plan[list].as_array();
+        arr.erase(arr.begin() + static_cast<std::ptrdiff_t>(n));
+        if (fails(cand)) {
+          failing = std::move(cand);
+          progress = true;
+        }
+      }
+    }
+    // A plan shrunk to nothing becomes "no plan at all".
+    if (failing.fault_plan.is_object() &&
+        failing.fault_plan.at("events").size() == 0 &&
+        failing.fault_plan.at("links").size() == 0 &&
+        failing.fault_plan.at("nth").size() == 0) {
+      Repro cand = failing;
+      cand.fault_plan = Json();
+      if (fails(cand)) {
+        failing = std::move(cand);
+        progress = true;
+      }
+    }
+
+    // Perturbation off: does the failure even need the jitter?
+    if (failing.opt.jitter_max.count() > 0) {
+      Repro cand = failing;
+      cand.opt.jitter_max = Duration{0};
+      if (fails(cand)) {
+        failing = std::move(cand);
+        progress = true;
+      }
+    }
+
+    // Fewer workload rounds.
+    while (failing.opt.rounds > 1) {
+      Repro cand = failing;
+      --cand.opt.rounds;
+      if (!fails(cand)) break;
+      failing = std::move(cand);
+      progress = true;
+    }
+  }
+
+  failing.expect = replay(failing).report.properties();
+  return failing;
+}
+
+}  // namespace flux::check

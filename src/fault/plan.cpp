@@ -21,6 +21,28 @@ NodeId rank_from_json(const Json& j, const char* key) {
   return r < 0 ? kNodeAny : static_cast<NodeId>(r);
 }
 
+/// Duration field with both spellings: "<key>_ns" wins over "<key>_us".
+Duration duration_from_json(const Json& j, const std::string& key,
+                            std::int64_t default_us = 0) {
+  const std::string ns_key = key + "_ns";
+  if (j.contains(ns_key)) return Duration{j.get_int(ns_key)};
+  return us(j.get_int(key + "_us", default_us));
+}
+
+std::int64_t rank_to_json(NodeId r) {
+  return r == kNodeAny ? -1 : static_cast<std::int64_t>(r);
+}
+
+const char* action_name(Verdict::Action a) {
+  switch (a) {
+    case Verdict::Action::drop: return "drop";
+    case Verdict::Action::corrupt: return "corrupt";
+    case Verdict::Action::delay: return "delay";
+    case Verdict::Action::deliver: return "deliver";
+  }
+  return "?";
+}
+
 }  // namespace
 
 FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
@@ -69,7 +91,7 @@ FaultPlan FaultPlan::from_json(const Json& j) {
     for (const Json& e : j.at("events").as_array()) {
       const std::string kind = e.get_string("kind");
       const auto rank = static_cast<NodeId>(e.get_int("rank", 0));
-      const Duration at = us(e.get_int("at_us", 0));
+      const Duration at = duration_from_json(e, "at");
       if (kind == "crash")
         plan.crash_at(rank, at);
       else if (kind == "restart")
@@ -89,8 +111,8 @@ FaultPlan FaultPlan::from_json(const Json& j) {
       p.drop = l.get_double("drop", 0.0);
       p.corrupt = l.get_double("corrupt", 0.0);
       p.delay = l.get_double("delay", 0.0);
-      p.delay_min = us(l.get_int("delay_min_us", 0));
-      p.delay_max = us(l.get_int("delay_max_us", 0));
+      p.delay_min = duration_from_json(l, "delay_min");
+      p.delay_max = duration_from_json(l, "delay_max");
       plan.link(p);
     }
   }
@@ -108,7 +130,7 @@ FaultPlan FaultPlan::from_json(const Json& j) {
       else if (action == "corrupt")
         plan.corrupt_nth(from, to, nth, std::move(topic));
       else if (action == "delay")
-        plan.delay_nth(from, to, nth, us(r.get_int("delay_us", 100)),
+        plan.delay_nth(from, to, nth, duration_from_json(r, "delay", 100),
                        std::move(topic));
       else
         throw FluxException(Error(
@@ -116,6 +138,36 @@ FaultPlan FaultPlan::from_json(const Json& j) {
     }
   }
   return plan;
+}
+
+Json FaultPlan::to_json() const {
+  Json events = Json::array();
+  for (const NodeEvent& e : events_)
+    events.push_back(Json::object(
+        {{"kind", e.kind == NodeEvent::Kind::crash ? "crash" : "restart"},
+         {"rank", static_cast<std::int64_t>(e.rank)},
+         {"at_ns", e.at.count()}}));
+  Json links = Json::array();
+  for (const LinkPolicy& p : links_)
+    links.push_back(Json::object({{"from", rank_to_json(p.from)},
+                                  {"to", rank_to_json(p.to)},
+                                  {"drop", p.drop},
+                                  {"corrupt", p.corrupt},
+                                  {"delay", p.delay},
+                                  {"delay_min_ns", p.delay_min.count()},
+                                  {"delay_max_ns", p.delay_max.count()}}));
+  Json nth = Json::array();
+  for (const NthRule& r : nth_rules_)
+    nth.push_back(Json::object({{"from", rank_to_json(r.from)},
+                                {"to", rank_to_json(r.to)},
+                                {"n", static_cast<std::int64_t>(r.nth)},
+                                {"action", action_name(r.action)},
+                                {"delay_ns", r.delay.count()},
+                                {"topic", r.topic}}));
+  return Json::object({{"seed", static_cast<std::int64_t>(seed_)},
+                       {"events", std::move(events)},
+                       {"links", std::move(links)},
+                       {"nth", std::move(nth)}});
 }
 
 FaultPlan FaultPlan::random(std::uint64_t seed, const RandomOptions& opt) {

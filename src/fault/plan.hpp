@@ -113,8 +113,16 @@ class FaultPlan final : public Injector {
                        std::string topic = {});
 
   /// Parse the JSON schedule format above. Throws FluxException(inval) on
-  /// malformed input.
+  /// malformed input. Nanosecond-precision variants of every duration field
+  /// (at_ns, delay_min_ns, delay_max_ns, delay_ns) are accepted and win over
+  /// the microsecond ones — to_json() emits those, so a synthesized schedule
+  /// round-trips exactly.
   static FaultPlan from_json(const Json& j);
+
+  /// Serialize the schedule (seed + events + links + nth rules) so that
+  /// from_json(to_json()) rebuilds an identically-behaving plan. This is the
+  /// shrinker's repro format (check/shrink.hpp).
+  [[nodiscard]] Json to_json() const;
 
   /// Options for random(): which fault categories a synthesized schedule may
   /// draw from, sized to the session.

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "base/log.hpp"
+#include "check/history.hpp"
+#include "check/mutation.hpp"
+#include "kvs/kvs_module.hpp"
 #include "kvs/object_bundle.hpp"
 
 namespace flux {
@@ -62,7 +65,63 @@ KvsClient::~KvsClient() {
   watch_state_->owner = nullptr;
 }
 
+// ---------------------------------------------------------------------------
+// DST history recording (check/history.hpp). All taps are dead when rec_ is
+// null — the always case outside the simulation test harness.
+// ---------------------------------------------------------------------------
+
+void KvsClient::set_recorder(check::HistoryRecorder* rec, int client) {
+  rec_ = rec;
+  rec_client_ = client;
+  if (rec_) {
+    if (!rec_sub_)
+      rec_sub_ = h_.subscribe(
+          "kvs.setroot", [this](const Message& ev) { record_setroot(ev); });
+  } else {
+    rec_sub_ = Subscription{};
+  }
+}
+
+std::vector<std::uint64_t> KvsClient::sample_vv() const {
+  auto* mod = dynamic_cast<KvsModule*>(h_.broker().find_module("kvs"));
+  if (!mod) return {};
+  if (mod->sharded()) return mod->shard_versions();
+  return {mod->root_version()};
+}
+
+void KvsClient::record_setroot(const Message& ev) {
+  if (!rec_) return;
+  check::OpRecord r;
+  r.client = rec_client_;
+  r.kind = check::OpKind::setroot;
+  r.seq = ev.seq;
+  r.t_ns = h_.executor().now().count();
+  constexpr std::string_view prefix = "kvs.setroot.";
+  if (ev.topic.size() > prefix.size() && ev.topic.starts_with(prefix))
+    r.shard = std::strtoll(ev.topic.c_str() + prefix.size(), nullptr, 10);
+  try {
+    r.version = static_cast<std::uint64_t>(ev.payload().get_int("version"));
+    r.ref = ev.payload().get_string("rootref");
+  } catch (const FluxException& e) {
+    r.err = e.error().code;
+  }
+  rec_->record(std::move(r));
+}
+
 Task<void> KvsClient::put(std::string key, Json value) {
+  if (rec_) {
+    // The staged write is the client-visible "I wrote this" moment; the
+    // kvs.stage RPC below only positions the value object.
+    check::OpRecord r;
+    r.client = rec_client_;
+    r.kind = check::OpKind::put;
+    r.key = key;
+    r.value = value;
+    r.vv_begin = sample_vv();
+    r.vv_end = r.vv_begin;
+    r.t_ns = h_.executor().now().count();
+    rec_->record(std::move(r));
+  }
   txn_.put(std::move(key), std::move(value));
   // Write-back caching (paper §IV-B): the value object is shipped to the
   // nearest KVS instance at put() time so it is already positioned when the
@@ -86,12 +145,36 @@ Task<void> KvsClient::mkdir(std::string key) {
 }
 
 Task<CommitResult> KvsClient::commit(KvsTxn txn) {
+  check::OpRecord r;
+  if (rec_) {
+    r.client = rec_client_;
+    r.kind = check::OpKind::commit;
+    r.vv_begin = sample_vv();
+    r.t_ns = h_.executor().now().count();
+  }
   Json payload = Json::object({{"ops", tuples_to_json(txn.tuples_)}});
   RequestBuilder req = h_.request("kvs.commit").payload(std::move(payload));
   if (!txn.objects_.empty())
     req.attachment(std::make_shared<ObjectBundle>(std::move(txn.objects_)));
-  Message resp = co_await req.call();
-  co_return parse_commit_result(resp);
+  try {
+    Message resp = co_await req.call();
+    CommitResult res = parse_commit_result(resp);
+    if (rec_) {
+      r.result_version = res.version;
+      r.result_vv = res.vv;
+      r.ref = res.rootref;
+      r.vv_end = sample_vv();
+      rec_->record(std::move(r));
+    }
+    co_return res;
+  } catch (const FluxException& e) {
+    if (rec_) {
+      r.err = e.error().code;
+      r.vv_end = sample_vv();
+      rec_->record(std::move(r));
+    }
+    throw;
+  }
 }
 
 Task<CommitResult> KvsClient::commit() {
@@ -102,14 +185,39 @@ Task<CommitResult> KvsClient::commit() {
 
 Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs,
                                     KvsTxn txn) {
+  check::OpRecord r;
+  if (rec_) {
+    r.client = rec_client_;
+    r.kind = check::OpKind::fence;
+    r.key = name;
+    r.vv_begin = sample_vv();
+    r.t_ns = h_.executor().now().count();
+  }
   Json payload = Json::object({{"name", std::move(name)},
                                {"nprocs", nprocs},
                                {"ops", tuples_to_json(txn.tuples_)}});
   RequestBuilder req = h_.request("kvs.fence").payload(std::move(payload));
   if (!txn.objects_.empty())
     req.attachment(std::make_shared<ObjectBundle>(std::move(txn.objects_)));
-  Message resp = co_await req.call();
-  co_return parse_commit_result(resp);
+  try {
+    Message resp = co_await req.call();
+    CommitResult res = parse_commit_result(resp);
+    if (rec_) {
+      r.result_version = res.version;
+      r.result_vv = res.vv;
+      r.ref = res.rootref;
+      r.vv_end = sample_vv();
+      rec_->record(std::move(r));
+    }
+    co_return res;
+  } catch (const FluxException& e) {
+    if (rec_) {
+      r.err = e.error().code;
+      r.vv_end = sample_vv();
+      rec_->record(std::move(r));
+    }
+    throw;
+  }
 }
 
 Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs) {
@@ -119,15 +227,39 @@ Task<CommitResult> KvsClient::fence(std::string name, std::int64_t nprocs) {
 }
 
 Task<Json> KvsClient::get(std::string key) {
+  check::OpRecord r;
+  if (rec_) {
+    r.client = rec_client_;
+    r.kind = check::OpKind::get;
+    r.key = key;
+    r.vv_begin = sample_vv();
+    r.t_ns = h_.executor().now().count();
+  }
   Json payload = Json::object({{"key", std::move(key)}});
-  Message resp =
-      co_await h_.request("kvs.get").payload(std::move(payload)).call();
-  if (!resp.data())
-    throw FluxException(Error(errc::proto, "kvs.get: response without data"));
-  ObjPtr obj = parse_object(*resp.data());
-  if (!obj || !obj->is_val())
-    throw FluxException(Error(errc::proto, "kvs.get: malformed value object"));
-  co_return obj->value();
+  try {
+    Message resp =
+        co_await h_.request("kvs.get").payload(std::move(payload)).call();
+    if (!resp.data())
+      throw FluxException(Error(errc::proto, "kvs.get: response without data"));
+    ObjPtr obj = parse_object(*resp.data());
+    if (!obj || !obj->is_val())
+      throw FluxException(
+          Error(errc::proto, "kvs.get: malformed value object"));
+    if (rec_) {
+      r.value = obj->value();
+      r.vv_end = sample_vv();
+      rec_->record(std::move(r));
+    }
+    co_return obj->value();
+  } catch (const FluxException& e) {
+    if (rec_) {
+      r.err = e.error().code;
+      r.absent = e.error().code == errc::noent;
+      r.vv_end = sample_vv();
+      rec_->record(std::move(r));
+    }
+    throw;
+  }
 }
 
 Task<std::vector<std::string>> KvsClient::list_dir(std::string key) {
@@ -186,49 +318,94 @@ void KvsClient::unwatch_impl(std::uint64_t id) {
 }
 
 void KvsClient::on_setroot() {
-  for (auto& w : watches_)
-    if (!w->in_flight) co_spawn(h_.executor(), refresh_watch(w.get()), "kvs.watch");
+  for (auto& w : watches_) {
+    if (w->in_flight)
+      w->rerun = true;  // coalesce: the in-flight refresh re-runs on exit
+    else
+      co_spawn(h_.executor(), refresh_watch(w.get()), "kvs.watch");
+  }
+}
+
+KvsClient::Watch* KvsClient::find_watch(std::uint64_t id) {
+  auto it = std::find_if(watches_.begin(), watches_.end(),
+                         [id](const auto& p) { return p->id == id; });
+  return it == watches_.end() ? nullptr : it->get();
 }
 
 Task<void> KvsClient::refresh_watch(Watch* w) {
   const std::uint64_t id = w->id;
   w->in_flight = true;
+
+  // One-RPC snapshot: the get response carries the terminal ref alongside
+  // the value frame, both taken from a single walk of a single root, so the
+  // delivered value is exactly the content of the delivered ref.
   std::optional<std::string> ref;
-  try {
-    ref = co_await lookup_ref(w->key);
-  } catch (const FluxException& e) {
-    if (e.error().code != errc::noent) throw;
-    ref = std::nullopt;  // key (currently) absent
-  }
-  // The watch may have been cancelled while the lookup was in flight.
-  auto it = std::find_if(watches_.begin(), watches_.end(),
-                         [id](const auto& p) { return p->id == id; });
-  if (it == watches_.end()) co_return;
-  w = it->get();
-  w->in_flight = false;
-
-  const bool changed = !w->first_fired || ref != w->last_ref;
-  w->first_fired = true;
-  w->last_ref = ref;
-  if (!changed) co_return;
-
-  if (!ref) {
-    w->fn(std::nullopt);
-    co_return;
-  }
   std::optional<Json> value;
+  bool deliverable = true;
+  bool want_ref_fallback = false;  // key exists but is not a plain value
   try {
-    value = co_await get(w->key);
-  } catch (const FluxException&) {
-    // Directory or raced-away key: report existence without a value.
-    value = Json();
+    Json payload = Json::object({{"key", w->key}});
+    Message resp =
+        co_await h_.request("kvs.get").payload(std::move(payload)).call();
+    ref = resp.payload().get_string("ref");
+    ObjPtr obj = resp.data() ? parse_object(*resp.data()) : nullptr;
+    value = (obj && obj->is_val()) ? obj->value() : Json();
+  } catch (const FluxException& e) {
+    if (e.error().code == errc::noent) {
+      ref = std::nullopt;  // key (currently) absent
+    } else if (e.error().code == errc::is_dir ||
+               e.error().code == errc::not_dir) {
+      want_ref_fallback = true;
+    } else {
+      // Transient failure (master down, dropped RPC): deliver nothing — a
+      // synthetic "absent" would be indistinguishable from a real delete.
+      deliverable = false;
+    }
   }
-  // Re-validate after the second await.
-  if (std::find_if(watches_.begin(), watches_.end(),
-                   [id](const auto& p) { return p->id == id; }) ==
-      watches_.end())
-    co_return;
-  w->fn(value);
+  if (want_ref_fallback) {
+    // Directory (or path crossing a value): report existence only.
+    try {
+      ref = co_await lookup_ref(w->key);
+      value = Json();
+    } catch (const FluxException&) {
+      deliverable = false;  // raced away mid-refresh; next setroot retries
+    }
+  }
+
+  // The watch may have been cancelled while the fetch was in flight, and
+  // `fn` below may unwatch: always re-resolve by id before touching *w.
+  w = find_watch(id);
+  if (w == nullptr) co_return;
+
+  if (deliverable) {
+    const bool changed = !w->first_fired || ref != w->last_ref ||
+                         check::mutation("kvs.watch_refire");
+    w->first_fired = true;
+    w->last_ref = ref;
+    if (changed) {
+      if (rec_) {
+        check::OpRecord r;
+        r.client = rec_client_;
+        r.kind = check::OpKind::watch;
+        r.key = w->key;
+        if (ref) r.ref = *ref;
+        r.absent = !ref;
+        if (value) r.value = *value;
+        r.vv_end = sample_vv();
+        r.t_ns = h_.executor().now().count();
+        rec_->record(std::move(r));
+      }
+      w->fn(ref ? value : std::nullopt);
+      w = find_watch(id);
+      if (w == nullptr) co_return;
+    }
+  }
+
+  w->in_flight = false;
+  if (w->rerun) {
+    w->rerun = false;
+    co_spawn(h_.executor(), refresh_watch(w), "kvs.watch");
+  }
 }
 
 }  // namespace flux

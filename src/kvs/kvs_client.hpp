@@ -25,6 +25,10 @@
 #include "api/handle.hpp"
 #include "kvs/treeobj.hpp"
 
+namespace flux::check {
+class HistoryRecorder;
+}
+
 namespace flux {
 
 class KvsClient;
@@ -167,6 +171,12 @@ class KvsClient {
     unwatch_impl(id);
   }
 
+  /// DST tap (check/history.hpp): append every client-visible op this client
+  /// performs — put/get/commit/fence/watch callback, plus every observed
+  /// "kvs.setroot*" event — to `rec` under logical client id `client`.
+  /// Pass nullptr to detach. Recording is off (and free) by default.
+  void set_recorder(check::HistoryRecorder* rec, int client);
+
  private:
   friend class WatchHandle;
 
@@ -178,11 +188,21 @@ class KvsClient {
     WatchFn fn;
     std::optional<std::string> last_ref;  // nullopt until first lookup
     bool first_fired = false;
+    // Refreshes are serialized per watch: at most one refresh_watch coroutine
+    // runs at a time (in_flight), and setroots observed meanwhile coalesce
+    // into a single follow-up pass (rerun). Without this, two refreshes can
+    // interleave and deliver values out of commit order.
     bool in_flight = false;
+    bool rerun = false;
   };
 
   Task<void> refresh_watch(Watch* w);
   void on_setroot();
+  Watch* find_watch(std::uint64_t id);
+
+  /// Recorder helpers (no-ops when rec_ == nullptr).
+  [[nodiscard]] std::vector<std::uint64_t> sample_vv() const;
+  void record_setroot(const Message& ev);
 
   Handle& h_;
   KvsTxn txn_;
@@ -190,6 +210,9 @@ class KvsClient {
   std::vector<std::unique_ptr<Watch>> watches_;
   std::shared_ptr<detail::WatchOwner> watch_state_;
   Subscription setroot_sub_;
+  check::HistoryRecorder* rec_ = nullptr;
+  int rec_client_ = -1;
+  Subscription rec_sub_;
 };
 
 }  // namespace flux

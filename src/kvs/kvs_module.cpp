@@ -8,6 +8,7 @@
 #include "base/log.hpp"
 #include "broker/broker.hpp"
 #include "broker/session.hpp"
+#include "check/mutation.hpp"
 #include "kvs/shard_coordinator.hpp"
 
 namespace flux {
@@ -356,18 +357,37 @@ void KvsModule::op_fence(Message& msg) {
   FenceState& fence = fences_[name];
   for (const ObjPtr& obj : txn->objects) fence.pins.push_back(obj->id);
   fence.waiters.push_back(msg);
-  fence_add(name, nprocs, 1, std::move(txn->tuples), txn->objects);
+  std::string origin = fence_origin_key(msg);
+  if (!fence.origins.insert(origin).second) {
+    // Client RPC retry. The contribution still goes up — if the original
+    // flush was lost to a crashed broker, this retry is the only recovery
+    // path, and the master's identity set collapses the duplicate otherwise.
+    // Un-remember forwarded objects so the retry re-ships them too: a lost
+    // flush took its object frames with it.
+    fence.forwarded_ids.clear();
+  }
+  fence_add(name, nprocs, {std::move(origin)}, std::move(txn->tuples),
+            txn->objects);
+}
+
+std::string KvsModule::fence_origin_key(const Message& msg) {
+  if (msg.route.empty())
+    return "anon:" + std::to_string(++fence_anon_seq_);
+  const RouteHop& origin = msg.route.front();
+  return std::to_string(origin.rank) + ":" + std::to_string(origin.id);
 }
 
 void KvsModule::fence_add(const std::string& name, std::int64_t nprocs,
-                          std::int64_t count, std::vector<Tuple> tuples,
+                          std::vector<std::string> contributors,
+                          std::vector<Tuple> tuples,
                           const std::vector<ObjPtr>& objects) {
   FenceState& fence = fences_[name];
   if (fence.nprocs == 0) fence.nprocs = nprocs;
   if (fence.nprocs != nprocs)
     log::warn("kvs", "fence '", name, "': inconsistent nprocs ", nprocs,
               " vs ", fence.nprocs);
-  fence.pending_count += count;
+  std::move(contributors.begin(), contributors.end(),
+            std::back_inserter(fence.pending_contributors));
   std::move(tuples.begin(), tuples.end(),
             std::back_inserter(fence.pending_tuples));
   for (const ObjPtr& obj : objects) {
@@ -395,28 +415,34 @@ void KvsModule::flush_fence(const std::string& name) {
   if (it == fences_.end()) return;
   FenceState& fence = it->second;
   fence.flush_scheduled = false;
-  if (fence.pending_count == 0) return;
+  if (fence.pending_contributors.empty()) return;
 
   if (is_master()) {
-    fence.total_count += fence.pending_count;
+    // Tuples of a re-delivered contributor concatenate twice; applying the
+    // same (key, SHA1) assignment again is value-idempotent.
+    for (std::string& c : fence.pending_contributors)
+      fence.counted.insert(std::move(c));
     std::move(fence.pending_tuples.begin(), fence.pending_tuples.end(),
               std::back_inserter(fence.total_tuples));
-    fence.pending_count = 0;
+    fence.pending_contributors.clear();
     fence.pending_tuples.clear();
     master_check_fence(name);
     return;
   }
 
   ++ops_.flushes_forwarded;
+  Json contributors = Json::array();
+  for (std::string& c : fence.pending_contributors)
+    contributors.push_back(std::move(c));
   Message flush = Message::request(
       "kvs.flush", Json::object({{"name", name},
                                  {"nprocs", fence.nprocs},
-                                 {"count", fence.pending_count},
+                                 {"contributors", std::move(contributors)},
                                  {"tuples", tuples_to_json(fence.pending_tuples)}}));
   if (!fence.pending_objects.empty())
     flush.set_attachment(
         std::make_shared<ObjectBundle>(std::move(fence.pending_objects)));
-  fence.pending_count = 0;
+  fence.pending_contributors.clear();
   fence.pending_tuples.clear();
   fence.pending_objects.clear();
   // forwarded_ids intentionally NOT cleared: dedup spans flush waves.
@@ -426,9 +452,12 @@ void KvsModule::flush_fence(const std::string& name) {
 void KvsModule::op_flush(Message& msg) {
   const std::string name = msg.payload().get_string("name");
   const std::int64_t nprocs = msg.payload().get_int("nprocs", 0);
-  const std::int64_t count = msg.payload().get_int("count", 0);
+  std::vector<std::string> contributors;
+  if (const Json& jc = msg.payload().at("contributors"); jc.is_array())
+    for (const Json& c : jc.as_array())
+      if (c.is_string()) contributors.push_back(c.as_string());
   auto tuples = tuples_from_json(msg.payload().at("tuples"));
-  if (name.empty() || nprocs <= 0 || count <= 0 || !tuples) {
+  if (name.empty() || nprocs <= 0 || contributors.empty() || !tuples) {
     log::error("kvs", "malformed flush for fence '", name, "'");
     return;
   }
@@ -447,13 +476,15 @@ void KvsModule::op_flush(Message& msg) {
       log::error("kvs", "flush for unknown shard ", shard);
       return;
     }
-    shard_fence_add(name, static_cast<std::uint32_t>(shard), nprocs, count,
-                    std::move(tuples).value(), objects);
+    shard_fence_add(name, static_cast<std::uint32_t>(shard), nprocs,
+                    std::move(contributors), std::move(tuples).value(),
+                    objects);
     return;
   }
   if (is_master())
     for (const ObjPtr& obj : objects) store_.put(obj);
-  fence_add(name, nprocs, count, std::move(tuples).value(), objects);
+  fence_add(name, nprocs, std::move(contributors), std::move(tuples).value(),
+            objects);
 }
 
 void KvsModule::master_check_fence(const std::string& name) {
@@ -461,10 +492,11 @@ void KvsModule::master_check_fence(const std::string& name) {
   auto it = fences_.find(name);
   if (it == fences_.end()) return;
   FenceState& fence = it->second;
-  if (fence.total_count < fence.nprocs) return;
-  if (fence.total_count > fence.nprocs)
-    log::warn("kvs", "fence '", name, "': ", fence.total_count,
-              " entries for nprocs=", fence.nprocs);
+  const auto counted = static_cast<std::int64_t>(fence.counted.size());
+  if (counted < fence.nprocs) return;
+  if (counted > fence.nprocs)
+    log::warn("kvs", "fence '", name, "': ", counted,
+              " contributors for nprocs=", fence.nprocs);
   master_apply(fence.total_tuples, {name});
 }
 
@@ -472,7 +504,9 @@ void KvsModule::master_apply(const std::vector<Tuple>& tuples,
                              std::vector<std::string> fences) {
   assert(is_master());
   root_ref_ = apply_transaction(store_, root_ref_, tuples);
-  ++root_version_;
+  // Mutation "kvs.skip_version_bump" (tests only): publish a new root under
+  // a stale version number — breaks setroot-sequence monotonicity.
+  if (!check::mutation("kvs.skip_version_bump")) ++root_version_;
   // The master bumps its version here, so the event-path guard in
   // apply_root (version > root_version_) won't fire for it: complete local
   // version waiters directly.
@@ -491,9 +525,21 @@ void KvsModule::apply_root(const Sha1& ref, std::uint64_t version,
                            const std::vector<std::string>& fences) {
   // Never apply roots out of order (monotonic reads; paper §IV-B).
   if (version > root_version_) {
-    root_ref_ = ref;
-    root_version_ = version;
-    complete_version_waiters();
+    if (check::mutation("kvs.skip_apply") && root_version_ >= 1) {
+      // Mutation (tests only): complete fences below without adopting the
+      // new root — waiters get responses naming a root this instance never
+      // serves, breaking read-your-writes.
+    } else if (check::mutation("kvs.regress_root") && version >= 3) {
+      // Mutation (tests only): adopt the root but roll the version counter
+      // backwards — clients sampling the local version see it regress,
+      // breaking monotonic reads.
+      root_ref_ = ref;
+      root_version_ = version - 2;
+    } else {
+      root_ref_ = ref;
+      root_version_ = version;
+      complete_version_waiters();
+    }
   }
   for (const std::string& name : fences) {
     auto it = fences_.find(name);
@@ -592,19 +638,27 @@ void KvsModule::op_fence_sharded(Message& msg, const std::string& name,
   if (fence.nprocs == 0) fence.nprocs = nprocs;
   for (const ObjPtr& obj : txn.objects) fence.pins.push_back(obj->id);
   fence.waiters.push_back(msg);
+  const std::string origin = fence_origin_key(msg);
+  if (!fence.origins.insert(origin).second) {
+    // Client RPC retry (see op_fence): re-forward everything, including
+    // object frames a lost flush may have taken with it; each shard
+    // master's identity set collapses duplicates.
+    for (ShardPart& p : fence.parts) p.forwarded_ids.clear();
+  }
 
-  // EVERY live shard receives this participant's count — empty parts
+  // EVERY live shard receives this participant's contribution — empty parts
   // included — so each master independently detects completion at nprocs
   // and the coordinator fuses exactly once per fence.
   for (std::uint32_t s = 0; s < shards_; ++s) {
     if (shard_dead_[s]) continue;
-    shard_fence_add(name, s, nprocs, 1, std::move(tuples_by[s]),
+    shard_fence_add(name, s, nprocs, {origin}, std::move(tuples_by[s]),
                     objects_by[s]);
   }
 }
 
 void KvsModule::shard_fence_add(const std::string& name, std::uint32_t shard,
-                                std::int64_t nprocs, std::int64_t count,
+                                std::int64_t nprocs,
+                                std::vector<std::string> contributors,
                                 std::vector<Tuple> tuples,
                                 const std::vector<ObjPtr>& objects) {
   ShardedFence& fence = sharded_fences_[name];
@@ -618,13 +672,14 @@ void KvsModule::shard_fence_add(const std::string& name, std::uint32_t shard,
 
   if (is_shard_master(shard)) {
     for (const ObjPtr& obj : objects) store_.put(obj);
-    part.total_count += count;
+    for (std::string& c : contributors) part.counted.insert(std::move(c));
     std::move(tuples.begin(), tuples.end(),
               std::back_inserter(part.total_tuples));
-    if (part.total_count >= fence.nprocs && !part.applied) {
-      if (part.total_count > fence.nprocs)
-        log::warn("kvs", "fence '", name, "' shard ", shard, ": ",
-                  part.total_count, " entries for nprocs=", fence.nprocs);
+    const auto counted = static_cast<std::int64_t>(part.counted.size());
+    if (counted >= fence.nprocs && !part.applied) {
+      if (counted > fence.nprocs)
+        log::warn("kvs", "fence '", name, "' shard ", shard, ": ", counted,
+                  " contributors for nprocs=", fence.nprocs);
       // May re-enter this module (coordinator fuse) and erase the fence
       // state — nothing after this call may touch `fence`/`part`.
       shard_master_apply(name, shard);
@@ -632,7 +687,8 @@ void KvsModule::shard_fence_add(const std::string& name, std::uint32_t shard,
     return;
   }
 
-  part.pending_count += count;
+  std::move(contributors.begin(), contributors.end(),
+            std::back_inserter(part.pending_contributors));
   std::move(tuples.begin(), tuples.end(),
             std::back_inserter(part.pending_tuples));
   for (const ObjPtr& obj : objects)
@@ -653,26 +709,29 @@ void KvsModule::flush_shard_fence(const std::string& name,
   if (it == sharded_fences_.end()) return;
   ShardPart& part = it->second.parts[shard];
   part.flush_scheduled = false;
-  if (part.pending_count == 0) return;
+  if (part.pending_contributors.empty()) return;
   if (shard_dead_[shard]) {
     // Undeliverable; the coordinator fails this fence.
-    part.pending_count = 0;
+    part.pending_contributors.clear();
     part.pending_tuples.clear();
     part.pending_objects.clear();
     return;
   }
   ++ops_.flushes_forwarded;
+  Json contributors = Json::array();
+  for (std::string& c : part.pending_contributors)
+    contributors.push_back(std::move(c));
   Message flush = Message::request(
       "kvs.flush",
       Json::object({{"name", name},
                     {"nprocs", it->second.nprocs},
-                    {"count", part.pending_count},
+                    {"contributors", std::move(contributors)},
                     {"shard", static_cast<std::int64_t>(shard)},
                     {"tuples", tuples_to_json(part.pending_tuples)}}));
   if (!part.pending_objects.empty())
     flush.set_attachment(
         std::make_shared<ObjectBundle>(std::move(part.pending_objects)));
-  part.pending_count = 0;
+  part.pending_contributors.clear();
   part.pending_tuples.clear();
   part.pending_objects.clear();
   // forwarded_ids intentionally NOT cleared: dedup spans flush waves.
@@ -1407,7 +1466,10 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     respond_error(req, errc::not_dir, "get: '" + key + "' is not a directory");
     co_return;
   }
-  Message resp = req.respond();
+  // Carry the terminal ref alongside the value frame: both come from the
+  // same walk of the same root snapshot, so watchers get a consistent
+  // (ref, value) pair in one round-trip.
+  Message resp = req.respond(Json::object({{"ref", cur.hex()}}));
   resp.set_data(object_frame(obj));
   broker().respond(std::move(resp));
 }

@@ -58,6 +58,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -160,8 +161,9 @@ class KvsModule final : public ModuleBase {
 
   struct FenceState {
     std::int64_t nprocs = 0;
-    // Contributions not yet flushed upstream (or into the master total).
-    std::int64_t pending_count = 0;
+    // Contributor identities not yet flushed upstream (or into the master
+    // total). May repeat across waves — the master's `counted` set dedupes.
+    std::vector<std::string> pending_contributors;
     std::vector<Tuple> pending_tuples;
     std::vector<ObjPtr> pending_objects;
     /// Objects already forwarded upstream for this fence: cumulative, so an
@@ -169,17 +171,29 @@ class KvsModule final : public ModuleBase {
     /// stagger ("values are reduced while being sent up the tree").
     std::unordered_set<Sha1> forwarded_ids;
     bool flush_scheduled = false;
-    // Master only: global accumulation.
-    std::int64_t total_count = 0;
+    // Master only: distinct contributor identities seen so far. Fences fuse
+    // when this reaches nprocs. Counting identities instead of arrivals
+    // makes client RPC retries idempotent end-to-end: a duplicate flush (the
+    // original was merely slow) collapses here instead of letting the fence
+    // fuse without the slowest participant's ops, while a retry whose
+    // original flush was lost to a crashed broker re-supplies it.
+    std::set<std::string> counted;
     std::vector<Tuple> total_tuples;
+    /// Originating endpoints this broker has already forwarded (retry
+    /// detection — see op_fence).
+    std::set<std::string> origins;
     // Requests from clients of *this* broker awaiting completion.
     std::vector<Message> waiters;
     // Local cache pins to release at completion.
     std::vector<Sha1> pins;
   };
 
+  /// Identity of the requesting endpoint, stable across its RPC retries.
+  std::string fence_origin_key(const Message& msg);
+
   void fence_add(const std::string& name, std::int64_t nprocs,
-                 std::int64_t count, std::vector<Tuple> tuples,
+                 std::vector<std::string> contributors,
+                 std::vector<Tuple> tuples,
                  const std::vector<ObjPtr>& objects);
   void schedule_fence_flush(const std::string& name);
   void flush_fence(const std::string& name);
@@ -196,7 +210,7 @@ class KvsModule final : public ModuleBase {
   // -- sharded-master machinery ------------------------------------------------
   /// Per-(fence, shard) aggregation state on this broker.
   struct ShardPart {
-    std::int64_t pending_count = 0;
+    std::vector<std::string> pending_contributors;
     std::vector<Tuple> pending_tuples;
     std::vector<ObjPtr> pending_objects;
     std::unordered_set<Sha1> forwarded_ids;
@@ -205,14 +219,16 @@ class KvsModule final : public ModuleBase {
     // master then dies mid-fence, local waiters must see an error even when
     // the coordinator salvages the live shards.
     bool touched = false;
-    // Shard master only.
-    std::int64_t total_count = 0;
+    // Shard master only: distinct contributors (see FenceState::counted).
+    std::set<std::string> counted;
     std::vector<Tuple> total_tuples;
     bool applied = false;
   };
   struct ShardedFence {
     std::int64_t nprocs = 0;
     std::vector<ShardPart> parts;  // one per shard
+    /// Same retry-detection role as FenceState::origins.
+    std::set<std::string> origins;
     std::vector<Message> waiters;
     std::vector<Sha1> pins;
   };
@@ -223,7 +239,8 @@ class KvsModule final : public ModuleBase {
   void op_fence_sharded(Message& msg, const std::string& name,
                         std::int64_t nprocs, Txn txn);
   void shard_fence_add(const std::string& name, std::uint32_t shard,
-                       std::int64_t nprocs, std::int64_t count,
+                       std::int64_t nprocs,
+                       std::vector<std::string> contributors,
                        std::vector<Tuple> tuples,
                        const std::vector<ObjPtr>& objects);
   void flush_shard_fence(const std::string& name, std::uint32_t shard);
@@ -300,6 +317,7 @@ class KvsModule final : public ModuleBase {
   std::uint64_t expiry_epochs_ = 0;  // 0 == expiry disabled
 
   std::uint64_t commit_seq_ = 0;
+  std::uint64_t fence_anon_seq_ = 0;  // fence_origin_key fallback counter
   std::map<TxnKey, Txn> txns_;
   std::map<std::string, FenceState> fences_;
   std::unordered_map<Sha1, Promise<ObjPtr>> faults_;

@@ -1,6 +1,7 @@
 #include "kvs/shard_coordinator.hpp"
 
 #include "broker/broker.hpp"
+#include "check/mutation.hpp"
 
 namespace flux {
 
@@ -80,7 +81,11 @@ void ShardCoordinator::maybe_fuse(const std::string& name, Pending& p) {
     ++want;
     if (p.reported[s]) ++have;
   }
-  if (have < want) return;
+  // Mutation "kvs.fence_fuse_early" (tests only): declare the fence done
+  // after the first shard reports — clients then observe it partially
+  // applied across shards, breaking fence atomicity.
+  if (have < want && !(check::mutation("kvs.fence_fuse_early") && have >= 1))
+    return;
 
   const bool failed = p.tainted;
 

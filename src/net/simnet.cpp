@@ -9,6 +9,7 @@ namespace flux {
 SimNet::SimNet(SimExecutor& ex, NetParams params, std::uint32_t nnodes)
     : ex_(ex),
       params_(params),
+      jitter_rng_(params.jitter_seed),
       failed_(nnodes, false),
       recv_busy_(nnodes, TimePoint{0}) {}
 
@@ -41,7 +42,12 @@ void SimNet::send(NodeId from, NodeId to, Message msg) {
                     Duration{static_cast<Duration::rep>(std::llround(
                         static_cast<double>(size) / params_.recv_bytes_per_ns))};
   TimePoint& rbusy = recv_busy_[to];
-  const TimePoint deliver_at = std::max(arrival, rbusy) + proc;
+  TimePoint deliver_at = std::max(arrival, rbusy) + proc;
+  // Seeded schedule perturbation: draws happen in send-call order, which is
+  // itself deterministic, so one jitter_seed = one exact delivery schedule.
+  if (params_.jitter_max.count() > 0)
+    deliver_at += Duration{static_cast<Duration::rep>(jitter_rng_.below(
+        static_cast<std::uint64_t>(params_.jitter_max.count())))};
   rbusy = deliver_at;
 
   ex_.post_at(deliver_at, [this, to, m = std::move(msg)]() mutable {

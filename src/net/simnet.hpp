@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/rng.hpp"
 #include "exec/sim_executor.hpp"
 #include "msg/message.hpp"
 
@@ -33,6 +34,16 @@ struct NetParams {
   Duration recv_fixed = Duration{1200};     ///< broker dispatch cost per msg
   Duration recv_per_byte = Duration{0};     ///< plus this per payload byte
   double recv_bytes_per_ns = 5.0;           ///< payload processing bandwidth
+
+  /// DST schedule perturbation (check/explorer.hpp): with jitter_max > 0,
+  /// every delivery gains a seeded-uniform extra delay in [0, jitter_max).
+  /// This is the schedule explorer's tie-break hook — deliveries that would
+  /// land at the same instant (and would otherwise resolve by post order)
+  /// are re-ordered differently under every jitter_seed, while a given seed
+  /// replays bit-for-bit. jitter_max == 0 (the default) draws nothing and
+  /// keeps the model byte-identical to the unperturbed baseline.
+  Duration jitter_max{0};
+  std::uint64_t jitter_seed = 0;
 };
 
 /// Simulated interconnect: computes delivery times and posts deliveries onto
@@ -68,6 +79,7 @@ class SimNet {
  private:
   SimExecutor& ex_;
   NetParams params_;
+  Rng jitter_rng_;
   Deliver deliver_;
   std::vector<bool> failed_;
   // FIFO serialization state per directed link / per receiving broker.

@@ -3,12 +3,12 @@
 // completes or fails with a typed FluxException (errc::timeout, host_down,
 // ...) — and replaying a seed must reproduce the run bit-for-bit.
 //
-// Categories (50 distinct seeds total):
-//   1-10   broker crashes (no recovery)
-//   11-20  crashes + restarts with tree rejoin and KVS resync
-//   21-30  lossy links (probabilistic drop + delay)
-//   31-40  message corruption
-//   41-50  sharded-KVS master crash with hb-driven failover
+// Categories (50 distinct seeds total, based at FLUX_TEST_SEED, default 1):
+//   base+0..9    broker crashes (no recovery)
+//   base+10..19  crashes + restarts with tree rejoin and KVS resync
+//   base+20..29  lossy links (probabilistic drop + delay)
+//   base+30..39  message corruption
+//   base+40..49  sharded-KVS master crash with hb-driven failover
 //
 // A hang shows up as SimSession::run/ex().run() never finishing a writer
 // (`completed == false`) rather than wedging the harness: every client RPC
@@ -26,6 +26,7 @@
 #include "fault/plan.hpp"
 #include "kvs/kvs_module.hpp"
 #include "sim_fixture.hpp"
+#include "test_seed.hpp"
 
 namespace flux {
 namespace {
@@ -39,6 +40,13 @@ constexpr int kRounds = 4;
 /// Seeds per category (50 total at the default of 10). FLUX_CHAOS_SEEDS dials
 /// the sweep up for soak runs; seed values are just RNG keys, so ranges from
 /// different categories overlapping is harmless.
+/// Category ranges are based at FLUX_TEST_SEED (test_seed.hpp), so one knob
+/// re-rolls every seeded suite; each failure's SCOPED_TRACE names the exact
+/// seed to replay.
+std::uint64_t chaos_base(std::uint64_t offset) {
+  return testing::test_seed() + offset;
+}
+
 std::uint64_t seeds_per_category() {
   if (const char* env = std::getenv("FLUX_CHAOS_SEEDS")) {
     const long n = std::atol(env);
@@ -143,7 +151,7 @@ void expect_clean(const ChaosOutcome& out) {
 // ---------------------------------------------------------------------------
 
 TEST(Chaos, CrashOnlySeeds) {
-  for (std::uint64_t seed = 1; seed < 1 + seeds_per_category(); ++seed) {
+  for (std::uint64_t seed = chaos_base(0); seed < chaos_base(0) + seeds_per_category(); ++seed) {
     SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
     FaultPlan::RandomOptions opt;
     opt.size = 12;
@@ -158,7 +166,7 @@ TEST(Chaos, CrashOnlySeeds) {
 }
 
 TEST(Chaos, CrashRestartSeeds) {
-  for (std::uint64_t seed = 11; seed < 11 + seeds_per_category(); ++seed) {
+  for (std::uint64_t seed = chaos_base(10); seed < chaos_base(10) + seeds_per_category(); ++seed) {
     SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
     FaultPlan::RandomOptions opt;
     opt.size = 12;
@@ -181,7 +189,7 @@ TEST(Chaos, CrashRestartSeeds) {
 }
 
 TEST(Chaos, LossyLinkSeeds) {
-  for (std::uint64_t seed = 21; seed < 21 + seeds_per_category(); ++seed) {
+  for (std::uint64_t seed = chaos_base(20); seed < chaos_base(20) + seeds_per_category(); ++seed) {
     SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
     FaultPlan::RandomOptions opt;
     opt.size = 10;
@@ -196,7 +204,7 @@ TEST(Chaos, LossyLinkSeeds) {
 }
 
 TEST(Chaos, CorruptionSeeds) {
-  for (std::uint64_t seed = 31; seed < 31 + seeds_per_category(); ++seed) {
+  for (std::uint64_t seed = chaos_base(30); seed < chaos_base(30) + seeds_per_category(); ++seed) {
     SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
     FaultPlan::RandomOptions opt;
     opt.size = 10;
@@ -209,7 +217,7 @@ TEST(Chaos, CorruptionSeeds) {
 }
 
 TEST(Chaos, ShardMasterFailoverSeeds) {
-  for (std::uint64_t seed = 41; seed < 41 + seeds_per_category(); ++seed) {
+  for (std::uint64_t seed = chaos_base(40); seed < chaos_base(40) + seeds_per_category(); ++seed) {
     SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
     SimSession s(chaos_config(
         12, Json::object({{"shards", 3}, {"failover", true}})));
@@ -267,7 +275,8 @@ TEST(Chaos, SameSeedSynthesizesSameSchedule) {
   opt.delays = true;
   opt.corruption = true;
   opt.max_crashes = 3;
-  for (std::uint64_t seed : {3ull, 99ull, 12345ull}) {
+  for (std::uint64_t seed : {testing::test_seed() + 2, testing::test_seed() + 98,
+                             testing::test_seed() + 12344}) {
     const FaultPlan a = FaultPlan::random(seed, opt);
     const FaultPlan b = FaultPlan::random(seed, opt);
     ASSERT_EQ(a.events().size(), b.events().size()) << "seed " << seed;
@@ -287,17 +296,18 @@ TEST(Chaos, SameSeedSynthesizesSameSchedule) {
 }
 
 TEST(Chaos, SameSeedReplaysIdentically) {
-  for (std::uint64_t seed : {13ull, 25ull, 37ull}) {
+  const std::uint64_t base = testing::test_seed();
+  for (std::uint64_t seed : {base + 12, base + 24, base + 36}) {
     SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
-    const auto once = [seed] {
+    const auto once = [seed, base] {
       FaultPlan::RandomOptions opt;
       opt.size = 10;
       opt.horizon = std::chrono::milliseconds(8);
-      opt.crashes = seed == 13;
-      opt.restarts = seed == 13;
-      opt.drops = seed == 25;
-      opt.delays = seed == 25;
-      opt.corruption = seed == 37;
+      opt.crashes = seed == base + 12;
+      opt.restarts = seed == base + 12;
+      opt.drops = seed == base + 24;
+      opt.delays = seed == base + 24;
+      opt.corruption = seed == base + 36;
       SimSession s(chaos_config(opt.size));
       FaultPlan plan = FaultPlan::random(seed, opt);
       return run_chaos_workload(s, plan);

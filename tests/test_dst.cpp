@@ -1,0 +1,243 @@
+// Deterministic-simulation tests (ctest -L dst).
+//
+// Three layers, matching DESIGN.md §5:
+//   1. exploration — sweep seeds through the standard DST workload (clean,
+//      sharded, fault-injected) and require the consistency oracle to pass
+//      every schedule. FLUX_DST_SEEDS scales the per-config sweep width;
+//      FLUX_TEST_SEED shifts the base seed of every sweep.
+//   2. teeth — for each property the oracle claims to check, enable the one
+//      test-only mutation that breaks exactly that property and require the
+//      oracle to flag it. An oracle that passes a mutated run is blind.
+//   3. repro — the shrinker minimizes a seeded failure to a small Repro, and
+//      every JSON repro committed under tests/repro/ replays as a failure
+//      with its recorded violations, forever.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+#include "check/mutation.hpp"
+#include "check/shrink.hpp"
+#include "test_seed.hpp"
+
+namespace flux::check {
+namespace {
+
+using flux::testing::test_seed;
+
+/// Per-config sweep width; FLUX_DST_SEEDS overrides (e.g. 500 for a soak).
+int sweep(int dflt) {
+  if (const char* env = std::getenv("FLUX_DST_SEEDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return dflt;
+}
+
+std::string describe(const DstResult& r) {
+  std::ostringstream os;
+  os << "seed " << r.seed << ": ";
+  if (r.workload_error) os << "workload error: " << r.error << "; ";
+  if (r.stalled_clients > 0) os << r.stalled_clients << " stalled; ";
+  os << r.report.to_string();
+  if (!r.fault_plan.is_null()) os << "\nfault plan: " << r.fault_plan.dump();
+  return os.str();
+}
+
+void expect_all_pass(std::uint64_t base, int n, const DstOptions& opt) {
+  const std::vector<DstResult> failures = explore(base, n, opt);
+  for (const DstResult& f : failures) ADD_FAILURE() << describe(f);
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << "/" << n << " schedules failed (replay with "
+      << "FLUX_TEST_SEED; first failing seed printed above)";
+}
+
+// -- 1. exploration -----------------------------------------------------------
+
+TEST(DstExplore, CleanSchedulesPass) {
+  DstOptions opt;
+  expect_all_pass(test_seed(), sweep(80), opt);
+}
+
+TEST(DstExplore, ShardedSchedulesPass) {
+  DstOptions opt;
+  opt.size = 5;
+  opt.shards = 2;
+  expect_all_pass(test_seed() + 0x10000, sweep(80), opt);
+}
+
+TEST(DstExplore, FaultedSchedulesPass) {
+  DstOptions opt;
+  opt.faults = true;
+  opt.drops = true;
+  opt.delays = true;
+  expect_all_pass(test_seed() + 0x20000, sweep(60), opt);
+}
+
+TEST(DstExplore, CrashSchedulesPass) {
+  DstOptions opt;
+  opt.faults = true;
+  opt.crashes = true;
+  opt.restarts = true;
+  opt.delays = true;
+  expect_all_pass(test_seed() + 0x30000, sweep(20), opt);
+}
+
+TEST(DstExplore, SameSeedIsDeterministic) {
+  DstOptions opt;
+  opt.faults = true;
+  opt.drops = true;
+  opt.delays = true;
+  const std::uint64_t seed = test_seed() + 0x40000;
+  const DstResult a = run_schedule(seed, opt);
+  const DstResult b = run_schedule(seed, opt);
+  EXPECT_EQ(a.history_len, b.history_len);
+  EXPECT_EQ(a.failed(), b.failed());
+  EXPECT_EQ(a.report.to_string(), b.report.to_string());
+  EXPECT_EQ(a.fault_plan.dump(), b.fault_plan.dump());
+}
+
+// -- 2. mutation teeth --------------------------------------------------------
+
+/// Enable `name` and require some schedule in a short sweep to violate
+/// exactly the property the mutation targets. Most mutations fire on the
+/// first seed; the small sweep keeps the assertion robust to workload timing.
+void expect_mutation_caught(const char* name, const char* property,
+                            const DstOptions& opt) {
+  SCOPED_TRACE(name);
+  const MutationGuard guard(name);
+  const std::uint64_t base = test_seed() + 0x50000;
+  std::ostringstream seen;
+  for (int i = 0; i < 8; ++i) {
+    const DstResult r = run_schedule(base + static_cast<std::uint64_t>(i), opt);
+    if (r.report.violates(property)) return;  // caught — oracle has teeth
+    seen << "  " << describe(r) << "\n";
+  }
+  ADD_FAILURE() << "oracle never flagged '" << property
+                << "' under mutation '" << name << "' (8 seeds):\n"
+                << seen.str();
+}
+
+TEST(DstMutation, RegressedRootIsCaughtAsMonotonicReads) {
+  expect_mutation_caught("kvs.regress_root", "monotonic-reads", DstOptions{});
+}
+
+TEST(DstMutation, SkippedApplyIsCaughtAsReadYourWrites) {
+  expect_mutation_caught("kvs.skip_apply", "read-your-writes", DstOptions{});
+}
+
+TEST(DstMutation, EarlyFenceFuseIsCaughtAsFenceAtomicity) {
+  DstOptions opt;
+  opt.size = 5;
+  opt.shards = 2;
+  expect_mutation_caught("kvs.fence_fuse_early", "fence-atomicity", opt);
+}
+
+TEST(DstMutation, SkippedVersionBumpIsCaughtAsSetrootSequence) {
+  expect_mutation_caught("kvs.skip_version_bump", "setroot-sequence",
+                         DstOptions{});
+}
+
+TEST(DstMutation, WatchRefireIsCaughtAsWatchOrder) {
+  expect_mutation_caught("kvs.watch_refire", "watch-order", DstOptions{});
+}
+
+// -- 3. shrinker + committed repros ------------------------------------------
+
+std::size_t plan_components(const Json& plan) {
+  if (!plan.is_object()) return 0;
+  return plan.at("events").size() + plan.at("links").size() +
+         plan.at("nth").size();
+}
+
+TEST(DstShrink, MinimizesASeededFailure) {
+  // Seed a real failure: a faulted sharded run with the early-fuse mutation
+  // enabled. The mutation (not the fault plan) causes the violation, so the
+  // shrinker should strip the plan down and drop the jitter.
+  DstOptions opt;
+  opt.size = 5;
+  opt.shards = 2;
+  opt.faults = true;
+  opt.drops = true;
+  opt.delays = true;
+
+  const std::uint64_t base = test_seed() + 0x60000;
+  Repro failing;
+  bool found = false;
+  {
+    const MutationGuard guard("kvs.fence_fuse_early");
+    for (int i = 0; i < 8 && !found; ++i) {
+      const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+      const DstResult r = run_schedule(seed, opt);
+      if (!r.failed()) continue;
+      failing.seed = seed;
+      failing.opt = opt;
+      failing.fault_plan = r.fault_plan;
+      failing.mutations = {"kvs.fence_fuse_early"};
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no failing seed in 8 tries";
+
+  const std::size_t before = plan_components(failing.fault_plan);
+  ASSERT_TRUE(replay(failing).failed());
+
+  const Repro small = shrink(failing);
+  const DstResult r = replay(small);
+  EXPECT_TRUE(r.failed()) << "shrunk repro no longer fails";
+  EXPECT_LE(plan_components(small.fault_plan), before);
+  // The mutation alone causes this failure, so the shrinker must make real
+  // progress on at least one axis.
+  const bool progressed = plan_components(small.fault_plan) < before ||
+                          small.opt.rounds < opt.rounds ||
+                          small.opt.jitter_max.count() == 0;
+  EXPECT_TRUE(progressed) << "shrinker made no progress at all";
+  EXPECT_FALSE(small.expect.empty());
+
+  // The repro round-trips through its JSON form.
+  const Repro reloaded = Repro::from_json(small.to_json());
+  EXPECT_TRUE(replay(reloaded).failed());
+
+  // FLUX_UPDATE_REPRO=1 commits this run's shrunk repro under tests/repro/
+  // (the FLUX_UPDATE_GOLDEN idiom), where DstRepro replays it forever.
+  if (std::getenv("FLUX_UPDATE_REPRO") != nullptr) {
+    const std::filesystem::path path =
+        std::filesystem::path(FLUX_REPRO_DIR) / "fence_fuse_early.json";
+    std::ofstream out(path);
+    out << small.to_json().dump_pretty() << "\n";
+    ASSERT_TRUE(out.good()) << "failed writing " << path;
+  }
+}
+
+TEST(DstRepro, CommittedReprosStillReproduce) {
+  const std::filesystem::path dir(FLUX_REPRO_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    ++n;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = Json::parse(buf.str());
+    ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+    const Repro repro = Repro::from_json(*parsed);
+    const DstResult r = replay(repro);
+    EXPECT_TRUE(r.failed()) << "committed repro no longer fails";
+    for (const std::string& property : repro.expect)
+      EXPECT_TRUE(r.report.violates(property))
+          << "expected violation '" << property << "' missing: "
+          << r.report.to_string();
+  }
+  EXPECT_GE(n, 1) << "no committed repros under " << dir;
+}
+
+}  // namespace
+}  // namespace flux::check

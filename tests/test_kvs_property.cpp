@@ -9,6 +9,11 @@
 #include "base/rng.hpp"
 #include "kvs/kvs_module.hpp"
 #include "sim_fixture.hpp"
+#include "test_seed.hpp"
+
+// Every Rng below mixes in FLUX_TEST_SEED (test_seed.hpp, default 1), so one
+// knob re-rolls the whole randomized surface; SCOPED_TRACE prints the
+// effective seed on failure.
 
 namespace flux {
 namespace {
@@ -77,8 +82,10 @@ Json random_value(Rng& rng) {
 
 TEST_P(KvsModelTest, RandomOpsMatchReferenceModel) {
   const Params p = GetParam();
+  const std::uint64_t seed = p.seed + testing::test_seed();
+  SCOPED_TRACE(::testing::Message() << "property seed " << seed);
   SimSession s(SimSession::default_config(p.size, p.arity));
-  Rng rng(p.seed);
+  Rng rng(seed);
   RefModel ref;
 
   // A writer on a random broker per round; readers scattered.
@@ -230,7 +237,9 @@ TEST(KvsProperty, LastCommitWinsOnConflict) {
 // ---------------------------------------------------------------------------
 
 TEST(ShardMapProperty, EveryKeyRoutesToExactlyOneShard) {
-  Rng rng(0xfeedULL);
+  const std::uint64_t seed = 0xfeedULL + testing::test_seed();
+  SCOPED_TRACE(::testing::Message() << "property seed " << seed);
+  Rng rng(seed);
   for (const std::uint32_t shards : {1u, 2u, 3u, 4u, 7u, 8u}) {
     ShardMap map(/*size=*/8, shards, /*arity=*/2);
     for (int i = 0; i < 500; ++i) {
@@ -248,7 +257,9 @@ TEST(ShardMapProperty, EveryKeyRoutesToExactlyOneShard) {
 TEST(ShardMapProperty, RoutingDependsOnlyOnTopLevelDirectory) {
   // Everything under one top-level directory co-locates on one shard, no
   // matter how deep the key or what other keys exist.
-  Rng rng(0xbeefULL);
+  const std::uint64_t seed = 0xbeefULL + testing::test_seed();
+  SCOPED_TRACE(::testing::Message() << "property seed " << seed);
+  Rng rng(seed);
   ShardMap map(16, 4, 2);
   for (int i = 0; i < 200; ++i) {
     const std::string top = "dir" + std::to_string(rng.below(50));
@@ -260,7 +271,9 @@ TEST(ShardMapProperty, RoutingDependsOnlyOnTopLevelDirectory) {
 }
 
 TEST(ShardMapProperty, SingleShardRoutesEverythingToRoot) {
-  Rng rng(0x5151ULL);
+  const std::uint64_t seed = 0x5151ULL + testing::test_seed();
+  SCOPED_TRACE(::testing::Message() << "property seed " << seed);
+  Rng rng(seed);
   ShardMap map(32, 1, 2);
   EXPECT_EQ(map.master_rank(0), 0u);
   for (int i = 0; i < 300; ++i) {
@@ -293,7 +306,9 @@ TEST(ShardMapProperty, RendezvousGrowthOnlyMovesKeysToNewShard) {
   // Rendezvous hashing's minimal-disruption property: going from k to k+1
   // shards, a key either stays put or moves to the NEW shard — never
   // between old shards.
-  Rng rng(0xabcdULL);
+  const std::uint64_t seed = 0xabcdULL + testing::test_seed();
+  SCOPED_TRACE(::testing::Message() << "property seed " << seed);
+  Rng rng(seed);
   for (std::uint32_t k = 1; k < 6; ++k) {
     ShardMap before(16, k, 2);
     ShardMap after(16, k + 1, 2);
@@ -301,7 +316,9 @@ TEST(ShardMapProperty, RendezvousGrowthOnlyMovesKeysToNewShard) {
       const std::string key = random_key(rng);
       const std::uint32_t s0 = before.shard_of(key);
       const std::uint32_t s1 = after.shard_of(key);
-      if (s1 != s0) EXPECT_EQ(s1, k) << key << " moved between old shards";
+      if (s1 != s0) {
+        EXPECT_EQ(s1, k) << key << " moved between old shards";
+      }
     }
   }
 }
@@ -340,7 +357,9 @@ TEST(ShardMapProperty, ShardAssignmentIgnoresTreeShapeAndSessionSize) {
   // pure function of the key's top-level directory and the shard count. The
   // session size, the reduction-tree arity, and (after a failover) which
   // rank currently masters the shard never move keys between shards.
-  Rng rng(0x5eedULL);
+  const std::uint64_t seed = 0x5eedULL + testing::test_seed();
+  SCOPED_TRACE(::testing::Message() << "property seed " << seed);
+  Rng rng(seed);
   for (int i = 0; i < 200; ++i) {
     const std::string key = random_key(rng);
     for (const std::uint32_t shards : {2u, 3u, 5u}) {

@@ -1,0 +1,26 @@
+// Unified test seeding. Every seeded suite (chaos, property, dst) derives
+// its base seed from the FLUX_TEST_SEED environment variable, so one knob
+// re-rolls the whole randomized surface:
+//
+//   FLUX_TEST_SEED=12345 ctest -L chaos -L property -L dst
+//
+// Suites add fixed per-category offsets to the base so categories stay
+// distinct, and print the effective seed on every failure (SCOPED_TRACE), so
+// a red run names the exact seed to replay.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace flux::testing {
+
+/// Base seed: $FLUX_TEST_SEED (any strtoull-parsable form), default 1.
+inline std::uint64_t test_seed() {
+  if (const char* env = std::getenv("FLUX_TEST_SEED")) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 0);
+    if (v != 0) return v;
+  }
+  return 1;
+}
+
+}  // namespace flux::testing
