@@ -1,0 +1,147 @@
+// Job-lifecycle throughput: sustained jobs/sec through the full pipeline
+// (job.submit validation -> root jobid assignment -> job-manager queue ->
+// scheduler -> resvc allocation -> wexec dispatch -> KVS fold-back ->
+// waiter response) versus broker count and submission-window depth.
+//
+// The paper's thesis is that a session-scoped framework keeps per-job
+// overhead flat as the instance grows; here that reads as throughput
+// degrading only mildly with broker count (the critical path is the root's
+// scheduling loop, not the tree fan-out) and rising with window depth until
+// the scheduler pass dominates.
+//
+//   $ ./bench_jobs_throughput [--quick]
+//
+// Time is virtual (discrete-event sim): jobs/sec is jobs over the virtual
+// makespan from first submit to last completion. host_seconds records the
+// real cost of simulating each cell.
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "api/job_client.hpp"
+#include "bench_util.hpp"
+#include "broker/session.hpp"
+#include "exec/sim_executor.hpp"
+
+namespace {
+
+using namespace flux;
+using namespace flux::bench;
+
+struct Cell {
+  double jobs_per_sec = 0;
+  double makespan_ms = 0;
+  double alloc_mean_us = 0;
+  std::int64_t completed = 0;
+  double host_seconds = 0;
+};
+
+Task<void> submitter(Handle* h, int jobs, int* completed) {
+  for (int i = 0; i < jobs; ++i) {
+    JobHandle jh = co_await h->job()
+                       .name("bench")
+                       .walltime(std::chrono::microseconds(200))
+                       .submit();
+    (void)co_await jh.wait();
+    ++*completed;
+  }
+}
+
+Cell run_cell(std::uint32_t nodes, int depth, int total_jobs) {
+  const auto host_start = std::chrono::steady_clock::now();
+  SimExecutor ex;
+  SessionConfig cfg;
+  cfg.size = nodes;
+  auto session = Session::create_sim(ex, cfg);
+  session->run_until_online();
+
+  // `depth` concurrent submitters, each with one job in flight, keeps the
+  // pending queue at ~depth without modeling client think time.
+  const int window = std::min(depth, std::max(1, total_jobs / 2));
+  std::vector<std::unique_ptr<Handle>> handles;
+  int completed = 0;
+  const TimePoint t0 = ex.now();
+  for (int w = 0; w < window; ++w) {
+    handles.push_back(session->attach(
+        static_cast<NodeId>(1 + static_cast<std::uint32_t>(w) % (nodes - 1))));
+    const int share =
+        total_jobs / window + (w < total_jobs % window ? 1 : 0);
+    co_spawn(ex, submitter(handles.back().get(), share, &completed),
+             "bench-submitter");
+  }
+  ex.run();
+  const Duration makespan = ex.now() - t0;
+
+  Cell cell;
+  cell.completed = completed;
+  cell.makespan_ms = ms(makespan);
+  cell.jobs_per_sec = makespan.count() > 0
+                          ? static_cast<double>(completed) * 1e9 /
+                                static_cast<double>(makespan.count())
+                          : 0;
+
+  // Mean allocation latency from the job-manager's registry histogram.
+  auto probe = session->attach(0);
+  co_spawn(ex, [](Handle* h, Cell* out) -> Task<void> {
+    Message resp = co_await h->request("job-manager.stats.get").call();
+    const Json& hist = resp.payload().at("histograms");
+    if (hist.is_object() && hist.at("job-manager.alloc_ns").is_object())
+      out->alloc_mean_us =
+          hist.at("job-manager.alloc_ns").get_double("mean") / 1e3;
+  }(probe.get(), &cell), "bench-stats");
+  ex.run();
+
+  cell.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) setenv("FLUX_BENCH_QUICK", "1", 1);
+
+  metrics_open("jobs_throughput");
+  print_header(
+      "Job throughput — jobs/sec through the full lifecycle pipeline",
+      "framework thesis (§III): session-scoped job management keeps per-job "
+      "overhead flat as the instance grows",
+      "throughput rises with window depth, degrades only mildly with broker "
+      "count");
+
+  const std::vector<std::uint32_t> nodes =
+      quick_mode() ? std::vector<std::uint32_t>{8, 16, 32}
+                   : std::vector<std::uint32_t>{16, 64, 256};
+  const std::vector<int> depths =
+      quick_mode() ? std::vector<int>{4, 16} : std::vector<int>{4, 32, 256};
+  const int total_jobs = quick_mode() ? 120 : 600;
+
+  std::printf("%8s %8s %10s %12s %12s %14s %10s\n", "brokers", "window",
+              "jobs", "jobs/sec", "makespan_ms", "alloc_mean_us", "host_s");
+  for (const std::uint32_t n : nodes) {
+    for (const int d : depths) {
+      const Cell c = run_cell(n, d, total_jobs);
+      std::printf("%8u %8d %10lld %12.0f %12.3f %14.2f %10.2f\n", n, d,
+                  static_cast<long long>(c.completed), c.jobs_per_sec,
+                  c.makespan_ms, c.alloc_mean_us, c.host_seconds);
+      if (c.completed != total_jobs)
+        std::printf("  WARNING: only %lld/%d jobs completed\n",
+                    static_cast<long long>(c.completed), total_jobs);
+      Json row = Json::object(
+          {{"brokers", static_cast<std::int64_t>(n)},
+           {"window", static_cast<std::int64_t>(d)},
+           {"jobs", static_cast<std::int64_t>(total_jobs)},
+           {"completed", c.completed},
+           {"jobs_per_sec", c.jobs_per_sec},
+           {"makespan_ms", c.makespan_ms},
+           {"alloc_mean_us", c.alloc_mean_us},
+           {"host_seconds", c.host_seconds}});
+      metrics_add(std::move(row));
+    }
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 
 #include "api/sync_handle.hpp"
 #include "broker/session.hpp"
+#include "core/jobspec.hpp"
 #include "obs/stats_client.hpp"
 
 using namespace flux;
@@ -51,6 +52,29 @@ struct Command {
   const char* help;
   std::function<int(Cli&, const Args&)> run;
 };
+
+// Shared by run/submit: args are <cmd> [nnodes] [json-args] [priority].
+// Routes through the full lifecycle pipeline (job.submit -> job-manager).
+std::uint64_t submit_job(Cli& c, const Args& a) {
+  long long nnodes = 1;
+  if (a.size() > 1) {
+    try {
+      nnodes = std::stoll(a[1]);
+    } catch (const std::exception&) {
+      throw FluxException(
+          Error(errc::inval, "nnodes must be a number, got '" + a[1] +
+                                 "' (usage: <cmd> [nnodes] [json-args])"));
+    }
+  }
+  JobSpec spec = JobSpec::app("cli", nnodes, std::chrono::seconds(60));
+  spec.command = a[0];
+  if (a.size() > 2) spec.args = parse_value(a[2]);
+  if (a.size() > 3) spec.priority = std::stoi(a[3]);
+  Json payload = Json::object({{"jobspec", spec.to_json()}});
+  Message r = c.h->rpc("job.submit", std::move(payload));
+  Handle::check(r);  // surface job_rejected / alloc_unsatisfiable as errors
+  return static_cast<std::uint64_t>(r.payload().get_int("id"));
+}
 
 const std::map<std::string, Command>& commands() {
   static const std::map<std::string, Command> table = {
@@ -183,18 +207,61 @@ const std::map<std::string, Command>& commands() {
                       static_cast<long long>(r.payload().get_int("evicted")));
           return r.errnum;
         }}},
-      // --- wexec -------------------------------------------------------------
+      // --- jobs ---------------------------------------------------------------
       {"run",
-       {"run <jobid> <cmd> [json-args]", "bulk-launch a command on all ranks",
+       {"run <cmd> [nnodes] [json-args]", "submit a job and wait for it",
         [](Cli& c, const Args& a) {
-          if (int rc = need(a, 2, "run <jobid> <cmd> [json-args]")) return rc;
-          Json payload = Json::object(
-              {{"jobid", a[0]},
-               {"cmd", a[1]},
-               {"args", a.size() > 2 ? parse_value(a[2]) : Json::object()},
-               {"ranks", Json()}});
-          Message r = c.h->rpc("wexec.run", std::move(payload));
+          if (int rc = need(a, 1, "run <cmd> [nnodes] [json-args]")) return rc;
+          const std::uint64_t id = submit_job(c, a);
+          Json wait = Json::object({{"id", static_cast<std::int64_t>(id)}});
+          Message r = c.h->rpc("job-manager.wait", std::move(wait));
           std::printf("%s\n", r.payload().dump_pretty().c_str());
+          return r.errnum;
+        }}},
+      {"submit",
+       {"submit <cmd> [nnodes] [json-args] [priority]",
+        "submit a job, print its id",
+        [](Cli& c, const Args& a) {
+          if (int rc = need(a, 1, "submit <cmd> [nnodes] [json-args]"))
+            return rc;
+          std::printf("%llu\n",
+                      static_cast<unsigned long long>(submit_job(c, a)));
+          return 0;
+        }}},
+      {"job-wait",
+       {"job-wait <id>", "block until a job reaches a terminal state",
+        [](Cli& c, const Args& a) {
+          if (int rc = need(a, 1, "job-wait <id>")) return rc;
+          Json payload = Json::object({{"id", std::stoll(a[0])}});
+          Message r = c.h->rpc("job-manager.wait", std::move(payload));
+          std::printf("%s\n", r.payload().dump_pretty().c_str());
+          return r.errnum;
+        }}},
+      {"job-state",
+       {"job-state <id>", "current lifecycle state of a job",
+        [](Cli& c, const Args& a) {
+          if (int rc = need(a, 1, "job-state <id>")) return rc;
+          Json payload = Json::object({{"id", std::stoll(a[0])}});
+          Message r = c.h->rpc("job-manager.state", std::move(payload));
+          std::printf("%s\n", r.payload().get_string("state").c_str());
+          return r.errnum;
+        }}},
+      {"cancel",
+       {"cancel <id>", "cancel a pending or running job",
+        [](Cli& c, const Args& a) {
+          if (int rc = need(a, 1, "cancel <id>")) return rc;
+          Json payload = Json::object({{"id", std::stoll(a[0])}});
+          Message r = c.h->rpc("job-manager.cancel", std::move(payload));
+          return r.errnum;
+        }}},
+      {"jobs",
+       {"jobs", "list active jobs known to the job manager",
+        [](Cli& c, const Args&) {
+          Message r = c.h->rpc("job-manager.list");
+          for (const Json& j : r.payload().at("jobs").as_array())
+            std::printf("%-8lld %s\n",
+                        static_cast<long long>(j.get_int("id")),
+                        j.get_string("state").c_str());
           return r.errnum;
         }}},
       {"ps",
@@ -205,16 +272,6 @@ const std::map<std::string, Command>& commands() {
                           .to(static_cast<NodeId>(std::stoul(a[0])))
                           .get();
           std::printf("%s\n", r.payload().dump_pretty().c_str());
-          return r.errnum;
-        }}},
-      {"kill",
-       {"kill <jobid> [signum]", "signal a wexec job",
-        [](Cli& c, const Args& a) {
-          if (int rc = need(a, 1, "kill <jobid> [signum]")) return rc;
-          Json payload = Json::object(
-              {{"jobid", a[0]},
-               {"signum", a.size() > 1 ? std::stoll(a[1]) : 15}});
-          Message r = c.h->rpc("wexec.kill", std::move(payload));
           return r.errnum;
         }}},
       // --- log ---------------------------------------------------------------

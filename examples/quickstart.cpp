@@ -1,5 +1,6 @@
 // Quickstart: stand up a simulated Flux comms session, use the KVS, run a
-// collective barrier, subscribe to events, and launch a bulk job with wexec.
+// collective barrier, subscribe to events, and run a job through the full
+// lifecycle pipeline with the fluent h.job() builder.
 //
 //   $ ./quickstart [nnodes]
 //
@@ -9,6 +10,7 @@
 #include <cstdlib>
 
 #include "api/handle.hpp"
+#include "api/job_client.hpp"
 #include "broker/session.hpp"
 #include "kvs/kvs_client.hpp"
 
@@ -36,18 +38,18 @@ Task<void> demo(Handle* h, std::uint32_t size) {
   std::printf("cmb.ping rank %u -> ok\n",
               static_cast<unsigned>(pong.get_int("rank")));
 
-  // 3. Bulk process launch with stdio capture into the KVS (wexec module).
-  Json args = Json::object();
-  Json run_payload = Json::object(
-      {{"jobid", "qs1"}, {"cmd", "hostname"}, {"args", args}, {"ranks", Json()}});
-  Message run = co_await h->request("wexec.run").payload(std::move(run_payload)).call();
-  std::printf("wexec.run: %lld tasks, success=%s\n",
-              static_cast<long long>(run.payload().get_int("ntasks")),
-              run.payload().get_bool("success") ? "true" : "false");
+  // 3. Submit a job through the full lifecycle pipeline (ingest -> queue ->
+  // schedule -> execute) with stdio captured in the KVS, then wait for it.
+  JobHandle jh = co_await h->job().name("qs").command("hostname").submit();
+  JobResult r = co_await jh.wait();
+  std::printf("job %llu: %lld tasks, success=%s\n",
+              static_cast<unsigned long long>(jh.id()),
+              static_cast<long long>(r.ntasks), r.success ? "true" : "false");
 
   // Each task's output landed in the KVS under lwj.<jobid>.<rank>.stdout.
-  Json out0 = co_await kvs.get("lwj.qs1.0.stdout");
-  std::printf("lwj.qs1.0.stdout[0] = \"%s\"\n",
+  const std::string out_key = "lwj." + std::to_string(jh.id()) + ".0.stdout";
+  Json out0 = co_await kvs.get(out_key);
+  std::printf("%s[0] = \"%s\"\n", out_key.c_str(),
               out0.as_array().at(0).as_string().c_str());
 
   // 4. Collective barrier (trivial here: one participant).

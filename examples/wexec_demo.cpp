@@ -1,12 +1,14 @@
-// Bulk process launch with the wexec comms module (paper Table I: "Remote
-// processes can be launched in bulk, monitored, receive signals, and have
-// standard I/O captured in the KVS").
+// The job lifecycle pipeline end to end (paper §III + Table I): jobs are
+// submitted with the fluent h.job() builder, validated by job-ingest,
+// queued and scheduled by job-manager, executed in bulk through wexec with
+// standard I/O captured in the KVS, and their status folded back under
+// job.<id>. for anyone to watch.
 //
 //   $ ./wexec_demo [nnodes]
 #include <cstdio>
 #include <cstdlib>
 
-#include "api/handle.hpp"
+#include "api/job_client.hpp"
 #include "broker/session.hpp"
 #include "kvs/kvs_client.hpp"
 #include "modules/wexec.hpp"
@@ -18,19 +20,21 @@ namespace {
 Task<void> demo(Handle* h, std::uint32_t nnodes) {
   KvsClient kvs(*h);
 
-  // 1. Bulk hostname across every rank.
+  // 1. Bulk hostname across every node, through the full pipeline.
   {
-    Json payload = Json::object({{"jobid", "lwj1"},
-                                 {"cmd", "hostname"},
-                                 {"args", Json::object()},
-                                 {"ranks", Json()}});
-    Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
-    std::printf("lwj1: ran 'hostname' on %lld ranks, success=%s\n",
-                static_cast<long long>(r.payload().get_int("ntasks")),
-                r.payload().get_bool("success") ? "true" : "false");
+    JobHandle jh = co_await h->job()
+                       .name("hostnames")
+                       .command("hostname")
+                       .nnodes(nnodes)
+                       .submit();
+    JobResult r = co_await jh.wait();
+    std::printf("job %llu: ran 'hostname' on %lld ranks, state=%s\n",
+                static_cast<unsigned long long>(jh.id()),
+                static_cast<long long>(r.ntasks),
+                std::string(job_state_name(r.state)).c_str());
+    const std::string base = "lwj." + std::to_string(jh.id()) + ".";
     for (std::uint32_t rank = 0; rank < std::min(nnodes, 4u); ++rank) {
-      Json out =
-          co_await kvs.get("lwj.lwj1." + std::to_string(rank) + ".stdout");
+      Json out = co_await kvs.get(base + std::to_string(rank) + ".stdout");
       std::printf("  rank %u stdout: %s\n", rank,
                   out.as_array().at(0).as_string().c_str());
     }
@@ -49,32 +53,34 @@ Task<void> demo(Handle* h, std::uint32_t nnodes) {
         co_return 0;
       });
   {
-    Json payload = Json::object({{"jobid", "lwj2"},
-                                 {"cmd", "probe"},
-                                 {"args", Json::object()},
-                                 {"ranks", Json::array({0, 1, 2})}});
-    Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
-    std::printf("lwj2: tool daemons on 3 ranks, success=%s\n",
-                r.payload().get_bool("success") ? "true" : "false");
+    JobHandle jh =
+        co_await h->job().name("probes").command("probe").nnodes(3).submit();
+    JobResult r = co_await jh.wait();
+    std::printf("job %llu: tool daemons on 3 ranks, success=%s\n",
+                static_cast<unsigned long long>(jh.id()),
+                r.success ? "true" : "false");
     auto keys = co_await kvs.list_dir("tool.probe");
     std::printf("  tool data in KVS: %zu entries under tool.probe\n",
                 keys.size());
   }
 
-  // 3. Signal delivery: spinners killed with SIGTERM.
+  // 3. Cancellation: spinners killed with SIGTERM, job ends Canceled, and
+  // the KVS event log records the whole story.
   {
-    Json payload = Json::object({{"jobid", "lwj3"},
-                                 {"cmd", "spin"},
-                                 {"args", Json::object()},
-                                 {"ranks", Json()}});
-    auto pending = h->request("wexec.run").payload(std::move(payload)).send();
-    co_await h->sleep(std::chrono::milliseconds(2));
-    Json kill = Json::object({{"jobid", "lwj3"}, {"signum", 15}});
-    co_await h->request("wexec.kill").payload(std::move(kill)).call();
-    Message done = co_await pending;
-    Handle::check(done);
-    std::printf("lwj3: spinners signalled; exit histogram: %s\n",
-                done.payload().at("exits").dump().c_str());
+    JobHandle jh =
+        co_await h->job().name("spinners").command("spin").nnodes(nnodes).submit();
+    while (co_await jh.state() != JobState::Running)
+      co_await h->sleep(std::chrono::microseconds(200));
+    co_await jh.cancel();
+    JobResult r = co_await jh.wait();
+    std::printf("job %llu: spinners canceled; exit histogram: %s\n",
+                static_cast<unsigned long long>(jh.id()),
+                r.exits.dump().c_str());
+    Json log = co_await jh.events();
+    std::printf("  event log:");
+    for (const Json& e : log.as_array())
+      std::printf(" %s", e.get_string("name").c_str());
+    std::printf("\n");
   }
 }
 
@@ -94,7 +100,7 @@ int main(int argc, char** argv) {
     try {
       co_await demo(h, n);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "wexec demo failed: %s\n", e.what());
+      std::fprintf(stderr, "job demo failed: %s\n", e.what());
       *fail = true;
     }
   }(handle.get(), nnodes, &failed));

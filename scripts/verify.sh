@@ -45,6 +45,9 @@ for p in "${presets[@]}"; do
     echo "=== [asan] dst label (simulation sweeps + oracle + repros) ==="
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
       ctest --test-dir build-asan -L dst --output-on-failure
+    echo "=== [asan] jobs label (lifecycle pipeline + crash-mid-dispatch) ==="
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+      ctest --test-dir build-asan -L jobs --output-on-failure
   fi
 done
 

@@ -31,6 +31,7 @@
 namespace flux {
 
 class RequestBuilder;
+class JobBuilder;
 class Handle;
 
 namespace detail {
@@ -95,6 +96,10 @@ class Handle {
   /// The builder is awaitable (resolves with the raw response); use .call()
   /// for the checked form that throws FluxException on an error response.
   [[nodiscard]] RequestBuilder request(std::string topic);
+
+  /// Start a fluent job submission (api/job_client.hpp):
+  ///   JobHandle jh = co_await h.job().command("echo").nnodes(2).submit();
+  [[nodiscard]] JobBuilder job();
 
   /// Throw FluxException if the response carries an error.
   static void check(const Message& response);

@@ -19,6 +19,10 @@ std::string_view errc_name(errc e) noexcept {
     case errc::no_spc: return "ENOSPC";
     case errc::canceled: return "ECANCELED";
     case errc::overflow: return "EOVERFLOW";
+    case errc::job_unknown: return "ESRCH";
+    case errc::job_canceled: return "EINTR";
+    case errc::job_rejected: return "EACCES";
+    case errc::alloc_unsatisfiable: return "ERANGE";
   }
   return "EUNKNOWN";
 }
@@ -45,6 +49,11 @@ class FluxCategory final : public std::error_category {
       case errc::no_spc: return "resource request cannot fit allocation bounds";
       case errc::canceled: return "operation canceled";
       case errc::overflow: return "version or sequence regression detected";
+      case errc::job_unknown: return "no such job";
+      case errc::job_canceled: return "operation lost to a job cancellation";
+      case errc::job_rejected: return "job submission rejected";
+      case errc::alloc_unsatisfiable:
+        return "allocation request can never be satisfied";
     }
     return "unknown flux error " + std::to_string(condition);
   }

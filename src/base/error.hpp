@@ -42,6 +42,13 @@ enum class errc : int {
   canceled = 125,   ///< ECANCELED: operation canceled (shutdown, job kill)
   overflow = 75,    ///< EOVERFLOW: version/sequence regression detected
 
+  // Job domain (job-ingest / job-manager pipeline). Same rule as above:
+  // numeric values are POSIX errno values and part of the wire format.
+  job_unknown = 3,          ///< ESRCH: no job with that id (active or in KVS)
+  job_canceled = 4,         ///< EINTR: operation lost to a cancellation
+  job_rejected = 13,        ///< EACCES: submission refused (validation/admission)
+  alloc_unsatisfiable = 34, ///< ERANGE: request can never fit the session pool
+
   // Deprecated spellings (pre-error_category API).
   Ok = ok,
   NoSys = nosys,

@@ -17,7 +17,13 @@ Broker::Broker(Session& session, NodeId rank, Executor& ex)
   net_tx_bytes_ = &registry_.counter("cmb.net.tx_bytes");
 }
 
-Broker::~Broker() = default;
+Broker::~Broker() {
+  // Modules may own client Handles (e.g. job-manager's KVS connection) whose
+  // destructors unregister endpoints; destroy them while the endpoint table
+  // and the rest of the broker state are still alive.
+  modules_by_name_.clear();
+  modules_.clear();
+}
 
 std::uint32_t Broker::size() const noexcept { return session_.size(); }
 
@@ -64,8 +70,10 @@ void Broker::shutdown() {
   // Settle outstanding RPCs: a coroutine parked on a Future owns the Future
   // and the Future's state owns the coroutine handle, so an unsettled promise
   // strands the whole frame (Session::~Session drains the posted resumes).
-  for (auto& [tag, pending] : pending_)
+  for (auto& [tag, pending] : pending_) {
+    ex_.cancel(pending.timer);
     pending.promise.set_error(Error(errc::canceled, "session shutdown"));
+  }
   pending_.clear();
 }
 
@@ -169,6 +177,16 @@ void Broker::receive(Message msg) {
 
 Future<Message> Broker::rpc(std::uint64_t endpoint, Message req) {
   Promise<Message> promise(ex_);
+  if (failed_) {
+    // The local socket's peer is dead: refuse instead of registering a
+    // pending entry no response will ever match (a module timer that
+    // outlives fail() would otherwise park its coroutine forever). The
+    // matchtag is still burned: the timeout overloads arm against
+    // next_matchtag_ - 1, which must not alias an older live RPC.
+    next_matchtag_++;
+    promise.set_error(Error(errc::host_down, "broker failed"));
+    return promise.future();
+  }
   req.matchtag = next_matchtag_++;
   req.route.push_back(RouteHop{RouteHop::Kind::Client, rank_, endpoint});
   pending_.emplace(req.matchtag, PendingRpc{promise, ex_.now()});
@@ -187,15 +205,21 @@ Future<Message> Broker::rpc(std::uint64_t endpoint, Message req,
 
 void Broker::arm_rpc_timeout(std::uint32_t tag, Duration timeout,
                              std::string topic) {
-  ex_.post_after(timeout, [this, tag, topic = std::move(topic)] {
-    auto it = pending_.find(tag);
-    if (it == pending_.end()) return;
-    auto promise = it->second.promise;
-    pending_.erase(it);
-    ++stats_.rpc_timeouts;
-    registry_.counter("cmb.rpc_timeouts").inc();
-    promise.set_error(Error(errc::timeout, "rpc timeout: " + topic));
-  });
+  // A request to a module on this rank can be delivered and answered inline,
+  // in which case the RPC settled before we got here — arming would leave a
+  // dead timer pinning the simulation until the deadline.
+  auto armed = pending_.find(tag);
+  if (armed == pending_.end()) return;
+  armed->second.timer =
+      ex_.post_cancelable_after(timeout, [this, tag, topic = std::move(topic)] {
+        auto it = pending_.find(tag);
+        if (it == pending_.end()) return;
+        auto promise = it->second.promise;
+        pending_.erase(it);
+        ++stats_.rpc_timeouts;
+        registry_.counter("cmb.rpc_timeouts").inc();
+        promise.set_error(Error(errc::timeout, "rpc timeout: " + topic));
+      });
 }
 
 void Broker::submit(std::uint64_t endpoint, Message req) {
@@ -288,6 +312,7 @@ void Broker::route_response(Message msg) {
     if (pending != pending_.end()) {
       auto promise = pending->second.promise;
       registry_.histogram("cmb.rpc_ns").record(ex_.now() - pending->second.start);
+      ex_.cancel(pending->second.timer);
       pending_.erase(pending);
       promise.set_value(std::move(msg));
     } else {
@@ -326,6 +351,11 @@ void Broker::forward_upstream(Message req) {
 
 Future<Message> Broker::module_rpc(Module& m, Message req) {
   Promise<Message> promise(ex_);
+  if (failed_) {  // see rpc(): dead broker refuses, never strands a caller
+    next_matchtag_++;
+    promise.set_error(Error(errc::host_down, "broker failed"));
+    return promise.future();
+  }
   req.matchtag = next_matchtag_++;
   req.route.push_back(
       RouteHop{RouteHop::Kind::Module, rank_, m.endpoint_id()});
@@ -345,6 +375,11 @@ Future<Message> Broker::module_rpc(Module& m, Message req, Duration timeout) {
 
 Future<Message> Broker::direct_rpc(Module& m, NodeId to, Message req) {
   Promise<Message> promise(ex_);
+  if (failed_) {  // see rpc(): dead broker refuses, never strands a caller
+    next_matchtag_++;
+    promise.set_error(Error(errc::host_down, "broker failed"));
+    return promise.future();
+  }
   req.matchtag = next_matchtag_++;
   req.nodeid = to;
   req.route.push_back(
@@ -464,6 +499,7 @@ void Broker::deliver_event(const Message& msg) {
       for (auto it = pending_.begin(); it != pending_.end();) {
         if (it->second.target == dead) {
           auto promise = it->second.promise;
+          ex_.cancel(it->second.timer);
           it = pending_.erase(it);
           promise.set_error(Error(errc::host_down, "direct rpc target died"));
         } else {
@@ -609,8 +645,10 @@ void Broker::send(NodeId to, Message msg) {
 void Broker::fail() {
   failed_ = true;
   // Settle outstanding local RPCs so client coroutines do not leak.
-  for (auto& [tag, pending] : pending_)
+  for (auto& [tag, pending] : pending_) {
+    ex_.cancel(pending.timer);
     pending.promise.set_error(Error(errc::host_down, "broker failed"));
+  }
   pending_.clear();
 }
 
@@ -631,8 +669,10 @@ void Broker::restart() {
   // sends were dropped). Settle them — silently clearing would strand each
   // caller's timeout timer against a missing entry, parking the coroutine
   // forever.
-  for (auto& [tag, pending] : pending_)
+  for (auto& [tag, pending] : pending_) {
+    ex_.cancel(pending.timer);
     pending.promise.set_error(Error(errc::host_down, "broker restarted"));
+  }
   pending_.clear();
   dead_ranks_.clear();
   last_event_seq_ = 0;   // accept the next sequenced event, whatever it is

@@ -207,6 +207,9 @@ class Broker {
     /// Concrete destination rank for direct RPCs (settled on "live.down");
     /// kNodeAny for tree/ring RPCs whose destination routing decides.
     NodeId target = kNodeAny;
+    /// Cancelable timeout event (0 = none armed); canceled on resolution so
+    /// a settled RPC's deadline does not keep the simulation alive.
+    std::uint64_t timer = 0;
   };
   std::uint32_t next_matchtag_ = 1;
   std::map<std::uint32_t, PendingRpc> pending_;

@@ -12,6 +12,8 @@
 #include "modules/live.hpp"
 #include "modules/logmod.hpp"
 #include "modules/mon.hpp"
+#include "modules/job_ingest.hpp"
+#include "modules/job_manager.hpp"
 #include "modules/resvc.hpp"
 #include "modules/wexec.hpp"
 #include "kvs/kvs_module.hpp"
@@ -29,6 +31,9 @@ std::unique_ptr<Module> make_module(std::string_view name, Broker& broker) {
   if (name == "kvs") return std::make_unique<KvsModule>(broker);
   if (name == "wexec") return std::make_unique<modules::Wexec>(broker);
   if (name == "resvc") return std::make_unique<modules::Resvc>(broker);
+  if (name == "job") return std::make_unique<modules::JobIngest>(broker);
+  if (name == "job-manager")
+    return std::make_unique<modules::JobManager>(broker);
   throw std::invalid_argument("unknown module: " + std::string(name));
 }
 
@@ -38,8 +43,10 @@ Session::Session(SessionConfig cfg)
 
 Session::~Session() {
   if (sim_ex_) {
+    // Failed brokers shut down too: their modules may hold parked coroutines
+    // (e.g. KVS version waiters) that must settle before teardown.
     for (auto& b : brokers_)
-      if (b && !b->failed()) b->shutdown();
+      if (b) b->shutdown();
     // Shutdown settles outstanding RPCs, which posts coroutine resumes; run
     // them now, while brokers are still alive, so parked frames unwind
     // instead of leaking. Modules are stopped, so only settle-error unwinds
@@ -52,7 +59,7 @@ Session::~Session() {
   // resumes it triggers) before stop() lets it exit.
   for (NodeId r = 0; r < brokers_.size(); ++r) {
     Broker* b = brokers_[r].get();
-    if (b && !b->failed()) thread_ex_[r]->post([b] { b->shutdown(); });
+    if (b) thread_ex_[r]->post([b] { b->shutdown(); });
   }
   for (auto& ex : thread_ex_) ex->stop();
 }

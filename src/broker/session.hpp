@@ -36,9 +36,11 @@ struct SessionConfig {
   std::uint32_t tree_arity = 2;
   NetParams net{};
 
-  /// Modules to load, by name. The default set is Table I of the paper.
-  std::vector<std::string> modules{"hb",  "live",    "log",   "mon", "group",
-                                   "barrier", "kvs", "wexec", "resvc"};
+  /// Modules to load, by name. The default set is Table I of the paper plus
+  /// the job pipeline (job = ingest, job-manager = queue/schedule/dispatch).
+  std::vector<std::string> modules{"hb",    "live",  "log",   "mon",
+                                   "group", "barrier", "kvs", "wexec",
+                                   "resvc", "job",   "job-manager"};
 
   /// Per-module configuration: {"hb": {"period_us": 1000}, ...}.
   Json module_config = Json::object();
@@ -139,8 +141,8 @@ class Session {
 };
 
 /// Instantiate a module by Table-I name ("hb", "live", "log", "mon", "group",
-/// "barrier", "kvs", "wexec", "resvc"). Throws std::invalid_argument for
-/// unknown names.
+/// "barrier", "kvs", "wexec", "resvc", "job", "job-manager"). Throws
+/// std::invalid_argument for unknown names.
 std::unique_ptr<Module> make_module(std::string_view name, Broker& broker);
 
 }  // namespace flux

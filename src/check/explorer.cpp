@@ -1,12 +1,17 @@
 #include "check/explorer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "api/handle.hpp"
+#include "api/job_client.hpp"
 #include "base/retry.hpp"
 #include "broker/session.hpp"
 #include "check/history.hpp"
@@ -40,8 +45,13 @@ SessionConfig dst_config(std::uint64_t seed, const DstOptions& opt) {
   // No-hang safety net (the chaos-suite idiom): every client RPC gets a
   // deadline plus retries, so a lost message surfaces as a typed error the
   // recorder logs instead of wedging the run.
-  cfg.rpc = RetryPolicy{std::chrono::milliseconds(2), 3,
-                        std::chrono::microseconds(100)};
+  // With the job workload on, waits span queueing + scheduling + execution,
+  // so the per-attempt deadline is widened (virtual time is free; this only
+  // bounds how long a genuinely lost message can wedge a client).
+  cfg.rpc = opt.jobs ? RetryPolicy{std::chrono::milliseconds(20), 3,
+                                   std::chrono::microseconds(200)}
+                     : RetryPolicy{std::chrono::milliseconds(2), 3,
+                                   std::chrono::microseconds(100)};
   cfg.net.jitter_max = opt.jitter_max;
   cfg.net.jitter_seed = seed;
   return cfg;
@@ -99,6 +109,134 @@ Task<void> dst_client(Handle* h, KvsClient* kvs, int id, int nclients,
   ++*done;
 }
 
+/// Job-lifecycle client: submits jobs_per_client jobs through the full
+/// pipeline, cycling through three shapes — a synthetic walltime sleep, a
+/// registered command, and a spinner that gets canceled mid-flight. Every
+/// observed jobid lands in `ids` in submission order (the monotonicity
+/// oracle's input). Typed failures under faults are tolerated: the job
+/// oracles run on what the KVS says afterwards, not on this client's view.
+Task<void> jobs_dst_client(Handle* h, int id, int rounds,
+                           std::vector<std::uint64_t>* ids, int* done) {
+  for (int r = 0; r < rounds; ++r) {
+    try {
+      co_await h->sleep(std::chrono::microseconds(100 + 80 * id + 17 * r));
+      std::optional<JobHandle> jh;
+      switch ((id + r) % 3) {
+        case 0: {
+          JobHandle j = co_await h->job().name("dst-sleep").walltime(
+              std::chrono::microseconds(300)).submit();
+          jh.emplace(j);
+          break;
+        }
+        case 1: {
+          Json args = Json::object({{"text", "dst"}});
+          JobHandle j = co_await h->job()
+                            .name("dst-echo")
+                            .command("echo", std::move(args))
+                            .submit();
+          jh.emplace(j);
+          break;
+        }
+        default: {
+          JobHandle j =
+              co_await h->job().name("dst-spin").command("spin").submit();
+          jh.emplace(j);
+          break;
+        }
+      }
+      ids->push_back(jh->id());
+      if ((id + r) % 3 == 2) {
+        for (int i = 0; i < 50; ++i) {
+          if (co_await jh->state() != JobState::Pending) break;
+          co_await h->sleep(std::chrono::microseconds(100));
+        }
+        co_await jh->cancel();
+      }
+      (void)co_await jh->wait();
+    } catch (const FluxException&) {
+      // Lost RPC or dead broker under faults: the submission either never
+      // happened or will finish without this client watching. Both are
+      // legitimate; the post-run oracles judge the outcome.
+    }
+  }
+  ++*done;
+}
+
+/// Post-run job oracles, evaluated against the committed KVS record and the
+/// live resvc, not against client-side bookkeeping.
+Task<void> jobs_post_check(Handle* h, const std::vector<std::uint64_t>* ids,
+                           std::vector<std::string>* out) {
+  KvsClient kvs(*h);
+  // Per-rank busy intervals [alloc, finish] from each job's eventlog. A
+  // job's resources are freed only after its finish event, and the next
+  // alloc strictly follows the free, so any overlap is a real
+  // double-allocation, never a release-in-flight artifact.
+  std::map<std::int64_t, std::vector<std::pair<std::int64_t, std::int64_t>>>
+      busy;
+  for (const std::uint64_t id : *ids) {
+    const std::string base = "job." + std::to_string(id) + ".";
+    Json log;
+    try {
+      log = co_await kvs.get(base + "eventlog");
+    } catch (const FluxException&) {
+      continue;  // submission raced a fault before the first commit
+    }
+    std::int64_t t_alloc = -1, t_finish = -1;
+    for (const Json& e : log.as_array()) {
+      const std::string name = e.get_string("name");
+      if (name == "alloc") t_alloc = e.get_int("t");
+      if (name == "finish") t_finish = e.get_int("t");
+    }
+    if (t_alloc >= 0 && t_finish >= 0) {
+      try {
+        Json ranks = co_await kvs.get(base + "ranks");
+        for (const Json& rk : ranks.as_array())
+          busy[rk.as_int()].emplace_back(t_alloc, t_finish);
+      } catch (const FluxException&) {
+      }
+    }
+    try {
+      Json st = co_await kvs.get(base + "state");
+      const std::string s = st.as_string();
+      if (s != "complete" && s != "canceled" && s != "failed")
+        out->push_back("job " + std::to_string(id) +
+                       " ended in non-terminal state '" + s + "'");
+    } catch (const FluxException&) {
+    }
+  }
+  for (auto& [rank, iv] : busy) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i)
+      if (iv[i].first < iv[i - 1].second)
+        out->push_back("rank " + std::to_string(rank) +
+                       " double-allocated: [" +
+                       std::to_string(iv[i - 1].first) + "," +
+                       std::to_string(iv[i - 1].second) + "] overlaps [" +
+                       std::to_string(iv[i].first) + "," +
+                       std::to_string(iv[i].second) + "]");
+  }
+  // End state: every allocation returned (a crashed broker's job must Fail
+  // or requeue, never leave resvc holding nodes for a dead job).
+  try {
+    Message st = co_await h->request("resvc.status").call();
+    const Json& p = st.payload();
+    if (!p.at("jobs").as_array().empty())
+      out->push_back("resvc still holds " +
+                     std::to_string(p.at("jobs").size()) +
+                     " allocation(s) after all jobs finished: " +
+                     p.at("jobs").dump());
+    const std::int64_t total = p.get_int("total");
+    const std::int64_t reachable = p.get_int("free") + p.get_int("down");
+    if (reachable != total)
+      out->push_back("resvc accounting leak: free+down=" +
+                     std::to_string(reachable) + " of " +
+                     std::to_string(total) + " nodes");
+  } catch (const FluxException&) {
+    // Status unreachable under a still-degraded session; the KVS-side
+    // oracles above already ran.
+  }
+}
+
 DstResult run_impl(std::uint64_t seed, const DstOptions& opt,
                    std::optional<fault::FaultPlan> plan) {
   DstResult out;
@@ -139,10 +277,56 @@ DstResult run_impl(std::uint64_t seed, const DstOptions& opt,
                           clients[static_cast<std::size_t>(i)].get(), i,
                           nclients, opt.rounds, &done),
                "dst-client");
+
+    // Job-lifecycle workload: its clients run concurrently with the KVS
+    // clients, sharing the same network, faults, and jitter stream.
+    const int njobs_clients = opt.jobs ? nclients : 0;
+    std::vector<std::unique_ptr<Handle>> job_handles;
+    std::vector<std::vector<std::uint64_t>> job_ids(
+        static_cast<std::size_t>(njobs_clients));
+    int jobs_done = 0;
+    for (int i = 0; i < njobs_clients; ++i) {
+      const NodeId rank =
+          opt.size > 1 ? 1 + static_cast<NodeId>(nclients + i) % (opt.size - 1)
+                       : 0;
+      job_handles.push_back(session->attach(rank));
+      co_spawn(ex,
+               jobs_dst_client(job_handles.back().get(), i,
+                               opt.jobs_per_client,
+                               &job_ids[static_cast<std::size_t>(i)],
+                               &jobs_done),
+               "dst-jobs-client");
+    }
+
     ex.run();
     ex.run_for(std::chrono::milliseconds(3));  // heal / failover epochs
     ex.run();                                  // late restarts, rejoins
-    out.stalled_clients = nclients - done;
+    out.stalled_clients = (nclients - done) + (njobs_clients - jobs_done);
+
+    if (opt.jobs) {
+      // Jobid oracle: per-client submission order is strictly increasing
+      // (the root hands ids out monotonically) and no id is ever reused.
+      std::set<std::uint64_t> seen;
+      std::vector<std::uint64_t> all_ids;
+      for (int i = 0; i < njobs_clients; ++i) {
+        const auto& ids = job_ids[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < ids.size(); ++k) {
+          if (k > 0 && ids[k] <= ids[k - 1])
+            out.job_violations.push_back(
+                "client " + std::to_string(i) + " saw non-monotonic jobids " +
+                std::to_string(ids[k - 1]) + " -> " + std::to_string(ids[k]));
+          if (!seen.insert(ids[k]).second)
+            out.job_violations.push_back("jobid " + std::to_string(ids[k]) +
+                                         " assigned twice");
+          all_ids.push_back(ids[k]);
+        }
+      }
+      auto checker = session->attach(0);
+      co_spawn(ex,
+               jobs_post_check(checker.get(), &all_ids, &out.job_violations),
+               "dst-jobs-oracle");
+      ex.run();
+    }
 
     // Clients on ranks a fault schedule crashed (or restarted): their local
     // version vector may legitimately regress mid-resync.
@@ -205,6 +389,8 @@ std::vector<DstResult> explore(std::uint64_t first, int n,
                    static_cast<unsigned long long>(seed),
                    res.workload_error ? res.error.c_str()
                                       : res.report.to_string().c_str());
+      for (const std::string& v : res.job_violations)
+        std::fprintf(stderr, "dst:   job oracle: %s\n", v.c_str());
       failures.push_back(std::move(res));
     }
   }

@@ -46,6 +46,16 @@ struct DstOptions {
   bool drops = false;
   bool delays = false;
   int max_crashes = 1;
+
+  /// Add a job-lifecycle workload (submit / cancel / complete through the
+  /// full ingest -> job-manager -> resvc -> wexec pipeline) alongside the
+  /// KVS clients, with its own oracles: jobids are per-client monotone and
+  /// globally unique, every job reaches a terminal state, no node is
+  /// allocated to two jobs at once (per-rank busy intervals from the
+  /// committed eventlogs are disjoint), and the run ends with no orphaned
+  /// allocation in resvc.
+  bool jobs = false;
+  int jobs_per_client = 2;  ///< submissions per job client per run
 };
 
 struct DstResult {
@@ -59,9 +69,12 @@ struct DstResult {
   std::string error;
   /// The fault plan the run composed (null when opt.faults is false).
   Json fault_plan;
+  /// Violations of the job-lifecycle oracles (empty when opt.jobs is false).
+  std::vector<std::string> job_violations;
 
   [[nodiscard]] bool failed() const noexcept {
-    return !report.ok() || stalled_clients > 0 || workload_error;
+    return !report.ok() || stalled_clients > 0 || workload_error ||
+           !job_violations.empty();
   }
 };
 

@@ -13,6 +13,14 @@ std::string_view job_state_name(JobState s) noexcept {
   return "?";
 }
 
+JobState job_state_from_name(std::string_view name) noexcept {
+  if (name == "running") return JobState::Running;
+  if (name == "complete") return JobState::Complete;
+  if (name == "canceled") return JobState::Canceled;
+  if (name == "failed") return JobState::Failed;
+  return JobState::Pending;
+}
+
 Json JobSpec::to_json() const {
   Json subs = Json::array();
   for (const JobSpec& s : subjobs) subs.push_back(s.to_json());
@@ -21,6 +29,8 @@ Json JobSpec::to_json() const {
                        {"request", request.to_json()},
                        {"walltime_us", walltime.count() / 1000},
                        {"priority", priority},
+                       {"command", command},
+                       {"args", args},
                        {"malleable", malleable},
                        {"child_policy", child_policy},
                        {"child_power_budget_w", child_power_budget_w},
@@ -35,6 +45,8 @@ JobSpec JobSpec::from_json(const Json& j) {
   spec.request = ResourceRequest::from_json(j.at("request"));
   spec.walltime = std::chrono::microseconds(j.get_int("walltime_us", 1000));
   spec.priority = static_cast<int>(j.get_int("priority", 0));
+  spec.command = j.get_string("command", "");
+  spec.args = j.at("args").is_null() ? Json::object() : j.at("args");
   spec.malleable = j.get_bool("malleable", false);
   spec.child_policy = j.get_string("child_policy", "fcfs");
   spec.child_power_budget_w = j.get_double("child_power_budget_w", 0);

@@ -19,6 +19,8 @@ enum class JobType { App, Instance };
 enum class JobState { Pending, Running, Complete, Canceled, Failed };
 
 std::string_view job_state_name(JobState s) noexcept;
+/// Inverse of job_state_name (unknown strings map to Pending).
+JobState job_state_from_name(std::string_view name) noexcept;
 
 struct JobSpec {
   std::string name;
@@ -26,6 +28,10 @@ struct JobSpec {
   ResourceRequest request;
   Duration walltime{std::chrono::milliseconds(1)};
   int priority = 0;
+  /// What to execute, by wexec CommandRegistry name. Empty means a synthetic
+  /// workload: the job-manager runs the built-in "sleep" for `walltime`.
+  std::string command;
+  Json args = Json::object();  ///< command arguments (wexec args payload)
   /// Malleable jobs accept grow/shrink of their allocation while running
   /// (the paper's rigid vs moldable vs malleable distinction).
   bool malleable = false;

@@ -39,11 +39,29 @@ class Executor {
   /// Current time on this executor's clock.
   [[nodiscard]] virtual TimePoint now() const noexcept = 0;
 
+  /// Schedule a cancelable deferred event (RPC timeout arming). cancel()
+  /// prevents the callback from running, and on the simulator also stops the
+  /// queued event from keeping a run-until-idle loop alive — an RPC that
+  /// resolved must not force the sim to play out its dead deadline.
+  /// Executors without native support return 0 (not cancelable; callbacks
+  /// must tolerate firing after resolution).
+  virtual std::uint64_t post_cancelable_at(TimePoint when,
+                                           std::function<void()> fn) {
+    post_at(when, std::move(fn));
+    return 0;
+  }
+  /// Cancel a post_cancelable_at event; no-op for id 0 or already-fired.
+  virtual void cancel(std::uint64_t /*id*/) {}
+
   void post_after(Duration delay, std::function<void()> fn) {
     post_at(now() + delay, std::move(fn));
   }
   void post_daemon_after(Duration delay, std::function<void()> fn) {
     post_daemon_at(now() + delay, std::move(fn));
+  }
+  std::uint64_t post_cancelable_after(Duration delay,
+                                      std::function<void()> fn) {
+    return post_cancelable_at(now() + delay, std::move(fn));
   }
 };
 

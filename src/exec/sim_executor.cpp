@@ -20,7 +20,35 @@ void SimExecutor::post_daemon_at(TimePoint when, std::function<void()> fn) {
   queue_.push(Event{when, next_seq_++, true, std::move(fn)});
 }
 
+std::uint64_t SimExecutor::post_cancelable_at(TimePoint when,
+                                              std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Event{when, id, false, std::move(fn), id});
+  live_cancelable_.insert(id);
+  ++normal_pending_;
+  return id;
+}
+
+void SimExecutor::cancel(std::uint64_t id) {
+  // The queued Event stays behind as a tombstone (priority_queue has no
+  // random removal); it stops counting as pending work right now and is
+  // skipped by purge_canceled() when it reaches the head.
+  if (id != 0 && live_cancelable_.erase(id) > 0) --normal_pending_;
+}
+
+void SimExecutor::purge_canceled() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.cancel_id == 0 ||
+        live_cancelable_.find(top.cancel_id) != live_cancelable_.end())
+      return;
+    queue_.pop();
+  }
+}
+
 bool SimExecutor::run_one() {
+  purge_canceled();
   if (queue_.empty()) return false;
   // priority_queue::top() is const; the handler is moved out via const_cast,
   // which is safe because we pop immediately and never re-inspect the slot.
@@ -28,6 +56,7 @@ bool SimExecutor::run_one() {
   auto fn = std::move(slot.fn);
   now_ = slot.when;
   if (!slot.daemon) --normal_pending_;
+  if (slot.cancel_id != 0) live_cancelable_.erase(slot.cancel_id);
   queue_.pop();
   ++executed_;
   fn();
@@ -42,7 +71,9 @@ std::size_t SimExecutor::run() {
 
 std::size_t SimExecutor::run_until(TimePoint deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  for (;;) {
+    purge_canceled();
+    if (queue_.empty() || queue_.top().when > deadline) break;
     run_one();
     ++n;
   }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "exec/executor.hpp"
@@ -29,6 +30,13 @@ class SimExecutor final : public Executor {
   /// that should not keep the simulation alive. run() stops once only
   /// daemon events remain; run_until() executes them like any other event.
   void post_daemon_at(TimePoint when, std::function<void()> fn) override;
+
+  /// Cancelable normal event (see Executor). A canceled event becomes a
+  /// tombstone: skipped when reached, and no longer counted as pending work,
+  /// so run() is not forced to simulate out dead RPC deadlines.
+  std::uint64_t post_cancelable_at(TimePoint when,
+                                   std::function<void()> fn) override;
+  void cancel(std::uint64_t id) override;
 
   /// Execute the next event; false if the queue is empty.
   bool run_one();
@@ -51,6 +59,7 @@ class SimExecutor final : public Executor {
     std::uint64_t seq;  // tie-break: FIFO among same-time events
     bool daemon;
     std::function<void()> fn;
+    std::uint64_t cancel_id = 0;  // nonzero: cancelable, keyed in live set
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -59,7 +68,11 @@ class SimExecutor final : public Executor {
     }
   };
 
+  /// Drop canceled tombstones off the queue head so top() is a real event.
+  void purge_canceled();
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_cancelable_;
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -135,6 +135,22 @@ void KvsModule::start() {
   }
 }
 
+void KvsModule::shutdown() {
+  // Settle every module-internal promise a coroutine may be parked on
+  // (version waits, shard-ready waits, coalesced object faults): the frame
+  // owns the Future and the Future's state owns the frame's handle, so an
+  // unsettled promise strands the whole chain. Session teardown drains the
+  // posted resumes while the module is still alive (see Session::~Session),
+  // so each parked get/commit unwinds with a typed error instead of leaking.
+  const Error bye(errc::canceled, "kvs: session shutdown");
+  for (auto& [version, promise] : version_waiters_) promise.set_error(bye);
+  version_waiters_.clear();
+  for (auto& [shard, promise] : shard_ready_waiters_) promise.set_error(bye);
+  shard_ready_waiters_.clear();
+  for (auto& [id, promise] : faults_) promise.set_error(bye);
+  faults_.clear();
+}
+
 void KvsModule::handle_event(const Message& msg) {
   if (msg.topic == "hb") {
     epoch_ = static_cast<std::uint64_t>(msg.payload().get_int("epoch", 0));
@@ -1400,7 +1416,14 @@ Task<void> KvsModule::do_get(Message req, bool ref_only) {
     }
     cur = shard_roots_[s];
   } else {
-    if (root_version_ == 0) co_await version_reached(1);
+    if (root_version_ == 0) {
+      try {
+        co_await version_reached(1);
+      } catch (const FluxException& e) {
+        respond_error(req, e.error().code, "get: no root before shutdown");
+        co_return;
+      }
+    }
     cur = root_ref_;
   }
 

@@ -82,6 +82,7 @@ class KvsModule final : public ModuleBase {
 
   [[nodiscard]] std::string_view name() const override { return "kvs"; }
   void start() override;
+  void shutdown() override;
   void handle_event(const Message& msg) override;
 
   /// True on the session root (authoritative store lives here).

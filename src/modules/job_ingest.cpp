@@ -1,0 +1,86 @@
+#include "modules/job_ingest.hpp"
+
+#include "base/log.hpp"
+#include "broker/broker.hpp"
+#include "core/jobspec.hpp"
+
+namespace flux::modules {
+
+namespace {
+
+/// First-hop validation: the reasons a jobspec can never become a job.
+/// Returns an empty string when acceptable.
+std::string validate(const JobSpec& spec) {
+  if (spec.request.nnodes < 1) return "jobspec: nnodes must be >= 1";
+  if (spec.walltime <= Duration::zero())
+    return "jobspec: walltime must be positive";
+  if (spec.type != JobType::App)
+    return "jobspec: only App jobs are runnable via job.submit "
+           "(Instance jobs run through core/instance)";
+  return {};
+}
+
+}  // namespace
+
+JobIngest::JobIngest(Broker& b) : ModuleBase(b) {
+  on("submit", [this](Message& m) { op_submit(m); });
+}
+
+void JobIngest::op_submit(Message& msg) {
+  if (!msg.payload().get_bool("validated", false)) {
+    if (!msg.payload().contains("jobspec")) {
+      respond_error(msg, errc::job_rejected, "job.submit: missing jobspec");
+      return;
+    }
+    JobSpec spec;
+    try {
+      spec = JobSpec::from_json(msg.payload().at("jobspec"));
+    } catch (const std::exception& e) {
+      respond_error(msg, errc::job_rejected,
+                    std::string("job.submit: malformed jobspec: ") + e.what());
+      return;
+    }
+    if (std::string why = validate(spec); !why.empty()) {
+      stats_counter("rejected").inc();
+      respond_error(msg, errc::job_rejected, "job.submit: " + why);
+      return;
+    }
+    Json p = msg.payload();
+    p["validated"] = true;
+    msg.set_payload(std::move(p));
+  }
+  if (!broker().is_root()) {
+    broker().forward_upstream(std::move(msg));
+    return;
+  }
+  const std::uint64_t id = next_jobid_++;
+  stats_counter("accepted").inc();
+  co_spawn(broker().executor(), submit_to_manager(std::move(msg), id),
+           "job.submit");
+}
+
+Task<void> JobIngest::submit_to_manager(Message req, std::uint64_t id) {
+  Json fwd = Json::object({{"id", static_cast<std::int64_t>(id)},
+                           {"jobspec", req.payload().at("jobspec")}});
+  Message resp;
+  try {
+    resp = co_await broker().module_rpc(
+        *this, Message::request("job-manager.submit", std::move(fwd)),
+        std::chrono::seconds(5));
+  } catch (const FluxException& e) {
+    respond_error(req, e.error().code, "job.submit: manager unreachable");
+    co_return;
+  }
+  if (resp.errnum != 0) {
+    respond_error(req, static_cast<errc>(resp.errnum),
+                  resp.payload().get_string("errmsg"));
+    co_return;
+  }
+  respond_ok(req, Json::object({{"id", static_cast<std::int64_t>(id)}}));
+}
+
+obs::Counter& JobIngest::stats_counter(std::string_view which) {
+  return broker().stats_registry().counter("job." + std::string(which));
+}
+
+}  // namespace flux::modules

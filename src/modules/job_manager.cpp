@@ -1,0 +1,523 @@
+#include "modules/job_manager.hpp"
+
+#include <algorithm>
+
+#include "api/handle.hpp"
+#include "base/log.hpp"
+#include "broker/broker.hpp"
+#include "kvs/kvs_client.hpp"
+#include "sched/policy.hpp"
+
+namespace flux::modules {
+
+namespace {
+
+constexpr int kMaxAllocRetries = 3;
+constexpr std::size_t kTerminalKeep = 1024;
+
+std::string job_key(std::uint64_t id, std::string_view leaf) {
+  return "job." + std::to_string(id) + "." + std::string(leaf);
+}
+
+}  // namespace
+
+JobManager::JobManager(Broker& b) : ModuleBase(b) {
+  on("submit", [this](Message& m) { op_submit(m); });
+  on("cancel", [this](Message& m) { op_cancel(m); });
+  on("state", [this](Message& m) { op_state(m); });
+  on("wait", [this](Message& m) { op_wait(m); });
+  on("list", [this](Message& m) { op_list(m); });
+  broker().module_subscribe(*this, "live.down");
+
+  obs::StatsRegistry& reg = broker().stats_registry();
+  c_submitted_ = &reg.counter("job-manager.submitted");
+  c_completed_ = &reg.counter("job-manager.completed");
+  c_failed_ = &reg.counter("job-manager.failed");
+  c_canceled_ = &reg.counter("job-manager.canceled");
+  c_rejected_ = &reg.counter("job-manager.rejected");
+  c_requeued_ = &reg.counter("job-manager.requeued");
+  h_alloc_ns_ = &reg.histogram("job-manager.alloc_ns");
+  h_run_ns_ = &reg.histogram("job-manager.run_ns");
+  h_depth_ = &reg.histogram("job-manager.queue_depth");
+}
+
+JobManager::~JobManager() = default;
+
+void JobManager::start() {
+  if (!broker().is_root()) return;
+  const Json cfg = broker().module_config("job-manager");
+  max_queue_ = cfg.get_int("max_queue", 4096);
+  const auto cores =
+      static_cast<unsigned>(cfg.get_int("cores_per_node", 16));
+  // Mirror pool: one flat rack of the session's brokers. The authoritative
+  // free list is resvc's; this pool only paces the scheduler (feasibility,
+  // backfill planning), so count agreement is what matters.
+  graph_ = ResourceGraph::build_center("session", 1, 1, broker().size(), cores);
+  pool_ = std::make_unique<ResourcePool>(graph_);
+  sched_ = std::make_unique<Scheduler>(broker().executor(), *pool_,
+                                       make_policy(cfg.get_string("policy", "fcfs")));
+  sched_->bind_stats(broker().stats_registry(), "job-manager.sched");
+  sched_->on_start([this](std::uint64_t sched_id, const Allocation&) {
+    auto it = sched_to_job_.find(sched_id);
+    if (it == sched_to_job_.end()) return;
+    JobRecord* rec = find(it->second);
+    if (rec == nullptr || rec->phase != Phase::Queued) return;
+    rec->phase = Phase::Allocating;
+    co_spawn(broker().executor(), dispatch(rec->id), "job-manager.dispatch");
+  });
+  handle_ = std::make_unique<Handle>(broker());
+  kvs_ = std::make_unique<KvsClient>(*handle_);
+}
+
+bool JobManager::forward_if_not_root(Message& msg) {
+  if (broker().is_root()) return false;
+  broker().forward_upstream(std::move(msg));
+  return true;
+}
+
+JobManager::JobRecord* JobManager::find(std::uint64_t id) {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+void JobManager::event(JobRecord& rec, std::string_view ev_name, Json context) {
+  Json e = Json::object(
+      {{"t", broker().executor().now().count()}, {"name", std::string(ev_name)}});
+  if (context.is_object())
+    for (const auto& [k, v] : context.as_object()) e[k] = v;
+  rec.eventlog.push_back(std::move(e));
+  kvs_->txn().put(job_key(rec.id, "eventlog"), rec.eventlog);
+  schedule_flush();
+}
+
+void JobManager::stage_state(JobRecord& rec) {
+  kvs_->txn().put(job_key(rec.id, "state"),
+                  std::string(job_state_name(rec.state)));
+  schedule_flush();
+}
+
+void JobManager::schedule_flush() {
+  if (flush_scheduled_) {
+    flush_rerun_ = true;
+    return;
+  }
+  flush_scheduled_ = true;
+  co_spawn(broker().executor(), flush_task(), "job-manager.flush");
+}
+
+Task<void> JobManager::flush_task() {
+  // Coalesced single-writer commit loop: stages that arrive while a commit
+  // is in flight fold into one follow-up commit (the watch-refresh pattern).
+  do {
+    flush_rerun_ = false;
+    try {
+      co_await kvs_->commit();
+    } catch (const FluxException& e) {
+      log::warn("job-manager", "kvs flush failed: ", e.what());
+    }
+  } while (flush_rerun_);
+  flush_scheduled_ = false;
+}
+
+void JobManager::op_submit(Message& msg) {
+  if (forward_if_not_root(msg)) return;
+  const auto id = static_cast<std::uint64_t>(msg.payload().get_int("id", 0));
+  if (id == 0 || !msg.payload().contains("jobspec")) {
+    respond_error(msg, errc::inval, "job-manager.submit: need id and jobspec");
+    return;
+  }
+  JobSpec spec;
+  try {
+    spec = JobSpec::from_json(msg.payload().at("jobspec"));
+  } catch (const std::exception& e) {
+    respond_error(msg, errc::job_rejected,
+                  std::string("job-manager.submit: bad jobspec: ") + e.what());
+    return;
+  }
+  if (std::cmp_greater_equal(sched_->queue_length(), max_queue_)) {
+    c_rejected_->inc();
+    respond_error(msg, errc::job_rejected,
+                  "job-manager.submit: pending queue full");
+    return;
+  }
+  Expected<std::uint64_t> sid =
+      sched_->submit(spec.request, spec.walltime, spec.priority,
+                     /*manual_completion=*/true);
+  if (!sid) {
+    c_rejected_->inc();
+    respond_error(msg, errc::alloc_unsatisfiable,
+                  "job-manager.submit: request can never fit this session");
+    return;
+  }
+
+  auto rec = std::make_unique<JobRecord>();
+  rec->id = id;
+  rec->spec = std::move(spec);
+  rec->sched_id = *sid;
+  rec->submit_t = broker().executor().now();
+  sched_to_job_[*sid] = id;
+  JobRecord& r = *rec;
+  jobs_.emplace(id, std::move(rec));
+
+  c_submitted_->inc();
+  h_depth_->record(sched_->queue_length());
+  kvs_->txn().put(job_key(id, "jobspec"), r.spec.to_json());
+  event(r, "submit", Json::object({{"priority", r.spec.priority},
+                                   {"nnodes", r.spec.request.nnodes}}));
+  stage_state(r);
+  respond_ok(msg, Json::object({{"id", static_cast<std::int64_t>(id)}}));
+}
+
+Task<void> JobManager::dispatch(std::uint64_t id) {
+  JobRecord* rec = find(id);
+  if (rec == nullptr || rec->phase != Phase::Allocating) co_return;
+  if (rec->canceled) {
+    finalize(*rec, JobState::Canceled, Json::object(), 0, "canceled");
+    co_return;
+  }
+
+  // 1. Authoritative allocation from resvc.
+  const Json alloc_req =
+      Json::object({{"jobid", std::to_string(id)},
+                    {"nnodes", rec->spec.request.nnodes}});
+  Message alloc_resp;
+  bool alloc_threw = false;  // timeout / host_down arrive as exceptions
+  try {
+    alloc_resp = co_await broker().module_rpc(
+        *this, Message::request("resvc.alloc", alloc_req),
+        std::chrono::seconds(5));
+  } catch (const FluxException& e) {
+    if (e.error().code == errc::canceled) co_return;  // session shutdown
+    alloc_threw = true;
+  }
+  rec = find(id);
+  if (rec == nullptr || rec->phase != Phase::Allocating) {
+    // Finalized meanwhile (live.down): return the allocation if we got one.
+    if (!alloc_threw && alloc_resp.errnum == 0)
+      co_spawn(broker().executor(), release_allocation(id),
+               "job-manager.release");
+    co_return;
+  }
+  if (alloc_threw || alloc_resp.errnum != 0) {
+    // Mirror raced the authoritative pool (direct resvc users, node death).
+    // Re-queue a bounded number of times, then fail.
+    sched_->finish(rec->sched_id);
+    sched_to_job_.erase(rec->sched_id);
+    if (rec->alloc_retries++ < kMaxAllocRetries && !rec->canceled) {
+      Expected<std::uint64_t> sid =
+          sched_->submit(rec->spec.request, rec->spec.walltime,
+                         rec->spec.priority, /*manual_completion=*/true);
+      if (sid) {
+        rec->sched_id = *sid;
+        rec->phase = Phase::Queued;
+        sched_to_job_[*sid] = id;
+        c_requeued_->inc();
+        event(*rec, "requeue", Json::object({{"try", rec->alloc_retries}}));
+        co_return;
+      }
+    }
+    rec->phase = Phase::Done;  // scheduler already released above
+    rec->state = JobState::Failed;
+    rec->freed = true;
+    event(*rec, "alloc_failed", Json::object());
+    finish_terminal(*rec, Json::object(), 0, "alloc_failed");
+    co_return;
+  }
+
+  std::vector<NodeId> ranks;
+  Json ranks_json = alloc_resp.payload().at("ranks");
+  for (const Json& r : ranks_json.as_array())
+    ranks.push_back(static_cast<NodeId>(r.as_int()));
+  rec->ranks = std::move(ranks);
+
+  if (rec->canceled || rec->node_died) {
+    const JobState terminal =
+        rec->canceled ? JobState::Canceled : JobState::Failed;
+    finalize(*rec, terminal, Json::object(), 0,
+             rec->canceled ? "canceled" : "node_down");
+    co_return;
+  }
+
+  // 2. Transition to Running; fold allocation into the KVS.
+  rec->state = JobState::Running;
+  rec->phase = Phase::Dispatched;
+  h_alloc_ns_->record(broker().executor().now() - rec->submit_t);
+  kvs_->txn().put(job_key(id, "ranks"), ranks_json);
+  event(*rec, "alloc", Json::object({{"ranks", ranks_json}}));
+  event(*rec, "start", Json::object());
+  stage_state(*rec);
+
+  // 3. Execute through wexec. Empty command means the synthetic workload:
+  // the built-in "sleep" for the job's walltime.
+  const bool synthetic = rec->spec.command.empty();
+  const std::string cmd = synthetic ? "sleep" : rec->spec.command;
+  Json args = synthetic
+                  ? Json::object({{"us", rec->spec.walltime.count() / 1000}})
+                  : rec->spec.args;
+  const Json run_req = Json::object({{"jobid", std::to_string(id)},
+                                     {"cmd", cmd},
+                                     {"args", std::move(args)},
+                                     {"ranks", ranks_json}});
+  const TimePoint started = broker().executor().now();
+  // Backstop deadline: wexec's collective stdio fence can hang forever if a
+  // participant broker dies; live.down normally fails the job first, but the
+  // timeout guarantees this coroutine always settles.
+  const Duration deadline =
+      rec->spec.walltime * 2 + std::chrono::seconds(30);
+  Message run_resp;
+  try {
+    run_resp = co_await broker().module_rpc(
+        *this, Message::request("wexec.run", run_req), deadline);
+  } catch (const FluxException&) {
+    // Deadline or transport loss; if live.down already finalized the job
+    // this is just the abandoned fence timing out.
+    rec = find(id);
+    if (rec != nullptr && rec->phase != Phase::Done)
+      finalize(*rec, rec->canceled ? JobState::Canceled : JobState::Failed,
+               Json::object(), 0, "exec_timeout");
+    co_return;
+  }
+
+  rec = find(id);
+  if (rec == nullptr || rec->phase == Phase::Done) co_return;  // live.down won
+  h_run_ns_->record(broker().executor().now() - started);
+  if (run_resp.errnum != 0) {
+    const JobState terminal =
+        rec->canceled ? JobState::Canceled : JobState::Failed;
+    finalize(*rec, terminal, Json::object(), 0, "exec_failed");
+    co_return;
+  }
+  const bool success = run_resp.payload().get_bool("success", false);
+  Json exits = run_resp.payload().at("exits");
+  const std::int64_t ntasks = run_resp.payload().get_int("ntasks", 0);
+  JobState terminal = JobState::Failed;
+  if (rec->canceled)
+    terminal = JobState::Canceled;
+  else if (success)
+    terminal = JobState::Complete;
+  finalize(*rec, terminal, std::move(exits), ntasks, "exit");
+}
+
+void JobManager::finalize(JobRecord& rec, JobState terminal, Json exits,
+                          std::int64_t ntasks, std::string_view why) {
+  if (rec.phase == Phase::Done) return;
+  // Scheduler bookkeeping: a Queued job is still in the scheduler's pending
+  // queue; anything later holds a mirror-pool allocation.
+  if (rec.phase == Phase::Queued)
+    (void)sched_->cancel(rec.sched_id);
+  else
+    sched_->finish(rec.sched_id);
+  sched_to_job_.erase(rec.sched_id);
+  rec.phase = Phase::Done;
+  if (!rec.ranks.empty() && !rec.freed) {
+    rec.freed = true;
+    co_spawn(broker().executor(), release_allocation(rec.id),
+             "job-manager.release");
+  }
+  rec.state = terminal;
+  finish_terminal(rec, std::move(exits), ntasks, why);
+}
+
+void JobManager::finish_terminal(JobRecord& rec, Json exits,
+                                 std::int64_t ntasks, std::string_view why) {
+  const bool success = rec.state == JobState::Complete;
+  rec.result =
+      Json::object({{"id", static_cast<std::int64_t>(rec.id)},
+                    {"state", std::string(job_state_name(rec.state))},
+                    {"success", success},
+                    {"exits", std::move(exits)},
+                    {"ntasks", ntasks}});
+  event(rec, "finish",
+        Json::object({{"state", std::string(job_state_name(rec.state))},
+                      {"why", std::string(why)}}));
+  stage_state(rec);
+  kvs_->txn().put(job_key(rec.id, "result"), rec.result);
+  if (!rec.ranks.empty())
+    kvs_->txn().put(job_key(rec.id, "stdio"),
+                    "lwj." + std::to_string(rec.id));
+  schedule_flush();
+
+  switch (rec.state) {
+    case JobState::Complete: c_completed_->inc(); break;
+    case JobState::Canceled: c_canceled_->inc(); break;
+    default: c_failed_->inc(); break;
+  }
+  for (Message& w : rec.waiters) respond_ok(w, rec.result);
+  rec.waiters.clear();
+
+  terminal_fifo_.push_back(rec.id);
+  while (terminal_fifo_.size() > kTerminalKeep) {
+    jobs_.erase(terminal_fifo_.front());
+    terminal_fifo_.pop_front();
+  }
+  try_tombstone();
+}
+
+Task<void> JobManager::release_allocation(std::uint64_t id) {
+  const Json req = Json::object({{"jobid", std::to_string(id)}});
+  try {
+    Message resp = co_await broker().module_rpc(
+        *this, Message::request("resvc.free", req), std::chrono::seconds(5));
+    if (resp.errnum != 0)
+      log::warn("job-manager", "resvc.free failed for job ", id);
+  } catch (const FluxException&) {
+    // Timeout or shutdown; live.down tombstoning reconciles the pool.
+  }
+}
+
+Task<void> JobManager::kill_tasks(std::uint64_t id) {
+  const Json req =
+      Json::object({{"jobid", std::to_string(id)}, {"signum", 15}});
+  try {
+    Message resp = co_await broker().module_rpc(
+        *this, Message::request("wexec.kill", req), std::chrono::seconds(5));
+    if (resp.errnum != 0)
+      log::debug("job-manager", "wexec.kill miss for job ", id);
+  } catch (const FluxException&) {
+    // Timeout or shutdown; the dispatch backstop deadline reaps the job.
+  }
+}
+
+void JobManager::op_cancel(Message& msg) {
+  if (forward_if_not_root(msg)) return;
+  const auto id = static_cast<std::uint64_t>(msg.payload().get_int("id", 0));
+  JobRecord* rec = find(id);
+  if (rec == nullptr) {
+    respond_error(msg, errc::job_unknown, "job-manager.cancel: no such job");
+    return;
+  }
+  Json state_resp = Json::object(
+      {{"id", static_cast<std::int64_t>(id)},
+       {"state", std::string(job_state_name(rec->state))}});
+  switch (rec->phase) {
+    case Phase::Queued:
+      rec->canceled = true;
+      event(*rec, "cancel", Json::object());
+      finalize(*rec, JobState::Canceled, Json::object(), 0, "canceled");
+      break;
+    case Phase::Allocating:
+      // The dispatch coroutine observes the flag after resvc.alloc returns.
+      rec->canceled = true;
+      event(*rec, "cancel", Json::object());
+      break;
+    case Phase::Dispatched:
+      rec->canceled = true;
+      event(*rec, "cancel", Json::object());
+      co_spawn(broker().executor(), kill_tasks(id), "job-manager.kill");
+      break;
+    case Phase::Done:
+      break;  // idempotent: respond with the terminal state
+  }
+  state_resp["state"] = std::string(job_state_name(rec->state));
+  respond_ok(msg, std::move(state_resp));
+}
+
+void JobManager::op_state(Message& msg) {
+  if (forward_if_not_root(msg)) return;
+  const auto id = static_cast<std::uint64_t>(msg.payload().get_int("id", 0));
+  if (JobRecord* rec = find(id)) {
+    respond_ok(msg,
+               Json::object({{"id", static_cast<std::int64_t>(id)},
+                             {"state",
+                              std::string(job_state_name(rec->state))}}));
+    return;
+  }
+  co_spawn(broker().executor(),
+           answer_from_kvs(std::move(msg), id, /*want_result=*/false),
+           "job-manager.state");
+}
+
+void JobManager::op_wait(Message& msg) {
+  if (forward_if_not_root(msg)) return;
+  const auto id = static_cast<std::uint64_t>(msg.payload().get_int("id", 0));
+  if (JobRecord* rec = find(id)) {
+    if (rec->phase == Phase::Done)
+      respond_ok(msg, rec->result);
+    else
+      rec->waiters.push_back(std::move(msg));
+    return;
+  }
+  co_spawn(broker().executor(),
+           answer_from_kvs(std::move(msg), id, /*want_result=*/true),
+           "job-manager.wait");
+}
+
+Task<void> JobManager::answer_from_kvs(Message req, std::uint64_t id,
+                                       bool want_result) {
+  // Evicted (or pre-restart) jobs: the KVS is the system of record.
+  const std::string key = job_key(id, want_result ? "result" : "state");
+  try {
+    Json value = co_await kvs_->get(key);
+    if (want_result)
+      respond_ok(req, std::move(value));
+    else {
+      Json out = Json::object({{"id", static_cast<std::int64_t>(id)},
+                               {"state", value.as_string()}});
+      respond_ok(req, std::move(out));
+    }
+  } catch (const FluxException&) {
+    respond_error(req, errc::job_unknown, "job-manager: no such job");
+  }
+}
+
+void JobManager::op_list(Message& msg) {
+  if (forward_if_not_root(msg)) return;
+  Json jobs = Json::array();
+  for (const auto& [id, rec] : jobs_)
+    jobs.push_back(Json::object(
+        {{"id", static_cast<std::int64_t>(id)},
+         {"state", std::string(job_state_name(rec->state))}}));
+  respond_ok(msg, Json::object({{"jobs", std::move(jobs)}}));
+}
+
+void JobManager::handle_event(const Message& msg) {
+  if (msg.topic != "live.down" || !broker().is_root() || !sched_) return;
+  const auto rank = static_cast<NodeId>(msg.payload().get_int("rank", -1));
+  if (rank >= broker().size()) return;
+  // Shrink the mirror pool by one node (resvc already dropped the real one).
+  ++pending_tombstones_;
+  try_tombstone();
+  // Fail every non-terminal job whose allocation includes the dead rank —
+  // promptly, so nothing waits out the wexec fence that can no longer
+  // complete, and the allocation is returned (resvc skips down ranks).
+  std::vector<std::uint64_t> hit;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec->phase == Phase::Done) continue;
+    if (std::find(rec->ranks.begin(), rec->ranks.end(), rank) !=
+        rec->ranks.end())
+      hit.push_back(id);
+  }
+  for (std::uint64_t id : hit) {
+    JobRecord* rec = find(id);
+    rec->node_died = true;
+    event(*rec, "node_down",
+          Json::object({{"rank", static_cast<std::int64_t>(rank)}}));
+    finalize(*rec, JobState::Failed, Json::object(), 0, "node_down");
+  }
+}
+
+void JobManager::try_tombstone() {
+  // A tombstone is a 1-node mirror allocation that is never released; it
+  // keeps the scheduler's pool in count-agreement with resvc after a node
+  // death. If every node is busy the tombstone waits for the next release.
+  while (pending_tombstones_ > 0) {
+    ResourceRequest one;
+    one.nnodes = 1;
+    Expected<Allocation> a = pool_->allocate(one);
+    if (!a) return;
+    --pending_tombstones_;
+  }
+}
+
+Json JobManager::stats_json() const {
+  Json j = ModuleBase::stats_json();
+  if (sched_) {
+    j["queue_depth"] = static_cast<std::int64_t>(sched_->queue_length());
+    j["running"] = static_cast<std::int64_t>(sched_->running_count());
+    j["active"] = static_cast<std::int64_t>(jobs_.size() -
+                                            terminal_fifo_.size());
+  }
+  return j;
+}
+
+}  // namespace flux::modules

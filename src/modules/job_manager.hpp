@@ -1,0 +1,143 @@
+// job-manager: the queueing/scheduling/dispatch half of the job lifecycle
+// pipeline (paper §III; flux-core's job-manager + sched-simple, collapsed).
+//
+// Runs its real logic on the session root only (non-root brokers forward
+// upstream, the resvc/wexec idiom). The root instance owns:
+//   - admission control (bounded pending queue -> errc::job_rejected),
+//   - a Scheduler over a mirror ResourcePool of the session's nodes,
+//     reusing src/sched/policy (fcfs / firstfit / easy policies, priority
+//     ordering inside the queue),
+//   - the dispatch path: resvc.alloc -> wexec.run -> resvc.free,
+//   - the JobState machine Pending -> Running -> Complete/Failed/Canceled,
+//     with every transition appended to a KVS event log,
+//   - the job.<id>.* KVS namespace (single writer):
+//       job.<id>.jobspec    submitted JobSpec (JSON)
+//       job.<id>.state      current state name ("pending", "running", ...)
+//       job.<id>.eventlog   array of {t, name, ...context} entries
+//       job.<id>.ranks      allocated broker ranks (once Running)
+//       job.<id>.result     {id, state, success, exits, ntasks} (terminal)
+//       job.<id>.stdio      ref to the wexec capture dir ("lwj.<id>")
+//   KVS writes coalesce: transitions stage into the client txn and a single
+//   in-flight commit coroutine flushes them (the KVS watch-refresh pattern).
+//
+// Protocol (all root-authoritative; non-root forwards upstream):
+//   job-manager.submit {id, jobspec}   from job-ingest; responds {id}
+//   job-manager.cancel {id}            cancel; kills running tasks (SIGTERM)
+//   job-manager.state  {id}            -> {id, state}
+//   job-manager.wait   {id}            -> terminal result (parks until then)
+//   job-manager.list   {}              -> {jobs: [{id, state}...]}
+//
+// Failure handling: on "live.down" the manager fails (never orphans) every
+// non-terminal job whose allocation includes the dead rank — the allocation
+// is returned to resvc (which skips down ranks) and a tombstone allocation
+// removes one node from the scheduler's mirror pool. A job that loses the
+// resvc.alloc race is re-queued a bounded number of times, then Failed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "broker/module.hpp"
+#include "core/jobspec.hpp"
+#include "exec/task.hpp"
+#include "resource/resource.hpp"
+#include "sched/scheduler.hpp"
+
+namespace flux {
+class Handle;
+class KvsClient;
+}  // namespace flux
+
+namespace flux::modules {
+
+class JobManager final : public ModuleBase {
+ public:
+  explicit JobManager(Broker& broker);
+  ~JobManager() override;
+
+  [[nodiscard]] std::string_view name() const override { return "job-manager"; }
+  void start() override;
+  void handle_event(const Message& msg) override;
+  [[nodiscard]] Json stats_json() const override;
+
+ private:
+  /// Where a job is in the dispatch pipeline (orthogonal to JobState:
+  /// Allocating/Dispatched both present as Pending/Running to clients).
+  enum class Phase { Queued, Allocating, Dispatched, Done };
+
+  struct JobRecord {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::Pending;
+    Phase phase = Phase::Queued;
+    std::uint64_t sched_id = 0;  ///< Scheduler's internal job id
+    std::vector<NodeId> ranks;   ///< resvc allocation (empty until Running)
+    bool canceled = false;       ///< cancel requested
+    bool node_died = false;      ///< a rank in `ranks` was declared dead
+    bool freed = false;          ///< resvc.free issued (or never allocated)
+    int alloc_retries = 0;
+    Json eventlog = Json::array();
+    std::vector<Message> waiters;  ///< parked job-manager.wait requests
+    Json result;                   ///< terminal result payload
+    TimePoint submit_t{0};
+  };
+
+  void op_submit(Message& msg);
+  void op_cancel(Message& msg);
+  void op_state(Message& msg);
+  void op_wait(Message& msg);
+  void op_list(Message& msg);
+
+  [[nodiscard]] bool forward_if_not_root(Message& msg);
+  JobRecord* find(std::uint64_t id);
+
+  /// Append an eventlog entry and stage the log + current state into the
+  /// KVS txn (flushed by the coalesced commit coroutine).
+  void event(JobRecord& rec, std::string_view ev_name, Json context);
+  void stage_state(JobRecord& rec);
+  void schedule_flush();
+  Task<void> flush_task();
+
+  Task<void> dispatch(std::uint64_t id);
+  void finalize(JobRecord& rec, JobState terminal, Json exits,
+                std::int64_t ntasks, std::string_view why);
+  /// Terminal bookkeeping shared by finalize() and the alloc-failure path
+  /// (which has already settled its scheduler state): result/eventlog/KVS,
+  /// waiters, counters, eviction.
+  void finish_terminal(JobRecord& rec, Json exits, std::int64_t ntasks,
+                       std::string_view why);
+  Task<void> release_allocation(std::uint64_t id);
+  Task<void> kill_tasks(std::uint64_t id);
+  Task<void> answer_from_kvs(Message req, std::uint64_t id, bool want_result);
+  void try_tombstone();
+
+  // Root-only state (built in start()).
+  std::int64_t max_queue_ = 4096;
+  ResourceGraph graph_;
+  std::unique_ptr<ResourcePool> pool_;      ///< scheduler's mirror pool
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<Handle> handle_;          ///< for the KVS client
+  std::unique_ptr<KvsClient> kvs_;
+  std::map<std::uint64_t, std::unique_ptr<JobRecord>> jobs_;
+  std::map<std::uint64_t, std::uint64_t> sched_to_job_;
+  std::deque<std::uint64_t> terminal_fifo_;  ///< bounded eviction of Done jobs
+  int pending_tombstones_ = 0;
+  bool flush_scheduled_ = false;
+  bool flush_rerun_ = false;
+
+  // Registry instruments (broker's StatsRegistry; resolved once).
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  obs::Counter* c_canceled_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_requeued_ = nullptr;
+  obs::Histogram* h_alloc_ns_ = nullptr;  ///< submit -> allocation latency
+  obs::Histogram* h_run_ns_ = nullptr;    ///< allocation -> terminal latency
+  obs::Histogram* h_depth_ = nullptr;     ///< queue depth sampled per submit
+};
+
+}  // namespace flux::modules

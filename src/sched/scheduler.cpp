@@ -21,11 +21,20 @@ Expected<std::uint64_t> Scheduler::submit(ResourceRequest request,
   job.walltime = walltime;
   job.submit_time = ex_.now();
   job.priority = priority;
-  queue_.push_back(std::move(job));
-  manual_[queue_.back().jobid] = manual_completion;
+  const std::uint64_t jobid = job.jobid;
+  // Priority-ordered queue: insert before the first lower-priority entry
+  // (stable — equal priorities keep submission order, so the default
+  // priority 0 preserves pure FCFS and the policies, which respect queue
+  // order, compose with priority for free).
+  auto pos = std::find_if(
+      queue_.begin(), queue_.end(),
+      [priority](const PendingJob& j) { return j.priority < priority; });
+  queue_.insert(pos, std::move(job));
+  manual_[jobid] = manual_completion;
   ++stats_.submitted;
+  if (bound_.submitted) bound_.submitted->inc();
   kick();
-  return queue_.back().jobid;
+  return jobid;
 }
 
 Status Scheduler::cancel(std::uint64_t jobid) {
@@ -36,8 +45,19 @@ Status Scheduler::cancel(std::uint64_t jobid) {
   queue_.erase(it);
   manual_.erase(jobid);
   ++stats_.canceled;
+  if (bound_.canceled) bound_.canceled->inc();
   check_idle();
   return {};
+}
+
+void Scheduler::bind_stats(obs::StatsRegistry& registry,
+                           const std::string& prefix) {
+  bound_.submitted = &registry.counter(prefix + ".submitted");
+  bound_.started = &registry.counter(prefix + ".started");
+  bound_.completed = &registry.counter(prefix + ".completed");
+  bound_.canceled = &registry.counter(prefix + ".canceled");
+  bound_.passes = &registry.counter(prefix + ".passes");
+  bound_.wait_ns = &registry.histogram(prefix + ".wait_ns");
 }
 
 void Scheduler::finish(std::uint64_t jobid) { complete(jobid); }
@@ -60,6 +80,7 @@ void Scheduler::kick() {
 void Scheduler::pass() {
   pass_scheduled_ = false;
   ++stats_.passes;
+  if (bound_.passes) bound_.passes->inc();
   if (queue_.empty()) {
     check_idle();
     return;
@@ -105,6 +126,8 @@ void Scheduler::pass() {
     running_.emplace(job.jobid, r);
     ++stats_.started;
     stats_.wait_time_total += ex_.now() - job.submit_time;
+    if (bound_.started) bound_.started->inc();
+    if (bound_.wait_ns) bound_.wait_ns->record(ex_.now() - job.submit_time);
     if (on_start_) on_start_(job.jobid, *alloc);
     if (!r.manual) {
       const std::uint64_t jobid = job.jobid;
@@ -120,6 +143,7 @@ void Scheduler::complete(std::uint64_t jobid) {
   pool_.release(it->second.alloc_id).value();
   running_.erase(it);
   ++stats_.completed;
+  if (bound_.completed) bound_.completed->inc();
   if (on_end_) on_end_(jobid);
   if (!queue_.empty()) kick();
   check_idle();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exec/executor.hpp"
+#include "obs/stats.hpp"
 #include "sched/policy.hpp"
 
 namespace flux {
@@ -81,6 +82,12 @@ class Scheduler {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Mirror the counters above into a StatsRegistry (so module stats RPCs
+  /// expose them): creates `<prefix>.{submitted,started,completed,canceled,
+  /// passes}` counters and a `<prefix>.wait_ns` queue-wait histogram, all
+  /// incremented alongside stats_.
+  void bind_stats(obs::StatsRegistry& registry, const std::string& prefix);
+
   /// Expose running jobs (allocation ids) for elasticity operations.
   [[nodiscard]] const Allocation* allocation_of(std::uint64_t jobid) const;
   [[nodiscard]] std::vector<std::uint64_t> running_jobs() const;
@@ -111,6 +118,17 @@ class Scheduler {
   EndFn on_end_;
   IdleFn on_idle_;
   Stats stats_;
+
+  // Optional registry mirror (bind_stats); null when unbound.
+  struct BoundStats {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* started = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* canceled = nullptr;
+    obs::Counter* passes = nullptr;
+    obs::Histogram* wait_ns = nullptr;
+  };
+  BoundStats bound_;
 };
 
 }  // namespace flux

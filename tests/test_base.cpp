@@ -20,6 +20,41 @@ TEST(Error, NamesAndMessages) {
   EXPECT_FALSE(Error(errc::perm).ok());
 }
 
+TEST(Error, JobDomainCodesRoundTrip) {
+  // Wire values are POSIX errno values and stable forever.
+  EXPECT_EQ(static_cast<int>(errc::job_unknown), 3);           // ESRCH
+  EXPECT_EQ(static_cast<int>(errc::job_canceled), 4);          // EINTR
+  EXPECT_EQ(static_cast<int>(errc::job_rejected), 13);         // EACCES
+  EXPECT_EQ(static_cast<int>(errc::alloc_unsatisfiable), 34);  // ERANGE
+
+  EXPECT_EQ(errc_name(errc::job_unknown), "ESRCH");
+  EXPECT_EQ(errc_name(errc::job_canceled), "EINTR");
+  EXPECT_EQ(errc_name(errc::job_rejected), "EACCES");
+  EXPECT_EQ(errc_name(errc::alloc_unsatisfiable), "ERANGE");
+
+  // int -> errc -> error_code -> message round-trips through the category
+  // (the path a wire errnum takes back into a typed error).
+  for (errc e : {errc::job_unknown, errc::job_canceled, errc::job_rejected,
+                 errc::alloc_unsatisfiable}) {
+    const std::error_code ec = make_error_code(static_cast<errc>(
+        static_cast<int>(e)));
+    EXPECT_EQ(ec.value(), static_cast<int>(e));
+    EXPECT_EQ(&ec.category(), &flux_category());
+    EXPECT_FALSE(ec.message().empty());
+    EXPECT_EQ(ec, e);  // is_error_code_enum comparison
+  }
+  // No collision with any pre-existing code name.
+  std::set<int> values;
+  for (errc e : {errc::ok, errc::nosys, errc::noent, errc::exist, errc::inval,
+                 errc::proto, errc::host_down, errc::timeout, errc::not_dir,
+                 errc::is_dir, errc::perm, errc::again, errc::no_spc,
+                 errc::canceled, errc::overflow, errc::job_unknown,
+                 errc::job_canceled, errc::job_rejected,
+                 errc::alloc_unsatisfiable})
+    EXPECT_TRUE(values.insert(static_cast<int>(e)).second)
+        << "duplicate wire value " << static_cast<int>(e);
+}
+
 TEST(Expected, ValueAndErrorPaths) {
   Expected<int> good(5);
   ASSERT_TRUE(good.has_value());

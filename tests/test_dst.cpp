@@ -46,6 +46,7 @@ std::string describe(const DstResult& r) {
   if (r.workload_error) os << "workload error: " << r.error << "; ";
   if (r.stalled_clients > 0) os << r.stalled_clients << " stalled; ";
   os << r.report.to_string();
+  for (const std::string& v : r.job_violations) os << "\n  job oracle: " << v;
   if (!r.fault_plan.is_null()) os << "\nfault plan: " << r.fault_plan.dump();
   return os.str();
 }
@@ -87,6 +88,29 @@ TEST(DstExplore, CrashSchedulesPass) {
   opt.restarts = true;
   opt.delays = true;
   expect_all_pass(test_seed() + 0x30000, sweep(20), opt);
+}
+
+TEST(DstExplore, JobLifecycleSchedulesPass) {
+  // Submit / cancel / complete through the full pipeline concurrently with
+  // the KVS workload; the jobid-monotonicity, terminal-state, disjoint
+  // per-rank allocation, and no-orphan oracles must hold on every schedule.
+  DstOptions opt;
+  opt.jobs = true;
+  opt.size = 6;
+  expect_all_pass(test_seed() + 0x60000, sweep(20), opt);
+}
+
+TEST(DstExplore, JobLifecycleSurvivesBrokerCrashes) {
+  // The chaos acceptance run: a broker crash mid-dispatch (victim chosen by
+  // the seeded plan, never rank 0) must end every affected job in Failed or
+  // re-queued-then-terminal, with its allocation returned — never an
+  // orphaned allocation in resvc or a never-terminal job in the KVS.
+  DstOptions opt;
+  opt.jobs = true;
+  opt.size = 6;
+  opt.faults = true;
+  opt.crashes = true;
+  expect_all_pass(test_seed() + 0x70000, sweep(10), opt);
 }
 
 TEST(DstExplore, SameSeedIsDeterministic) {

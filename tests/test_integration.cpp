@@ -3,6 +3,7 @@
 // under concurrent publishers, and a center-scale KVS sweep.
 #include <gtest/gtest.h>
 
+#include "api/job_client.hpp"
 #include "api/pmi.hpp"
 #include "modules/logmod.hpp"
 #include "sim_fixture.hpp"
@@ -38,18 +39,19 @@ TEST(Integration, FullStackConcurrentWorkloads) {
     }(pmi_handles.back().get(), p, &pmi_done), "pmi");
   }
 
-  // Workload 2: bulk wexec job with KVS-captured output.
+  // Workload 2: a full-width job through the pipeline with KVS-captured
+  // output.
   auto wh = s.attach(17);
-  co_spawn(s.ex(), [](Handle* h, int* d) -> Task<void> {
-    Json payload = Json::object({{"jobid", "intwx"},
-                                 {"cmd", "hostname"},
-                                 {"args", Json::object()},
-                                 {"ranks", Json()}});
-    Message r = co_await h->request("wexec.run").payload(std::move(payload)).call();
-    if (!r.payload().get_bool("success"))
-      throw FluxException(Error(errc::proto, "wexec failed"));
+  std::uint64_t wexec_jobid = 0;
+  co_spawn(s.ex(), [](Handle* h, int* d, std::uint64_t* id) -> Task<void> {
+    JobHandle jh =
+        co_await h->job().name("intwx").command("hostname").nnodes(32).submit();
+    *id = jh.id();
+    JobResult r = co_await jh.wait();
+    if (!r.success)
+      throw FluxException(Error(errc::proto, "job failed"));
     ++*d;
-  }(wh.get(), &wexec_done), "wexec");
+  }(wh.get(), &wexec_done, &wexec_jobid), "wexec");
 
   // Workload 3: mon sampling activated through the KVS + log traffic.
   auto mh = s.attach(9);
@@ -77,12 +79,16 @@ TEST(Integration, FullStackConcurrentWorkloads) {
 
   // Everything observable landed where it should.
   auto check = s.attach(0);
-  s.run([](Handle* h) -> Task<void> {
+  s.run([](Handle* h, std::uint64_t jobid) -> Task<void> {
     KvsClient kvs(*h);
-    (void)co_await kvs.get("lwj.intwx.31.stdout");     // wexec capture
+    const std::string base = "lwj." + std::to_string(jobid);
+    (void)co_await kvs.get(base + ".31.stdout");        // wexec capture
+    Json st = co_await kvs.get("job." + std::to_string(jobid) + ".state");
+    if (st != Json("complete"))
+      throw FluxException(Error(errc::proto, "job state not folded back"));
     auto mon = co_await kvs.list_dir("mon.data.load");  // mon aggregates
     if (mon.empty()) throw FluxException(Error(errc::proto, "no samples"));
-  }(check.get()));
+  }(check.get(), wexec_jobid));
   auto* root_log =
       dynamic_cast<modules::Log*>(s.session().broker(0).find_module("log"));
   int integration_records = 0;
@@ -177,11 +183,9 @@ TEST(Integration, WatchDrivenToolReactsToJobCompletion) {
 
   auto launcher = s.attach(2);
   s.run([](Handle* h) -> Task<void> {
-    Json payload = Json::object({{"jobid", "watched"},
-                                 {"cmd", "hostname"},
-                                 {"args", Json::object()},
-                                 {"ranks", Json::array({0, 1})}});
-    co_await h->request("wexec.run").payload(std::move(payload)).call();
+    JobHandle jh =
+        co_await h->job().name("watched").command("hostname").nnodes(2).submit();
+    (void)co_await jh.wait();
   }(launcher.get()));
   s.ex().run();
   EXPECT_GE(wakes, 2);  // job stdio/exit commit changed the lwj dir

@@ -1,0 +1,307 @@
+// The job lifecycle pipeline: ingest -> queue -> schedule -> execute ->
+// complete, with every transition folded into the KVS, fronted by the fluent
+// h.job() client API (ctest -L jobs).
+#include <gtest/gtest.h>
+
+#include "api/job_client.hpp"
+#include "sim_fixture.hpp"
+
+namespace flux {
+namespace {
+
+using testing::SimSession;
+
+TEST(Jobs, SubmitWaitComplete) {
+  SimSession s(SimSession::default_config(8));
+  auto h = s.attach(5);
+  JobResult r = s.run([](Handle* hd) -> Task<JobResult> {
+    Json args = Json::object({{"text", "hi"}});  // hoisted (gcc 12 + co_await)
+    JobHandle jh = co_await hd->job()
+                       .name("hello")
+                       .command("echo", std::move(args))
+                       .nnodes(2)
+                       .walltime(std::chrono::milliseconds(1))
+                       .submit();
+    if (!jh.valid()) throw FluxException(Error(errc::proto, "invalid handle"));
+    JobResult out = co_await jh.wait();
+    co_return out;
+  }(h.get()));
+  EXPECT_EQ(r.state, JobState::Complete);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.ntasks, 2);
+  EXPECT_EQ(r.exits.get_int("0"), 2);
+}
+
+TEST(Jobs, LifecycleFoldedIntoKvs) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    JobHandle jh = co_await hd->job().nnodes(2).submit();
+    (void)co_await jh.wait();
+    // Everything under job.<id>.: jobspec, state, ranks, result, stdio ref,
+    // and the event log recording every transition in order.
+    KvsClient kvs(*hd);
+    const std::string base = jh.kvs_dir();
+    Json spec = co_await kvs.get(base + ".jobspec");
+    if (spec.get_int("request", -1) == -1 && !spec.contains("request"))
+      throw FluxException(Error(errc::proto, "jobspec not folded back"));
+    Json state = co_await kvs.get(base + ".state");
+    if (state != Json("complete"))
+      throw FluxException(Error(errc::proto, "state not complete"));
+    Json ranks = co_await kvs.get(base + ".ranks");
+    if (ranks.size() != 2)
+      throw FluxException(Error(errc::proto, "ranks not folded back"));
+    Json result = co_await kvs.get(base + ".result");
+    if (!result.get_bool("success"))
+      throw FluxException(Error(errc::proto, "result not folded back"));
+    Json stdio = co_await kvs.get(base + ".stdio");
+    (void)co_await kvs.get(stdio.as_string() + ".0.exitcode");
+
+    Json log = co_await jh.events();
+    std::vector<std::string> names;
+    for (const Json& e : log.as_array()) names.push_back(e.get_string("name"));
+    const std::vector<std::string> want{"submit", "alloc", "start", "finish"};
+    if (names != want)
+      throw FluxException(Error(errc::proto, "unexpected event sequence"));
+    // Timestamps are monotone.
+    std::int64_t last = -1;
+    for (const Json& e : log.as_array()) {
+      if (e.get_int("t") < last)
+        throw FluxException(Error(errc::proto, "eventlog time regression"));
+      last = e.get_int("t");
+    }
+  }(h.get()));
+}
+
+TEST(Jobs, WatchDrivenStateObservation) {
+  // The existing KVS watch machinery observes job state transitions — no
+  // polling API needed.
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(2);
+  std::vector<std::string> states;
+  s.run([](Handle* hd, std::vector<std::string>* out) -> Task<void> {
+    KvsClient kvs(*hd);
+    JobHandle jh = co_await hd->job().command("spin").nnodes(1).submit();
+    WatchHandle w = kvs.watch(jh.kvs_dir() + ".state",
+                              [out](const std::optional<Json>& v) {
+                                if (v) out->push_back(v->as_string());
+                              });
+    while (co_await jh.state() != JobState::Running)
+      co_await hd->sleep(std::chrono::microseconds(200));
+    co_await jh.cancel();
+    (void)co_await jh.wait();
+    co_await hd->sleep(std::chrono::milliseconds(1));  // drain watch refresh
+  }(h.get(), &states));
+  ASSERT_GE(states.size(), 2u);
+  EXPECT_EQ(states.back(), "canceled");
+}
+
+TEST(Jobs, CancelPendingJob) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    // Occupy the whole session so the next job stays Pending.
+    JobHandle blocker = co_await hd->job().command("spin").nnodes(4).submit();
+    JobHandle queued = co_await hd->job().nnodes(4).submit();
+    if (co_await queued.state() != JobState::Pending)
+      throw FluxException(Error(errc::proto, "expected queued job pending"));
+    co_await queued.cancel();
+    JobResult r = co_await queued.wait();
+    if (r.state != JobState::Canceled)
+      throw FluxException(Error(errc::proto, "cancel did not stick"));
+    co_await blocker.cancel();
+    (void)co_await blocker.wait();
+  }(h.get()));
+}
+
+TEST(Jobs, PriorityOrdersPendingQueue) {
+  SimSession s(SimSession::default_config(2));
+  auto h = s.attach(1);
+  // While a blocker holds every node, submit low-priority then high-priority
+  // full-width jobs; the high-priority one must run (and finish) first.
+  std::vector<std::uint64_t> finish_order;
+  s.run([](Handle* hd, std::vector<std::uint64_t>* order) -> Task<void> {
+    JobHandle blocker = co_await hd->job().command("spin").nnodes(2).submit();
+    while (co_await blocker.state() != JobState::Running)
+      co_await hd->sleep(std::chrono::microseconds(200));
+    JobHandle low = co_await hd->job().nnodes(2).priority(0).submit();
+    JobHandle high = co_await hd->job().nnodes(2).priority(10).submit();
+    co_await blocker.cancel();
+    (void)co_await blocker.wait();
+    KvsClient kvs(*hd);
+    (void)co_await low.wait();
+    (void)co_await high.wait();
+    // Reconstruct execution order from the committed eventlogs.
+    auto start_time = [](const Json& log) -> std::int64_t {
+      for (const Json& e : log.as_array())
+        if (e.get_string("name") == "start") return e.get_int("t");
+      return -1;
+    };
+    Json llog = co_await low.events();
+    Json hlog = co_await high.events();
+    if (start_time(hlog) >= start_time(llog))
+      throw FluxException(Error(errc::proto, "priority did not reorder"));
+    order->push_back(high.id());
+    order->push_back(low.id());
+  }(h.get(), &finish_order));
+  ASSERT_EQ(finish_order.size(), 2u);
+}
+
+TEST(Jobs, AdmissionControlRejectsWhenQueueFull) {
+  SessionConfig cfg = SimSession::default_config(2);
+  cfg.module_config =
+      Json::object({{"job-manager", Json::object({{"max_queue", 1}})}});
+  SimSession s(cfg);
+  auto h = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    JobHandle blocker = co_await hd->job().command("spin").nnodes(2).submit();
+    while (co_await blocker.state() != JobState::Running)
+      co_await hd->sleep(std::chrono::microseconds(200));
+    JobHandle queued = co_await hd->job().nnodes(2).submit();  // fills queue
+    try {
+      (void)co_await hd->job().nnodes(2).submit();
+      throw FluxException(Error(errc::proto, "over-admission"));
+    } catch (const FluxException& e) {
+      if (e.error().code != errc::job_rejected) throw;
+    }
+    co_await blocker.cancel();
+    co_await queued.cancel();
+    (void)co_await blocker.wait();
+    (void)co_await queued.wait();
+  }(h.get()));
+}
+
+TEST(Jobs, InfeasibleRequestIsUnsatisfiable) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(2);
+  s.run([](Handle* hd) -> Task<void> {
+    try {
+      (void)co_await hd->job().nnodes(5).submit();  // session has 4 nodes
+      throw FluxException(Error(errc::proto, "impossible job accepted"));
+    } catch (const FluxException& e) {
+      if (e.error().code != errc::alloc_unsatisfiable) throw;
+    }
+  }(h.get()));
+}
+
+TEST(Jobs, MalformedSpecRejectedAtFirstHop) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(3);
+  s.run([](Handle* hd) -> Task<void> {
+    try {
+      (void)co_await hd->job().nnodes(0).submit();
+    } catch (const FluxException& e) {
+      if (e.error().code != errc::job_rejected) throw;
+      co_return;
+    }
+    throw FluxException(Error(errc::proto, "invalid jobspec accepted"));
+  }(h.get()));
+}
+
+TEST(Jobs, UnknownJobErrors) {
+  SimSession s(SimSession::default_config(2));
+  auto h = s.attach(0);
+  s.run([](Handle* hd) -> Task<void> {
+    JobHandle ghost(*hd, 424242);
+    for (int op = 0; op < 3; ++op) {
+      try {
+        if (op == 0)
+          (void)co_await ghost.state();
+        else if (op == 1)
+          (void)co_await ghost.wait();
+        else
+          co_await ghost.cancel();
+        throw FluxException(Error(errc::proto, "ghost job answered"));
+      } catch (const FluxException& e) {
+        if (e.error().code != errc::job_unknown) throw;
+      }
+    }
+  }(h.get()));
+}
+
+TEST(Jobs, StatsExposedThroughRegistry) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(1);
+  Json stats = s.run([](Handle* hd) -> Task<Json> {
+    for (int i = 0; i < 3; ++i) {
+      JobHandle jh = co_await hd->job().nnodes(1).submit();
+      (void)co_await jh.wait();
+    }
+    // All job-manager state lives at the root; ask its registry directly
+    // (the aggregated path is obs::FluxStats / `flux stats job-manager`).
+    Message resp =
+        co_await hd->request("job-manager.stats.get").to(0).call();
+    co_return resp.payload();
+  }(h.get()));
+  const Json& counters = stats.at("counters");
+  EXPECT_EQ(counters.get_int("job-manager.submitted"), 3);
+  EXPECT_EQ(counters.get_int("job-manager.completed"), 3);
+  EXPECT_EQ(counters.get_int("job-manager.sched.completed"), 3);
+  EXPECT_GE(counters.get_int("job-manager.sched.passes"), 1);
+  const Json& hists = stats.at("histograms");
+  EXPECT_EQ(hists.at("job-manager.alloc_ns").get_int("count"), 3);
+  EXPECT_EQ(stats.get_int("queue_depth", -1), 0);
+  EXPECT_EQ(stats.get_int("running", -1), 0);
+}
+
+TEST(Jobs, BrokerCrashMidJobNeverOrphansAllocation) {
+  // The chaos acceptance scenario: a broker dies while its rank runs job
+  // tasks. The job must end Failed (or re-queued then terminal), the
+  // allocation must return to resvc, and the event log must say why.
+  SessionConfig cfg = SimSession::default_config(8);
+  cfg.module_config =
+      Json::object({{"hb", Json::object({{"period_us", 100}})},
+                    {"live", Json::object({{"missed_max", 3}})}});
+  SimSession s(cfg);
+  auto h = s.attach(0);
+
+  // The crash must land while the job runs, so inject it from inside the
+  // simulation: SimSession::run drains to idle, which would otherwise march
+  // virtual time through the job's whole lifetime before we ever pulled the
+  // plug.
+  JobHandle jh;
+  JobResult r = s.run([](SimSession* sim, Handle* hd,
+                         JobHandle* out) -> Task<JobResult> {
+    JobHandle j = co_await hd->job().command("spin").nnodes(3).submit();
+    while (co_await j.state() != JobState::Running)
+      co_await hd->sleep(std::chrono::microseconds(200));
+    KvsClient kvs(*hd);
+    Json ranks = co_await kvs.get(j.kvs_dir() + ".ranks");
+    // Kill a non-root participant mid-run.
+    NodeId victim = 0;
+    for (const Json& rk : ranks.as_array())
+      if (rk.as_int() != 0) victim = static_cast<NodeId>(rk.as_int());
+    if (victim == 0)
+      throw FluxException(Error(errc::proto, "no non-root rank allocated"));
+    sim->session().fail(victim);
+    *out = j;
+    co_return co_await j.wait();  // node_down detection must unpark this
+  }(&s, h.get(), &jh));
+  EXPECT_EQ(r.state, JobState::Failed);
+
+  // Allocation returned: everything except the dead node is free again.
+  s.run([](Handle* hd, JobHandle j) -> Task<void> {
+    Message resp = co_await hd->request("resvc.status").call();
+    if (resp.payload().get_int("free") != 7)
+      throw FluxException(Error(errc::proto, "allocation orphaned"));
+    if (resp.payload().get_int("down") != 1)
+      throw FluxException(Error(errc::proto, "dead node not excluded"));
+    if (resp.payload().at("jobs").size() != 0)
+      throw FluxException(Error(errc::proto, "allocation record leaked"));
+    Json log = co_await j.events();
+    bool node_down = false;
+    for (const Json& e : log.as_array())
+      if (e.get_string("name") == "node_down") node_down = true;
+    if (!node_down)
+      throw FluxException(
+          Error(errc::proto, "no node_down event in " + log.dump()));
+    // And the session still runs new jobs on the surviving nodes.
+    JobHandle next = co_await hd->job().nnodes(2).submit();
+    JobResult nr = co_await next.wait();
+    if (nr.state != JobState::Complete)
+      throw FluxException(Error(errc::proto, "session wedged after crash"));
+  }(h.get(), jh));
+}
+
+}  // namespace
+}  // namespace flux

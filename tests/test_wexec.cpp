@@ -1,6 +1,10 @@
-// wexec: bulk launch, stdio capture into the KVS, signals, exit reduction.
+// Execution through the job pipeline: bulk launch, stdio capture into the
+// KVS, cancellation, exit aggregation — all via the fluent h.job() API
+// (ingest -> queue -> schedule -> wexec -> KVS fold-back). One test keeps
+// the deprecated direct-to-wexec shim alive for its release.
 #include <gtest/gtest.h>
 
+#include "api/job_client.hpp"
 #include "modules/wexec.hpp"
 #include "sim_fixture.hpp"
 
@@ -9,141 +13,143 @@ namespace {
 
 using testing::SimSession;
 
-Task<Message> run_job(Handle* h, std::string jobid, std::string cmd,
-                      Json args = Json::object(), Json ranks = Json()) {
-  Json payload = Json::object({{"jobid", std::move(jobid)},
-                               {"cmd", std::move(cmd)},
-                               {"args", std::move(args)},
-                               {"ranks", std::move(ranks)}});
-  Message resp = co_await h->request("wexec.run").payload(std::move(payload)).call();
-  co_return resp;
+/// Submit through the fluent builder and wait for the terminal result.
+Task<JobResult> run_job(Handle* h, std::string cmd, Json args,
+                        std::int64_t nnodes) {
+  JobHandle jh = co_await h->job()
+                     .command(std::move(cmd), std::move(args))
+                     .nnodes(nnodes)
+                     .submit();
+  JobResult r = co_await jh.wait();
+  co_return r;
 }
 
 TEST(Wexec, BulkLaunchOnAllRanks) {
   SimSession s(SimSession::default_config(8));
   auto h = s.attach(3);
-  Message resp = s.run(run_job(h.get(), "j1", "hostname"));
-  EXPECT_EQ(resp.payload().get_int("ntasks"), 8);
-  EXPECT_TRUE(resp.payload().get_bool("success"));
+  JobResult r = s.run(run_job(h.get(), "hostname", Json::object(), 8));
+  EXPECT_EQ(r.ntasks, 8);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.state, JobState::Complete);
 }
 
 TEST(Wexec, StdioCapturedInKvs) {
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(1);
-  s.run(run_job(h.get(), "j2", "hostname"));
-  s.run([](Handle* hd) -> Task<void> {
+  JobResult r = s.run(run_job(h.get(), "hostname", Json::object(), 4));
+  ASSERT_TRUE(r.success);
+  const std::string base = "lwj." + std::to_string(r.id) + ".";
+  s.run([](Handle* hd, std::string prefix) -> Task<void> {
     KvsClient kvs(*hd);
-    for (int r = 0; r < 4; ++r) {
-      Json out = co_await kvs.get("lwj.j2." + std::to_string(r) + ".stdout");
-      if (out.as_array().at(0) != Json("node" + std::to_string(r)))
+    for (int rk = 0; rk < 4; ++rk) {
+      Json out = co_await kvs.get(prefix + std::to_string(rk) + ".stdout");
+      if (out.as_array().at(0) != Json("node" + std::to_string(rk)))
         throw FluxException(Error(errc::proto, "wrong stdout"));
-      Json code = co_await kvs.get("lwj.j2." + std::to_string(r) + ".exitcode");
+      Json code = co_await kvs.get(prefix + std::to_string(rk) + ".exitcode");
       if (code != Json(0))
         throw FluxException(Error(errc::proto, "nonzero exit"));
     }
-  }(h.get()));
+  }(h.get(), base));
 }
 
-TEST(Wexec, RankSubsetSelection) {
+TEST(Wexec, AllocatedSubsetGetsTasks) {
+  // A 3-node job on an 8-broker session: exactly the allocated ranks (from
+  // job.<id>.ranks) run tasks; non-allocated ranks have no stdio entries.
   SimSession s(SimSession::default_config(8));
   auto h = s.attach(0);
-  Json ranks = Json::array({1, 4, 6});
-  Message resp = s.run(run_job(h.get(), "j3", "hostname", Json::object(),
-                               std::move(ranks)));
-  EXPECT_EQ(resp.payload().get_int("ntasks"), 3);
-  // Non-selected ranks must have no KVS entries.
-  s.run([](Handle* hd) -> Task<void> {
+  JobResult r = s.run(run_job(h.get(), "hostname", Json::object(), 3));
+  EXPECT_EQ(r.ntasks, 3);
+  s.run([](Handle* hd, std::uint64_t id) -> Task<void> {
     KvsClient kvs(*hd);
-    (void)co_await kvs.get("lwj.j3.4.stdout");  // selected: exists
-    try {
-      (void)co_await kvs.get("lwj.j3.2.stdout");  // not selected
-      throw FluxException(Error(errc::proto, "unexpected entry"));
-    } catch (const FluxException& e) {
-      if (e.error().code != errc::noent) throw;
+    Json ranks = co_await kvs.get("job." + std::to_string(id) + ".ranks");
+    if (ranks.size() != 3)
+      throw FluxException(Error(errc::proto, "wrong allocation width"));
+    const std::string base = "lwj." + std::to_string(id) + ".";
+    for (const Json& rk : ranks.as_array())
+      (void)co_await kvs.get(base + std::to_string(rk.as_int()) + ".stdout");
+    // Find a rank outside the allocation; it must have no capture.
+    for (std::int64_t cand = 7; cand >= 0; --cand) {
+      bool allocated = false;
+      for (const Json& rk : ranks.as_array())
+        if (rk.as_int() == cand) allocated = true;
+      if (allocated) continue;
+      try {
+        (void)co_await kvs.get(base + std::to_string(cand) + ".stdout");
+        throw FluxException(Error(errc::proto, "unexpected entry"));
+      } catch (const FluxException& e) {
+        if (e.error().code != errc::noent) throw;
+      }
+      break;
     }
-  }(h.get()));
+  }(h.get(), r.id));
 }
 
 TEST(Wexec, NonzeroExitCodesAggregated) {
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(2);
   Json args = Json::object({{"code", 3}});
-  Message resp = s.run(run_job(h.get(), "j4", "exit", std::move(args)));
-  EXPECT_FALSE(resp.payload().get_bool("success"));
-  EXPECT_EQ(resp.payload().at("exits").get_int("3"), 4);
+  JobResult r = s.run(run_job(h.get(), "exit", std::move(args), 4));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.state, JobState::Failed);
+  EXPECT_EQ(r.exits.get_int("3"), 4);
 }
 
 TEST(Wexec, UnknownCommandIs127) {
   SimSession s(SimSession::default_config(2));
   auto h = s.attach(0);
-  Message resp = s.run(run_job(h.get(), "j5", "not-a-command"));
-  EXPECT_FALSE(resp.payload().get_bool("success"));
-  EXPECT_EQ(resp.payload().at("exits").get_int("127"), 2);
+  JobResult r = s.run(run_job(h.get(), "not-a-command", Json::object(), 2));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.exits.get_int("127"), 2);
   // stderr explains the failure.
-  s.run([](Handle* hd) -> Task<void> {
+  s.run([](Handle* hd, std::uint64_t id) -> Task<void> {
     KvsClient kvs(*hd);
-    Json err = co_await kvs.get("lwj.j5.0.stderr");
+    Json err = co_await kvs.get("lwj." + std::to_string(id) + ".0.stderr");
     if (err.as_array().empty())
       throw FluxException(Error(errc::proto, "no stderr captured"));
-  }(h.get()));
+  }(h.get(), r.id));
 }
 
-TEST(Wexec, DuplicateJobidRejected) {
+TEST(Wexec, JobidsMonotonicallyIncrease) {
   SimSession s(SimSession::default_config(4));
-  auto h = s.attach(0);
-  // A long-running job holds the id...
-  co_spawn(s.ex(), [](Handle* hd) -> Task<void> {
-    Json args = Json::object({{"us", 100000}});
-    Json payload = Json::object({{"jobid", "dup"},
-                                 {"cmd", "sleep"},
-                                 {"args", std::move(args)},
-                                 {"ranks", Json()}});
-    (void)co_await hd->request("wexec.run").payload(std::move(payload)).send();
-  }(h.get()), "sleeper");
-  s.ex().run_for(std::chrono::milliseconds(1));
-  // ...so a second run with the same id fails.
-  auto h2 = s.attach(1);
-  bool rejected = false;
-  co_spawn(s.ex(), [](Handle* hd, bool* out) -> Task<void> {
-    try {
-      (void)co_await run_job(hd, "dup", "hostname");
-    } catch (const FluxException& e) {
-      *out = (e.error().code == errc::exist);
+  auto h = s.attach(2);
+  std::vector<std::uint64_t> ids = s.run([](Handle* hd)
+                                             -> Task<std::vector<std::uint64_t>> {
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 3; ++i) {
+      JobHandle jh = co_await hd->job().nnodes(1).submit();
+      out.push_back(jh.id());
+      (void)co_await jh.wait();
     }
-  }(h2.get(), &rejected), "dup");
-  s.ex().run_for(std::chrono::milliseconds(1));
-  EXPECT_TRUE(rejected);
-  s.ex().run();  // drain the sleeper
+    co_return out;
+  }(h.get()));
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_LT(ids[0], ids[1]);
+  EXPECT_LT(ids[1], ids[2]);
 }
 
-TEST(Wexec, SignalTerminatesSpinners) {
+TEST(Wexec, CancelTerminatesSpinners) {
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(0);
-  Message resp = s.run([](Handle* hd) -> Task<Message> {
-    // Launch spinners that only exit when signalled.
-    Json payload = Json::object({{"jobid", "spin1"},
-                                 {"cmd", "spin"},
-                                 {"args", Json::object()},
-                                 {"ranks", Json()}});
-    auto pending = hd->request("wexec.run").payload(std::move(payload)).send();
-    co_await hd->sleep(std::chrono::milliseconds(1));
-    Json kill = Json::object({{"jobid", "spin1"}, {"signum", 15}});
-    co_await hd->request("wexec.kill").payload(std::move(kill)).call();
-    Message done = co_await pending;
-    Handle::check(done);
-    co_return done;
+  JobResult r = s.run([](Handle* hd) -> Task<JobResult> {
+    // Spinners only exit when signalled; cancel delivers SIGTERM.
+    JobHandle jh = co_await hd->job().command("spin").nnodes(4).submit();
+    while (co_await jh.state() != JobState::Running)
+      co_await hd->sleep(std::chrono::microseconds(100));
+    co_await jh.cancel();
+    JobResult out = co_await jh.wait();
+    co_return out;
   }(h.get()));
+  EXPECT_EQ(r.state, JobState::Canceled);
   // All tasks exited 143 (128 + SIGTERM).
-  EXPECT_EQ(resp.payload().at("exits").get_int("143"), 4);
+  EXPECT_EQ(r.exits.get_int("143"), 4);
 }
 
 TEST(Wexec, ProcessesUseKvsThroughTheirOwnHandle) {
   SimSession s(SimSession::default_config(4));
   auto h = s.attach(3);
   Json args = Json::object({{"key", "fromproc.v"}, {"value", "written"}});
-  Message resp = s.run(run_job(h.get(), "j6", "kvsput", std::move(args),
-                               Json::array({2})));
-  EXPECT_TRUE(resp.payload().get_bool("success"));
+  JobResult r = s.run(run_job(h.get(), "kvsput", std::move(args), 1));
+  EXPECT_TRUE(r.success);
   s.run([](Handle* hd) -> Task<void> {
     KvsClient kvs(*hd);
     Json v = co_await kvs.get("fromproc.v");
@@ -160,14 +166,27 @@ TEST(Wexec, CustomRegisteredCommand) {
       });
   SimSession s(SimSession::default_config(2));
   auto h = s.attach(0);
-  Message resp = s.run(run_job(h.get(), "j7", "answer"));
-  EXPECT_TRUE(resp.payload().get_bool("success"));
-  s.run([](Handle* hd) -> Task<void> {
+  JobResult r = s.run(run_job(h.get(), "answer", Json::object(), 2));
+  EXPECT_TRUE(r.success);
+  s.run([](Handle* hd, std::uint64_t id) -> Task<void> {
     KvsClient kvs(*hd);
-    Json out = co_await kvs.get("lwj.j7.1.stdout");
+    Json out = co_await kvs.get("lwj." + std::to_string(id) + ".1.stdout");
     if (out.as_array().at(0) != Json("42"))
       throw FluxException(Error(errc::proto, "custom command output wrong"));
-  }(h.get()));
+  }(h.get(), r.id));
+}
+
+// The one test that keeps the deprecated direct-to-wexec shim exercised for
+// its final release (everything else goes through h.job()).
+TEST(Wexec, DeprecatedDirectRunShim) {
+  SimSession s(SimSession::default_config(4));
+  auto h = s.attach(1);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Message resp = s.run(wexec_run(*h, "legacy", "hostname"));
+#pragma GCC diagnostic pop
+  EXPECT_EQ(resp.payload().get_int("ntasks"), 4);
+  EXPECT_TRUE(resp.payload().get_bool("success"));
 }
 
 }  // namespace
