@@ -22,12 +22,52 @@ void BM_Sha1(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(32768);
 
-void BM_JsonParse(benchmark::State& state) {
-  Json obj = Json::object();
-  Rng rng(2);
-  for (int i = 0; i < state.range(0); ++i)
-    obj["key" + std::to_string(i)] = rng.bytes(24);
-  const std::string text = obj.dump();
+// The three document shapes the data plane actually serializes: a small RPC
+// payload (the per-message steady state), a deeply nested directory treeobj
+// (stresses recursion + key sorting), and a ~4 KB jobspec (the largest doc a
+// single job submission moves).
+Json shape_small_payload() {
+  return Json::object(
+      {{"key", "job.42.state"}, {"flags", 3}, {"val", "running"}});
+}
+
+Json shape_deep_dir_treeobj() {
+  Json doc = Json::object();
+  Json* cur = &doc;
+  for (int depth = 0; depth < 32; ++depth) {
+    (*cur)["t"] = "dir";
+    (*cur)["e"] = Json::object(
+        {{"a", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+         {"b", "da39a3ee5e6b4b0d3255bfef95601890afd80709"}});
+    cur = &(*cur)["e"]["sub"];
+  }
+  *cur = Json::object({{"t", "val"}, {"d", "leaf"}});
+  return doc;
+}
+
+Json shape_jobspec_4k() {
+  Rng rng(7);
+  Json env = Json::object();
+  for (int i = 0; i < 44; ++i)
+    env["FLUX_JOB_ENV_" + std::to_string(i)] = rng.bytes(56);
+  Json core = Json::object({{"type", "core"}, {"count", 16}});
+  Json node = Json::object(
+      {{"type", "node"}, {"count", 4}, {"with", Json::array({std::move(core)})}});
+  Json task = Json::object(
+      {{"command", Json::array({"app", "--verbose", "--input=/scratch/x"})},
+       {"slot", "task"},
+       {"count", Json::object({{"per_slot", 1}})}});
+  return Json::object(
+      {{"version", 1},
+       {"resources", Json::array({std::move(node)})},
+       {"tasks", Json::array({std::move(task)})},
+       {"attributes",
+        Json::object({{"system", Json::object({{"duration", 3600},
+                                               {"environment", std::move(env)}})}})}});
+}
+
+void BM_JsonParse(benchmark::State& state, Json doc) {
+  const std::string text = doc.dump();
   for (auto _ : state) {
     auto v = Json::parse(text);
     benchmark::DoNotOptimize(v);
@@ -35,18 +75,23 @@ void BM_JsonParse(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(text.size()));
 }
-BENCHMARK(BM_JsonParse)->Arg(4)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(BM_JsonParse, small_payload, shape_small_payload());
+BENCHMARK_CAPTURE(BM_JsonParse, deep_dir_treeobj, shape_deep_dir_treeobj());
+BENCHMARK_CAPTURE(BM_JsonParse, jobspec_4k, shape_jobspec_4k());
 
-void BM_JsonDump(benchmark::State& state) {
-  Json obj = Json::object();
-  Rng rng(3);
-  for (int i = 0; i < state.range(0); ++i)
-    obj["key" + std::to_string(i)] = rng.bytes(24);
+void BM_JsonSerialize(benchmark::State& state, Json doc) {
+  std::string buf;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(obj.dump());
+    buf.clear();
+    doc.dump_into(buf);
+    benchmark::DoNotOptimize(buf);
   }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
 }
-BENCHMARK(BM_JsonDump)->Arg(4)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(BM_JsonSerialize, small_payload, shape_small_payload());
+BENCHMARK_CAPTURE(BM_JsonSerialize, deep_dir_treeobj, shape_deep_dir_treeobj());
+BENCHMARK_CAPTURE(BM_JsonSerialize, jobspec_4k, shape_jobspec_4k());
 
 void BM_MessageCodecRoundTrip(benchmark::State& state) {
   Rng rng(4);

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh BENCH_*.json against a baseline set.
+
+Usage: scripts/bench_gate.py FRESH_DIR [BASELINE_DIR]
+
+Compares every BENCH_<name>.json present in both directories and prints a
+one-line verdict per bench. Two formats are understood:
+
+  - bench_util sidecars: {"bench": ..., "rows": [...]} — rows are matched
+    by their identity fields (config knobs) and compared metric by metric.
+  - google-benchmark reports (BENCH_micro_codec.json): entries matched by
+    benchmark name, compared on cpu_time.
+
+Tolerances are per-metric-class, not per-bench: virtual-time metrics are
+deterministic (discrete-event sim) and get a tight band; host wall-clock
+metrics are noisy on shared CI hardware and get a loose one. Improvements
+always pass. Exit status is non-zero iff any metric regresses past its
+band — the gate fails loudly, it does not average away a regression.
+"""
+import json
+import math
+import os
+import sys
+
+# metric field -> (direction, allowed_worsening_factor)
+#   "lower"  = smaller is better;  fresh > base * factor  ==> FAIL
+#   "higher" = bigger is better;   fresh < base / factor  ==> FAIL
+METRICS = {
+    # Virtual-time (deterministic sim clock): tight band.
+    "wireup_us": ("lower", 1.25),
+    "producer_max_ms": ("lower", 1.25),
+    "sync_max_ms": ("lower", 1.25),
+    "consumer_max_ms": ("lower", 1.25),
+    "makespan_ms": ("lower", 1.25),
+    "virtual_ms": ("lower", 1.25),
+    "alloc_mean_us": ("lower", 1.25),
+    "jobs_per_sec": ("higher", 1.25),
+    "ops_per_sec_virtual": ("higher", 1.25),
+    # Deterministic traffic volume: batching may only shrink it (band
+    # absorbs incidental retries).
+    "net_messages": ("lower", 1.3),
+    # Host wall-clock: noisy, loose band. Still catches the 2x+ cliffs the
+    # gate exists for.
+    "host_seconds": ("lower", 2.0),
+    "ops_per_sec_host": ("higher", 2.0),
+}
+MICRO_TOL = 2.0  # google-benchmark cpu_time band (host time)
+
+
+# Config knobs that identify a grid cell. Everything else in a row is a
+# measurement (possibly an integer one, like cache_hits) and must not
+# contribute to identity, or a shifted counter silently unpairs the rows.
+IDENTITY = frozenset({
+    "mode", "nnodes", "brokers", "procs_per_node", "value_size",
+    "gets_per_consumer", "redundant_values", "single_directory",
+    "access_stride", "window", "jobs", "clients", "rounds", "shards",
+    "arity",
+})
+
+
+def identity(row):
+    return tuple(sorted((k, v) for k, v in row.items() if k in IDENTITY))
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_sidecar(name, base, fresh):
+    base_rows = {identity(r): r for r in base.get("rows", [])}
+    fails, worst = [], (0.0, "")
+    compared = 0
+    for row in fresh.get("rows", []):
+        b = base_rows.get(identity(row))
+        if b is None:
+            continue
+        for field, (direction, tol) in METRICS.items():
+            if field not in row or field not in b:
+                continue
+            fv, bv = float(row[field]), float(b[field])
+            if not (math.isfinite(fv) and math.isfinite(bv)) or bv <= 0:
+                continue
+            compared += 1
+            ratio = fv / bv if direction == "lower" else bv / fv
+            delta = (fv / bv - 1.0) * 100.0
+            label = "%s %+.0f%% @%s" % (
+                field, delta,
+                ",".join("%s=%s" % (k, v) for k, v in identity(row)
+                         if k not in ("bench", "quick")))
+            if ratio > worst[0]:
+                worst = (ratio, label)
+            if ratio > tol:
+                fails.append("%s (band %.2fx)" % (label, tol))
+    return compared, fails, worst
+
+
+def compare_micro(name, base, fresh):
+    base_by_name = {b["name"]: b for b in base.get("benchmarks", [])
+                    if b.get("run_type") != "aggregate"}
+    fails, worst = [], (0.0, "")
+    compared = 0
+    for b in fresh.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ref = base_by_name.get(b["name"])
+        if ref is None:
+            continue
+        fv, bv = float(b.get("cpu_time", 0)), float(ref.get("cpu_time", 0))
+        if bv <= 0 or fv <= 0:
+            continue
+        compared += 1
+        ratio = fv / bv
+        label = "%s cpu_time %+.0f%%" % (b["name"], (ratio - 1.0) * 100.0)
+        if ratio > worst[0]:
+            worst = (ratio, label)
+        if ratio > MICRO_TOL:
+            fails.append("%s (band %.2fx)" % (label, MICRO_TOL))
+    return compared, fails, worst
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    fresh_dir = sys.argv[1]
+    base_dir = sys.argv[2] if len(sys.argv) > 2 else "bench/results/baseline"
+
+    failed = False
+    names = sorted(n for n in os.listdir(fresh_dir)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        print("bench_gate: no BENCH_*.json in %s" % fresh_dir)
+        return 2
+    for fname in names:
+        name = fname[len("BENCH_"):-len(".json")]
+        base_path = os.path.join(base_dir, fname)
+        if not os.path.exists(base_path):
+            print("gate: %-22s SKIP (no baseline)" % name)
+            continue
+        base, fresh = load(base_path), load(os.path.join(fresh_dir, fname))
+        if "benchmarks" in fresh:
+            compared, fails, worst = compare_micro(name, base, fresh)
+        else:
+            compared, fails, worst = compare_sidecar(name, base, fresh)
+        if fails:
+            failed = True
+            print("gate: %-22s FAIL  %s" % (name, "; ".join(fails)))
+        elif compared == 0:
+            print("gate: %-22s SKIP (no comparable rows)" % name)
+        else:
+            print("gate: %-22s OK    (%d metrics, worst %s)"
+                  % (name, compared, worst[1]))
+    if failed:
+        print("bench_gate: REGRESSION — fresh results in %s, baseline in %s"
+              % (fresh_dir, base_dir))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

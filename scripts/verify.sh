@@ -51,14 +51,20 @@ for p in "${presets[@]}"; do
   fi
 done
 
-# Bench smoke: quick-grid run of the Fig. 2/3/4 + micro benches into a
-# scratch dir, so a perf-path regression that crashes or hangs a bench is
-# caught here rather than at the next trajectory recording. Only part of the
-# full sweep (no preset args); numbers are discarded — scripts/bench.sh is
-# the recorded run.
+# Bench smoke: quick-grid run of the Fig. 2/3/4 + saturation + micro benches
+# into a scratch dir, so a perf-path regression that crashes or hangs a bench
+# is caught here rather than at the next trajectory recording. Only part of
+# the full sweep (no preset args). With FLUX_BENCH_GATE=1 (the default) the
+# fresh sidecars are then diffed against bench/results/baseline by
+# scripts/bench_gate.py — a regression past the tolerance band fails verify.
 if [ $# -eq 0 ]; then
   echo "=== bench smoke (FLUX_BENCH_QUICK=1) ==="
-  FLUX_BENCH_QUICK=1 scripts/bench.sh "$(mktemp -d)"
+  bench_out="$(mktemp -d)"
+  FLUX_BENCH_QUICK=1 scripts/bench.sh "$bench_out"
+  if [ "${FLUX_BENCH_GATE:-1}" = 1 ]; then
+    echo "=== bench gate (fresh quick grid vs bench/results/baseline) ==="
+    python3 scripts/bench_gate.py "$bench_out" bench/results/baseline
+  fi
 fi
 
 echo "verify: all requested presets green"

@@ -1,24 +1,48 @@
 #include "base/hex.hpp"
 
+#include <array>
+
 namespace flux {
 
 namespace {
 constexpr char kDigits[] = "0123456789abcdef";
 
-int nibble(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
+// Byte -> two hex digits in one table lookup. Hex refs (40-char SHA1s) are
+// emitted on every directory serialization and setroot announce, so encode
+// and decode both sit on the data plane's hot path.
+constexpr std::array<std::array<char, 2>, 256> make_pairs() {
+  std::array<std::array<char, 2>, 256> t{};
+  for (int b = 0; b < 256; ++b)
+    t[static_cast<std::size_t>(b)] = {kDigits[b >> 4], kDigits[b & 0x0f]};
+  return t;
 }
+constexpr auto kPairs = make_pairs();
+
+// Char -> nibble value, -1 for non-hex.
+constexpr std::array<std::int8_t, 256> make_nibbles() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (int i = 0; i < 10; ++i)
+    t[static_cast<std::size_t>('0') + static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(i);
+  for (int i = 0; i < 6; ++i) {
+    t[static_cast<std::size_t>('a') + static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(10 + i);
+    t[static_cast<std::size_t>('A') + static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(10 + i);
+  }
+  return t;
+}
+constexpr auto kNibbles = make_nibbles();
 }  // namespace
 
 std::string hex_encode(std::span<const std::uint8_t> bytes) {
   std::string out;
-  out.reserve(bytes.size() * 2);
+  out.resize(bytes.size() * 2);
+  char* p = out.data();
   for (std::uint8_t b : bytes) {
-    out.push_back(kDigits[b >> 4]);
-    out.push_back(kDigits[b & 0x0f]);
+    *p++ = kPairs[b][0];
+    *p++ = kPairs[b][1];
   }
   return out;
 }
@@ -26,13 +50,18 @@ std::string hex_encode(std::span<const std::uint8_t> bytes) {
 std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view hex) {
   if (hex.size() % 2 != 0) return std::nullopt;
   std::vector<std::uint8_t> out;
-  out.reserve(hex.size() / 2);
+  out.resize(hex.size() / 2);
+  std::uint8_t* p = out.data();
+  // Accumulate validity instead of branching per character: a single bad
+  // digit poisons the sign bit of `bad`.
+  int bad = 0;
   for (std::size_t i = 0; i < hex.size(); i += 2) {
-    const int hi = nibble(hex[i]);
-    const int lo = nibble(hex[i + 1]);
-    if (hi < 0 || lo < 0) return std::nullopt;
-    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    const int hi = kNibbles[static_cast<std::uint8_t>(hex[i])];
+    const int lo = kNibbles[static_cast<std::uint8_t>(hex[i + 1])];
+    bad |= hi | lo;
+    *p++ = static_cast<std::uint8_t>((hi << 4) | lo);
   }
+  if (bad < 0) return std::nullopt;
   return out;
 }
 

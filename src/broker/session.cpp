@@ -112,6 +112,12 @@ std::unique_ptr<Session> Session::create_threaded(SessionConfig cfg) {
   for (std::uint32_t r = 0; r < s->cfg_.size; ++r)
     s->thread_ex_.push_back(std::make_unique<ThreadExecutor>());
   s->build_brokers();
+  s->inboxes_.reserve(s->cfg_.size);
+  for (std::uint32_t r = 0; r < s->cfg_.size; ++r) {
+    Broker* b = s->brokers_[r].get();
+    s->inboxes_.push_back(std::make_unique<MsgInbox>(
+        *s->thread_ex_[r], [b](Message m) { b->receive(std::move(m)); }));
+  }
   for (auto& ex : s->thread_ex_) ex->start();
   return s;
 }
@@ -168,22 +174,13 @@ void Session::send_now(NodeId from, NodeId to, Message msg) {
     return;
   }
   // Threaded transport: round-trip through the wire codec (serialization is
-  // exercised for real), then hand the shared frame to the destination
-  // reactor. The receiver decodes zero-copy: the message's body aliases the
-  // frame, so a forwarding hop re-emits it without re-serializing.
-  Broker& src = broker(from);
-  Broker& dst = broker(to);
-  if (src.failed() || dst.failed()) return;
-  WireFrame wire = encode_shared(msg);
-  thread_ex_.at(to)->post([&dst, wire = std::move(wire)] {
-    auto decoded = decode_shared(wire);
-    if (!decoded) {
-      log::error("session", "undecodable message dropped: ",
-                 decoded.error().to_string());
-      return;
-    }
-    dst.receive(std::move(decoded).value());
-  });
+  // exercised for real), then hand the shared frame to the destination's
+  // inbox. The inbox batches delivery — a burst of frames costs one reactor
+  // wakeup, and the receiver drains up to MsgInbox::kMaxDrain per turn. The
+  // receiver decodes zero-copy: the message's body aliases the frame, so a
+  // forwarding hop re-emits it without re-serializing.
+  if (broker(from).failed() || broker(to).failed()) return;
+  inboxes_.at(to)->push(encode_shared(msg));
 }
 
 void Session::fail(NodeId rank) {

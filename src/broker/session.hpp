@@ -20,6 +20,7 @@
 #include "broker/broker.hpp"
 #include "exec/sim_executor.hpp"
 #include "exec/thread_executor.hpp"
+#include "net/inbox.hpp"
 #include "net/simnet.hpp"
 #include "net/topology.hpp"
 
@@ -137,6 +138,7 @@ class Session {
   SimExecutor* sim_ex_ = nullptr;                  // sim mode
   std::unique_ptr<SimNet> simnet_;                 // sim mode
   std::vector<std::unique_ptr<ThreadExecutor>> thread_ex_;  // threaded mode
+  std::vector<std::unique_ptr<MsgInbox>> inboxes_;          // threaded mode
   std::vector<std::unique_ptr<Broker>> brokers_;
 };
 

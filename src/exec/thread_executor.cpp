@@ -62,6 +62,8 @@ bool ThreadExecutor::in_loop_thread() const noexcept {
 }
 
 void ThreadExecutor::loop() {
+  std::vector<std::function<void()>> batch;
+  batch.reserve(kDrainBatch);
   std::unique_lock lk(mu_);
   while (true) {
     // Promote due timers.
@@ -71,14 +73,22 @@ void ThreadExecutor::loop() {
       timers_.pop();
     }
     if (!ready_.empty()) {
-      auto fn = std::move(ready_.front());
-      ready_.pop();
-      lk.unlock();
-      try {
-        fn();
-      } catch (const std::exception& e) {
-        log::error("exec", "uncaught exception in reactor: ", e.what());
+      // Drain a bounded batch per lock acquisition: one mutex round-trip
+      // covers up to kDrainBatch tasks, and timers are re-promoted between
+      // batches so they stay responsive under a flooded ready queue.
+      while (!ready_.empty() && batch.size() < kDrainBatch) {
+        batch.push_back(std::move(ready_.front()));
+        ready_.pop();
       }
+      lk.unlock();
+      for (auto& fn : batch) {
+        try {
+          fn();
+        } catch (const std::exception& e) {
+          log::error("exec", "uncaught exception in reactor: ", e.what());
+        }
+      }
+      batch.clear();
       lk.lock();
       continue;
     }

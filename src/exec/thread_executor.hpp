@@ -35,6 +35,11 @@ class ThreadExecutor final : public Executor {
   /// True when the calling thread is this executor's loop thread.
   [[nodiscard]] bool in_loop_thread() const noexcept;
 
+  /// Ready tasks run per lock acquisition. Draining a batch amortizes the
+  /// mutex + condvar handshake across a burst of posts; the bound keeps due
+  /// timers from waiting behind an unbounded ready queue.
+  static constexpr std::size_t kDrainBatch = 64;
+
  private:
   struct Timed {
     TimePoint when;

@@ -1,11 +1,13 @@
 #include "json/json.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <stdexcept>
 
 namespace flux {
 
@@ -16,6 +18,13 @@ const Json kNull{};
   throw FluxException(Error(errc::inval, std::string("json: not a ") + what));
 }
 }  // namespace
+
+const Json& JsonObject::at(std::string_view key) const {
+  auto it = find(key);
+  if (it == end())
+    throw std::out_of_range("JsonObject::at: no key " + std::string(key));
+  return it->second;
+}
 
 Json::Json(unsigned long v) {
   if (v > static_cast<unsigned long>(std::numeric_limits<std::int64_t>::max()))
@@ -102,10 +111,7 @@ const Json& Json::at(std::string_view key) const {
 Json& Json::operator[](std::string_view key) {
   if (is_null()) value_ = JsonObject{};
   auto& obj = as_object();
-  auto it = obj.find(key);
-  if (it == obj.end())
-    it = obj.emplace(std::string(key), Json()).first;
-  return it->second;
+  return obj.emplace(std::string(key), Json()).first->second;
 }
 
 std::int64_t Json::get_int(std::string_view key, std::int64_t dflt) const {
@@ -152,10 +158,27 @@ bool operator==(const Json& a, const Json& b) noexcept {
 // Serialization
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// True for bytes that can be copied into a string literal verbatim.
+inline bool plain_char(unsigned char c) noexcept {
+  return c >= 0x20 && c != '"' && c != '\\';
+}
+
+}  // namespace
+
 void json_escape_to(std::string& out, std::string_view s) {
   out.push_back('"');
-  for (const char raw : s) {
-    const auto c = static_cast<unsigned char>(raw);
+  std::size_t i = 0;
+  while (i < s.size()) {
+    // Bulk-copy the run of plain characters (the whole string, usually).
+    std::size_t run = i;
+    while (run < s.size() && plain_char(static_cast<unsigned char>(s[run])))
+      ++run;
+    out.append(s.data() + i, run - i);
+    i = run;
+    if (i >= s.size()) break;
+    const auto c = static_cast<unsigned char>(s[i++]);
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -164,17 +187,30 @@ void json_escape_to(std::string& out, std::string_view s) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(static_cast<char>(c));
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      }
     }
   }
   out.push_back('"');
+}
+
+std::size_t json_escaped_size(std::string_view s) noexcept {
+  std::size_t n = 2;  // quotes
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (plain_char(c))
+      n += 1;
+    else
+      switch (c) {
+        case '"': case '\\': case '\b': case '\f':
+        case '\n': case '\r': case '\t': n += 2; break;
+        default: n += 6; break;  // \uXXXX
+      }
+  }
+  return n;
 }
 
 namespace {
@@ -197,9 +233,17 @@ void dump_double_to(std::string& out, double d) {
     out += ".0";
 }
 
+std::size_t double_dump_size(double d) {
+  char buf[40];
+  std::string tmp;  // small; stays in SSO
+  tmp.reserve(sizeof buf);
+  dump_double_to(tmp, d);
+  return tmp.size();
+}
+
 }  // namespace
 
-void Json::dump_to(std::string& out) const {
+void Json::dump_into(std::string& out) const {
   switch (type()) {
     case Type::Null: out += "null"; return;
     case Type::Bool: out += (std::get<bool>(value_) ? "true" : "false"); return;
@@ -218,7 +262,7 @@ void Json::dump_to(std::string& out) const {
       const auto& arr = std::get<JsonArray>(value_);
       for (std::size_t i = 0; i < arr.size(); ++i) {
         if (i) out.push_back(',');
-        arr[i].dump_to(out);
+        arr[i].dump_into(out);
       }
       out.push_back(']');
       return;
@@ -232,7 +276,7 @@ void Json::dump_to(std::string& out) const {
         first = false;
         json_escape_to(out, k);
         out.push_back(':');
-        v.dump_to(out);
+        v.dump_into(out);
       }
       out.push_back('}');
       return;
@@ -241,15 +285,14 @@ void Json::dump_to(std::string& out) const {
 }
 
 std::string Json::dump() const {
+  // Single pass: amortized growth beats a full pre-walk for sizing. Callers
+  // on the hot path should prefer dump_into with a reused buffer.
   std::string out;
-  out.reserve(dump_size());
-  dump_to(out);
+  dump_into(out);
   return out;
 }
 
 std::size_t Json::dump_size() const {
-  // Exact would require formatting; a close upper bound is enough for wire
-  // accounting, but we keep it exact by just formatting scalars.
   switch (type()) {
     case Type::Null: return 4;
     case Type::Bool: return std::get<bool>(value_) ? 4 : 5;
@@ -260,16 +303,8 @@ std::size_t Json::dump_size() const {
       (void)ec;
       return static_cast<std::size_t>(ptr - buf);
     }
-    case Type::Double: {
-      std::string tmp;
-      dump_double_to(tmp, std::get<double>(value_));
-      return tmp.size();
-    }
-    case Type::String: {
-      std::string tmp;
-      json_escape_to(tmp, std::get<std::string>(value_));
-      return tmp.size();
-    }
+    case Type::Double: return double_dump_size(std::get<double>(value_));
+    case Type::String: return json_escaped_size(std::get<std::string>(value_));
     case Type::Array: {
       const auto& arr = std::get<JsonArray>(value_);
       std::size_t n = 2 + (arr.empty() ? 0 : arr.size() - 1);
@@ -279,11 +314,8 @@ std::size_t Json::dump_size() const {
     case Type::Object: {
       const auto& obj = std::get<JsonObject>(value_);
       std::size_t n = 2 + (obj.empty() ? 0 : obj.size() - 1);
-      for (const auto& [k, v] : obj) {
-        std::string tmp;
-        json_escape_to(tmp, k);
-        n += tmp.size() + 1 + v.dump_size();
-      }
+      for (const auto& [k, v] : obj)
+        n += json_escaped_size(k) + 1 + v.dump_size();
       return n;
     }
   }
@@ -331,7 +363,7 @@ void Json::dump_pretty_to(std::string& out, int indent, int depth) const {
       return;
     }
     default:
-      dump_to(out);
+      dump_into(out);
   }
 }
 
@@ -354,7 +386,7 @@ class Parser {
   Expected<Json> run() {
     skip_ws();
     Json v;
-    if (auto st = parse_element(v, 0); !st) return st.error();
+    if (auto st = parse_value(v, 0); !st) return st.error();
     skip_ws();
     if (pos_ != text_.size()) return err("trailing characters");
     return v;
@@ -390,9 +422,18 @@ class Parser {
     if (depth > kMaxDepth) return err("nesting too deep");
     if (pos_ >= text_.size()) return err("unexpected end of input");
     switch (text_[pos_]) {
-      case 'n': return parse_literal("null", Json());
-      case 't': return parse_literal("true", Json(true));
-      case 'f': return parse_literal("false", Json(false));
+      case 'n':
+        if (auto st = expect("null"); !st) return st;
+        out = Json();
+        return {};
+      case 't':
+        if (auto st = expect("true"); !st) return st;
+        out = Json(true);
+        return {};
+      case 'f':
+        if (auto st = expect("false"); !st) return st;
+        out = Json(false);
+        return {};
       case '"': {
         std::string s;
         if (auto st = parse_string(s); !st) return st;
@@ -403,14 +444,11 @@ class Parser {
       case '{': return parse_object(out, depth);
       default: return parse_number(out);
     }
-    // parse_literal writes through out_literal_; see below.
   }
 
-  Status parse_literal(std::string_view lit, Json value) {
+  Status expect(std::string_view lit) {
     if (text_.substr(pos_, lit.size()) != lit) return err("invalid literal");
     pos_ += lit.size();
-    pending_literal_ = std::move(value);
-    has_pending_ = true;
     return {};
   }
 
@@ -422,10 +460,14 @@ class Parser {
       out = Json(std::move(arr));
       return {};
     }
+    // A non-empty array element costs >= 2 input bytes ("x," / "1,"), so the
+    // remaining input bounds the element count; seed the vector with a
+    // conservative slice of that instead of growing from zero.
+    arr.reserve(std::min<std::size_t>((text_.size() - pos_) / 2 + 1, 64));
     while (true) {
       Json v;
       skip_ws();
-      if (auto st = parse_element(v, depth + 1); !st) return st;
+      if (auto st = parse_value(v, depth + 1); !st) return st;
       arr.push_back(std::move(v));
       skip_ws();
       if (eat(',')) continue;
@@ -444,6 +486,8 @@ class Parser {
       out = Json(std::move(obj));
       return {};
     }
+    // A member costs >= 5 input bytes ("k":v, quotes included).
+    obj.reserve(std::min<std::size_t>((text_.size() - pos_) / 5 + 1, 64));
     while (true) {
       skip_ws();
       if (pos_ >= text_.size() || text_[pos_] != '"')
@@ -454,7 +498,9 @@ class Parser {
       if (!eat(':')) return err("expected ':'");
       skip_ws();
       Json v;
-      if (auto st = parse_element(v, depth + 1); !st) return st;
+      if (auto st = parse_value(v, depth + 1); !st) return st;
+      // Canonical input arrives sorted, so insert_or_assign's append fast
+      // path makes this loop linear; duplicate keys stay last-wins.
       obj.insert_or_assign(std::move(key), std::move(v));
       skip_ws();
       if (eat(',')) continue;
@@ -465,64 +511,60 @@ class Parser {
     return {};
   }
 
-  // parse_value with pending-literal plumbing resolved.
-  Status parse_element(Json& out, int depth) {
-    has_pending_ = false;
-    if (auto st = parse_value(out, depth); !st) return st;
-    if (has_pending_) {
-      out = std::move(pending_literal_);
-      has_pending_ = false;
-    }
-    return {};
-  }
-
   Status parse_string(std::string& out) {
     ++pos_;  // '"'
     while (pos_ < text_.size()) {
+      // Bulk-copy the run up to the next quote, escape, or control byte —
+      // for typical payloads that is the entire string in one append.
+      std::size_t run = pos_;
+      while (run < text_.size()) {
+        const auto c = static_cast<unsigned char>(text_[run]);
+        if (c == '"' || c == '\\' || c < 0x20) break;
+        ++run;
+      }
+      out.append(text_.data() + pos_, run - pos_);
+      pos_ = run;
+      if (pos_ >= text_.size()) break;
       const char c = text_[pos_];
       if (c == '"') {
         ++pos_;
         return {};
       }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return err("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'n': out.push_back('\n'); break;
-          case 'r': out.push_back('\r'); break;
-          case 't': out.push_back('\t'); break;
-          case 'u': {
-            unsigned cp = 0;
-            if (auto st = parse_hex4(cp); !st) return st;
-            if (cp >= 0xD800 && cp <= 0xDBFF) {
-              // Surrogate pair.
-              if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
-                  text_[pos_ + 1] != 'u')
-                return err("unpaired surrogate");
-              pos_ += 2;
-              unsigned lo = 0;
-              if (auto st = parse_hex4(lo); !st) return st;
-              if (lo < 0xDC00 || lo > 0xDFFF) return err("bad low surrogate");
-              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
-              return err("unpaired surrogate");
-            }
-            append_utf8(out, cp);
-            break;
-          }
-          default: return err("bad escape character");
-        }
-      } else if (static_cast<unsigned char>(c) < 0x20) {
+      if (static_cast<unsigned char>(c) < 0x20)
         return err("control character in string");
-      } else {
-        out.push_back(c);
-        ++pos_;
+      // Escape sequence.
+      ++pos_;
+      if (pos_ >= text_.size()) return err("bad escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (auto st = parse_hex4(cp); !st) return st;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return err("unpaired surrogate");
+            pos_ += 2;
+            unsigned lo = 0;
+            if (auto st = parse_hex4(lo); !st) return st;
+            if (lo < 0xDC00 || lo > 0xDFFF) return err("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return err("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return err("bad escape character");
       }
     }
     return err("unterminated string");
@@ -609,8 +651,6 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
-  Json pending_literal_;
-  bool has_pending_ = false;
 };
 
 }  // namespace

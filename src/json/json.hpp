@@ -2,18 +2,23 @@
 //
 // Every CMB message carries a JSON payload frame (paper §IV-A) and every KVS
 // object is a JSON value (§IV-B), so this sits on the hot path. Design notes:
-//  - Objects keep keys sorted (std::map) so serialization is *canonical*:
-//    equal values serialize to equal bytes, which the content-addressed KVS
-//    relies on for SHA1 dedup.
+//  - Objects keep keys sorted so serialization is *canonical*: equal values
+//    serialize to equal bytes, which the content-addressed KVS relies on for
+//    SHA1 dedup. The backing store is a sorted flat vector (JsonObject), not
+//    a node-based map: iteration is a linear scan, lookup a binary search,
+//    and building from canonical (already-sorted) input is a pure append.
+//  - Scalars live inline in the variant (no heap node per value); the flat
+//    object also shrinks the variant's largest alternative, so a Json is one
+//    vector header instead of a red-black tree.
 //  - Integers are kept distinct from doubles (resource counts, versions and
 //    sequence numbers must round-trip exactly).
 //  - Parser is a straightforward recursive-descent over UTF-8 bytes with a
-//    depth limit; errors carry byte offsets.
+//    depth limit; errors carry byte offsets. Serialization is single-pass
+//    into a caller-reusable buffer (dump_into).
 #pragma once
 
 #include <cstdint>
 #include <initializer_list>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -27,7 +32,61 @@ namespace flux {
 class Json;
 
 using JsonArray = std::vector<Json>;
-using JsonObject = std::map<std::string, Json, std::less<>>;
+
+/// Object storage: a vector of (key, value) pairs kept sorted by key —
+/// canonical order is the storage order. The interface mirrors the subset of
+/// std::map the codebase uses (find/at/contains/emplace/insert_or_assign and
+/// structured-binding iteration); duplicate-key semantics match std::map:
+/// the initializer-list constructor keeps the FIRST occurrence, emplace
+/// refuses duplicates, insert_or_assign overwrites.
+class JsonObject {
+ public:
+  using value_type = std::pair<std::string, Json>;
+  using storage = std::vector<value_type>;
+  using iterator = storage::iterator;
+  using const_iterator = storage::const_iterator;
+
+  JsonObject() = default;
+  JsonObject(std::initializer_list<std::pair<const std::string, Json>> items);
+
+  [[nodiscard]] iterator begin() noexcept;
+  [[nodiscard]] iterator end() noexcept;
+  [[nodiscard]] const_iterator begin() const noexcept;
+  [[nodiscard]] const_iterator end() const noexcept;
+  [[nodiscard]] const_iterator cbegin() const noexcept;
+  [[nodiscard]] const_iterator cend() const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept;
+  void clear() noexcept;
+  /// Pre-size the backing vector (parser fast path).
+  void reserve(std::size_t n);
+
+  [[nodiscard]] iterator find(std::string_view key) noexcept;
+  [[nodiscard]] const_iterator find(std::string_view key) const noexcept;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  /// Checked lookup; throws std::out_of_range like std::map::at.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Insert if absent (first-wins); returns {position, inserted}.
+  std::pair<iterator, bool> emplace(std::string key, Json value);
+  /// Insert or overwrite (last-wins); returns {position, inserted}.
+  std::pair<iterator, bool> insert_or_assign(std::string key, Json value);
+  /// Remove a key if present; returns the number of elements removed (0/1).
+  std::size_t erase(std::string_view key);
+
+  friend bool operator==(const JsonObject& a, const JsonObject& b) noexcept;
+  friend bool operator!=(const JsonObject& a, const JsonObject& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  /// First position whose key is >= `key`. Appends being common (canonical
+  /// input is sorted), the back element is checked before binary search.
+  [[nodiscard]] iterator lower_bound(std::string_view key) noexcept;
+
+  storage items_;
+};
 
 /// A JSON value. Cheap to move; copying deep-copies.
 class Json {
@@ -100,6 +159,10 @@ class Json {
 
   /// Canonical serialization (sorted keys, no whitespace, shortest doubles).
   [[nodiscard]] std::string dump() const;
+  /// Canonical serialization appended to `out` in a single pass — the
+  /// hot-path entry point: callers clear() and reuse one buffer across
+  /// messages, so steady state does no allocation at all.
+  void dump_into(std::string& out) const;
   /// Pretty-printed serialization for diagnostics.
   [[nodiscard]] std::string dump_pretty(int indent = 2) const;
 
@@ -113,13 +176,13 @@ class Json {
   }
 
   /// Serialized size without building the string (sim wire-size accounting).
+  /// Exact, and allocation-free.
   [[nodiscard]] std::size_t dump_size() const;
 
  private:
   using Value = std::variant<std::nullptr_t, bool, std::int64_t, double,
                              std::string, JsonArray, JsonObject>;
 
-  void dump_to(std::string& out) const;
   void dump_pretty_to(std::string& out, int indent, int depth) const;
 
   Value value_;
@@ -127,5 +190,93 @@ class Json {
 
 /// Escape a string into a JSON string literal (with surrounding quotes).
 void json_escape_to(std::string& out, std::string_view s);
+/// Length json_escape_to would append, without writing anything.
+[[nodiscard]] std::size_t json_escaped_size(std::string_view s) noexcept;
+
+// ---------------------------------------------------------------------------
+// JsonObject inline definitions (Json is complete from here on).
+// ---------------------------------------------------------------------------
+
+inline JsonObject::iterator JsonObject::begin() noexcept { return items_.begin(); }
+inline JsonObject::iterator JsonObject::end() noexcept { return items_.end(); }
+inline JsonObject::const_iterator JsonObject::begin() const noexcept {
+  return items_.begin();
+}
+inline JsonObject::const_iterator JsonObject::end() const noexcept {
+  return items_.end();
+}
+inline JsonObject::const_iterator JsonObject::cbegin() const noexcept {
+  return items_.begin();
+}
+inline JsonObject::const_iterator JsonObject::cend() const noexcept {
+  return items_.end();
+}
+inline std::size_t JsonObject::size() const noexcept { return items_.size(); }
+inline bool JsonObject::empty() const noexcept { return items_.empty(); }
+inline void JsonObject::clear() noexcept { items_.clear(); }
+inline void JsonObject::reserve(std::size_t n) { items_.reserve(n); }
+
+inline JsonObject::iterator JsonObject::lower_bound(std::string_view key) noexcept {
+  if (items_.empty() || items_.back().first < key) return items_.end();
+  auto lo = items_.begin();
+  auto hi = items_.end();
+  while (lo != hi) {
+    auto mid = lo + (hi - lo) / 2;
+    if (mid->first < key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+inline JsonObject::iterator JsonObject::find(std::string_view key) noexcept {
+  auto it = lower_bound(key);
+  return (it != items_.end() && it->first == key) ? it : items_.end();
+}
+
+inline JsonObject::const_iterator JsonObject::find(std::string_view key) const noexcept {
+  return const_cast<JsonObject*>(this)->find(key);
+}
+
+inline bool JsonObject::contains(std::string_view key) const noexcept {
+  return find(key) != items_.end();
+}
+
+inline std::pair<JsonObject::iterator, bool> JsonObject::emplace(std::string key,
+                                                                 Json value) {
+  auto it = lower_bound(key);
+  if (it != items_.end() && it->first == key) return {it, false};
+  it = items_.emplace(it, std::move(key), std::move(value));
+  return {it, true};
+}
+
+inline std::pair<JsonObject::iterator, bool> JsonObject::insert_or_assign(
+    std::string key, Json value) {
+  auto it = lower_bound(key);
+  if (it != items_.end() && it->first == key) {
+    it->second = std::move(value);
+    return {it, false};
+  }
+  it = items_.emplace(it, std::move(key), std::move(value));
+  return {it, true};
+}
+
+inline std::size_t JsonObject::erase(std::string_view key) {
+  auto it = find(key);
+  if (it == items_.end()) return 0;
+  items_.erase(it);
+  return 1;
+}
+
+inline JsonObject::JsonObject(
+    std::initializer_list<std::pair<const std::string, Json>> items) {
+  items_.reserve(items.size());
+  for (const auto& [k, v] : items) emplace(k, v);
+}
+
+inline bool operator==(const JsonObject& a, const JsonObject& b) noexcept {
+  return a.items_ == b.items_;
+}
 
 }  // namespace flux

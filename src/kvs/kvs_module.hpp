@@ -111,6 +111,16 @@ class KvsModule final : public ModuleBase {
     /// Objects brought into the local cache by fault/load responses.
     std::uint64_t objects_faulted = 0;
     std::uint64_t flushes_forwarded = 0;
+    /// Classic master: root transitions performed (one per coalesced apply
+    /// batch) and the total fences those transitions covered. The ratio is
+    /// the coalescing factor commit bursts achieve.
+    std::uint64_t apply_batches = 0;
+    std::uint64_t apply_batched_fences = 0;
+    /// Classic master: "kvs.setroot" announces published and the fences they
+    /// covered. Under commit bursts one announce carries several coalesced
+    /// root transitions, so announces <= apply_batches.
+    std::uint64_t announces = 0;
+    std::uint64_t announced_fences = 0;
   };
 
   // Introspection for tests/benches.
@@ -187,6 +197,9 @@ class KvsModule final : public ModuleBase {
     std::vector<Message> waiters;
     // Local cache pins to release at completion.
     std::vector<Sha1> pins;
+    // Master only: this fence is already queued in the apply batch — extra
+    // contributions past nprocs must not enqueue it twice.
+    bool apply_pending = false;
   };
 
   /// Identity of the requesting endpoint, stable across its RPC retries.
@@ -200,9 +213,26 @@ class KvsModule final : public ModuleBase {
   void flush_fence(const std::string& name);
   void master_check_fence(const std::string& name);
 
-  /// Master: apply tuples, bump version, publish setroot.
+  /// Master: post one apply for every fence that became ready this reactor
+  /// turn (idempotent while a flush is pending).
+  void schedule_master_apply();
+  /// The posted flush: concatenates the batch (readiness order) into ONE
+  /// apply_transaction + ONE version bump + ONE kvs.setroot publish, so all
+  /// coalesced committers observe the same new root.
+  void flush_apply_batch();
+
+  /// Master: apply tuples, bump version, schedule the setroot announce.
   void master_apply(const std::vector<Tuple>& tuples,
                     std::vector<std::string> fences);
+
+  /// Master: publish "kvs.setroot" now if the last announce is at least one
+  /// window old, else arm a timer at last_announce_ + window. Idle and
+  /// sequential traffic stays on the synchronous path; only commit bursts
+  /// (applies closer together than the window) coalesce.
+  void schedule_announce();
+  /// Publish one "kvs.setroot" covering every root transition since the last
+  /// announce: the latest version/rootref plus all accumulated fence names.
+  void flush_announce();
 
   /// Adopt a (newer) root reference; completes version waiters and fences.
   void apply_root(const Sha1& ref, std::uint64_t version,
@@ -321,6 +351,33 @@ class KvsModule final : public ModuleBase {
   std::uint64_t fence_anon_seq_ = 0;  // fence_origin_key fallback counter
   std::map<TxnKey, Txn> txns_;
   std::map<std::string, FenceState> fences_;
+  /// Classic master: fences ready to apply, coalescing within one reactor
+  /// turn — {name, tuples in readiness order}. Flushed by one posted task;
+  /// under sustained load the flush is additionally rate-limited to one per
+  /// announce window, so commits arriving at distinct instants still share
+  /// one root transition (and one directory freeze/hash).
+  std::vector<std::pair<std::string, std::vector<Tuple>>> apply_batch_;
+  bool apply_scheduled_ = false;
+  TimePoint last_apply_flush_{};
+  /// Batch instruments (bound in start(); surface in `flux_cli stats`).
+  obs::Counter* apply_batches_stat_ = nullptr;
+  obs::Histogram* apply_batch_size_ = nullptr;
+  /// Classic master: deferred "kvs.setroot" announce. The window rate-limits
+  /// both the apply flush (above) and the O(tree) event broadcast — which
+  /// carries the coalesced fence completions downstream — to one per window
+  /// under load; the first flush after an idle window stays synchronous, so
+  /// lone-op latency is untouched. Zero window disables deferral.
+  Duration announce_window_{};
+  TimePoint last_announce_{};
+  bool announce_armed_ = false;
+  /// Liveness token for the deferred apply/announce timers: ThreadExecutor
+  /// timers are not cancelable, and a broker restart destroys this module
+  /// instance while an armed timer may still fire — the callbacks hold a
+  /// weak_ptr and become no-ops once the token dies with the module.
+  std::shared_ptr<const bool> announce_token_ = std::make_shared<const bool>(true);
+  std::vector<std::string> announce_names_;
+  obs::Counter* announces_stat_ = nullptr;
+  obs::Histogram* announce_size_ = nullptr;
   std::unordered_map<Sha1, Promise<ObjPtr>> faults_;
   std::vector<std::pair<std::uint64_t, Promise<std::uint64_t>>> version_waiters_;
 

@@ -50,7 +50,10 @@ ParseMemo& parse_memo() {
 ObjPtr make_object(Json doc) {
   auto obj = std::make_shared<StoredObject>();
   obj->doc = std::move(doc);
-  obj->bytes = obj->doc.dump();
+  // Stored bytes live as long as the object: size exactly (dump_size is
+  // allocation-free) so the retained buffer carries no growth slack.
+  obj->bytes.reserve(obj->doc.dump_size());
+  obj->doc.dump_into(obj->bytes);
   obj->id = Sha1::of(obj->bytes);
   parse_memo().insert(obj);
   return obj;

@@ -24,7 +24,11 @@ void Heartbeat::shutdown() {
 }
 
 void Heartbeat::arm() {
-  broker().executor().post_daemon_after(period_, [this] { tick(); });
+  broker().executor().post_daemon_after(
+      period_, [this, tok = std::weak_ptr<const bool>(alive_)] {
+        if (tok.expired()) return;  // module destroyed (broker restart)
+        tick();
+      });
 }
 
 void Heartbeat::tick() {

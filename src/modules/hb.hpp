@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 
 #include "broker/module.hpp"
 #include "exec/executor.hpp"
@@ -36,6 +37,10 @@ class Heartbeat final : public ModuleBase {
   // Set by shutdown(), which threaded sessions call from the owning
   // thread while the reactor may still be ticking.
   std::atomic<bool> stopped_{false};
+  // Timers are not cancelable; a broker restart destroys this module while
+  // a tick is still queued. The callback holds a weak_ptr to this token and
+  // no-ops once the module is gone.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace flux::modules

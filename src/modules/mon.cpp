@@ -108,8 +108,11 @@ void Mon::reduce(std::uint64_t epoch,
   agg.flush_scheduled = true;
   // Settle delay (depth-staggered, see start()) so contributions from the
   // whole subtree coalesce before re-transmission.
-  broker().executor().post_daemon_after(flush_delay_,
-                                        [this, epoch] { flush(epoch); });
+  broker().executor().post_daemon_after(
+      flush_delay_, [this, epoch, tok = std::weak_ptr<const bool>(alive_)] {
+        if (tok.expired()) return;  // module destroyed (broker restart)
+        flush(epoch);
+      });
 }
 
 void Mon::flush(std::uint64_t epoch) {

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "broker/module.hpp"
@@ -60,6 +61,10 @@ class Mon final : public ModuleBase {
     bool flush_scheduled = false;
   };
   std::map<std::uint64_t, EpochAgg> pending_;
+  // Timers are not cancelable; a broker restart destroys this module while
+  // a flush is still queued. The callback holds a weak_ptr to this token
+  // and no-ops once the module is gone.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace flux::modules

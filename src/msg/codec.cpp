@@ -95,7 +95,12 @@ const SharedBytes& Message::encoded_body() const {
   if (!body_cache_) {
     codec_stats().body_builds.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::uint8_t> out;
-    const std::string json = payload_.dump();
+    // Serialize into a reused per-thread buffer: steady-state body builds do
+    // one allocation (the SharedBytes result), not two.
+    thread_local std::string json_buf;
+    json_buf.clear();
+    payload_.dump_into(json_buf);
+    const std::string& json = json_buf;
     std::size_t att_size = 0;
     if (attachment_)
       att_size = attachment_->tag().size() + attachment_->wire_size();

@@ -1,0 +1,47 @@
+#include "net/inbox.hpp"
+
+#include <vector>
+
+#include "base/log.hpp"
+
+namespace flux {
+
+void MsgInbox::push(WireFrame frame) {
+  bool post_drain = false;
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(std::move(frame));
+    if (!drain_pending_) {
+      drain_pending_ = true;
+      post_drain = true;
+    }
+  }
+  if (post_drain) ex_.post([this] { drain(); });
+}
+
+void MsgInbox::drain() {
+  std::vector<WireFrame> batch;
+  batch.reserve(kMaxDrain);
+  {
+    std::lock_guard lk(mu_);
+    while (!q_.empty() && batch.size() < kMaxDrain) {
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    // Keep the pending flag up across the re-post so concurrent pushes
+    // don't schedule a second drain.
+    drain_pending_ = !q_.empty();
+    if (drain_pending_) ex_.post([this] { drain(); });
+  }
+  for (const WireFrame& frame : batch) {
+    auto decoded = decode_shared(frame);
+    if (!decoded) {
+      log::error("inbox", "undecodable message dropped: ",
+                 decoded.error().to_string());
+      continue;
+    }
+    deliver_(std::move(decoded).value());
+  }
+}
+
+}  // namespace flux

@@ -1,0 +1,50 @@
+// Per-destination wire-frame inbox for the threaded transport.
+//
+// The naive threaded hop posts one reactor task per message: every send
+// takes the destination's queue lock, pushes a closure, and signals the
+// condition variable — so a burst of N messages costs N wakeups. The inbox
+// batches the hand-off: senders append encoded frames to a plain deque
+// under a short critical section, and only the transition empty→non-empty
+// posts a drain task. The drain decodes and delivers up to kMaxDrain
+// frames per reactor wakeup, then re-posts itself if the queue refilled —
+// bounded, so one chatty peer cannot starve timers or other posted work,
+// and per-message latency stays flat.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "exec/executor.hpp"
+#include "msg/codec.hpp"
+
+namespace flux {
+
+class MsgInbox {
+ public:
+  using Deliver = std::function<void(Message)>;
+
+  /// `deliver` runs on `ex`'s loop thread, once per decoded frame.
+  MsgInbox(Executor& ex, Deliver deliver)
+      : ex_(ex), deliver_(std::move(deliver)) {}
+  MsgInbox(const MsgInbox&) = delete;
+  MsgInbox& operator=(const MsgInbox&) = delete;
+
+  /// Enqueue an encoded frame (any thread). Posts the drain task only when
+  /// none is pending — a burst of sends costs one reactor wakeup.
+  void push(WireFrame frame);
+
+  /// Frames delivered per reactor wakeup before yielding.
+  static constexpr std::size_t kMaxDrain = 64;
+
+ private:
+  void drain();
+
+  Executor& ex_;
+  Deliver deliver_;
+  std::mutex mu_;
+  std::deque<WireFrame> q_;
+  bool drain_pending_ = false;
+};
+
+}  // namespace flux

@@ -11,6 +11,7 @@ SimNet::SimNet(SimExecutor& ex, NetParams params, std::uint32_t nnodes)
       params_(params),
       jitter_rng_(params.jitter_seed),
       failed_(nnodes, false),
+      link_busy_(static_cast<std::size_t>(nnodes) * nnodes, TimePoint{0}),
       recv_busy_(nnodes, TimePoint{0}) {}
 
 void SimNet::send(NodeId from, NodeId to, Message msg) {
@@ -27,10 +28,9 @@ void SimNet::send(NodeId from, NodeId to, Message msg) {
   const auto xfer = Duration{static_cast<Duration::rep>(
       std::llround(static_cast<double>(size) / lp.bytes_per_ns))};
 
-  const std::uint64_t link_key =
-      (static_cast<std::uint64_t>(from) << 32) | to;
   const TimePoint now = ex_.now();
-  TimePoint& busy = link_busy_[link_key];
+  TimePoint& busy =
+      link_busy_[static_cast<std::size_t>(from) * failed_.size() + to];
   const TimePoint start = std::max(now, busy);
   const TimePoint sent = start + lp.per_msg_overhead + xfer;
   busy = sent;

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "base/rng.hpp"
@@ -83,7 +82,9 @@ class SimNet {
   Deliver deliver_;
   std::vector<bool> failed_;
   // FIFO serialization state per directed link / per receiving broker.
-  std::unordered_map<std::uint64_t, TimePoint> link_busy_;
+  // Dense n*n table indexed [from * n + to]: one cache-line probe per send
+  // instead of a hash lookup on the hottest simulator path.
+  std::vector<TimePoint> link_busy_;
   std::vector<TimePoint> recv_busy_;
   Stats stats_;
 };

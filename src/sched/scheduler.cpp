@@ -74,7 +74,11 @@ void Scheduler::kick() {
   const TimePoint start = std::max(ex_.now(), busy_until_);
   busy_until_ = start + cost;
   stats_.sched_busy += cost;
-  ex_.post_at(busy_until_, [this] { pass(); });
+  ex_.post_at(busy_until_,
+              [this, tok = std::weak_ptr<const bool>(alive_)] {
+                if (tok.expired()) return;  // scheduler destroyed (restart)
+                pass();
+              });
 }
 
 void Scheduler::pass() {
@@ -131,7 +135,11 @@ void Scheduler::pass() {
     if (on_start_) on_start_(job.jobid, *alloc);
     if (!r.manual) {
       const std::uint64_t jobid = job.jobid;
-      ex_.post_after(job.walltime, [this, jobid] { complete(jobid); });
+      ex_.post_after(job.walltime,
+                     [this, jobid, tok = std::weak_ptr<const bool>(alive_)] {
+                       if (tok.expired()) return;
+                       complete(jobid);
+                     });
     }
   }
   check_idle();

@@ -114,6 +114,10 @@ class Scheduler {
   std::map<std::uint64_t, Running> running_;
   bool pass_scheduled_ = false;
   TimePoint busy_until_{0};
+  // Timers are not cancelable; the owning module can be destroyed (broker
+  // restart) with a pass or walltime completion still queued. Callbacks hold
+  // a weak_ptr to this token and no-op once the scheduler is gone.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
   StartFn on_start_;
   EndFn on_end_;
   IdleFn on_idle_;

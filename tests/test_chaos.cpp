@@ -494,6 +494,211 @@ TEST(Chaos, RestartedBrokerRejoinsAndResyncsKvs) {
 }
 
 // ---------------------------------------------------------------------------
+// Master crash vs. the apply batch
+// ---------------------------------------------------------------------------
+
+/// Resolve `key` in the hash tree at `root` using only `store`; nullopt when
+/// any component is missing. Lets the test audit the master's final tree
+/// directly, after the broker serving reads has been crashed.
+std::optional<Json> resolve_in_store(const ContentStore& store,
+                                     const Sha1& root, std::string_view key) {
+  ObjPtr cur = store.get(root);
+  for (const std::string& part : split_key(key)) {
+    if (!cur || cur->doc.get_string("t") != "dir") return std::nullopt;
+    const Json& entries = cur->doc.at("e");
+    if (!entries.contains(part)) return std::nullopt;
+    auto ref = Sha1::parse(entries.at(part).as_string());
+    if (!ref) return std::nullopt;
+    cur = store.get(*ref);
+  }
+  if (!cur || cur->doc.get_string("t") != "val") return std::nullopt;
+  return cur->doc.at("d");
+}
+
+constexpr int kKeysPerTxn = 3;
+
+Task<void> batch_txn_writer(Handle* h, int id, ChaosOutcome* out,
+                            bool (*acked)[kRounds], int* done) {
+  KvsClient kvs(*h);
+  for (int round = 0; round < kRounds; ++round) {
+    try {
+      co_await h->sleep(std::chrono::microseconds(150 + 20 * id));
+      const std::string base =
+          "batch.w" + std::to_string(id) + ".r" + std::to_string(round);
+      for (int k = 0; k < kKeysPerTxn; ++k)
+        co_await kvs.put(base + ".k" + std::to_string(k),
+                         id * 1000 + round * 10 + k);
+      co_await kvs.commit();
+      acked[id][round] = true;
+      ++out->ok;
+    } catch (const FluxException& e) {
+      ++out->failed;
+      out->codes.push_back(std::string(errc_name(e.error().code)));
+    } catch (const std::exception&) {
+      ++out->unexpected;
+    }
+  }
+  ++*done;
+}
+
+TEST(Chaos, MasterCrashMidBatchNeverHalfApplies) {
+  // The master coalesces same-turn commits into one apply batch; a crash
+  // landing anywhere around that window — before the flush, mid-fence
+  // accumulation, after the ack — must leave every transaction all-or-none
+  // in the master's tree and every unacked committer with a typed error.
+  // The crash instant is seed-swept across the commit window so some
+  // schedules hit each phase.
+  std::uint64_t batches_seen = 0;
+  for (std::uint64_t seed = chaos_base(50);
+       seed < chaos_base(50) + seeds_per_category(); ++seed) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    SimSession s(chaos_config(6));
+    Rng rng(seed);
+    const auto crash_at = std::chrono::microseconds(100 + rng.below(2400));
+
+    ChaosOutcome out;
+    int done = 0;
+    bool acked[kWriters][kRounds] = {};
+    std::vector<std::unique_ptr<Handle>> handles;
+    for (int w = 0; w < kWriters; ++w) {
+      handles.push_back(s.attach(static_cast<NodeId>(1 + w)));
+      co_spawn(s.ex(),
+               batch_txn_writer(handles.back().get(), w, &out, acked, &done),
+               "batch-writer");
+    }
+    auto killer = s.attach(1);
+    co_spawn(s.ex(),
+             [](Handle* h, Session* sess, Duration at) -> Task<void> {
+               co_await h->sleep(at);
+               sess->fail(0);
+             }(killer.get(), &s.session(), crash_at),
+             "master-killer");
+    s.ex().run();
+
+    EXPECT_EQ(done, kWriters) << "writer hung after master crash";
+    EXPECT_EQ(out.unexpected, 0) << "untyped exception escaped";
+    EXPECT_EQ(out.ok + out.failed, kWriters * kRounds);
+
+    // fail() settles RPCs but keeps module state (only restart destroys
+    // it), so the master's final tree is still auditable in-process.
+    auto* k0 =
+        dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+    ASSERT_NE(k0, nullptr);
+    batches_seen += k0->op_stats().apply_batches;
+    for (int w = 0; w < kWriters; ++w) {
+      for (int r = 0; r < kRounds; ++r) {
+        const std::string base =
+            "batch.w" + std::to_string(w) + ".r" + std::to_string(r);
+        int present = 0;
+        for (int k = 0; k < kKeysPerTxn; ++k)
+          if (resolve_in_store(k0->store(), k0->root_ref(),
+                               base + ".k" + std::to_string(k)))
+            ++present;
+        EXPECT_TRUE(present == 0 || present == kKeysPerTxn)
+            << base << ": " << present << "/" << kKeysPerTxn
+            << " keys applied (half-applied transaction)";
+        if (acked[w][r]) {
+          EXPECT_EQ(present, kKeysPerTxn)
+              << base << ": acked commit missing from the master tree";
+        }
+      }
+    }
+  }
+  EXPECT_GT(batches_seen, 0u) << "sweep never exercised the apply batch";
+}
+
+TEST(Chaos, WindowedApplyCoalescesWithoutLosingAckedCommits) {
+  // With an explicit coalescing window, commits landing at distinct sim
+  // instants share one deferred apply flush and one setroot announce. The
+  // batching must be visible in the stats AND invisible to the oracle:
+  // every acked transaction is present whole in the master tree.
+  SimSession s(chaos_config(6, Json::object({{"announce_window_us", 60}})));
+  ChaosOutcome out;
+  int done = 0;
+  bool acked[kWriters][kRounds] = {};
+  std::vector<std::unique_ptr<Handle>> handles;
+  for (int w = 0; w < kWriters; ++w) {
+    handles.push_back(s.attach(static_cast<NodeId>(1 + w)));
+    co_spawn(s.ex(),
+             batch_txn_writer(handles.back().get(), w, &out, acked, &done),
+             "windowed-writer");
+  }
+  s.ex().run();
+
+  EXPECT_EQ(done, kWriters);
+  EXPECT_EQ(out.unexpected, 0);
+  EXPECT_EQ(out.ok, kWriters * kRounds) << "no faults injected, no failures";
+
+  auto* k0 =
+      dynamic_cast<KvsModule*>(s.session().broker(0).find_module("kvs"));
+  ASSERT_NE(k0, nullptr);
+  const auto& ops = k0->op_stats();
+  // All 16 writer commits (plus any module boot-time commit) flowed through
+  // the batch path, and the window must have merged concurrent ones:
+  // strictly fewer root transitions and announces than fences applied.
+  EXPECT_GE(ops.apply_batched_fences, static_cast<std::uint64_t>(kWriters) * kRounds);
+  EXPECT_LT(ops.apply_batches, ops.apply_batched_fences)
+      << "window never coalesced an apply";
+  EXPECT_LT(ops.announces, ops.announced_fences)
+      << "window never coalesced an announce";
+  for (int w = 0; w < kWriters; ++w) {
+    for (int r = 0; r < kRounds; ++r) {
+      ASSERT_TRUE(acked[w][r]);
+      const std::string base =
+          "batch.w" + std::to_string(w) + ".r" + std::to_string(r);
+      for (int k = 0; k < kKeysPerTxn; ++k)
+        EXPECT_TRUE(resolve_in_store(k0->store(), k0->root_ref(),
+                                     base + ".k" + std::to_string(k)))
+            << base << ".k" << k << ": acked key missing";
+    }
+  }
+}
+
+TEST(Chaos, WindowedApplyCrashRestartLeavesNoStaleTimer) {
+  // A root bounce while the apply/announce timer is armed destroys the
+  // KvsModule instance with the timer still due: the stale callback must
+  // degrade to a no-op (weak liveness token — ThreadExecutor timers are not
+  // cancelable) and the pending batch dies whole. The restart lands INSIDE
+  // the window (30 µs after the crash, window 60 µs) so seeds split between
+  // timer-fires-on-failed-broker and timer-fires-after-destruction; ASan
+  // turns any stale-timer dereference into a hard failure. Root restart is
+  // session-fatal by design (plans spare rank 0), so no post-restart
+  // service is asserted — only typed settlement and no-UAF.
+  for (std::uint64_t seed = chaos_base(60);
+       seed < chaos_base(60) + seeds_per_category(); ++seed) {
+    SCOPED_TRACE(::testing::Message() << "chaos seed " << seed);
+    SimSession s(chaos_config(6, Json::object({{"announce_window_us", 60}})));
+    Rng rng(seed);
+    const auto crash_at = std::chrono::microseconds(120 + rng.below(600));
+
+    ChaosOutcome out;
+    int done = 0;
+    bool acked[kWriters][kRounds] = {};
+    std::vector<std::unique_ptr<Handle>> handles;
+    for (int w = 0; w < kWriters; ++w) {
+      handles.push_back(s.attach(static_cast<NodeId>(1 + w)));
+      co_spawn(s.ex(),
+               batch_txn_writer(handles.back().get(), w, &out, acked, &done),
+               "windowed-writer");
+    }
+    auto killer = s.attach(1);
+    co_spawn(s.ex(),
+             [](Handle* h, Session* sess, Duration at) -> Task<void> {
+               co_await h->sleep(at);
+               sess->fail(0);
+               co_await h->sleep(std::chrono::microseconds(30));
+               sess->restart(0);
+             }(killer.get(), &s.session(), crash_at),
+             "master-bouncer");
+    s.ex().run();
+
+    EXPECT_EQ(done, kWriters) << "writer hung across master bounce";
+    EXPECT_EQ(out.unexpected, 0) << "untyped exception escaped";
+    EXPECT_EQ(out.ok + out.failed, kWriters * kRounds);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Plan construction
 // ---------------------------------------------------------------------------
 

@@ -1,10 +1,16 @@
 // JSON value model, parser, canonical serialization.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <limits>
 
+#include "base/hex.hpp"
 #include "base/rng.hpp"
+#include "hash/sha1.hpp"
 #include "json/json.hpp"
+#include "kvs/object_bundle.hpp"
+#include "msg/codec.hpp"
 
 namespace flux {
 namespace {
@@ -153,6 +159,76 @@ TEST(Json, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
 }
 
+// Canonical-serialization golden vectors. The KVS content-addresses objects
+// by SHA1 of their canonical dump, so these bytes — sorted keys, minimal
+// whitespace, ".0" on integral doubles, \u escapes for control chars — are
+// an on-disk/on-wire format. Any serializer change that shifts them silently
+// re-keys every stored object; this test makes that a reviewed decision.
+TEST(Json, CanonicalGoldenVectors) {
+  struct Vector {
+    Json doc;
+    const char* canonical;
+    const char* sha1;
+  };
+  const Vector vectors[] = {
+      {Json::object({{"t", "dir"}, {"e", Json::object()}}),
+       R"({"e":{},"t":"dir"})", "7404997d477c6392b00b5d52834d4eedc78a06ba"},
+      {Json::object({{"t", "val"}, {"d", "hello"}}),
+       R"({"d":"hello","t":"val"})",
+       "34308fd011a7c48f34e9dbfe9e14e61ece1c56d4"},
+      {Json::object(
+           {{"b", 2.0},
+            {"a", "x\ny"},
+            {"c", Json::array({1, "2", true, nullptr})}}),
+       R"({"a":"x\ny","b":2.0,"c":[1,"2",true,null]})",
+       "8049af03789c43e857a395a2400b555c212b8e6a"},
+      {Json::object(
+           {{"pi", 3.141592653589793}, {"neg", -1}, {"u", "\x01\"q\""}}),
+       R"({"neg":-1,"pi":3.141592653589793,"u":"\u0001\"q\""})",
+       "d17f939fda635051c51579d32dfe6a1e1cf1fdf0"},
+  };
+  for (const Vector& v : vectors) {
+    SCOPED_TRACE(v.canonical);
+    EXPECT_EQ(v.doc.dump(), v.canonical);
+    EXPECT_EQ(v.doc.dump_size(), std::string_view(v.canonical).size());
+    std::string into;
+    v.doc.dump_into(into);
+    EXPECT_EQ(into, v.canonical);
+    EXPECT_EQ(Sha1::of(v.doc.dump()).hex(), v.sha1);
+    auto parsed = Json::parse(v.canonical);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->dump(), v.canonical);
+  }
+}
+
+// Every payload in the committed golden wire corpus re-serializes to the
+// same canonical bytes after a parse round-trip — the corpus frames embed
+// canonical JSON, so this checks the serializer against real traffic shapes
+// rather than hand-picked vectors.
+TEST(Json, GoldenCorpusPayloadsRoundTrip) {
+  ObjectBundle::register_codec();  // request_bundle.hex carries an attachment
+  int checked = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(FLUX_GOLDEN_DIR)) {
+    if (entry.path().extension() != ".hex") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::ifstream in(entry.path());
+    std::string hex;
+    in >> hex;
+    auto bytes = hex_decode(hex);
+    ASSERT_TRUE(bytes.has_value());
+    auto msg = decode(*bytes);
+    ASSERT_TRUE(msg.has_value()) << msg.error().to_string();
+    const std::string canonical = msg->payload().dump();
+    auto reparsed = Json::parse(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->dump(), canonical);
+    EXPECT_EQ(Sha1::of(reparsed->dump()), Sha1::of(canonical));
+    ++checked;
+  }
+  EXPECT_GE(checked, 4) << "golden corpus went missing";
+}
+
 // Property: random structured values round-trip through dump/parse.
 TEST(JsonProperty, RandomRoundTrip) {
   Rng rng(20260705);
@@ -183,10 +259,19 @@ TEST(JsonProperty, RandomRoundTrip) {
       }
     };
     const Json value = gen(0);
-    auto parsed = Json::parse(value.dump());
-    ASSERT_TRUE(parsed.has_value()) << value.dump();
-    EXPECT_EQ(*parsed, value) << value.dump();
-    EXPECT_EQ(value.dump_size(), value.dump().size());
+    const std::string text = value.dump();
+    auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, value) << text;
+    EXPECT_EQ(value.dump_size(), text.size());
+    // Serialization is a fixed point: re-dumping the parse reproduces the
+    // exact bytes, so the SHA1 content address survives any number of
+    // parse/serialize hops (the dedup invariant).
+    EXPECT_EQ(parsed->dump(), text) << text;
+    EXPECT_EQ(Sha1::of(parsed->dump()), Sha1::of(text));
+    std::string into;
+    value.dump_into(into);
+    EXPECT_EQ(into, text);
   }
 }
 
