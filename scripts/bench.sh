@@ -22,10 +22,11 @@ jobs=$(nproc 2>/dev/null || echo 4)
 cmake --preset bench
 cmake --build --preset bench -j "$jobs" --target \
   bench_fig2_put bench_fig3_fence bench_fig4a_get_singledir \
-  bench_fig4b_get_multidir bench_jobs_throughput bench_saturation bench_micro
+  bench_fig4b_get_multidir bench_jobs_throughput bench_saturation \
+  bench_restart bench_micro
 
 for b in fig2_put fig3_fence fig4a_get_singledir fig4b_get_multidir \
-         jobs_throughput saturation; do
+         jobs_throughput saturation restart; do
   echo "=== bench_$b ==="
   FLUX_BENCH_METRICS_DIR="$out" "build-bench/bench/bench_$b"
   mv "$out/$b.metrics.json" "$out/BENCH_$b.json"

@@ -5,6 +5,7 @@
 #   scripts/verify.sh default    # just one preset
 #   FLUX_CHAOS_SEEDS=200 scripts/verify.sh   # dial up the seeded schedules
 #   FLUX_DST_SEEDS=500 scripts/verify.sh     # dial up the simulation sweeps
+#   FLUX_PERSIST_SEEDS=200 scripts/verify.sh # dial up the persistence matrix
 #
 # The chaos suite (ctest -L chaos) runs seeded fault-injection schedules; on
 # failure, gtest SCOPED_TRACE prints "chaos seed N" so a single failing
@@ -48,6 +49,9 @@ for p in "${presets[@]}"; do
     echo "=== [asan] jobs label (lifecycle pipeline + crash-mid-dispatch) ==="
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
       ctest --test-dir build-asan -L jobs --output-on-failure
+    echo "=== [asan] persist label (durable log recovery + restart matrix) ==="
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+      ctest --test-dir build-asan -L persist --output-on-failure
   fi
 done
 

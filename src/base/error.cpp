@@ -9,6 +9,7 @@ std::string_view errc_name(errc e) noexcept {
     case errc::noent: return "ENOENT";
     case errc::exist: return "EEXIST";
     case errc::inval: return "EINVAL";
+    case errc::io: return "EIO";
     case errc::proto: return "EPROTO";
     case errc::host_down: return "EHOSTDOWN";
     case errc::timeout: return "ETIMEDOUT";
@@ -39,6 +40,7 @@ class FluxCategory final : public std::error_category {
       case errc::noent: return "key, object, or rank not found";
       case errc::exist: return "object already exists";
       case errc::inval: return "malformed request payload";
+      case errc::io: return "durable-storage read/write failure";
       case errc::proto: return "malformed wire message";
       case errc::host_down: return "peer declared dead by the live module";
       case errc::timeout: return "rpc timeout expired";

@@ -31,6 +31,7 @@ enum class errc : int {
   noent = 2,        ///< ENOENT: key/object/rank not found
   exist = 17,       ///< EEXIST: object already exists
   inval = 22,       ///< EINVAL: malformed request payload
+  io = 5,           ///< EIO: durable-storage read/write failure
   proto = 71,       ///< EPROTO: malformed wire message
   host_down = 112,  ///< EHOSTDOWN: peer declared dead by the live module
   timeout = 110,    ///< ETIMEDOUT: rpc timeout expired

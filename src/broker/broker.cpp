@@ -644,6 +644,9 @@ void Broker::send(NodeId to, Message msg) {
 
 void Broker::fail() {
   failed_ = true;
+  // Give modules with durable state their crash hook (torn-write injection)
+  // before anything else observes the failure.
+  for (auto& m : modules_) m->on_fail();
   // Settle outstanding local RPCs so client coroutines do not leak.
   for (auto& [tag, pending] : pending_) {
     ex_.cancel(pending.timer);
@@ -675,9 +678,14 @@ void Broker::restart() {
   }
   pending_.clear();
   dead_ranks_.clear();
-  last_event_seq_ = 0;   // accept the next sequenced event, whatever it is
-  next_event_seq_ = 1;
-  // The session hello reduction completed long ago; suppress a re-send.
+  if (!is_root()) {
+    last_event_seq_ = 0;  // accept the next sequenced event, whatever it is
+    next_event_seq_ = 1;
+  }
+  // Root restart keeps its sequencer counters: it is the event sequencer,
+  // and resetting would re-issue seq numbers downstream brokers already saw
+  // (deliver_event suppresses duplicates), silencing the whole event plane.
+  // The hello reduction completed long ago; suppress a re-send.
   hello_count_ = 0;
   hello_sent_ = true;
   // Start from the session's base topology; the cmb.rejoin event overwrites
@@ -687,6 +695,14 @@ void Broker::restart() {
   session_.add_modules(*this);
   for (auto& m : modules_) m->start();
 
+  if (is_root()) {
+    // No upstream to rejoin through (handle_cmb_request refuses a rejoin
+    // for rank 0): the root readmits itself. Modules recover durable state
+    // in start() — the KVS master republishes its recovered root.
+    online_.store(true, std::memory_order_release);
+    log::info("broker", "rank 0: restarted in place (session root)");
+    return;
+  }
   log::info("broker", "rank ", rank_, ": restarting, requesting rejoin");
   Message req = Message::request("cmb.rejoin");
   req.nodeid = 0;

@@ -35,6 +35,10 @@ class Module {
   virtual void start() {}
   /// Called at session teardown (before executors stop).
   virtual void shutdown() {}
+  /// Called when the owning broker fails (crash injection). The module is
+  /// about to be destroyed without shutdown(); durable state must decide
+  /// what a crash leaves on disk (see Injector::on_crash_unsynced).
+  virtual void on_fail() {}
 
   /// Dispatch a request addressed to this module.
   virtual void handle_request(Message msg) = 0;

@@ -111,6 +111,12 @@ class Session {
     injector_.store(injector, std::memory_order_release);
   }
 
+  /// The installed injector (nullptr if none). Modules with durable state
+  /// consult it on broker failure (Injector::on_crash_unsynced).
+  [[nodiscard]] fault::Injector* fault_injector() const noexcept {
+    return injector_.load(std::memory_order_acquire);
+  }
+
   /// Instantiate the configured module set on `b` (per module_max_depth).
   /// Used at session build and again by Broker::restart for a rejoin.
   void add_modules(Broker& b);

@@ -1,8 +1,12 @@
 #include "check/explorer.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
@@ -17,7 +21,9 @@
 #include "check/history.hpp"
 #include "exec/sim_executor.hpp"
 #include "fault/plan.hpp"
+#include "kvs/content_backend.hpp"
 #include "kvs/kvs_client.hpp"
+#include "kvs/shard_map.hpp"
 #include "obs/stats.hpp"
 
 namespace flux::check {
@@ -28,7 +34,8 @@ namespace {
 /// the run seed directly) stays independent of whether faults are on.
 constexpr std::uint64_t kFaultStream = 0x9e3779b97f4a7c15ULL;
 
-SessionConfig dst_config(std::uint64_t seed, const DstOptions& opt) {
+SessionConfig dst_config(std::uint64_t seed, const DstOptions& opt,
+                         const std::string& persist_path) {
   SessionConfig cfg;
   cfg.size = opt.size;
   cfg.tree_arity = opt.arity;
@@ -37,6 +44,14 @@ SessionConfig dst_config(std::uint64_t seed, const DstOptions& opt) {
   if (opt.shards > 1) {
     kvs["shards"] = static_cast<std::int64_t>(opt.shards);
     if (opt.failover) kvs["failover"] = true;
+  }
+  if (!persist_path.empty()) {
+    // Tight cadences so a short DST run still crosses checkpoint and GC
+    // boundaries (the interesting recovery states live there).
+    kvs["persist"] = Json::object({{"path", persist_path},
+                                   {"checkpoint_every", 8},
+                                   {"gc_every", 16},
+                                   {"retention", 4}});
   }
   cfg.module_config =
       Json::object({{"hb", Json::object({{"period_us", 100}})},
@@ -237,20 +252,157 @@ Task<void> jobs_post_check(Handle* h, const std::vector<std::uint64_t>* ids,
   }
 }
 
+/// Resolve `key` under `root` in a recovered store by walking directory
+/// objects, exactly as the KVS master would. nullopt = not reachable.
+std::optional<Json> resolve_key(const ContentStore& store, const Sha1& root,
+                                const std::string& key) {
+  Sha1 cur = root;
+  for (const std::string& comp : split_key(key)) {
+    ObjPtr obj = store.get(cur);
+    if (!obj || !obj->is_dir()) return std::nullopt;
+    const JsonObject& entries = obj->entries();
+    const auto it = entries.find(comp);
+    if (it == entries.end()) return std::nullopt;
+    const std::optional<Sha1> ref = Sha1::parse(it->second.as_string());
+    if (!ref) return std::nullopt;
+    cur = *ref;
+  }
+  ObjPtr leaf = store.get(cur);
+  if (!leaf || !leaf->is_val()) return std::nullopt;
+  return leaf->value();
+}
+
+/// The persistence-aware oracle: an offline durability audit run after the
+/// session (and with it every backend) is gone. From the recorded history it
+/// derives what the workload was *told* is durable — every key staged by a
+/// put and covered by a commit/fence that returned ok — then reopens the
+/// on-disk log(s), recovers into a fresh store, and requires each acked key
+/// to be reachable under the recovered root. Values are compared only for
+/// keys written exactly once: for a rewritten key a lost commit *response*
+/// legitimately leaves the store one write ahead of the last ack.
+///
+/// Excuse (mirrors the consistency oracle's taint model): with failover on,
+/// a shard whose home master crashed may have served acks from a promoted
+/// in-memory master, which by design persists nothing — those shards are
+/// skipped. Everything else is a hard violation: ack-after-sync means a
+/// crash, even with a torn unsynced tail, never loses an acked commit.
+void audit_durability(const std::vector<OpRecord>& ops, const DstOptions& opt,
+                      const std::optional<fault::FaultPlan>& plan,
+                      const std::string& path,
+                      std::vector<std::string>* out) {
+  std::map<std::string, Json> acked;
+  std::map<std::string, int> writes;
+  std::map<int, std::map<std::string, Json>> staged;
+  for (const OpRecord& op : ops) {
+    switch (op.kind) {
+      case OpKind::put:
+        if (op.err == errc::ok) {
+          staged[op.client][op.key] = op.value;
+          ++writes[op.key];
+        }
+        break;
+      case OpKind::commit:
+      case OpKind::fence:
+        // ok => every put staged since the client's last commit is durable.
+        // Failure => conservatively drop them: the commit may still have
+        // applied server-side (lost response), which leaves extra data on
+        // disk — never audited as missing, never a violation.
+        if (op.err == errc::ok)
+          for (auto& [k, v] : staged[op.client]) acked[k] = v;
+        staged[op.client].clear();
+        break;
+      default:
+        break;
+    }
+  }
+  if (acked.empty()) return;
+
+  std::set<NodeId> crashed;
+  if (plan)
+    for (const fault::NodeEvent& ev : plan->events())
+      if (ev.kind == fault::NodeEvent::Kind::crash) crashed.insert(ev.rank);
+
+  const std::uint32_t nshards = std::max(1u, opt.shards);
+  const ShardMap sm(opt.size, nshards, opt.arity);
+  std::vector<std::optional<Sha1>> roots(nshards);
+  std::vector<std::unique_ptr<ContentStore>> stores(nshards);
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    const std::string file =
+        nshards > 1 ? path + ".s" + std::to_string(s) : path;
+    std::error_code ec;
+    if (!std::filesystem::exists(file, ec)) continue;
+    stores[s] = std::make_unique<ContentStore>();
+    try {
+      FileLogBackend backend(file);
+      const ContentBackend::Recovered rec = backend.recover(*stores[s]);
+      backend.close();
+      if (rec.has_root(s)) roots[s] = rec.roots[s];
+    } catch (const FluxException& e) {
+      out->push_back("shard " + std::to_string(s) +
+                     " log unrecoverable: " + std::string(e.what()));
+      stores[s].reset();
+    }
+  }
+
+  for (const auto& [key, value] : acked) {
+    const std::uint32_t s = nshards > 1 ? sm.shard_of(key) : 0;
+    if (opt.failover && crashed.count(sm.master_rank(s)) != 0) continue;
+    if (!stores[s] || !roots[s]) {
+      out->push_back("acked key '" + key + "' lost: shard " +
+                     std::to_string(s) + " has no recovered root");
+      continue;
+    }
+    const std::optional<Json> got = resolve_key(*stores[s], *roots[s], key);
+    if (!got) {
+      out->push_back("acked key '" + key +
+                     "' not reachable from the recovered root");
+      continue;
+    }
+    if (writes[key] == 1 && got->dump() != value.dump())
+      out->push_back("acked key '" + key + "' recovered with wrong value: " +
+                     got->dump() + " != acked " + value.dump());
+  }
+}
+
+/// Best-effort removal of a run's backing files (log, per-shard logs, and
+/// compaction temp files).
+void remove_persist_files(const std::string& path, std::uint32_t shards) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".tmp", ec);
+  for (std::uint32_t s = 0; s < std::max(1u, shards); ++s) {
+    std::filesystem::remove(path + ".s" + std::to_string(s), ec);
+    std::filesystem::remove(path + ".s" + std::to_string(s) + ".tmp", ec);
+  }
+}
+
 DstResult run_impl(std::uint64_t seed, const DstOptions& opt,
                    std::optional<fault::FaultPlan> plan) {
   DstResult out;
   out.seed = seed;
   if (plan) out.fault_plan = plan->to_json();
 
+  // Unique backing file per run: pid + process-wide counter + seed, so
+  // parallel ctest invocations and repeated seeds never collide.
+  std::string persist_path;
+  if (opt.persist) {
+    static std::atomic<std::uint64_t> counter{0};
+    persist_path =
+        (std::filesystem::temp_directory_path() /
+         ("flux-dst-" + std::to_string(::getpid()) + "-" +
+          std::to_string(counter.fetch_add(1)) + "-" + std::to_string(seed) +
+          ".log"))
+            .string();
+  }
+
+  HistoryRecorder rec;
   try {
     SimExecutor ex;
-    SessionConfig cfg = dst_config(seed, opt);
+    SessionConfig cfg = dst_config(seed, opt, persist_path);
     auto session = Session::create_sim(ex, cfg);
     session->run_until_online();
     if (plan) plan->arm(*session);
 
-    HistoryRecorder rec;
     const int nclients = std::max(1, opt.clients);
     std::vector<NodeId> ranks;
     std::vector<std::unique_ptr<Handle>> handles;
@@ -349,6 +501,16 @@ DstResult run_impl(std::uint64_t seed, const DstOptions& opt,
     out.workload_error = true;
     out.error = e.what();
   }
+
+  // The session (and with it every backend) is destroyed by now — the clean
+  // shutdown wrote its final checkpoint, a crashed broker left its torn
+  // tail. Audit the on-disk state against the acked history, then clean up.
+  if (!persist_path.empty()) {
+    if (!out.workload_error)
+      audit_durability(rec.ops(), opt, plan, persist_path,
+                       &out.durability_violations);
+    remove_persist_files(persist_path, opt.shards);
+  }
   return out;
 }
 
@@ -356,16 +518,22 @@ DstResult run_impl(std::uint64_t seed, const DstOptions& opt,
 
 DstResult run_schedule(std::uint64_t seed, const DstOptions& opt) {
   std::optional<fault::FaultPlan> plan;
-  if (opt.faults) {
+  const bool root_crash = opt.persist && opt.master_crash;
+  if (opt.faults || root_crash) {
     fault::FaultPlan::RandomOptions fo;
     fo.size = opt.size;
     fo.horizon = std::chrono::milliseconds(8);
-    fo.crashes = opt.crashes;
-    fo.restarts = opt.restarts;
-    fo.drops = opt.drops;
-    fo.delays = opt.delays;
+    fo.crashes = opt.faults && opt.crashes;
+    fo.restarts = opt.faults && opt.restarts;
+    fo.drops = opt.faults && opt.drops;
+    fo.delays = opt.faults && opt.delays;
     fo.corruption = false;  // see header: corruption blinds the oracle
     fo.max_crashes = opt.max_crashes;
+    // The kill-and-restart scenario: crash the root (the persisting KVS
+    // master) and torn-write its unsynced tail; recovery must still serve
+    // every acked commit.
+    fo.crash_root = root_crash;
+    fo.torn_writes = opt.persist;
     plan.emplace(fault::FaultPlan::random(seed ^ kFaultStream, fo));
   }
   return run_impl(seed, opt, std::move(plan));
@@ -391,6 +559,8 @@ std::vector<DstResult> explore(std::uint64_t first, int n,
                                       : res.report.to_string().c_str());
       for (const std::string& v : res.job_violations)
         std::fprintf(stderr, "dst:   job oracle: %s\n", v.c_str());
+      for (const std::string& v : res.durability_violations)
+        std::fprintf(stderr, "dst:   durability: %s\n", v.c_str());
       failures.push_back(std::move(res));
     }
   }

@@ -47,6 +47,20 @@ struct DstOptions {
   bool delays = false;
   int max_crashes = 1;
 
+  /// Persistence matrix dimension: give every KVS master a durable content
+  /// backend (file-log, unique temp path per run, removed afterwards) and,
+  /// after the session tears down, run the offline durability audit — reopen
+  /// the log(s), recover into a fresh store, and require every acked commit's
+  /// data to be reachable under the recovered root. Crashes automatically
+  /// compose a torn-write rule so unsynced tails are lost realistically.
+  bool persist = false;
+  /// Crash the session root mid-run and restart it (composed into the fault
+  /// plan even when `faults` is off). Requires `persist`: without a durable
+  /// backend the master's state is unrecoverable by design. This is the
+  /// kill-and-restart scenario: the audit then proves no acked commit from
+  /// before the crash was lost.
+  bool master_crash = false;
+
   /// Add a job-lifecycle workload (submit / cancel / complete through the
   /// full ingest -> job-manager -> resvc -> wexec pipeline) alongside the
   /// KVS clients, with its own oracles: jobids are per-client monotone and
@@ -71,10 +85,14 @@ struct DstResult {
   Json fault_plan;
   /// Violations of the job-lifecycle oracles (empty when opt.jobs is false).
   std::vector<std::string> job_violations;
+  /// Violations of the post-run durability audit (empty when opt.persist is
+  /// false): acked commits whose data is not recoverable from the on-disk
+  /// log, or a log that fails to recover at all.
+  std::vector<std::string> durability_violations;
 
   [[nodiscard]] bool failed() const noexcept {
     return !report.ok() || stalled_clients > 0 || workload_error ||
-           !job_violations.empty();
+           !job_violations.empty() || !durability_violations.empty();
   }
 };
 

@@ -33,6 +33,8 @@ Json Repro::to_json() const {
                        {"clients", opt.clients},
                        {"rounds", opt.rounds},
                        {"jitter_max_ns", opt.jitter_max.count()},
+                       {"persist", opt.persist},
+                       {"master_crash", opt.master_crash},
                        {"fault_plan", fault_plan},
                        {"mutations", strings_to_json(mutations)},
                        {"expect", strings_to_json(expect)}});
@@ -50,6 +52,8 @@ Repro Repro::from_json(const Json& j) {
   r.opt.clients = static_cast<int>(j.get_int("clients", 3));
   r.opt.rounds = static_cast<int>(j.get_int("rounds", 2));
   r.opt.jitter_max = Duration{j.get_int("jitter_max_ns", 0)};
+  r.opt.persist = j.get_bool("persist", false);
+  r.opt.master_crash = j.get_bool("master_crash", false);
   r.fault_plan = j.at("fault_plan");
   r.mutations = strings_from_json(j.at("mutations"));
   r.expect = strings_from_json(j.at("expect"));
@@ -73,7 +77,7 @@ Repro shrink(Repro failing, int max_rounds) {
 
     // Delete fault-plan components one at a time, back to front (so kept
     // indices stay valid across erases).
-    for (const char* list : {"events", "links", "nth"}) {
+    for (const char* list : {"events", "links", "nth", "torn"}) {
       if (!failing.fault_plan.is_object() ||
           !failing.fault_plan.at(list).is_array())
         continue;
@@ -91,7 +95,8 @@ Repro shrink(Repro failing, int max_rounds) {
     if (failing.fault_plan.is_object() &&
         failing.fault_plan.at("events").size() == 0 &&
         failing.fault_plan.at("links").size() == 0 &&
-        failing.fault_plan.at("nth").size() == 0) {
+        failing.fault_plan.at("nth").size() == 0 &&
+        failing.fault_plan.at("torn").size() == 0) {
       Repro cand = failing;
       cand.fault_plan = Json();
       if (fails(cand)) {

@@ -42,6 +42,18 @@ class Injector {
  public:
   virtual ~Injector() = default;
   virtual Verdict on_send(NodeId from, NodeId to, const Message& msg) = 0;
+
+  /// Durable-storage crash hook: when a broker fails with `unsynced_bytes`
+  /// buffered in a persistence backend, the return value is how many of
+  /// those bytes survive as a torn partial flush (0 = clean tail loss,
+  /// `unsynced_bytes` = everything made it). Lets a FaultPlan model
+  /// torn-write / crash-mid-checkpoint storage damage deterministically.
+  virtual std::uint64_t on_crash_unsynced(NodeId rank,
+                                          std::uint64_t unsynced_bytes) {
+    (void)rank;
+    (void)unsynced_bytes;
+    return 0;
+  }
 };
 
 }  // namespace flux::fault

@@ -43,6 +43,15 @@ const char* action_name(Verdict::Action a) {
   return "?";
 }
 
+const char* torn_mode_name(TornRule::Mode m) {
+  switch (m) {
+    case TornRule::Mode::none: return "none";
+    case TornRule::Mode::all: return "all";
+    case TornRule::Mode::random: return "random";
+  }
+  return "?";
+}
+
 }  // namespace
 
 FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
@@ -80,6 +89,11 @@ FaultPlan& FaultPlan::delay_nth(NodeId from, NodeId to, std::uint64_t nth,
                                 Duration d, std::string topic) {
   nth_rules_.push_back(
       {from, to, nth, Verdict::Action::delay, d, std::move(topic), false, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::torn_write(NodeId rank, TornRule::Mode mode) {
+  torn_rules_.push_back({rank, mode});
   return *this;
 }
 
@@ -137,6 +151,24 @@ FaultPlan FaultPlan::from_json(const Json& j) {
             errc::inval, "fault plan: unknown nth action '" + action + "'"));
     }
   }
+  if (j.contains("torn")) {
+    if (!j.at("torn").is_array())
+      throw FluxException(Error(errc::inval, "fault plan: torn not an array"));
+    for (const Json& t : j.at("torn").as_array()) {
+      const std::string mode = t.get_string("mode", "random");
+      TornRule::Mode m;
+      if (mode == "none")
+        m = TornRule::Mode::none;
+      else if (mode == "all")
+        m = TornRule::Mode::all;
+      else if (mode == "random")
+        m = TornRule::Mode::random;
+      else
+        throw FluxException(Error(
+            errc::inval, "fault plan: unknown torn mode '" + mode + "'"));
+      plan.torn_write(rank_from_json(t, "rank"), m);
+    }
+  }
   return plan;
 }
 
@@ -164,10 +196,15 @@ Json FaultPlan::to_json() const {
                                 {"action", action_name(r.action)},
                                 {"delay_ns", r.delay.count()},
                                 {"topic", r.topic}}));
+  Json torn = Json::array();
+  for (const TornRule& t : torn_rules_)
+    torn.push_back(Json::object({{"rank", rank_to_json(t.rank)},
+                                 {"mode", torn_mode_name(t.mode)}}));
   return Json::object({{"seed", static_cast<std::int64_t>(seed_)},
                        {"events", std::move(events)},
                        {"links", std::move(links)},
-                       {"nth", std::move(nth)}});
+                       {"nth", std::move(nth)},
+                       {"torn", std::move(torn)}});
 }
 
 FaultPlan FaultPlan::random(std::uint64_t seed, const RandomOptions& opt) {
@@ -203,6 +240,14 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomOptions& opt) {
         plan.restart_at(v, at + within(0.2, 0.4));
     }
   }
+  if (opt.crash_root) {
+    // Root loss is survivable only with a persistent KVS master, and only
+    // if it comes back: always schedule the restart.
+    const Duration at = within(0.15, 0.45);
+    plan.crash_at(0, at);
+    plan.restart_at(0, at + within(0.1, 0.3));
+  }
+  if (opt.torn_writes) plan.torn_write(kNodeAny, TornRule::Mode::random);
   if (opt.drops) {
     LinkPolicy p;
     p.drop = frac(0.005, 0.05);
@@ -250,6 +295,23 @@ std::uint64_t FaultPlan::messages_seen() const noexcept {
 std::uint64_t FaultPlan::faults_injected() const noexcept {
   std::lock_guard lk(mu_);
   return injected_;
+}
+
+std::uint64_t FaultPlan::on_crash_unsynced(NodeId rank,
+                                           std::uint64_t unsynced_bytes) {
+  std::lock_guard lk(mu_);
+  for (const TornRule& t : torn_rules_) {
+    if (!rank_matches(t.rank, rank)) continue;
+    switch (t.mode) {
+      case TornRule::Mode::none:
+        return 0;
+      case TornRule::Mode::all:
+        return unsynced_bytes;
+      case TornRule::Mode::random:
+        return unsynced_bytes == 0 ? 0 : rng_.below(unsynced_bytes + 1);
+    }
+  }
+  return 0;
 }
 
 Verdict FaultPlan::on_send(NodeId from, NodeId to, const Message& msg) {

@@ -81,6 +81,20 @@ struct NthRule {
   std::uint64_t matched = 0;  ///< per-rule count (topic rules only)
 };
 
+/// Torn-write rule: when a matching rank crashes with unsynced bytes in a
+/// durable-storage backend, decide how much of that tail reached disk as a
+/// partial flush (Injector::on_crash_unsynced). Without any matching rule a
+/// crash loses the whole unsynced tail (keep = 0).
+struct TornRule {
+  enum class Mode : std::uint8_t {
+    none,    ///< clean tail loss (keep 0 bytes)
+    all,     ///< the flush completed just in time (keep everything)
+    random,  ///< torn: keep a uniform prefix in [0, unsynced]
+  };
+  NodeId rank = kNodeAny;
+  Mode mode = Mode::random;
+};
+
 class FaultPlan final : public Injector {
  public:
   explicit FaultPlan(std::uint64_t seed = 1);
@@ -93,6 +107,7 @@ class FaultPlan final : public Injector {
         events_(std::move(o.events_)),
         links_(std::move(o.links_)),
         nth_rules_(std::move(o.nth_rules_)),
+        torn_rules_(std::move(o.torn_rules_)),
         counts_(std::move(o.counts_)),
         seen_(o.seen_),
         injected_(o.injected_),
@@ -111,6 +126,7 @@ class FaultPlan final : public Injector {
                          std::string topic = {});
   FaultPlan& delay_nth(NodeId from, NodeId to, std::uint64_t nth, Duration d,
                        std::string topic = {});
+  FaultPlan& torn_write(NodeId rank, TornRule::Mode mode = TornRule::Mode::random);
 
   /// Parse the JSON schedule format above. Throws FluxException(inval) on
   /// malformed input. Nanosecond-precision variants of every duration field
@@ -134,6 +150,13 @@ class FaultPlan final : public Injector {
     bool drops = false;
     bool delays = false;
     bool corruption = false;
+    /// Crash (and always restart) the session root too — only meaningful
+    /// for sessions whose KVS master persists, since root state is
+    /// otherwise unrecoverable.
+    bool crash_root = false;
+    /// Add a wildcard torn-write rule: crashes keep a random prefix of any
+    /// unsynced durable-storage tail.
+    bool torn_writes = false;
     int max_crashes = 1;
   };
 
@@ -156,6 +179,8 @@ class FaultPlan final : public Injector {
 
   // Injector:
   Verdict on_send(NodeId from, NodeId to, const Message& msg) override;
+  std::uint64_t on_crash_unsynced(NodeId rank,
+                                  std::uint64_t unsynced_bytes) override;
 
  private:
   std::uint64_t seed_;
@@ -165,6 +190,7 @@ class FaultPlan final : public Injector {
   std::vector<NodeEvent> events_;
   std::vector<LinkPolicy> links_;
   std::vector<NthRule> nth_rules_;
+  std::vector<TornRule> torn_rules_;
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> counts_;
   std::uint64_t seen_ = 0;
   std::uint64_t injected_ = 0;

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <memory>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "kvs/content_backend.hpp"
 
 namespace flux {
 
@@ -12,18 +15,36 @@ namespace flux {
 
 bool ContentStore::put(ObjPtr obj) {
   assert(obj);
-  auto [it, inserted] = objects_.try_emplace(obj->id, std::move(obj));
-  if (inserted) bytes_ += it->second->size();
+  auto [it, inserted] = objects_.try_emplace(obj->id);
+  if (inserted) {
+    it->second.obj = std::move(obj);
+    it->second.birth = birth_version_;
+    bytes_ += it->second.obj->size();
+    if (backend_) backend_->append_object(*it->second.obj);
+  }
   return inserted;
 }
 
 ObjPtr ContentStore::get(const Sha1& id) const {
   auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : it->second;
+  return it == objects_.end() ? nullptr : it->second.obj;
 }
 
 bool ContentStore::contains(const Sha1& id) const {
   return objects_.contains(id);
+}
+
+bool ContentStore::erase(const Sha1& id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return false;
+  bytes_ -= it->second.obj->size();
+  objects_.erase(it);
+  return true;
+}
+
+void ContentStore::for_each(
+    const std::function<void(const ObjPtr&, std::uint64_t)>& fn) const {
+  for (const auto& [id, entry] : objects_) fn(entry.obj, entry.birth);
 }
 
 // ---------------------------------------------------------------------------
@@ -217,6 +238,65 @@ Sha1 apply_transaction(ContentStore& store, const Sha1& root_ref,
     }
   }
   return freeze(store, *root);
+}
+
+// ---------------------------------------------------------------------------
+// Mark-and-sweep GC
+// ---------------------------------------------------------------------------
+
+GcStats mark_and_sweep(ContentStore& store, const std::vector<Sha1>& roots,
+                       const GcOptions& opt) {
+  GcStats stats;
+
+  // Mark: flood from roots + pins through directory entries. Refs that are
+  // not in the store (already swept, cache-only, or the null tombstone) are
+  // skipped — pins in particular may point at objects this store never held.
+  std::unordered_set<Sha1> marked;
+  std::vector<Sha1> stack;
+  for (const Sha1& r : roots)
+    if (r != Sha1{}) stack.push_back(r);
+  for (const Sha1& r : opt.pins)
+    if (r != Sha1{}) stack.push_back(r);
+  while (!stack.empty()) {
+    const Sha1 id = stack.back();
+    stack.pop_back();
+    if (!marked.insert(id).second) continue;
+    ObjPtr obj = store.get(id);
+    if (!obj) {
+      marked.erase(id);  // count only objects actually present
+      continue;
+    }
+    if (obj->is_dir()) {
+      for (const auto& [name, refhex] : obj->entries()) {
+        auto ref = Sha1::parse(refhex.as_string());
+        if (ref && !marked.contains(*ref)) stack.push_back(*ref);
+      }
+    }
+  }
+  stats.marked = marked.size();
+
+  // Sweep: everything unmarked and born outside the retention window.
+  const std::uint64_t cutoff = (opt.current_version > opt.retention)
+                                   ? opt.current_version - opt.retention
+                                   : 0;
+  std::vector<Sha1> dead;
+  std::vector<std::size_t> dead_bytes;
+  store.for_each([&](const ObjPtr& obj, std::uint64_t birth) {
+    if (marked.contains(obj->id)) return;
+    if (birth >= cutoff) {
+      ++stats.retained;
+      return;
+    }
+    dead.push_back(obj->id);
+    dead_bytes.push_back(obj->size());
+  });
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    if (store.erase(dead[i])) {
+      ++stats.swept;
+      stats.swept_bytes += dead_bytes[i];
+    }
+  }
+  return stats;
 }
 
 }  // namespace flux

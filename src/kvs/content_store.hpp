@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -21,19 +22,44 @@
 
 namespace flux {
 
-/// Authoritative object store (KVS master). Never evicts.
+class ContentBackend;
+
+/// Authoritative object store (KVS master). Never expires by disuse; dead
+/// objects are reclaimed only by explicit GC (mark_and_sweep below). Each
+/// entry carries a birth version — the KVS root version current when it was
+/// inserted — so GC can honor a retention window.
 class ContentStore {
  public:
-  /// Insert (no-op if present). Returns true if newly stored.
+  /// Insert (no-op if present). Returns true if newly stored. New objects
+  /// are stamped with the current birth version and, when a backend is
+  /// attached, mirrored to it as a durable object record.
   bool put(ObjPtr obj);
   [[nodiscard]] ObjPtr get(const Sha1& id) const;
   [[nodiscard]] bool contains(const Sha1& id) const;
   [[nodiscard]] std::size_t count() const noexcept { return objects_.size(); }
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
 
+  /// Remove an object (GC sweep). Returns true if it was present.
+  bool erase(const Sha1& id);
+  /// Version stamp applied to subsequently inserted objects.
+  void set_birth_version(std::uint64_t v) noexcept { birth_version_ = v; }
+  /// Visit every (object, birth version) pair.
+  void for_each(
+      const std::function<void(const ObjPtr&, std::uint64_t)>& fn) const;
+  /// Mirror every future insert into `backend` as an append_object. Recovery
+  /// replays the log into the store first and attaches afterwards, so
+  /// recovered objects are not re-appended.
+  void attach_backend(ContentBackend* backend) noexcept { backend_ = backend; }
+
  private:
-  std::unordered_map<Sha1, ObjPtr> objects_;
+  struct Entry {
+    ObjPtr obj;
+    std::uint64_t birth = 0;
+  };
+  std::unordered_map<Sha1, Entry> objects_;
   std::size_t bytes_ = 0;
+  std::uint64_t birth_version_ = 0;
+  ContentBackend* backend_ = nullptr;
 };
 
 /// Slave object cache with epoch-based disuse expiry.
@@ -112,5 +138,28 @@ class ObjectCache {
 /// remove entries (unlink of a missing key is a no-op).
 Sha1 apply_transaction(ContentStore& store, const Sha1& root_ref,
                        const std::vector<Tuple>& tuples);
+
+/// Mark-and-sweep GC tuning. `pins` are refs that must survive regardless of
+/// reachability — in-flight fence tuple objects and watch terminal refs.
+/// The retention window keeps anything born within `retention` versions of
+/// `current_version`, protecting readers resolving against a recent root.
+struct GcOptions {
+  std::uint64_t current_version = 0;
+  std::uint64_t retention = 0;
+  std::vector<Sha1> pins;
+};
+
+struct GcStats {
+  std::size_t marked = 0;    ///< objects reachable from roots + pins
+  std::size_t retained = 0;  ///< unreachable but inside the retention window
+  std::size_t swept = 0;
+  std::size_t swept_bytes = 0;
+};
+
+/// Collect every object in `store` that is (a) unreachable from `roots` and
+/// `opt.pins`, and (b) older than the retention window. Idempotent: a second
+/// pass with the same inputs sweeps nothing.
+GcStats mark_and_sweep(ContentStore& store, const std::vector<Sha1>& roots,
+                       const GcOptions& opt);
 
 }  // namespace flux

@@ -9,6 +9,8 @@
 #include "broker/broker.hpp"
 #include "broker/session.hpp"
 #include "check/mutation.hpp"
+#include "fault/injector.hpp"
+#include "kvs/content_backend.hpp"
 #include "kvs/shard_coordinator.hpp"
 
 namespace flux {
@@ -87,6 +89,27 @@ void KvsModule::start() {
       ShardMap(broker().size(), shards_cfg, broker().topology().arity());
   shards_ = shard_map_.shards();
 
+  // Durable content store (ROADMAP: checkpoint/restart + GC). Config shape:
+  //   {"persist": {"path": "...", "checkpoint_every": N,
+  //                "gc_every": M, "retention": R}}
+  // Only masters open a backend (persist_open); everyone else just remembers
+  // the config was absent for them.
+  if (cfg.is_object() && cfg.contains("persist") &&
+      cfg.at("persist").is_object()) {
+    const Json& pcfg = cfg.at("persist");
+    if (!pcfg.get_string("path").empty()) {
+      PersistConfig pc;
+      pc.path = pcfg.get_string("path");
+      pc.checkpoint_every = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, pcfg.get_int("checkpoint_every", 16)));
+      pc.gc_every = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, pcfg.get_int("gc_every", 0)));
+      pc.retention = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, pcfg.get_int("retention", 4)));
+      persist_ = std::move(pc);
+    }
+  }
+
   if (!sharded()) {
     if (is_master()) {
       apply_batches_stat_ = &reg.counter("kvs.apply.batches");
@@ -105,11 +128,19 @@ void KvsModule::start() {
       std::int64_t win_us = cfg.get_int("announce_window_us", -1);
       if (win_us < 0) win_us = broker().size() < 48 ? 0 : 40;
       announce_window_ = std::chrono::microseconds(win_us);
-      // Bootstrap: version 1 is the empty root directory.
-      ObjPtr empty = empty_dir_object();
-      root_ref_ = empty->id;
-      store_.put(std::move(empty));
-      root_version_ = 1;
+      // Recover from the durable log when one exists; else bootstrap fresh
+      // (version 1 is the empty root directory). A recovered root is
+      // re-announced one version above the recovered one — the recovery
+      // epoch — so the setroot version stream stays strictly monotonic
+      // across a master restart.
+      if (!persist_open(0)) {
+        ObjPtr empty = empty_dir_object();
+        root_ref_ = empty->id;
+        store_.set_birth_version(1);
+        store_.put(std::move(empty));
+        root_version_ = 1;
+      }
+      persist_root(0, root_version_, root_ref_);
       broker().publish("kvs.setroot",
                        Json::object({{"version", root_version_},
                                      {"rootref", root_ref_.hex()},
@@ -136,18 +167,22 @@ void KvsModule::start() {
     shard_commits_ = &reg.counter(prefix + ".commits");
     shard_faults_served_ = &reg.counter(prefix + ".faults_served");
     shard_apply_ns_ = &reg.histogram(prefix + ".apply_ns");
-    // Bootstrap this shard: version 1 is its empty root directory.
-    ObjPtr empty = empty_dir_object();
-    shard_roots_[*my_shard_] = empty->id;
-    store_.put(std::move(empty));
-    shard_versions_[*my_shard_] = 1;
+    // Bootstrap this shard: recover from its durable log when one exists,
+    // else version 1 is its empty root directory.
+    const std::uint32_t s = *my_shard_;
+    if (!persist_open(s)) {
+      ObjPtr empty = empty_dir_object();
+      shard_roots_[s] = empty->id;
+      store_.set_birth_version(1);
+      store_.put(std::move(empty));
+      shard_versions_[s] = 1;
+    }
+    persist_root(s, shard_versions_[s], shard_roots_[s]);
     refresh_scalar_root();
-    Json ev =
-        Json::object({{"shard", static_cast<std::int64_t>(*my_shard_)},
-                      {"version", 1},
-                      {"rootref", shard_roots_[*my_shard_].hex()}});
-    broker().publish("kvs.setroot." + std::to_string(*my_shard_),
-                     std::move(ev));
+    Json ev = Json::object({{"shard", static_cast<std::int64_t>(s)},
+                            {"version", shard_versions_[s]},
+                            {"rootref", shard_roots_[s].hex()}});
+    broker().publish("kvs.setroot." + std::to_string(s), std::move(ev));
   }
 }
 
@@ -165,6 +200,151 @@ void KvsModule::shutdown() {
   shard_ready_waiters_.clear();
   for (auto& [id, promise] : faults_) promise.set_error(bye);
   faults_.clear();
+  if (backend_) {
+    // Clean shutdown: one final checkpoint so a restart recovers the exact
+    // served state, then sync and close.
+    backend_->append_checkpoint(checkpoint_roots(), checkpoint_vv());
+    ++persist_stats_.checkpoints;
+    backend_->close();
+  }
+}
+
+void KvsModule::on_fail() {
+  if (!backend_) return;
+  // Crash semantics: the unsynced tail is lost — unless the installed fault
+  // injector keeps a torn prefix of it (a partial flush that reached disk).
+  std::uint64_t keep = 0;
+  if (fault::Injector* inj = broker().session().fault_injector())
+    keep = inj->on_crash_unsynced(broker().rank(), backend_->unsynced_bytes());
+  backend_->crash(keep);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (durable content store + checkpoint/restart + GC)
+// ---------------------------------------------------------------------------
+
+bool KvsModule::persist_open(std::uint32_t shard) {
+  recovered_versions_.assign(std::max<std::uint32_t>(shards_, 1), 0);
+  if (!persist_) return false;
+  std::string path = persist_->path;
+  if (sharded()) path += ".s" + std::to_string(shard);
+  backend_ = std::make_unique<FileLogBackend>(path);
+  const ContentBackend::Recovered rec = backend_->recover(store_);
+  persist_stats_.recovered_objects = rec.objects;
+  persist_stats_.truncated_bytes = rec.truncated_bytes;
+  if (persist_->gc_every != 0)
+    gc_pause_ns_ = &broker().stats_registry().histogram("kvs.gc.pause_ns");
+
+  bool recovered = false;
+  if (rec.has_root(shard) && store_.contains(rec.roots[shard])) {
+    const std::uint64_t v = rec.versions[shard] + 1;  // recovery epoch
+    if (sharded()) {
+      shard_roots_[shard] = rec.roots[shard];
+      shard_versions_[shard] = v;
+    } else {
+      root_ref_ = rec.roots[shard];
+      root_version_ = v;
+    }
+    recovered_versions_[shard] = v;
+    persist_stats_.recovered_version = v;
+    store_.set_birth_version(v);
+    recovered = true;
+    log::info("kvs", "rank ", broker().rank(), ": recovered ", rec.objects,
+              " objects from ", path, ", serving version ", v,
+              rec.truncated_bytes ? " (torn tail truncated)" : "");
+  }
+  // Attach AFTER replay so recovered objects are not re-appended; from here
+  // every new store_.put mirrors into the log.
+  store_.attach_backend(backend_.get());
+  return recovered;
+}
+
+void KvsModule::persist_root(std::uint32_t shard, std::uint64_t version,
+                             const Sha1& ref) {
+  if (!backend_) return;
+  // Ack-after-sync: the root record (and every object it references, which
+  // precedes it in the log) is durable before any announce or response goes
+  // out, so an acked version can always be recovered. The skip_sync mutation
+  // breaks exactly this — acks go out with the tail still buffered — so a
+  // crash loses acked commits and the durability audit must flag it
+  // (tests/test_persist.cpp teeth test).
+  backend_->append_root(shard, version, ref);
+  if (!check::mutation("kvs.skip_sync")) backend_->sync();
+  if (persist_->checkpoint_every != 0 &&
+      ++applies_since_checkpoint_ >= persist_->checkpoint_every) {
+    applies_since_checkpoint_ = 0;
+    backend_->append_checkpoint(checkpoint_roots(), checkpoint_vv());
+    backend_->sync();
+    ++persist_stats_.checkpoints;
+  }
+  if (persist_->gc_every != 0 && ++applies_since_gc_ >= persist_->gc_every) {
+    applies_since_gc_ = 0;
+    run_gc();
+  }
+}
+
+std::vector<Sha1> KvsModule::checkpoint_roots() const {
+  if (sharded()) return shard_roots_;
+  return {root_ref_};
+}
+
+std::vector<std::uint64_t> KvsModule::checkpoint_vv() const {
+  if (sharded()) return shard_versions_;
+  return {root_version_};
+}
+
+std::vector<Sha1> KvsModule::gc_roots() const {
+  if (!sharded()) return {root_ref_};
+  std::vector<Sha1> roots;
+  for (const Sha1& r : shard_roots_)
+    if (r != Sha1{}) roots.push_back(r);
+  return roots;
+}
+
+std::vector<Sha1> KvsModule::gc_pins() const {
+  std::vector<Sha1> pins;
+  auto add_tuples = [&pins](const std::vector<Tuple>& tuples) {
+    for (const Tuple& t : tuples)
+      if (!t.is_unlink()) pins.push_back(t.ref);
+  };
+  // In-flight fences: their tuple objects are in the store but not yet
+  // reachable from any root.
+  for (const auto& [name, fence] : fences_) {
+    pins.insert(pins.end(), fence.pins.begin(), fence.pins.end());
+    add_tuples(fence.pending_tuples);
+    add_tuples(fence.total_tuples);
+  }
+  for (const auto& [name, tuples] : apply_batch_) add_tuples(tuples);
+  for (const auto& [name, fence] : sharded_fences_) {
+    pins.insert(pins.end(), fence.pins.begin(), fence.pins.end());
+    for (const ShardPart& part : fence.parts) {
+      add_tuples(part.pending_tuples);
+      add_tuples(part.total_tuples);
+    }
+  }
+  // Staged (uncommitted) client transactions: op_put placed their objects in
+  // the store ahead of the commit.
+  for (const auto& [key, txn] : txns_) add_tuples(txn.tuples);
+  return pins;
+}
+
+void KvsModule::run_gc() {
+  const auto t0 = std::chrono::steady_clock::now();
+  GcOptions opt;
+  opt.current_version = root_version_;
+  opt.retention = persist_->retention;
+  opt.pins = gc_pins();
+  const GcStats gs = mark_and_sweep(store_, gc_roots(), opt);
+  ++persist_stats_.gc_passes;
+  persist_stats_.gc_swept += gs.swept;
+  persist_stats_.gc_swept_bytes += gs.swept_bytes;
+  // Reclaim the log space too: rewrite it to the swept store plus one
+  // checkpoint (atomic temp-file + rename).
+  if (gs.swept > 0) {
+    backend_->compact(store_, checkpoint_roots(), checkpoint_vv());
+    ++persist_stats_.checkpoints;
+  }
+  if (gc_pause_ns_) gc_pause_ns_->record(wall_ns_since(t0));
 }
 
 void KvsModule::handle_event(const Message& msg) {
@@ -389,16 +569,7 @@ void KvsModule::op_fence(Message& msg) {
   FenceState& fence = fences_[name];
   for (const ObjPtr& obj : txn->objects) fence.pins.push_back(obj->id);
   fence.waiters.push_back(msg);
-  std::string origin = fence_origin_key(msg);
-  if (!fence.origins.insert(origin).second) {
-    // Client RPC retry. The contribution still goes up — if the original
-    // flush was lost to a crashed broker, this retry is the only recovery
-    // path, and the master's identity set collapses the duplicate otherwise.
-    // Un-remember forwarded objects so the retry re-ships them too: a lost
-    // flush took its object frames with it.
-    fence.forwarded_ids.clear();
-  }
-  fence_add(name, nprocs, {std::move(origin)}, std::move(txn->tuples),
+  fence_add(name, nprocs, {fence_origin_key(msg)}, std::move(txn->tuples),
             txn->objects);
 }
 
@@ -418,6 +589,17 @@ void KvsModule::fence_add(const std::string& name, std::int64_t nprocs,
   if (fence.nprocs != nprocs)
     log::warn("kvs", "fence '", name, "': inconsistent nprocs ", nprocs,
               " vs ", fence.nprocs);
+  // Retry detection, uniform for local clients (op_fence) and relayed
+  // flushes (op_flush): a contributor this broker already forwarded means
+  // some downstream attempt timed out, so the earlier flush carrying its
+  // object frames may be lost anywhere up the tree — including in a master
+  // that crashed and restarted with only its synced store. The contribution
+  // still goes up (the master's identity set collapses the duplicate count);
+  // forgetting the forwarded ids makes this wave re-ship its objects too.
+  bool retried = false;
+  for (const std::string& c : contributors)
+    if (!fence.origins.insert(c).second) retried = true;
+  if (retried) fence.forwarded_ids.clear();
   std::move(contributors.begin(), contributors.end(),
             std::back_inserter(fence.pending_contributors));
   std::move(tuples.begin(), tuples.end(),
@@ -593,10 +775,12 @@ void KvsModule::flush_apply_batch() {
 void KvsModule::master_apply(const std::vector<Tuple>& tuples,
                              std::vector<std::string> fences) {
   assert(is_master());
+  store_.set_birth_version(root_version_ + 1);
   root_ref_ = apply_transaction(store_, root_ref_, tuples);
   // Mutation "kvs.skip_version_bump" (tests only): publish a new root under
   // a stale version number — breaks setroot-sequence monotonicity.
   if (!check::mutation("kvs.skip_version_bump")) ++root_version_;
+  persist_root(0, root_version_, root_ref_);
   // The master bumps its version here, so the event-path guard in
   // apply_root (version > root_version_) won't fire for it: complete local
   // version waiters directly.
@@ -766,12 +950,6 @@ void KvsModule::op_fence_sharded(Message& msg, const std::string& name,
   for (const ObjPtr& obj : txn.objects) fence.pins.push_back(obj->id);
   fence.waiters.push_back(msg);
   const std::string origin = fence_origin_key(msg);
-  if (!fence.origins.insert(origin).second) {
-    // Client RPC retry (see op_fence): re-forward everything, including
-    // object frames a lost flush may have taken with it; each shard
-    // master's identity set collapses duplicates.
-    for (ShardPart& p : fence.parts) p.forwarded_ids.clear();
-  }
 
   // EVERY live shard receives this participant's contribution — empty parts
   // included — so each master independently detects completion at nprocs
@@ -796,6 +974,13 @@ void KvsModule::shard_fence_add(const std::string& name, std::uint32_t shard,
               " vs ", fence.nprocs);
   ShardPart& part = fence.parts[shard];
   if (!tuples.empty()) part.touched = true;
+  // Same retry detection as the single-master fence_add: a re-seen
+  // contributor means an earlier flush (and its object frames) may be lost,
+  // so this wave re-ships its objects.
+  bool retried = false;
+  for (const std::string& c : contributors)
+    if (!part.origins.insert(c).second) retried = true;
+  if (retried) part.forwarded_ids.clear();
 
   if (is_shard_master(shard)) {
     for (const ObjPtr& obj : objects) store_.put(obj);
@@ -874,10 +1059,12 @@ void KvsModule::shard_master_apply(const std::string& name,
   part.applied = true;
 
   const auto t0 = std::chrono::steady_clock::now();
+  store_.set_birth_version(root_version_ + 1);
   shard_roots_[shard] =
       apply_transaction(store_, shard_roots_[shard], part.total_tuples);
   ++shard_versions_[shard];
   part.total_tuples.clear();
+  persist_root(shard, shard_versions_[shard], shard_roots_[shard]);
   if (shard_apply_ns_) shard_apply_ns_->record(wall_ns_since(t0));
   if (shard_commits_) shard_commits_->inc();
   refresh_scalar_root();
@@ -1145,18 +1332,34 @@ Task<void> KvsModule::resync_after_rejoin() {
       }
     }
     refresh_scalar_root();
-    // A restarted broker that still masters a shard lost its object store
-    // with the crash. Re-bootstrap at adopted_version + 1 (same explicit
-    // data-loss policy as hb failover) and announce with a master field so
-    // peers converge on a root this store can actually serve.
+    // A restarted broker that still masters a shard: with a durable backend,
+    // start() already recovered the shard's tree from its log — re-assert
+    // mastership one version up so peers that raced ahead of the start()
+    // publish converge and the coordinator marks the shard revived. Without
+    // one, the crashed store is unrecoverable: re-bootstrap EMPTY at
+    // adopted_version + 1 (same explicit data-loss policy as hb failover).
     for (std::uint32_t s = 0; s < shards_; ++s) {
       if (shard_masters_[s] != broker().rank()) continue;
+      if (s < recovered_versions_.size() && recovered_versions_[s] != 0 &&
+          shard_versions_[s] <= recovered_versions_[s]) {
+        ++shard_versions_[s];
+        recovered_versions_[s] = shard_versions_[s];
+        persist_root(s, shard_versions_[s], shard_roots_[s]);
+        refresh_scalar_root();
+        Json ev = Json::object({{"shard", static_cast<std::int64_t>(s)},
+                                {"version", shard_versions_[s]},
+                                {"rootref", shard_roots_[s].hex()},
+                                {"master", broker().rank()}});
+        broker().publish("kvs.setroot." + std::to_string(s), std::move(ev));
+        continue;
+      }
       ObjPtr empty = empty_dir_object();
       const Sha1 root = empty->id;
       store_.put(std::move(empty));
       shard_roots_[s] = root;
       ++shard_versions_[s];
       const std::uint64_t version = shard_versions_[s];
+      persist_root(s, version, root);
       refresh_scalar_root();
       Json ev = Json::object({{"shard", static_cast<std::int64_t>(s)},
                               {"version", version},
@@ -1680,6 +1883,16 @@ void KvsModule::op_stats(Message& msg) {
                          ? static_cast<double>(ops_.announced_fences) /
                                static_cast<double>(ops_.announces)
                          : 0.0}});
+  if (backend_ != nullptr) {
+    out["persist"] = true;
+    out["checkpoints"] = persist_stats_.checkpoints;
+    out["gc_passes"] = persist_stats_.gc_passes;
+    out["gc_swept"] = persist_stats_.gc_swept;
+    out["gc_swept_bytes"] = persist_stats_.gc_swept_bytes;
+    out["recovered_objects"] = persist_stats_.recovered_objects;
+    out["recovered_version"] = persist_stats_.recovered_version;
+    out["truncated_bytes"] = persist_stats_.truncated_bytes;
+  }
   if (sharded()) {
     out["shards"] = static_cast<std::int64_t>(shards_);
     out["shard_master"] = my_shard_.has_value();

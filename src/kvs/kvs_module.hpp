@@ -83,6 +83,7 @@ class KvsModule final : public ModuleBase {
   [[nodiscard]] std::string_view name() const override { return "kvs"; }
   void start() override;
   void shutdown() override;
+  void on_fail() override;
   void handle_event(const Message& msg) override;
 
   /// True on the session root (authoritative store lives here).
@@ -123,12 +124,27 @@ class KvsModule final : public ModuleBase {
     std::uint64_t announced_fences = 0;
   };
 
+  /// Persistence/GC counters (masters with a durable backend only).
+  struct PersistStats {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t gc_passes = 0;
+    std::uint64_t gc_swept = 0;
+    std::uint64_t gc_swept_bytes = 0;
+    std::uint64_t recovered_objects = 0;
+    std::uint64_t recovered_version = 0;  ///< post-recovery-epoch version
+    std::uint64_t truncated_bytes = 0;    ///< torn tail dropped at recovery
+  };
+
   // Introspection for tests/benches.
   [[nodiscard]] std::uint64_t root_version() const noexcept { return root_version_; }
   [[nodiscard]] const Sha1& root_ref() const noexcept { return root_ref_; }
   [[nodiscard]] const ObjectCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const ContentStore& store() const noexcept { return store_; }
   [[nodiscard]] const OpStats& op_stats() const noexcept { return ops_; }
+  [[nodiscard]] const PersistStats& persist_stats() const noexcept {
+    return persist_stats_;
+  }
+  [[nodiscard]] bool persistent() const noexcept { return backend_ != nullptr; }
   [[nodiscard]] const std::vector<std::uint64_t>& shard_versions() const noexcept {
     return shard_versions_;
   }
@@ -190,8 +206,8 @@ class KvsModule final : public ModuleBase {
     // original flush was lost to a crashed broker re-supplies it.
     std::set<std::string> counted;
     std::vector<Tuple> total_tuples;
-    /// Originating endpoints this broker has already forwarded (retry
-    /// detection — see op_fence).
+    /// Contributor identities seen at this broker — local clients and
+    /// relayed flushes alike (retry detection — see fence_add).
     std::set<std::string> origins;
     // Requests from clients of *this* broker awaiting completion.
     std::vector<Message> waiters;
@@ -245,6 +261,9 @@ class KvsModule final : public ModuleBase {
     std::vector<Tuple> pending_tuples;
     std::vector<ObjPtr> pending_objects;
     std::unordered_set<Sha1> forwarded_ids;
+    /// Contributor identities seen at this broker for this shard (retry
+    /// detection — see fence_add).
+    std::set<std::string> origins;
     bool flush_scheduled = false;
     // Tuples were routed to this shard through this broker; if the shard's
     // master then dies mid-fence, local waiters must see an error even when
@@ -258,8 +277,6 @@ class KvsModule final : public ModuleBase {
   struct ShardedFence {
     std::int64_t nprocs = 0;
     std::vector<ShardPart> parts;  // one per shard
-    /// Same retry-detection role as FenceState::origins.
-    std::set<std::string> origins;
     std::vector<Message> waiters;
     std::vector<Sha1> pins;
   };
@@ -339,6 +356,33 @@ class KvsModule final : public ModuleBase {
 
   void complete_version_waiters();
 
+  // -- persistence (durable content store + checkpoint/restart + GC) ----------
+  /// Module config {"persist": {"path": ..., "checkpoint_every": N,
+  /// "gc_every": M, "retention": R}}. Only masters open a backend; sharded
+  /// masters suffix the path with ".s<shard>".
+  struct PersistConfig {
+    std::string path;
+    std::uint64_t checkpoint_every = 16;  ///< applies per checkpoint record
+    std::uint64_t gc_every = 0;           ///< applies per GC pass (0 = off)
+    std::uint64_t retention = 4;          ///< versions kept past reachability
+  };
+  /// Open the backend for this master and replay the durable log. Returns
+  /// true when a prior root was recovered (the caller re-announces it one
+  /// version up — the recovery epoch — instead of bootstrapping empty).
+  bool persist_open(std::uint32_t shard);
+  /// Durability point after one master apply: append the root record, sync
+  /// (ack-after-sync: announce only happens after this), then run the
+  /// checkpoint and GC cadences.
+  void persist_root(std::uint32_t shard, std::uint64_t version,
+                    const Sha1& ref);
+  /// Full root-ref + version-vector snapshot for checkpoint records.
+  [[nodiscard]] std::vector<Sha1> checkpoint_roots() const;
+  [[nodiscard]] std::vector<std::uint64_t> checkpoint_vv() const;
+  /// Live roots and GC pins (in-flight fence objects) for mark_and_sweep.
+  [[nodiscard]] std::vector<Sha1> gc_roots() const;
+  [[nodiscard]] std::vector<Sha1> gc_pins() const;
+  void run_gc();
+
   // -- state -------------------------------------------------------------------
   Sha1 root_ref_{};
   std::uint64_t root_version_ = 0;  // 0 == no root yet (sharded: sum of vv)
@@ -380,6 +424,19 @@ class KvsModule final : public ModuleBase {
   obs::Histogram* announce_size_ = nullptr;
   std::unordered_map<Sha1, Promise<ObjPtr>> faults_;
   std::vector<std::pair<std::uint64_t, Promise<std::uint64_t>>> version_waiters_;
+
+  // Persistence state (masters with {"persist": ...} config only).
+  std::optional<PersistConfig> persist_;
+  std::unique_ptr<ContentBackend> backend_;
+  std::uint64_t applies_since_checkpoint_ = 0;
+  std::uint64_t applies_since_gc_ = 0;
+  /// Per-shard version this instance re-established from its durable log at
+  /// start() (post recovery-epoch bump); 0 = not recovered. Consulted by
+  /// resync_after_rejoin to keep recovered data instead of re-bootstrapping
+  /// empty.
+  std::vector<std::uint64_t> recovered_versions_;
+  PersistStats persist_stats_;
+  obs::Histogram* gc_pause_ns_ = nullptr;
 
   // Sharded-master state (inert when shards_ == 1).
   std::uint32_t shards_ = 1;
